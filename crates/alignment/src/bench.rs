@@ -1,0 +1,125 @@
+//! `Benchmark` wiring for Alignment.
+
+use bots_inputs::{protein::generate_proteins, InputClass};
+use bots_profile::{CountingProbe, NullProbe, RawCounts};
+use bots_runtime::Runtime;
+use bots_suite::{
+    fnv1a_u64, BenchMeta, Benchmark, Generator, RunOutput, Tiedness, Verification, VersionSpec,
+};
+
+use crate::pairs::{align_all_parallel, align_all_serial, AlignGenerator};
+
+/// `(sequence count, mean length)` per class.
+pub fn dims_for(class: InputClass) -> (usize, usize) {
+    class.pick([(10, 100), (40, 200), (80, 300), (120, 400)])
+}
+
+const SEED: u64 = 0xA11A_5EED;
+
+fn digest(scores: &[i32]) -> u64 {
+    let mut acc = 0u64;
+    for (k, &s) in scores.iter().enumerate() {
+        acc ^= fnv1a_u64(s as u64).rotate_left((k % 61) as u32);
+    }
+    acc
+}
+
+/// Alignment as a suite [`Benchmark`].
+#[derive(Debug, Default)]
+pub struct AlignmentBench;
+
+impl Benchmark for AlignmentBench {
+    fn meta(&self) -> BenchMeta {
+        BenchMeta {
+            name: "Alignment",
+            origin: "AKM",
+            domain: "Dynamic programming",
+            structure: "Iterative",
+            task_directives: 1,
+            tasks_inside: "for",
+            nested_tasks: false,
+            app_cutoff: "none",
+        }
+    }
+
+    fn input_desc(&self, class: InputClass) -> String {
+        let (n, len) = dims_for(class);
+        format!("{n} proteins (~{len} aa)")
+    }
+
+    fn versions(&self) -> Vec<VersionSpec> {
+        vec![
+            VersionSpec::default().generator(Generator::For),
+            VersionSpec::default()
+                .generator(Generator::For)
+                .tied(Tiedness::Untied),
+            VersionSpec::default(),
+            VersionSpec::default().tied(Tiedness::Untied),
+        ]
+    }
+
+    fn run_serial(&self, class: InputClass) -> RunOutput {
+        let (n, len) = dims_for(class);
+        let seqs = generate_proteins(n, len, SEED);
+        let scores = align_all_serial(&NullProbe, &seqs);
+        RunOutput::new(digest(&scores), format!("{} pair scores", scores.len()))
+    }
+
+    fn run_parallel(&self, rt: &Runtime, class: InputClass, version: VersionSpec) -> RunOutput {
+        let (n, len) = dims_for(class);
+        let seqs = generate_proteins(n, len, SEED);
+        let gen = match version.generator {
+            Generator::For => AlignGenerator::For,
+            Generator::Single => AlignGenerator::Single,
+        };
+        let scores = align_all_parallel(rt, &seqs, gen, version.tiedness == Tiedness::Untied);
+        RunOutput::new(digest(&scores), format!("{} pair scores", scores.len()))
+    }
+
+    fn verify(&self, _class: InputClass, _output: &RunOutput) -> Verification {
+        // Integer DP scores are exactly reproducible: compare to serial.
+        Verification::AgainstSerial
+    }
+
+    fn characterize(&self, class: InputClass) -> RawCounts {
+        let (n, len) = dims_for(class);
+        let seqs = generate_proteins(n, len, SEED);
+        let p = CountingProbe::new();
+        align_all_serial(&p, &seqs);
+        p.counts()
+    }
+
+    fn best_version(&self) -> VersionSpec {
+        // Figure 3: "alignment (untied)" on the for-generator structure.
+        VersionSpec::default()
+            .generator(Generator::For)
+            .tied(Tiedness::Untied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_suite::runner;
+
+    #[test]
+    fn all_versions_verify() {
+        let b = AlignmentBench;
+        let rt = Runtime::with_threads(4);
+        for v in b.versions() {
+            let out = b.run_parallel(&rt, InputClass::Test, v);
+            runner::verify(&b, InputClass::Test, &out).unwrap();
+        }
+    }
+
+    #[test]
+    fn characterization_is_private_heavy() {
+        let c = AlignmentBench.characterize(InputClass::Test);
+        // Paper: 0.03% non-private writes — DP arrays are task-private.
+        let pct = 100.0 * c.writes_shared as f64 / c.writes_total() as f64;
+        assert!(pct < 1.0, "non-private write % = {pct}");
+        // Few, coarse tasks (45 pairs on the test class).
+        assert_eq!(c.tasks, 45);
+        assert_eq!(c.taskwaits, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # bots-alignment — the BOTS Alignment kernel
+//!
+//! Aligns every protein sequence against every other and reports the best
+//! score per pair: global alignment with BLOSUM62 weights and affine gap
+//! penalties (Gotoh's linear-space scoring pass — the "full dynamic
+//! programming algorithm" of §III-B). Sequence lengths vary, so the pair
+//! tasks are imbalanced — the kernel's reason for existing.
+//!
+//! ```
+//! use bots_runtime::Runtime;
+//! use bots_alignment::{align_all_parallel, AlignGenerator};
+//! use bots_inputs::protein::generate_proteins;
+//!
+//! let rt = Runtime::with_threads(2);
+//! let seqs = generate_proteins(6, 50, 1);
+//! let scores = align_all_parallel(&rt, &seqs, AlignGenerator::For, false);
+//! assert_eq!(scores.len(), 15); // 6·5/2 pairs
+//! ```
+#![warn(missing_docs)]
+
+mod bench;
+mod pairs;
+mod score;
+mod trace;
+
+pub use bench::{dims_for, AlignmentBench};
+pub use pairs::{align_all_parallel, align_all_serial, pair_count, pair_index, AlignGenerator};
+pub use score::{align_score, self_score, GAP_EXTEND, GAP_OPEN};
+pub use trace::{align_trace, score_of_ops, Alignment, Op};

@@ -1,0 +1,258 @@
+//! Full alignment reconstruction (not just the score): Gotoh's affine-gap
+//! DP with traceback.
+//!
+//! The suite's timed kernel only needs the *scores* (computed in linear
+//! space, as in the scoring pass of Myers-Miller — see [`crate::score`]);
+//! this module adds the alignment itself for library users, with an O(nm)
+//! traceback matrix. Each returned path is validated against the
+//! independent linear-space scorer in this crate's tests.
+
+use bots_inputs::protein::BLOSUM62;
+
+use crate::score::{GAP_EXTEND, GAP_OPEN};
+
+const NEG: i32 = i32::MIN / 4;
+
+/// One alignment operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Align `a[i]` with `b[j]` (match or substitution).
+    Sub,
+    /// Gap in `a`: consume one residue of `b`.
+    Ins,
+    /// Gap in `b`: consume one residue of `a`.
+    Del,
+}
+
+/// An alignment: its score and the operation sequence (consuming `a` and
+/// `b` front to back).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Global alignment score.
+    pub score: i32,
+    /// Operations, in order.
+    pub ops: Vec<Op>,
+}
+
+impl Alignment {
+    /// Number of gap characters in the alignment.
+    pub fn gaps(&self) -> usize {
+        self.ops.iter().filter(|o| !matches!(o, Op::Sub)).count()
+    }
+
+    /// Renders the alignment as two gapped residue-letter lines.
+    pub fn render(&self, a: &[u8], b: &[u8]) -> (String, String) {
+        use bots_inputs::protein::RESIDUES;
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut la, mut lb) = (String::new(), String::new());
+        for op in &self.ops {
+            match op {
+                Op::Sub => {
+                    la.push(RESIDUES[a[i] as usize] as char);
+                    lb.push(RESIDUES[b[j] as usize] as char);
+                    i += 1;
+                    j += 1;
+                }
+                Op::Ins => {
+                    la.push('-');
+                    lb.push(RESIDUES[b[j] as usize] as char);
+                    j += 1;
+                }
+                Op::Del => {
+                    la.push(RESIDUES[a[i] as usize] as char);
+                    lb.push('-');
+                    i += 1;
+                }
+            }
+        }
+        (la, lb)
+    }
+}
+
+/// Scores an operation sequence directly (the re-scoring oracle used to
+/// validate tracebacks; affine gaps charged per run).
+pub fn score_of_ops(a: &[u8], b: &[u8], ops: &[Op]) -> i32 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut score = 0i32;
+    let mut prev: Option<Op> = None;
+    for &op in ops {
+        match op {
+            Op::Sub => {
+                score += BLOSUM62[a[i] as usize][b[j] as usize];
+                i += 1;
+                j += 1;
+            }
+            Op::Ins => {
+                score -= GAP_EXTEND + if prev == Some(Op::Ins) { 0 } else { GAP_OPEN };
+                j += 1;
+            }
+            Op::Del => {
+                score -= GAP_EXTEND + if prev == Some(Op::Del) { 0 } else { GAP_OPEN };
+                i += 1;
+            }
+        }
+        prev = Some(op);
+    }
+    assert_eq!(
+        (i, j),
+        (a.len(), b.len()),
+        "ops must consume both sequences"
+    );
+    score
+}
+
+/// Computes the optimal global alignment of `a` and `b` with full
+/// traceback (O(nm) space).
+pub fn align_trace(a: &[u8], b: &[u8]) -> Alignment {
+    let (m, n) = (a.len(), b.len());
+    let width = n + 1;
+    let idx = |i: usize, j: usize| i * width + j;
+
+    // Three DP layers: H (best), E (gap in a / insertion), F (gap in b /
+    // deletion), plus compact traceback tags.
+    let mut h = vec![NEG; (m + 1) * width];
+    let mut e = vec![NEG; (m + 1) * width];
+    let mut f = vec![NEG; (m + 1) * width];
+
+    h[idx(0, 0)] = 0;
+    for j in 1..=n {
+        e[idx(0, j)] = -(GAP_OPEN + GAP_EXTEND * j as i32);
+        h[idx(0, j)] = e[idx(0, j)];
+    }
+    for i in 1..=m {
+        f[idx(i, 0)] = -(GAP_OPEN + GAP_EXTEND * i as i32);
+        h[idx(i, 0)] = f[idx(i, 0)];
+    }
+
+    for i in 1..=m {
+        let wa = &BLOSUM62[a[i - 1] as usize];
+        for j in 1..=n {
+            let open_e = h[idx(i, j - 1)] - GAP_OPEN - GAP_EXTEND;
+            let ext_e = e[idx(i, j - 1)] - GAP_EXTEND;
+            e[idx(i, j)] = open_e.max(ext_e);
+
+            let open_f = h[idx(i - 1, j)] - GAP_OPEN - GAP_EXTEND;
+            let ext_f = f[idx(i - 1, j)] - GAP_EXTEND;
+            f[idx(i, j)] = open_f.max(ext_f);
+
+            let diag = h[idx(i - 1, j - 1)] + wa[b[j - 1] as usize];
+            h[idx(i, j)] = diag.max(e[idx(i, j)]).max(f[idx(i, j)]);
+        }
+    }
+
+    // Traceback through the three layers.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Layer {
+        H,
+        E,
+        F,
+    }
+    let mut ops = Vec::with_capacity(m + n);
+    let (mut i, mut j) = (m, n);
+    let mut layer = Layer::H;
+    while i > 0 || j > 0 {
+        match layer {
+            Layer::H => {
+                let cur = h[idx(i, j)];
+                if i > 0
+                    && j > 0
+                    && cur == h[idx(i - 1, j - 1)] + BLOSUM62[a[i - 1] as usize][b[j - 1] as usize]
+                {
+                    ops.push(Op::Sub);
+                    i -= 1;
+                    j -= 1;
+                } else if j > 0 && cur == e[idx(i, j)] {
+                    layer = Layer::E;
+                } else {
+                    debug_assert!(i > 0 && cur == f[idx(i, j)]);
+                    layer = Layer::F;
+                }
+            }
+            Layer::E => {
+                // Did this insertion run open here or extend leftwards? On
+                // ties, prefer "opened" (both reconstructions score the
+                // same; shorter runs make tracebacks canonical).
+                let cur = e[idx(i, j)];
+                ops.push(Op::Ins);
+                let opened = cur == h[idx(i, j - 1)] - GAP_OPEN - GAP_EXTEND;
+                j -= 1;
+                if opened {
+                    layer = Layer::H;
+                }
+            }
+            Layer::F => {
+                let cur = f[idx(i, j)];
+                ops.push(Op::Del);
+                let opened = cur == h[idx(i - 1, j)] - GAP_OPEN - GAP_EXTEND;
+                i -= 1;
+                if opened {
+                    layer = Layer::H;
+                }
+            }
+        }
+    }
+    ops.reverse();
+    Alignment {
+        score: h[idx(m, n)],
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::align_score;
+    use bots_inputs::protein::generate_proteins;
+    use bots_profile::NullProbe;
+
+    #[test]
+    fn identical_sequences_align_gapless() {
+        let a = generate_proteins(1, 50, 3).remove(0);
+        let al = align_trace(&a, &a);
+        assert!(al.ops.iter().all(|o| matches!(o, Op::Sub)));
+        assert_eq!(al.gaps(), 0);
+        assert_eq!(al.score, align_score(&NullProbe, &a, &a));
+    }
+
+    #[test]
+    fn traceback_score_matches_linear_space_scorer() {
+        let seqs = generate_proteins(8, 60, 17);
+        for i in 0..seqs.len() {
+            for j in i + 1..seqs.len() {
+                let al = align_trace(&seqs[i], &seqs[j]);
+                let want = align_score(&NullProbe, &seqs[i], &seqs[j]);
+                assert_eq!(al.score, want, "H-matrix score ({i},{j})");
+                // And the emitted operations re-score to the same value —
+                // cross-checks the traceback itself.
+                assert_eq!(
+                    score_of_ops(&seqs[i], &seqs[j], &al.ops),
+                    want,
+                    "ops ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cases() {
+        let a = generate_proteins(1, 20, 5).remove(0);
+        let al = align_trace(&a, &[]);
+        assert!(al.ops.iter().all(|o| matches!(o, Op::Del)));
+        assert_eq!(al.ops.len(), a.len());
+        let al = align_trace(&[], &a);
+        assert!(al.ops.iter().all(|o| matches!(o, Op::Ins)));
+        let al = align_trace(&[], &[]);
+        assert!(al.ops.is_empty());
+        assert_eq!(al.score, 0);
+    }
+
+    #[test]
+    fn render_shapes_match() {
+        let seqs = generate_proteins(2, 30, 9);
+        let al = align_trace(&seqs[0], &seqs[1]);
+        let (la, lb) = al.render(&seqs[0], &seqs[1]);
+        assert_eq!(la.chars().count(), lb.chars().count());
+        assert_eq!(la.chars().filter(|&c| c != '-').count(), seqs[0].len());
+        assert_eq!(lb.chars().filter(|&c| c != '-').count(), seqs[1].len());
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for Alignment scoring: symmetry, self-alignment
+//! optimality, score bounds, and serial/parallel agreement on arbitrary
+//! sequence sets.
+
+use bots_alignment::{
+    align_all_parallel, align_all_serial, align_score, self_score, AlignGenerator, GAP_EXTEND,
+    GAP_OPEN,
+};
+use bots_profile::NullProbe;
+use bots_runtime::Runtime;
+use proptest::prelude::*;
+
+fn seq_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..20, 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn score_is_symmetric(a in seq_strategy(), b in seq_strategy()) {
+        prop_assert_eq!(
+            align_score(&NullProbe, &a, &b),
+            align_score(&NullProbe, &b, &a)
+        );
+    }
+
+    #[test]
+    fn self_alignment_is_gapless(a in seq_strategy()) {
+        prop_assert_eq!(align_score(&NullProbe, &a, &a), self_score(&a));
+    }
+
+    #[test]
+    fn score_upper_bound(a in seq_strategy(), b in seq_strategy()) {
+        // No alignment can beat matching every residue of the shorter
+        // sequence at the best possible weight (11 = W/W) with no gap cost
+        // counted (a further over-estimate).
+        let bound = 11 * a.len().min(b.len()) as i32;
+        prop_assert!(align_score(&NullProbe, &a, &b) <= bound);
+    }
+
+    #[test]
+    fn empty_alignment_costs_one_gap_run(a in seq_strategy()) {
+        prop_assume!(!a.is_empty());
+        let want = -(GAP_OPEN + GAP_EXTEND * a.len() as i32);
+        prop_assert_eq!(align_score(&NullProbe, &a, &[]), want);
+    }
+
+    #[test]
+    fn parallel_equals_serial(
+        seqs in proptest::collection::vec(proptest::collection::vec(0u8..20, 1..60), 2..8),
+        threads in 1usize..5,
+        for_gen in any::<bool>(),
+    ) {
+        let rt = Runtime::with_threads(threads);
+        let gen = if for_gen { AlignGenerator::For } else { AlignGenerator::Single };
+        let got = align_all_parallel(&rt, &seqs, gen, threads % 2 == 0);
+        let want = align_all_serial(&NullProbe, &seqs);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,99 @@
+//! Ablation: our Chase-Lev deque vs `crossbeam-deque` on the two hot
+//! paths — owner push/pop (every spawn/completion) and push/steal pairs
+//! (migration). Justifies (or indicts) the from-scratch implementation.
+
+use std::ptr::NonNull;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bots_runtime::deque as ours;
+
+const BATCH: usize = 10_000;
+
+fn bench_owner_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deque_owner_push_pop");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    group.bench_function("bots_chase_lev", |b| {
+        let (owner, _stealer) = ours::deque::<u64>();
+        let item = Box::into_raw(Box::new(7u64));
+        b.iter(|| {
+            for _ in 0..BATCH {
+                owner.push(NonNull::new(item).unwrap());
+            }
+            for _ in 0..BATCH {
+                std::hint::black_box(owner.pop());
+            }
+        });
+        unsafe { drop(Box::from_raw(item)) };
+    });
+
+    group.bench_function("crossbeam", |b| {
+        let worker = crossbeam_deque::Worker::<u64>::new_lifo();
+        b.iter(|| {
+            for _ in 0..BATCH {
+                worker.push(7);
+            }
+            for _ in 0..BATCH {
+                std::hint::black_box(worker.pop());
+            }
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_steal_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deque_push_steal");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    group.bench_function("bots_chase_lev", |b| {
+        let (owner, stealer) = ours::deque::<u64>();
+        let item = Box::into_raw(Box::new(7u64));
+        b.iter(|| {
+            for _ in 0..BATCH {
+                owner.push(NonNull::new(item).unwrap());
+            }
+            for _ in 0..BATCH {
+                loop {
+                    match stealer.steal() {
+                        ours::Steal::Success(v) => {
+                            std::hint::black_box(v);
+                            break;
+                        }
+                        ours::Steal::Empty => break,
+                        ours::Steal::Retry => {}
+                    }
+                }
+            }
+        });
+        unsafe { drop(Box::from_raw(item)) };
+    });
+
+    group.bench_function("crossbeam", |b| {
+        let worker = crossbeam_deque::Worker::<u64>::new_lifo();
+        let stealer = worker.stealer();
+        b.iter(|| {
+            for _ in 0..BATCH {
+                worker.push(7);
+            }
+            for _ in 0..BATCH {
+                loop {
+                    match stealer.steal() {
+                        crossbeam_deque::Steal::Success(v) => {
+                            std::hint::black_box(v);
+                            break;
+                        }
+                        crossbeam_deque::Steal::Empty => break,
+                        crossbeam_deque::Steal::Retry => {}
+                    }
+                }
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_owner_paths, bench_steal_paths);
+criterion_main!(benches);

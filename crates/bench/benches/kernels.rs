@@ -1,0 +1,28 @@
+//! Criterion micro-benchmarks: each kernel's serial reference vs its best
+//! parallel version on the `test` class (kept small so `cargo bench`
+//! completes in minutes; the paper-scale runs live in the harness
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bots::{registry, InputClass, Runtime};
+
+fn bench_kernels(c: &mut Criterion) {
+    let rt = Runtime::default();
+    for bench in registry() {
+        let name = bench.meta().name.to_lowercase();
+        let version = bench.best_version();
+        let mut group = c.benchmark_group(&name);
+        group.sample_size(10);
+        group.bench_function("serial", |b| {
+            b.iter(|| std::hint::black_box(bench.run_serial(InputClass::Test)))
+        });
+        group.bench_function(format!("parallel/{}", version.label()), |b| {
+            b.iter(|| std::hint::black_box(bench.run_parallel(&rt, InputClass::Test, version)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! EPCC-style runtime overhead micro-benchmarks (the related-work
+//! methodology the paper cites): cost of task creation, undeferred
+//! execution, taskwait, region entry/exit and worker-local accumulation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bots_runtime::{Runtime, TaskAttrs, WorkerCounter};
+
+fn bench_overheads(c: &mut Criterion) {
+    let rt = Runtime::with_threads(4);
+
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(20);
+
+    // Parallel region entry + exit with an empty body.
+    group.bench_function("region_entry_exit", |b| {
+        b.iter(|| rt.parallel(|_| std::hint::black_box(0)))
+    });
+
+    // Deferred task spawn + completion, amortised over a batch.
+    const BATCH: u64 = 10_000;
+    group.throughput(Throughput::Elements(BATCH));
+    group.bench_function("spawn_join_10k", |b| {
+        b.iter(|| {
+            rt.parallel(|s| {
+                s.taskgroup(|s| {
+                    for _ in 0..BATCH {
+                        s.spawn(|_| {});
+                    }
+                });
+            })
+        })
+    });
+
+    // Undeferred (if(false)) spawn: bookkeeping-only cost.
+    group.bench_function("undeferred_spawn_10k", |b| {
+        let attrs = TaskAttrs::default().with_if(false);
+        b.iter(|| {
+            rt.parallel(|s| {
+                for _ in 0..BATCH {
+                    s.spawn_with(attrs, |_| {});
+                }
+            })
+        })
+    });
+
+    // taskwait on an already-empty child set (scheduling-point probe cost).
+    group.bench_function("empty_taskwait_10k", |b| {
+        b.iter(|| {
+            rt.parallel(|s| {
+                for _ in 0..BATCH {
+                    s.taskwait();
+                }
+            })
+        })
+    });
+
+    // threadprivate-style accumulation.
+    group.bench_function("worker_counter_add_10k", |b| {
+        let counter = WorkerCounter::new(rt.num_threads());
+        b.iter(|| {
+            rt.parallel(|s| {
+                for _ in 0..BATCH {
+                    counter.incr(s);
+                }
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overheads);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates **Figure 3** — "Benchmark suite results": speed-up of the
+//! best version of every application against its serial run, across team
+//! sizes. (Floorplan's speed-up is nodes/second-based, as in the paper.)
+
+use bots::registry;
+use bots_bench::{app_selected, emit, parse_args};
+use bots_runtime::RuntimeConfig;
+use bots_suite::{f, runner, Table};
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Figure 3 — speed-up of each application's best version ({} class, {} reps)\n",
+        args.class, args.reps
+    );
+
+    let mut headers: Vec<String> = vec!["app (version)".into(), "serial".into()];
+    headers.extend(args.threads.iter().map(|t| format!("{t}T")));
+    let mut table = Table::new(headers);
+
+    for bench in registry() {
+        let name = bench.meta().name;
+        if !app_selected(&args, name) {
+            continue;
+        }
+        let version = bench.best_version();
+        eprintln!("[fig3] {name} ({version}) ...");
+        let (serial, points) = runner::thread_sweep(
+            bench.as_ref(),
+            args.class,
+            version,
+            &args.threads,
+            args.reps,
+            RuntimeConfig::new,
+        );
+        let mut row = vec![
+            format!("{} ({})", name.to_lowercase(), version.label()),
+            format!("{:.3}s", serial.time.as_secs_f64()),
+        ];
+        row.extend(points.iter().map(|p| f(p.speedup, 2)));
+        table.row(row);
+    }
+    emit(&table);
+    println!("\nPaper shape: NQueens/SparseLU near-linear; Strassen, Health and");
+    println!("FFT saturate early; Alignment and Sort in between.");
+}

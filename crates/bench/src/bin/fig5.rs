@@ -1,0 +1,67 @@
+//! Regenerates **Figure 5** — "tied and untied tasks": Alignment and
+//! NQueens, tied vs untied versions, across team sizes.
+//!
+//! Our runtime (like icc 11.0 in the paper) does not migrate started
+//! tasks; tiedness only constrains what a worker may run while blocked at
+//! a taskwait. The paper found ≤4% difference — expect the same order.
+
+use bots::alignment::AlignmentBench;
+use bots::nqueens::NQueensBench;
+use bots::suite::{CutoffMode, Generator, Tiedness, VersionSpec};
+use bots_bench::{emit, parse_args};
+use bots_runtime::RuntimeConfig;
+use bots_suite::{f, runner, Table};
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Figure 5 — tied vs untied tasks ({} class, {} reps)\n",
+        args.class, args.reps
+    );
+
+    let alignment_base = VersionSpec::default().generator(Generator::For);
+    let nqueens_base = VersionSpec::default().cutoff(CutoffMode::Manual);
+    let series: Vec<(&str, Box<dyn bots::suite::Benchmark>, VersionSpec)> = vec![
+        (
+            "alignment tied",
+            Box::new(AlignmentBench),
+            alignment_base.tied(Tiedness::Tied),
+        ),
+        (
+            "alignment untied",
+            Box::new(AlignmentBench),
+            alignment_base.tied(Tiedness::Untied),
+        ),
+        (
+            "nqueens tied",
+            Box::new(NQueensBench),
+            nqueens_base.tied(Tiedness::Tied),
+        ),
+        (
+            "nqueens untied",
+            Box::new(NQueensBench),
+            nqueens_base.tied(Tiedness::Untied),
+        ),
+    ];
+
+    let mut headers: Vec<String> = vec!["series".into()];
+    headers.extend(args.threads.iter().map(|t| format!("{t}T")));
+    let mut table = Table::new(headers);
+
+    for (label, bench, version) in series {
+        eprintln!("[fig5] {label} ...");
+        let (_serial, points) = runner::thread_sweep(
+            bench.as_ref(),
+            args.class,
+            version,
+            &args.threads,
+            args.reps,
+            RuntimeConfig::new,
+        );
+        let mut row = vec![label.to_string()];
+        row.extend(points.iter().map(|p| f(p.speedup, 2)));
+        table.row(row);
+    }
+    emit(&table);
+    println!("\nPaper shape: tied ≈ untied for both applications (≤ a few %).");
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Table I** — "BOTS applications summary": origin, domain,
+//! computation structure, number of task directives, generator construct,
+//! nested tasks, application cut-off.
+
+use bots::registry;
+use bots_bench::emit;
+use bots_suite::Table;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "Application",
+        "Origin",
+        "Domain",
+        "Computation structure",
+        "# task directives",
+        "tasks inside omp...",
+        "nested tasks",
+        "Application cut-off",
+    ])
+    .aligns(vec![
+        bots_suite::Align::Left,
+        bots_suite::Align::Left,
+        bots_suite::Align::Left,
+        bots_suite::Align::Left,
+        bots_suite::Align::Right,
+        bots_suite::Align::Left,
+        bots_suite::Align::Left,
+        bots_suite::Align::Left,
+    ]);
+    for bench in registry() {
+        let m = bench.meta();
+        table.row(vec![
+            m.name.to_string(),
+            m.origin.to_string(),
+            m.domain.to_string(),
+            m.structure.to_string(),
+            m.task_directives.to_string(),
+            m.tasks_inside.to_string(),
+            if m.nested_tasks {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+            m.app_cutoff.to_string(),
+        ]);
+    }
+    println!("Table I — BOTS applications summary\n");
+    emit(&table);
+}

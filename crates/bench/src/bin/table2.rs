@@ -1,0 +1,77 @@
+//! Regenerates **Table II** — "Application characteristics with the medium
+//! input sets": serial time, peak memory, number of potential tasks, and
+//! the per-task averages (arithmetic ops, taskwaits, captured-environment
+//! bytes and writes, % non-private writes, ops per write, ops per
+//! non-private write).
+//!
+//! The counts come from the instrumented serial run (`Probe`), memory from
+//! the counting global allocator installed below, and serial time from the
+//! uninstrumented reference run.
+
+use bots::registry;
+use bots_bench::{app_selected, parse_args};
+use bots_profile::{peak_bytes, reset_peak, table2_header, Characteristics, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Table II — application characteristics with the {} input set\n",
+        args.class
+    );
+    println!("{}", table2_header());
+
+    let mut csv_rows = Vec::new();
+    for bench in registry() {
+        let name = bench.meta().name;
+        if !app_selected(&args, name) {
+            continue;
+        }
+        // Timing first (uninstrumented), tracking the allocation peak.
+        reset_peak();
+        let base = bots_profile::current_bytes();
+        let t0 = std::time::Instant::now();
+        let _out = bench.run_serial(args.class);
+        let serial_time = t0.elapsed();
+        let memory_bytes = peak_bytes().saturating_sub(base);
+
+        // Then the instrumented run for the counts.
+        let counts = bench.characterize(args.class);
+
+        let row = Characteristics {
+            app: name.to_string(),
+            input: bench.input_desc(args.class),
+            serial_time,
+            memory_bytes,
+            counts,
+        };
+        println!("{row}");
+        csv_rows.push(format!(
+            "{},{},{:.6},{},{},{:.4},{:.4},{:.2},{:.4},{:.4},{:.4},{}",
+            row.app,
+            row.input.replace(',', ";"),
+            row.serial_time.as_secs_f64(),
+            row.memory_bytes,
+            row.potential_tasks(),
+            row.ops_per_task(),
+            row.taskwaits_per_task(),
+            row.env_bytes_per_task(),
+            row.env_writes_per_task(),
+            row.pct_nonprivate_writes(),
+            row.ops_per_write(),
+            row.ops_per_nonprivate_write()
+                .map_or("-".into(), |v| format!("{v:.4}")),
+        ));
+    }
+
+    println!("\n--- csv ---");
+    println!(
+        "app,input,serial_s,peak_bytes,tasks,ops_per_task,taskwaits_per_task,\
+         env_bytes_per_task,env_writes_per_task,pct_nonprivate,ops_per_write,ops_per_npwrite"
+    );
+    for r in csv_rows {
+        println!("{r}");
+    }
+}

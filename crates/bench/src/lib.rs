@@ -1,0 +1,152 @@
+//! # bots-bench — the harness that regenerates every table and figure
+//!
+//! One binary per experiment (see `DESIGN.md`'s per-experiment index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I — static application summary |
+//! | `table2` | Table II — per-task characteristics (instrumented serial run) |
+//! | `fig3` | Figure 3 — speed-up of each app's best version vs threads |
+//! | `fig4` | Figure 4 — NQueens cut-off comparison (manual / if / none) |
+//! | `fig5` | Figure 5 — tied vs untied (Alignment, NQueens) |
+//! | `cutoff_sweep` | §IV-D — speed-up vs cut-off depth |
+//! | `generators` | §IV-D — SparseLU single vs multiple generators |
+//! | `policies` | §IV-D — scheduling policies & runtime cut-offs |
+//!
+//! Common flags: `--class test|small|medium|large` (default medium),
+//! `--reps N` (default 3), `--threads 1,2,4,...` (default: power-of-two
+//! ladder up to the machine), `--apps name,name` where applicable.
+//!
+//! Output: an aligned table for eyeballing against the paper, then a CSV
+//! block for plotting.
+
+#![warn(missing_docs)]
+
+use bots_inputs::InputClass;
+use bots_suite::runner::default_thread_ladder;
+
+/// Parsed common flags.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Input class to run.
+    pub class: InputClass,
+    /// Repetitions per configuration (median is reported).
+    pub reps: usize,
+    /// Team sizes for thread sweeps.
+    pub threads: Vec<usize>,
+    /// Optional app-name filter.
+    pub apps: Option<Vec<String>>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            class: InputClass::Medium,
+            reps: 3,
+            threads: default_thread_ladder(),
+            apps: None,
+        }
+    }
+}
+
+/// Parses `std::env::args`, exiting with a usage message on errors.
+pub fn parse_args() -> HarnessArgs {
+    let mut out = HarnessArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--class" | "-c" => {
+                out.class = value("--class").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--reps" | "-r" => {
+                out.reps = value("--reps").parse().unwrap_or_else(|_| {
+                    eprintln!("--reps wants a positive integer");
+                    std::process::exit(2);
+                });
+                if out.reps == 0 {
+                    eprintln!("--reps wants a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            "--threads" | "-t" => {
+                let spec = value("--threads");
+                out.threads = spec
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad thread count '{s}'");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--apps" | "-a" => {
+                out.apps = Some(
+                    value("--apps")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                );
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --class test|small|medium|large  --reps N  \
+                     --threads 1,2,4  --apps name,name"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+/// Does `name` pass the `--apps` filter?
+pub fn app_selected(args: &HarnessArgs, name: &str) -> bool {
+    match &args.apps {
+        None => true,
+        Some(list) => list.iter().any(|a| a.eq_ignore_ascii_case(name)),
+    }
+}
+
+/// Prints the standard two-part output: aligned table then CSV.
+pub fn emit(table: &bots_suite::Table) {
+    println!("{}", table.render());
+    println!("--- csv ---");
+    print!("{}", table.to_csv());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = HarnessArgs::default();
+        assert_eq!(a.class, InputClass::Medium);
+        assert_eq!(a.reps, 3);
+        assert!(!a.threads.is_empty());
+    }
+
+    #[test]
+    fn app_filter() {
+        let mut a = HarnessArgs::default();
+        assert!(app_selected(&a, "Fib"));
+        a.apps = Some(vec!["fib".into(), "sort".into()]);
+        assert!(app_selected(&a, "Fib"));
+        assert!(app_selected(&a, "SORT"));
+        assert!(!app_selected(&a, "FFT"));
+    }
+}

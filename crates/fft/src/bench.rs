@@ -1,0 +1,123 @@
+//! `Benchmark` wiring for FFT.
+
+use bots_inputs::InputClass;
+use bots_profile::{CountingProbe, RawCounts};
+use bots_runtime::Runtime;
+use bots_suite::{fnv1a_f64, BenchMeta, Benchmark, RunOutput, Tiedness, Verification, VersionSpec};
+
+use crate::complex::C64;
+use crate::parallel::fft_parallel;
+use crate::serial::fft_serial;
+
+/// Transform size per class (powers of two).
+pub fn n_for(class: InputClass) -> usize {
+    class.pick([1 << 10, 1 << 18, 1 << 22, 1 << 25])
+}
+
+const SEED: u64 = 0xFF7_5EED;
+
+fn signal(n: usize) -> Vec<C64> {
+    bots_inputs::arrays::complex_signal(n, SEED)
+        .into_iter()
+        .map(|(re, im)| C64::new(re, im))
+        .collect()
+}
+
+fn digest(x: &[C64]) -> u64 {
+    // XOR-fold per-index hashes: deterministic, order-independent.
+    let mut acc = 0u64;
+    for (i, v) in x.iter().enumerate() {
+        acc ^= fnv1a_f64(v.re).rotate_left((i % 61) as u32)
+            ^ fnv1a_f64(v.im).rotate_left((i % 53) as u32);
+    }
+    acc
+}
+
+/// FFT as a suite [`Benchmark`].
+#[derive(Debug, Default)]
+pub struct FftBench;
+
+impl Benchmark for FftBench {
+    fn meta(&self) -> BenchMeta {
+        BenchMeta {
+            name: "FFT",
+            origin: "Cilk",
+            domain: "Spectral method",
+            structure: "At leafs",
+            task_directives: 41,
+            tasks_inside: "single",
+            nested_tasks: true,
+            app_cutoff: "none",
+        }
+    }
+
+    fn input_desc(&self, class: InputClass) -> String {
+        let n = n_for(class);
+        if n >= 1 << 20 {
+            format!("{}M floats", n >> 20)
+        } else {
+            format!("{}K floats", n >> 10)
+        }
+    }
+
+    fn versions(&self) -> Vec<VersionSpec> {
+        vec![
+            VersionSpec::default(),
+            VersionSpec::default().tied(Tiedness::Untied),
+        ]
+    }
+
+    fn run_serial(&self, class: InputClass) -> RunOutput {
+        let mut x = signal(n_for(class));
+        fft_serial(&bots_profile::NullProbe, &mut x);
+        RunOutput::new(digest(&x), format!("fft of {} points", x.len()))
+    }
+
+    fn run_parallel(&self, rt: &Runtime, class: InputClass, version: VersionSpec) -> RunOutput {
+        let mut x = signal(n_for(class));
+        fft_parallel(rt, &mut x, version.tiedness == Tiedness::Untied);
+        RunOutput::new(digest(&x), format!("fft of {} points", x.len()))
+    }
+
+    fn verify(&self, _class: InputClass, _output: &RunOutput) -> Verification {
+        // The butterfly network is deterministic and reduction-free, so the
+        // parallel result is bit-identical to the serial one; compare.
+        Verification::AgainstSerial
+    }
+
+    fn characterize(&self, class: InputClass) -> RawCounts {
+        let p = CountingProbe::new();
+        let mut x = signal(n_for(class));
+        fft_serial(&p, &mut x);
+        p.counts()
+    }
+
+    fn best_version(&self) -> VersionSpec {
+        // Figure 3: "fft (untied)".
+        VersionSpec::default().tied(Tiedness::Untied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_suite::runner;
+
+    #[test]
+    fn parallel_matches_serial_checksum() {
+        let b = FftBench;
+        let rt = Runtime::with_threads(4);
+        for v in b.versions() {
+            let out = b.run_parallel(&rt, InputClass::Test, v);
+            runner::verify(&b, InputClass::Test, &out).unwrap();
+        }
+    }
+
+    #[test]
+    fn characterization_counts_tasks() {
+        let c = FftBench.characterize(InputClass::Test);
+        assert!(c.tasks > 0);
+        assert!(c.taskwaits > 0);
+        assert!(c.ops > 0);
+    }
+}

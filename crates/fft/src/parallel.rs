@@ -1,0 +1,159 @@
+//! Task-parallel FFT: tasks for the two half-transforms of every split and
+//! for each chunk of the twiddle-combine loops ("In each of the divisions
+//! multiple tasks are generated", §III-B).
+
+use bots_runtime::{Runtime, Scope, TaskAttrs};
+
+use crate::complex::C64;
+use crate::plan::Plan;
+use crate::serial::{fft_base, BASE_SIZE, COMBINE_CHUNK};
+
+use bots_profile::NullProbe;
+
+/// Forward FFT of `x` on `rt`.
+pub fn fft_parallel(rt: &Runtime, x: &mut [C64], untied: bool) {
+    transform(rt, x, untied, false);
+    // no normalisation on the forward transform
+}
+
+/// Inverse FFT of `x` on `rt` (with 1/n normalisation).
+pub fn ifft_parallel(rt: &Runtime, x: &mut [C64], untied: bool) {
+    transform(rt, x, untied, true);
+    let k = 1.0 / x.len() as f64;
+    for v in x.iter_mut() {
+        *v = v.scale(k);
+    }
+}
+
+fn transform(rt: &Runtime, x: &mut [C64], untied: bool, invert: bool) {
+    let attrs = TaskAttrs::default().with_tied(!untied);
+    let plan = Plan::new(x.len());
+    let mut scratch = vec![C64::ZERO; x.len()];
+    let scratch_ref = &mut scratch[..];
+    let plan_ref = &plan;
+    rt.parallel(move |s| {
+        fft_task(s, x, scratch_ref, plan_ref, invert, attrs);
+    });
+}
+
+fn fft_task<'a>(
+    s: &Scope<'_>,
+    x: &'a mut [C64],
+    scratch: &'a mut [C64],
+    plan: &'a Plan,
+    invert: bool,
+    attrs: TaskAttrs,
+) {
+    let n = x.len();
+    if n <= BASE_SIZE {
+        fft_base(&NullProbe, x, plan, invert);
+        return;
+    }
+    let half = n / 2;
+    for i in 0..half {
+        scratch[i] = x[2 * i];
+        scratch[half + i] = x[2 * i + 1];
+    }
+    {
+        let (even, odd) = scratch.split_at_mut(half);
+        let (xe, xo) = x.split_at_mut(half);
+        s.taskgroup(|s| {
+            s.spawn_with(attrs, move |s| fft_task(s, even, xe, plan, invert, attrs));
+            s.spawn_with(attrs, move |s| fft_task(s, odd, xo, plan, invert, attrs));
+        });
+    }
+    // Parallel combine: split x into per-chunk output windows. Chunk c
+    // writes x[c*C .. c*C+len) and x[half + c*C .. half + c*C + len), so we
+    // hand each task two disjoint windows carved off the two halves.
+    let (even, odd) = scratch.split_at(half);
+    let (mut lo_rest, mut hi_rest) = x.split_at_mut(half);
+    let mut chunk_start = 0;
+    s.taskgroup(|s| {
+        while chunk_start < half {
+            let len = COMBINE_CHUNK.min(half - chunk_start);
+            let (lo_win, lo_tail) = lo_rest.split_at_mut(len);
+            let (hi_win, hi_tail) = hi_rest.split_at_mut(len);
+            lo_rest = lo_tail;
+            hi_rest = hi_tail;
+            let base = chunk_start;
+            s.spawn_with(attrs, move |_| {
+                for k in 0..len {
+                    let t = plan.twiddle(base + k, n, invert) * odd[base + k];
+                    lo_win[k] = even[base + k] + t;
+                    hi_win[k] = even[base + k] - t;
+                }
+            });
+            chunk_start += len;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::{dft_naive, fft_serial, ifft_serial};
+
+    fn signal(n: usize) -> Vec<C64> {
+        bots_inputs::arrays::complex_signal(n, 123)
+            .into_iter()
+            .map(|(re, im)| C64::new(re, im))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let rt = Runtime::with_threads(4);
+        let n = 2048;
+        let mut x = signal(n);
+        let expect = dft_naive(&x);
+        fft_parallel(&rt, &mut x, false);
+        for (a, b) in x.iter().zip(&expect) {
+            assert!((*a - *b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn bitwise_identical_to_serial() {
+        // No reductions anywhere: parallel and serial must agree exactly.
+        let rt = Runtime::with_threads(8);
+        let n = 1 << 16;
+        let mut par = signal(n);
+        let mut ser = par.clone();
+        fft_parallel(&rt, &mut par, false);
+        fft_serial(&bots_profile::NullProbe, &mut ser);
+        assert_eq!(
+            par.iter()
+                .map(|c| (c.re.to_bits(), c.im.to_bits()))
+                .collect::<Vec<_>>(),
+            ser.iter()
+                .map(|c| (c.re.to_bits(), c.im.to_bits()))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn untied_roundtrip() {
+        let rt = Runtime::with_threads(4);
+        let n = 1 << 15;
+        let orig = signal(n);
+        let mut x = orig.clone();
+        fft_parallel(&rt, &mut x, true);
+        ifft_parallel(&rt, &mut x, true);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_inverse_agree() {
+        let rt = Runtime::with_threads(2);
+        let n = 1 << 12;
+        let mut a = signal(n);
+        let mut b = a.clone();
+        ifft_parallel(&rt, &mut a, false);
+        ifft_serial(&bots_profile::NullProbe, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Twiddle-factor plan: precomputed roots of unity shared by every level
+//! of the recursion (`w_n^k = table[k · N/n]`).
+
+use crate::complex::C64;
+
+/// Precomputed twiddles for transforms of size up to `n` (a power of two).
+pub struct Plan {
+    /// `twiddles[k] = e^(-2πik/N)` for `k < N/2`.
+    twiddles: Vec<C64>,
+    n: usize,
+}
+
+impl Plan {
+    /// Builds a plan for size-`n` transforms.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "FFT size must be a power of two, got {n}"
+        );
+        let half = (n / 2).max(1);
+        let step = -2.0 * std::f64::consts::PI / n as f64;
+        let twiddles = (0..half).map(|k| C64::cis(step * k as f64)).collect();
+        Plan { twiddles, n }
+    }
+
+    /// Planned root size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when planned for size ≤ 1.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// Forward twiddle `w_m^k` for a sub-transform of size `m` (which must
+    /// divide the plan size).
+    #[inline]
+    pub fn forward(&self, k: usize, m: usize) -> C64 {
+        debug_assert!(m <= self.n && self.n % m == 0);
+        self.twiddles[k * (self.n / m)]
+    }
+
+    /// Inverse twiddle (conjugate).
+    #[inline]
+    pub fn inverse(&self, k: usize, m: usize) -> C64 {
+        self.forward(k, m).conj()
+    }
+
+    /// Twiddle selected by direction.
+    #[inline]
+    pub fn twiddle(&self, k: usize, m: usize, invert: bool) -> C64 {
+        if invert {
+            self.inverse(k, m)
+        } else {
+            self.forward(k, m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twiddles_are_roots_of_unity() {
+        let plan = Plan::new(64);
+        for k in 0..32 {
+            let w = plan.forward(k, 64);
+            // w^64 == 1: check via angle.
+            let angle = (-2.0 * std::f64::consts::PI / 64.0) * k as f64;
+            assert!((w.re - angle.cos()).abs() < 1e-12);
+            assert!((w.im - angle.sin()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn subtransform_twiddles_stride() {
+        let plan = Plan::new(16);
+        // w_4^1 must equal e^(-2πi/4) = -i.
+        let w = plan.forward(1, 4);
+        assert!(w.re.abs() < 1e-12);
+        assert!((w.im + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_is_conjugate() {
+        let plan = Plan::new(8);
+        for k in 0..4 {
+            let f = plan.forward(k, 8);
+            let i = plan.inverse(k, 8);
+            assert_eq!(f.conj(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Plan::new(12);
+    }
+}

@@ -1,0 +1,214 @@
+//! Serial Cooley-Tukey FFT: the recursive decimation-in-time decomposition
+//! the parallel version parallelises, an iterative base case, and a direct
+//! O(n²) DFT used for verification on small sizes.
+
+use bots_profile::Probe;
+
+use crate::complex::C64;
+use crate::plan::Plan;
+
+/// Transforms at or below this size run the iterative in-place base case
+/// (the task-granularity floor, like the Cilk version's coarsened leaves).
+pub const BASE_SIZE: usize = 256;
+
+/// In-place iterative radix-2 FFT (bit-reversal + butterfly passes).
+/// `x.len()` must be a power of two ≤ the plan size.
+pub fn fft_base<P: Probe>(p: &P, x: &mut [C64], plan: &Plan, invert: bool) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    debug_assert!(n.is_power_of_two());
+    // Bit reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    p.write_shared(n as u64 / 2);
+    // Butterfly passes.
+    let mut m = 2;
+    while m <= n {
+        let half = m / 2;
+        for start in (0..n).step_by(m) {
+            for k in 0..half {
+                let w = plan.twiddle(k, m, invert);
+                let t = w * x[start + k + half];
+                let u = x[start + k];
+                x[start + k] = u + t;
+                x[start + k + half] = u - t;
+            }
+        }
+        p.ops(10 * (n as u64 / 2)); // complex mul (6) + two adds (4)
+        p.write_shared(n as u64);
+        m *= 2;
+    }
+}
+
+/// Recursive decimation-in-time FFT, sequential. `scratch` must match `x`
+/// in length. Emits the task events of the parallel version: two child
+/// tasks per split plus one per combine chunk.
+pub fn fft_rec<P: Probe>(p: &P, x: &mut [C64], scratch: &mut [C64], plan: &Plan, invert: bool) {
+    let n = x.len();
+    if n <= BASE_SIZE {
+        fft_base(p, x, plan, invert);
+        return;
+    }
+    let half = n / 2;
+    // Decimate: evens to scratch[..half], odds to scratch[half..].
+    for i in 0..half {
+        scratch[i] = x[2 * i];
+        scratch[half + i] = x[2 * i + 1];
+    }
+    p.write_shared(n as u64);
+    {
+        let (even, odd) = scratch.split_at_mut(half);
+        let (xe, xo) = x.split_at_mut(half);
+        p.task(64);
+        fft_rec(p, even, xe, plan, invert);
+        p.task(64);
+        fft_rec(p, odd, xo, plan, invert);
+        p.taskwait();
+    }
+    // Combine. The parallel version chunks this loop into tasks.
+    let (even, odd) = scratch.split_at(half);
+    for chunk_start in (0..half).step_by(COMBINE_CHUNK) {
+        p.task(80);
+        let end = (chunk_start + COMBINE_CHUNK).min(half);
+        for k in chunk_start..end {
+            let t = plan.twiddle(k, n, invert) * odd[k];
+            x[k] = even[k] + t;
+            x[k + half] = even[k] - t;
+        }
+        p.ops(10 * (end - chunk_start) as u64);
+        p.write_shared(2 * (end - chunk_start) as u64);
+    }
+    p.taskwait();
+}
+
+/// Elements of the combine loop handled per task.
+pub const COMBINE_CHUNK: usize = 8192;
+
+/// Forward FFT of `x` (sequential).
+pub fn fft_serial<P: Probe>(p: &P, x: &mut [C64]) {
+    let plan = Plan::new(x.len());
+    let mut scratch = vec![C64::ZERO; x.len()];
+    fft_rec(p, x, &mut scratch, &plan, false);
+}
+
+/// Inverse FFT of `x` (sequential), including the 1/n normalisation.
+pub fn ifft_serial<P: Probe>(p: &P, x: &mut [C64]) {
+    let plan = Plan::new(x.len());
+    let mut scratch = vec![C64::ZERO; x.len()];
+    fft_rec(p, x, &mut scratch, &plan, true);
+    let k = 1.0 / x.len() as f64;
+    for v in x.iter_mut() {
+        *v = v.scale(k);
+    }
+}
+
+/// Direct O(n²) DFT — the independent reference for verification.
+pub fn dft_naive(x: &[C64]) -> Vec<C64> {
+    let n = x.len();
+    let step = -2.0 * std::f64::consts::PI / n as f64;
+    (0..n)
+        .map(|k| {
+            let mut acc = C64::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                acc += C64::cis(step * (k * j % n) as f64) * v;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_profile::NullProbe;
+
+    fn signal(n: usize) -> Vec<C64> {
+        bots_inputs::arrays::complex_signal(n, 77)
+            .into_iter()
+            .map(|(re, im)| C64::new(re, im))
+            .collect()
+    }
+
+    fn close(a: &[C64], b: &[C64], tol: f64) -> bool {
+        a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    #[test]
+    fn base_matches_naive() {
+        for n in [2usize, 4, 16, 64, 256] {
+            let mut x = signal(n);
+            let expect = dft_naive(&x);
+            let plan = Plan::new(n);
+            fft_base(&NullProbe, &mut x, &plan, false);
+            assert!(close(&x, &expect, 1e-8), "n={n}");
+        }
+    }
+
+    #[test]
+    fn recursion_matches_naive_above_base() {
+        let n = 2048;
+        let mut x = signal(n);
+        let expect = dft_naive(&x);
+        fft_serial(&NullProbe, &mut x);
+        assert!(close(&x, &expect, 1e-7));
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let n = 1 << 14;
+        let orig = signal(n);
+        let mut x = orig.clone();
+        fft_serial(&NullProbe, &mut x);
+        ifft_serial(&NullProbe, &mut x);
+        assert!(close(&x, &orig, 1e-9));
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 4096;
+        let orig = signal(n);
+        let mut x = orig.clone();
+        fft_serial(&NullProbe, &mut x);
+        let time_energy: f64 = orig.iter().map(|v| v.norm_sqr()).sum();
+        let freq_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-10);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 1024;
+        let a = signal(n);
+        let b: Vec<C64> = signal(n)
+            .into_iter()
+            .map(|v| v.scale(0.5) + C64::new(0.1, 0.0))
+            .collect();
+        let sum: Vec<C64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fsum = sum.clone();
+        fft_serial(&NullProbe, &mut fa);
+        fft_serial(&NullProbe, &mut fb);
+        fft_serial(&NullProbe, &mut fsum);
+        let combined: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(close(&fsum, &combined, 1e-8));
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let n = 512;
+        let mut x = vec![C64::ZERO; n];
+        x[0] = C64::ONE;
+        fft_serial(&NullProbe, &mut x);
+        assert!(x
+            .iter()
+            .all(|v| (v.re - 1.0).abs() < 1e-10 && v.im.abs() < 1e-10));
+    }
+}

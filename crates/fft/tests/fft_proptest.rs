@@ -1,0 +1,53 @@
+//! Property tests for FFT: round-trip recovery, Parseval energy
+//! conservation and serial/parallel bitwise agreement on arbitrary
+//! power-of-two signals.
+
+use bots_fft::{fft_parallel, fft_serial, ifft_serial, C64};
+use bots_profile::NullProbe;
+use bots_runtime::Runtime;
+use proptest::prelude::*;
+
+fn signal_strategy() -> impl Strategy<Value = Vec<C64>> {
+    (4u32..13)
+        .prop_flat_map(|log_n| {
+            proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1usize << log_n)
+        })
+        .prop_map(|pairs| pairs.into_iter().map(|(re, im)| C64::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_recovers_input(orig in signal_strategy()) {
+        let mut x = orig.clone();
+        fft_serial(&NullProbe, &mut x);
+        ifft_serial(&NullProbe, &mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn parseval_holds(orig in signal_strategy()) {
+        let mut x = orig.clone();
+        fft_serial(&NullProbe, &mut x);
+        let time: f64 = orig.iter().map(|v| v.norm_sqr()).sum();
+        let freq: f64 = x.iter().map(|v| v.norm_sqr()).sum::<f64>() / orig.len() as f64;
+        // Relative tolerance; signals can be near-zero so add an absolute floor.
+        prop_assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
+    }
+
+    #[test]
+    fn parallel_is_bitwise_serial(orig in signal_strategy(), threads in 1usize..5) {
+        let rt = Runtime::with_threads(threads);
+        let mut par = orig.clone();
+        let mut ser = orig;
+        fft_parallel(&rt, &mut par, threads % 2 == 0);
+        fft_serial(&NullProbe, &mut ser);
+        for (a, b) in par.iter().zip(&ser) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The `Benchmark` implementation wiring Fib into the suite.
+
+use bots_inputs::InputClass;
+use bots_profile::{CountingProbe, RawCounts};
+use bots_runtime::Runtime;
+use bots_suite::{
+    fnv1a_u64, BenchMeta, Benchmark, CutoffMode, RunOutput, Tiedness, Verification, VersionSpec,
+};
+
+use crate::parallel::{fib_parallel, FibMode};
+use crate::serial::{fib, fib_fast, fib_profiled};
+
+/// Problem size per input class.
+pub fn n_for(class: InputClass) -> u64 {
+    class.pick([20, 30, 40, 45])
+}
+
+/// Default manual/if-clause cut-off depth per class (deep enough to expose
+/// thousands of coarse tasks, shallow enough to bound overhead).
+pub fn cutoff_for(class: InputClass) -> u32 {
+    class.pick([6, 10, 12, 14])
+}
+
+/// Fib as a suite [`Benchmark`].
+#[derive(Debug, Default)]
+pub struct FibBench;
+
+impl Benchmark for FibBench {
+    fn meta(&self) -> BenchMeta {
+        BenchMeta {
+            name: "Fib",
+            origin: "-",
+            domain: "Integer",
+            structure: "At each node",
+            task_directives: 2,
+            tasks_inside: "single",
+            nested_tasks: true,
+            app_cutoff: "depth-based",
+        }
+    }
+
+    fn input_desc(&self, class: InputClass) -> String {
+        format!("{}", n_for(class))
+    }
+
+    fn versions(&self) -> Vec<VersionSpec> {
+        VersionSpec::matrix(false)
+    }
+
+    fn run_serial(&self, class: InputClass) -> RunOutput {
+        let v = fib(n_for(class));
+        RunOutput::new(fnv1a_u64(v), format!("fib({}) = {v}", n_for(class)))
+    }
+
+    fn run_parallel(&self, rt: &Runtime, class: InputClass, version: VersionSpec) -> RunOutput {
+        let mode = match version.cutoff {
+            CutoffMode::NoCutoff => FibMode::NoCutoff,
+            CutoffMode::IfClause => FibMode::IfClause,
+            CutoffMode::Manual => FibMode::Manual,
+        };
+        let untied = version.tiedness == Tiedness::Untied;
+        let v = fib_parallel(rt, n_for(class), mode, untied, cutoff_for(class));
+        RunOutput::new(fnv1a_u64(v), format!("fib({}) = {v}", n_for(class)))
+    }
+
+    fn verify(&self, class: InputClass, output: &RunOutput) -> Verification {
+        // Self-verification via an independent algorithm (fast doubling).
+        let want = fnv1a_u64(fib_fast(n_for(class)));
+        if output.checksum == want {
+            Verification::SelfChecked
+        } else {
+            Verification::Failed(format!(
+                "fib({}) mismatch: {}",
+                n_for(class),
+                output.summary
+            ))
+        }
+    }
+
+    fn characterize(&self, class: InputClass) -> RawCounts {
+        let p = CountingProbe::new();
+        fib_profiled(&p, n_for(class));
+        p.counts()
+    }
+
+    fn best_version(&self) -> VersionSpec {
+        // Fine-grain tasks need the manual cut-off to scale (paper §IV-B).
+        VersionSpec::default()
+            .cutoff(CutoffMode::Manual)
+            .tied(Tiedness::Untied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_run_verifies() {
+        let b = FibBench;
+        let out = b.run_serial(InputClass::Test);
+        assert_eq!(b.verify(InputClass::Test, &out), Verification::SelfChecked);
+    }
+
+    #[test]
+    fn parallel_versions_verify() {
+        let b = FibBench;
+        let rt = Runtime::with_threads(4);
+        for v in b.versions() {
+            let out = b.run_parallel(&rt, InputClass::Test, v);
+            assert_eq!(
+                b.verify(InputClass::Test, &out),
+                Verification::SelfChecked,
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_output_fails_verification() {
+        let b = FibBench;
+        let mut out = b.run_serial(InputClass::Test);
+        out.checksum ^= 1;
+        assert!(matches!(
+            b.verify(InputClass::Test, &out),
+            Verification::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn characterization_scales_with_class() {
+        let b = FibBench;
+        let t = b.characterize(InputClass::Test);
+        assert!(t.tasks > 10_000, "test class should still have many tasks");
+        assert_eq!(t.writes_private, 0, "fib writes only to parent stacks");
+        // The paper's signature: 100% non-private writes.
+        assert_eq!(t.writes_total(), t.writes_shared);
+    }
+
+    #[test]
+    fn meta_matches_table1() {
+        let m = FibBench.meta();
+        assert_eq!(m.task_directives, 2);
+        assert!(m.nested_tasks);
+        assert_eq!(m.app_cutoff, "depth-based");
+    }
+}

@@ -1,0 +1,27 @@
+//! # bots-fib — the BOTS Fibonacci kernel
+//!
+//! Computes the n-th Fibonacci number with a binary-recursive
+//! parallelisation: "a simple test case of a deep tree composed of very
+//! fine grain tasks" (paper §III-B). The interesting thing is never the
+//! number — it is how an implementation survives tens of millions of
+//! near-empty tasks, and how much the depth-based cut-offs (if-clause vs
+//! manual) recover.
+//!
+//! ```
+//! use bots_runtime::Runtime;
+//! use bots_fib::{fib_parallel, FibMode, fib_fast};
+//!
+//! let rt = Runtime::with_threads(4);
+//! let v = fib_parallel(&rt, 25, FibMode::Manual, false, 8);
+//! assert_eq!(v, fib_fast(25));
+//! ```
+
+#![warn(missing_docs)]
+
+mod bench;
+mod parallel;
+mod serial;
+
+pub use bench::{cutoff_for, n_for, FibBench};
+pub use parallel::{fib_parallel, FibMode};
+pub use serial::{fib, fib_fast, fib_profiled, ENV_BYTES};

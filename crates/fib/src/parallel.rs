@@ -1,0 +1,159 @@
+//! Task-parallel Fibonacci in the three cut-off styles of §III-A.
+//!
+//! Results flow to the parent through a shared slot on the parent task's
+//! frame, guarded by a `taskgroup` barrier (the OpenMP code uses shared
+//! variables + `taskwait`; see the runtime crate docs for why the Rust
+//! version needs the group's deep wait to make the borrow sound).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots_runtime::{Runtime, Scope, TaskAttrs};
+
+use crate::serial::fib;
+
+/// Which cut-off style to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FibMode {
+    /// Spawn at every node, unboundedly.
+    NoCutoff,
+    /// `if(depth < cutoff)` clause on every spawn.
+    IfClause,
+    /// Plain serial call beyond the cut-off depth.
+    Manual,
+}
+
+/// Computes `fib(n)` on `rt`.
+pub fn fib_parallel(rt: &Runtime, n: u64, mode: FibMode, untied: bool, cutoff: u32) -> u64 {
+    let attrs = TaskAttrs::default().with_tied(!untied);
+    rt.parallel(move |s| {
+        let out = AtomicU64::new(0);
+        match mode {
+            FibMode::NoCutoff => node_nocutoff(s, n, attrs, &out),
+            FibMode::IfClause => node_if(s, n, 0, cutoff, attrs, &out),
+            FibMode::Manual => node_manual(s, n, 0, cutoff, attrs, &out),
+        }
+        out.load(Ordering::Relaxed)
+    })
+}
+
+fn node_nocutoff(s: &Scope<'_>, n: u64, attrs: TaskAttrs, out: &AtomicU64) {
+    if n < 2 {
+        out.store(n, Ordering::Relaxed);
+        return;
+    }
+    let a = AtomicU64::new(0);
+    let b = AtomicU64::new(0);
+    s.taskgroup(|s| {
+        s.spawn_with(attrs, |s| node_nocutoff(s, n - 1, attrs, &a));
+        s.spawn_with(attrs, |s| node_nocutoff(s, n - 2, attrs, &b));
+    });
+    out.store(
+        a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+}
+
+fn node_if(s: &Scope<'_>, n: u64, depth: u32, cutoff: u32, attrs: TaskAttrs, out: &AtomicU64) {
+    if n < 2 {
+        out.store(n, Ordering::Relaxed);
+        return;
+    }
+    // The condition travels on the task attributes: when it is false the
+    // runtime runs the child inline but still performs task bookkeeping.
+    let attrs_here = attrs.with_if(depth < cutoff);
+    let a = AtomicU64::new(0);
+    let b = AtomicU64::new(0);
+    s.taskgroup(|s| {
+        s.spawn_with(attrs_here, |s| {
+            node_if(s, n - 1, depth + 1, cutoff, attrs, &a)
+        });
+        s.spawn_with(attrs_here, |s| {
+            node_if(s, n - 2, depth + 1, cutoff, attrs, &b)
+        });
+    });
+    out.store(
+        a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+}
+
+fn node_manual(s: &Scope<'_>, n: u64, depth: u32, cutoff: u32, attrs: TaskAttrs, out: &AtomicU64) {
+    if n < 2 {
+        out.store(n, Ordering::Relaxed);
+        return;
+    }
+    if depth >= cutoff {
+        // The runtime never sees anything below this point.
+        out.store(fib(n), Ordering::Relaxed);
+        return;
+    }
+    let a = AtomicU64::new(0);
+    let b = AtomicU64::new(0);
+    s.taskgroup(|s| {
+        s.spawn_with(attrs, |s| {
+            node_manual(s, n - 1, depth + 1, cutoff, attrs, &a)
+        });
+        s.spawn_with(attrs, |s| {
+            node_manual(s, n - 2, depth + 1, cutoff, attrs, &b)
+        });
+    });
+    out.store(
+        a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::fib_fast;
+
+    #[test]
+    fn all_modes_agree_with_reference() {
+        let rt = Runtime::with_threads(4);
+        for mode in [FibMode::NoCutoff, FibMode::IfClause, FibMode::Manual] {
+            for untied in [false, true] {
+                let got = fib_parallel(&rt, 18, mode, untied, 6);
+                assert_eq!(got, fib_fast(18), "mode={mode:?} untied={untied}");
+            }
+        }
+    }
+
+    #[test]
+    fn manual_cutoff_hides_tasks_from_runtime() {
+        let rt = Runtime::with_threads(2);
+        let before = rt.stats();
+        fib_parallel(&rt, 16, FibMode::Manual, false, 3);
+        let manual = rt.stats().since(&before);
+
+        let before = rt.stats();
+        fib_parallel(&rt, 16, FibMode::IfClause, false, 3);
+        let ifc = rt.stats().since(&before);
+
+        // Same depth bound: the deferred-task counts match, but the
+        // if-clause version reports every pruned task to the runtime while
+        // the manual version reports none.
+        assert_eq!(manual.spawned, ifc.spawned);
+        assert_eq!(manual.inlined_if, 0);
+        assert!(ifc.inlined_if > 0);
+        assert!(ifc.creation_points() > manual.creation_points());
+    }
+
+    #[test]
+    fn cutoff_zero_serialises_everything() {
+        let rt = Runtime::with_threads(4);
+        let before = rt.stats();
+        let got = fib_parallel(&rt, 15, FibMode::Manual, false, 0);
+        assert_eq!(got, fib_fast(15));
+        assert_eq!(rt.stats().since(&before).spawned, 0);
+    }
+
+    #[test]
+    fn single_thread_still_correct() {
+        let rt = Runtime::with_threads(1);
+        assert_eq!(
+            fib_parallel(&rt, 17, FibMode::NoCutoff, false, 0),
+            fib_fast(17)
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Serial Fibonacci: the reference run and the instrumented
+//! characterisation run.
+//!
+//! "While not representative of an efficient fibonacci computation it is
+//! still useful because it is a simple test case of a deep tree composed of
+//! very fine grain tasks" (§III-B). The instrumented variant emits exactly
+//! the events the parallel no-cutoff version would generate: one potential
+//! task per recursive call, one addition and one write to the parent's
+//! result slot per internal node, and one taskwait per internal node.
+
+use bots_profile::Probe;
+
+/// Plain recursive Fibonacci (the timing reference).
+pub fn fib(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib(n - 1) + fib(n - 2)
+    }
+}
+
+/// Bytes the parallel version captures per task: `n` plus the parent result
+/// slot pointer.
+pub const ENV_BYTES: u64 = 16;
+
+/// Instrumented recursion mirroring the task version's event stream.
+pub fn fib_profiled<P: Probe>(p: &P, n: u64) -> u64 {
+    if n < 2 {
+        // Leaf: still writes its result to the parent's slot.
+        p.write_shared(1);
+        return n;
+    }
+    p.task(ENV_BYTES);
+    p.task(ENV_BYTES);
+    let a = fib_profiled(p, n - 1);
+    let b = fib_profiled(p, n - 2);
+    p.taskwait();
+    p.ops(1);
+    p.write_shared(1); // result goes to the parent task's stack
+    a + b
+}
+
+/// Fast-doubling Fibonacci: an independent O(log n) algorithm used for
+/// self-verification of the recursive kernels.
+pub fn fib_fast(n: u64) -> u64 {
+    fn go(n: u64) -> (u64, u64) {
+        // Returns (F(n), F(n+1)).
+        if n == 0 {
+            return (0, 1);
+        }
+        let (a, b) = go(n / 2);
+        let c = a.wrapping_mul(b.wrapping_mul(2).wrapping_sub(a));
+        let d = a.wrapping_mul(a).wrapping_add(b.wrapping_mul(b));
+        if n % 2 == 0 {
+            (c, d)
+        } else {
+            (d, c.wrapping_add(d))
+        }
+    }
+    go(n).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_profile::{CountingProbe, NullProbe};
+
+    #[test]
+    fn known_values() {
+        let expect = [0u64, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55];
+        for (n, &want) in expect.iter().enumerate() {
+            assert_eq!(fib(n as u64), want);
+        }
+    }
+
+    #[test]
+    fn fast_doubling_matches_recursion() {
+        for n in 0..30 {
+            assert_eq!(fib_fast(n), fib(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fast_doubling_known_large() {
+        assert_eq!(fib_fast(50), 12_586_269_025);
+        assert_eq!(fib_fast(90), 2_880_067_194_370_816_120);
+    }
+
+    #[test]
+    fn profiled_matches_plain() {
+        assert_eq!(fib_profiled(&NullProbe, 20), fib(20));
+    }
+
+    #[test]
+    fn profile_counts_match_structure() {
+        // fib call tree for n: internal nodes I(n) and leaves L(n) satisfy
+        // L(n) = fib(n+1), I(n) = fib(n+1) - 1, total calls = 2*fib(n+1)-1.
+        let p = CountingProbe::new();
+        let n = 12;
+        fib_profiled(&p, n);
+        let c = p.counts();
+        let leaves = fib(n + 1);
+        let internals = leaves - 1;
+        // Every call except the root arrives via a task() creation point.
+        assert_eq!(c.tasks, 2 * leaves - 2);
+        assert_eq!(c.taskwaits, internals);
+        assert_eq!(c.ops, internals);
+        // Every call writes its result once (to the parent's stack).
+        assert_eq!(c.writes_shared, leaves + internals);
+        assert_eq!(c.writes_private, 0);
+        // The paper's headline fib ratios: ~2.5 ops/task, 0.5 taskwaits/task,
+        // 100% non-private writes — ops/task here is I/(2L-2) ≈ 0.5 because
+        // we count pure additions only; writes are 100% non-private as in
+        // the paper.
+        assert_eq!(c.writes_private, 0);
+        assert_eq!(c.env_bytes, (2 * leaves - 2) * ENV_BYTES);
+    }
+}

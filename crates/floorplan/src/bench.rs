@@ -1,0 +1,131 @@
+//! `Benchmark` wiring for Floorplan.
+
+use bots_inputs::InputClass;
+use bots_profile::{CountingProbe, NullProbe, RawCounts};
+use bots_runtime::Runtime;
+use bots_suite::{
+    fnv1a_u64, BenchMeta, Benchmark, CutoffMode, RunOutput, Tiedness, Verification, VersionSpec,
+};
+
+use crate::model::generate_cells;
+use crate::search::{search_parallel, search_serial, FloorplanMode};
+
+/// Cell count per class (the paper's medium uses 20 shapes; this
+/// generator's instances branch harder, so the counts are scaled to keep
+/// medium in the seconds range).
+pub fn cells_for(class: InputClass) -> usize {
+    class.pick([7, 12, 14, 15])
+}
+
+/// Cut-off depth per class.
+pub fn cutoff_for(class: InputClass) -> u32 {
+    class.pick([3, 4, 5, 5])
+}
+
+const SEED: u64 = 0xF100_4711;
+
+/// Floorplan as a suite [`Benchmark`].
+#[derive(Debug, Default)]
+pub struct FloorplanBench;
+
+impl Benchmark for FloorplanBench {
+    fn meta(&self) -> BenchMeta {
+        BenchMeta {
+            name: "Floorplan",
+            origin: "AKM",
+            domain: "Optimization",
+            structure: "At each node",
+            task_directives: 1,
+            tasks_inside: "single",
+            nested_tasks: true,
+            app_cutoff: "depth-based",
+        }
+    }
+
+    fn input_desc(&self, class: InputClass) -> String {
+        format!("{} cells", cells_for(class))
+    }
+
+    fn versions(&self) -> Vec<VersionSpec> {
+        VersionSpec::matrix(false)
+    }
+
+    fn run_serial(&self, class: InputClass) -> RunOutput {
+        let cells = generate_cells(cells_for(class), SEED);
+        let r = search_serial(&NullProbe, &cells);
+        RunOutput::with_work(
+            fnv1a_u64(r.min_area as u64),
+            r.nodes,
+            format!("min area {} in {} nodes", r.min_area, r.nodes),
+        )
+    }
+
+    fn run_parallel(&self, rt: &Runtime, class: InputClass, version: VersionSpec) -> RunOutput {
+        let cells = generate_cells(cells_for(class), SEED);
+        let mode = match version.cutoff {
+            CutoffMode::NoCutoff => FloorplanMode::NoCutoff,
+            CutoffMode::IfClause => FloorplanMode::IfClause,
+            CutoffMode::Manual => FloorplanMode::Manual,
+        };
+        let untied = version.tiedness == Tiedness::Untied;
+        let r = search_parallel(rt, &cells, mode, untied, cutoff_for(class));
+        // The checksum covers the deterministic optimum; the node count is
+        // the work metric (indeterministic under parallel pruning — the
+        // paper's point).
+        RunOutput::with_work(
+            fnv1a_u64(r.min_area as u64),
+            r.nodes,
+            format!("min area {} in {} nodes", r.min_area, r.nodes),
+        )
+    }
+
+    fn verify(&self, _class: InputClass, _output: &RunOutput) -> Verification {
+        // Branch and bound always finds the optimum: compare the minimum
+        // area against the serial run.
+        Verification::AgainstSerial
+    }
+
+    fn characterize(&self, class: InputClass) -> RawCounts {
+        let cells = generate_cells(cells_for(class), SEED);
+        let p = CountingProbe::new();
+        search_serial(&p, &cells);
+        p.counts()
+    }
+
+    fn best_version(&self) -> VersionSpec {
+        // Figure 3: "floorplan (manual-untied)".
+        VersionSpec::default()
+            .cutoff(CutoffMode::Manual)
+            .tied(Tiedness::Untied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_suite::runner;
+
+    #[test]
+    fn all_versions_verify_on_test_class() {
+        let b = FloorplanBench;
+        let rt = Runtime::with_threads(4);
+        for v in b.versions() {
+            let out = b.run_parallel(&rt, InputClass::Test, v);
+            runner::verify(&b, InputClass::Test, &out).unwrap();
+        }
+    }
+
+    #[test]
+    fn characterization_has_fat_environments() {
+        let c = FloorplanBench.characterize(InputClass::Test);
+        // Floorplan's signature: kilobytes captured per task (paper ≈5 KB).
+        let env_per_task = c.env_bytes as f64 / c.tasks as f64;
+        assert!(env_per_task > 1000.0, "env bytes/task = {env_per_task}");
+    }
+
+    #[test]
+    fn work_metric_is_reported() {
+        let out = FloorplanBench.run_serial(InputClass::Test);
+        assert!(out.work.unwrap() > 0);
+    }
+}

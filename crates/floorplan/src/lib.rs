@@ -1,0 +1,29 @@
+//! # bots-floorplan — the BOTS Floorplan kernel
+//!
+//! Optimal floorplanning by branch and bound: place cells with alternative
+//! shapes on a 64×64 grid, minimising the bounding-box area, pruning
+//! branches that cannot beat the best-known area. Each branch task carries
+//! a copy of the whole board state — the biggest captured environment in
+//! the suite — and the aggressive pruning makes the search tree heavily
+//! unbalanced and the parallel node count indeterministic, which is why
+//! the suite measures this kernel in **nodes per second** (§III-B).
+//!
+//! ```
+//! use bots_runtime::Runtime;
+//! use bots_floorplan::{generate_cells, search_parallel, search_serial, FloorplanMode};
+//!
+//! let cells = generate_cells(6, 42);
+//! let serial = search_serial(&bots_profile::NullProbe, &cells);
+//! let rt = Runtime::with_threads(2);
+//! let par = search_parallel(&rt, &cells, FloorplanMode::Manual, false, 3);
+//! assert_eq!(par.min_area, serial.min_area); // optimum is deterministic
+//! ```
+#![warn(missing_docs)]
+
+mod bench;
+mod model;
+mod search;
+
+pub use bench::{cells_for, cutoff_for, FloorplanBench};
+pub use model::{generate_cells, Cell, Place, Shape, COLS, ROWS};
+pub use search::{search_parallel, search_serial, FloorplanMode, SearchResult};

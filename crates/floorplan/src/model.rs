@@ -1,0 +1,242 @@
+//! The floorplanning model: a fixed grid board, cells with alternative
+//! shapes, and candidate-position enumeration.
+//!
+//! Shape of the original AKM kernel: cells are placed one at a time onto a
+//! 64×64 grid; each cell offers a handful of alternative dimensions; the
+//! candidate positions of a cell are derived from the cell placed before it
+//! (abutting it below or to the right, sliding along the shared edge); the
+//! objective is the minimum bounding-box area; branches whose partial area
+//! already reaches the best-known area are pruned. Because cells carry
+//! their whole board state into each branch, the per-task captured
+//! environment is kilobytes — the largest in the suite (Table II).
+
+use bots_inputs::Rng;
+
+/// Board rows (as in the original kernel).
+pub const ROWS: usize = 64;
+/// Board columns.
+pub const COLS: usize = 64;
+
+/// Occupancy grid, one byte per board unit (the per-task state copy).
+pub type Board = Box<[u8; ROWS * COLS]>;
+
+/// Fresh empty board.
+pub fn empty_board() -> Board {
+    vec![0u8; ROWS * COLS]
+        .into_boxed_slice()
+        .try_into()
+        .expect("sized")
+}
+
+/// One placement alternative: height (rows) × width (cols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Rows the shape spans.
+    pub h: u8,
+    /// Columns the shape spans.
+    pub w: u8,
+}
+
+/// A cell to place: a small set of alternative shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Alternative shapes (1..=4 of them).
+    pub alts: Vec<Shape>,
+}
+
+/// A committed placement (inclusive coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Place {
+    /// Top row.
+    pub top: u8,
+    /// Bottom row.
+    pub bot: u8,
+    /// Left column.
+    pub lhs: u8,
+    /// Right column.
+    pub rhs: u8,
+}
+
+impl Place {
+    /// Area of the bounding box that contains this placement and `other`.
+    pub fn union_area(placements: &[Place]) -> u32 {
+        let bot = placements.iter().map(|p| p.bot).max().unwrap_or(0) as u32;
+        let rhs = placements.iter().map(|p| p.rhs).max().unwrap_or(0) as u32;
+        (bot + 1) * (rhs + 1)
+    }
+}
+
+/// Deterministic problem instance: `count` cells with 1-4 alternative
+/// shapes each, dimensions in `[1, 8]`.
+pub fn generate_cells(count: usize, seed: u64) -> Vec<Cell> {
+    let root = Rng::new(seed);
+    (0..count)
+        .map(|i| {
+            let mut rng = root.derive(i as u64);
+            let nalts = 1 + rng.below(4) as usize;
+            let alts = (0..nalts)
+                .map(|_| {
+                    let h = 1 + rng.below(8) as u8;
+                    let w = 1 + rng.below(8) as u8;
+                    Shape { h, w }
+                })
+                .collect();
+            Cell { alts }
+        })
+        .collect()
+}
+
+/// Candidate top-left positions for a `shape` placed relative to the
+/// previous cell's placement `prev`: abutting below (sliding horizontally
+/// along `prev`'s span) or abutting right (sliding vertically).
+pub fn candidate_positions(prev: &Place, shape: Shape, out: &mut Vec<(u8, u8)>) {
+    out.clear();
+    let h = shape.h as i32;
+    let w = shape.w as i32;
+    // Below prev: top row fixed at prev.bot+1.
+    let top = prev.bot as i32 + 1;
+    if top + h - 1 < ROWS as i32 {
+        let lo = (prev.lhs as i32 - w + 1).max(0);
+        let hi = (prev.rhs as i32).min(COLS as i32 - w);
+        for col in lo..=hi {
+            out.push((top as u8, col as u8));
+        }
+    }
+    // Right of prev: left column fixed at prev.rhs+1.
+    let lhs = prev.rhs as i32 + 1;
+    if lhs + w - 1 < COLS as i32 {
+        let lo = (prev.top as i32 - h + 1).max(0);
+        let hi = (prev.bot as i32).min(ROWS as i32 - h);
+        for row in lo..=hi {
+            out.push((row as u8, lhs as u8));
+        }
+    }
+}
+
+/// Tries to mark `shape` at `(top, lhs)` on the board; returns the
+/// placement if the region was free, leaving the board untouched on
+/// failure. `ops` counts the grid cells examined (for instrumentation).
+pub fn lay_down(board: &mut Board, top: u8, lhs: u8, shape: Shape, ops: &mut u64) -> Option<Place> {
+    let (t, l) = (top as usize, lhs as usize);
+    let (h, w) = (shape.h as usize, shape.w as usize);
+    debug_assert!(t + h <= ROWS && l + w <= COLS);
+    for r in t..t + h {
+        for c in l..l + w {
+            *ops += 1;
+            if board[r * COLS + c] != 0 {
+                // Roll back what we marked so far.
+                for rr in t..=r {
+                    let cend = if rr == r { c } else { l + w };
+                    for cc in l..cend {
+                        board[rr * COLS + cc] = 0;
+                    }
+                }
+                return None;
+            }
+            board[r * COLS + c] = 1;
+        }
+    }
+    Some(Place {
+        top,
+        bot: (t + h - 1) as u8,
+        lhs,
+        rhs: (l + w - 1) as u8,
+    })
+}
+
+/// Clears a placement from the board (undo for the serial recursion).
+pub fn lift(board: &mut Board, p: Place) {
+    for r in p.top as usize..=p.bot as usize {
+        for c in p.lhs as usize..=p.rhs as usize {
+            board[r * COLS + c] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_and_bounded() {
+        let a = generate_cells(10, 42);
+        let b = generate_cells(10, 42);
+        assert_eq!(a, b);
+        for cell in &a {
+            assert!((1..=4).contains(&cell.alts.len()));
+            for s in &cell.alts {
+                assert!((1..=8).contains(&s.h) && (1..=8).contains(&s.w));
+            }
+        }
+    }
+
+    #[test]
+    fn lay_down_and_lift_roundtrip() {
+        let mut board = empty_board();
+        let mut ops = 0;
+        let shape = Shape { h: 3, w: 4 };
+        let p = lay_down(&mut board, 2, 5, shape, &mut ops).unwrap();
+        assert_eq!(
+            p,
+            Place {
+                top: 2,
+                bot: 4,
+                lhs: 5,
+                rhs: 8
+            }
+        );
+        assert_eq!(board.iter().filter(|&&b| b != 0).count(), 12);
+        lift(&mut board, p);
+        assert!(board.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn lay_down_detects_overlap_and_rolls_back() {
+        let mut board = empty_board();
+        let mut ops = 0;
+        let s = Shape { h: 2, w: 2 };
+        let p1 = lay_down(&mut board, 0, 0, s, &mut ops).unwrap();
+        assert!(lay_down(&mut board, 1, 1, s, &mut ops).is_none());
+        // Rollback must leave only the first placement.
+        assert_eq!(board.iter().filter(|&&b| b != 0).count(), 4);
+        lift(&mut board, p1);
+        assert!(board.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn candidates_abut_previous_cell() {
+        let prev = Place {
+            top: 0,
+            bot: 3,
+            lhs: 0,
+            rhs: 3,
+        };
+        let mut cands = Vec::new();
+        candidate_positions(&prev, Shape { h: 2, w: 2 }, &mut cands);
+        assert!(!cands.is_empty());
+        for &(r, c) in &cands {
+            let below = r == prev.bot + 1 && c <= prev.rhs + 1;
+            let right = c == prev.rhs + 1;
+            assert!(below || right, "({r},{c}) does not abut {prev:?}");
+        }
+    }
+
+    #[test]
+    fn union_area_of_placements() {
+        let ps = [
+            Place {
+                top: 0,
+                bot: 3,
+                lhs: 0,
+                rhs: 3,
+            },
+            Place {
+                top: 4,
+                bot: 5,
+                lhs: 0,
+                rhs: 7,
+            },
+        ];
+        assert_eq!(Place::union_area(&ps), 6 * 8);
+    }
+}

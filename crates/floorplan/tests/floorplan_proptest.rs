@@ -1,0 +1,49 @@
+//! Property tests for Floorplan: the optimum must be invariant across
+//! modes, team sizes and repeated runs; areas must be physically plausible.
+
+use bots_floorplan::{generate_cells, search_parallel, search_serial, FloorplanMode};
+use bots_profile::NullProbe;
+use bots_runtime::Runtime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn optimum_is_invariant(
+        count in 2usize..6,
+        seed in any::<u64>(),
+        threads in 1usize..5,
+        mode_pick in 0u8..3,
+        untied in any::<bool>(),
+        cutoff in 0u32..4,
+    ) {
+        let cells = generate_cells(count, seed);
+        let serial = search_serial(&NullProbe, &cells);
+        let mode = match mode_pick {
+            0 => FloorplanMode::NoCutoff,
+            1 => FloorplanMode::IfClause,
+            _ => FloorplanMode::Manual,
+        };
+        let rt = Runtime::with_threads(threads);
+        let par = search_parallel(&rt, &cells, mode, untied, cutoff);
+        prop_assert_eq!(par.min_area, serial.min_area);
+    }
+
+    #[test]
+    fn optimum_area_bounds(count in 1usize..6, seed in any::<u64>()) {
+        let cells = generate_cells(count, seed);
+        let r = search_serial(&NullProbe, &cells);
+        if r.min_area != u32::MAX {
+            // At least the total cell area must fit inside the best
+            // bounding box (no overlaps allowed).
+            let min_cells_area: u32 = cells
+                .iter()
+                .map(|c| c.alts.iter().map(|s| s.h as u32 * s.w as u32).min().unwrap())
+                .sum();
+            prop_assert!(r.min_area >= min_cells_area,
+                "bounding box {} below total cell area {}", r.min_area, min_cells_area);
+            prop_assert!(r.min_area <= 64 * 64);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Arena-backed doubly-linked patient lists.
+//!
+//! The Olden `health` kernel is a pointer-chasing, allocation-heavy
+//! simulation built on doubly-linked lists. A Rust translation with
+//! `Box`-per-node doubly-linked lists would be all `unsafe`; instead each
+//! village owns a slab arena of patient nodes and the hospital lists link
+//! node *indices*. This keeps the list traversal + unlink/append flavour
+//! (and the per-village memory locality the paper's Table II discussion
+//! cares about) in safe code.
+
+/// Handle to a patient node within one arena.
+pub type NodeId = u32;
+
+const NIL: u32 = u32::MAX;
+
+/// One patient's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Patient {
+    /// Simulation ticks left in the current hospital list.
+    pub remaining: u32,
+    /// Hospitals this patient has entered.
+    pub hosps_visited: u32,
+    /// Total ticks spent in hospitals so far.
+    pub time_in_system: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    patient: Patient,
+    prev: u32,
+    next: u32,
+    /// Guards against double-free/misuse in debug builds.
+    live: bool,
+}
+
+/// Slab arena of patient nodes with an internal free list.
+#[derive(Debug, Default)]
+pub struct Arena {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+}
+
+impl Arena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Arena::default()
+    }
+
+    /// Allocates a node, reusing freed slots first.
+    pub fn alloc(&mut self, patient: Patient) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = Node {
+                patient,
+                prev: NIL,
+                next: NIL,
+                live: true,
+            };
+            id
+        } else {
+            self.nodes.push(Node {
+                patient,
+                prev: NIL,
+                next: NIL,
+                live: true,
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Releases a node back to the free list, returning its payload.
+    pub fn release(&mut self, id: NodeId) -> Patient {
+        let node = &mut self.nodes[id as usize];
+        debug_assert!(node.live, "release of dead node");
+        node.live = false;
+        self.free.push(id);
+        node.patient
+    }
+
+    /// Payload accessor.
+    pub fn patient(&self, id: NodeId) -> &Patient {
+        debug_assert!(self.nodes[id as usize].live);
+        &self.nodes[id as usize].patient
+    }
+
+    /// Mutable payload accessor.
+    pub fn patient_mut(&mut self, id: NodeId) -> &mut Patient {
+        debug_assert!(self.nodes[id as usize].live);
+        &mut self.nodes[id as usize].patient
+    }
+
+    /// Live node count (O(capacity); diagnostics only).
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.live).count()
+    }
+}
+
+/// A doubly-linked list of nodes within some arena. The list itself holds
+/// no arena reference — operations take `&mut Arena` — so a village can own
+/// one arena and several lists over it.
+#[derive(Debug, Clone, Copy)]
+pub struct List {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl Default for List {
+    fn default() -> Self {
+        List::new()
+    }
+}
+
+impl List {
+    /// Empty list.
+    pub const fn new() -> Self {
+        List {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First node, if any.
+    pub fn head(&self) -> Option<NodeId> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    /// Node after `id`.
+    pub fn next(&self, arena: &Arena, id: NodeId) -> Option<NodeId> {
+        let n = arena.nodes[id as usize].next;
+        (n != NIL).then_some(n)
+    }
+
+    /// Appends a node at the tail.
+    pub fn push_back(&mut self, arena: &mut Arena, id: NodeId) {
+        let node = &mut arena.nodes[id as usize];
+        debug_assert!(node.live);
+        node.prev = self.tail;
+        node.next = NIL;
+        if self.tail != NIL {
+            arena.nodes[self.tail as usize].next = id;
+        } else {
+            self.head = id;
+        }
+        self.tail = id;
+        self.len += 1;
+    }
+
+    /// Unlinks a node (which stays allocated).
+    pub fn unlink(&mut self, arena: &mut Arena, id: NodeId) {
+        let (prev, next) = {
+            let n = &arena.nodes[id as usize];
+            debug_assert!(n.live);
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            arena.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            arena.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        let n = &mut arena.nodes[id as usize];
+        n.prev = NIL;
+        n.next = NIL;
+        self.len -= 1;
+    }
+
+    /// Removes the head, returning it.
+    pub fn pop_front(&mut self, arena: &mut Arena) -> Option<NodeId> {
+        let id = self.head();
+        if let Some(id) = id {
+            self.unlink(arena, id);
+        }
+        id
+    }
+
+    /// Walks the list front to back, collecting ids (the traversal pattern
+    /// of the simulation loop; collect-then-mutate keeps borrows simple).
+    pub fn ids(&self, arena: &Arena) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(cur);
+            cur = arena.nodes[cur as usize].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_reuses_slots() {
+        let mut a = Arena::new();
+        let id1 = a.alloc(Patient::default());
+        a.release(id1);
+        let id2 = a.alloc(Patient {
+            remaining: 5,
+            ..Default::default()
+        });
+        assert_eq!(id1, id2, "freed slot must be reused");
+        assert_eq!(a.patient(id2).remaining, 5);
+        assert_eq!(a.live_count(), 1);
+    }
+
+    #[test]
+    fn push_and_walk_order() {
+        let mut a = Arena::new();
+        let mut l = List::new();
+        let ids: Vec<_> = (0..5u32)
+            .map(|i| {
+                let id = a.alloc(Patient {
+                    remaining: i,
+                    ..Default::default()
+                });
+                l.push_back(&mut a, id);
+                id
+            })
+            .collect();
+        assert_eq!(l.ids(&a), ids);
+        assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn unlink_middle_head_tail() {
+        let mut a = Arena::new();
+        let mut l = List::new();
+        let ids: Vec<_> = (0..4u32)
+            .map(|_| {
+                let id = a.alloc(Patient::default());
+                l.push_back(&mut a, id);
+                id
+            })
+            .collect();
+        l.unlink(&mut a, ids[1]); // middle
+        assert_eq!(l.ids(&a), vec![ids[0], ids[2], ids[3]]);
+        l.unlink(&mut a, ids[0]); // head
+        assert_eq!(l.ids(&a), vec![ids[2], ids[3]]);
+        l.unlink(&mut a, ids[3]); // tail
+        assert_eq!(l.ids(&a), vec![ids[2]]);
+        l.unlink(&mut a, ids[2]); // last
+        assert!(l.is_empty());
+        assert_eq!(l.ids(&a), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn pop_front_is_fifo() {
+        let mut a = Arena::new();
+        let mut l = List::new();
+        for i in 0..3u32 {
+            let id = a.alloc(Patient {
+                remaining: i,
+                ..Default::default()
+            });
+            l.push_back(&mut a, id);
+        }
+        let mut seen = Vec::new();
+        while let Some(id) = l.pop_front(&mut a) {
+            seen.push(a.release(id).remaining);
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn relink_after_unlink() {
+        let mut a = Arena::new();
+        let mut l1 = List::new();
+        let mut l2 = List::new();
+        let id = a.alloc(Patient::default());
+        l1.push_back(&mut a, id);
+        l1.unlink(&mut a, id);
+        l2.push_back(&mut a, id);
+        assert!(l1.is_empty());
+        assert_eq!(l2.ids(&a), vec![id]);
+    }
+}

@@ -1,0 +1,126 @@
+//! `Benchmark` wiring for Health.
+
+use bots_inputs::InputClass;
+use bots_profile::{CountingProbe, NullProbe, RawCounts};
+use bots_runtime::Runtime;
+use bots_suite::{
+    BenchMeta, Benchmark, CutoffMode, RunOutput, Tiedness, Verification, VersionSpec,
+};
+
+use crate::sim::{simulate_parallel, simulate_serial, HealthMode};
+use crate::village::{build_tree, Params};
+
+/// Parameters per class: deeper trees and longer horizons as the class
+/// grows (paper's medium is a 4-deep hierarchy).
+pub fn params_for(class: InputClass) -> Params {
+    let mut p = Params::base();
+    p.levels = class.pick([3, 4, 5, 6]);
+    p.sim_time = class.pick([100, 300, 1000, 1500]);
+    p
+}
+
+/// Cut-off level per class (villages at or below this level simulate
+/// serially in the manual version).
+pub fn cutoff_for(class: InputClass) -> u32 {
+    class.pick([1, 2, 2, 3])
+}
+
+/// Health as a suite [`Benchmark`].
+#[derive(Debug, Default)]
+pub struct HealthBench;
+
+impl Benchmark for HealthBench {
+    fn meta(&self) -> BenchMeta {
+        BenchMeta {
+            name: "Health",
+            origin: "Olden",
+            domain: "Simulation",
+            structure: "At each node",
+            task_directives: 1,
+            tasks_inside: "single",
+            nested_tasks: true,
+            app_cutoff: "depth-based",
+        }
+    }
+
+    fn input_desc(&self, class: InputClass) -> String {
+        let p = params_for(class);
+        format!("{} levels, {} villages", p.levels, p.total_villages())
+    }
+
+    fn versions(&self) -> Vec<VersionSpec> {
+        VersionSpec::matrix(false)
+    }
+
+    fn run_serial(&self, class: InputClass) -> RunOutput {
+        let params = params_for(class);
+        let mut tree = build_tree(&params);
+        let stats = simulate_serial(&NullProbe, &params, &mut tree);
+        RunOutput::new(stats.digest(), format!("{stats:?}"))
+    }
+
+    fn run_parallel(&self, rt: &Runtime, class: InputClass, version: VersionSpec) -> RunOutput {
+        let params = params_for(class);
+        let mut tree = build_tree(&params);
+        let mode = match version.cutoff {
+            CutoffMode::NoCutoff => HealthMode::NoCutoff,
+            CutoffMode::IfClause => HealthMode::IfClause,
+            CutoffMode::Manual => HealthMode::Manual,
+        };
+        let untied = version.tiedness == Tiedness::Untied;
+        let stats = simulate_parallel(rt, &params, &mut tree, mode, untied, cutoff_for(class));
+        RunOutput::new(stats.digest(), format!("{stats:?}"))
+    }
+
+    fn verify(&self, _class: InputClass, _output: &RunOutput) -> Verification {
+        // Per-village seeds + ordered merges make the simulation exactly
+        // deterministic: compare against the serial statistics.
+        Verification::AgainstSerial
+    }
+
+    fn characterize(&self, class: InputClass) -> RawCounts {
+        let params = params_for(class);
+        let mut tree = build_tree(&params);
+        let p = CountingProbe::new();
+        simulate_serial(&p, &params, &mut tree);
+        p.counts()
+    }
+
+    fn best_version(&self) -> VersionSpec {
+        // Figure 3: "health (manual-tied)".
+        VersionSpec::default().cutoff(CutoffMode::Manual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_suite::runner;
+
+    #[test]
+    fn all_versions_verify_on_test_class() {
+        let b = HealthBench;
+        let rt = Runtime::with_threads(4);
+        for v in b.versions() {
+            let out = b.run_parallel(&rt, InputClass::Test, v);
+            runner::verify(&b, InputClass::Test, &out).unwrap();
+        }
+    }
+
+    #[test]
+    fn characterization_mixes_private_and_shared() {
+        let c = HealthBench.characterize(InputClass::Test);
+        // Paper: 12.33% non-private writes — mostly local list surgery with
+        // some cross-village hand-offs.
+        let pct = 100.0 * c.writes_shared as f64 / c.writes_total() as f64;
+        assert!(pct > 0.0 && pct < 50.0, "non-private % = {pct}");
+        assert!(c.tasks > 0);
+    }
+
+    #[test]
+    fn input_desc_mentions_villages() {
+        assert!(HealthBench
+            .input_desc(InputClass::Test)
+            .contains("villages"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # bots-health — the BOTS Health kernel
+//!
+//! Simulates the Columbian Health Care System (via the Olden suite): a
+//! multilevel hierarchy of villages, each with a population and a hospital
+//! whose waiting / assessment / treatment lists are arena-backed linked
+//! lists. Every tick, residents fall ill, staff assess and treat, and some
+//! patients are reallocated to the next level up. A task simulates each
+//! village; children synchronise before their reallocations merge upward.
+//!
+//! Determinism (the paper's §III-B fix): each village owns its own RNG
+//! seed, so all probabilities inside a village are independent of task
+//! scheduling — serial and parallel statistics match exactly.
+//!
+//! ```
+//! use bots_runtime::Runtime;
+//! use bots_health::{build_tree, simulate_parallel, HealthMode, Params};
+//!
+//! let mut params = Params::base();
+//! params.levels = 3; params.sim_time = 50;
+//! let mut tree = build_tree(&params);
+//! let rt = Runtime::with_threads(2);
+//! let stats = simulate_parallel(&rt, &params, &mut tree, HealthMode::Manual, false, 1);
+//! assert!(stats.total_sick > 0);
+//! ```
+#![warn(missing_docs)]
+
+mod arena;
+mod bench;
+mod sim;
+mod village;
+
+pub use arena::{Arena, List, NodeId, Patient};
+pub use bench::{cutoff_for, params_for, HealthBench};
+pub use sim::{
+    collect_stats, local_step, merge_realloc, sim_step_serial, simulate_parallel, simulate_serial,
+    HealthMode,
+};
+pub use village::{build_tree, Params, Stats, Village, VillageData};

@@ -1,0 +1,329 @@
+//! The simulation proper: per-tick village dynamics, the serial driver and
+//! the task-parallel driver with the level-based cut-off.
+//!
+//! Determinism: every probabilistic decision draws from the *village's own*
+//! RNG (the paper's fix), decisions are taken in list order, and children's
+//! reallocation lists merge into the parent in child order after the
+//! synchronisation point — so serial and parallel runs produce identical
+//! statistics, which verification exploits.
+
+use bots_profile::Probe;
+use bots_runtime::{Runtime, Scope, TaskAttrs};
+
+use crate::arena::Patient;
+use crate::village::{Params, Stats, Village, VillageData};
+
+/// One tick of a village's local dynamics (hospital lists + population).
+pub fn local_step<P: Probe>(p: &P, params: &Params, v: &mut VillageData) {
+    // 1. Treatment beds: tick down, discharge the done.
+    for id in v.inside.ids(&v.arena) {
+        let patient = v.arena.patient_mut(id);
+        patient.remaining -= 1;
+        patient.time_in_system += 1;
+        if patient.remaining == 0 {
+            v.inside.unlink(&mut v.arena, id);
+            v.arena.release(id);
+            v.population += 1;
+            v.personnel_free += 1;
+            v.stats.discharged += 1;
+            p.write_private(4);
+        }
+        p.ops(2);
+        p.write_private(2);
+    }
+
+    // 2. Assessments: tick down; at zero decide what happens next.
+    for id in v.assess.ids(&v.arena) {
+        let patient = v.arena.patient_mut(id);
+        patient.remaining -= 1;
+        patient.time_in_system += 1;
+        p.ops(2);
+        p.write_private(2);
+        if patient.remaining == 0 {
+            v.assess.unlink(&mut v.arena, id);
+            let is_root = v.level == params_levels(params);
+            if !is_root && v.rng.chance(params.realloc_p) {
+                // Send upward; the staff member is freed here.
+                v.personnel_free += 1;
+                v.stats.reallocated += 1;
+                v.realloc_up.push_back(&mut v.arena, id);
+                p.write_shared(2); // parent-visible hand-off
+            } else if v.rng.chance(params.convalescence_p) {
+                // Keep the bed and the staff member for the treatment.
+                v.arena.patient_mut(id).remaining = params.convalescence_time;
+                v.inside.push_back(&mut v.arena, id);
+                p.write_private(2);
+            } else {
+                // Healthy after assessment.
+                v.arena.release(id);
+                v.population += 1;
+                v.personnel_free += 1;
+                v.stats.discharged += 1;
+                p.write_private(3);
+            }
+        }
+    }
+
+    // 3. Waiting room: staff pick up patients FIFO.
+    while v.personnel_free > 0 && !v.waiting.is_empty() {
+        let id = v.waiting.pop_front(&mut v.arena).expect("non-empty");
+        v.arena.patient_mut(id).remaining = params.assess_time;
+        v.assess.push_back(&mut v.arena, id);
+        v.personnel_free -= 1;
+        p.write_private(3);
+    }
+    for id in v.waiting.ids(&v.arena) {
+        v.arena.patient_mut(id).time_in_system += 1;
+        p.write_private(1);
+    }
+
+    // 4. Sickness: every healthy resident rolls the dice.
+    let healthy = v.population;
+    let mut fell_sick = 0u32;
+    for _ in 0..healthy {
+        if v.rng.chance(params.get_sick_p) {
+            fell_sick += 1;
+        }
+    }
+    p.ops(healthy as u64);
+    for _ in 0..fell_sick {
+        v.population -= 1;
+        v.stats.total_sick += 1;
+        let id = v.arena.alloc(Patient {
+            remaining: 0,
+            hosps_visited: 1,
+            time_in_system: 0,
+        });
+        v.waiting.push_back(&mut v.arena, id);
+        p.write_private(3);
+    }
+
+    // 5. Pressure statistics.
+    v.stats.waiting_ticks += v.waiting.len() as u64;
+    v.stats.assess_ticks += v.assess.len() as u64;
+    v.stats.inside_ticks += v.inside.len() as u64;
+    p.write_private(3);
+}
+
+// Root detection needs the configured tree height.
+fn params_levels(params: &Params) -> u32 {
+    params.levels
+}
+
+/// Moves everything a child reallocated upward into the parent's waiting
+/// list (in child order — determinism).
+pub fn merge_realloc<P: Probe>(p: &P, parent: &mut VillageData, child: &mut VillageData) {
+    while let Some(id) = child.realloc_up.pop_front(&mut child.arena) {
+        let mut patient = child.arena.release(id);
+        patient.hosps_visited += 1;
+        patient.remaining = 0;
+        let new_id = parent.arena.alloc(patient);
+        parent.waiting.push_back(&mut parent.arena, new_id);
+        p.write_shared(3);
+    }
+}
+
+/// One serial tick over the whole subtree (children first, then local work,
+/// then upward merges — same dataflow as the parallel version).
+pub fn sim_step_serial<P: Probe>(p: &P, params: &Params, v: &mut Village) {
+    for child in v.children.iter_mut() {
+        p.task(16); // each child tick is a potential task
+        sim_step_serial(p, params, child);
+    }
+    local_step(p, params, &mut v.data);
+    if !v.children.is_empty() {
+        p.taskwait();
+    }
+    for child in v.children.iter_mut() {
+        merge_realloc(p, &mut v.data, &mut child.data);
+    }
+}
+
+/// Runs the full serial simulation, returning aggregate statistics.
+pub fn simulate_serial<P: Probe>(p: &P, params: &Params, root: &mut Village) -> Stats {
+    for _ in 0..params.sim_time {
+        sim_step_serial(p, params, root);
+    }
+    collect_stats(root)
+}
+
+/// Cut-off style for the parallel simulation (level-based, per §III-B:
+/// "Health comes with a cut-off mechanism based on the village level in
+/// the hierarchy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthMode {
+    /// A task per village at every level.
+    NoCutoff,
+    /// `if(level > cutoff_level)` clause.
+    IfClause,
+    /// Serial recursion below the cut-off level.
+    Manual,
+}
+
+/// Runs the full parallel simulation.
+pub fn simulate_parallel(
+    rt: &Runtime,
+    params: &Params,
+    root: &mut Village,
+    mode: HealthMode,
+    untied: bool,
+    cutoff_level: u32,
+) -> Stats {
+    let attrs = TaskAttrs::default().with_tied(!untied);
+    let params = *params;
+    rt.parallel(|s| {
+        for _ in 0..params.sim_time {
+            sim_step_parallel(s, &params, root, mode, attrs, cutoff_level);
+        }
+    });
+    collect_stats(root)
+}
+
+fn sim_step_parallel(
+    s: &Scope<'_>,
+    params: &Params,
+    v: &mut Village,
+    mode: HealthMode,
+    attrs: TaskAttrs,
+    cutoff_level: u32,
+) {
+    let Village { data, children } = v;
+    let level = data.level;
+    s.taskgroup(|s| {
+        for child in children.iter_mut() {
+            match mode {
+                HealthMode::Manual if level <= cutoff_level => {
+                    sim_subtree_serial(params, child);
+                }
+                HealthMode::IfClause => {
+                    let spawn_attrs = attrs.with_if(level > cutoff_level);
+                    s.spawn_with(spawn_attrs, move |s| {
+                        sim_step_parallel(s, params, child, mode, attrs, cutoff_level);
+                    });
+                }
+                _ => {
+                    s.spawn_with(attrs, move |s| {
+                        sim_step_parallel(s, params, child, mode, attrs, cutoff_level);
+                    });
+                }
+            }
+        }
+        // Local dynamics overlap the children ("once the lower levels have
+        // been simulated synchronization occurs").
+        local_step(&bots_profile::NullProbe, params, data);
+    });
+    for child in children.iter_mut() {
+        merge_realloc(&bots_profile::NullProbe, data, &mut child.data);
+    }
+}
+
+/// Serial descent used below the manual cut-off.
+fn sim_subtree_serial(params: &Params, v: &mut Village) {
+    for child in v.children.iter_mut() {
+        sim_subtree_serial(params, child);
+    }
+    local_step(&bots_profile::NullProbe, params, &mut v.data);
+    for child in v.children.iter_mut() {
+        merge_realloc(&bots_profile::NullProbe, &mut v.data, &mut child.data);
+    }
+}
+
+/// Sums statistics over the tree.
+pub fn collect_stats(v: &Village) -> Stats {
+    let mut total = v.data.stats;
+    for child in &v.children {
+        total.add(&collect_stats(child));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::village::build_tree;
+    use bots_profile::NullProbe;
+
+    fn small_params() -> Params {
+        let mut p = Params::base();
+        p.levels = 3;
+        p.branch = 3;
+        p.population = 60;
+        p.sim_time = 80;
+        p
+    }
+
+    #[test]
+    fn serial_is_deterministic() {
+        let params = small_params();
+        let mut a = build_tree(&params);
+        let mut b = build_tree(&params);
+        let sa = simulate_serial(&NullProbe, &params, &mut a);
+        let sb = simulate_serial(&NullProbe, &params, &mut b);
+        assert_eq!(sa, sb);
+        assert!(
+            sa.total_sick > 0,
+            "simulation must produce patients: {sa:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly_all_modes() {
+        let params = small_params();
+        let mut reference = build_tree(&params);
+        let want = simulate_serial(&NullProbe, &params, &mut reference);
+
+        let rt = Runtime::with_threads(4);
+        for mode in [
+            HealthMode::NoCutoff,
+            HealthMode::IfClause,
+            HealthMode::Manual,
+        ] {
+            for untied in [false, true] {
+                let mut tree = build_tree(&params);
+                let got = simulate_parallel(&rt, &params, &mut tree, mode, untied, 2);
+                assert_eq!(got, want, "mode={mode:?} untied={untied}");
+            }
+        }
+    }
+
+    #[test]
+    fn patients_flow_up_the_hierarchy() {
+        let params = small_params();
+        let mut tree = build_tree(&params);
+        let stats = simulate_serial(&NullProbe, &params, &mut tree);
+        assert!(
+            stats.reallocated > 0,
+            "expected upward reallocation: {stats:?}"
+        );
+        // Root waiting list should have received reallocated patients at
+        // some point: waiting pressure at the root must be nonzero.
+        assert!(tree.data.stats.waiting_ticks > 0);
+    }
+
+    #[test]
+    fn conservation_of_patients() {
+        // Everyone who fell sick is either discharged or still in a list.
+        let params = small_params();
+        let mut tree = build_tree(&params);
+        let stats = simulate_serial(&NullProbe, &params, &mut tree);
+        let still_in_system: u64 = in_system(&tree);
+        assert_eq!(stats.total_sick, stats.discharged + still_in_system);
+    }
+
+    fn in_system(v: &Village) -> u64 {
+        let d = &v.data;
+        let own = (d.waiting.len() + d.assess.len() + d.inside.len() + d.realloc_up.len()) as u64;
+        own + v.children.iter().map(in_system).sum::<u64>()
+    }
+
+    #[test]
+    fn single_thread_parallel_matches() {
+        let params = small_params();
+        let mut reference = build_tree(&params);
+        let want = simulate_serial(&NullProbe, &params, &mut reference);
+        let rt = Runtime::with_threads(1);
+        let mut tree = build_tree(&params);
+        let got = simulate_parallel(&rt, &params, &mut tree, HealthMode::NoCutoff, false, 0);
+        assert_eq!(got, want);
+    }
+}

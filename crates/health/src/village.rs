@@ -1,0 +1,232 @@
+//! The village hierarchy and simulation parameters.
+
+use bots_inputs::Rng;
+
+use crate::arena::{Arena, List};
+
+/// Simulation parameters (one struct per input class).
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Tree depth (root level = `levels`, leaves = 1).
+    pub levels: u32,
+    /// Children per non-leaf village.
+    pub branch: usize,
+    /// Healthy residents per village at start.
+    pub population: u32,
+    /// Hospital staff per village (bounds concurrent assessments).
+    pub personnel: u32,
+    /// Simulation length in ticks.
+    pub sim_time: u32,
+    /// Ticks an assessment takes.
+    pub assess_time: u32,
+    /// Ticks a convalescence treatment takes.
+    pub convalescence_time: u32,
+    /// Probability a healthy resident falls ill per tick.
+    pub get_sick_p: f64,
+    /// Probability an assessed patient needs convalescence treatment.
+    pub convalescence_p: f64,
+    /// Probability an assessed patient is reallocated to the next level up.
+    pub realloc_p: f64,
+    /// Master seed; village seeds derive from it (the paper's determinism
+    /// fix: "instead of a single seed ... one seed for each village").
+    pub seed: u64,
+}
+
+impl Params {
+    /// The default parameter set, scaled by class elsewhere.
+    pub fn base() -> Params {
+        Params {
+            levels: 4,
+            branch: 4,
+            population: 1000,
+            personnel: 30,
+            sim_time: 200,
+            assess_time: 3,
+            convalescence_time: 10,
+            get_sick_p: 0.002,
+            convalescence_p: 0.45,
+            realloc_p: 0.3,
+            seed: 0x4EA1_74D0,
+        }
+    }
+
+    /// Number of villages in the whole tree.
+    pub fn total_villages(&self) -> usize {
+        // branch^0 + branch^1 + ... + branch^(levels-1)
+        let mut total = 0usize;
+        let mut layer = 1usize;
+        for _ in 0..self.levels {
+            total += layer;
+            layer *= self.branch;
+        }
+        total
+    }
+}
+
+/// Per-village accumulated statistics (the verification payload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Residents who fell ill.
+    pub total_sick: u64,
+    /// Patients who finished treatment and went home.
+    pub discharged: u64,
+    /// Patients sent up the hierarchy.
+    pub reallocated: u64,
+    /// Sum over ticks of the waiting-list length (waiting pressure).
+    pub waiting_ticks: u64,
+    /// Sum over ticks of patients under assessment.
+    pub assess_ticks: u64,
+    /// Sum over ticks of patients in treatment.
+    pub inside_ticks: u64,
+}
+
+impl Stats {
+    /// Elementwise accumulation.
+    pub fn add(&mut self, o: &Stats) {
+        self.total_sick += o.total_sick;
+        self.discharged += o.discharged;
+        self.reallocated += o.reallocated;
+        self.waiting_ticks += o.waiting_ticks;
+        self.assess_ticks += o.assess_ticks;
+        self.inside_ticks += o.inside_ticks;
+    }
+
+    /// Order-independent digest for verification.
+    pub fn digest(&self) -> u64 {
+        use bots_suite::fnv1a_u64;
+        fnv1a_u64(self.total_sick)
+            ^ fnv1a_u64(self.discharged).rotate_left(7)
+            ^ fnv1a_u64(self.reallocated).rotate_left(17)
+            ^ fnv1a_u64(self.waiting_ticks).rotate_left(27)
+            ^ fnv1a_u64(self.assess_ticks).rotate_left(37)
+            ^ fnv1a_u64(self.inside_ticks).rotate_left(47)
+    }
+}
+
+/// The mutable core of one village: its arena, hospital lists, RNG and
+/// counters. Split from the children so the borrow checker can hand the
+/// children to tasks while the parent works on its own lists.
+#[derive(Debug)]
+pub struct VillageData {
+    /// Level in the hierarchy (leaves = 1).
+    pub level: u32,
+    /// This village's own random stream.
+    pub rng: Rng,
+    /// Healthy residents.
+    pub population: u32,
+    /// Free hospital staff.
+    pub personnel_free: u32,
+    /// Patient node storage.
+    pub arena: Arena,
+    /// Queue for a free staff member.
+    pub waiting: List,
+    /// Under assessment.
+    pub assess: List,
+    /// Under convalescence treatment.
+    pub inside: List,
+    /// To be pushed to the parent at the end of the tick.
+    pub realloc_up: List,
+    /// Accumulated statistics.
+    pub stats: Stats,
+}
+
+/// A village and its subtree.
+#[derive(Debug)]
+pub struct Village {
+    /// Own state.
+    pub data: VillageData,
+    /// Child villages (empty at level 1).
+    pub children: Vec<Village>,
+}
+
+/// Builds the village tree; each village derives its own seed from its
+/// position (stream id) in the tree.
+pub fn build_tree(params: &Params) -> Village {
+    let root_rng = Rng::new(params.seed);
+    let mut next_id = 0u64;
+    build(params, params.levels, &root_rng, &mut next_id)
+}
+
+fn build(params: &Params, level: u32, root_rng: &Rng, next_id: &mut u64) -> Village {
+    let id = *next_id;
+    *next_id += 1;
+    let data = VillageData {
+        level,
+        rng: root_rng.derive(id),
+        population: params.population,
+        personnel_free: params.personnel,
+        arena: Arena::new(),
+        waiting: List::new(),
+        assess: List::new(),
+        inside: List::new(),
+        realloc_up: List::new(),
+        stats: Stats::default(),
+    };
+    let children = if level > 1 {
+        (0..params.branch)
+            .map(|_| build(params, level - 1, root_rng, next_id))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Village { data, children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_shape() {
+        let mut p = Params::base();
+        p.levels = 3;
+        p.branch = 4;
+        let tree = build_tree(&p);
+        assert_eq!(tree.data.level, 3);
+        assert_eq!(tree.children.len(), 4);
+        assert_eq!(tree.children[0].children.len(), 4);
+        assert!(tree.children[0].children[0].children.is_empty());
+        assert_eq!(p.total_villages(), 1 + 4 + 16);
+    }
+
+    #[test]
+    fn villages_have_distinct_seeds() {
+        let mut p = Params::base();
+        p.levels = 2;
+        let mut tree = build_tree(&p);
+        let r0 = tree.data.rng.next_u64();
+        let r1 = tree.children[0].data.rng.next_u64();
+        let r2 = tree.children[1].data.rng.next_u64();
+        assert_ne!(r0, r1);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = Params::base();
+        let mut a = build_tree(&p);
+        let mut b = build_tree(&p);
+        assert_eq!(a.data.rng.next_u64(), b.data.rng.next_u64());
+        assert_eq!(
+            a.children[2].data.rng.next_u64(),
+            b.children[2].data.rng.next_u64()
+        );
+    }
+
+    #[test]
+    fn stats_digest_changes_with_content() {
+        let a = Stats {
+            total_sick: 5,
+            ..Default::default()
+        };
+        let b = Stats {
+            discharged: 5,
+            ..Default::default()
+        };
+        assert_ne!(a.digest(), b.digest());
+        let mut c = a;
+        c.add(&b);
+        assert_eq!(c.total_sick, 5);
+        assert_eq!(c.discharged, 5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for Health: parallel determinism (exact serial equality)
+//! and patient conservation over arbitrary parameter points.
+
+use bots_health::{build_tree, simulate_parallel, simulate_serial, HealthMode, Params, Village};
+use bots_profile::NullProbe;
+use bots_runtime::Runtime;
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = Params> {
+    (
+        2u32..4,
+        2usize..4,
+        20u32..120,
+        2u32..20,
+        20u32..80,
+        (0.001f64..0.03),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(levels, branch, population, personnel, sim_time, sick_p, seed)| {
+                let mut p = Params::base();
+                p.levels = levels;
+                p.branch = branch;
+                p.population = population;
+                p.personnel = personnel;
+                p.sim_time = sim_time;
+                p.get_sick_p = sick_p;
+                p.seed = seed;
+                p
+            },
+        )
+}
+
+fn in_system(v: &Village) -> u64 {
+    let d = &v.data;
+    let own = (d.waiting.len() + d.assess.len() + d.inside.len() + d.realloc_up.len()) as u64;
+    own + v.children.iter().map(in_system).sum::<u64>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_is_exactly_serial(
+        params in params_strategy(),
+        threads in 1usize..5,
+        mode_pick in 0u8..3,
+        untied in any::<bool>(),
+        cutoff in 0u32..3,
+    ) {
+        let mut reference = build_tree(&params);
+        let want = simulate_serial(&NullProbe, &params, &mut reference);
+
+        let mode = match mode_pick {
+            0 => HealthMode::NoCutoff,
+            1 => HealthMode::IfClause,
+            _ => HealthMode::Manual,
+        };
+        let rt = Runtime::with_threads(threads);
+        let mut tree = build_tree(&params);
+        let got = simulate_parallel(&rt, &params, &mut tree, mode, untied, cutoff);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sick_patients_are_conserved(params in params_strategy()) {
+        let mut tree = build_tree(&params);
+        let stats = simulate_serial(&NullProbe, &params, &mut tree);
+        prop_assert_eq!(stats.total_sick, stats.discharged + in_system(&tree));
+    }
+
+    #[test]
+    fn personnel_never_leak(params in params_strategy()) {
+        // After the run, free + occupied staff must equal the configured
+        // personnel in every village (occupied = assess + inside lists).
+        let mut tree = build_tree(&params);
+        simulate_serial(&NullProbe, &params, &mut tree);
+        fn check(v: &Village, personnel: u32) -> bool {
+            let d = &v.data;
+            let occupied = (d.assess.len() + d.inside.len()) as u32;
+            d.personnel_free + occupied == personnel
+                && v.children.iter().all(|c| check(c, personnel))
+        }
+        prop_assert!(check(&tree, params.personnel));
+    }
+}

@@ -1,0 +1,69 @@
+//! Bulk numeric inputs: random integer arrays (Sort), complex signals (FFT)
+//! and dense matrices (Strassen).
+
+use crate::rng::Rng;
+
+/// A "random permutation of n 32-bit numbers" in the loose sense the Cilk
+/// sort benchmark uses: uniform random `u32`s (duplicates possible).
+pub fn random_u32s(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.next_u32()).collect()
+}
+
+/// An actual permutation of `0..n`, shuffled.
+pub fn permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    Rng::new(seed).shuffle(&mut v);
+    v
+}
+
+/// `n` complex samples as interleaved `(re, im)` pairs, uniform in
+/// `[-1, 1)²`.
+pub fn complex_signal(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| (rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+        .collect()
+}
+
+/// A dense row-major `n × n` matrix with entries uniform in `[-1, 1)`.
+pub fn dense_matrix(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::new(seed);
+    (0..n * n).map(|_| rng.range_f64(-1.0, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32s_deterministic_and_varied() {
+        let a = random_u32s(1000, 5);
+        assert_eq!(a, random_u32s(1000, 5));
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert!(distinct.len() > 990, "suspiciously many duplicates");
+    }
+
+    #[test]
+    fn permutation_is_exact() {
+        let p = permutation(500, 9);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..500).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn complex_signal_bounds() {
+        for (re, im) in complex_signal(1000, 2) {
+            assert!((-1.0..1.0).contains(&re));
+            assert!((-1.0..1.0).contains(&im));
+        }
+    }
+
+    #[test]
+    fn dense_matrix_shape_and_range() {
+        let m = dense_matrix(16, 3);
+        assert_eq!(m.len(), 256);
+        assert!(m.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+}

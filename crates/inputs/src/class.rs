@@ -1,0 +1,114 @@
+//! Input classes: the paper's four data-set sizes, re-scaled.
+//!
+//! The paper defines them by budget on an SGI Altix 4700: `test` is a smoke
+//! test; `small` stays under 1 GB / 1 min serial; `medium` under 4 GB /
+//! 10 min; `large` up to 10 GB / 30 min. We keep the four-class structure
+//! and the intent (smoke / seconds / default-evaluation / stress) but scale
+//! absolute sizes to a commodity multicore box — each kernel documents its
+//! per-class parameters.
+
+/// One of the four BOTS input classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum InputClass {
+    /// Very small; only to quickly check that benchmarks work.
+    Test,
+    /// Around a second of serial time.
+    Small,
+    /// The evaluation default (the paper's Figures 3-5 and Table II use
+    /// medium).
+    #[default]
+    Medium,
+    /// The stress class: largest memory footprint and longest runtime.
+    Large,
+}
+
+impl InputClass {
+    /// All classes, smallest first.
+    pub const ALL: [InputClass; 4] = [
+        InputClass::Test,
+        InputClass::Small,
+        InputClass::Medium,
+        InputClass::Large,
+    ];
+
+    /// Canonical lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InputClass::Test => "test",
+            InputClass::Small => "small",
+            InputClass::Medium => "medium",
+            InputClass::Large => "large",
+        }
+    }
+
+    /// Picks a per-class value (a tiny helper that keeps kernel parameter
+    /// tables declarative).
+    pub fn pick<T: Copy>(self, values: [T; 4]) -> T {
+        values[self as usize]
+    }
+}
+
+impl std::fmt::Display for InputClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for InputClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "test" | "t" => Ok(InputClass::Test),
+            "small" | "s" => Ok(InputClass::Small),
+            "medium" | "m" => Ok(InputClass::Medium),
+            "large" | "l" => Ok(InputClass::Large),
+            other => Err(format!(
+                "unknown input class '{other}' (test|small|medium|large)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for c in InputClass::ALL {
+            let parsed: InputClass = c.name().parse().unwrap();
+            assert_eq!(parsed, c);
+            assert_eq!(format!("{c}"), c.name());
+        }
+    }
+
+    #[test]
+    fn short_names_parse() {
+        assert_eq!("m".parse::<InputClass>().unwrap(), InputClass::Medium);
+        assert_eq!("T".parse::<InputClass>().unwrap(), InputClass::Test);
+    }
+
+    #[test]
+    fn unknown_rejected() {
+        assert!("huge".parse::<InputClass>().is_err());
+    }
+
+    #[test]
+    fn pick_maps_by_ordinal() {
+        assert_eq!(InputClass::Test.pick([1, 2, 3, 4]), 1);
+        assert_eq!(InputClass::Large.pick([1, 2, 3, 4]), 4);
+    }
+
+    #[test]
+    fn ordering_smallest_first() {
+        assert!(InputClass::Test < InputClass::Small);
+        assert!(InputClass::Small < InputClass::Medium);
+        assert!(InputClass::Medium < InputClass::Large);
+    }
+
+    #[test]
+    fn default_is_medium() {
+        assert_eq!(InputClass::default(), InputClass::Medium);
+    }
+}

@@ -1,0 +1,28 @@
+//! # bots-inputs — deterministic input generation for the BOTS kernels
+//!
+//! The paper ships input files and defines four input classes per
+//! application (§III-A "Input sets"). This crate replaces the files with
+//! deterministic generators — same seed, same bytes, on any platform — and
+//! provides the class enumeration:
+//!
+//! * [`InputClass`]: `test` / `small` / `medium` / `large`;
+//! * [`Rng`] / [`SplitMix64`]: fixed-algorithm PRNGs, with per-entity
+//!   derivation ([`Rng::derive`]) used by the Health kernel's
+//!   one-seed-per-village determinism fix;
+//! * [`protein`]: synthetic protein sequences + the BLOSUM62 matrix
+//!   (Alignment);
+//! * [`arrays`]: random `u32` arrays (Sort), complex signals (FFT), dense
+//!   matrices (Strassen);
+//! * [`blockmatrix`]: the BOTS `genmat` sparsity pattern and block filler
+//!   (SparseLU).
+
+#![warn(missing_docs)]
+
+pub mod arrays;
+pub mod blockmatrix;
+mod class;
+pub mod protein;
+mod rng;
+
+pub use class::InputClass;
+pub use rng::{Rng, SplitMix64};

@@ -1,0 +1,141 @@
+//! Protein-sequence inputs for the Alignment kernel.
+//!
+//! The paper aligns "all protein sequences from an input file against every
+//! other sequence" with a weight matrix and affine gap penalties. We have no
+//! proprietary FASTA inputs, so sequences are generated deterministically:
+//! residue identities are uniform over the 20 standard amino acids and
+//! lengths vary ±25 % around the class mean, which preserves the property
+//! the kernel stresses (quadratic-cost pairs of *unequal* sizes ⇒ load
+//! imbalance across tasks).
+//!
+//! Scoring uses the standard BLOSUM62 substitution matrix, embedded below in
+//! the canonical ARNDCQEGHILKMFPSTWYV residue order.
+
+use crate::rng::Rng;
+
+/// Number of standard amino acids.
+pub const ALPHABET: usize = 20;
+
+/// Residue letters in BLOSUM62 canonical order.
+pub const RESIDUES: [u8; ALPHABET] = *b"ARNDCQEGHILKMFPSTWYV";
+
+/// The BLOSUM62 substitution matrix (symmetric, row/col in [`RESIDUES`]
+/// order).
+#[rustfmt::skip]
+pub const BLOSUM62: [[i32; ALPHABET]; ALPHABET] = [
+    //A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    [ 4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0], // A
+    [-1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3], // R
+    [-2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3], // N
+    [-2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3], // D
+    [ 0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1], // C
+    [-1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2], // Q
+    [-1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2], // E
+    [ 0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3], // G
+    [-2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3], // H
+    [-1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3], // I
+    [-1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1], // L
+    [-1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2], // K
+    [-1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1], // M
+    [-2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1], // F
+    [-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2], // P
+    [ 1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2], // S
+    [ 0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0], // T
+    [-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3], // W
+    [-2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1], // Y
+    [ 0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4], // V
+];
+
+/// A protein as residue *indices* into [`RESIDUES`] (ready for matrix
+/// lookups without a translation step).
+pub type Sequence = Vec<u8>;
+
+/// Generates `count` sequences with lengths uniform in
+/// `[0.75 × mean_len, 1.25 × mean_len]`.
+pub fn generate_proteins(count: usize, mean_len: usize, seed: u64) -> Vec<Sequence> {
+    let root = Rng::new(seed);
+    (0..count)
+        .map(|i| {
+            let mut rng = root.derive(i as u64);
+            let lo = (mean_len * 3) / 4;
+            let hi = (mean_len * 5) / 4;
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| rng.below(ALPHABET as u64) as u8).collect()
+        })
+        .collect()
+}
+
+/// Renders a sequence as a residue-letter string (for debugging / examples).
+pub fn to_letters(seq: &[u8]) -> String {
+    seq.iter().map(|&r| RESIDUES[r as usize] as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        for i in 0..ALPHABET {
+            for j in 0..ALPHABET {
+                assert_eq!(BLOSUM62[i][j], BLOSUM62[j][i], "asym at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_diagonal_dominates_row() {
+        for i in 0..ALPHABET {
+            for j in 0..ALPHABET {
+                assert!(
+                    BLOSUM62[i][i] >= BLOSUM62[i][j],
+                    "self-match must score best: row {i}, col {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_spot_values() {
+        let idx = |c: u8| RESIDUES.iter().position(|&r| r == c).unwrap();
+        assert_eq!(BLOSUM62[idx(b'W')][idx(b'W')], 11);
+        assert_eq!(BLOSUM62[idx(b'A')][idx(b'A')], 4);
+        assert_eq!(BLOSUM62[idx(b'I')][idx(b'V')], 3);
+        assert_eq!(BLOSUM62[idx(b'D')][idx(b'W')], -4);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_proteins(10, 100, 42);
+        let b = generate_proteins(10, 100, 42);
+        assert_eq!(a, b);
+        let c = generate_proteins(10, 100, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lengths_in_declared_band() {
+        let seqs = generate_proteins(50, 200, 7);
+        assert_eq!(seqs.len(), 50);
+        for s in &seqs {
+            assert!((150..=250).contains(&s.len()), "len={}", s.len());
+        }
+        // Lengths must actually vary (imbalance is the point).
+        let min = seqs.iter().map(|s| s.len()).min().unwrap();
+        let max = seqs.iter().map(|s| s.len()).max().unwrap();
+        assert!(max > min);
+    }
+
+    #[test]
+    fn residues_are_valid_indices() {
+        for s in generate_proteins(20, 50, 3) {
+            assert!(s.iter().all(|&r| (r as usize) < ALPHABET));
+        }
+    }
+
+    #[test]
+    fn letters_render() {
+        let s = vec![0u8, 1, 19];
+        assert_eq!(to_letters(&s), "ARV");
+    }
+}

@@ -1,0 +1,134 @@
+//! `Benchmark` wiring for NQueens.
+
+use bots_inputs::InputClass;
+use bots_profile::{CountingProbe, RawCounts};
+use bots_runtime::Runtime;
+use bots_suite::{
+    fnv1a_u64, BenchMeta, Benchmark, CutoffMode, RunOutput, Tiedness, Verification, VersionSpec,
+};
+
+use crate::board::SOLUTIONS;
+use crate::parallel::{count_parallel, Accumulator, QueensMode};
+use crate::serial::{count_solutions, count_solutions_profiled};
+
+/// Board size per class (medium matches the paper's 14×14).
+pub fn n_for(class: InputClass) -> usize {
+    class.pick([8, 12, 14, 15])
+}
+
+/// Cut-off depth per class for the if/manual versions.
+pub fn cutoff_for(class: InputClass) -> u32 {
+    class.pick([3, 4, 5, 5])
+}
+
+/// NQueens as a suite [`Benchmark`].
+#[derive(Debug, Default)]
+pub struct NQueensBench;
+
+impl Benchmark for NQueensBench {
+    fn meta(&self) -> BenchMeta {
+        BenchMeta {
+            name: "NQueens",
+            origin: "Cilk",
+            domain: "Search",
+            structure: "At each node",
+            task_directives: 1,
+            tasks_inside: "single",
+            nested_tasks: true,
+            app_cutoff: "depth-based",
+        }
+    }
+
+    fn input_desc(&self, class: InputClass) -> String {
+        let n = n_for(class);
+        format!("{n}x{n} board")
+    }
+
+    fn versions(&self) -> Vec<VersionSpec> {
+        VersionSpec::matrix(false)
+    }
+
+    fn run_serial(&self, class: InputClass) -> RunOutput {
+        let n = n_for(class);
+        let v = count_solutions(n);
+        RunOutput::new(fnv1a_u64(v), format!("{v} solutions on {n}x{n}"))
+    }
+
+    fn run_parallel(&self, rt: &Runtime, class: InputClass, version: VersionSpec) -> RunOutput {
+        let n = n_for(class);
+        let mode = match version.cutoff {
+            CutoffMode::NoCutoff => QueensMode::NoCutoff,
+            CutoffMode::IfClause => QueensMode::IfClause,
+            CutoffMode::Manual => QueensMode::Manual,
+        };
+        let untied = version.tiedness == Tiedness::Untied;
+        let v = count_parallel(
+            rt,
+            n,
+            mode,
+            untied,
+            cutoff_for(class),
+            Accumulator::WorkerLocal,
+        );
+        RunOutput::new(fnv1a_u64(v), format!("{v} solutions on {n}x{n}"))
+    }
+
+    fn verify(&self, class: InputClass, output: &RunOutput) -> Verification {
+        // Solution counts are published mathematics (OEIS A000170).
+        let want = fnv1a_u64(SOLUTIONS[n_for(class)]);
+        if output.checksum == want {
+            Verification::SelfChecked
+        } else {
+            Verification::Failed(format!("wrong solution count: {}", output.summary))
+        }
+    }
+
+    fn characterize(&self, class: InputClass) -> RawCounts {
+        let p = CountingProbe::new();
+        count_solutions_profiled(&p, n_for(class));
+        p.counts()
+    }
+
+    fn best_version(&self) -> VersionSpec {
+        // Figure 3 lists "nqueens (manual-untied)" as the best version.
+        VersionSpec::default()
+            .cutoff(CutoffMode::Manual)
+            .tied(Tiedness::Untied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_verify_on_test_class() {
+        let b = NQueensBench;
+        let out = b.run_serial(InputClass::Test);
+        assert_eq!(b.verify(InputClass::Test, &out), Verification::SelfChecked);
+        let rt = Runtime::with_threads(4);
+        for v in b.versions() {
+            let out = b.run_parallel(&rt, InputClass::Test, v);
+            assert_eq!(
+                b.verify(InputClass::Test, &out),
+                Verification::SelfChecked,
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn characterization_has_no_shared_writes() {
+        // Paper Table II: NQueens 0% non-private writes (threadprivate
+        // accumulation).
+        let c = NQueensBench.characterize(InputClass::Test);
+        assert_eq!(c.writes_shared, 0);
+        assert!(c.tasks > 1000);
+    }
+
+    #[test]
+    fn best_version_is_manual_untied() {
+        let v = NQueensBench.best_version();
+        assert_eq!(v.label(), "manual-untied");
+    }
+}

@@ -1,0 +1,70 @@
+//! Board representation and the placement-safety predicate shared by the
+//! serial and parallel versions (array-based, as in the BOTS/Cilk code —
+//! both sides of a speed-up comparison must run the same algorithm).
+
+/// A partial placement: `board[r]` is the column of the queen on row `r`.
+pub type Board = Vec<u8>;
+
+/// May a queen go in column `col` on the next row, given `board`'s rows?
+#[inline]
+pub fn safe(board: &[u8], col: u8) -> bool {
+    let row = board.len();
+    for (r, &c) in board.iter().enumerate() {
+        if c == col {
+            return false;
+        }
+        let dist = (row - r) as i32;
+        if (c as i32 - col as i32).abs() == dist {
+            return false;
+        }
+    }
+    true
+}
+
+/// Arithmetic-operation estimate of one `safe` scan over `row` placed
+/// queens (used by the instrumented run): distance, difference, abs,
+/// compare per row.
+#[inline]
+pub fn safe_ops(row: usize) -> u64 {
+    4 * row as u64
+}
+
+/// Known solution counts: `SOLUTIONS[n]` for the n-queens problem.
+pub const SOLUTIONS: [u64; 16] = [
+    1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2_680, 14_200, 73_712, 365_596, 2_279_184,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_rejects_same_column() {
+        assert!(!safe(&[3], 3));
+    }
+
+    #[test]
+    fn safe_rejects_diagonals() {
+        assert!(!safe(&[0], 1)); // adjacent diagonal
+        assert!(!safe(&[2, 7], 0)); // (0,2) attacks (2,0) two rows away
+        assert!(safe(&[0], 2)); // knight-ish is fine
+    }
+
+    #[test]
+    fn safe_on_empty_board() {
+        for c in 0..8 {
+            assert!(safe(&[], c));
+        }
+    }
+
+    #[test]
+    fn full_example_solution_is_safe_stepwise() {
+        // A classic 8-queens solution.
+        let solution = [0u8, 4, 7, 5, 2, 6, 1, 3];
+        let mut board = Vec::new();
+        for &c in &solution {
+            assert!(safe(&board, c), "col {c} after {board:?}");
+            board.push(c);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # bots-nqueens — the BOTS N Queens kernel
+//!
+//! Counts **all** solutions of the n-queens problem with a backtracking
+//! search that spawns a task per placement step; the board prefix is copied
+//! into every child task. Counting all solutions (not just the first) is
+//! the paper's determinism fix; accumulating them in per-worker counters
+//! instead of a `critical` section is its contention fix — both are
+//! reproduced here, the latter with a contended-atomic ablation.
+//!
+//! ```
+//! use bots_runtime::Runtime;
+//! use bots_nqueens::{count_parallel, QueensMode, Accumulator, SOLUTIONS};
+//!
+//! let rt = Runtime::with_threads(2);
+//! let n = count_parallel(&rt, 8, QueensMode::Manual, false, 3,
+//!                        Accumulator::WorkerLocal);
+//! assert_eq!(n, SOLUTIONS[8]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bench;
+mod board;
+mod parallel;
+mod serial;
+
+pub use bench::{cutoff_for, n_for, NQueensBench};
+pub use board::{safe, Board, SOLUTIONS};
+pub use parallel::{count_parallel, Accumulator, QueensMode};
+pub use serial::{count_solutions, count_solutions_profiled};

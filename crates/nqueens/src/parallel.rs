@@ -1,0 +1,201 @@
+//! Task-parallel n-queens.
+//!
+//! "A task is created for each step of the solution. ... the parent state
+//! needs to be copied to the children tasks" (§III-B): every spawned task
+//! owns a copy of the board prefix. Solutions are accumulated in
+//! `threadprivate`-style per-worker counters reduced at the end of the
+//! region — the paper's contention fix — with a shared-atomic variant kept
+//! as an ablation (`Accumulator::Atomic`, the `critical`-section idiom the
+//! paper rejected).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots_runtime::{Runtime, Scope, TaskAttrs, WorkerCounter};
+
+use crate::board::{safe, Board};
+
+/// Cut-off style (mirrors the suite's `CutoffMode` without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueensMode {
+    /// A task per node, unbounded.
+    NoCutoff,
+    /// `if(depth < cutoff)` on each spawn.
+    IfClause,
+    /// Serial search below the cut-off depth.
+    Manual,
+}
+
+/// How solutions are counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accumulator {
+    /// Per-worker counters, reduced once (the paper's `threadprivate`
+    /// idiom).
+    WorkerLocal,
+    /// One shared atomic counter (the contended `critical` idiom).
+    Atomic,
+}
+
+/// Counts all n-queens solutions on `rt`.
+pub fn count_parallel(
+    rt: &Runtime,
+    n: usize,
+    mode: QueensMode,
+    untied: bool,
+    cutoff: u32,
+    acc: Accumulator,
+) -> u64 {
+    let attrs = TaskAttrs::default().with_tied(!untied);
+    let local = WorkerCounter::new(rt.num_threads());
+    let shared = AtomicU64::new(0);
+    rt.parallel(|s| {
+        let counter = Counter {
+            acc,
+            local: &local,
+            shared: &shared,
+        };
+        node(s, n, Vec::with_capacity(n), mode, attrs, cutoff, &counter);
+    });
+    match acc {
+        Accumulator::WorkerLocal => local.sum(),
+        Accumulator::Atomic => shared.load(Ordering::Relaxed),
+    }
+}
+
+struct Counter<'a> {
+    acc: Accumulator,
+    local: &'a WorkerCounter,
+    shared: &'a AtomicU64,
+}
+
+impl Counter<'_> {
+    #[inline]
+    fn add(&self, s: &Scope<'_>, v: u64) {
+        match self.acc {
+            Accumulator::WorkerLocal => self.local.add(s, v),
+            Accumulator::Atomic => {
+                self.shared.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn node<'s>(
+    s: &Scope<'s>,
+    n: usize,
+    board: Board,
+    mode: QueensMode,
+    attrs: TaskAttrs,
+    cutoff: u32,
+    counter: &Counter<'_>,
+) {
+    if board.len() == n {
+        counter.add(s, 1);
+        return;
+    }
+    let depth = board.len() as u32;
+    if mode == QueensMode::Manual && depth >= cutoff {
+        // Below the manual cut-off: pure serial search, one counter bump.
+        let mut b = board;
+        let found = serial_from(n, &mut b);
+        counter.add(s, found);
+        return;
+    }
+    s.taskgroup(|s| {
+        for col in 0..n as u8 {
+            if safe(&board, col) {
+                // The child copies the parent's board prefix — the captured
+                // environment the paper measures.
+                let mut child_board = Vec::with_capacity(n);
+                child_board.extend_from_slice(&board);
+                child_board.push(col);
+                let spawn_attrs = match mode {
+                    QueensMode::IfClause => attrs.with_if(depth < cutoff),
+                    _ => attrs,
+                };
+                s.spawn_with(spawn_attrs, move |s| {
+                    node(s, n, child_board, mode, attrs, cutoff, counter);
+                });
+            }
+        }
+    });
+}
+
+fn serial_from(n: usize, board: &mut Board) -> u64 {
+    if board.len() == n {
+        return 1;
+    }
+    let mut total = 0;
+    for col in 0..n as u8 {
+        if safe(board, col) {
+            board.push(col);
+            total += serial_from(n, board);
+            board.pop();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::SOLUTIONS;
+
+    #[test]
+    fn all_modes_and_accumulators_agree() {
+        let rt = Runtime::with_threads(4);
+        for mode in [
+            QueensMode::NoCutoff,
+            QueensMode::IfClause,
+            QueensMode::Manual,
+        ] {
+            for acc in [Accumulator::WorkerLocal, Accumulator::Atomic] {
+                let got = count_parallel(&rt, 8, mode, false, 3, acc);
+                assert_eq!(got, SOLUTIONS[8], "mode={mode:?} acc={acc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn untied_matches() {
+        let rt = Runtime::with_threads(4);
+        let got = count_parallel(
+            &rt,
+            9,
+            QueensMode::Manual,
+            true,
+            3,
+            Accumulator::WorkerLocal,
+        );
+        assert_eq!(got, SOLUTIONS[9]);
+    }
+
+    #[test]
+    fn single_thread_matches() {
+        let rt = Runtime::with_threads(1);
+        let got = count_parallel(
+            &rt,
+            8,
+            QueensMode::NoCutoff,
+            false,
+            0,
+            Accumulator::WorkerLocal,
+        );
+        assert_eq!(got, SOLUTIONS[8]);
+    }
+
+    #[test]
+    fn deterministic_across_team_sizes() {
+        for threads in [2, 3, 8] {
+            let rt = Runtime::with_threads(threads);
+            let got = count_parallel(
+                &rt,
+                9,
+                QueensMode::IfClause,
+                false,
+                4,
+                Accumulator::WorkerLocal,
+            );
+            assert_eq!(got, SOLUTIONS[9], "threads={threads}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Property tests for NQueens: every mode/accumulator/cut-off/team-size
+//! combination must produce the known solution count.
+
+use bots_nqueens::{count_parallel, count_solutions, Accumulator, QueensMode, SOLUTIONS};
+use bots_runtime::Runtime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn serial_matches_known_counts(n in 4usize..10) {
+        prop_assert_eq!(count_solutions(n), SOLUTIONS[n]);
+    }
+
+    #[test]
+    fn parallel_matches_for_any_configuration(
+        n in 5usize..10,
+        threads in 1usize..6,
+        cutoff in 0u32..6,
+        mode_pick in 0u8..3,
+        untied in any::<bool>(),
+        atomic in any::<bool>(),
+    ) {
+        let mode = match mode_pick {
+            0 => QueensMode::NoCutoff,
+            1 => QueensMode::IfClause,
+            _ => QueensMode::Manual,
+        };
+        let acc = if atomic { Accumulator::Atomic } else { Accumulator::WorkerLocal };
+        let rt = Runtime::with_threads(threads);
+        let got = count_parallel(&rt, n, mode, untied, cutoff, acc);
+        prop_assert_eq!(got, SOLUTIONS[n],
+            "n={} mode={:?} untied={} cutoff={} acc={:?} threads={}",
+            n, mode, untied, cutoff, acc, threads);
+    }
+}

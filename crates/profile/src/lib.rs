@@ -1,0 +1,66 @@
+//! # bots-profile — instrumentation and per-task characterisation
+//!
+//! The machinery behind the paper's Table II ("application characteristics
+//! with the medium input sets"): a zero-cost [`Probe`] trait that the
+//! kernels' reference implementations are generic over, a [`CountingProbe`]
+//! that tallies arithmetic operations / writes / captured-environment bytes /
+//! taskwaits at the same program points the paper instrumented, a
+//! [`CountingAlloc`] global allocator for the memory column, and the
+//! [`Characteristics`] report with the paper's derived columns (ops per
+//! task, % non-private writes, ops per (non-private) write, ...).
+//!
+//! ```
+//! use bots_profile::{CountingProbe, Probe, Characteristics};
+//!
+//! fn kernel<P: Probe>(p: &P) -> u64 {
+//!     let mut acc = 0;
+//!     for i in 0..10u64 {
+//!         p.task(8);          // a task-creation point capturing 8 bytes
+//!         acc += i;           // one addition...
+//!         p.ops(1);
+//!         p.write_shared(1);  // ...written to shared memory
+//!     }
+//!     p.taskwait();
+//!     acc
+//! }
+//!
+//! let probe = CountingProbe::new();
+//! kernel(&probe);
+//! let counts = probe.counts();
+//! assert_eq!(counts.tasks, 10);
+//! assert_eq!(counts.ops, 10);
+//! let row = Characteristics {
+//!     app: "demo".into(), input: "10".into(),
+//!     serial_time: std::time::Duration::from_millis(1),
+//!     memory_bytes: 0, counts,
+//! };
+//! assert_eq!(row.ops_per_task(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod alloc;
+mod probe;
+mod report;
+
+pub use alloc::{current_bytes, peak_bytes, reset_peak, CountingAlloc};
+pub use probe::{CountingProbe, NullProbe, Probe, RawCounts};
+pub use report::{fmt_bytes, fmt_count, fmt_duration, table2_header, Characteristics};
+
+/// Times a closure, returning its result and the wall-clock duration.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, std::time::Duration) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let ((), d) = timed(|| std::thread::sleep(std::time::Duration::from_millis(5)));
+        assert!(d >= std::time::Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,202 @@
+//! The instrumentation probe: the paper's "specially profiled version where
+//! the compiler added additional code", as a zero-cost abstraction.
+//!
+//! Every kernel's reference implementation is generic over a [`Probe`]. In
+//! timing runs it is instantiated with [`NullProbe`], whose methods are empty
+//! `#[inline(always)]` calls that vanish at `-O`; the characterisation run
+//! (Table II) instantiates [`CountingProbe`], which tallies the same events
+//! the paper counts:
+//!
+//! * arithmetic operations,
+//! * writes, split into task-private and non-private ("writes that do not
+//!   reference a task private variable and, thus, can be affected by
+//!   locality decisions"),
+//! * writes to the captured environment (the `firstprivate` copies),
+//! * task-creation points and the bytes captured into each task,
+//! * `taskwait`s.
+//!
+//! Counts are *actual operations ... independent of the architecture*
+//! (paper, §III-B): they are emitted at fixed program points, not sampled
+//! from hardware counters.
+
+use std::cell::Cell;
+
+/// Event sink threaded through the instrumented kernels.
+pub trait Probe {
+    /// `n` arithmetic operations happened.
+    fn ops(&self, n: u64);
+    /// `n` writes to task-private memory.
+    fn write_private(&self, n: u64);
+    /// `n` writes to non-private (shared / locality-sensitive) memory.
+    fn write_shared(&self, n: u64);
+    /// `n` writes into the captured environment (`firstprivate` copies).
+    /// These are also private writes; implementations count them in both
+    /// tallies.
+    fn write_env(&self, n: u64);
+    /// A task-creation point was reached; the task would capture
+    /// `env_bytes` bytes from its parent.
+    fn task(&self, env_bytes: u64);
+    /// A `taskwait` (or equivalent barrier) was executed.
+    fn taskwait(&self);
+}
+
+/// The do-nothing probe used by timing runs; optimises out entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    #[inline(always)]
+    fn ops(&self, _n: u64) {}
+    #[inline(always)]
+    fn write_private(&self, _n: u64) {}
+    #[inline(always)]
+    fn write_shared(&self, _n: u64) {}
+    #[inline(always)]
+    fn write_env(&self, _n: u64) {}
+    #[inline(always)]
+    fn task(&self, _env_bytes: u64) {}
+    #[inline(always)]
+    fn taskwait(&self) {}
+}
+
+/// Tallying probe for the serial characterisation run (single-threaded, so
+/// plain `Cell` counters suffice).
+#[derive(Debug, Default)]
+pub struct CountingProbe {
+    ops: Cell<u64>,
+    writes_private: Cell<u64>,
+    writes_shared: Cell<u64>,
+    writes_env: Cell<u64>,
+    env_bytes: Cell<u64>,
+    tasks: Cell<u64>,
+    taskwaits: Cell<u64>,
+}
+
+impl CountingProbe {
+    /// Fresh, zeroed probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains the tallies into a [`RawCounts`].
+    pub fn counts(&self) -> RawCounts {
+        RawCounts {
+            ops: self.ops.get(),
+            writes_private: self.writes_private.get(),
+            writes_shared: self.writes_shared.get(),
+            writes_env: self.writes_env.get(),
+            env_bytes: self.env_bytes.get(),
+            tasks: self.tasks.get(),
+            taskwaits: self.taskwaits.get(),
+        }
+    }
+}
+
+impl Probe for CountingProbe {
+    #[inline]
+    fn ops(&self, n: u64) {
+        self.ops.set(self.ops.get() + n);
+    }
+    #[inline]
+    fn write_private(&self, n: u64) {
+        self.writes_private.set(self.writes_private.get() + n);
+    }
+    #[inline]
+    fn write_shared(&self, n: u64) {
+        self.writes_shared.set(self.writes_shared.get() + n);
+    }
+    #[inline]
+    fn write_env(&self, n: u64) {
+        // Environment copies are private memory of the new task.
+        self.writes_env.set(self.writes_env.get() + n);
+        self.writes_private.set(self.writes_private.get() + n);
+    }
+    #[inline]
+    fn task(&self, env_bytes: u64) {
+        self.tasks.set(self.tasks.get() + 1);
+        self.env_bytes.set(self.env_bytes.get() + env_bytes);
+    }
+    #[inline]
+    fn taskwait(&self) {
+        self.taskwaits.set(self.taskwaits.get() + 1);
+    }
+}
+
+/// Raw event totals from one instrumented run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RawCounts {
+    /// Arithmetic operations.
+    pub ops: u64,
+    /// Writes to task-private memory (includes environment writes).
+    pub writes_private: u64,
+    /// Writes to non-private memory.
+    pub writes_shared: u64,
+    /// Writes to captured environments.
+    pub writes_env: u64,
+    /// Total bytes captured into task environments.
+    pub env_bytes: u64,
+    /// Potential tasks (task-creation points reached).
+    pub tasks: u64,
+    /// Taskwaits.
+    pub taskwaits: u64,
+}
+
+impl RawCounts {
+    /// All writes, private and not.
+    pub fn writes_total(&self) -> u64 {
+        self.writes_private + self.writes_shared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy instrumented kernel used by several tests.
+    fn toy_kernel<P: Probe>(p: &P, n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            p.task(16);
+            acc = acc.wrapping_add(i * i);
+            p.ops(2);
+            p.write_private(1);
+            if i % 4 == 0 {
+                p.write_shared(1);
+            }
+        }
+        p.taskwait();
+        acc
+    }
+
+    #[test]
+    fn null_probe_changes_nothing() {
+        let a = toy_kernel(&NullProbe, 100);
+        let p = CountingProbe::new();
+        let b = toy_kernel(&p, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counting_probe_tallies() {
+        let p = CountingProbe::new();
+        toy_kernel(&p, 100);
+        let c = p.counts();
+        assert_eq!(c.tasks, 100);
+        assert_eq!(c.ops, 200);
+        assert_eq!(c.writes_private, 100);
+        assert_eq!(c.writes_shared, 25);
+        assert_eq!(c.writes_total(), 125);
+        assert_eq!(c.env_bytes, 1600);
+        assert_eq!(c.taskwaits, 1);
+    }
+
+    #[test]
+    fn env_writes_count_as_private() {
+        let p = CountingProbe::new();
+        p.write_env(7);
+        let c = p.counts();
+        assert_eq!(c.writes_env, 7);
+        assert_eq!(c.writes_private, 7);
+        assert_eq!(c.writes_shared, 0);
+    }
+}

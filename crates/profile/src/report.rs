@@ -1,0 +1,254 @@
+//! Table II row computation and formatting: turns [`RawCounts`] plus wall
+//! time and peak memory into the paper's per-task characteristics.
+
+use std::time::Duration;
+
+use crate::probe::RawCounts;
+
+/// One row of the paper's Table II ("Application characteristics with the
+/// medium input sets"). Derived quantities are computed on demand so raw
+/// counts stay exact.
+#[derive(Debug, Clone)]
+pub struct Characteristics {
+    /// Application name.
+    pub app: String,
+    /// Human description of the input (e.g. "100 proteins").
+    pub input: String,
+    /// Serial wall-clock time of the (uninstrumented) reference run.
+    pub serial_time: Duration,
+    /// Peak heap in bytes during the serial run (counting allocator).
+    pub memory_bytes: u64,
+    /// Raw instrumentation totals.
+    pub counts: RawCounts,
+}
+
+impl Characteristics {
+    /// Number of potential tasks (task-creation points reached).
+    pub fn potential_tasks(&self) -> u64 {
+        self.counts.tasks
+    }
+
+    /// Average arithmetic operations per task.
+    pub fn ops_per_task(&self) -> f64 {
+        ratio(self.counts.ops, self.counts.tasks)
+    }
+
+    /// Average taskwaits per task.
+    pub fn taskwaits_per_task(&self) -> f64 {
+        ratio(self.counts.taskwaits, self.counts.tasks)
+    }
+
+    /// Average captured-environment size in bytes per task.
+    pub fn env_bytes_per_task(&self) -> f64 {
+        ratio(self.counts.env_bytes, self.counts.tasks)
+    }
+
+    /// Average writes to the captured environment per task.
+    pub fn env_writes_per_task(&self) -> f64 {
+        ratio(self.counts.writes_env, self.counts.tasks)
+    }
+
+    /// Percentage of writes that touch non-private data.
+    pub fn pct_nonprivate_writes(&self) -> f64 {
+        100.0 * ratio(self.counts.writes_shared, self.counts.writes_total())
+    }
+
+    /// Arithmetic operations per write (any kind). Low values mean
+    /// memory-bound.
+    pub fn ops_per_write(&self) -> f64 {
+        ratio(self.counts.ops, self.counts.writes_total())
+    }
+
+    /// Arithmetic operations per non-private write; `None` when the kernel
+    /// performs no non-private writes (the paper prints "-").
+    pub fn ops_per_nonprivate_write(&self) -> Option<f64> {
+        if self.counts.writes_shared == 0 {
+            None
+        } else {
+            Some(self.counts.ops as f64 / self.counts.writes_shared as f64)
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Formats a count the way the paper does: `4950`, `≃ 14 M`, `≃ 40 G`.
+pub fn fmt_count(v: f64) -> String {
+    let abs = v.abs();
+    if abs >= 1e9 {
+        format!("≃ {:.0} G", v / 1e9)
+    } else if abs >= 1e6 {
+        format!("≃ {:.0} M", v / 1e6)
+    } else if abs >= 10_000.0 {
+        format!("≃ {:.0} K", v / 1e3)
+    } else if abs >= 100.0 || (v.fract() == 0.0 && abs >= 1.0) {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a byte count: `4 B`, `5.0 KB`, `3.2 MB`, `4.7 GB`.
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} GB", b / (1024.0 * 1024.0 * 1024.0))
+    } else if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} KB", b / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a duration in the paper's style: `44.4 s`, `137 s`, `98.73 s`.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+impl std::fmt::Display for Characteristics {
+    /// One pipe-separated Table II row.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<10} | {:<28} | {:>9} | {:>9} | {:>9} | {:>11} | {:>9} | {:>9} | {:>8} | {:>7} | {:>8} | {:>9}",
+            self.app,
+            self.input,
+            fmt_duration(self.serial_time),
+            fmt_bytes(self.memory_bytes),
+            fmt_count(self.potential_tasks() as f64),
+            fmt_count(self.ops_per_task()),
+            format!("{:.2}", self.taskwaits_per_task()),
+            fmt_count(self.env_bytes_per_task()),
+            format!("{:.2}", self.env_writes_per_task()),
+            format!("{:.2}%", self.pct_nonprivate_writes()),
+            format!("{:.2}", self.ops_per_write()),
+            match self.ops_per_nonprivate_write() {
+                Some(v) => fmt_count(v),
+                None => "-".to_string(),
+            },
+        )
+    }
+}
+
+/// Header matching [`Characteristics`]'s `Display` columns.
+pub fn table2_header() -> String {
+    format!(
+        "{:<10} | {:<28} | {:>9} | {:>9} | {:>9} | {:>11} | {:>9} | {:>9} | {:>8} | {:>7} | {:>8} | {:>9}",
+        "App",
+        "Input",
+        "SerialT",
+        "Memory",
+        "#Tasks",
+        "Ops/task",
+        "Waits/t",
+        "Env B/t",
+        "EnvW/t",
+        "%NonPriv",
+        "Ops/W",
+        "Ops/NPW",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Characteristics {
+        Characteristics {
+            app: "fib".into(),
+            input: "30".into(),
+            serial_time: Duration::from_millis(1500),
+            memory_bytes: 3 * 1024 * 1024,
+            counts: RawCounts {
+                ops: 1000,
+                writes_private: 0,
+                writes_shared: 400,
+                writes_env: 0,
+                env_bytes: 1600,
+                tasks: 400,
+                taskwaits: 200,
+            },
+        }
+    }
+
+    #[test]
+    fn derived_columns() {
+        let c = sample();
+        assert_eq!(c.potential_tasks(), 400);
+        assert!((c.ops_per_task() - 2.5).abs() < 1e-12);
+        assert!((c.taskwaits_per_task() - 0.5).abs() < 1e-12);
+        assert!((c.env_bytes_per_task() - 4.0).abs() < 1e-12);
+        assert!((c.pct_nonprivate_writes() - 100.0).abs() < 1e-12);
+        assert!((c.ops_per_write() - 2.5).abs() < 1e-12);
+        assert!((c.ops_per_nonprivate_write().unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_shared_writes_prints_dash() {
+        let mut c = sample();
+        c.counts.writes_shared = 0;
+        assert!(c.ops_per_nonprivate_write().is_none());
+        assert!(format!("{c}").ends_with('-'));
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(4950.0), "4950");
+        assert_eq!(fmt_count(14_000_000.0), "≃ 14 M");
+        assert_eq!(fmt_count(40_000_000_000.0), "≃ 40 G");
+        assert_eq!(fmt_count(2.5), "2.50");
+        assert_eq!(fmt_count(463.7), "464");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(5 * 1024), "5.0 KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 + 200 * 1024), "3.2 MB");
+        assert_eq!(fmt_bytes(47 * 1024 * 1024 * 1024 / 10), "4.7 GB");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_millis(120)), "120.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(44.4)), "44.40 s");
+        assert_eq!(fmt_duration(Duration::from_secs(137)), "137 s");
+    }
+
+    #[test]
+    fn header_and_row_align() {
+        let c = sample();
+        let header = table2_header();
+        let row = format!("{c}");
+        assert_eq!(header.matches('|').count(), row.matches('|').count());
+    }
+
+    #[test]
+    fn empty_counts_do_not_divide_by_zero() {
+        let c = Characteristics {
+            app: "x".into(),
+            input: "y".into(),
+            serial_time: Duration::ZERO,
+            memory_bytes: 0,
+            counts: RawCounts::default(),
+        };
+        assert_eq!(c.ops_per_task(), 0.0);
+        assert_eq!(c.pct_nonprivate_writes(), 0.0);
+        assert!(c.ops_per_nonprivate_write().is_none());
+    }
+}

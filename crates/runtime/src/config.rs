@@ -1,0 +1,186 @@
+//! Runtime configuration: thread count, scheduling policy and runtime-side
+//! cut-off strategy.
+//!
+//! These knobs are the experimental variables of the BOTS paper's evaluation:
+//! §IV-B compares application cut-offs against *runtime* cut-offs (the Intel
+//! runtime used a max-task-count cut-off), §IV-C compares tied vs untied
+//! scheduling constraints, and §IV-D points at scheduling-policy studies.
+
+/// Local queue discipline: where the owning worker takes its next task from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalOrder {
+    /// Depth-first: pop the youngest task (own deque bottom). Best cache
+    /// locality for recursive kernels; this is what Cilk-style runtimes do.
+    #[default]
+    Lifo,
+    /// Breadth-first: take the oldest local task, like a FIFO queue. Exposes
+    /// more parallelism early but grows the working set; equivalent to the
+    /// "breadth-first" schedulers studied around OpenMP 3.0.
+    Fifo,
+}
+
+/// Runtime-implemented cut-off: when to serialise task creation regardless of
+/// what the application asked for. `#pragma omp task` in the application maps
+/// to `Scope::spawn` here; when the cut-off trips, the spawn runs inline
+/// (undeferred) instead of being queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeCutoff {
+    /// Never serialise: queue every task the application creates.
+    #[default]
+    None,
+    /// Serialise while the total number of queued-but-unstarted tasks exceeds
+    /// `per_worker × workers` (the strategy the paper attributes to the Intel
+    /// runtime: "a cut-off based on the number of tasks").
+    MaxTasks {
+        /// Queued-task budget per worker.
+        per_worker: usize,
+    },
+    /// Serialise while the *local* deque holds more than this many tasks.
+    MaxLocalQueue {
+        /// Maximum local queue length before spawns inline.
+        max_len: usize,
+    },
+    /// Serialise any task whose recursion depth exceeds this bound
+    /// (runtime-side equivalent of the applications' depth cut-offs).
+    MaxDepth {
+        /// Maximum depth at which tasks are still deferred.
+        max_depth: u32,
+    },
+    /// Adaptive hysteresis (after Duran et al., "An Adaptive Cut-off for Task
+    /// Parallelism", SC'08): serialise when the global queued-task count
+    /// rises above `high × workers`, resume deferring once it falls below
+    /// `low × workers`.
+    Adaptive {
+        /// Lower watermark per worker (resume deferring below this).
+        low: usize,
+        /// Upper watermark per worker (serialise above this).
+        high: usize,
+    },
+}
+
+/// Full runtime configuration. Build with [`RuntimeConfig::new`] and the
+/// `with_*` setters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Number of worker threads in the team.
+    pub num_threads: usize,
+    /// Local queue discipline.
+    pub local_order: LocalOrder,
+    /// Runtime-side cut-off strategy.
+    pub cutoff: RuntimeCutoff,
+    /// Enforce the tied-task scheduling constraint: a worker blocked at a
+    /// `taskwait` inside a *tied* task will not steal unrelated tasks from
+    /// other workers (it only drains its own deque). Untied tasks never
+    /// constrain the worker. Disabling this treats every task as untied at
+    /// scheduling points, regardless of its attribute.
+    pub enforce_tied_constraint: bool,
+    /// Steal attempts across the whole team before a worker considers
+    /// parking (each attempt probes every other worker once, in a random
+    /// rotation).
+    pub steal_rounds: usize,
+    /// Spin iterations between failed steal rounds before blocking.
+    pub spin_before_park: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            num_threads: default_threads(),
+            local_order: LocalOrder::Lifo,
+            cutoff: RuntimeCutoff::None,
+            enforce_tied_constraint: true,
+            steal_rounds: 4,
+            spin_before_park: 64,
+        }
+    }
+}
+
+/// Reads the default team size from `BOTS_NUM_THREADS` (mirroring
+/// `OMP_NUM_THREADS`), falling back to the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("BOTS_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl RuntimeConfig {
+    /// Configuration with an explicit team size and defaults elsewhere.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads >= 1, "a team needs at least one thread");
+        RuntimeConfig {
+            num_threads,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the local queue discipline.
+    pub fn with_local_order(mut self, order: LocalOrder) -> Self {
+        self.local_order = order;
+        self
+    }
+
+    /// Sets the runtime cut-off strategy.
+    pub fn with_cutoff(mut self, cutoff: RuntimeCutoff) -> Self {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// Enables or disables the tied-task scheduling constraint.
+    pub fn with_tied_constraint(mut self, enforce: bool) -> Self {
+        self.enforce_tied_constraint = enforce;
+        self
+    }
+
+    /// Sets the number of steal rounds before parking.
+    pub fn with_steal_rounds(mut self, rounds: usize) -> Self {
+        self.steal_rounds = rounds.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = RuntimeConfig::default();
+        assert!(c.num_threads >= 1);
+        assert_eq!(c.local_order, LocalOrder::Lifo);
+        assert_eq!(c.cutoff, RuntimeCutoff::None);
+        assert!(c.enforce_tied_constraint);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = RuntimeConfig::new(3)
+            .with_local_order(LocalOrder::Fifo)
+            .with_cutoff(RuntimeCutoff::MaxTasks { per_worker: 8 })
+            .with_tied_constraint(false)
+            .with_steal_rounds(2);
+        assert_eq!(c.num_threads, 3);
+        assert_eq!(c.local_order, LocalOrder::Fifo);
+        assert_eq!(c.cutoff, RuntimeCutoff::MaxTasks { per_worker: 8 });
+        assert!(!c.enforce_tied_constraint);
+        assert_eq!(c.steal_rounds, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = RuntimeConfig::new(0);
+    }
+
+    #[test]
+    fn steal_rounds_floor_is_one() {
+        let c = RuntimeConfig::new(1).with_steal_rounds(0);
+        assert_eq!(c.steal_rounds, 1);
+    }
+}

@@ -1,0 +1,484 @@
+//! A Chase-Lev work-stealing deque specialised for task pointers.
+//!
+//! This is the central scheduling data structure of the runtime: every worker
+//! owns one deque. The owner pushes and pops at the *bottom* (LIFO, giving
+//! depth-first execution and cache locality for recursive task trees, the
+//! common case for the BOTS kernels); thieves remove from the *top* (FIFO,
+//! stealing the oldest — and for divide-and-conquer trees the largest —
+//! pending task).
+//!
+//! The implementation follows Chase & Lev, *Dynamic Circular Work-Stealing
+//! Deque* (SPAA'05), with the memory orderings of Lê, Pop, Cohen &
+//! Zappa Nardelli, *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP'13). Elements are raw pointers (`usize`-sized), so the racy
+//! read in `steal` is an atomic pointer load validated by the subsequent CAS
+//! on `top`; no torn reads are possible.
+//!
+//! The ring buffer grows geometrically and never shrinks. Retired buffers are
+//! kept alive until the deque is dropped, which sidesteps all reclamation
+//! races: a thief holding a stale buffer pointer reads a slot that still
+//! contains the value it held at retirement time, and the CAS on `top`
+//! rejects the steal if that value is no longer current.
+
+use std::cell::UnsafeCell;
+use std::ptr::NonNull;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+/// Initial ring capacity (must be a power of two).
+const MIN_CAP: usize = 64;
+
+/// A fixed-capacity ring of atomic pointers.
+struct Buffer<T> {
+    slots: Box<[AtomicPtr<T>]>,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer {
+            slots,
+            mask: cap - 1,
+        })
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn read(&self, index: isize, order: Ordering) -> *mut T {
+        self.slots[index as usize & self.mask].load(order)
+    }
+
+    #[inline]
+    fn write(&self, index: isize, value: *mut T, order: Ordering) {
+        self.slots[index as usize & self.mask].store(value, order);
+    }
+}
+
+/// The shared state of one deque. `Worker` (owner side) and `Stealer`
+/// (thief side) both point at this.
+struct Inner<T> {
+    /// Index of the oldest element; thieves CAS this forward.
+    top: AtomicIsize,
+    /// Index one past the youngest element; only the owner writes this.
+    bottom: AtomicIsize,
+    /// Current ring buffer.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers retired by `grow`, freed when the deque is dropped.
+    /// Only the owner touches this.
+    retired: UnsafeCell<Vec<Box<Buffer<T>>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // The owner is gone; any elements still queued are leaked pointers
+        // owned by the caller (the pool drains all deques before dropping).
+        let buf = self.buffer.load(Ordering::Relaxed);
+        if !buf.is_null() {
+            drop(unsafe { Box::from_raw(buf) });
+        }
+        // `retired` drops its boxes.
+    }
+}
+
+/// Owner handle: push/pop at the bottom. Exactly one `TaskDeque` exists per
+/// `Inner`; it is not `Clone` and not `Sync` (owner operations must come from
+/// a single thread at a time).
+pub struct TaskDeque<T> {
+    inner: std::sync::Arc<Inner<T>>,
+}
+
+/// Thief handle: cloneable, steals from the top.
+pub struct Stealer<T> {
+    inner: std::sync::Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// Result of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Got one.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Unwraps `Success`, panicking otherwise. Test helper.
+    pub fn success(self) -> T {
+        match self {
+            Steal::Success(v) => v,
+            Steal::Empty => panic!("steal: empty"),
+            Steal::Retry => panic!("steal: retry"),
+        }
+    }
+}
+
+/// Creates a new deque, returning the owner handle and a thief handle.
+pub fn deque<T>() -> (TaskDeque<T>, Stealer<T>) {
+    let buffer = Box::into_raw(Buffer::<T>::new(MIN_CAP));
+    let inner = std::sync::Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(buffer),
+        retired: UnsafeCell::new(Vec::new()),
+    });
+    (
+        TaskDeque {
+            inner: inner.clone(),
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T> TaskDeque<T> {
+    /// Pushes an element at the bottom (owner only).
+    pub fn push(&self, value: NonNull<T>) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+
+        if b - t >= buf.capacity() as isize {
+            // Full: grow. Owner-only, so a plain copy of live slots is safe.
+            buf = self.grow(t, b);
+        }
+        buf.write(b, value.as_ptr(), Ordering::Relaxed);
+        fence(Ordering::Release);
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pops an element from the bottom (owner only, LIFO).
+    pub fn pop(&self) -> Option<NonNull<T>> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+
+        if t > b {
+            // Deque was empty; restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let value = buf.read(b, Ordering::Relaxed);
+        if t == b {
+            // Last element: race against thieves via CAS on top.
+            let won = inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                return None;
+            }
+        }
+        NonNull::new(value)
+    }
+
+    /// Removes the *oldest* element (owner-side FIFO). Used by the
+    /// breadth-first local-queue discipline: the owner takes from the same
+    /// end thieves do, via the same CAS protocol.
+    pub fn pop_fifo(&self) -> Option<NonNull<T>> {
+        loop {
+            match self.steal_top() {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    fn steal_top(&self) -> Steal<NonNull<T>> {
+        steal_impl(&self.inner)
+    }
+
+    /// Approximate number of queued elements (owner's view; racy for others).
+    pub fn len(&self) -> usize {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// True when no elements are observed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Grows the ring to twice its size, copying the live range `[t, b)`.
+    #[cold]
+    fn grow(&self, t: isize, b: isize) -> &Buffer<T> {
+        let inner = &*self.inner;
+        let old_ptr = inner.buffer.load(Ordering::Relaxed);
+        let old = unsafe { &*old_ptr };
+        let new = Buffer::<T>::new(old.capacity() * 2);
+        for i in t..b {
+            new.write(i, old.read(i, Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let new_ptr = Box::into_raw(new);
+        inner.buffer.store(new_ptr, Ordering::Release);
+        // Keep the old buffer alive for thieves holding stale pointers.
+        unsafe { (*inner.retired.get()).push(Box::from_raw(old_ptr)) };
+        // Reconstitute: `retired` now owns old; `buffer` owns new. Avoid the
+        // double-free in Inner::drop by leaving `buffer` pointing at new only.
+        unsafe { &*new_ptr }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal the oldest element.
+    pub fn steal(&self) -> Steal<NonNull<T>> {
+        steal_impl(&self.inner)
+    }
+
+    /// Approximate length as seen by a thief.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// True when no elements are observed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn steal_impl<T>(inner: &Inner<T>) -> Steal<NonNull<T>> {
+    let t = inner.top.load(Ordering::Acquire);
+    fence(Ordering::SeqCst);
+    let b = inner.bottom.load(Ordering::Acquire);
+    if t >= b {
+        return Steal::Empty;
+    }
+    // Non-owner read of the buffer pointer: Acquire pairs with the Release
+    // store in `grow`.
+    let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
+    let value = buf.read(t, Ordering::Relaxed);
+    if inner
+        .top
+        .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+        .is_err()
+    {
+        return Steal::Retry;
+    }
+    match NonNull::new(value) {
+        Some(v) => Steal::Success(v),
+        // A null here would mean reading a slot that was never written at
+        // this logical index, which the CAS should have excluded.
+        None => Steal::Retry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn boxed(v: usize) -> NonNull<usize> {
+        NonNull::new(Box::into_raw(Box::new(v))).unwrap()
+    }
+
+    unsafe fn unbox(p: NonNull<usize>) -> usize {
+        *Box::from_raw(p.as_ptr())
+    }
+
+    #[test]
+    fn lifo_owner_semantics() {
+        let (d, _s) = deque::<usize>();
+        for i in 0..10 {
+            d.push(boxed(i));
+        }
+        for i in (0..10).rev() {
+            assert_eq!(unsafe { unbox(d.pop().unwrap()) }, i);
+        }
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_steal_semantics() {
+        let (d, s) = deque::<usize>();
+        for i in 0..10 {
+            d.push(boxed(i));
+        }
+        for i in 0..10 {
+            assert_eq!(unsafe { unbox(s.steal().success()) }, i);
+        }
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn owner_fifo_pop() {
+        let (d, _s) = deque::<usize>();
+        for i in 0..5 {
+            d.push(boxed(i));
+        }
+        for i in 0..5 {
+            assert_eq!(unsafe { unbox(d.pop_fifo().unwrap()) }, i);
+        }
+        assert!(d.pop_fifo().is_none());
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let (d, s) = deque::<usize>();
+        let n = MIN_CAP * 8;
+        for i in 0..n {
+            d.push(boxed(i));
+        }
+        assert_eq!(d.len(), n);
+        // Steal half from the top, pop half from the bottom.
+        for i in 0..n / 2 {
+            assert_eq!(unsafe { unbox(s.steal().success()) }, i);
+        }
+        for i in (n / 2..n).rev() {
+            assert_eq!(unsafe { unbox(d.pop().unwrap()) }, i);
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_steal_single_thread() {
+        let (d, s) = deque::<usize>();
+        d.push(boxed(1));
+        d.push(boxed(2));
+        assert_eq!(unsafe { unbox(s.steal().success()) }, 1);
+        d.push(boxed(3));
+        assert_eq!(unsafe { unbox(d.pop().unwrap()) }, 3);
+        assert_eq!(unsafe { unbox(d.pop().unwrap()) }, 2);
+        assert!(d.pop().is_none());
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    /// One owner + many thieves: every pushed element is received exactly
+    /// once across owner pops and thief steals.
+    #[test]
+    fn concurrent_no_loss_no_duplication() {
+        const PUSHES: usize = 50_000;
+        const THIEVES: usize = 6;
+
+        let (d, s) = deque::<usize>();
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+
+        for _ in 0..THIEVES {
+            let s = s.clone();
+            let done = done.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match s.steal() {
+                        Steal::Success(p) => got.push(unsafe { unbox(p) }),
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                // Drain once more to catch stragglers.
+                                while let Steal::Success(p) = s.steal() {
+                                    got.push(unsafe { unbox(p) });
+                                }
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                got
+            }));
+        }
+
+        // Owner: push everything, popping now and then.
+        let mut owner_got = Vec::new();
+        for i in 0..PUSHES {
+            d.push(boxed(i));
+            if i % 7 == 0 {
+                if let Some(p) = d.pop() {
+                    owner_got.push(unsafe { unbox(p) });
+                }
+            }
+        }
+        while let Some(p) = d.pop() {
+            owner_got.push(unsafe { unbox(p) });
+        }
+        done.store(1, Ordering::Release);
+
+        let mut all: Vec<usize> = owner_got;
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        assert_eq!(all.len(), PUSHES, "lost or duplicated elements");
+        let set: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(set.len(), PUSHES, "duplicated elements");
+    }
+
+    /// Stress growth under concurrent stealing.
+    #[test]
+    fn concurrent_growth() {
+        const PUSHES: usize = 200_000;
+        let (d, s) = deque::<usize>();
+        let done = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::new(AtomicUsize::new(0));
+
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let s = s.clone();
+            let done = done.clone();
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(p) => {
+                        unsafe { unbox(p) };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) == 1 {
+                            while let Steal::Success(p) = s.steal() {
+                                unsafe { unbox(p) };
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            }
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+
+        for i in 0..PUSHES {
+            d.push(boxed(i));
+        }
+        let mut popped = 0usize;
+        while let Some(p) = d.pop() {
+            unsafe { unbox(p) };
+            popped += 1;
+        }
+        done.store(1, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(popped + counter.load(Ordering::Relaxed), PUSHES);
+    }
+}

@@ -1,0 +1,73 @@
+//! # bots-runtime — a work-stealing tasking runtime modelling OpenMP 3.0 tasks
+//!
+//! This crate is the execution substrate of the BOTS reproduction: a
+//! from-scratch work-stealing runtime whose surface mirrors the OpenMP 3.0
+//! tasking model that the Barcelona OpenMP Tasks Suite was written against.
+//!
+//! ```
+//! use bots_runtime::{Runtime, RuntimeConfig, TaskAttrs};
+//!
+//! let rt = Runtime::new(RuntimeConfig::new(4));
+//! let total = rt.parallel(|s| {
+//!     // `parallel` is an OpenMP parallel region + single construct: this
+//!     // closure is the region's root task.
+//!     s.spawn(|_| { /* #pragma omp task */ });
+//!     s.spawn_with(TaskAttrs::untied(), |_| { /* untied task */ });
+//!     s.taskwait();                       // #pragma omp taskwait
+//!     1 + 2
+//! });
+//! assert_eq!(total, 3);
+//! ```
+//!
+//! ## What is modelled, and how faithfully
+//!
+//! * **Tasks** are heap descriptors queued on per-worker [Chase-Lev
+//!   deques](deque); idle workers steal the oldest task from a random
+//!   victim.
+//! * **Tied vs untied** ([`TaskAttrs`]): a task always runs start-to-finish
+//!   on one OS thread (icc 11.0, the paper's runtime, did not implement
+//!   thread switching either). The difference is the *task scheduling
+//!   constraint*: blocked at a [`taskwait`](Scope::taskwait) inside a tied
+//!   task, a worker only picks up descendants of that task from its own
+//!   deque; inside an untied task it drains its deque freely and steals.
+//! * **Cut-offs**: the `if` clause makes a spawn undeferred but still does
+//!   runtime bookkeeping; [`RuntimeCutoff`] implements runtime-side
+//!   strategies (max tasks, max local queue, max depth, adaptive) — the
+//!   paper's §IV-B taxonomy. A *manual* cut-off is simply not calling
+//!   `spawn`, which the runtime never sees.
+//! * **Generators**: [`Scope::parallel_for`] reproduces the `omp for`
+//!   multiple-generator construct; a plain loop in the region root is the
+//!   `single` generator.
+//! * **Scheduling policy** ([`LocalOrder`]): depth-first (LIFO) or
+//!   breadth-first (FIFO) local queues.
+//!
+//! ## Structure
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`deque`] | Chase-Lev work-stealing deque (the only `unsafe`-heavy core) |
+//! | [`pool`](Runtime) | worker threads, injector, region lifecycle |
+//! | [`scope`](Scope) | `spawn` / `taskwait` / `parallel_for` |
+//! | [`config`](RuntimeConfig) | policy & cut-off knobs |
+//! | [`stats`](RuntimeStats) | per-worker counters (steals, parks, inlining) |
+//! | [`local`](WorkerLocal) | `threadprivate`-style per-worker storage |
+
+#![warn(missing_docs)]
+
+pub mod deque;
+mod event;
+mod rng;
+
+mod config;
+mod local;
+mod pool;
+mod scope;
+mod stats;
+mod task;
+
+pub use config::{default_threads, LocalOrder, RuntimeConfig, RuntimeCutoff};
+pub use local::{CacheAligned, WorkerCounter, WorkerLocal};
+pub use pool::Runtime;
+pub use scope::Scope;
+pub use stats::RuntimeStats;
+pub use task::TaskAttrs;

@@ -1,0 +1,160 @@
+//! Worker-local storage: the `threadprivate` idiom.
+//!
+//! The paper's NQueens kernel avoids a contended `critical` section by
+//! accumulating solution counts in `threadprivate` variables, reduced once
+//! at the end of the parallel region. [`WorkerLocal`] and [`WorkerCounter`]
+//! provide that pattern: one padded slot per worker, indexed by
+//! [`Scope::worker_id`](crate::Scope::worker_id).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::scope::Scope;
+
+/// Pads a value to its own cache line pair to prevent false sharing between
+/// adjacent workers' slots.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+pub struct CacheAligned<T>(pub T);
+
+/// One value of `T` per worker. `T` needs interior mutability (atomics, a
+/// mutex, ...) to be written through the shared reference this hands out.
+pub struct WorkerLocal<T> {
+    slots: Box<[CacheAligned<T>]>,
+}
+
+impl<T: Default> WorkerLocal<T> {
+    /// One default-initialised slot per team member.
+    pub fn new(num_workers: usize) -> Self {
+        WorkerLocal {
+            slots: (0..num_workers)
+                .map(|_| CacheAligned(T::default()))
+                .collect(),
+        }
+    }
+}
+
+impl<T> WorkerLocal<T> {
+    /// Builds each slot from its worker index.
+    pub fn from_fn(num_workers: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        WorkerLocal {
+            slots: (0..num_workers).map(|i| CacheAligned(f(i))).collect(),
+        }
+    }
+
+    /// The current worker's slot.
+    #[inline]
+    pub fn get(&self, scope: &Scope<'_>) -> &T {
+        &self.slots[scope.worker_id()].0
+    }
+
+    /// A specific worker's slot (for the reduction at region end).
+    #[inline]
+    pub fn get_index(&self, index: usize) -> &T {
+        &self.slots[index].0
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True for a zero-worker team (never happens in practice).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates all slots.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().map(|s| &s.0)
+    }
+}
+
+/// A per-worker `u64` accumulator: uncontended relaxed adds on the hot path,
+/// a full sum at the end. The `threadprivate` + end-of-region reduction
+/// idiom from the paper's NQueens discussion.
+pub struct WorkerCounter {
+    inner: WorkerLocal<AtomicU64>,
+}
+
+impl WorkerCounter {
+    /// Zeroed counter bank for an `n`-worker team.
+    pub fn new(num_workers: usize) -> Self {
+        WorkerCounter {
+            inner: WorkerLocal::new(num_workers),
+        }
+    }
+
+    /// Adds to the current worker's slot. Uncontended by construction, so
+    /// this is as cheap as an ordinary add plus a `lock`-free store.
+    #[inline]
+    pub fn add(&self, scope: &Scope<'_>, v: u64) {
+        self.inner.get(scope).fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increments the current worker's slot.
+    #[inline]
+    pub fn incr(&self, scope: &Scope<'_>) {
+        self.add(scope, 1);
+    }
+
+    /// Reduces all slots.
+    pub fn sum(&self) -> u64 {
+        self.inner.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Resets all slots to zero.
+    pub fn reset(&self) {
+        for a in self.inner.iter() {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn counter_accumulates_across_workers() {
+        let rt = Runtime::new(RuntimeConfig::new(4));
+        let counter = WorkerCounter::new(rt.num_threads());
+        rt.parallel(|s| {
+            for _ in 0..100 {
+                s.spawn(|s| {
+                    counter.incr(s);
+                });
+            }
+            s.taskwait();
+        });
+        assert_eq!(counter.sum(), 100);
+        counter.reset();
+        assert_eq!(counter.sum(), 0);
+    }
+
+    #[test]
+    fn worker_local_slots_are_distinct() {
+        let wl = WorkerLocal::<AtomicU64>::new(3);
+        wl.get_index(0).store(1, Ordering::Relaxed);
+        wl.get_index(2).store(5, Ordering::Relaxed);
+        let values: Vec<u64> = wl.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        assert_eq!(values, vec![1, 0, 5]);
+        assert_eq!(wl.len(), 3);
+        assert!(!wl.is_empty());
+    }
+
+    #[test]
+    fn from_fn_uses_index() {
+        let wl = WorkerLocal::from_fn(4, |i| i * 10);
+        assert_eq!(*wl.get_index(3), 30);
+    }
+
+    #[test]
+    fn alignment_prevents_false_sharing() {
+        assert!(std::mem::align_of::<CacheAligned<u8>>() >= 128);
+        let wl = WorkerLocal::<AtomicU64>::new(2);
+        let a = wl.get_index(0) as *const _ as usize;
+        let b = wl.get_index(1) as *const _ as usize;
+        assert!(b - a >= 128);
+    }
+}

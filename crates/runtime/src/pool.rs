@@ -1,0 +1,448 @@
+//! The worker pool and execution engine.
+//!
+//! A [`Runtime`] owns a team of worker threads, one Chase-Lev deque per
+//! worker, and a global injector queue. [`Runtime::parallel`] models an
+//! OpenMP `parallel` region whose body runs under a `single` construct: the
+//! closure executes exactly once, as the region's *root task*, on whichever
+//! worker grabs it first; every other worker immediately enters the
+//! work-stealing loop. Tasks spawned inside the region are distributed by
+//! work stealing until the region quiesces (`live == 0`), at which point
+//! `parallel` returns.
+//!
+//! ## Scheduling points
+//!
+//! Like an OpenMP runtime, workers switch tasks at two points only: task
+//! completion (the worker loop) and `taskwait` (see [`crate::scope`]). A task
+//! runs on one OS thread from start to finish; what the tied/untied
+//! distinction controls here is which *other* tasks a worker may pick up
+//! while it waits at a `taskwait` (the task scheduling constraint), not
+//! thread migration — matching the icc 11.0 behaviour the paper evaluates
+//! (no thread switching).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::{LocalOrder, RuntimeConfig, RuntimeCutoff};
+use crate::deque::{deque, Steal, Stealer, TaskDeque};
+use crate::event::EventCount;
+use crate::rng::XorShift64;
+use crate::scope::Scope;
+use crate::stats::{RuntimeStats, WorkerCounters};
+use crate::task::{Task, TaskNode};
+
+/// Worker-thread stack size. Task switching at `taskwait` nests task frames
+/// on the worker stack (there is no continuation stealing), so recursive
+/// kernels run with a generous stack.
+const WORKER_STACK: usize = 64 * 1024 * 1024;
+
+/// How long a parked worker sleeps before re-probing, as a lost-wakeup
+/// safety net. Wake-ups normally arrive via the event count.
+const PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(2);
+
+/// State shared by the team, the region master and all scopes.
+pub(crate) struct Shared {
+    pub(crate) config: RuntimeConfig,
+    /// Thief handles, indexed by worker.
+    pub(crate) stealers: Vec<Stealer<Task>>,
+    /// Global queue; region root tasks enter here.
+    pub(crate) injector: Mutex<VecDeque<NonNull<Task>>>,
+    /// Single event count for every state change: task pushed, task
+    /// completed, shutdown. Workers, taskwaiters and the region master all
+    /// park here.
+    pub(crate) event: EventCount,
+    /// Tasks alive in the current region (root + deferred, queued or
+    /// running). The region ends when this reaches zero.
+    pub(crate) live: AtomicUsize,
+    /// Deferred tasks currently queued and not yet started; drives the
+    /// `MaxTasks` / `Adaptive` cut-offs.
+    pub(crate) queued: AtomicUsize,
+    /// Hysteresis state for the adaptive cut-off.
+    pub(crate) adaptive_serializing: AtomicBool,
+    /// First panic payload observed in the region.
+    pub(crate) panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Team shutdown flag (checked by parked workers).
+    pub(crate) shutdown: AtomicBool,
+    /// Per-worker statistics.
+    pub(crate) counters: Vec<WorkerCounters>,
+}
+
+// Safety: `Shared` is shared across worker threads by design. The raw task
+// pointers in the injector are exclusively owned heap tasks (`Box<Task>`
+// converted by `Task::into_ptr`) whose closures are `Send`; the deque
+// stealers hand the same kind of pointer over with the Chase-Lev protocol
+// guaranteeing each is received exactly once.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+impl Shared {
+    /// Should a spawn at `depth` be serialised by the runtime cut-off?
+    pub(crate) fn cutoff_trips(&self, local_len: usize, depth: u32) -> bool {
+        let workers = self.config.num_threads;
+        match self.config.cutoff {
+            RuntimeCutoff::None => false,
+            RuntimeCutoff::MaxTasks { per_worker } => {
+                self.queued.load(Ordering::Relaxed) >= per_worker * workers
+            }
+            RuntimeCutoff::MaxLocalQueue { max_len } => local_len >= max_len,
+            RuntimeCutoff::MaxDepth { max_depth } => depth >= max_depth,
+            RuntimeCutoff::Adaptive { low, high } => {
+                let queued = self.queued.load(Ordering::Relaxed);
+                if self.adaptive_serializing.load(Ordering::Relaxed) {
+                    if queued < low * workers {
+                        self.adaptive_serializing.store(false, Ordering::Relaxed);
+                        false
+                    } else {
+                        true
+                    }
+                } else if queued > high * workers {
+                    self.adaptive_serializing.store(true, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker context. Owned by the worker thread; tasks reach it through
+/// the [`Scope`] they are handed.
+pub(crate) struct WorkerCtx {
+    pub(crate) index: usize,
+    pub(crate) deque: TaskDeque<Task>,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) rng: std::cell::RefCell<XorShift64>,
+}
+
+impl WorkerCtx {
+    #[inline]
+    pub(crate) fn counters(&self) -> &WorkerCounters {
+        &self.shared.counters[self.index]
+    }
+
+    /// Pops a local task according to the configured discipline.
+    pub(crate) fn pop_local(&self) -> Option<NonNull<Task>> {
+        match self.shared.config.local_order {
+            LocalOrder::Lifo => self.deque.pop(),
+            LocalOrder::Fifo => self.deque.pop_fifo(),
+        }
+    }
+
+    /// Pops from the LIFO end regardless of policy (used by tied taskwaits,
+    /// where the bottom of the deque is where descendants live).
+    pub(crate) fn pop_local_lifo(&self) -> Option<NonNull<Task>> {
+        self.deque.pop()
+    }
+
+    /// Takes a region root from the injector.
+    pub(crate) fn pop_injector(&self) -> Option<NonNull<Task>> {
+        self.shared.injector.lock().pop_front()
+    }
+
+    /// One round of stealing: probes every other worker once, starting at a
+    /// random victim.
+    pub(crate) fn try_steal(&self) -> Option<NonNull<Task>> {
+        let n = self.shared.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = self.rng.borrow_mut().below(n);
+        let counters = self.counters();
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == self.index {
+                continue;
+            }
+            loop {
+                match self.shared.stealers[victim].steal() {
+                    Steal::Success(t) => {
+                        WorkerCounters::bump(&counters.stolen);
+                        return Some(t);
+                    }
+                    Steal::Retry => {
+                        WorkerCounters::bump(&counters.steal_misses);
+                        std::hint::spin_loop();
+                    }
+                    Steal::Empty => {
+                        WorkerCounters::bump(&counters.steal_misses);
+                        break;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Is any work visible anywhere? Used to re-check before parking.
+    pub(crate) fn work_visible(&self) -> bool {
+        if !self.deque.is_empty() {
+            return true;
+        }
+        if !self.shared.injector.lock().is_empty() {
+            return true;
+        }
+        self.shared
+            .stealers
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != self.index && !s.is_empty())
+    }
+
+    /// Executes a deferred task to completion and performs end-of-task
+    /// bookkeeping (parent child-count, region live count, wake-ups).
+    pub(crate) fn execute(&self, ptr: NonNull<Task>) {
+        let shared = &*self.shared;
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        let mut task = unsafe { Task::from_ptr(ptr) };
+        let run = task.run.take().expect("task executed twice");
+        let counters = self.counters();
+        WorkerCounters::bump(&counters.executed);
+
+        let ec = ExecCtx {
+            worker: self,
+            node: task.node.clone(),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(&ec)));
+        if let Err(payload) = outcome {
+            let mut slot = shared.panic.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+
+        // Completion: a task does *not* wait for its children (that is what
+        // taskwait is for); it only reports its own termination.
+        if let Some(parent) = &task.node.parent {
+            parent.child_done();
+        }
+        if let Some(group) = &task.node.group {
+            group.leave();
+        }
+        shared.live.fetch_sub(1, Ordering::AcqRel);
+        shared.event.notify();
+    }
+}
+
+/// Execution context handed to a task's shim closure: enough to rebuild a
+/// [`Scope`] on the executing worker.
+pub(crate) struct ExecCtx<'w> {
+    pub(crate) worker: &'w WorkerCtx,
+    pub(crate) node: Arc<TaskNode>,
+}
+
+/// A raw pointer that asserts `Send`, for smuggling a stack slot into the
+/// lifetime-erased root shim. Sound because `Runtime::parallel` blocks until
+/// the shim has run.
+struct SendPtr<T>(*const T);
+unsafe impl<T> Send for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Send` wrapper, not the raw pointer field.
+    fn get(&self) -> *const T {
+        self.0
+    }
+}
+
+/// A team of worker threads implementing the OpenMP 3.0 task execution
+/// model. See the [crate docs](crate) for an overview and
+/// [`Runtime::parallel`] for the entry point.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serialises concurrent `parallel()` calls: one region at a time.
+    region_lock: Mutex<()>,
+}
+
+impl Runtime {
+    /// Builds a team from an explicit configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let n = config.num_threads;
+        let mut owners = Vec::with_capacity(n);
+        let mut stealers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (owner, stealer) = deque::<Task>();
+            owners.push(owner);
+            stealers.push(stealer);
+        }
+        let shared = Arc::new(Shared {
+            config,
+            stealers,
+            injector: Mutex::new(VecDeque::new()),
+            event: EventCount::new(),
+            live: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            adaptive_serializing: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            counters: (0..n).map(|_| WorkerCounters::default()).collect(),
+        });
+
+        let mut handles = Vec::with_capacity(n);
+        for (index, owner) in owners.into_iter().enumerate() {
+            let shared = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("bots-worker-{index}"))
+                .stack_size(WORKER_STACK)
+                .spawn(move || {
+                    let ctx = WorkerCtx {
+                        index,
+                        deque: owner,
+                        shared,
+                        rng: std::cell::RefCell::new(XorShift64::new(
+                            0x9E37_79B9 ^ ((index as u64 + 1) << 17),
+                        )),
+                    };
+                    worker_loop(&ctx);
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+
+        Runtime {
+            shared,
+            handles,
+            region_lock: Mutex::new(()),
+        }
+    }
+
+    /// Team with `n` threads and default policy.
+    pub fn with_threads(n: usize) -> Self {
+        Runtime::new(RuntimeConfig::new(n))
+    }
+
+    /// Team size.
+    pub fn num_threads(&self) -> usize {
+        self.shared.config.num_threads
+    }
+
+    /// The configuration this team was built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.shared.config
+    }
+
+    /// Aggregated statistics since the team started (monotonic; diff
+    /// snapshots with [`RuntimeStats::since`] to scope them to a region).
+    pub fn stats(&self) -> RuntimeStats {
+        let mut s = RuntimeStats::default();
+        for w in &self.shared.counters {
+            s.accumulate(w);
+        }
+        s
+    }
+
+    /// Runs `f` as the root task of a parallel region (OpenMP
+    /// `parallel` + `single`) and returns its result once the region has
+    /// quiesced — i.e. after every task spawned inside, transitively, has
+    /// completed. Panics from any task are re-raised here.
+    ///
+    /// Must not be called from inside a task of the same runtime.
+    pub fn parallel<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R + Send + 'env,
+        R: Send + 'env,
+    {
+        let _region = self.region_lock.lock();
+        let shared = &self.shared;
+        debug_assert_eq!(shared.live.load(Ordering::Acquire), 0);
+
+        let result: Mutex<Option<R>> = Mutex::new(None);
+        let root_node = TaskNode::root();
+
+        {
+            // Shim: run the user closure, stash the result. Lifetime-erased;
+            // sound because this function blocks until the region quiesces,
+            // so the stack slot behind `result_ptr` outlives the root task.
+            let result_ptr = SendPtr(&result as *const Mutex<Option<R>>);
+            let shim: Box<dyn FnOnce(&ExecCtx<'_>) + Send + 'env> = Box::new(move |ec| {
+                let scope = Scope::from_exec(ec);
+                let r = f(&scope);
+                *unsafe { &*result_ptr.get() }.lock() = Some(r);
+            });
+            let shim: Box<dyn FnOnce(&ExecCtx<'_>) + Send + 'static> =
+                unsafe { std::mem::transmute(shim) };
+
+            let task = Box::new(Task {
+                run: Some(shim),
+                node: root_node,
+            });
+            shared.live.store(1, Ordering::Release);
+            shared.queued.fetch_add(1, Ordering::Relaxed);
+            shared.injector.lock().push_back(task.into_ptr());
+            shared.event.notify();
+
+            // Wait for quiescence.
+            loop {
+                let epoch = shared.event.prepare();
+                if shared.live.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                shared.event.wait(epoch);
+            }
+        }
+
+        if let Some(payload) = shared.panic.lock().take() {
+            resume_unwind(payload);
+        }
+        result
+            .into_inner()
+            .expect("root task did not record a result")
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.event.notify();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Default for Runtime {
+    /// Team sized by `BOTS_NUM_THREADS` or the machine's parallelism.
+    fn default() -> Self {
+        Runtime::new(RuntimeConfig::default())
+    }
+}
+
+/// The worker main loop: local pop → injector → steal rounds → park.
+fn worker_loop(ctx: &WorkerCtx) {
+    let shared = &*ctx.shared;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(task) = ctx.pop_local().or_else(|| ctx.pop_injector()) {
+            ctx.execute(task);
+            continue;
+        }
+        let mut found = false;
+        for _ in 0..shared.config.steal_rounds {
+            if let Some(task) = ctx.try_steal() {
+                ctx.execute(task);
+                found = true;
+                break;
+            }
+            for _ in 0..shared.config.spin_before_park {
+                std::hint::spin_loop();
+            }
+        }
+        if found {
+            continue;
+        }
+        // Nothing anywhere: park until an event or the safety timeout.
+        let epoch = shared.event.prepare();
+        if shared.shutdown.load(Ordering::Acquire) || ctx.work_visible() {
+            continue;
+        }
+        WorkerCounters::bump(&ctx.counters().parks);
+        shared.event.wait_timeout(epoch, PARK_TIMEOUT);
+    }
+}

@@ -1,0 +1,85 @@
+//! A tiny xorshift64* generator for steal-victim selection.
+//!
+//! Victim selection needs speed and decorrelation between workers, not
+//! statistical quality, so a 3-shift xorshift with a multiplicative finaliser
+//! is plenty. Each worker seeds from its index so the rotation patterns of
+//! different workers diverge immediately.
+
+/// Xorshift64* PRNG (Vigna 2016 parameters).
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the generator; a zero seed is remapped (xorshift has a zero
+    /// fixed point).
+    pub fn new(seed: u64) -> Self {
+        let state = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
+        XorShift64 { state }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `[0, bound)` via the widening-multiply trick.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = XorShift64::new(0);
+        let mut b = XorShift64::new(0x9E37_79B9_7F4A_7C15);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = XorShift64::new(42);
+        for _ in 0..10_000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+        }
+    }
+
+    #[test]
+    fn covers_all_residues() {
+        let mut rng = XorShift64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[rng.below(5)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some residue never produced: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! The task-creation API handed to code running inside a parallel region.
+//!
+//! A [`Scope`] is the Rust-side stand-in for "being inside an OpenMP task":
+//! it knows the executing worker and the current task's bookkeeping node.
+//! Its methods map one-to-one onto the constructs the BOTS kernels use:
+//!
+//! | OpenMP | here |
+//! |---|---|
+//! | `#pragma omp task` | [`Scope::spawn`] |
+//! | `#pragma omp task untied if(c) final(d)` | [`Scope::spawn_with`] + [`TaskAttrs`] |
+//! | `#pragma omp taskwait` | [`Scope::taskwait`] |
+//! | `#pragma omp taskgroup` (3.1) | [`Scope::taskgroup`] |
+//! | `#pragma omp taskyield` (3.1) | [`Scope::taskyield`] |
+//! | `#pragma omp for` (task generator loop) | [`Scope::parallel_for`] |
+//! | `omp_get_thread_num()` | [`Scope::worker_id`] |
+//! | `omp_get_num_threads()` | [`Scope::num_workers`] |
+//! | `omp_in_final()` | [`Scope::in_final`] |
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::pool::{ExecCtx, WorkerCtx};
+use crate::stats::WorkerCounters;
+use crate::task::{Group, Task, TaskAttrs, TaskNode};
+
+/// How long a task blocked at `taskwait` sleeps between re-probes when it
+/// cannot legally run anything (safety net; normal wake-ups are eventful).
+const WAIT_PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(2);
+
+/// Execution context of one running task; see the module-level docs for
+/// the OpenMP construct mapping.
+///
+/// `'scope` bounds the data that spawned tasks may borrow; it is the region
+/// body's environment lifetime, enforced exactly like `std::thread::scope` /
+/// `rayon::scope`: [`crate::Runtime::parallel`] does not return until every
+/// task has finished, so `'scope` borrows stay valid for as long as any task
+/// can observe them.
+pub struct Scope<'scope> {
+    worker: *const WorkerCtx,
+    node: Arc<TaskNode>,
+    /// Innermost active `taskgroup`, inherited by spawned tasks.
+    group: Option<Arc<Group>>,
+    /// Invariant in `'scope`.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    pub(crate) fn from_exec(ec: &ExecCtx<'_>) -> Scope<'scope> {
+        Scope {
+            worker: ec.worker as *const WorkerCtx,
+            node: ec.node.clone(),
+            group: ec.node.group.clone(),
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn worker(&self) -> &WorkerCtx {
+        // Safety: a Scope only exists on the stack of the worker thread that
+        // is executing the task (Scope is !Send), and the WorkerCtx outlives
+        // every task execution on that thread.
+        unsafe { &*self.worker }
+    }
+
+    /// Index of the worker executing the current task, in `0..num_workers`.
+    /// Stable for the whole task body (tasks never migrate mid-execution).
+    #[inline]
+    pub fn worker_id(&self) -> usize {
+        self.worker().index
+    }
+
+    /// Team size.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.worker().shared.config.num_threads
+    }
+
+    /// Recursion depth of the current task (region root = 0).
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.node.depth
+    }
+
+    /// Is the current task tied?
+    #[inline]
+    pub fn is_tied(&self) -> bool {
+        self.node.tied
+    }
+
+    /// Is the current task final (OpenMP 3.1 `omp_in_final()`)? Children of
+    /// a final task are executed inline, unconditionally.
+    #[inline]
+    pub fn in_final(&self) -> bool {
+        self.node.final_
+    }
+
+    /// `#pragma omp task`: spawns a tied, deferred child task.
+    #[inline]
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.spawn_with(TaskAttrs::default(), f);
+    }
+
+    /// Spawns a child task with explicit attributes (`untied`, `if`,
+    /// `final`). The decision cascade mirrors an OpenMP runtime:
+    ///
+    /// 1. inside a final task → run inline (included task);
+    /// 2. `if(false)` → run inline, undeferred, but *through* the runtime
+    ///    (bookkeeping happens — this is the paper's if-clause cut-off);
+    /// 3. runtime cut-off trips → run inline;
+    /// 4. otherwise allocate, link to parent, and push on the local deque.
+    pub fn spawn_with<F>(&self, attrs: TaskAttrs, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let worker = self.worker();
+        let shared = &*worker.shared;
+        let counters = worker.counters();
+
+        if self.node.final_ {
+            WorkerCounters::bump(&counters.inlined_final);
+            return self.run_inline(attrs, f);
+        }
+        if !attrs.if_clause {
+            WorkerCounters::bump(&counters.inlined_if);
+            return self.run_inline(attrs, f);
+        }
+        if shared.cutoff_trips(worker.deque.len(), self.node.depth) {
+            WorkerCounters::bump(&counters.inlined_cutoff);
+            return self.run_inline(attrs, f);
+        }
+
+        let node = TaskNode::child_of(&self.node, self.group.clone(), attrs);
+        self.node.add_child();
+        if let Some(g) = &self.group {
+            g.join();
+        }
+        shared
+            .live
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        shared
+            .queued
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        WorkerCounters::bump(&counters.spawned);
+
+        let shim: Box<dyn FnOnce(&ExecCtx<'_>) + Send + 'scope> = Box::new(move |ec| {
+            let scope = Scope::from_exec(ec);
+            f(&scope);
+        });
+        // Safety: lifetime erasure, identical to `rayon::Scope`. The region
+        // master blocks in `Runtime::parallel` until `live == 0`, which
+        // happens-after this task's closure has returned, so the `'scope`
+        // environment outlives every access the closure can make.
+        let shim: Box<dyn FnOnce(&ExecCtx<'_>) + Send + 'static> =
+            unsafe { std::mem::transmute(shim) };
+
+        worker.deque.push(
+            Box::new(Task {
+                run: Some(shim),
+                node,
+            })
+            .into_ptr(),
+        );
+        shared.event.notify();
+    }
+
+    /// Runs an undeferred (inline / included) task: full node bookkeeping so
+    /// `depth`, tiedness and `final` propagation stay correct, executed
+    /// synchronously on the current stack.
+    fn run_inline<F>(&self, attrs: TaskAttrs, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        // No group join/leave: an inline task completes before this returns,
+        // so it can never be outstanding at a group wait.
+        let node = TaskNode::child_of(&self.node, self.group.clone(), attrs);
+        let child = Scope {
+            worker: self.worker,
+            node,
+            group: self.group.clone(),
+            _marker: PhantomData,
+        };
+        f(&child);
+    }
+
+    /// `#pragma omp taskwait`: blocks until every *direct* child of the
+    /// current task has completed.
+    ///
+    /// This is a task scheduling point. While blocked, the worker executes
+    /// other tasks ("task switching"):
+    ///
+    /// * inside an **untied** task there is no restriction — the worker
+    ///   drains its own deque and steals from the rest of the team;
+    /// * inside a **tied** task the scheduling constraint applies — the
+    ///   worker may only pick up *descendants* of the waiting task, which it
+    ///   finds at the LIFO end of its own deque; it will not steal.
+    ///
+    /// The constraint enforcement can be disabled globally with
+    /// [`crate::RuntimeConfig::with_tied_constraint`].
+    pub fn taskwait(&self) {
+        let worker = self.worker();
+        WorkerCounters::bump(&worker.counters().taskwaits);
+        self.wait_until(|| self.node.outstanding() == 0);
+    }
+
+    /// `#pragma omp taskgroup` (OpenMP 3.1 extension): runs `body` inline and
+    /// then waits for **all** tasks spawned within it, transitively — a deep
+    /// wait, unlike `taskwait`'s direct-children-only wait.
+    ///
+    /// Because the wait is deep, tasks spawned through the inner scope may
+    /// safely borrow locals of the *current* frame (like `rayon::scope` /
+    /// `std::thread::scope`); the compiler picks `'inner` to cover them. This
+    /// is the construct the recursive kernels use to return results through
+    /// parent-frame variables, which the paper's C code does with plain
+    /// shared variables + `taskwait`.
+    pub fn taskgroup<'inner, F, R>(&'inner self, body: F) -> R
+    where
+        F: FnOnce(&Scope<'inner>) -> R,
+    {
+        let group = Group::new();
+        let inner: Scope<'inner> = Scope {
+            worker: self.worker,
+            node: self.node.clone(),
+            group: Some(group.clone()),
+            _marker: PhantomData,
+        };
+        let r = body(&inner);
+        // The group wait is a task scheduling point like taskwait; count it
+        // as one for Table II purposes.
+        WorkerCounters::bump(&self.worker().counters().taskwaits);
+        inner.wait_until(|| group.outstanding() == 0);
+        r
+    }
+
+    /// `#pragma omp taskyield` (OpenMP 3.1 extension): a task scheduling
+    /// point where the current task allows the worker to run at most one
+    /// other task (subject to the tied-task scheduling constraint) before
+    /// continuing. Returns whether anything was executed.
+    pub fn taskyield(&self) -> bool {
+        self.try_run_one(self.constrained())
+    }
+
+    /// Is the current task subject to the tied scheduling constraint?
+    ///
+    /// The constraint restricts a tied task to running descendants of
+    /// itself. The region root is exempt: every task in the region descends
+    /// from it, so the constraint can never exclude anything there.
+    fn constrained(&self) -> bool {
+        self.node.tied
+            && self.worker().shared.config.enforce_tied_constraint
+            && self.node.parent.is_some()
+    }
+
+    /// Acquires and executes one task, if the scheduling rules allow it.
+    ///
+    /// Local work first. Tied waits always look at the LIFO end: under
+    /// depth-first execution that is where this task's descendants are;
+    /// anything older predates us and is out of bounds (it goes back).
+    /// Stealing is forbidden under the constraint.
+    fn try_run_one(&self, constrained: bool) -> bool {
+        let worker = self.worker();
+        let counters = worker.counters();
+        let local = if constrained {
+            match worker.pop_local_lifo() {
+                Some(t) => {
+                    let child_node = unsafe { &(*t.as_ptr()).node };
+                    if child_node.descends_from(&self.node) {
+                        Some(t)
+                    } else {
+                        // Not a descendant: put it back for its rightful
+                        // executor.
+                        worker.deque.push(t);
+                        None
+                    }
+                }
+                None => None,
+            }
+        } else {
+            worker.pop_local()
+        };
+        if let Some(t) = local {
+            WorkerCounters::bump(&counters.switched_in_wait);
+            worker.execute(t);
+            return true;
+        }
+        if !constrained {
+            if let Some(t) = worker.try_steal() {
+                WorkerCounters::bump(&counters.switched_in_wait);
+                worker.execute(t);
+                return true;
+            }
+        } else if worker.work_visible() {
+            // There was something to take and the constraint said no.
+            WorkerCounters::bump(&counters.tied_steal_denied);
+        }
+        false
+    }
+
+    /// The shared wait loop behind `taskwait` and `taskgroup`: run other
+    /// tasks (subject to the tied-task scheduling constraint) until `done`.
+    fn wait_until(&self, done: impl Fn() -> bool) {
+        let worker = self.worker();
+        let shared = &*worker.shared;
+        if done() {
+            return;
+        }
+        let constrained = self.constrained();
+        loop {
+            if done() {
+                return;
+            }
+            if self.try_run_one(constrained) {
+                continue;
+            }
+            // Park until a child completes (or any event).
+            let epoch = shared.event.prepare();
+            if done() {
+                return;
+            }
+            if !constrained && worker.work_visible() {
+                continue;
+            }
+            shared.event.wait_timeout(epoch, WAIT_PARK_TIMEOUT);
+        }
+    }
+
+    /// `#pragma omp for` used as a *multiple-generator* construct: splits
+    /// `range` into one contiguous chunk per worker, runs each chunk as an
+    /// untied generator task, and ends with a barrier.
+    ///
+    /// `body` runs once per index, on the generator task's scope, so tasks
+    /// it spawns are children of the generator — multiple workers create
+    /// tasks concurrently, which is exactly the single-vs-multiple-generator
+    /// experiment of the paper (§IV-D, SparseLU). The closing barrier waits
+    /// for the iterations *and* the tasks they spawned (each generator ends
+    /// with a `taskwait`).
+    pub fn parallel_for<F>(&self, range: Range<usize>, body: F)
+    where
+        F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
+    {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return;
+        }
+        let chunks = self.num_workers().min(len);
+        let chunk_size = len.div_ceil(chunks);
+        let body = Arc::new(body);
+        for c in 0..chunks {
+            let lo = range.start + c * chunk_size;
+            let hi = (lo + chunk_size).min(range.end);
+            if lo >= hi {
+                break;
+            }
+            let body = Arc::clone(&body);
+            self.spawn_with(TaskAttrs::untied(), move |s| {
+                for i in lo..hi {
+                    body(i, s);
+                }
+                s.taskwait();
+            });
+        }
+        self.taskwait();
+    }
+
+    /// Like [`parallel_for`](Self::parallel_for) but with an explicit chunk
+    /// size (an `omp for schedule(dynamic, chunk)` generator): spawns
+    /// `ceil(len / chunk)` generator tasks that idle workers steal.
+    pub fn parallel_for_chunked<F>(&self, range: Range<usize>, chunk: usize, body: F)
+    where
+        F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return;
+        }
+        let body = Arc::new(body);
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + chunk).min(range.end);
+            let body = Arc::clone(&body);
+            self.spawn_with(TaskAttrs::untied(), move |s| {
+                for i in lo..hi {
+                    body(i, s);
+                }
+                s.taskwait();
+            });
+            lo = hi;
+        }
+        self.taskwait();
+    }
+}

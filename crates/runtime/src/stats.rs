@@ -1,0 +1,200 @@
+//! Runtime statistics: per-worker counters aggregated into a
+//! [`RuntimeStats`] snapshot.
+//!
+//! The counters are the observable half of the experiments in §IV of the
+//! paper: number of tasks actually deferred vs inlined by the if-clause or
+//! the runtime cut-off, steal traffic, parks, and taskwaits. They are also
+//! asserted in the runtime's own test-suite (e.g. "the if-clause version
+//! still performs task bookkeeping, the manual version does not").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-worker counter block, padded to a cache line to avoid false sharing
+/// on the hot spawn/execute paths.
+#[repr(align(128))]
+#[derive(Default)]
+pub(crate) struct WorkerCounters {
+    /// Tasks pushed to a deque (deferred).
+    pub spawned: AtomicU64,
+    /// Tasks executed inline because `if(false)` was passed.
+    pub inlined_if: AtomicU64,
+    /// Tasks executed inline because the *runtime* cut-off tripped.
+    pub inlined_cutoff: AtomicU64,
+    /// Tasks executed inline because an ancestor was `final`.
+    pub inlined_final: AtomicU64,
+    /// Deferred tasks this worker executed (own or stolen).
+    pub executed: AtomicU64,
+    /// Tasks obtained from another worker's deque.
+    pub stolen: AtomicU64,
+    /// Steal probes that came back empty/raced.
+    pub steal_misses: AtomicU64,
+    /// Times this worker blocked on the event count.
+    pub parks: AtomicU64,
+    /// `taskwait`s executed by tasks running on this worker.
+    pub taskwaits: AtomicU64,
+    /// Tasks executed *while waiting* at a taskwait (task switching).
+    pub switched_in_wait: AtomicU64,
+    /// Steals skipped because the tied-task constraint forbade them.
+    pub tied_steal_denied: AtomicU64,
+}
+
+impl WorkerCounters {
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Aggregated snapshot of the whole team's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Tasks deferred (queued).
+    pub spawned: u64,
+    /// Tasks inlined via `if(false)`.
+    pub inlined_if: u64,
+    /// Tasks inlined by the runtime cut-off.
+    pub inlined_cutoff: u64,
+    /// Tasks inlined below a `final` task.
+    pub inlined_final: u64,
+    /// Deferred tasks executed.
+    pub executed: u64,
+    /// Successful steals.
+    pub stolen: u64,
+    /// Failed steal probes.
+    pub steal_misses: u64,
+    /// Worker park events.
+    pub parks: u64,
+    /// taskwait calls.
+    pub taskwaits: u64,
+    /// Tasks run inside a taskwait (task switching events).
+    pub switched_in_wait: u64,
+    /// Steals denied by the tied-task scheduling constraint.
+    pub tied_steal_denied: u64,
+}
+
+impl RuntimeStats {
+    pub(crate) fn accumulate(&mut self, w: &WorkerCounters) {
+        self.spawned += w.spawned.load(Ordering::Relaxed);
+        self.inlined_if += w.inlined_if.load(Ordering::Relaxed);
+        self.inlined_cutoff += w.inlined_cutoff.load(Ordering::Relaxed);
+        self.inlined_final += w.inlined_final.load(Ordering::Relaxed);
+        self.executed += w.executed.load(Ordering::Relaxed);
+        self.stolen += w.stolen.load(Ordering::Relaxed);
+        self.steal_misses += w.steal_misses.load(Ordering::Relaxed);
+        self.parks += w.parks.load(Ordering::Relaxed);
+        self.taskwaits += w.taskwaits.load(Ordering::Relaxed);
+        self.switched_in_wait += w.switched_in_wait.load(Ordering::Relaxed);
+        self.tied_steal_denied += w.tied_steal_denied.load(Ordering::Relaxed);
+    }
+
+    /// Total task-creation points the runtime saw (deferred + every kind of
+    /// runtime-visible inlining). This is the paper's "number of potential
+    /// tasks" for versions that call into the runtime; manual-cut-off
+    /// versions bypass the runtime and therefore do not count here.
+    pub fn creation_points(&self) -> u64 {
+        self.spawned + self.inlined_if + self.inlined_cutoff + self.inlined_final
+    }
+
+    /// Fraction of deferred tasks that migrated between workers.
+    pub fn steal_ratio(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.stolen as f64 / self.executed as f64
+        }
+    }
+
+    /// Difference between two snapshots (self - earlier).
+    pub fn since(&self, earlier: &RuntimeStats) -> RuntimeStats {
+        RuntimeStats {
+            spawned: self.spawned - earlier.spawned,
+            inlined_if: self.inlined_if - earlier.inlined_if,
+            inlined_cutoff: self.inlined_cutoff - earlier.inlined_cutoff,
+            inlined_final: self.inlined_final - earlier.inlined_final,
+            executed: self.executed - earlier.executed,
+            stolen: self.stolen - earlier.stolen,
+            steal_misses: self.steal_misses - earlier.steal_misses,
+            parks: self.parks - earlier.parks,
+            taskwaits: self.taskwaits - earlier.taskwaits,
+            switched_in_wait: self.switched_in_wait - earlier.switched_in_wait,
+            tied_steal_denied: self.tied_steal_denied - earlier.tied_steal_denied,
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spawned={} inlined(if/cutoff/final)={}/{}/{} executed={} stolen={} \
+             misses={} parks={} taskwaits={} switched={} tied_denied={}",
+            self.spawned,
+            self.inlined_if,
+            self.inlined_cutoff,
+            self.inlined_final,
+            self.executed,
+            self.stolen,
+            self.steal_misses,
+            self.parks,
+            self.taskwaits,
+            self.switched_in_wait,
+            self.tied_steal_denied,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_counters() {
+        let w = WorkerCounters::default();
+        w.spawned.store(5, Ordering::Relaxed);
+        w.executed.store(5, Ordering::Relaxed);
+        w.stolen.store(2, Ordering::Relaxed);
+        let mut s = RuntimeStats::default();
+        s.accumulate(&w);
+        s.accumulate(&w);
+        assert_eq!(s.spawned, 10);
+        assert_eq!(s.stolen, 4);
+        assert!((s.steal_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn creation_points_counts_all_runtime_visible_tasks() {
+        let s = RuntimeStats {
+            spawned: 10,
+            inlined_if: 3,
+            inlined_cutoff: 2,
+            inlined_final: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.creation_points(), 16);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = RuntimeStats {
+            spawned: 10,
+            executed: 9,
+            ..Default::default()
+        };
+        let b = RuntimeStats {
+            spawned: 4,
+            executed: 2,
+            ..Default::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.spawned, 6);
+        assert_eq!(d.executed, 7);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let s = RuntimeStats::default();
+        let text = format!("{s}");
+        assert!(text.contains("spawned=0"));
+        assert!(text.contains("taskwaits=0"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Task descriptors: the runtime-side representation of an OpenMP 3.0
+//! explicit task.
+//!
+//! Every *deferred* task is a heap allocation holding the user closure plus a
+//! [`TaskNode`]. The node survives the closure (children hold `Arc`s to their
+//! parent's node) and carries everything `taskwait` and the tied-task
+//! scheduling constraint need: the outstanding-children count, the parent
+//! link, the recursion depth and the tiedness flag.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::pool::ExecCtx;
+
+/// Attributes attached at task-creation time, mirroring the clauses of
+/// `#pragma omp task`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskAttrs {
+    /// `untied` clause absent ⇒ tied (the OpenMP default).
+    pub tied: bool,
+    /// Value of the `if(...)` clause. `false` makes the task *undeferred*:
+    /// it executes immediately on the encountering thread, but the runtime
+    /// still performs its bookkeeping (the paper's distinction between the
+    /// if-clause cut-off and a purely manual cut-off).
+    pub if_clause: bool,
+    /// Value of the `final(...)` clause (OpenMP 3.1 extension): a final task
+    /// executes undeferred *and* all of its descendants are final too.
+    pub final_clause: bool,
+}
+
+impl Default for TaskAttrs {
+    fn default() -> Self {
+        TaskAttrs {
+            tied: true,
+            if_clause: true,
+            final_clause: false,
+        }
+    }
+}
+
+impl TaskAttrs {
+    /// Tied task, unconditional creation (plain `#pragma omp task`).
+    pub const fn tied() -> Self {
+        TaskAttrs {
+            tied: true,
+            if_clause: true,
+            final_clause: false,
+        }
+    }
+
+    /// Untied task (`#pragma omp task untied`).
+    pub const fn untied() -> Self {
+        TaskAttrs {
+            tied: false,
+            if_clause: true,
+            final_clause: false,
+        }
+    }
+
+    /// Sets the `if` clause value.
+    pub const fn with_if(mut self, cond: bool) -> Self {
+        self.if_clause = cond;
+        self
+    }
+
+    /// Sets the `final` clause value.
+    pub const fn with_final(mut self, cond: bool) -> Self {
+        self.final_clause = cond;
+        self
+    }
+
+    /// Selects tied/untied from a boolean (convenience for version matrices).
+    pub const fn with_tied(mut self, tied: bool) -> Self {
+        self.tied = tied;
+        self
+    }
+}
+
+/// A `taskgroup` membership counter: counts every task spawned while the
+/// group is active, transitively. The group wait blocks until it drains —
+/// this is the *deep* wait OpenMP 3.1's `taskgroup` provides, and it is what
+/// makes borrowing the spawning frame's locals sound (the frame cannot be
+/// left while group members still run).
+pub(crate) struct Group {
+    pub(crate) members: AtomicUsize,
+}
+
+impl Group {
+    pub(crate) fn new() -> Arc<Group> {
+        Arc::new(Group {
+            members: AtomicUsize::new(0),
+        })
+    }
+
+    #[inline]
+    pub(crate) fn join(&self) {
+        self.members.fetch_add(1, Ordering::AcqRel);
+    }
+
+    #[inline]
+    pub(crate) fn leave(&self) {
+        self.members.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    #[inline]
+    pub(crate) fn outstanding(&self) -> usize {
+        self.members.load(Ordering::Acquire)
+    }
+}
+
+/// Shared bookkeeping node for one task instance.
+pub(crate) struct TaskNode {
+    /// Number of direct children not yet completed. `taskwait` spins/blocks
+    /// on this reaching zero.
+    pub(crate) children: AtomicUsize,
+    /// Parent task node; `None` for a region's root (implicit) task.
+    pub(crate) parent: Option<Arc<TaskNode>>,
+    /// Innermost enclosing taskgroup at creation time, if any. Deferred
+    /// tasks join it on spawn and leave it on completion.
+    pub(crate) group: Option<Arc<Group>>,
+    /// Recursion depth: root = 0, children of root = 1, ...
+    pub(crate) depth: u32,
+    /// Tied task? Constrains what the owning worker may run at a taskwait.
+    pub(crate) tied: bool,
+    /// Final task? Descendants are serialised.
+    pub(crate) final_: bool,
+}
+
+impl TaskNode {
+    pub(crate) fn root() -> Arc<TaskNode> {
+        Arc::new(TaskNode {
+            children: AtomicUsize::new(0),
+            parent: None,
+            group: None,
+            depth: 0,
+            tied: true,
+            final_: false,
+        })
+    }
+
+    pub(crate) fn child_of(
+        parent: &Arc<TaskNode>,
+        group: Option<Arc<Group>>,
+        attrs: TaskAttrs,
+    ) -> Arc<TaskNode> {
+        Arc::new(TaskNode {
+            children: AtomicUsize::new(0),
+            parent: Some(parent.clone()),
+            group,
+            depth: parent.depth + 1,
+            tied: attrs.tied,
+            final_: attrs.final_clause || parent.final_,
+        })
+    }
+
+    /// Registers one more outstanding child.
+    #[inline]
+    pub(crate) fn add_child(&self) {
+        self.children.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Marks one child complete; returns true if this was the last one.
+    #[inline]
+    pub(crate) fn child_done(&self) -> bool {
+        self.children.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Outstanding direct children.
+    #[inline]
+    pub(crate) fn outstanding(&self) -> usize {
+        self.children.load(Ordering::Acquire)
+    }
+
+    /// Is `self` a descendant of (or equal to) `anc`? Walks the parent chain;
+    /// depths bound the walk.
+    pub(crate) fn descends_from(self: &Arc<Self>, anc: &Arc<TaskNode>) -> bool {
+        let mut cur = self.clone();
+        loop {
+            if Arc::ptr_eq(&cur, anc) {
+                return true;
+            }
+            if cur.depth <= anc.depth {
+                return false;
+            }
+            match &cur.parent {
+                Some(p) => cur = p.clone(),
+                None => return false,
+            }
+        }
+    }
+}
+
+/// A ready-to-run deferred task: closure + node. Stored in the deques as a
+/// raw pointer (`Box::into_raw`), reconstituted by the executing worker.
+pub(crate) struct Task {
+    /// The lifetime-erased shim closure. `Option` so execution can take it
+    /// by value.
+    pub(crate) run: Option<Box<dyn FnOnce(&ExecCtx<'_>) + Send + 'static>>,
+    pub(crate) node: Arc<TaskNode>,
+}
+
+impl Task {
+    pub(crate) fn into_ptr(self: Box<Self>) -> std::ptr::NonNull<Task> {
+        // Box is never null.
+        unsafe { std::ptr::NonNull::new_unchecked(Box::into_raw(self)) }
+    }
+
+    /// # Safety
+    /// `ptr` must come from [`Task::into_ptr`] and not have been reclaimed.
+    pub(crate) unsafe fn from_ptr(ptr: std::ptr::NonNull<Task>) -> Box<Task> {
+        Box::from_raw(ptr.as_ptr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_attrs_are_tied_deferred() {
+        let a = TaskAttrs::default();
+        assert!(a.tied);
+        assert!(a.if_clause);
+        assert!(!a.final_clause);
+    }
+
+    #[test]
+    fn attr_builders() {
+        let a = TaskAttrs::untied().with_if(false).with_final(true);
+        assert!(!a.tied);
+        assert!(!a.if_clause);
+        assert!(a.final_clause);
+        let b = TaskAttrs::tied().with_tied(false);
+        assert!(!b.tied);
+    }
+
+    #[test]
+    fn node_depth_and_parentage() {
+        let root = TaskNode::root();
+        let attrs = TaskAttrs::default();
+        let c1 = TaskNode::child_of(&root, None, attrs);
+        let c2 = TaskNode::child_of(&c1, None, attrs);
+        assert_eq!(root.depth, 0);
+        assert_eq!(c1.depth, 1);
+        assert_eq!(c2.depth, 2);
+        assert!(c2.descends_from(&c1));
+        assert!(c2.descends_from(&root));
+        assert!(c1.descends_from(&root));
+        assert!(!c1.descends_from(&c2));
+        assert!(root.descends_from(&root));
+    }
+
+    #[test]
+    fn sibling_is_not_descendant() {
+        let root = TaskNode::root();
+        let attrs = TaskAttrs::default();
+        let a = TaskNode::child_of(&root, None, attrs);
+        let b = TaskNode::child_of(&root, None, attrs);
+        assert!(!a.descends_from(&b));
+        assert!(!b.descends_from(&a));
+    }
+
+    #[test]
+    fn final_propagates() {
+        let root = TaskNode::root();
+        let f = TaskNode::child_of(&root, None, TaskAttrs::default().with_final(true));
+        let child_of_final = TaskNode::child_of(&f, None, TaskAttrs::default());
+        assert!(f.final_);
+        assert!(child_of_final.final_);
+    }
+
+    #[test]
+    fn child_counting() {
+        let root = TaskNode::root();
+        root.add_child();
+        root.add_child();
+        assert_eq!(root.outstanding(), 2);
+        assert!(!root.child_done());
+        assert!(root.child_done());
+        assert_eq!(root.outstanding(), 0);
+    }
+}

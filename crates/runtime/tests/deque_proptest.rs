@@ -1,0 +1,85 @@
+//! Property tests for the Chase-Lev deque: sequential operation sequences
+//! must behave exactly like a double-ended queue model (owner side = LIFO
+//! end, thief side = FIFO end).
+
+use std::collections::VecDeque;
+use std::ptr::NonNull;
+
+use bots_runtime::deque::{deque, Steal};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Pop,
+    PopFifo,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1000).prop_map(Op::Push),
+        Just(Op::Pop),
+        Just(Op::PopFifo),
+        Just(Op::Steal),
+    ]
+}
+
+fn leak(v: u64) -> NonNull<u64> {
+    NonNull::new(Box::into_raw(Box::new(v))).unwrap()
+}
+
+unsafe fn reclaim(p: NonNull<u64>) -> u64 {
+    *Box::from_raw(p.as_ptr())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_vecdeque_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let (owner, stealer) = deque::<u64>();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut outstanding: Vec<NonNull<u64>> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let p = leak(v);
+                    outstanding.push(p);
+                    owner.push(p);
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    let got = owner.pop().map(|p| unsafe { reclaim(p) });
+                    prop_assert_eq!(got, model.pop_back());
+                }
+                Op::PopFifo => {
+                    let got = owner.pop_fifo().map(|p| unsafe { reclaim(p) });
+                    prop_assert_eq!(got, model.pop_front());
+                }
+                Op::Steal => {
+                    let got = match stealer.steal() {
+                        Steal::Success(p) => Some(unsafe { reclaim(p) }),
+                        Steal::Empty => None,
+                        // Single-threaded: Retry is impossible.
+                        Steal::Retry => {
+                            prop_assert!(false, "retry without contention");
+                            unreachable!()
+                        }
+                    };
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(owner.len(), model.len());
+            prop_assert_eq!(owner.is_empty(), model.is_empty());
+        }
+
+        // Drain what's left so the boxes are reclaimed.
+        while let Some(p) = owner.pop() {
+            let v = unsafe { reclaim(p) };
+            prop_assert_eq!(Some(v), model.pop_back());
+        }
+        prop_assert!(model.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Stress tests: concurrent region submission, rapid region churn, and
+//! large imbalanced task trees under every policy combination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots_runtime::{LocalOrder, Runtime, RuntimeConfig, RuntimeCutoff, Scope};
+
+#[test]
+fn concurrent_parallel_calls_serialize_safely() {
+    // `parallel` takes &self; callers on different threads must queue up
+    // behind the region lock and all complete correctly.
+    let rt = Runtime::with_threads(4);
+    let total = AtomicU64::new(0);
+    std::thread::scope(|ts| {
+        for caller in 0..4u64 {
+            let rt = &rt;
+            let total = &total;
+            ts.spawn(move || {
+                for i in 0..8u64 {
+                    let got = rt.parallel(|s| {
+                        let acc = AtomicU64::new(0);
+                        s.taskgroup(|s| {
+                            for j in 0..32u64 {
+                                let acc = &acc;
+                                s.spawn(move |_| {
+                                    acc.fetch_add(caller * 1000 + i * 10 + j, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                        acc.load(Ordering::Relaxed)
+                    });
+                    total.fetch_add(got, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let expect: u64 = (0..4u64)
+        .flat_map(|c| (0..8u64).flat_map(move |i| (0..32u64).map(move |j| c * 1000 + i * 10 + j)))
+        .sum();
+    assert_eq!(total.load(Ordering::Relaxed), expect);
+}
+
+#[test]
+fn region_churn() {
+    // Thousands of tiny regions: lifecycle bookkeeping must not leak or
+    // wedge.
+    let rt = Runtime::with_threads(3);
+    for i in 0..2000u64 {
+        let got = rt.parallel(move |_| i * 2);
+        assert_eq!(got, i * 2);
+    }
+}
+
+/// A deliberately imbalanced tree: left spine spawns heavy subtrees.
+fn skewed(s: &Scope<'_>, depth: u32, acc: &AtomicU64) {
+    acc.fetch_add(1, Ordering::Relaxed);
+    if depth == 0 {
+        return;
+    }
+    s.taskgroup(|s| {
+        // One heavy child, several trivial ones.
+        s.spawn(move |s| skewed(s, depth - 1, acc));
+        for _ in 0..3 {
+            s.spawn(move |_| {
+                acc.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+#[test]
+fn imbalanced_trees_under_all_policies() {
+    let expect = {
+        // nodes(d) = 1 + 3 + nodes(d-1); nodes(0) = 1
+        let mut n = 1u64;
+        for _ in 0..64 {
+            n = n + 4;
+        }
+        n
+    };
+    for order in [LocalOrder::Lifo, LocalOrder::Fifo] {
+        for cutoff in [
+            RuntimeCutoff::None,
+            RuntimeCutoff::MaxTasks { per_worker: 4 },
+            RuntimeCutoff::Adaptive { low: 1, high: 4 },
+        ] {
+            for constraint in [true, false] {
+                let rt = Runtime::new(
+                    RuntimeConfig::new(6)
+                        .with_local_order(order)
+                        .with_cutoff(cutoff)
+                        .with_tied_constraint(constraint),
+                );
+                let acc = AtomicU64::new(0);
+                rt.parallel(|s| skewed(s, 64, &acc));
+                assert_eq!(
+                    acc.load(Ordering::Relaxed),
+                    expect,
+                    "order={order:?} cutoff={cutoff:?} constraint={constraint}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wide_flat_fanout() {
+    // 200k sibling tasks from a single generator (the single-generator
+    // bottleneck pattern): stresses deque growth and the injector path.
+    let rt = Runtime::with_threads(8);
+    let acc = AtomicU64::new(0);
+    rt.parallel(|s| {
+        let acc = &acc;
+        s.taskgroup(|s| {
+            for _ in 0..200_000u64 {
+                s.spawn(move |_| {
+                    acc.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    assert_eq!(acc.load(Ordering::Relaxed), 200_000);
+}

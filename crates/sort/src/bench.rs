@@ -1,0 +1,183 @@
+//! `Benchmark` wiring for Sort.
+
+use bots_inputs::{arrays::random_u32s, InputClass};
+use bots_profile::{CountingProbe, NullProbe, RawCounts};
+use bots_runtime::Runtime;
+use bots_suite::{fnv1a_u64, BenchMeta, Benchmark, RunOutput, Tiedness, Verification, VersionSpec};
+
+use crate::parallel::cilksort_parallel;
+use crate::serial::cilksort_serial;
+
+/// Elements per class.
+pub fn n_for(class: InputClass) -> usize {
+    class.pick([1 << 16, 1 << 21, 1 << 24, 1 << 26])
+}
+
+const SEED: u64 = 0xB0755_0127;
+
+/// Order-independent digest of a multiset of u32s plus a sortedness flag:
+/// sorted output of the right multiset ⇒ correct sort.
+fn digest(sorted: &[u32], original_sum: u64, original_xor: u64) -> (u64, bool) {
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    let mut is_sorted = true;
+    let mut prev = 0u32;
+    for (i, &v) in sorted.iter().enumerate() {
+        sum = sum.wrapping_add(v as u64);
+        xor ^= (v as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left((v % 63) as u32);
+        if i > 0 && v < prev {
+            is_sorted = false;
+        }
+        prev = v;
+    }
+    (
+        fnv1a_u64(sum ^ xor),
+        is_sorted && sum == original_sum && xor == original_xor,
+    )
+}
+
+fn multiset_tokens(v: &[u32]) -> (u64, u64) {
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    for &x in v {
+        sum = sum.wrapping_add(x as u64);
+        xor ^= (x as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left((x % 63) as u32);
+    }
+    (sum, xor)
+}
+
+/// Sort as a suite [`Benchmark`].
+#[derive(Debug, Default)]
+pub struct SortBench;
+
+impl Benchmark for SortBench {
+    fn meta(&self) -> BenchMeta {
+        BenchMeta {
+            name: "Sort",
+            origin: "Cilk",
+            domain: "Integer sorting",
+            structure: "At leafs",
+            task_directives: 9,
+            tasks_inside: "single",
+            nested_tasks: true,
+            app_cutoff: "none",
+        }
+    }
+
+    fn input_desc(&self, class: InputClass) -> String {
+        let n = n_for(class);
+        if n >= 1 << 20 {
+            format!("{}M integers", n >> 20)
+        } else {
+            format!("{}K integers", n >> 10)
+        }
+    }
+
+    fn versions(&self) -> Vec<VersionSpec> {
+        // Sort has no application cut-off (grain is inherent in the
+        // quicksort/merge thresholds): only tied/untied variants exist.
+        vec![
+            VersionSpec::default(),
+            VersionSpec::default().tied(Tiedness::Untied),
+        ]
+    }
+
+    fn run_serial(&self, class: InputClass) -> RunOutput {
+        let mut v = random_u32s(n_for(class), SEED);
+        let (sum, xor) = multiset_tokens(&v);
+        let mut tmp = vec![0u32; v.len()];
+        cilksort_serial(&NullProbe, &mut v, &mut tmp);
+        let (checksum, ok) = digest(&v, sum, xor);
+        RunOutput::new(
+            if ok { checksum } else { !checksum },
+            format!("sorted {} ok={ok}", v.len()),
+        )
+    }
+
+    fn run_parallel(&self, rt: &Runtime, class: InputClass, version: VersionSpec) -> RunOutput {
+        let mut v = random_u32s(n_for(class), SEED);
+        let (sum, xor) = multiset_tokens(&v);
+        cilksort_parallel(rt, &mut v, version.tiedness == Tiedness::Untied);
+        let (checksum, ok) = digest(&v, sum, xor);
+        RunOutput::new(
+            if ok { checksum } else { !checksum },
+            format!("sorted {} ok={ok}", v.len()),
+        )
+    }
+
+    fn verify(&self, class: InputClass, output: &RunOutput) -> Verification {
+        // Self-verification: sortedness + multiset preservation were folded
+        // into the digest; compare against the digest of the known input's
+        // sorted multiset.
+        let v = random_u32s(n_for(class), SEED);
+        let (sum, xor) = multiset_tokens(&v);
+        let mut sorted = v;
+        sorted.sort_unstable();
+        let (want, _) = digest(&sorted, sum, xor);
+        if output.checksum == want {
+            Verification::SelfChecked
+        } else {
+            Verification::Failed(format!("sort output invalid: {}", output.summary))
+        }
+    }
+
+    fn characterize(&self, class: InputClass) -> RawCounts {
+        let p = CountingProbe::new();
+        let mut v = random_u32s(n_for(class), SEED);
+        let mut tmp = vec![0u32; v.len()];
+        cilksort_serial(&p, &mut v, &mut tmp);
+        p.counts()
+    }
+
+    fn best_version(&self) -> VersionSpec {
+        // Figure 3: "sort (untied)".
+        VersionSpec::default().tied(Tiedness::Untied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_verify() {
+        let b = SortBench;
+        let out = b.run_serial(InputClass::Test);
+        assert_eq!(b.verify(InputClass::Test, &out), Verification::SelfChecked);
+        let rt = Runtime::with_threads(4);
+        for v in b.versions() {
+            let out = b.run_parallel(&rt, InputClass::Test, v);
+            assert_eq!(
+                b.verify(InputClass::Test, &out),
+                Verification::SelfChecked,
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_bad_output() {
+        let b = SortBench;
+        let mut out = b.run_serial(InputClass::Test);
+        out.checksum ^= 0xdead;
+        assert!(matches!(
+            b.verify(InputClass::Test, &out),
+            Verification::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn characterization_is_memory_bound() {
+        let c = SortBench.characterize(InputClass::Test);
+        assert!(c.tasks > 0);
+        let ops_per_write = c.ops as f64 / c.writes_total() as f64;
+        assert!(
+            ops_per_write < 4.0,
+            "paper reports 1.30: got {ops_per_write}"
+        );
+    }
+}

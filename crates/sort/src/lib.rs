@@ -1,0 +1,31 @@
+//! # bots-sort — the BOTS Sort kernel (cilksort)
+//!
+//! "Sorts a random permutation of n 32-bit numbers with a fast parallel
+//! sorting variation of the ordinary mergesort": quarter the array, sort
+//! each quarter (tasks), then merge with a divide-and-conquer parallel
+//! merge that splits on a binary search rather than scanning serially.
+//! Small runs fall back to sequential quicksort (≤ 2048 elements) and
+//! insertion sort (≤ 20).
+//!
+//! ```
+//! use bots_runtime::Runtime;
+//! use bots_sort::cilksort_parallel;
+//!
+//! let rt = Runtime::with_threads(4);
+//! let mut v = bots_inputs::arrays::random_u32s(10_000, 42);
+//! cilksort_parallel(&rt, &mut v, false);
+//! assert!(v.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+#![warn(missing_docs)]
+
+mod bench;
+mod merge;
+mod parallel;
+mod quick;
+mod serial;
+
+pub use bench::{n_for, SortBench};
+pub use merge::{lower_bound, serial_merge, MERGE_THRESHOLD};
+pub use parallel::{cilksort_parallel, cilksort_with_merge, MergeStrategy};
+pub use quick::{insertion_sort, quicksort, INSERTION_THRESHOLD};
+pub use serial::{cilksort_serial, QUICK_THRESHOLD};

@@ -1,0 +1,208 @@
+//! Task-parallel cilksort: tasks at every quarter-sort and merge split
+//! ("Tasks are used for each split and merge", §III-B).
+
+use bots_profile::NullProbe;
+use bots_runtime::{Runtime, Scope, TaskAttrs};
+
+use crate::merge::{merge_split, serial_merge, MERGE_THRESHOLD};
+use crate::quick::quicksort;
+use crate::serial::QUICK_THRESHOLD;
+
+/// Merge strategy: the paper's point of comparison ("a parallel
+/// divide-and-conquer method rather than the conventional serial merge").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Binary-search split, merge halves as tasks (the cilksort way).
+    Parallel,
+    /// Conventional two-pointer serial merge (the ablation): the quarter
+    /// sorts still run as tasks, but every merge runs sequentially on the
+    /// encountering worker.
+    Serial,
+}
+
+/// Sorts `a` in parallel on `rt`.
+pub fn cilksort_parallel(rt: &Runtime, a: &mut [u32], untied: bool) {
+    cilksort_with_merge(rt, a, untied, MergeStrategy::Parallel);
+}
+
+/// Sorts `a` with an explicit merge strategy (ablation entry point).
+pub fn cilksort_with_merge(rt: &Runtime, a: &mut [u32], untied: bool, merge: MergeStrategy) {
+    let attrs = TaskAttrs::default().with_tied(!untied);
+    let mut tmp = vec![0u32; a.len()];
+    let tmp_ref = &mut tmp[..];
+    rt.parallel(move |s| match merge {
+        MergeStrategy::Parallel => sort_task(s, a, tmp_ref, attrs),
+        MergeStrategy::Serial => sort_task_serial_merge(s, a, tmp_ref, attrs),
+    });
+}
+
+/// The ablation recursion: task-parallel quarter sorts, sequential merges.
+fn sort_task_serial_merge<'a>(
+    s: &Scope<'_>,
+    a: &'a mut [u32],
+    tmp: &'a mut [u32],
+    attrs: TaskAttrs,
+) {
+    let n = a.len();
+    if n <= QUICK_THRESHOLD {
+        quicksort(&NullProbe, a);
+        return;
+    }
+    let q = n / 4;
+    {
+        let (a12, a34) = a.split_at_mut(2 * q);
+        let (a1, a2) = a12.split_at_mut(q);
+        let (a3, a4) = a34.split_at_mut(q);
+        let (t12, t34) = tmp.split_at_mut(2 * q);
+        let (t1, t2) = t12.split_at_mut(q);
+        let (t3, t4) = t34.split_at_mut(q);
+        s.taskgroup(|s| {
+            s.spawn_with(attrs, move |s| sort_task_serial_merge(s, a1, t1, attrs));
+            s.spawn_with(attrs, move |s| sort_task_serial_merge(s, a2, t2, attrs));
+            s.spawn_with(attrs, move |s| sort_task_serial_merge(s, a3, t3, attrs));
+            s.spawn_with(attrs, move |s| sort_task_serial_merge(s, a4, t4, attrs));
+        });
+    }
+    {
+        let (a12, a34) = a.split_at(2 * q);
+        let (a1, a2) = a12.split_at(q);
+        let (a3, a4) = a34.split_at(q);
+        let (t12, t34) = tmp.split_at_mut(2 * q);
+        s.taskgroup(|s| {
+            s.spawn_with(attrs, move |_| serial_merge(&NullProbe, a1, a2, t12));
+            s.spawn_with(attrs, move |_| serial_merge(&NullProbe, a3, a4, t34));
+        });
+    }
+    {
+        let (t12, t34) = tmp.split_at(2 * q);
+        serial_merge(&NullProbe, t12, t34, a);
+    }
+}
+
+fn sort_task<'a>(s: &Scope<'_>, a: &'a mut [u32], tmp: &'a mut [u32], attrs: TaskAttrs) {
+    let n = a.len();
+    if n <= QUICK_THRESHOLD {
+        quicksort(&NullProbe, a);
+        return;
+    }
+    let q = n / 4;
+    {
+        let (a12, a34) = a.split_at_mut(2 * q);
+        let (a1, a2) = a12.split_at_mut(q);
+        let (a3, a4) = a34.split_at_mut(q);
+        let (t12, t34) = tmp.split_at_mut(2 * q);
+        let (t1, t2) = t12.split_at_mut(q);
+        let (t3, t4) = t34.split_at_mut(q);
+        s.taskgroup(|s| {
+            s.spawn_with(attrs, move |s| sort_task(s, a1, t1, attrs));
+            s.spawn_with(attrs, move |s| sort_task(s, a2, t2, attrs));
+            s.spawn_with(attrs, move |s| sort_task(s, a3, t3, attrs));
+            s.spawn_with(attrs, move |s| sort_task(s, a4, t4, attrs));
+        });
+    }
+    {
+        let (a12, a34) = a.split_at(2 * q);
+        let (a1, a2) = a12.split_at(q);
+        let (a3, a4) = a34.split_at(q);
+        let (t12, t34) = tmp.split_at_mut(2 * q);
+        s.taskgroup(|s| {
+            s.spawn_with(attrs, move |s| merge_task(s, a1, a2, t12, attrs));
+            s.spawn_with(attrs, move |s| merge_task(s, a3, a4, t34, attrs));
+        });
+    }
+    {
+        let (t12, t34) = tmp.split_at(2 * q);
+        s.taskgroup(|s| {
+            s.spawn_with(attrs, move |s| merge_task(s, t12, t34, a, attrs));
+        });
+    }
+}
+
+fn merge_task<'a>(
+    s: &Scope<'_>,
+    mut a: &'a [u32],
+    mut b: &'a [u32],
+    out: &'a mut [u32],
+    attrs: TaskAttrs,
+) {
+    if a.len() < b.len() {
+        std::mem::swap(&mut a, &mut b);
+    }
+    if a.len() + b.len() <= MERGE_THRESHOLD {
+        serial_merge(&NullProbe, a, b, out);
+        return;
+    }
+    let (ma, mb) = merge_split(a, b);
+    let (out_lo, out_hi) = out.split_at_mut(ma + mb);
+    let (a_lo, a_hi) = a.split_at(ma);
+    let (b_lo, b_hi) = b.split_at(mb);
+    s.taskgroup(|s| {
+        s.spawn_with(attrs, move |s| merge_task(s, a_lo, b_lo, out_lo, attrs));
+        s.spawn_with(attrs, move |s| merge_task(s, a_hi, b_hi, out_hi, attrs));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::cilksort_with_merge;
+    use bots_inputs::arrays::random_u32s;
+
+    fn check(rt: &Runtime, n: usize, seed: u64, untied: bool) {
+        let mut v = random_u32s(n, seed);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        cilksort_parallel(rt, &mut v, untied);
+        assert_eq!(v, expect, "n={n} untied={untied}");
+    }
+
+    #[test]
+    fn parallel_sort_matches_std() {
+        let rt = Runtime::with_threads(4);
+        check(&rt, 1_000, 1, false);
+        check(&rt, 100_000, 2, false);
+        check(&rt, 100_000, 3, true);
+        check(&rt, 1 << 17, 4, false);
+    }
+
+    #[test]
+    fn odd_lengths_and_single_thread() {
+        let rt = Runtime::with_threads(1);
+        check(&rt, 12_347, 5, false);
+        let rt = Runtime::with_threads(3);
+        check(&rt, 99_991, 6, true);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_inputs() {
+        let rt = Runtime::with_threads(4);
+        let mut v: Vec<u32> = (0..100_000).collect();
+        let expect = v.clone();
+        cilksort_parallel(&rt, &mut v, false);
+        assert_eq!(v, expect);
+        let mut v: Vec<u32> = (0..100_000).rev().collect();
+        cilksort_parallel(&rt, &mut v, false);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn serial_merge_strategy_sorts_correctly() {
+        use super::MergeStrategy;
+        let rt = Runtime::with_threads(4);
+        let mut v = random_u32s(200_000, 9);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        cilksort_with_merge(&rt, &mut v, false, MergeStrategy::Serial);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn many_duplicates() {
+        let rt = Runtime::with_threads(4);
+        let mut v: Vec<u32> = (0..200_000).map(|i| i % 7).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        cilksort_parallel(&rt, &mut v, false);
+        assert_eq!(v, expect);
+    }
+}

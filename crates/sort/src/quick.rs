@@ -1,0 +1,132 @@
+//! The sequential leaves of cilksort: quicksort above 20 elements,
+//! insertion sort below — exactly the thresholds the paper describes ("a
+//! serial quicksort is used to increase the task granularity; to avoid the
+//! overhead of quicksort, an insertion sort is used for very small arrays,
+//! below a threshold of 20 elements").
+
+use bots_profile::Probe;
+
+/// Arrays at or below this length use insertion sort.
+pub const INSERTION_THRESHOLD: usize = 20;
+
+/// Insertion sort, instrumented.
+pub fn insertion_sort<P: Probe>(p: &P, a: &mut [u32]) {
+    for i in 1..a.len() {
+        let v = a[i];
+        let mut j = i;
+        while j > 0 && a[j - 1] > v {
+            a[j] = a[j - 1];
+            j -= 1;
+        }
+        a[j] = v;
+        p.ops((i - j + 1) as u64); // comparisons performed
+        p.write_shared((i - j + 1) as u64); // element moves + final store
+    }
+}
+
+/// Median-of-three pivot selection.
+#[inline]
+fn median3(a: u32, b: u32, c: u32) -> u32 {
+    a.max(b).min(a.min(b).max(c))
+}
+
+/// Sequential quicksort with insertion-sort leaves, instrumented.
+pub fn quicksort<P: Probe>(p: &P, a: &mut [u32]) {
+    let mut stack: Vec<(usize, usize)> = vec![(0, a.len())];
+    while let Some((lo, hi)) = stack.pop() {
+        let len = hi - lo;
+        if len <= INSERTION_THRESHOLD {
+            insertion_sort(p, &mut a[lo..hi]);
+            continue;
+        }
+        let pivot = median3(a[lo], a[lo + len / 2], a[hi - 1]);
+        // Hoare partition.
+        let (mut i, mut j) = (lo, hi - 1);
+        loop {
+            while a[i] < pivot {
+                i += 1;
+            }
+            while a[j] > pivot {
+                j -= 1;
+            }
+            p.ops(2);
+            if i >= j {
+                break;
+            }
+            a.swap(i, j);
+            p.write_shared(2);
+            i += 1;
+            if j > 0 {
+                j -= 1;
+            }
+        }
+        // j is the end of the left partition (inclusive).
+        let mid = j + 1;
+        debug_assert!(mid > lo && mid < hi, "partition must split");
+        stack.push((lo, mid));
+        stack.push((mid, hi));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_inputs::arrays::random_u32s;
+    use bots_profile::NullProbe;
+
+    #[test]
+    fn insertion_sorts_small() {
+        let mut v = vec![5u32, 3, 9, 1, 1, 7, 0];
+        insertion_sort(&NullProbe, &mut v);
+        assert_eq!(v, vec![0, 1, 1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn quicksort_matches_std() {
+        for (n, seed) in [
+            (0usize, 1u64),
+            (1, 2),
+            (19, 3),
+            (20, 4),
+            (21, 5),
+            (1000, 6),
+            (4096, 7),
+        ] {
+            let mut v = random_u32s(n, seed);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            quicksort(&NullProbe, &mut v);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn quicksort_handles_duplicates() {
+        let mut v = vec![7u32; 1000];
+        v.extend([3u32; 500]);
+        v.extend([9u32; 500]);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        quicksort(&NullProbe, &mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn quicksort_sorted_and_reversed_inputs() {
+        let mut asc: Vec<u32> = (0..5000).collect();
+        let expect = asc.clone();
+        quicksort(&NullProbe, &mut asc);
+        assert_eq!(asc, expect);
+        let mut desc: Vec<u32> = (0..5000).rev().collect();
+        quicksort(&NullProbe, &mut desc);
+        assert_eq!(desc, expect);
+    }
+
+    #[test]
+    fn median3_cases() {
+        assert_eq!(median3(1, 2, 3), 2);
+        assert_eq!(median3(3, 1, 2), 2);
+        assert_eq!(median3(2, 3, 1), 2);
+        assert_eq!(median3(5, 5, 1), 5);
+    }
+}

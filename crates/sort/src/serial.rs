@@ -1,0 +1,130 @@
+//! Sequential cilksort: the same quarter-split + divide-and-conquer merge
+//! recursion as the parallel version, executed on one thread. Serving as
+//! the speed-up baseline demands the *same algorithm*, not `slice::sort`.
+
+use bots_profile::Probe;
+
+use crate::merge::{merge_split, serial_merge, MERGE_THRESHOLD};
+use crate::quick::quicksort;
+
+/// Runs at or below this length sort with sequential quicksort (the task
+/// granularity floor).
+pub const QUICK_THRESHOLD: usize = 2048;
+
+/// Sorts `a` using scratch space `tmp` (same length).
+pub fn cilksort_serial<P: Probe>(p: &P, a: &mut [u32], tmp: &mut [u32]) {
+    debug_assert_eq!(a.len(), tmp.len());
+    let n = a.len();
+    if n <= QUICK_THRESHOLD {
+        quicksort(p, a);
+        return;
+    }
+    // Four quarters: the Cilk decomposition.
+    let q = n / 4;
+    // Potential tasks: 4 sorts + 2 merges + 1 merge (the 9 task directives
+    // of Table I live in these two functions).
+    for _ in 0..4 {
+        p.task(48); // two fat pointers + attrs captured per child
+    }
+    {
+        let (a12, a34) = a.split_at_mut(2 * q);
+        let (a1, a2) = a12.split_at_mut(q);
+        let (a3, a4) = a34.split_at_mut(q);
+        let (t12, t34) = tmp.split_at_mut(2 * q);
+        let (t1, t2) = t12.split_at_mut(q);
+        let (t3, t4) = t34.split_at_mut(q);
+        cilksort_serial(p, a1, t1);
+        cilksort_serial(p, a2, t2);
+        cilksort_serial(p, a3, t3);
+        cilksort_serial(p, a4, t4);
+    }
+    p.taskwait();
+
+    p.task(48);
+    p.task(48);
+    {
+        let (a12, a34) = a.split_at(2 * q);
+        let (t12, t34) = tmp.split_at_mut(2 * q);
+        merge_serial_rec(p, &a12[..q], &a12[q..], t12);
+        merge_serial_rec(p, &a34[..q], &a34[q..], t34);
+    }
+    p.taskwait();
+
+    p.task(48);
+    {
+        let (t12, t34) = tmp.split_at(2 * q);
+        merge_serial_rec(p, t12, t34, a);
+    }
+    p.taskwait();
+}
+
+/// The divide-and-conquer merge, run sequentially (still splitting, so the
+/// serial baseline does the same work as the parallel version).
+pub fn merge_serial_rec<'x, P: Probe>(p: &P, mut a: &'x [u32], mut b: &'x [u32], out: &mut [u32]) {
+    if a.len() < b.len() {
+        std::mem::swap(&mut a, &mut b);
+    }
+    if a.len() + b.len() <= MERGE_THRESHOLD {
+        serial_merge(p, a, b, out);
+        return;
+    }
+    let (ma, mb) = merge_split(a, b);
+    p.ops((b.len().max(2) as u64).ilog2() as u64); // binary search steps
+    p.task(64);
+    p.task(64);
+    let (out_lo, out_hi) = out.split_at_mut(ma + mb);
+    merge_serial_rec(p, &a[..ma], &b[..mb], out_lo);
+    merge_serial_rec(p, &a[ma..], &b[mb..], out_hi);
+    p.taskwait();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_inputs::arrays::random_u32s;
+    use bots_profile::{CountingProbe, NullProbe};
+
+    fn check(n: usize, seed: u64) {
+        let mut v = random_u32s(n, seed);
+        let mut tmp = vec![0u32; n];
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        cilksort_serial(&NullProbe, &mut v, &mut tmp);
+        assert_eq!(v, expect, "n={n}");
+    }
+
+    #[test]
+    fn sorts_below_and_above_thresholds() {
+        check(100, 1);
+        check(QUICK_THRESHOLD, 2);
+        check(QUICK_THRESHOLD + 1, 3);
+        check(100_000, 4);
+    }
+
+    #[test]
+    fn sorts_odd_sizes() {
+        check(12_345, 5);
+        check(65_537, 6);
+    }
+
+    #[test]
+    fn profile_counts_tasks_only_above_grain() {
+        let p = CountingProbe::new();
+        let mut v = random_u32s(QUICK_THRESHOLD, 7);
+        let mut tmp = vec![0u32; v.len()];
+        cilksort_serial(&p, &mut v, &mut tmp);
+        assert_eq!(p.counts().tasks, 0, "small arrays must be task-free");
+
+        let p = CountingProbe::new();
+        let mut v = random_u32s(64 * 1024, 8);
+        let mut tmp = vec![0u32; v.len()];
+        cilksort_serial(&p, &mut v, &mut tmp);
+        let c = p.counts();
+        assert!(c.tasks > 0);
+        assert!(c.taskwaits > 0);
+        // Memory-bound profile: roughly one write per op (paper: 1.30
+        // ops/write).
+        let ratio = c.ops as f64 / c.writes_total() as f64;
+        assert!(ratio < 4.0, "ops/write={ratio}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Property tests for Sort: serial and parallel cilksort must agree with
+//! the standard library sort on arbitrary inputs, and the merge primitives
+//! must preserve multisets.
+
+use bots_profile::NullProbe;
+use bots_runtime::Runtime;
+use bots_sort::{cilksort_parallel, cilksort_serial, serial_merge};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serial_cilksort_sorts_anything(mut v in proptest::collection::vec(any::<u32>(), 0..20_000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let mut tmp = vec![0u32; v.len()];
+        cilksort_serial(&NullProbe, &mut v, &mut tmp);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn parallel_cilksort_sorts_anything(
+        mut v in proptest::collection::vec(any::<u32>(), 0..20_000),
+        threads in 1usize..5,
+        untied in any::<bool>(),
+    ) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let rt = Runtime::with_threads(threads);
+        cilksort_parallel(&rt, &mut v, untied);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn serial_merge_equals_concat_sort(
+        mut a in proptest::collection::vec(any::<u32>(), 0..500),
+        mut b in proptest::collection::vec(any::<u32>(), 0..500),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut out = vec![0u32; a.len() + b.len()];
+        serial_merge(&NullProbe, &a, &b, &mut out);
+        let mut expect = [a, b].concat();
+        expect.sort_unstable();
+        prop_assert_eq!(out, expect);
+    }
+}

@@ -1,0 +1,34 @@
+//! # bots-sparselu — the BOTS SparseLU kernel
+//!
+//! Blocked LU factorisation of a sparse matrix of pointers to dense
+//! blocks. Each outer iteration factorises the diagonal block (`lu0`),
+//! solves the pivot row and column (`fwd`/`bdiv`, one task per non-empty
+//! block), then updates the trailing submatrix (`bmod`, one task per
+//! non-empty pair) — with fill-in allocation between phases. The sparsity
+//! pattern is the BOTS `genmat` pattern, so the per-phase imbalance the
+//! kernel exists to exercise is preserved.
+//!
+//! Ships in single-generator and `omp for`-style multiple-generator
+//! versions (the §IV-D comparison).
+//!
+//! ```
+//! use bots_runtime::Runtime;
+//! use bots_sparselu::{BlockMatrix, sparselu_parallel, LuGenerator};
+//!
+//! let rt = Runtime::with_threads(2);
+//! let m = BlockMatrix::generate(6, 8, 42);
+//! sparselu_parallel(&rt, &m, LuGenerator::Single, false);
+//! ```
+#![warn(missing_docs)]
+
+mod bench;
+mod matrix;
+mod ops;
+mod parallel;
+mod serial;
+
+pub use bench::{dims_for, SparseLuBench};
+pub use matrix::BlockMatrix;
+pub use ops::{bdiv, bmod, fwd, lu0};
+pub use parallel::{sparselu_parallel, LuGenerator};
+pub use serial::{reconstruction_error, sparselu_serial};

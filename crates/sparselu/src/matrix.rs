@@ -1,0 +1,215 @@
+//! The sparse block matrix: an NB×NB grid of optional BS×BS dense blocks.
+//!
+//! "A first level matrix is composed by pointers to small submatrices that
+//! may not be allocated" (§III-B). During factorisation, different tasks
+//! update *different* blocks of the same matrix concurrently, and the
+//! generator allocates fill-in blocks between phases. Rust cannot express
+//! that disjointness through `&mut` borrows of one `Vec`, so the slots use
+//! `UnsafeCell` with a small audited accessor surface; every caller states
+//! which phase-level invariant makes its access exclusive.
+
+use std::cell::UnsafeCell;
+
+use bots_inputs::blockmatrix::{bots_block_present, fill_block};
+
+/// One optional block behind interior mutability.
+struct Slot(UnsafeCell<Option<Box<[f64]>>>);
+
+// Safety: slots are shared across worker threads; all concurrent access
+// discipline is enforced by the factorisation phase structure (documented
+// on each accessor).
+unsafe impl Sync for Slot {}
+unsafe impl Send for Slot {}
+
+/// Sparse block matrix (see module docs).
+pub struct BlockMatrix {
+    nb: usize,
+    bs: usize,
+    slots: Vec<Slot>,
+}
+
+impl BlockMatrix {
+    /// Builds the BOTS `genmat` structure: `nb`×`nb` blocks of side `bs`,
+    /// present per the canonical sparsity pattern, filled deterministically
+    /// from `seed`.
+    pub fn generate(nb: usize, bs: usize, seed: u64) -> Self {
+        let mut slots = Vec::with_capacity(nb * nb);
+        for ii in 0..nb {
+            for jj in 0..nb {
+                let content = if bots_block_present(ii, jj) {
+                    Some(fill_block(ii, jj, bs, seed).into_boxed_slice())
+                } else {
+                    None
+                };
+                slots.push(Slot(UnsafeCell::new(content)));
+            }
+        }
+        BlockMatrix { nb, bs, slots }
+    }
+
+    /// Empty matrix (all blocks absent); used by tests.
+    pub fn empty(nb: usize, bs: usize) -> Self {
+        let slots = (0..nb * nb).map(|_| Slot(UnsafeCell::new(None))).collect();
+        BlockMatrix { nb, bs, slots }
+    }
+
+    /// Blocks per side.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Block side length.
+    pub fn bs(&self) -> usize {
+        self.bs
+    }
+
+    #[inline]
+    fn slot(&self, ii: usize, jj: usize) -> &Slot {
+        &self.slots[ii * self.nb + jj]
+    }
+
+    /// Is block `(ii, jj)` present?
+    ///
+    /// Safety of the internal read: structure mutation ([`Self::ensure`]) only
+    /// happens in the generator between/before the tasks that read the same
+    /// coordinates, so presence is stable whenever tasks ask.
+    pub fn present(&self, ii: usize, jj: usize) -> bool {
+        unsafe { (*self.slot(ii, jj).0.get()).is_some() }
+    }
+
+    /// Shared view of a block.
+    ///
+    /// # Safety
+    /// No concurrent mutable access to the same block may exist. In the
+    /// factorisation this holds because within a phase each block is either
+    /// read-only (pivot row/column, already factored) or written by exactly
+    /// one task.
+    pub unsafe fn block(&self, ii: usize, jj: usize) -> Option<&[f64]> {
+        (*self.slot(ii, jj).0.get()).as_deref()
+    }
+
+    /// Exclusive view of a block.
+    ///
+    /// # Safety
+    /// The caller must be the only accessor of this block for the duration
+    /// of the borrow (phase discipline: one task per target block).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn block_mut(&self, ii: usize, jj: usize) -> Option<&mut [f64]> {
+        (*self.slot(ii, jj).0.get()).as_deref_mut()
+    }
+
+    /// Allocates block `(ii, jj)` as zeros if absent (LU fill-in).
+    ///
+    /// # Safety
+    /// Only a generator may call this, and only while no task accesses the
+    /// same coordinates (fill-in happens before the bmod task for the block
+    /// is spawned).
+    pub unsafe fn ensure(&self, ii: usize, jj: usize) {
+        let slot = self.slot(ii, jj).0.get();
+        if (*slot).is_none() {
+            *slot = Some(vec![0.0; self.bs * self.bs].into_boxed_slice());
+        }
+    }
+
+    /// Number of present blocks.
+    pub fn present_count(&self) -> usize {
+        (0..self.nb * self.nb)
+            .filter(|k| self.present(k / self.nb, k % self.nb))
+            .count()
+    }
+
+    /// Reads one scalar element of the full `nb·bs` square matrix (absent
+    /// blocks read as zero). For verification only (single-threaded).
+    pub fn element(&self, r: usize, c: usize) -> f64 {
+        let (bi, br) = (r / self.bs, r % self.bs);
+        let (bj, bc) = (c / self.bs, c % self.bs);
+        unsafe { self.block(bi, bj) }.map_or(0.0, |b| b[br * self.bs + bc])
+    }
+
+    /// Order-independent digest of the matrix content (single-threaded).
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for ii in 0..self.nb {
+            for jj in 0..self.nb {
+                if let Some(b) = unsafe { self.block(ii, jj) } {
+                    for (k, &v) in b.iter().enumerate() {
+                        let v = if v == 0.0 { 0.0 } else { v };
+                        let h = bots_suite::fnv1a(&v.to_bits().to_le_bytes());
+                        acc ^= h.rotate_left(((ii * 31 + jj * 7 + k) % 63) as u32);
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Deep copy (single-threaded contexts only).
+    pub fn deep_clone(&self) -> BlockMatrix {
+        let slots = (0..self.nb * self.nb)
+            .map(|k| {
+                let (ii, jj) = (k / self.nb, k % self.nb);
+                let content = unsafe { self.block(ii, jj) }.map(|b| b.to_vec().into_boxed_slice());
+                Slot(UnsafeCell::new(content))
+            })
+            .collect();
+        BlockMatrix {
+            nb: self.nb,
+            bs: self.bs,
+            slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_follows_pattern() {
+        let m = BlockMatrix::generate(10, 4, 42);
+        for ii in 0..10 {
+            for jj in 0..10 {
+                assert_eq!(m.present(ii, jj), bots_block_present(ii, jj), "({ii},{jj})");
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_allocates_zeros() {
+        let m = BlockMatrix::empty(3, 4);
+        assert!(!m.present(1, 2));
+        unsafe { m.ensure(1, 2) };
+        assert!(m.present(1, 2));
+        let b = unsafe { m.block(1, 2) }.unwrap();
+        assert!(b.iter().all(|&v| v == 0.0));
+        // Idempotent.
+        unsafe { m.ensure(1, 2) };
+        assert!(m.present(1, 2));
+    }
+
+    #[test]
+    fn element_reads_through_blocks() {
+        let m = BlockMatrix::generate(4, 8, 7);
+        let b00 = unsafe { m.block(0, 0) }.unwrap();
+        assert_eq!(m.element(3, 5), b00[3 * 8 + 5]);
+        // An absent block reads zero.
+        let absent = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .find(|&(i, j)| !m.present(i, j))
+            .expect("pattern has holes");
+        assert_eq!(m.element(absent.0 * 8, absent.1 * 8), 0.0);
+    }
+
+    #[test]
+    fn digest_detects_changes() {
+        let m = BlockMatrix::generate(6, 4, 1);
+        let d1 = m.digest();
+        let c = m.deep_clone();
+        assert_eq!(d1, c.digest());
+        unsafe {
+            let b = c.block_mut(0, 0).unwrap();
+            b[0] += 1.0;
+        }
+        assert_ne!(d1, c.digest());
+    }
+}

@@ -1,0 +1,172 @@
+//! The four block kernels of the factorisation: `lu0` (diagonal LU),
+//! `fwd` (forward solve applied to a row block), `bdiv` (backward solve
+//! applied to a column block), `bmod` (trailing update). Straight ports of
+//! the BOTS routines, instrumented.
+
+use bots_profile::Probe;
+
+/// Unpivoted in-place LU of the diagonal block (`bs`×`bs`).
+pub fn lu0<P: Probe>(p: &P, diag: &mut [f64], bs: usize) {
+    for k in 0..bs {
+        let pivot = diag[k * bs + k];
+        debug_assert!(pivot != 0.0, "zero pivot at {k}");
+        for i in k + 1..bs {
+            diag[i * bs + k] /= pivot;
+            let lik = diag[i * bs + k];
+            for j in k + 1..bs {
+                diag[i * bs + j] -= lik * diag[k * bs + j];
+            }
+        }
+    }
+    let ops = (2 * bs * bs * bs) as u64 / 3;
+    p.ops(ops);
+    p.write_shared((bs * bs) as u64);
+}
+
+/// Applies `L⁻¹` (unit lower triangle of the factored diagonal) to a block
+/// on the pivot row: `row ← L⁻¹ · row`.
+pub fn fwd<P: Probe>(p: &P, diag: &[f64], row: &mut [f64], bs: usize) {
+    for k in 0..bs {
+        for i in k + 1..bs {
+            let lik = diag[i * bs + k];
+            for j in 0..bs {
+                row[i * bs + j] -= lik * row[k * bs + j];
+            }
+        }
+    }
+    p.ops((bs * bs * bs) as u64);
+    p.write_shared((bs * bs) as u64);
+}
+
+/// Applies `U⁻¹` (upper triangle of the factored diagonal) from the right
+/// to a block on the pivot column: `col ← col · U⁻¹`.
+pub fn bdiv<P: Probe>(p: &P, diag: &[f64], col: &mut [f64], bs: usize) {
+    for i in 0..bs {
+        for k in 0..bs {
+            col[i * bs + k] /= diag[k * bs + k];
+            let cik = col[i * bs + k];
+            for j in k + 1..bs {
+                col[i * bs + j] -= cik * diag[k * bs + j];
+            }
+        }
+    }
+    p.ops((bs * bs * bs) as u64);
+    p.write_shared((bs * bs) as u64);
+}
+
+/// Trailing-submatrix update: `inner ← inner − row·col`.
+pub fn bmod<P: Probe>(p: &P, row: &[f64], col: &[f64], inner: &mut [f64], bs: usize) {
+    for i in 0..bs {
+        for k in 0..bs {
+            let rik = row[i * bs + k];
+            for j in 0..bs {
+                inner[i * bs + j] -= rik * col[k * bs + j];
+            }
+        }
+    }
+    p.ops((2 * bs * bs * bs) as u64);
+    p.write_shared((bs * bs) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_profile::NullProbe;
+
+    /// Multiplies the L and U factors packed in one block back together.
+    fn lu_product(factored: &[f64], bs: usize) -> Vec<f64> {
+        let mut out = vec![0.0; bs * bs];
+        for i in 0..bs {
+            for j in 0..bs {
+                let mut acc = 0.0;
+                // L has implicit unit diagonal; U is the upper triangle.
+                let kmax = i.min(j);
+                for k in 0..kmax {
+                    acc += factored[i * bs + k] * factored[k * bs + j];
+                }
+                acc += if i <= j {
+                    factored[i * bs + j] // L[i][i] = 1 ⇒ term is U[i][j]
+                } else {
+                    factored[i * bs + j] * factored[j * bs + j] // L[i][j]·U[j][j]
+                };
+                out[i * bs + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn dominant_block(bs: usize, seed: u64) -> Vec<f64> {
+        bots_inputs::blockmatrix::fill_block(0, 0, bs, seed)
+    }
+
+    #[test]
+    fn lu0_factorisation_reconstructs() {
+        let bs = 16;
+        let orig = dominant_block(bs, 3);
+        let mut fac = orig.clone();
+        lu0(&NullProbe, &mut fac, bs);
+        let back = lu_product(&fac, bs);
+        for (a, b) in back.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fwd_solves_lower_system() {
+        let bs = 12;
+        let mut diag = dominant_block(bs, 5);
+        lu0(&NullProbe, &mut diag, bs);
+        // Build B, apply fwd to get X with L·X = B; check L·X == B.
+        let b0: Vec<f64> = (0..bs * bs).map(|i| (i % 11) as f64 - 5.0).collect();
+        let mut x = b0.clone();
+        fwd(&NullProbe, &diag, &mut x, bs);
+        for i in 0..bs {
+            for j in 0..bs {
+                let mut acc = x[i * bs + j];
+                for k in 0..i {
+                    acc += diag[i * bs + k] * x[k * bs + j];
+                }
+                assert!((acc - b0[i * bs + j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn bdiv_solves_upper_system() {
+        let bs = 12;
+        let mut diag = dominant_block(bs, 6);
+        lu0(&NullProbe, &mut diag, bs);
+        let b0: Vec<f64> = (0..bs * bs).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut x = b0.clone();
+        bdiv(&NullProbe, &diag, &mut x, bs);
+        // Check X·U == B.
+        for i in 0..bs {
+            for j in 0..bs {
+                let mut acc = 0.0;
+                for k in 0..=j {
+                    let u = if k <= j { diag[k * bs + j] } else { 0.0 };
+                    acc += x[i * bs + k] * u;
+                }
+                assert!((acc - b0[i * bs + j]).abs() < 1e-8, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bmod_is_multiply_subtract() {
+        let bs = 8;
+        let row: Vec<f64> = (0..bs * bs).map(|i| (i % 5) as f64).collect();
+        let col: Vec<f64> = (0..bs * bs).map(|i| ((i * 3) % 7) as f64).collect();
+        let mut inner = vec![1.0; bs * bs];
+        bmod(&NullProbe, &row, &col, &mut inner, bs);
+        for i in 0..bs {
+            for j in 0..bs {
+                let mut expect = 1.0;
+                for k in 0..bs {
+                    expect -= row[i * bs + k] * col[k * bs + j];
+                }
+                assert!((inner[i * bs + j] - expect).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Task-parallel sparse LU with the two generator schemes of §IV-D:
+//!
+//! * **single generator** — one task (the region root) walks the block grid
+//!   and spawns a task per non-empty block;
+//! * **multiple generators** (`omp for`) — the per-phase loops are
+//!   worksharing loops, so every team member creates tasks concurrently
+//!   ("uses a omp for worksharing to allow multiple threads to create the
+//!   tasks for each phase").
+//!
+//! Safety discipline for the `UnsafeCell` block accesses (see
+//! [`crate::matrix`]): within a phase each task writes exactly one block —
+//! its own `(ii, jj)` — and only reads blocks that the phase ordering
+//! (taskwait barriers between `fwd`/`bdiv`, `bmod`, and the next `lu0`)
+//! guarantees are quiescent.
+
+use bots_profile::NullProbe;
+use bots_runtime::{Runtime, Scope, TaskAttrs};
+
+use crate::matrix::BlockMatrix;
+use crate::ops::{bdiv, bmod, fwd, lu0};
+
+/// Generator scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuGenerator {
+    /// All tasks created by the region root.
+    Single,
+    /// Tasks created from a worksharing loop over rows.
+    For,
+}
+
+/// Factorises `m` in place on `rt`.
+pub fn sparselu_parallel(rt: &Runtime, m: &BlockMatrix, gen: LuGenerator, untied: bool) {
+    let attrs = TaskAttrs::default().with_tied(!untied);
+    match gen {
+        LuGenerator::Single => rt.parallel(move |s| single_generator(s, m, attrs)),
+        LuGenerator::For => rt.parallel(move |s| for_generator(s, m, attrs)),
+    }
+}
+
+fn single_generator(s: &Scope<'_>, m: &BlockMatrix, attrs: TaskAttrs) {
+    let nb = m.nb();
+    let bs = m.bs();
+    for kk in 0..nb {
+        // The diagonal factorisation orders everything in this iteration;
+        // it runs in the generator (as in BOTS).
+        unsafe { lu0(&NullProbe, m.block_mut(kk, kk).expect("diag present"), bs) };
+
+        s.taskgroup(|s| {
+            for jj in kk + 1..nb {
+                if m.present(kk, jj) {
+                    s.spawn_with(attrs, move |_| unsafe {
+                        // Exclusive: one fwd task per (kk, jj).
+                        fwd(
+                            &NullProbe,
+                            m.block(kk, kk).unwrap(),
+                            m.block_mut(kk, jj).unwrap(),
+                            bs,
+                        );
+                    });
+                }
+            }
+            for ii in kk + 1..nb {
+                if m.present(ii, kk) {
+                    s.spawn_with(attrs, move |_| unsafe {
+                        bdiv(
+                            &NullProbe,
+                            m.block(kk, kk).unwrap(),
+                            m.block_mut(ii, kk).unwrap(),
+                            bs,
+                        );
+                    });
+                }
+            }
+        });
+
+        s.taskgroup(|s| {
+            for ii in kk + 1..nb {
+                if !m.present(ii, kk) {
+                    continue;
+                }
+                for jj in kk + 1..nb {
+                    if !m.present(kk, jj) {
+                        continue;
+                    }
+                    // Fill-in allocated by the generator before the task for
+                    // this block exists.
+                    unsafe { m.ensure(ii, jj) };
+                    s.spawn_with(attrs, move |_| unsafe {
+                        bmod(
+                            &NullProbe,
+                            m.block(ii, kk).unwrap(),
+                            m.block(kk, jj).unwrap(),
+                            m.block_mut(ii, jj).unwrap(),
+                            bs,
+                        );
+                    });
+                }
+            }
+        });
+    }
+}
+
+fn for_generator(s: &Scope<'_>, m: &BlockMatrix, attrs: TaskAttrs) {
+    let nb = m.nb();
+    let bs = m.bs();
+    for kk in 0..nb {
+        unsafe { lu0(&NullProbe, m.block_mut(kk, kk).expect("diag present"), bs) };
+
+        // Phase 1 worksharing: the fwd/bdiv candidates are distributed over
+        // the team; each iteration spawns at most one task.
+        s.taskgroup(|s| {
+            s.parallel_for(kk + 1..nb, move |x, s| {
+                if m.present(kk, x) {
+                    s.spawn_with(attrs, move |_| unsafe {
+                        fwd(
+                            &NullProbe,
+                            m.block(kk, kk).unwrap(),
+                            m.block_mut(kk, x).unwrap(),
+                            bs,
+                        );
+                    });
+                }
+                if m.present(x, kk) {
+                    s.spawn_with(attrs, move |_| unsafe {
+                        bdiv(
+                            &NullProbe,
+                            m.block(kk, kk).unwrap(),
+                            m.block_mut(x, kk).unwrap(),
+                            bs,
+                        );
+                    });
+                }
+            });
+        });
+
+        // Phase 2 worksharing over rows: each generator iteration owns row
+        // ii, allocates its fill-in and spawns its bmod tasks.
+        s.taskgroup(|s| {
+            s.parallel_for(kk + 1..nb, move |ii, s| {
+                if !m.present(ii, kk) {
+                    return;
+                }
+                for jj in kk + 1..nb {
+                    if !m.present(kk, jj) {
+                        continue;
+                    }
+                    unsafe { m.ensure(ii, jj) };
+                    s.spawn_with(attrs, move |_| unsafe {
+                        bmod(
+                            &NullProbe,
+                            m.block(ii, kk).unwrap(),
+                            m.block(kk, jj).unwrap(),
+                            m.block_mut(ii, jj).unwrap(),
+                            bs,
+                        );
+                    });
+                }
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::{reconstruction_error, sparselu_serial};
+
+    #[test]
+    fn both_generators_match_serial_bitwise() {
+        let reference = BlockMatrix::generate(8, 8, 42);
+        sparselu_serial(&NullProbe, &reference);
+        let want = reference.digest();
+
+        let rt = Runtime::with_threads(4);
+        for gen in [LuGenerator::Single, LuGenerator::For] {
+            for untied in [false, true] {
+                let m = BlockMatrix::generate(8, 8, 42);
+                sparselu_parallel(&rt, &m, gen, untied);
+                assert_eq!(m.digest(), want, "gen={gen:?} untied={untied}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_factorisation_reconstructs() {
+        let rt = Runtime::with_threads(4);
+        let m = BlockMatrix::generate(6, 8, 17);
+        let original = m.deep_clone();
+        sparselu_parallel(&rt, &m, LuGenerator::Single, false);
+        let err = reconstruction_error(&m, &original);
+        assert!(err < 1e-7, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn single_thread_team() {
+        let rt = Runtime::with_threads(1);
+        let reference = BlockMatrix::generate(6, 4, 3);
+        sparselu_serial(&NullProbe, &reference);
+        let m = BlockMatrix::generate(6, 4, 3);
+        sparselu_parallel(&rt, &m, LuGenerator::For, false);
+        assert_eq!(m.digest(), reference.digest());
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let rt = Runtime::with_threads(8);
+        let mut digests = Vec::new();
+        for _ in 0..3 {
+            let m = BlockMatrix::generate(10, 4, 5);
+            sparselu_parallel(&rt, &m, LuGenerator::For, true);
+            digests.push(m.digest());
+        }
+        assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    }
+}

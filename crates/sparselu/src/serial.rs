@@ -1,0 +1,136 @@
+//! Sequential blocked sparse LU — the reference and the instrumented
+//! characterisation run. Emits a potential-task event everywhere the
+//! parallel versions spawn ("in each of the sparseLU phases, a task is
+//! created for each block of the matrix that is not empty").
+
+use bots_profile::Probe;
+
+use crate::matrix::BlockMatrix;
+use crate::ops::{bdiv, bmod, fwd, lu0};
+
+/// Factorises `m` in place, sequentially.
+pub fn sparselu_serial<P: Probe>(p: &P, m: &BlockMatrix) {
+    let nb = m.nb();
+    let bs = m.bs();
+    for kk in 0..nb {
+        // Safety: single-threaded — every access is exclusive.
+        unsafe {
+            lu0(p, m.block_mut(kk, kk).expect("diagonal always present"), bs);
+
+            for jj in kk + 1..nb {
+                if m.present(kk, jj) {
+                    p.task(32);
+                    fwd(
+                        p,
+                        m.block(kk, kk).unwrap(),
+                        m.block_mut(kk, jj).unwrap(),
+                        bs,
+                    );
+                }
+            }
+            for ii in kk + 1..nb {
+                if m.present(ii, kk) {
+                    p.task(32);
+                    bdiv(
+                        p,
+                        m.block(kk, kk).unwrap(),
+                        m.block_mut(ii, kk).unwrap(),
+                        bs,
+                    );
+                }
+            }
+            p.taskwait();
+
+            for ii in kk + 1..nb {
+                if !m.present(ii, kk) {
+                    continue;
+                }
+                for jj in kk + 1..nb {
+                    if !m.present(kk, jj) {
+                        continue;
+                    }
+                    m.ensure(ii, jj); // fill-in
+                    p.task(48);
+                    bmod(
+                        p,
+                        m.block(ii, kk).unwrap(),
+                        m.block(kk, jj).unwrap(),
+                        m.block_mut(ii, jj).unwrap(),
+                        bs,
+                    );
+                }
+            }
+            p.taskwait();
+        }
+    }
+}
+
+/// Dense reconstruction check: `max |(L·U)(r,c) − A(r,c)|` over the full
+/// matrix, where `factored` holds packed L (unit diagonal) and U including
+/// fill-in, and `original` is the pre-factorisation matrix. O(N³) — use on
+/// small inputs only.
+pub fn reconstruction_error(factored: &BlockMatrix, original: &BlockMatrix) -> f64 {
+    let n = factored.nb() * factored.bs();
+    let mut worst = 0.0f64;
+    for r in 0..n {
+        for c in 0..n {
+            let mut acc = 0.0;
+            let kmax = r.min(c);
+            for k in 0..kmax {
+                acc += factored.element(r, k) * factored.element(k, c);
+            }
+            acc += if r <= c {
+                factored.element(r, c)
+            } else {
+                factored.element(r, c) * factored.element(c, c)
+            };
+            worst = worst.max((acc - original.element(r, c)).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_profile::{CountingProbe, NullProbe};
+
+    #[test]
+    fn factorisation_reconstructs_original() {
+        let m = BlockMatrix::generate(8, 8, 42);
+        let original = m.deep_clone();
+        sparselu_serial(&NullProbe, &m);
+        let err = reconstruction_error(&m, &original);
+        assert!(err < 1e-7, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn fill_in_happens() {
+        let m = BlockMatrix::generate(10, 4, 1);
+        let before = m.present_count();
+        sparselu_serial(&NullProbe, &m);
+        assert!(m.present_count() > before, "LU must create fill-in blocks");
+    }
+
+    #[test]
+    fn deterministic_digest() {
+        let a = BlockMatrix::generate(8, 8, 5);
+        let b = BlockMatrix::generate(8, 8, 5);
+        sparselu_serial(&NullProbe, &a);
+        sparselu_serial(&NullProbe, &b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn profile_counts_phase_tasks() {
+        let p = CountingProbe::new();
+        let m = BlockMatrix::generate(10, 4, 9);
+        sparselu_serial(&p, &m);
+        let c = p.counts();
+        assert!(c.tasks > 0);
+        // Two taskwaits per outer iteration.
+        assert_eq!(c.taskwaits, 2 * 10);
+        // Imbalanced, compute-heavy blocks: many ops per task.
+        assert!(c.ops / c.tasks > 50);
+    }
+}

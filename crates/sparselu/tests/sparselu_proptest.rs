@@ -1,0 +1,42 @@
+//! Property tests for SparseLU: the factorisation must reconstruct the
+//! original matrix, and every parallel configuration must match the serial
+//! factorisation bitwise.
+
+use bots_profile::NullProbe;
+use bots_runtime::Runtime;
+use bots_sparselu::{
+    reconstruction_error, sparselu_parallel, sparselu_serial, BlockMatrix, LuGenerator,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn factorisation_reconstructs(nb in 3usize..9, bs in 2usize..9, seed in any::<u64>()) {
+        let m = BlockMatrix::generate(nb, bs, seed);
+        let original = m.deep_clone();
+        sparselu_serial(&NullProbe, &m);
+        let err = reconstruction_error(&m, &original);
+        prop_assert!(err < 1e-7, "nb={nb} bs={bs} err={err}");
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise(
+        nb in 3usize..9,
+        bs in 2usize..9,
+        seed in any::<u64>(),
+        threads in 1usize..5,
+        for_gen in any::<bool>(),
+        untied in any::<bool>(),
+    ) {
+        let reference = BlockMatrix::generate(nb, bs, seed);
+        sparselu_serial(&NullProbe, &reference);
+
+        let m = BlockMatrix::generate(nb, bs, seed);
+        let rt = Runtime::with_threads(threads);
+        let gen = if for_gen { LuGenerator::For } else { LuGenerator::Single };
+        sparselu_parallel(&rt, &m, gen, untied);
+        prop_assert_eq!(m.digest(), reference.digest());
+    }
+}

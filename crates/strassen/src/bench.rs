@@ -1,0 +1,127 @@
+//! `Benchmark` wiring for Strassen.
+
+use bots_inputs::InputClass;
+use bots_profile::{CountingProbe, NullProbe, RawCounts};
+use bots_runtime::Runtime;
+use bots_suite::{
+    fnv1a_f64, BenchMeta, Benchmark, CutoffMode, RunOutput, Tiedness, Verification, VersionSpec,
+};
+
+use crate::matrix::Matrix;
+use crate::parallel::{strassen_parallel, StrassenMode};
+use crate::serial::strassen_serial;
+
+/// Matrix side per class.
+pub fn n_for(class: InputClass) -> usize {
+    class.pick([128, 512, 2048, 4096])
+}
+
+/// Depth cut-off per class for the if/manual versions.
+pub fn cutoff_for(class: InputClass) -> u32 {
+    class.pick([1, 2, 3, 3])
+}
+
+const SEED_A: u64 = 0x57A5_0001;
+const SEED_B: u64 = 0x57A5_0002;
+
+fn digest(m: &Matrix) -> u64 {
+    let mut acc = 0u64;
+    for (i, &v) in m.data().iter().enumerate() {
+        acc ^= fnv1a_f64(v).rotate_left((i % 59) as u32);
+    }
+    acc
+}
+
+/// Strassen as a suite [`Benchmark`].
+#[derive(Debug, Default)]
+pub struct StrassenBench;
+
+impl Benchmark for StrassenBench {
+    fn meta(&self) -> BenchMeta {
+        BenchMeta {
+            name: "Strassen",
+            origin: "Cilk",
+            domain: "Dense linear algebra",
+            structure: "At each node",
+            task_directives: 8,
+            tasks_inside: "single",
+            nested_tasks: true,
+            app_cutoff: "depth-based",
+        }
+    }
+
+    fn input_desc(&self, class: InputClass) -> String {
+        let n = n_for(class);
+        format!("{n}x{n} matrix")
+    }
+
+    fn versions(&self) -> Vec<VersionSpec> {
+        VersionSpec::matrix(false)
+    }
+
+    fn run_serial(&self, class: InputClass) -> RunOutput {
+        let n = n_for(class);
+        let a = Matrix::random(n, SEED_A);
+        let b = Matrix::random(n, SEED_B);
+        let c = strassen_serial(&NullProbe, &a, &b);
+        RunOutput::new(digest(&c), format!("{n}x{n} product"))
+    }
+
+    fn run_parallel(&self, rt: &Runtime, class: InputClass, version: VersionSpec) -> RunOutput {
+        let n = n_for(class);
+        let a = Matrix::random(n, SEED_A);
+        let b = Matrix::random(n, SEED_B);
+        let mode = match version.cutoff {
+            CutoffMode::NoCutoff => StrassenMode::NoCutoff,
+            CutoffMode::IfClause => StrassenMode::IfClause,
+            CutoffMode::Manual => StrassenMode::Manual,
+        };
+        let untied = version.tiedness == Tiedness::Untied;
+        let c = strassen_parallel(rt, &a, &b, mode, untied, cutoff_for(class));
+        RunOutput::new(digest(&c), format!("{n}x{n} product"))
+    }
+
+    fn verify(&self, _class: InputClass, _output: &RunOutput) -> Verification {
+        // Identical arithmetic serial vs parallel ⇒ compare digests.
+        Verification::AgainstSerial
+    }
+
+    fn characterize(&self, class: InputClass) -> RawCounts {
+        let n = n_for(class);
+        let a = Matrix::random(n, SEED_A);
+        let b = Matrix::random(n, SEED_B);
+        let p = CountingProbe::new();
+        strassen_serial(&p, &a, &b);
+        p.counts()
+    }
+
+    fn best_version(&self) -> VersionSpec {
+        // Figure 3: "strassen (nocutoff-tied)".
+        VersionSpec::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_suite::runner;
+
+    #[test]
+    fn parallel_versions_verify() {
+        let b = StrassenBench;
+        let rt = Runtime::with_threads(4);
+        for v in b.versions() {
+            let out = b.run_parallel(&rt, InputClass::Test, v);
+            runner::verify(&b, InputClass::Test, &out).unwrap();
+        }
+    }
+
+    #[test]
+    fn characterization_is_compute_heavy() {
+        let c = StrassenBench.characterize(InputClass::Test);
+        assert!(c.tasks > 0);
+        // Paper: Strassen has the largest ops/task (~800 K) of the suite.
+        let ops_per_task = c.ops as f64 / c.tasks as f64;
+        assert!(ops_per_task > 10_000.0, "ops/task={ops_per_task}");
+    }
+}

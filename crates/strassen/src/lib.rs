@@ -1,0 +1,30 @@
+//! # bots-strassen — the BOTS Strassen kernel
+//!
+//! Strassen's seven-product recursive matrix multiplication: each
+//! decomposition spawns seven product tasks; the classical cache-blocked
+//! multiply takes over at 64×64 leaves, and depth-based cut-off versions
+//! (if-clause and manual) stop task creation below a configurable level.
+//! Parallel results are bitwise identical to the serial recursion (same
+//! arithmetic, no reductions).
+//!
+//! ```
+//! use bots_runtime::Runtime;
+//! use bots_strassen::{strassen_parallel, StrassenMode, Matrix};
+//!
+//! let rt = Runtime::with_threads(2);
+//! let a = Matrix::random(128, 1);
+//! let b = Matrix::random(128, 2);
+//! let c = strassen_parallel(&rt, &a, &b, StrassenMode::Manual, false, 1);
+//! assert_eq!(c.n(), 128);
+//! ```
+#![warn(missing_docs)]
+
+mod bench;
+mod matrix;
+mod parallel;
+mod serial;
+
+pub use bench::{cutoff_for, n_for, StrassenBench};
+pub use matrix::{classical_mul, Matrix};
+pub use parallel::{strassen_parallel, StrassenMode};
+pub use serial::{strassen_serial, LEAF};

@@ -1,0 +1,189 @@
+//! Square-matrix support for Strassen: an owned row-major matrix, quadrant
+//! extraction/combination, elementwise sums, and the cache-blocked
+//! classical multiply used below the recursion leaf.
+
+use bots_profile::Probe;
+
+/// Owned row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of side `n`.
+    pub fn zero(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Wraps an existing row-major buffer (must be `n × n`).
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n);
+        Matrix { n, data }
+    }
+
+    /// Deterministic random matrix (entries in `[-1, 1)`).
+    pub fn random(n: usize, seed: u64) -> Self {
+        Matrix::from_vec(n, bots_inputs::arrays::dense_matrix(n, seed))
+    }
+
+    /// Side length.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.n + c]
+    }
+
+    /// Raw data slice.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Copies quadrant `(qr, qc)` (each 0 or 1) into a new `n/2` matrix.
+    pub fn quadrant(&self, qr: usize, qc: usize) -> Matrix {
+        let h = self.n / 2;
+        let mut out = Matrix::zero(h);
+        for r in 0..h {
+            let src = (qr * h + r) * self.n + qc * h;
+            out.data[r * h..(r + 1) * h].copy_from_slice(&self.data[src..src + h]);
+        }
+        out
+    }
+
+    /// Assembles this matrix from four quadrants (inverse of
+    /// [`quadrant`](Self::quadrant)).
+    pub fn from_quadrants(c11: &Matrix, c12: &Matrix, c21: &Matrix, c22: &Matrix) -> Matrix {
+        let h = c11.n;
+        debug_assert!(c12.n == h && c21.n == h && c22.n == h);
+        let n = 2 * h;
+        let mut out = Matrix::zero(n);
+        for r in 0..h {
+            out.data[r * n..r * n + h].copy_from_slice(&c11.data[r * h..(r + 1) * h]);
+            out.data[r * n + h..(r + 1) * n].copy_from_slice(&c12.data[r * h..(r + 1) * h]);
+            let rr = (h + r) * n;
+            out.data[rr..rr + h].copy_from_slice(&c21.data[r * h..(r + 1) * h]);
+            out.data[rr + h..rr + n].copy_from_slice(&c22.data[r * h..(r + 1) * h]);
+        }
+        out
+    }
+
+    /// `self + other`, elementwise.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        debug_assert_eq!(self.n, other.n);
+        Matrix {
+            n: self.n,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// `self - other`, elementwise.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        debug_assert_eq!(self.n, other.n);
+        Matrix {
+            n: self.n,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Maximum absolute elementwise difference.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Classical multiply (`c = a·b`) with an i-k-j loop order (streams rows of
+/// `b`, vectorises well). Used below the Strassen leaf size and as the
+/// verification reference.
+pub fn classical_mul<P: Probe>(p: &P, a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.n;
+    debug_assert_eq!(n, b.n);
+    let mut c = Matrix::zero(n);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a.data[i * n + k];
+            let brow = &b.data[k * n..(k + 1) * n];
+            let crow = &mut c.data[i * n..(i + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+    }
+    p.ops(2 * (n * n * n) as u64);
+    p.write_shared((n * n) as u64);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_profile::NullProbe;
+
+    #[test]
+    fn quadrant_roundtrip() {
+        let m = Matrix::random(8, 3);
+        let q11 = m.quadrant(0, 0);
+        let q12 = m.quadrant(0, 1);
+        let q21 = m.quadrant(1, 0);
+        let q22 = m.quadrant(1, 1);
+        let back = Matrix::from_quadrants(&q11, &q12, &q21, &q22);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = Matrix::random(16, 1);
+        let b = Matrix::random(16, 2);
+        let sum = a.add(&b);
+        let back = sum.sub(&b);
+        assert!(back.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn classical_identity() {
+        let n = 8;
+        let a = Matrix::random(n, 5);
+        let mut eye = Matrix::zero(n);
+        for i in 0..n {
+            *eye.at_mut(i, i) = 1.0;
+        }
+        let c = classical_mul(&NullProbe, &a, &eye);
+        assert!(c.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn classical_known_2x2() {
+        let a = Matrix::from_vec(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = classical_mul(&NullProbe, &a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Task-parallel Strassen: "for each decomposition a task is created"
+//! (§III-B) — seven product tasks per node, with depth-based cut-off
+//! versions to stop spawning tiny tasks.
+
+use bots_profile::NullProbe;
+use bots_runtime::{Runtime, Scope, TaskAttrs};
+
+use crate::matrix::{classical_mul, Matrix};
+use crate::serial::{combine, seven_pairs, strassen_serial, LEAF};
+
+/// Cut-off style for Strassen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrassenMode {
+    /// Spawn all seven products at every level.
+    NoCutoff,
+    /// `if(depth < cutoff)` clause on the product tasks.
+    IfClause,
+    /// Serial recursion below the cut-off depth.
+    Manual,
+}
+
+/// Multiplies `a · b` on `rt`.
+pub fn strassen_parallel(
+    rt: &Runtime,
+    a: &Matrix,
+    b: &Matrix,
+    mode: StrassenMode,
+    untied: bool,
+    cutoff: u32,
+) -> Matrix {
+    let attrs = TaskAttrs::default().with_tied(!untied);
+    rt.parallel(move |s| node(s, a, b, mode, attrs, 0, cutoff))
+}
+
+fn node(
+    s: &Scope<'_>,
+    a: &Matrix,
+    b: &Matrix,
+    mode: StrassenMode,
+    attrs: TaskAttrs,
+    depth: u32,
+    cutoff: u32,
+) -> Matrix {
+    let n = a.n();
+    if n <= LEAF {
+        return classical_mul(&NullProbe, a, b);
+    }
+    if mode == StrassenMode::Manual && depth >= cutoff {
+        return strassen_serial(&NullProbe, a, b);
+    }
+    let pairs = seven_pairs(&NullProbe, a, b);
+    let mut slots: [Option<Matrix>; 7] = Default::default();
+    {
+        let spawn_attrs = match mode {
+            StrassenMode::IfClause => attrs.with_if(depth < cutoff),
+            _ => attrs,
+        };
+        let mut slot_iter = slots.iter_mut();
+        s.taskgroup(|s| {
+            for (pa, pb) in pairs {
+                let slot = slot_iter.next().expect("seven slots");
+                s.spawn_with(spawn_attrs, move |s| {
+                    *slot = Some(node(s, &pa, &pb, mode, attrs, depth + 1, cutoff));
+                });
+            }
+        });
+    }
+    let m = slots.map(|m| m.expect("product task completed"));
+    combine(&NullProbe, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_match_serial() {
+        let rt = Runtime::with_threads(4);
+        let n = 4 * LEAF;
+        let a = Matrix::random(n, 1);
+        let b = Matrix::random(n, 2);
+        let want = strassen_serial(&NullProbe, &a, &b);
+        for mode in [
+            StrassenMode::NoCutoff,
+            StrassenMode::IfClause,
+            StrassenMode::Manual,
+        ] {
+            for untied in [false, true] {
+                let got = strassen_parallel(&rt, &a, &b, mode, untied, 1);
+                // Identical arithmetic ⇒ bitwise equal.
+                assert_eq!(got, want, "mode={mode:?} untied={untied}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_classical_numerically() {
+        let rt = Runtime::with_threads(4);
+        let n = 2 * LEAF;
+        let a = Matrix::random(n, 7);
+        let b = Matrix::random(n, 8);
+        let want = classical_mul(&NullProbe, &a, &b);
+        let got = strassen_parallel(&rt, &a, &b, StrassenMode::NoCutoff, false, 0);
+        assert!(got.max_abs_diff(&want) < 1e-8);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let rt = Runtime::with_threads(1);
+        let n = 2 * LEAF;
+        let a = Matrix::random(n, 3);
+        let b = Matrix::random(n, 4);
+        let got = strassen_parallel(&rt, &a, &b, StrassenMode::Manual, false, 2);
+        assert_eq!(got, strassen_serial(&NullProbe, &a, &b));
+    }
+}

@@ -1,0 +1,131 @@
+//! Serial Strassen: the reference recursion (identical arithmetic to the
+//! parallel version) plus instrumentation.
+//!
+//! Classic seven-product scheme (Strassen 1969, via the paper's Fischer &
+//! Probert reference):
+//!
+//! ```text
+//! M1 = (A11+A22)(B11+B22)   M5 = (A11+A12)B22
+//! M2 = (A21+A22)B11         M6 = (A21−A11)(B11+B12)
+//! M3 = A11(B12−B22)         M7 = (A12−A22)(B21+B22)
+//! M4 = A22(B21−B11)
+//! C11 = M1+M4−M5+M7   C12 = M3+M5
+//! C21 = M2+M4         C22 = M1−M2+M3+M6
+//! ```
+
+use bots_profile::Probe;
+
+use crate::matrix::{classical_mul, Matrix};
+
+/// Below this side length the classical multiply takes over.
+pub const LEAF: usize = 64;
+
+/// The seven (A-combination, B-combination) pairs of the scheme, computed
+/// from the quadrants of `a` and `b`. Shared by the serial and parallel
+/// recursions so their arithmetic is identical.
+pub fn seven_pairs<P: Probe>(p: &P, a: &Matrix, b: &Matrix) -> [(Matrix, Matrix); 7] {
+    let (a11, a12, a21, a22) = (
+        a.quadrant(0, 0),
+        a.quadrant(0, 1),
+        a.quadrant(1, 0),
+        a.quadrant(1, 1),
+    );
+    let (b11, b12, b21, b22) = (
+        b.quadrant(0, 0),
+        b.quadrant(0, 1),
+        b.quadrant(1, 0),
+        b.quadrant(1, 1),
+    );
+    let h = a11.n();
+    // 10 elementwise half-size additions/subtractions:
+    p.ops(10 * (h * h) as u64);
+    p.write_private(10 * (h * h) as u64);
+    [
+        (a11.add(&a22), b11.add(&b22)),
+        (a21.add(&a22), b11.clone()),
+        (a11.clone(), b12.sub(&b22)),
+        (a22.clone(), b21.sub(&b11)),
+        (a11.add(&a12), b22.clone()),
+        (a21.sub(&a11), b11.add(&b12)),
+        (a12.sub(&a22), b21.add(&b22)),
+    ]
+}
+
+/// Combines the seven products into the result matrix.
+pub fn combine<P: Probe>(p: &P, m: [Matrix; 7]) -> Matrix {
+    let [m1, m2, m3, m4, m5, m6, m7] = m;
+    let c11 = m1.add(&m4).sub(&m5).add(&m7);
+    let c12 = m3.add(&m5);
+    let c21 = m2.add(&m4);
+    let c22 = m1.sub(&m2).add(&m3).add(&m6);
+    let h = c11.n();
+    p.ops(8 * (h * h) as u64);
+    p.write_shared(4 * (h * h) as u64);
+    Matrix::from_quadrants(&c11, &c12, &c21, &c22)
+}
+
+/// Serial Strassen multiply with instrumentation. `depth`/`emit_tasks`
+/// mirror the task structure of the no-cutoff parallel version.
+pub fn strassen_serial<P: Probe>(p: &P, a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.n();
+    assert_eq!(n, b.n());
+    assert!(
+        n.is_power_of_two(),
+        "Strassen kernel needs power-of-two sides, got {n}"
+    );
+    if n <= LEAF {
+        return classical_mul(p, a, b);
+    }
+    let pairs = seven_pairs(p, a, b);
+    let mut products = Vec::with_capacity(7);
+    for (pa, pb) in pairs {
+        // Each product is a potential task capturing two submatrix handles.
+        p.task(64);
+        products.push(strassen_serial(p, &pa, &pb));
+    }
+    p.taskwait();
+    let m: [Matrix; 7] = products.try_into().expect("exactly seven products");
+    combine(p, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bots_profile::{CountingProbe, NullProbe};
+
+    #[test]
+    fn matches_classical_small() {
+        for n in [2usize, 4, 8, 64, 128] {
+            let a = Matrix::random(n, 10 + n as u64);
+            let b = Matrix::random(n, 20 + n as u64);
+            let want = classical_mul(&NullProbe, &a, &b);
+            let got = strassen_serial(&NullProbe, &a, &b);
+            assert!(
+                got.max_abs_diff(&want) < 1e-9 * n as f64,
+                "n={n}, diff={}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn task_count_follows_seven_ary_tree() {
+        let p = CountingProbe::new();
+        let n = 4 * LEAF; // two levels of recursion
+        let a = Matrix::random(n, 1);
+        let b = Matrix::random(n, 2);
+        strassen_serial(&p, &a, &b);
+        let c = p.counts();
+        // Level 1: 7 tasks; level 2: 49 tasks.
+        assert_eq!(c.tasks, 7 + 49);
+        assert_eq!(c.taskwaits, 1 + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn odd_sizes_rejected() {
+        let a = Matrix::zero(100);
+        let b = Matrix::zero(100);
+        let _ = strassen_serial(&NullProbe, &a, &b);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for Strassen: agreement with the classical multiply on
+//! arbitrary matrices, algebraic identities, and serial/parallel bitwise
+//! agreement.
+
+use bots_profile::NullProbe;
+use bots_runtime::Runtime;
+use bots_strassen::{classical_mul, strassen_parallel, strassen_serial, Matrix, StrassenMode};
+use proptest::prelude::*;
+
+fn matrix_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| Matrix::from_vec(n, data))
+}
+
+fn sized_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    prop_oneof![Just(64usize), Just(128), Just(256)]
+        .prop_flat_map(|n| (matrix_strategy(n), matrix_strategy(n)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn strassen_matches_classical((a, b) in sized_pair()) {
+        let want = classical_mul(&NullProbe, &a, &b);
+        let got = strassen_serial(&NullProbe, &a, &b);
+        let diff = got.max_abs_diff(&want);
+        prop_assert!(diff < 1e-9 * a.n() as f64, "diff {diff}");
+    }
+
+    #[test]
+    fn parallel_is_bitwise_serial((a, b) in sized_pair(), threads in 1usize..5) {
+        let rt = Runtime::with_threads(threads);
+        let want = strassen_serial(&NullProbe, &a, &b);
+        let got = strassen_parallel(&rt, &a, &b, StrassenMode::NoCutoff, threads % 2 == 1, 0);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn identity_is_neutral(a in matrix_strategy(128)) {
+        let mut eye = Matrix::zero(128);
+        for i in 0..128 {
+            *eye.at_mut(i, i) = 1.0;
+        }
+        let got = strassen_serial(&NullProbe, &a, &eye);
+        prop_assert!(got.max_abs_diff(&a) < 1e-9);
+        let got = strassen_serial(&NullProbe, &eye, &a);
+        prop_assert!(got.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn distributes_over_addition(
+        (a, b) in sized_pair(),
+        c_data in proptest::collection::vec(-1.0f64..1.0, 64 * 64),
+    ) {
+        // Only exercise the 64-sized case for the third operand.
+        prop_assume!(a.n() == 64);
+        let c = Matrix::from_vec(64, c_data);
+        // a·(b + c) == a·b + a·c  (up to fp error)
+        let lhs = strassen_serial(&NullProbe, &a, &b.add(&c));
+        let rhs = strassen_serial(&NullProbe, &a, &b)
+            .add(&strassen_serial(&NullProbe, &a, &c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+}

@@ -1,0 +1,166 @@
+//! The `Benchmark` trait: the contract every BOTS kernel implements, plus
+//! the static metadata that regenerates Table I.
+
+use bots_inputs::InputClass;
+use bots_profile::RawCounts;
+use bots_runtime::Runtime;
+
+use crate::version::VersionSpec;
+
+/// Static summary of one application — the columns of the paper's Table I.
+#[derive(Debug, Clone)]
+pub struct BenchMeta {
+    /// Application name (e.g. "Alignment").
+    pub name: &'static str,
+    /// Where the original code came from: "AKM", "Cilk", "Olden" or "-"
+    /// (in-house).
+    pub origin: &'static str,
+    /// Problem domain (e.g. "Dynamic programming").
+    pub domain: &'static str,
+    /// Computation structure: "Iterative", "At each node", "At leafs".
+    pub structure: &'static str,
+    /// Number of `task` spawn sites in the kernel source.
+    pub task_directives: u32,
+    /// Construct the tasks are created inside: "for", "single",
+    /// "single/for".
+    pub tasks_inside: &'static str,
+    /// Whether tasks spawn nested tasks.
+    pub nested_tasks: bool,
+    /// Application-provided cut-off: "none" or "depth-based".
+    pub app_cutoff: &'static str,
+}
+
+/// Result of one benchmark run, carrying everything verification and
+/// speed-up computation need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// Order-independent digest of the computed result; comparable between
+    /// the serial and any parallel version of the same (app, class).
+    pub checksum: u64,
+    /// Optional work metric for indeterministic-search apps: Floorplan
+    /// reports *nodes visited*, and its speed-up is measured in nodes/second
+    /// rather than wall time (paper §III-B).
+    pub work: Option<u64>,
+    /// Human-readable summary of the result (best score, solution count...).
+    pub summary: String,
+}
+
+impl RunOutput {
+    /// Plain output with just a checksum.
+    pub fn new(checksum: u64, summary: impl Into<String>) -> Self {
+        RunOutput {
+            checksum,
+            work: None,
+            summary: summary.into(),
+        }
+    }
+
+    /// Output for work-metric apps.
+    pub fn with_work(checksum: u64, work: u64, summary: impl Into<String>) -> Self {
+        RunOutput {
+            checksum,
+            work: Some(work),
+            summary: summary.into(),
+        }
+    }
+}
+
+/// How a benchmark validates a run (§III-A "Self-verification").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verification {
+    /// The output was checked directly (e.g. sortedness + permutation
+    /// checksum, known n-queens solution counts, LU residual).
+    SelfChecked,
+    /// The output must equal the serial run's output (the paper's third
+    /// method); the runner performs the comparison.
+    AgainstSerial,
+    /// Verification failed, with an explanation.
+    Failed(String),
+}
+
+/// One BOTS application. Implementations live in the kernel crates; the
+/// registry in the facade crate collects them.
+pub trait Benchmark: Send + Sync {
+    /// Table I metadata.
+    fn meta(&self) -> BenchMeta;
+
+    /// Human description of a class's input (Table II "Input" column).
+    fn input_desc(&self, class: InputClass) -> String;
+
+    /// The versions this application ships (most: the 6-way
+    /// single-generator matrix; SparseLU and Alignment add `for`-generator
+    /// versions; FFT/Sort/Alignment/SparseLU have no app cut-off so their
+    /// manual/if versions coincide with nocutoff — kernels list what is
+    /// meaningful).
+    fn versions(&self) -> Vec<VersionSpec>;
+
+    /// Reference sequential run.
+    fn run_serial(&self, class: InputClass) -> RunOutput;
+
+    /// Parallel run of a given version on the provided runtime.
+    fn run_parallel(&self, rt: &Runtime, class: InputClass, version: VersionSpec) -> RunOutput;
+
+    /// Validates an output. `AgainstSerial` defers to the runner, which
+    /// compares with [`run_serial`](Self::run_serial).
+    fn verify(&self, class: InputClass, output: &RunOutput) -> Verification;
+
+    /// Instrumented serial run for Table II: returns the probe tallies.
+    fn characterize(&self, class: InputClass) -> RawCounts;
+
+    /// The version the paper found best on this app (Figure 3 legend), used
+    /// as the default for the overall-evaluation figure.
+    fn best_version(&self) -> VersionSpec {
+        self.versions().into_iter().next().unwrap_or_default()
+    }
+}
+
+/// FNV-1a accumulator for order-independent checksums built by XOR-folding
+/// per-item hashes (so task completion order cannot change the digest).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes one `u64` through FNV-1a (for checksum folding).
+pub fn fnv1a_u64(v: u64) -> u64 {
+    fnv1a(&v.to_le_bytes())
+}
+
+/// Hashes an `f64` by total bit pattern, mapping `-0.0` to `0.0` so
+/// algebraically-identical results hash identically.
+pub fn fnv1a_f64(v: f64) -> u64 {
+    let v = if v == 0.0 { 0.0 } else { v };
+    fnv1a(&v.to_bits().to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn f64_hash_normalises_negative_zero() {
+        assert_eq!(fnv1a_f64(0.0), fnv1a_f64(-0.0));
+        assert_ne!(fnv1a_f64(1.0), fnv1a_f64(-1.0));
+    }
+
+    #[test]
+    fn run_output_constructors() {
+        let a = RunOutput::new(42, "answer");
+        assert_eq!(a.checksum, 42);
+        assert!(a.work.is_none());
+        let b = RunOutput::with_work(1, 999, "nodes");
+        assert_eq!(b.work, Some(999));
+    }
+}

@@ -1,0 +1,27 @@
+//! # bots-suite — the BOTS suite framework
+//!
+//! The methodology layer of the reproduction: everything about *how*
+//! benchmarks are declared, versioned, run, verified and reported, with the
+//! kernels themselves living in their own crates.
+//!
+//! * [`Benchmark`]: the per-application contract (serial reference, parallel
+//!   versions, verification, instrumented characterisation);
+//! * [`VersionSpec`]: the tied/untied × cut-off × generator version matrix
+//!   of §III-A;
+//! * [`runner`]: timed repetitions, speed-ups (wall-time or work-metric
+//!   based), thread sweeps, verification driver;
+//! * [`Table`]: aligned-text + CSV emitters for the harness binaries.
+
+#![warn(missing_docs)]
+
+mod benchmark;
+pub mod runner;
+mod table;
+mod version;
+
+pub use benchmark::{fnv1a, fnv1a_f64, fnv1a_u64, BenchMeta, Benchmark, RunOutput, Verification};
+pub use table::{f, Align, Table};
+pub use version::{CutoffMode, Generator, Tiedness, VersionSpec};
+
+// Re-export the pieces kernels and harnesses constantly need together.
+pub use bots_inputs::InputClass;

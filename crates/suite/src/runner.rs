@@ -1,0 +1,230 @@
+//! The measurement harness: timed runs, verification, speed-ups and thread
+//! sweeps — the machinery behind Figures 3-5.
+
+use std::time::Duration;
+
+use bots_inputs::InputClass;
+use bots_runtime::{Runtime, RuntimeConfig};
+
+use crate::benchmark::{Benchmark, RunOutput, Verification};
+use crate::version::VersionSpec;
+
+/// A timed set of repetitions of one configuration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Median wall time across repetitions.
+    pub time: Duration,
+    /// All repetition times, in run order.
+    pub times: Vec<Duration>,
+    /// Output of the last repetition (all repetitions must verify).
+    pub output: RunOutput,
+}
+
+impl Measurement {
+    /// Throughput in work units per second if the app reports a work
+    /// metric, else `None`.
+    pub fn work_rate(&self) -> Option<f64> {
+        self.output.work.map(|w| w as f64 / self.time.as_secs_f64())
+    }
+}
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Runs the serial reference `reps` times.
+pub fn time_serial(bench: &dyn Benchmark, class: InputClass, reps: usize) -> Measurement {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut output = None;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let out = bench.run_serial(class);
+        times.push(t0.elapsed());
+        output = Some(out);
+    }
+    Measurement {
+        time: median(times.clone()),
+        times,
+        output: output.unwrap(),
+    }
+}
+
+/// Runs one parallel version `reps` times on `rt`.
+pub fn time_parallel(
+    bench: &dyn Benchmark,
+    rt: &Runtime,
+    class: InputClass,
+    version: VersionSpec,
+    reps: usize,
+) -> Measurement {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut output = None;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let out = bench.run_parallel(rt, class, version);
+        times.push(t0.elapsed());
+        output = Some(out);
+    }
+    Measurement {
+        time: median(times.clone()),
+        times,
+        output: output.unwrap(),
+    }
+}
+
+/// Verifies an output, running the serial reference when the kernel asks
+/// for an against-serial comparison.
+pub fn verify(bench: &dyn Benchmark, class: InputClass, output: &RunOutput) -> Result<(), String> {
+    match bench.verify(class, output) {
+        Verification::SelfChecked => Ok(()),
+        Verification::Failed(why) => Err(why),
+        Verification::AgainstSerial => {
+            let reference = bench.run_serial(class);
+            if reference.checksum == output.checksum {
+                Ok(())
+            } else {
+                Err(format!(
+                    "parallel checksum {:#x} != serial {:#x} ({} vs {})",
+                    output.checksum, reference.checksum, output.summary, reference.summary
+                ))
+            }
+        }
+    }
+}
+
+/// Speed-up of `parallel` over `serial`.
+///
+/// Defined as the paper does: wall-time ratio, except for work-metric apps
+/// (Floorplan) where it is the improvement in work units per second — the
+/// pruning makes wall time indeterministic, nodes/second is not.
+pub fn speedup(serial: &Measurement, parallel: &Measurement) -> f64 {
+    match (serial.work_rate(), parallel.work_rate()) {
+        (Some(s), Some(p)) if s > 0.0 => p / s,
+        _ => serial.time.as_secs_f64() / parallel.time.as_secs_f64(),
+    }
+}
+
+/// One point of a thread sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Team size.
+    pub threads: usize,
+    /// Speed-up vs the serial baseline.
+    pub speedup: f64,
+    /// Median parallel wall time.
+    pub time: Duration,
+}
+
+/// Sweeps team sizes for one version, computing speed-ups against the
+/// serial baseline. `configure` maps a team size to a runtime configuration
+/// (letting experiments vary policy, cut-off, tiedness enforcement...).
+pub fn thread_sweep(
+    bench: &dyn Benchmark,
+    class: InputClass,
+    version: VersionSpec,
+    threads: &[usize],
+    reps: usize,
+    configure: impl Fn(usize) -> RuntimeConfig,
+) -> (Measurement, Vec<SweepPoint>) {
+    let serial = time_serial(bench, class, reps);
+    let mut points = Vec::with_capacity(threads.len());
+    let mut reference_checksum = None;
+    for &n in threads {
+        let rt = Runtime::new(configure(n));
+        let m = time_parallel(bench, &rt, class, version, reps);
+        // Full verification once per series; later points must reproduce the
+        // same checksum (all kernels are deterministic in their results).
+        match reference_checksum {
+            None => {
+                verify(bench, class, &m.output).unwrap_or_else(|e| {
+                    panic!("{} {} failed verification: {e}", bench.meta().name, version)
+                });
+                reference_checksum = Some(m.output.checksum);
+            }
+            Some(want) => assert_eq!(
+                m.output.checksum,
+                want,
+                "{} {} changed its result at {n} threads",
+                bench.meta().name,
+                version
+            ),
+        }
+        points.push(SweepPoint {
+            threads: n,
+            speedup: speedup(&serial, &m),
+            time: m.time,
+        });
+    }
+    (serial, points)
+}
+
+/// The default ladder of team sizes used by the figures: 1, 2, 4, 8, ... up
+/// to the machine (the paper uses 1..32 on its 32-cpu cpuset).
+pub fn default_thread_ladder() -> Vec<usize> {
+    let max = bots_runtime::default_threads();
+    let mut ladder = vec![1usize];
+    while *ladder.last().unwrap() * 2 <= max {
+        ladder.push(ladder.last().unwrap() * 2);
+    }
+    if *ladder.last().unwrap() != max {
+        ladder.push(max);
+    }
+    ladder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let a = median(vec![
+            Duration::from_millis(5),
+            Duration::from_millis(1),
+            Duration::from_millis(9),
+        ]);
+        assert_eq!(a, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn speedup_from_time_ratio() {
+        let s = Measurement {
+            time: Duration::from_millis(100),
+            times: vec![],
+            output: RunOutput::new(0, ""),
+        };
+        let p = Measurement {
+            time: Duration::from_millis(25),
+            times: vec![],
+            output: RunOutput::new(0, ""),
+        };
+        assert!((speedup(&s, &p) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_from_work_rate_when_present() {
+        let s = Measurement {
+            time: Duration::from_millis(100),
+            times: vec![],
+            output: RunOutput::with_work(0, 1000, ""),
+        };
+        // Twice the nodes in twice the time: rate unchanged → speed-up 1.
+        let p = Measurement {
+            time: Duration::from_millis(200),
+            times: vec![],
+            output: RunOutput::with_work(0, 2000, ""),
+        };
+        assert!((speedup(&s, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ladder_is_monotonic_and_ends_at_max() {
+        let l = default_thread_ladder();
+        assert_eq!(l[0], 1);
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*l.last().unwrap(), bots_runtime::default_threads());
+    }
+}

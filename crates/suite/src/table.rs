@@ -1,0 +1,163 @@
+//! Plain-text table and CSV emitters for the harness binaries.
+//!
+//! The harness prints each experiment twice: a human-readable aligned table
+//! (what you compare against the paper) and a machine-readable CSV block
+//! (what you plot).
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names, labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers; alignment defaults to Left for the first
+    /// column and Right for the rest (name + numbers, the common shape).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides column alignments.
+    pub fn aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns and a rule under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].chars().count();
+                match self.aligns[i] {
+                    Align::Left => {
+                        line.push_str(&cells[i]);
+                        line.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(&cells[i]);
+                    }
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-separated, quoted only when needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["app", "speedup"]);
+        t.row(vec!["fib", "12.5"]);
+        t.row(vec!["alignment", "25.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("app"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numbers share their last column.
+        let c1 = lines[2].rfind('5').unwrap();
+        let c2 = lines[3].rfind('0').unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(2.0, 1), "2.0");
+    }
+}

@@ -1,0 +1,161 @@
+//! The version matrix: every BOTS application ships in several variants
+//! (§III-A "Multiple versions") and experiments select among them.
+
+/// Tied vs untied task flavour of a version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tiedness {
+    /// `#pragma omp task` (the OpenMP default).
+    #[default]
+    Tied,
+    /// `#pragma omp task untied`.
+    Untied,
+}
+
+/// Application-level cut-off style of a version.
+///
+/// The runtime-side cut-offs (`RuntimeCutoff`) are orthogonal: they apply on
+/// top of whatever the application does, and the `NoCutoff` version is the
+/// one that exposes them (paper §IV-B: "no-cutoff: ... only the one
+/// implemented by the runtime (if any) is in use").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CutoffMode {
+    /// Unbounded task creation; all the burden on the runtime.
+    #[default]
+    NoCutoff,
+    /// `#pragma omp task if(depth < D)`: beyond the cut-off the task is
+    /// undeferred but the runtime still does its bookkeeping.
+    IfClause,
+    /// The application calls a plain (task-free) function beyond the
+    /// cut-off; the runtime never hears about those "tasks".
+    Manual,
+}
+
+/// Task generator construct of a version (§IV-D, SparseLU experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Generator {
+    /// All tasks created from a `single` region by one thread.
+    #[default]
+    Single,
+    /// Tasks created from inside an `omp for` worksharing loop by the whole
+    /// team (multiple generators).
+    For,
+}
+
+/// A fully-specified benchmark version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VersionSpec {
+    /// Tied or untied tasks.
+    pub tiedness: Tiedness,
+    /// Application cut-off style.
+    pub cutoff: CutoffMode,
+    /// Task generator construct.
+    pub generator: Generator,
+}
+
+impl VersionSpec {
+    /// Builder: set tiedness.
+    pub fn tied(mut self, t: Tiedness) -> Self {
+        self.tiedness = t;
+        self
+    }
+
+    /// Builder: set cut-off mode.
+    pub fn cutoff(mut self, c: CutoffMode) -> Self {
+        self.cutoff = c;
+        self
+    }
+
+    /// Builder: set generator construct.
+    pub fn generator(mut self, g: Generator) -> Self {
+        self.generator = g;
+        self
+    }
+
+    /// The paper's naming convention, e.g. `manual-untied`, `for-tied`,
+    /// `nocutoff-tied`, `if-untied-single`.
+    pub fn label(&self) -> String {
+        let cutoff = match self.cutoff {
+            CutoffMode::NoCutoff => "nocutoff",
+            CutoffMode::IfClause => "if",
+            CutoffMode::Manual => "manual",
+        };
+        let tied = match self.tiedness {
+            Tiedness::Tied => "tied",
+            Tiedness::Untied => "untied",
+        };
+        match self.generator {
+            Generator::Single => format!("{cutoff}-{tied}"),
+            Generator::For => format!("for-{cutoff}-{tied}"),
+        }
+    }
+
+    /// The cross product of all eight single-generator variants plus, when
+    /// `with_for` is set, the eight `for`-generator ones.
+    pub fn matrix(with_for: bool) -> Vec<VersionSpec> {
+        let mut out = Vec::new();
+        let gens: &[Generator] = if with_for {
+            &[Generator::Single, Generator::For]
+        } else {
+            &[Generator::Single]
+        };
+        for &generator in gens {
+            for cutoff in [
+                CutoffMode::NoCutoff,
+                CutoffMode::IfClause,
+                CutoffMode::Manual,
+            ] {
+                for tiedness in [Tiedness::Tied, Tiedness::Untied] {
+                    out.push(VersionSpec {
+                        tiedness,
+                        cutoff,
+                        generator,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for VersionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_follow_paper_convention() {
+        let v = VersionSpec::default()
+            .cutoff(CutoffMode::Manual)
+            .tied(Tiedness::Untied);
+        assert_eq!(v.label(), "manual-untied");
+        let v = VersionSpec::default().generator(Generator::For);
+        assert_eq!(v.label(), "for-nocutoff-tied");
+        assert_eq!(VersionSpec::default().label(), "nocutoff-tied");
+    }
+
+    #[test]
+    fn matrix_sizes() {
+        assert_eq!(VersionSpec::matrix(false).len(), 6);
+        assert_eq!(VersionSpec::matrix(true).len(), 12);
+    }
+
+    #[test]
+    fn matrix_has_no_duplicates() {
+        let m = VersionSpec::matrix(true);
+        let set: std::collections::HashSet<_> = m.iter().collect();
+        assert_eq!(set.len(), m.len());
+    }
+
+    #[test]
+    fn default_is_nocutoff_tied_single() {
+        let v = VersionSpec::default();
+        assert_eq!(v.tiedness, Tiedness::Tied);
+        assert_eq!(v.cutoff, CutoffMode::NoCutoff);
+        assert_eq!(v.generator, Generator::Single);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: the tasking runtime and the suite in one minute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots::suite::runner;
+use bots::{registry, InputClass, Runtime, RuntimeConfig, TaskAttrs};
+
+fn main() {
+    // --- 1. The runtime: OpenMP-style tasks -------------------------------
+    let rt = Runtime::new(RuntimeConfig::new(4));
+
+    let sum = rt.parallel(|s| {
+        // This closure is the region's root task (`parallel` + `single`).
+        let acc = AtomicU64::new(0);
+        s.taskgroup(|s| {
+            for i in 0..8u64 {
+                let acc = &acc;
+                // `#pragma omp task untied`
+                s.spawn_with(TaskAttrs::untied(), move |_| {
+                    acc.fetch_add(i * i, Ordering::Relaxed);
+                });
+            }
+        }); // taskgroup = deep taskwait
+        acc.load(Ordering::Relaxed)
+    });
+    println!("sum of squares 0..8 = {sum}");
+    assert_eq!(sum, (0..8u64).map(|i| i * i).sum::<u64>());
+
+    // --- 2. The suite: run every kernel's best version and verify ---------
+    println!("\n{:<10} {:<16} {:>10}  result", "app", "version", "time");
+    for bench in registry() {
+        let version = bench.best_version();
+        let t0 = std::time::Instant::now();
+        let out = bench.run_parallel(&rt, InputClass::Test, version);
+        let elapsed = t0.elapsed();
+        runner::verify(bench.as_ref(), InputClass::Test, &out).expect("verification");
+        println!(
+            "{:<10} {:<16} {:>8.1?}  {}",
+            bench.meta().name,
+            version.label(),
+            elapsed,
+            out.summary
+        );
+    }
+
+    // --- 3. Runtime statistics --------------------------------------------
+    let stats = rt.stats();
+    println!("\nruntime counters: {stats}");
+}

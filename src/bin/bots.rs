@@ -1,0 +1,191 @@
+//! The `bots` command-line driver: run any application × version × input
+//! class, like the original suite's per-app binaries.
+//!
+//! ```text
+//! bots list
+//! bots run <app> [--class C] [--version V] [--threads N] [--reps R]
+//!          [--check] [--serial] [--stats]
+//! bots versions <app>
+//! ```
+
+use std::process::ExitCode;
+
+use bots::suite::runner;
+use bots::{find_benchmark, registry, InputClass, Runtime, RuntimeConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  bots list\n  bots versions <app>\n  bots run <app> [flags]\n\nflags:\n  \
+         --class test|small|medium|large   input class (default medium)\n  \
+         --version LABEL                   version label (default: best; see `bots versions`)\n  \
+         --threads N                       team size (default: machine)\n  \
+         --reps R                          repetitions, median reported (default 1)\n  \
+         --serial                          run the sequential reference instead\n  \
+         --check                           verify the output (default on; --no-check disables)\n  \
+         --stats                           print runtime counters"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:<10}  {:<22}  {}", "app", "domain", "input classes");
+            for b in registry() {
+                let m = b.meta();
+                let classes: Vec<String> = InputClass::ALL
+                    .iter()
+                    .map(|&c| format!("{c}: {}", b.input_desc(c)))
+                    .collect();
+                println!("{:<10}  {:<22}  {}", m.name, m.domain, classes.join(" | "));
+            }
+            ExitCode::SUCCESS
+        }
+        Some("versions") => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            let Some(b) = find_benchmark(name) else {
+                eprintln!("unknown app '{name}' (try `bots list`)");
+                return ExitCode::from(2);
+            };
+            let best = b.best_version();
+            for v in b.versions() {
+                let marker = if v == best {
+                    "  (best — Figure 3)"
+                } else {
+                    ""
+                };
+                println!("{}{}", v.label(), marker);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => run_command(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_command(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let Some(bench) = find_benchmark(name) else {
+        eprintln!("unknown app '{name}' (try `bots list`)");
+        return ExitCode::from(2);
+    };
+
+    let mut class = InputClass::Medium;
+    let mut version = bench.best_version();
+    let mut threads = bots::runtime::default_threads();
+    let mut reps = 1usize;
+    let mut serial = false;
+    let mut check = true;
+    let mut stats = false;
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().map(String::as_str).unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--class" | "-c" => match value().parse() {
+                Ok(c) => class = c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--version" | "-v" => {
+                let label = value().to_string();
+                match bench.versions().into_iter().find(|v| v.label() == label) {
+                    Some(v) => version = v,
+                    None => {
+                        eprintln!(
+                            "unknown version '{label}' for {name} (try `bots versions {name}`)"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--threads" | "-t" => match value().parse::<usize>() {
+                Ok(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--reps" | "-r" => match value().parse::<usize>() {
+                Ok(n) if n >= 1 => reps = n,
+                _ => {
+                    eprintln!("--reps wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--serial" => serial = true,
+            "--check" => check = true,
+            "--no-check" => check = false,
+            "--stats" => stats = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+
+    let meta = bench.meta();
+    if serial {
+        println!(
+            "{} (serial) — {} class: {}",
+            meta.name,
+            class,
+            bench.input_desc(class)
+        );
+        let m = runner::time_serial(bench.as_ref(), class, reps);
+        println!("time   : {:.6} s (median of {reps})", m.time.as_secs_f64());
+        println!("result : {}", m.output.summary);
+        if check {
+            match runner::verify(bench.as_ref(), class, &m.output) {
+                Ok(()) => println!("verify : OK"),
+                Err(e) => {
+                    println!("verify : FAILED — {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "{} ({}) — {} class on {} threads: {}",
+        meta.name,
+        version.label(),
+        class,
+        threads,
+        bench.input_desc(class)
+    );
+    let rt = Runtime::new(RuntimeConfig::new(threads));
+    let before = rt.stats();
+    let m = runner::time_parallel(bench.as_ref(), &rt, class, version, reps);
+    println!("time   : {:.6} s (median of {reps})", m.time.as_secs_f64());
+    println!("result : {}", m.output.summary);
+    if let Some(rate) = m.work_rate() {
+        println!("rate   : {rate:.0} work units/s");
+    }
+    if stats {
+        println!("stats  : {}", rt.stats().since(&before));
+    }
+    if check {
+        match runner::verify(bench.as_ref(), class, &m.output) {
+            Ok(()) => println!("verify : OK"),
+            Err(e) => {
+                println!("verify : FAILED — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,102 @@
+//! # bots — the Barcelona OpenMP Tasks Suite, reproduced in Rust
+//!
+//! A full reproduction of *"Barcelona OpenMP Tasks Suite: A Set of
+//! Benchmarks Targeting the Exploitation of Task Parallelism in OpenMP"*
+//! (Duran, Teruel, Ferrer, Martorell, Ayguadé — ICPP 2009), built on a
+//! from-scratch work-stealing tasking runtime that models the OpenMP 3.0
+//! task execution model.
+//!
+//! This facade crate re-exports every piece and provides the [`registry`]
+//! of all nine applications, each with its tied/untied × cut-off ×
+//! generator version matrix, four input classes, self-verification and
+//! instrumented characterisation.
+//!
+//! ```
+//! use bots::{registry, InputClass, Runtime};
+//!
+//! let rt = Runtime::with_threads(2);
+//! for bench in registry() {
+//!     let version = bench.best_version();
+//!     let out = bench.run_parallel(&rt, InputClass::Test, version);
+//!     bots::suite::runner::verify(bench.as_ref(), InputClass::Test, &out).unwrap();
+//! }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the paper-experiment →
+//! code index, and `EXPERIMENTS.md` for measured results.
+
+#![warn(missing_docs)]
+
+pub use bots_inputs as inputs;
+pub use bots_profile as profile;
+pub use bots_runtime as runtime;
+pub use bots_suite as suite;
+
+pub use bots_alignment as alignment;
+pub use bots_fft as fft;
+pub use bots_fib as fib;
+pub use bots_floorplan as floorplan;
+pub use bots_health as health;
+pub use bots_nqueens as nqueens;
+pub use bots_sort as sort;
+pub use bots_sparselu as sparselu;
+pub use bots_strassen as strassen;
+
+pub use bots_inputs::InputClass;
+pub use bots_runtime::{
+    LocalOrder, Runtime, RuntimeConfig, RuntimeCutoff, Scope, TaskAttrs, WorkerCounter,
+};
+pub use bots_suite::{Benchmark, CutoffMode, Generator, RunOutput, Tiedness, VersionSpec};
+
+/// All nine BOTS applications, in the paper's Table I order.
+pub fn registry() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(bots_alignment::AlignmentBench),
+        Box::new(bots_fft::FftBench),
+        Box::new(bots_fib::FibBench),
+        Box::new(bots_floorplan::FloorplanBench),
+        Box::new(bots_health::HealthBench),
+        Box::new(bots_nqueens::NQueensBench),
+        Box::new(bots_sort::SortBench),
+        Box::new(bots_sparselu::SparseLuBench),
+        Box::new(bots_strassen::StrassenBench),
+    ]
+}
+
+/// Looks an application up by (case-insensitive) name.
+pub fn find_benchmark(name: &str) -> Option<Box<dyn Benchmark>> {
+    registry()
+        .into_iter()
+        .find(|b| b.meta().name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_nine_apps_in_table1_order() {
+        let names: Vec<&str> = registry().iter().map(|b| b.meta().name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Alignment",
+                "FFT",
+                "Fib",
+                "Floorplan",
+                "Health",
+                "NQueens",
+                "Sort",
+                "SparseLU",
+                "Strassen"
+            ]
+        );
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find_benchmark("sparselu").is_some());
+        assert!(find_benchmark("SPARSELU").is_some());
+        assert!(find_benchmark("nosuch").is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `bots` command-line driver.
+
+use std::process::Command;
+
+fn bots() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bots"))
+}
+
+#[test]
+fn list_shows_all_nine_apps() {
+    let out = bots().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for app in [
+        "Alignment",
+        "FFT",
+        "Fib",
+        "Floorplan",
+        "Health",
+        "NQueens",
+        "Sort",
+        "SparseLU",
+        "Strassen",
+    ] {
+        assert!(text.contains(app), "missing {app} in:\n{text}");
+    }
+}
+
+#[test]
+fn versions_marks_the_best_one() {
+    let out = bots().args(["versions", "nqueens"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("manual-untied  (best — Figure 3)"), "{text}");
+}
+
+#[test]
+fn run_executes_and_verifies() {
+    let out = bots()
+        .args(["run", "fib", "--class", "test", "--threads", "2", "--stats"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("fib(20) = 6765"), "{text}");
+    assert!(text.contains("verify : OK"), "{text}");
+    assert!(text.contains("stats  :"), "{text}");
+}
+
+#[test]
+fn run_serial_mode() {
+    let out = bots()
+        .args(["run", "sort", "--class", "test", "--serial"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("(serial)"), "{text}");
+    assert!(text.contains("verify : OK"), "{text}");
+}
+
+#[test]
+fn run_with_explicit_version() {
+    let out = bots()
+        .args([
+            "run",
+            "sparselu",
+            "--class",
+            "test",
+            "--version",
+            "for-nocutoff-untied",
+        ])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("for-nocutoff-untied"), "{text}");
+}
+
+#[test]
+fn work_metric_apps_report_rate() {
+    let out = bots()
+        .args(["run", "floorplan", "--class", "test", "--threads", "4"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{text}");
+    assert!(
+        text.contains("rate   :"),
+        "floorplan must report nodes/s: {text}"
+    );
+}
+
+#[test]
+fn unknown_app_fails_cleanly() {
+    let out = bots().args(["run", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown app"), "{err}");
+}
+
+#[test]
+fn unknown_version_fails_cleanly() {
+    let out = bots()
+        .args(["run", "fib", "--version", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown version"), "{err}");
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = bots().output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage"), "{err}");
+}
