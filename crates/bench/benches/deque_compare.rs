@@ -1,8 +1,14 @@
-//! Ablation: our Chase-Lev deque vs `crossbeam-deque` on the two hot
-//! paths — owner push/pop (every spawn/completion) and push/steal pairs
+//! Ablation: our Chase-Lev deque vs a `Mutex<VecDeque>` baseline on the two
+//! hot paths — owner push/pop (every spawn/completion) and push/steal pairs
 //! (migration). Justifies (or indicts) the from-scratch implementation.
+//!
+//! The original comparison target was `crossbeam-deque`; this environment
+//! builds offline, so the external baseline is the locked deque every naive
+//! scheduler starts from instead.
 
+use std::collections::VecDeque;
 use std::ptr::NonNull;
+use std::sync::Mutex;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -28,14 +34,14 @@ fn bench_owner_paths(c: &mut Criterion) {
         unsafe { drop(Box::from_raw(item)) };
     });
 
-    group.bench_function("crossbeam", |b| {
-        let worker = crossbeam_deque::Worker::<u64>::new_lifo();
+    group.bench_function("mutex_vecdeque", |b| {
+        let queue: Mutex<VecDeque<u64>> = Mutex::new(VecDeque::new());
         b.iter(|| {
             for _ in 0..BATCH {
-                worker.push(7);
+                queue.lock().unwrap().push_back(7);
             }
             for _ in 0..BATCH {
-                std::hint::black_box(worker.pop());
+                std::hint::black_box(queue.lock().unwrap().pop_back());
             }
         });
     });
@@ -70,24 +76,14 @@ fn bench_steal_paths(c: &mut Criterion) {
         unsafe { drop(Box::from_raw(item)) };
     });
 
-    group.bench_function("crossbeam", |b| {
-        let worker = crossbeam_deque::Worker::<u64>::new_lifo();
-        let stealer = worker.stealer();
+    group.bench_function("mutex_vecdeque", |b| {
+        let queue: Mutex<VecDeque<u64>> = Mutex::new(VecDeque::new());
         b.iter(|| {
             for _ in 0..BATCH {
-                worker.push(7);
+                queue.lock().unwrap().push_back(7);
             }
             for _ in 0..BATCH {
-                loop {
-                    match stealer.steal() {
-                        crossbeam_deque::Steal::Success(v) => {
-                            std::hint::black_box(v);
-                            break;
-                        }
-                        crossbeam_deque::Steal::Empty => break,
-                        crossbeam_deque::Steal::Retry => {}
-                    }
-                }
+                std::hint::black_box(queue.lock().unwrap().pop_front());
             }
         });
     });

@@ -1,0 +1,56 @@
+//! Spawn-path diagnostic: per-task cost of `spawn` + `taskgroup` join for a
+//! flat batch, swept over team sizes, with the runtime counters that explain
+//! it (parks, steals, slab recycling). The numbers feed the
+//! zero-allocation-spawn work; `runtime_overhead` is the regression gate.
+
+use bots::runtime::RuntimeStats;
+use bots::Runtime;
+
+fn main() {
+    let batch: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let reps = 20;
+
+    println!("batch={batch} reps={reps}");
+    println!(
+        "{:>7} {:>12} {:>10} {:>8} {:>9} {:>9} {:>10} {:>11}",
+        "threads", "ns/task", "parks", "stolen", "recycled", "fresh", "crossfree", "switched"
+    );
+    for threads in [1usize, 2, 4] {
+        let rt = Runtime::with_threads(threads);
+        // Warm the pools and the team.
+        rt.parallel(|s| {
+            s.taskgroup(|s| {
+                for _ in 0..batch {
+                    s.spawn(|_| {});
+                }
+            });
+        });
+        let before: RuntimeStats = rt.stats();
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            rt.parallel(|s| {
+                s.taskgroup(|s| {
+                    for _ in 0..batch {
+                        s.spawn(|_| {});
+                    }
+                });
+            });
+        }
+        let elapsed = t0.elapsed();
+        let d = rt.stats().since(&before);
+        println!(
+            "{:>7} {:>12.1} {:>10} {:>8} {:>9} {:>9} {:>10} {:>11}",
+            threads,
+            elapsed.as_nanos() as f64 / (batch * reps) as f64,
+            d.parks,
+            d.stolen,
+            d.slab_recycled,
+            d.slab_fresh,
+            d.slab_cross_freed,
+            d.switched_in_wait,
+        );
+    }
+}

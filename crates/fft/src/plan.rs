@@ -37,7 +37,7 @@ impl Plan {
     /// divide the plan size).
     #[inline]
     pub fn forward(&self, k: usize, m: usize) -> C64 {
-        debug_assert!(m <= self.n && self.n % m == 0);
+        debug_assert!(m <= self.n && self.n.is_multiple_of(m));
         self.twiddles[k * (self.n / m)]
     }
 

@@ -51,7 +51,7 @@ pub fn fib_fast(n: u64) -> u64 {
         let (a, b) = go(n / 2);
         let c = a.wrapping_mul(b.wrapping_mul(2).wrapping_sub(a));
         let d = a.wrapping_mul(a).wrapping_add(b.wrapping_mul(b));
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             (c, d)
         } else {
             (d, c.wrapping_add(d))

@@ -12,10 +12,10 @@ use crate::rng::Rng;
 /// Is block `(ii, jj)` present in the BOTS sparsity pattern?
 pub fn bots_block_present(ii: usize, jj: usize) -> bool {
     let mut null_entry = false;
-    if ii < jj && ii % 3 != 0 {
+    if ii < jj && !ii.is_multiple_of(3) {
         null_entry = true;
     }
-    if ii > jj && jj % 3 != 0 {
+    if ii > jj && !jj.is_multiple_of(3) {
         null_entry = true;
     }
     if ii % 2 == 1 {

@@ -75,6 +75,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) indices ARE the subject
     fn blosum62_is_symmetric() {
         for i in 0..ALPHABET {
             for j in 0..ALPHABET {
@@ -84,6 +85,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) indices ARE the subject
     fn blosum62_diagonal_dominates_row() {
         for i in 0..ALPHABET {
             for j in 0..ALPHABET {

@@ -71,6 +71,7 @@ mod tests {
     use bots_profile::{CountingProbe, NullProbe};
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // `n` is both input and table key
     fn known_counts_up_to_ten() {
         for n in 1..=10 {
             assert_eq!(count_solutions(n), SOLUTIONS[n], "n={n}");

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static CURRENT: AtomicU64 = AtomicU64::new(0);
 static PEAK: AtomicU64 = AtomicU64::new(0);
+static CALLS: AtomicU64 = AtomicU64::new(0);
 
 /// A counting allocator wrapper around the system allocator; see the
 /// module-level docs for usage.
@@ -56,6 +57,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 fn track_alloc(size: u64) {
     let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
     PEAK.fetch_max(now, Ordering::Relaxed);
+    CALLS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Live heap bytes right now (as seen by the counting allocator).
@@ -71,6 +73,14 @@ pub fn peak_bytes() -> u64 {
 /// Resets the high-water mark to the current live size.
 pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Number of allocation calls (`alloc`, `alloc_zeroed`, and the allocating
+/// half of `realloc`) since process start. Monotonic; diff two readings to
+/// count the allocations a code region performed — this is what the
+/// runtime's zero-allocation-spawn test asserts on.
+pub fn alloc_calls() -> u64 {
+    CALLS.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]

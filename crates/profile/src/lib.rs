@@ -43,7 +43,7 @@ mod alloc;
 mod probe;
 mod report;
 
-pub use alloc::{current_bytes, peak_bytes, reset_peak, CountingAlloc};
+pub use alloc::{alloc_calls, current_bytes, peak_bytes, reset_peak, CountingAlloc};
 pub use probe::{CountingProbe, NullProbe, Probe, RawCounts};
 pub use report::{fmt_bytes, fmt_count, fmt_duration, table2_header, Characteristics};
 

@@ -80,6 +80,12 @@ pub struct RuntimeConfig {
     pub steal_rounds: usize,
     /// Spin iterations between failed steal rounds before blocking.
     pub spin_before_park: usize,
+    /// Pool-growth granularity: task records per slab chunk. Each worker's
+    /// record pool grows by this many 128-byte records at a time when its
+    /// free list and reclaim stack are both empty (64 records = one 8 KiB
+    /// chunk). Larger values amortise growth for spawn-storm workloads;
+    /// smaller ones keep tiny teams lean.
+    pub record_chunk: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -91,6 +97,7 @@ impl Default for RuntimeConfig {
             enforce_tied_constraint: true,
             steal_rounds: 4,
             spin_before_park: 64,
+            record_chunk: 64,
         }
     }
 }
@@ -143,6 +150,12 @@ impl RuntimeConfig {
         self.steal_rounds = rounds.max(1);
         self
     }
+
+    /// Sets the slab pool-growth granularity (records per chunk).
+    pub fn with_record_chunk(mut self, records: usize) -> Self {
+        self.record_chunk = records.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +183,10 @@ mod tests {
         assert_eq!(c.cutoff, RuntimeCutoff::MaxTasks { per_worker: 8 });
         assert!(!c.enforce_tied_constraint);
         assert_eq!(c.steal_rounds, 2);
+        let c = c.with_record_chunk(0);
+        assert_eq!(c.record_chunk, 1, "chunk size floors at one record");
+        let c = c.with_record_chunk(256);
+        assert_eq!(c.record_chunk, 256);
     }
 
     #[test]

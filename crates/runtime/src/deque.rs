@@ -73,7 +73,10 @@ struct Inner<T> {
     /// Current ring buffer.
     buffer: AtomicPtr<Buffer<T>>,
     /// Buffers retired by `grow`, freed when the deque is dropped.
-    /// Only the owner touches this.
+    /// Only the owner touches this. The boxing is load-bearing despite
+    /// clippy's advice: thieves may still hold raw pointers into a retired
+    /// buffer, so its address must never move when the vector grows.
+    #[allow(clippy::vec_box)]
     retired: UnsafeCell<Vec<Box<Buffer<T>>>>,
 }
 

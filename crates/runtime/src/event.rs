@@ -1,15 +1,34 @@
 //! An *event count*: a condition-variable wrapper that lets workers block
 //! only when there is provably nothing to do, while keeping the notify path
-//! (executed on every task spawn) nearly free when nobody is sleeping.
+//! (executed on every task spawn and completion) **free of shared writes
+//! when nobody is sleeping**.
 //!
-//! Protocol: a prospective sleeper reads the epoch (`prepare`), re-checks its
-//! wake-up condition, and then `wait`s *for that epoch*. Any state change that
-//! could satisfy a sleeper must be followed by `notify`, which bumps the epoch
-//! and wakes sleepers. A sleeper whose epoch is stale returns immediately, so
-//! lost wake-ups are impossible.
+//! Protocol: a prospective sleeper **registers first** ([`prepare`] bumps
+//! the sleeper count and snapshots the epoch), re-checks its wake-up
+//! condition, and then either [`wait`]s for that epoch or [`cancel`]s the
+//! registration. Any state change that could satisfy a sleeper must be
+//! followed by [`notify`], which is *sleeper-gated*: a `SeqCst` fence plus
+//! one load of the sleeper count, and only when sleepers are registered
+//! does it bump the epoch and take the wake lock. On the uncontended spawn
+//! fast path this costs a fence and a read of a cache line that only
+//! changes when a worker goes idle — no RMW on shared state, unlike the
+//! previous design's unconditional epoch increment.
+//!
+//! Why no wake-up is lost: the sleeper's registration is a `SeqCst` RMW
+//! that precedes its condition re-check, and the notifier's condition
+//! change precedes its `SeqCst` fence + sleeper-count load. In the single
+//! total order of SeqCst operations, either the notifier sees the
+//! registration (and wakes), or the sleeper's re-check sees the condition
+//! change (and never blocks). This is the classic store-buffering pattern;
+//! both sides are ordered through the SeqCst total order.
+//!
+//! [`prepare`]: EventCount::prepare
+//! [`wait`]: EventCount::wait
+//! [`cancel`]: EventCount::cancel
+//! [`notify`]: EventCount::notify
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// See module docs.
 pub struct EventCount {
@@ -36,44 +55,98 @@ impl EventCount {
         }
     }
 
-    /// Snapshots the epoch. Call *before* re-checking the wait condition.
+    /// Registers the caller as a prospective sleeper and snapshots the
+    /// epoch. Call *before* re-checking the wait condition; the caller must
+    /// follow up with exactly one of [`wait`](Self::wait),
+    /// [`wait_timeout`](Self::wait_timeout) or [`cancel`](Self::cancel).
     #[inline]
     pub fn prepare(&self) -> u64 {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Fence-to-fence pairing with `notify`: the caller's *subsequent*
+        // condition re-check (plain Acquire loads) must be ordered after
+        // the registration store even on weakly-ordered targets — a SeqCst
+        // RMW alone does not order later non-SeqCst loads against the
+        // notifier's fence. With both sides fenced, either the notifier's
+        // sleeper load sees the registration or the sleeper's re-check
+        // sees the condition change. Free on x86; a dmb on AArch64.
+        fence(Ordering::SeqCst);
         self.epoch.load(Ordering::SeqCst)
     }
 
-    /// Blocks until the epoch moves past `seen`. Returns immediately if it
-    /// already has. Spurious returns are allowed (callers loop).
+    /// Deregisters after [`prepare`](Self::prepare) when the caller decided
+    /// not to sleep (its condition was already satisfied).
+    #[inline]
+    pub fn cancel(&self) {
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Blocks until the epoch moves past `seen` and deregisters. Returns
+    /// immediately if it already has. Spurious returns are allowed (callers
+    /// loop).
+    ///
+    /// The runtime itself always parks with a timeout as a lost-wakeup
+    /// safety net; the untimed variant is kept for completeness and tests.
+    #[allow(dead_code)]
     pub fn wait(&self, seen: u64) {
-        let mut guard = self.mutex.lock();
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        while self.epoch.load(Ordering::SeqCst) == seen {
-            self.cv.wait(&mut guard);
+        {
+            let mut guard = self.mutex.lock().unwrap();
+            while self.epoch.load(Ordering::SeqCst) == seen {
+                guard = self.cv.wait(guard).unwrap();
+            }
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Like [`wait`](Self::wait) but gives up after `timeout`.
     pub fn wait_timeout(&self, seen: u64, timeout: std::time::Duration) {
-        let mut guard = self.mutex.lock();
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        if self.epoch.load(Ordering::SeqCst) == seen {
-            let _ = self.cv.wait_for(&mut guard, timeout);
+        {
+            let guard = self.mutex.lock().unwrap();
+            if self.epoch.load(Ordering::SeqCst) == seen {
+                let _ = self.cv.wait_timeout(guard, timeout).unwrap();
+            }
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Publishes an event: bumps the epoch and wakes all sleepers.
+    /// Publishes an event, waking registered sleepers.
     ///
-    /// Fast path (no sleepers): one RMW + one load.
+    /// Fast path (no sleepers): one fence + one load — **no shared write**.
+    /// The caller must have made the sleepers' wake-up condition observable
+    /// before calling this.
     #[inline]
     pub fn notify(&self) {
+        // Orders the caller's preceding (possibly relaxed) state change into
+        // the SeqCst total order before the sleeper-count load; pairs with
+        // the SeqCst registration RMW in `prepare`.
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            self.notify_slow(true);
+        }
+    }
+
+    /// Like [`notify`](Self::notify) but wakes at most one sleeper: the
+    /// right shape for "one new unit of work arrived" events, where waking
+    /// the whole team just creates a thundering herd. Sleepers left behind
+    /// hold a stale epoch, so they return as soon as they are next signalled
+    /// or their park timeout fires.
+    #[inline]
+    pub fn notify_one(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            self.notify_slow(false);
+        }
+    }
+
+    #[cold]
+    fn notify_slow(&self, all: bool) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            // Taking the lock orders us against a sleeper that has registered
-            // but not yet blocked on the condvar.
-            let _guard = self.mutex.lock();
+        // Taking the lock orders us against a sleeper that has registered
+        // and seen a stale epoch but not yet blocked on the condvar.
+        let _guard = self.mutex.lock().unwrap();
+        if all {
             self.cv.notify_all();
+        } else {
+            self.cv.notify_one();
         }
     }
 
@@ -81,6 +154,13 @@ impl EventCount {
     #[allow(dead_code)] // diagnostic accessor, exercised in tests
     pub fn sleepers(&self) -> usize {
         self.sleepers.load(Ordering::Relaxed)
+    }
+
+    /// Current epoch (diagnostics; bumped only by sleeper-observed
+    /// notifies).
+    #[cfg(test)]
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 }
 
@@ -99,6 +179,7 @@ mod tests {
         let h = std::thread::spawn(move || loop {
             let epoch = ec2.prepare();
             if flag2.load(Ordering::Acquire) {
+                ec2.cancel();
                 break;
             }
             ec2.wait(epoch);
@@ -116,6 +197,7 @@ mod tests {
         ec.notify();
         // Must return immediately; a hang here fails the test by timeout.
         ec.wait(seen);
+        assert_eq!(ec.sleepers(), 0);
     }
 
     #[test]
@@ -125,6 +207,36 @@ mod tests {
         let t0 = std::time::Instant::now();
         ec.wait_timeout(seen, Duration::from_millis(30));
         assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert_eq!(ec.sleepers(), 0);
+    }
+
+    #[test]
+    fn notify_without_sleepers_is_silent() {
+        let ec = EventCount::new();
+        let before = ec.epoch();
+        for _ in 0..100 {
+            ec.notify();
+        }
+        assert_eq!(
+            ec.epoch(),
+            before,
+            "ungated notifies must not touch the epoch"
+        );
+        // With a registered sleeper the epoch moves.
+        let seen = ec.prepare();
+        ec.notify();
+        assert_eq!(ec.epoch(), before + 1);
+        ec.wait(seen); // stale: returns immediately, deregisters
+        assert_eq!(ec.sleepers(), 0);
+    }
+
+    #[test]
+    fn cancel_deregisters() {
+        let ec = EventCount::new();
+        let _ = ec.prepare();
+        assert_eq!(ec.sleepers(), 1);
+        ec.cancel();
+        assert_eq!(ec.sleepers(), 0);
     }
 
     #[test]
@@ -137,6 +249,7 @@ mod tests {
                 std::thread::spawn(move || loop {
                     let epoch = ec.prepare();
                     if flag.load(Ordering::Acquire) {
+                        ec.cancel();
                         break;
                     }
                     ec.wait(epoch);
@@ -149,5 +262,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        assert_eq!(ec.sleepers(), 0);
     }
 }

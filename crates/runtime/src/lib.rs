@@ -21,7 +21,9 @@
 //!
 //! ## What is modelled, and how faithfully
 //!
-//! * **Tasks** are heap descriptors queued on per-worker [Chase-Lev
+//! * **Tasks** are pooled, refcounted 128-byte records (closure stored
+//!   inline, recycled through per-worker slabs — a steady-state spawn makes
+//!   **zero heap allocations**) queued on per-worker [Chase-Lev
 //!   deques](deque); idle workers steal the oldest task from a random
 //!   victim.
 //! * **Tied vs untied** ([`TaskAttrs`]): a task always runs start-to-finish
@@ -45,11 +47,14 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`deque`] | Chase-Lev work-stealing deque (the only `unsafe`-heavy core) |
+//! | [`deque`] | Chase-Lev work-stealing deque |
+//! | `task` | pooled single-block task records, refcounted lifecycle |
+//! | `slab` | per-worker record free lists + cross-thread reclaim |
+//! | `event` | sleeper-gated event count (no shared writes to notify) |
 //! | [`pool`](Runtime) | worker threads, injector, region lifecycle |
 //! | [`scope`](Scope) | `spawn` / `taskwait` / `parallel_for` |
-//! | [`config`](RuntimeConfig) | policy & cut-off knobs |
-//! | [`stats`](RuntimeStats) | per-worker counters (steals, parks, inlining) |
+//! | [`config`](RuntimeConfig) | policy, cut-off & pool-sizing knobs |
+//! | [`stats`](RuntimeStats) | per-worker counters (steals, parks, slab recycling) |
 //! | [`local`](WorkerLocal) | `threadprivate`-style per-worker storage |
 
 #![warn(missing_docs)]
@@ -62,6 +67,7 @@ mod config;
 mod local;
 mod pool;
 mod scope;
+mod slab;
 mod stats;
 mod task;
 

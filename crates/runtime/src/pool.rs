@@ -1,39 +1,67 @@
 //! The worker pool and execution engine.
 //!
 //! A [`Runtime`] owns a team of worker threads, one Chase-Lev deque per
-//! worker, and a global injector queue. [`Runtime::parallel`] models an
-//! OpenMP `parallel` region whose body runs under a `single` construct: the
-//! closure executes exactly once, as the region's *root task*, on whichever
-//! worker grabs it first; every other worker immediately enters the
-//! work-stealing loop. Tasks spawned inside the region are distributed by
-//! work stealing until the region quiesces (`live == 0`), at which point
-//! `parallel` returns.
+//! worker, one record slab per worker, and a global injector queue.
+//! [`Runtime::parallel`] models an OpenMP `parallel` region whose body runs
+//! under a `single` construct: the closure executes exactly once, as the
+//! region's *root task*, on whichever worker grabs it first; every other
+//! worker immediately enters the work-stealing loop. Tasks spawned inside
+//! the region are distributed by work stealing until the region quiesces,
+//! at which point `parallel` returns.
+//!
+//! ## The zero-allocation, low-contention spawn path
+//!
+//! A deferred spawn on the steady state touches **no global shared state**:
+//!
+//! 1. a [`TaskRecord`] is popped from the spawning worker's free-list slab
+//!    ([`crate::slab`]) — no `malloc`;
+//! 2. the closure is written inline into the record (or spilled to one box
+//!    when it exceeds [`crate::task::INLINE_BYTES`]);
+//! 3. parent/child counters are updated on the *record*, whose cache lines
+//!    are private to the spawning task's lineage;
+//! 4. the record is pushed on the worker's own deque;
+//! 5. [`EventCount::notify`] checks for sleepers with a fence + load and
+//!    issues no wake (and no shared write) when everyone is busy.
+//!
+//! ## Region quiescence without a global live counter
+//!
+//! The old design kept `live`/`queued` counts in two `Shared` atomics that
+//! every spawn and completion contended on. Liveness is now derived from
+//! the record refcounts themselves: each child record holds one reference
+//! on its parent for as long as the *child record* exists, so the root
+//! record's count can only fall to the master's lone handle once every
+//! descendant record has been destroyed — i.e. exactly at quiescence. The
+//! region master polls the root's count (wake-ups arrive through the event
+//! count like any other sleeper). The `queued` count survives only for the
+//! `MaxTasks`/`Adaptive` cut-offs, sharded per worker and summed on demand
+//! — and is not maintained at all under other cut-off policies.
 //!
 //! ## Scheduling points
 //!
 //! Like an OpenMP runtime, workers switch tasks at two points only: task
-//! completion (the worker loop) and `taskwait` (see [`crate::scope`]). A task
-//! runs on one OS thread from start to finish; what the tied/untied
+//! completion (the worker loop) and `taskwait` (see [`crate::scope`]). A
+//! task runs on one OS thread from start to finish; what the tied/untied
 //! distinction controls here is which *other* tasks a worker may pick up
 //! while it waits at a `taskwait` (the task scheduling constraint), not
 //! thread migration — matching the icc 11.0 behaviour the paper evaluates
 //! (no thread switching).
 
 use std::collections::VecDeque;
+use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::config::{LocalOrder, RuntimeConfig, RuntimeCutoff};
 use crate::deque::{deque, Steal, Stealer, TaskDeque};
 use crate::event::EventCount;
+use crate::local::CacheAligned;
 use crate::rng::XorShift64;
 use crate::scope::Scope;
+use crate::slab::{AllocSource, RecordSlab};
 use crate::stats::{RuntimeStats, WorkerCounters};
-use crate::task::{Task, TaskNode};
+use crate::task::{Group, TaskAttrs, TaskRecord, HOME_BOXED};
 
 /// Worker-thread stack size. Task switching at `taskwait` nests task frames
 /// on the worker stack (there is no continuation stealing), so recursive
@@ -44,23 +72,36 @@ const WORKER_STACK: usize = 64 * 1024 * 1024;
 /// safety net. Wake-ups normally arrive via the event count.
 const PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(2);
 
+/// `Steal::Retry` attempts against one victim before moving on. A contended
+/// victim is not worth spinning on: another victim (or the injector) likely
+/// has work, and the parked-worker safety net catches the rest.
+const MAX_STEAL_RETRIES: usize = 4;
+
 /// State shared by the team, the region master and all scopes.
 pub(crate) struct Shared {
     pub(crate) config: RuntimeConfig,
     /// Thief handles, indexed by worker.
-    pub(crate) stealers: Vec<Stealer<Task>>,
+    pub(crate) stealers: Vec<Stealer<TaskRecord>>,
     /// Global queue; region root tasks enter here.
-    pub(crate) injector: Mutex<VecDeque<NonNull<Task>>>,
-    /// Single event count for every state change: task pushed, task
-    /// completed, shutdown. Workers, taskwaiters and the region master all
-    /// park here.
-    pub(crate) event: EventCount,
-    /// Tasks alive in the current region (root + deferred, queued or
-    /// running). The region ends when this reaches zero.
-    pub(crate) live: AtomicUsize,
-    /// Deferred tasks currently queued and not yet started; drives the
-    /// `MaxTasks` / `Adaptive` cut-offs.
-    pub(crate) queued: AtomicUsize,
+    pub(crate) injector: Mutex<VecDeque<NonNull<TaskRecord>>>,
+    /// Mirror of `injector.len()`, so idle probes never take the lock.
+    pub(crate) injector_len: AtomicUsize,
+    /// Work-availability channel: notified on every deferred-task push (and
+    /// shutdown). Idle workers park here.
+    pub(crate) work: EventCount,
+    /// Progress channel: notified only on *zero transitions* — a task's last
+    /// child completing, a taskgroup draining, a root record's refcount
+    /// falling to the master's handle — plus shutdown. Taskwaiters and the
+    /// region master park here, so a completion storm costs no wakes until
+    /// the final one that matters.
+    pub(crate) progress: EventCount,
+    /// Deferred-but-unstarted task count, sharded per worker (spawners add
+    /// on their own shard, executors subtract on theirs, so any shard may go
+    /// negative; the sum is the true count). Only maintained when
+    /// `track_queued` — i.e. when the cut-off policy needs it.
+    pub(crate) queued_shards: Vec<CacheAligned<AtomicIsize>>,
+    /// Does the configured cut-off need the global queued count?
+    pub(crate) track_queued: bool,
     /// Hysteresis state for the adaptive cut-off.
     pub(crate) adaptive_serializing: AtomicBool,
     /// First panic payload observed in the region.
@@ -69,29 +110,43 @@ pub(crate) struct Shared {
     pub(crate) shutdown: AtomicBool,
     /// Per-worker statistics.
     pub(crate) counters: Vec<WorkerCounters>,
+    /// Per-worker record pools; indexed by `TaskRecord::home` on free.
+    pub(crate) slabs: Vec<RecordSlab>,
 }
 
 // Safety: `Shared` is shared across worker threads by design. The raw task
-// pointers in the injector are exclusively owned heap tasks (`Box<Task>`
-// converted by `Task::into_ptr`) whose closures are `Send`; the deque
-// stealers hand the same kind of pointer over with the Chase-Lev protocol
-// guaranteeing each is received exactly once.
+// pointers in the injector are exclusively-owned queue handles of live
+// `TaskRecord`s whose closures are `Send`; the deque stealers hand the same
+// kind of pointer over with the Chase-Lev protocol guaranteeing each is
+// received exactly once. The slabs' owner-only halves are only touched by
+// their owning worker threads (see `crate::slab`).
 unsafe impl Send for Shared {}
 unsafe impl Sync for Shared {}
 
 impl Shared {
+    /// Sum of the queued-count shards, clamped at zero (individual shards
+    /// may be transiently negative; the total is approximate by design —
+    /// it drives heuristics, not correctness).
+    pub(crate) fn queued_estimate(&self) -> usize {
+        self.queued_shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum::<isize>()
+            .max(0) as usize
+    }
+
     /// Should a spawn at `depth` be serialised by the runtime cut-off?
     pub(crate) fn cutoff_trips(&self, local_len: usize, depth: u32) -> bool {
         let workers = self.config.num_threads;
         match self.config.cutoff {
             RuntimeCutoff::None => false,
             RuntimeCutoff::MaxTasks { per_worker } => {
-                self.queued.load(Ordering::Relaxed) >= per_worker * workers
+                self.queued_estimate() >= per_worker * workers
             }
             RuntimeCutoff::MaxLocalQueue { max_len } => local_len >= max_len,
             RuntimeCutoff::MaxDepth { max_depth } => depth >= max_depth,
             RuntimeCutoff::Adaptive { low, high } => {
-                let queued = self.queued.load(Ordering::Relaxed);
+                let queued = self.queued_estimate();
                 if self.adaptive_serializing.load(Ordering::Relaxed) {
                     if queued < low * workers {
                         self.adaptive_serializing.store(false, Ordering::Relaxed);
@@ -108,13 +163,89 @@ impl Shared {
             }
         }
     }
+
+    /// Adjusts the caller's queued-count shard (no-op unless the cut-off
+    /// policy consumes the count). `shard` is a worker index, or 0 for the
+    /// region master's root push — any shard works, the sum is what counts.
+    #[inline]
+    pub(crate) fn queued_delta(&self, shard: usize, delta: isize) {
+        if self.track_queued {
+            self.queued_shards[shard]
+                .0
+                .fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Pushes a region root task into the injector.
+    pub(crate) fn push_injector(&self, rec: NonNull<TaskRecord>) {
+        let mut q = self.injector.lock().unwrap();
+        q.push_back(rec);
+        self.injector_len.store(q.len(), Ordering::Release);
+    }
+
+    /// Drops one reference on `rec`, destroying it (and cascading up the
+    /// parent chain) when it was the last. `worker_index` is the calling
+    /// worker, or `None` when called from the region master.
+    ///
+    /// Destruction routes the record home: to the owner's local free list
+    /// when the caller *is* the owner, onto the owner's cross-thread reclaim
+    /// stack otherwise, or back to the heap for boxed (root) records.
+    pub(crate) fn release_record(&self, rec: NonNull<TaskRecord>, worker_index: Option<usize>) {
+        let mut cur = rec;
+        loop {
+            let r = unsafe { cur.as_ref() };
+            // Snapshot before releasing: `parent` is immutable after init,
+            // but once our reference is gone the remaining holder may
+            // destroy the record concurrently (for a root, the spin-polling
+            // region master frees it the instant it observes refs == 1), so
+            // `r` must not be touched after a release that was not the last.
+            let parent = r.parent();
+            match r.release_ref() {
+                1 => {}
+                // Root records: the drop to the master's lone handle is the
+                // region-quiescence signal.
+                2 if parent.is_none() => {
+                    self.progress.notify();
+                    return;
+                }
+                _ => return,
+            }
+            // Sole owner now: drop a group handle the record may still hold
+            // (records that carried a closure gave it up at completion;
+            // inline bookkeeping records reach here with theirs attached).
+            drop(r.take_group());
+            let home = r.home;
+            if home == HOME_BOXED {
+                unsafe {
+                    drop(Box::from_raw(
+                        cur.as_ptr().cast::<MaybeUninit<TaskRecord>>(),
+                    ));
+                }
+            } else {
+                let slab = &self.slabs[home as usize];
+                match worker_index {
+                    Some(i) if i == home as usize => unsafe { slab.free_local(cur) },
+                    _ => {
+                        slab.free_remote(cur);
+                        if let Some(i) = worker_index {
+                            WorkerCounters::bump(&self.counters[i].slab_cross_freed);
+                        }
+                    }
+                }
+            }
+            match parent {
+                Some(p) => cur = p,
+                None => return,
+            }
+        }
+    }
 }
 
 /// Per-worker context. Owned by the worker thread; tasks reach it through
 /// the [`Scope`] they are handed.
 pub(crate) struct WorkerCtx {
     pub(crate) index: usize,
-    pub(crate) deque: TaskDeque<Task>,
+    pub(crate) deque: TaskDeque<TaskRecord>,
     pub(crate) shared: Arc<Shared>,
     pub(crate) rng: std::cell::RefCell<XorShift64>,
 }
@@ -125,8 +256,28 @@ impl WorkerCtx {
         &self.shared.counters[self.index]
     }
 
+    /// Allocates and initialises a record from this worker's slab.
+    #[inline]
+    pub(crate) fn new_record(
+        &self,
+        parent: Option<NonNull<TaskRecord>>,
+        group: Option<Arc<Group>>,
+        attrs: TaskAttrs,
+    ) -> NonNull<TaskRecord> {
+        // Safety: this is the owning worker thread.
+        let (rec, source) = unsafe { self.shared.slabs[self.index].alloc() };
+        let counters = self.counters();
+        match source {
+            AllocSource::Recycled => WorkerCounters::bump(&counters.slab_recycled),
+            AllocSource::Fresh => WorkerCounters::bump(&counters.slab_fresh),
+        }
+        // Safety: the slot came from our slab and is free; parent is live.
+        unsafe { TaskRecord::init(rec, parent, group, self.index as u32, attrs) };
+        rec
+    }
+
     /// Pops a local task according to the configured discipline.
-    pub(crate) fn pop_local(&self) -> Option<NonNull<Task>> {
+    pub(crate) fn pop_local(&self) -> Option<NonNull<TaskRecord>> {
         match self.shared.config.local_order {
             LocalOrder::Lifo => self.deque.pop(),
             LocalOrder::Fifo => self.deque.pop_fifo(),
@@ -135,18 +286,28 @@ impl WorkerCtx {
 
     /// Pops from the LIFO end regardless of policy (used by tied taskwaits,
     /// where the bottom of the deque is where descendants live).
-    pub(crate) fn pop_local_lifo(&self) -> Option<NonNull<Task>> {
+    pub(crate) fn pop_local_lifo(&self) -> Option<NonNull<TaskRecord>> {
         self.deque.pop()
     }
 
-    /// Takes a region root from the injector.
-    pub(crate) fn pop_injector(&self) -> Option<NonNull<Task>> {
-        self.shared.injector.lock().pop_front()
+    /// Takes a region root from the injector. The unlocked length probe
+    /// keeps the common case (empty injector) lock-free.
+    pub(crate) fn pop_injector(&self) -> Option<NonNull<TaskRecord>> {
+        let shared = &*self.shared;
+        if shared.injector_len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = shared.injector.lock().unwrap();
+        let rec = q.pop_front();
+        shared.injector_len.store(q.len(), Ordering::Release);
+        rec
     }
 
     /// One round of stealing: probes every other worker once, starting at a
-    /// random victim.
-    pub(crate) fn try_steal(&self) -> Option<NonNull<Task>> {
+    /// random victim. Retries against a contended victim are bounded by
+    /// [`MAX_STEAL_RETRIES`]; past that the worker gives up on the victim
+    /// (counting a miss) and moves to the next.
+    pub(crate) fn try_steal(&self) -> Option<NonNull<TaskRecord>> {
         let n = self.shared.stealers.len();
         if n <= 1 {
             return None;
@@ -158,6 +319,7 @@ impl WorkerCtx {
             if victim == self.index {
                 continue;
             }
+            let mut retries = 0;
             loop {
                 match self.shared.stealers[victim].steal() {
                     Steal::Success(t) => {
@@ -165,7 +327,11 @@ impl WorkerCtx {
                         return Some(t);
                     }
                     Steal::Retry => {
-                        WorkerCounters::bump(&counters.steal_misses);
+                        retries += 1;
+                        if retries >= MAX_STEAL_RETRIES {
+                            WorkerCounters::bump(&counters.steal_misses);
+                            break;
+                        }
                         std::hint::spin_loop();
                     }
                     Steal::Empty => {
@@ -179,11 +345,13 @@ impl WorkerCtx {
     }
 
     /// Is any work visible anywhere? Used to re-check before parking.
+    /// Entirely lock-free: own deque length, the injector's atomic length
+    /// mirror, and the other deques' stealer-side lengths.
     pub(crate) fn work_visible(&self) -> bool {
         if !self.deque.is_empty() {
             return true;
         }
-        if !self.shared.injector.lock().is_empty() {
+        if self.shared.injector_len.load(Ordering::Acquire) > 0 {
             return true;
         }
         self.shared
@@ -194,45 +362,53 @@ impl WorkerCtx {
     }
 
     /// Executes a deferred task to completion and performs end-of-task
-    /// bookkeeping (parent child-count, region live count, wake-ups).
-    pub(crate) fn execute(&self, ptr: NonNull<Task>) {
+    /// bookkeeping (parent child-count, group membership, record release,
+    /// wake-ups).
+    pub(crate) fn execute(&self, rec: NonNull<TaskRecord>) {
         let shared = &*self.shared;
-        shared.queued.fetch_sub(1, Ordering::Relaxed);
-        let mut task = unsafe { Task::from_ptr(ptr) };
-        let run = task.run.take().expect("task executed twice");
+        shared.queued_delta(self.index, -1);
         let counters = self.counters();
         WorkerCounters::bump(&counters.executed);
 
-        let ec = ExecCtx {
-            worker: self,
-            node: task.node.clone(),
-        };
-        let outcome = catch_unwind(AssertUnwindSafe(|| run(&ec)));
+        // Safety: we hold the queue handle; the record is live until we
+        // release it below.
+        let r = unsafe { rec.as_ref() };
+        let invoke = r.take_invoke().expect("task executed twice");
+        let ec = ExecCtx { worker: self, rec };
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { invoke(rec, &ec) }));
         if let Err(payload) = outcome {
-            let mut slot = shared.panic.lock();
+            let mut slot = shared.panic.lock().unwrap_or_else(|e| e.into_inner());
             if slot.is_none() {
                 *slot = Some(payload);
             }
         }
 
         // Completion: a task does *not* wait for its children (that is what
-        // taskwait is for); it only reports its own termination.
-        if let Some(parent) = &task.node.parent {
-            parent.child_done();
+        // taskwait is for); it only reports its own termination. Waiters are
+        // woken only on the transitions they block on: the group draining,
+        // the parent's child count reaching zero, a root refcount falling to
+        // the master's handle (inside `release_record`). Each notify follows
+        // its counter update, so a woken waiter observes the progress.
+        if let Some(group) = r.take_group() {
+            if group.leave() {
+                shared.progress.notify();
+            }
         }
-        if let Some(group) = &task.node.group {
-            group.leave();
+        if let Some(parent) = r.parent() {
+            if unsafe { parent.as_ref() }.child_done() {
+                shared.progress.notify();
+            }
         }
-        shared.live.fetch_sub(1, Ordering::AcqRel);
-        shared.event.notify();
+        // Consume the queue handle; may destroy the record and cascade.
+        shared.release_record(rec, Some(self.index));
     }
 }
 
-/// Execution context handed to a task's shim closure: enough to rebuild a
+/// Execution context handed to a task's stored closure: enough to rebuild a
 /// [`Scope`] on the executing worker.
 pub(crate) struct ExecCtx<'w> {
     pub(crate) worker: &'w WorkerCtx,
-    pub(crate) node: Arc<TaskNode>,
+    pub(crate) rec: NonNull<TaskRecord>,
 }
 
 /// A raw pointer that asserts `Send`, for smuggling a stack slot into the
@@ -263,24 +439,33 @@ impl Runtime {
     /// Builds a team from an explicit configuration.
     pub fn new(config: RuntimeConfig) -> Self {
         let n = config.num_threads;
+        let track_queued = matches!(
+            config.cutoff,
+            RuntimeCutoff::MaxTasks { .. } | RuntimeCutoff::Adaptive { .. }
+        );
         let mut owners = Vec::with_capacity(n);
         let mut stealers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (owner, stealer) = deque::<Task>();
+            let (owner, stealer) = deque::<TaskRecord>();
             owners.push(owner);
             stealers.push(stealer);
         }
         let shared = Arc::new(Shared {
-            config,
             stealers,
             injector: Mutex::new(VecDeque::new()),
-            event: EventCount::new(),
-            live: AtomicUsize::new(0),
-            queued: AtomicUsize::new(0),
+            injector_len: AtomicUsize::new(0),
+            work: EventCount::new(),
+            progress: EventCount::new(),
+            queued_shards: (0..n).map(|_| CacheAligned(AtomicIsize::new(0))).collect(),
+            track_queued,
             adaptive_serializing: AtomicBool::new(false),
             panic: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             counters: (0..n).map(|_| WorkerCounters::default()).collect(),
+            slabs: (0..n)
+                .map(|_| RecordSlab::new(config.record_chunk))
+                .collect(),
+            config,
         });
 
         let mut handles = Vec::with_capacity(n);
@@ -347,50 +532,66 @@ impl Runtime {
         F: FnOnce(&Scope<'env>) -> R + Send + 'env,
         R: Send + 'env,
     {
-        let _region = self.region_lock.lock();
+        // A panic propagating out of a previous region poisons the std
+        // mutexes it unwound through; every guarded structure is left
+        // consistent, so poisoning is explicitly forgiven (parking_lot,
+        // which this runtime originally used, had no poisoning either).
+        let _region = self.region_lock.lock().unwrap_or_else(|e| e.into_inner());
         let shared = &self.shared;
-        debug_assert_eq!(shared.live.load(Ordering::Acquire), 0);
 
         let result: Mutex<Option<R>> = Mutex::new(None);
-        let root_node = TaskNode::root();
+        // Root record: individually boxed (the master has no slab), held by
+        // two handles — the injector queue's and the master's own.
+        let root = TaskRecord::new_boxed(TaskAttrs::tied());
+        unsafe { root.as_ref() }.add_ref();
 
         {
-            // Shim: run the user closure, stash the result. Lifetime-erased;
-            // sound because this function blocks until the region quiesces,
-            // so the stack slot behind `result_ptr` outlives the root task.
+            // Root shim: run the user closure, stash the result. The `'env`
+            // lifetime is erased by the record's raw closure storage; sound
+            // because this function blocks until the region quiesces, so
+            // the stack slot behind `result_ptr` (and everything `f`
+            // borrows) outlives every task.
             let result_ptr = SendPtr(&result as *const Mutex<Option<R>>);
-            let shim: Box<dyn FnOnce(&ExecCtx<'_>) + Send + 'env> = Box::new(move |ec| {
-                let scope = Scope::from_exec(ec);
-                let r = f(&scope);
-                *unsafe { &*result_ptr.get() }.lock() = Some(r);
-            });
-            let shim: Box<dyn FnOnce(&ExecCtx<'_>) + Send + 'static> =
-                unsafe { std::mem::transmute(shim) };
+            unsafe {
+                TaskRecord::store_closure(root, move |ec: &ExecCtx<'_>| {
+                    let scope = Scope::from_exec(ec);
+                    let r = f(&scope);
+                    *(*result_ptr.get()).lock().unwrap() = Some(r);
+                });
+            }
+            shared.queued_delta(0, 1);
+            shared.push_injector(root);
+            shared.work.notify_one();
 
-            let task = Box::new(Task {
-                run: Some(shim),
-                node: root_node,
-            });
-            shared.live.store(1, Ordering::Release);
-            shared.queued.fetch_add(1, Ordering::Relaxed);
-            shared.injector.lock().push_back(task.into_ptr());
-            shared.event.notify();
-
-            // Wait for quiescence.
+            // Wait for quiescence: the root's refcount falls back to the
+            // master's lone handle exactly when every descendant record has
+            // been destroyed (see the module docs).
             loop {
-                let epoch = shared.event.prepare();
-                if shared.live.load(Ordering::Acquire) == 0 {
+                if unsafe { root.as_ref() }.refs() == 1 {
                     break;
                 }
-                shared.event.wait(epoch);
+                let token = shared.progress.prepare();
+                if unsafe { root.as_ref() }.refs() == 1 {
+                    shared.progress.cancel();
+                    break;
+                }
+                shared.progress.wait_timeout(token, PARK_TIMEOUT);
             }
         }
+        // Sole owner: destroy the root record.
+        shared.release_record(root, None);
 
-        if let Some(payload) = shared.panic.lock().take() {
+        if let Some(payload) = shared
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
             resume_unwind(payload);
         }
         result
             .into_inner()
+            .unwrap()
             .expect("root task did not record a result")
     }
 }
@@ -398,7 +599,8 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.event.notify();
+        self.shared.work.notify();
+        self.shared.progress.notify();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -437,12 +639,14 @@ fn worker_loop(ctx: &WorkerCtx) {
         if found {
             continue;
         }
-        // Nothing anywhere: park until an event or the safety timeout.
-        let epoch = shared.event.prepare();
+        // Nothing anywhere: register as a sleeper, re-check, park until an
+        // event or the safety timeout.
+        let token = shared.work.prepare();
         if shared.shutdown.load(Ordering::Acquire) || ctx.work_visible() {
+            shared.work.cancel();
             continue;
         }
         WorkerCounters::bump(&ctx.counters().parks);
-        shared.event.wait_timeout(epoch, PARK_TIMEOUT);
+        shared.work.wait_timeout(token, PARK_TIMEOUT);
     }
 }

@@ -1,8 +1,8 @@
 //! The task-creation API handed to code running inside a parallel region.
 //!
 //! A [`Scope`] is the Rust-side stand-in for "being inside an OpenMP task":
-//! it knows the executing worker and the current task's bookkeeping node.
-//! Its methods map one-to-one onto the constructs the BOTS kernels use:
+//! it knows the executing worker and the current task's record. Its methods
+//! map one-to-one onto the constructs the BOTS kernels use:
 //!
 //! | OpenMP | here |
 //! |---|---|
@@ -15,14 +15,20 @@
 //! | `omp_get_thread_num()` | [`Scope::worker_id`] |
 //! | `omp_get_num_threads()` | [`Scope::num_workers`] |
 //! | `omp_in_final()` | [`Scope::in_final`] |
+//!
+//! A deferred spawn is the hot path of the whole suite and performs **zero
+//! heap allocations** in the steady state: the task record comes from the
+//! worker's slab and the closure is stored inline in the record (see
+//! [`crate::task`] and [`crate::slab`]).
 
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::ptr::NonNull;
 use std::sync::Arc;
 
-use crate::pool::{ExecCtx, WorkerCtx};
+use crate::pool::{ExecCtx, Shared, WorkerCtx};
 use crate::stats::WorkerCounters;
-use crate::task::{Group, Task, TaskAttrs, TaskNode};
+use crate::task::{Group, TaskAttrs, TaskRecord};
 
 /// How long a task blocked at `taskwait` sleeps between re-probes when it
 /// cannot legally run anything (safety net; normal wake-ups are eventful).
@@ -38,7 +44,11 @@ const WAIT_PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(
 /// can observe them.
 pub struct Scope<'scope> {
     worker: *const WorkerCtx,
-    node: Arc<TaskNode>,
+    /// The current task's record. Guaranteed live for the lifetime of the
+    /// scope: the executing worker holds the record's queue handle for the
+    /// whole task body, and `Scope` is neither `Send` nor longer-lived than
+    /// the body.
+    rec: NonNull<TaskRecord>,
     /// Innermost active `taskgroup`, inherited by spawned tasks.
     group: Option<Arc<Group>>,
     /// Invariant in `'scope`.
@@ -47,10 +57,11 @@ pub struct Scope<'scope> {
 
 impl<'scope> Scope<'scope> {
     pub(crate) fn from_exec(ec: &ExecCtx<'_>) -> Scope<'scope> {
+        let group = unsafe { ec.rec.as_ref() }.group();
         Scope {
             worker: ec.worker as *const WorkerCtx,
-            node: ec.node.clone(),
-            group: ec.node.group.clone(),
+            rec: ec.rec,
+            group,
             _marker: PhantomData,
         }
     }
@@ -61,6 +72,12 @@ impl<'scope> Scope<'scope> {
         // is executing the task (Scope is !Send), and the WorkerCtx outlives
         // every task execution on that thread.
         unsafe { &*self.worker }
+    }
+
+    #[inline]
+    fn rec(&self) -> &TaskRecord {
+        // Safety: see the field docs — the record outlives the scope.
+        unsafe { self.rec.as_ref() }
     }
 
     /// Index of the worker executing the current task, in `0..num_workers`.
@@ -79,20 +96,20 @@ impl<'scope> Scope<'scope> {
     /// Recursion depth of the current task (region root = 0).
     #[inline]
     pub fn depth(&self) -> u32 {
-        self.node.depth
+        self.rec().depth
     }
 
     /// Is the current task tied?
     #[inline]
     pub fn is_tied(&self) -> bool {
-        self.node.tied
+        self.rec().tied
     }
 
     /// Is the current task final (OpenMP 3.1 `omp_in_final()`)? Children of
     /// a final task are executed inline, unconditionally.
     #[inline]
     pub fn in_final(&self) -> bool {
-        self.node.final_
+        self.rec().final_
     }
 
     /// `#pragma omp task`: spawns a tied, deferred child task.
@@ -111,7 +128,10 @@ impl<'scope> Scope<'scope> {
     /// 2. `if(false)` → run inline, undeferred, but *through* the runtime
     ///    (bookkeeping happens — this is the paper's if-clause cut-off);
     /// 3. runtime cut-off trips → run inline;
-    /// 4. otherwise allocate, link to parent, and push on the local deque.
+    /// 4. otherwise initialise a pooled record, link it to the parent, and
+    ///    push it on the local deque — no heap allocation unless the
+    ///    closure outgrows the record's inline storage or the slab needs a
+    ///    fresh chunk.
     pub fn spawn_with<F>(&self, attrs: TaskAttrs, f: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
@@ -120,7 +140,7 @@ impl<'scope> Scope<'scope> {
         let shared = &*worker.shared;
         let counters = worker.counters();
 
-        if self.node.final_ {
+        if self.rec().final_ {
             WorkerCounters::bump(&counters.inlined_final);
             return self.run_inline(attrs, f);
         }
@@ -128,58 +148,72 @@ impl<'scope> Scope<'scope> {
             WorkerCounters::bump(&counters.inlined_if);
             return self.run_inline(attrs, f);
         }
-        if shared.cutoff_trips(worker.deque.len(), self.node.depth) {
+        if shared.cutoff_trips(worker.deque.len(), self.rec().depth) {
             WorkerCounters::bump(&counters.inlined_cutoff);
             return self.run_inline(attrs, f);
         }
 
-        let node = TaskNode::child_of(&self.node, self.group.clone(), attrs);
-        self.node.add_child();
+        let rec = worker.new_record(Some(self.rec), self.group.clone(), attrs);
+        self.rec().add_child();
         if let Some(g) = &self.group {
             g.join();
         }
-        shared
-            .live
-            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
-        shared
-            .queued
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        shared.queued_delta(worker.index, 1);
         WorkerCounters::bump(&counters.spawned);
 
-        let shim: Box<dyn FnOnce(&ExecCtx<'_>) + Send + 'scope> = Box::new(move |ec| {
-            let scope = Scope::from_exec(ec);
-            f(&scope);
-        });
-        // Safety: lifetime erasure, identical to `rayon::Scope`. The region
-        // master blocks in `Runtime::parallel` until `live == 0`, which
+        // Store the user closure (wrapped to rebuild a scope) in the
+        // record. The `'scope` lifetime is erased by the raw storage —
+        // sound for the same reason as `rayon::Scope`: the region master
+        // blocks in `Runtime::parallel` until the region quiesces, which
         // happens-after this task's closure has returned, so the `'scope`
         // environment outlives every access the closure can make.
-        let shim: Box<dyn FnOnce(&ExecCtx<'_>) + Send + 'static> =
-            unsafe { std::mem::transmute(shim) };
+        unsafe {
+            TaskRecord::store_closure(rec, move |ec: &ExecCtx<'_>| {
+                let scope = Scope::from_exec(ec);
+                f(&scope);
+            });
+        }
 
-        worker.deque.push(
-            Box::new(Task {
-                run: Some(shim),
-                node,
-            })
-            .into_ptr(),
-        );
-        shared.event.notify();
+        worker.deque.push(rec);
+        // One task → at most one extra pair of hands.
+        shared.work.notify_one();
     }
 
-    /// Runs an undeferred (inline / included) task: full node bookkeeping so
-    /// `depth`, tiedness and `final` propagation stay correct, executed
-    /// synchronously on the current stack.
+    /// Runs an undeferred (inline / included) task: full record bookkeeping
+    /// so `depth`, tiedness and `final` propagation stay correct, executed
+    /// synchronously on the current stack. The record carries no closure —
+    /// it exists so children of the inline task see a correct parent chain.
     fn run_inline<F>(&self, attrs: TaskAttrs, f: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
         // No group join/leave: an inline task completes before this returns,
         // so it can never be outstanding at a group wait.
-        let node = TaskNode::child_of(&self.node, self.group.clone(), attrs);
+        let worker = self.worker();
+        let rec = worker.new_record(Some(self.rec), self.group.clone(), attrs);
+
+        // Release the creator handle even on unwind: deferred children may
+        // outlive the inline task, and their parent-chain references (and
+        // ultimately region quiescence) hinge on this release happening.
+        struct ReleaseGuard<'a> {
+            shared: &'a Shared,
+            rec: NonNull<TaskRecord>,
+            index: usize,
+        }
+        impl Drop for ReleaseGuard<'_> {
+            fn drop(&mut self) {
+                self.shared.release_record(self.rec, Some(self.index));
+            }
+        }
+        let _guard = ReleaseGuard {
+            shared: &worker.shared,
+            rec,
+            index: worker.index,
+        };
+
         let child = Scope {
             worker: self.worker,
-            node,
+            rec,
             group: self.group.clone(),
             _marker: PhantomData,
         };
@@ -203,7 +237,7 @@ impl<'scope> Scope<'scope> {
     pub fn taskwait(&self) {
         let worker = self.worker();
         WorkerCounters::bump(&worker.counters().taskwaits);
-        self.wait_until(|| self.node.outstanding() == 0);
+        self.wait_until(|| self.rec().outstanding() == 0);
     }
 
     /// `#pragma omp taskgroup` (OpenMP 3.1 extension): runs `body` inline and
@@ -223,7 +257,7 @@ impl<'scope> Scope<'scope> {
         let group = Group::new();
         let inner: Scope<'inner> = Scope {
             worker: self.worker,
-            node: self.node.clone(),
+            rec: self.rec,
             group: Some(group.clone()),
             _marker: PhantomData,
         };
@@ -249,9 +283,8 @@ impl<'scope> Scope<'scope> {
     /// itself. The region root is exempt: every task in the region descends
     /// from it, so the constraint can never exclude anything there.
     fn constrained(&self) -> bool {
-        self.node.tied
-            && self.worker().shared.config.enforce_tied_constraint
-            && self.node.parent.is_some()
+        let rec = self.rec();
+        rec.tied && self.worker().shared.config.enforce_tied_constraint && rec.parent().is_some()
     }
 
     /// Acquires and executes one task, if the scheduling rules allow it.
@@ -266,8 +299,10 @@ impl<'scope> Scope<'scope> {
         let local = if constrained {
             match worker.pop_local_lifo() {
                 Some(t) => {
-                    let child_node = unsafe { &(*t.as_ptr()).node };
-                    if child_node.descends_from(&self.node) {
+                    // Safety: we hold the popped task's queue handle; its
+                    // parent chain is pinned by per-child references.
+                    let child = unsafe { t.as_ref() };
+                    if child.descends_from(self.rec()) {
                         Some(t)
                     } else {
                         // Not a descendant: put it back for its rightful
@@ -315,15 +350,20 @@ impl<'scope> Scope<'scope> {
             if self.try_run_one(constrained) {
                 continue;
             }
-            // Park until a child completes (or any event).
-            let epoch = shared.event.prepare();
+            // Register on the progress channel and park until the waited
+            // counter drains. New *work* does not wake a parked waiter (the
+            // 2 ms re-probe picks it up); only its own completion signal
+            // does — which is exactly once per wait, not once per task.
+            let token = shared.progress.prepare();
             if done() {
+                shared.progress.cancel();
                 return;
             }
             if !constrained && worker.work_visible() {
+                shared.progress.cancel();
                 continue;
             }
-            shared.event.wait_timeout(epoch, WAIT_PARK_TIMEOUT);
+            shared.progress.wait_timeout(token, WAIT_PARK_TIMEOUT);
         }
     }
 

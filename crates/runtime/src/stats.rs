@@ -36,6 +36,13 @@ pub(crate) struct WorkerCounters {
     pub switched_in_wait: AtomicU64,
     /// Steals skipped because the tied-task constraint forbade them.
     pub tied_steal_denied: AtomicU64,
+    /// Task records drawn from a freshly heap-allocated slab chunk.
+    pub slab_fresh: AtomicU64,
+    /// Task records recycled from a slab free list (zero-allocation spawns).
+    pub slab_recycled: AtomicU64,
+    /// Records freed by a non-owning thread and routed home through a
+    /// slab's cross-thread reclaim stack.
+    pub slab_cross_freed: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -70,6 +77,13 @@ pub struct RuntimeStats {
     pub switched_in_wait: u64,
     /// Steals denied by the tied-task scheduling constraint.
     pub tied_steal_denied: u64,
+    /// Task records carved from fresh slab chunks (pool growth events).
+    pub slab_fresh: u64,
+    /// Task records recycled from slab free lists: spawns that performed
+    /// zero heap allocations.
+    pub slab_recycled: u64,
+    /// Records that flowed home through a cross-thread reclaim stack.
+    pub slab_cross_freed: u64,
 }
 
 impl RuntimeStats {
@@ -85,6 +99,9 @@ impl RuntimeStats {
         self.taskwaits += w.taskwaits.load(Ordering::Relaxed);
         self.switched_in_wait += w.switched_in_wait.load(Ordering::Relaxed);
         self.tied_steal_denied += w.tied_steal_denied.load(Ordering::Relaxed);
+        self.slab_fresh += w.slab_fresh.load(Ordering::Relaxed);
+        self.slab_recycled += w.slab_recycled.load(Ordering::Relaxed);
+        self.slab_cross_freed += w.slab_cross_freed.load(Ordering::Relaxed);
     }
 
     /// Total task-creation points the runtime saw (deferred + every kind of
@@ -118,6 +135,9 @@ impl RuntimeStats {
             taskwaits: self.taskwaits - earlier.taskwaits,
             switched_in_wait: self.switched_in_wait - earlier.switched_in_wait,
             tied_steal_denied: self.tied_steal_denied - earlier.tied_steal_denied,
+            slab_fresh: self.slab_fresh - earlier.slab_fresh,
+            slab_recycled: self.slab_recycled - earlier.slab_recycled,
+            slab_cross_freed: self.slab_cross_freed - earlier.slab_cross_freed,
         }
     }
 }
@@ -127,7 +147,8 @@ impl std::fmt::Display for RuntimeStats {
         write!(
             f,
             "spawned={} inlined(if/cutoff/final)={}/{}/{} executed={} stolen={} \
-             misses={} parks={} taskwaits={} switched={} tied_denied={}",
+             misses={} parks={} taskwaits={} switched={} tied_denied={} \
+             slab(fresh/recycled/cross)={}/{}/{}",
             self.spawned,
             self.inlined_if,
             self.inlined_cutoff,
@@ -139,6 +160,9 @@ impl std::fmt::Display for RuntimeStats {
             self.taskwaits,
             self.switched_in_wait,
             self.tied_steal_denied,
+            self.slab_fresh,
+            self.slab_recycled,
+            self.slab_cross_freed,
         )
     }
 }

@@ -406,10 +406,43 @@ fn panic_in_root_propagates() {
 
 #[test]
 fn tied_constraint_denies_steals_at_taskwait() {
-    // Heavily imbalanced tree of tied tasks; with several workers there is
-    // contention at taskwait, so the tied constraint should fire.
-    let rt = Runtime::new(RuntimeConfig::new(8).with_tied_constraint(true));
-    let _ = run_fib(&rt, 24, 12);
+    // Deterministically stage the denial scenario instead of hoping an
+    // imbalanced tree produces it (on a single-CPU machine it never does):
+    //
+    //   worker 0 runs tied task A, which spawns H and then blocks at
+    //   taskwait; worker 1 steals H, parks visible work D in its own deque
+    //   and lingers, so A's wait loop sees an empty local deque plus
+    //   visible foreign work — exactly what the tied constraint forbids
+    //   taking.
+    let rt = Runtime::new(RuntimeConfig::new(2).with_tied_constraint(true));
+    rt.parallel(|s| {
+        let d_spawned = AtomicU64::new(0);
+        let a_waiting = AtomicU64::new(0);
+        s.taskgroup(|s| {
+            // Tied task A (parent = root task, so the constraint applies).
+            s.spawn(|s| {
+                s.spawn(|h| {
+                    // Child H: runs on the *other* worker (this worker is
+                    // spinning below, so only a thief can pick H up). Park
+                    // some visible work in the thief's deque, then linger
+                    // until A is provably inside its taskwait.
+                    h.spawn(|_| {}); // D: stays queued while H lingers.
+                    d_spawned.store(1, Ordering::Release);
+                    while a_waiting.load(Ordering::Acquire) == 0 {
+                        std::thread::yield_now();
+                    }
+                    // Give A's wait loop time to probe with D still queued.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                });
+                // Don't taskwait until H has been stolen and D is visible.
+                while d_spawned.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+                a_waiting.store(1, Ordering::Release);
+                s.taskwait();
+            });
+        });
+    });
     let stats = rt.stats();
     assert!(
         stats.tied_steal_denied > 0,

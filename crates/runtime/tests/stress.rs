@@ -74,7 +74,7 @@ fn imbalanced_trees_under_all_policies() {
         // nodes(d) = 1 + 3 + nodes(d-1); nodes(0) = 1
         let mut n = 1u64;
         for _ in 0..64 {
-            n = n + 4;
+            n += 4;
         }
         n
     };
@@ -120,4 +120,87 @@ fn wide_flat_fanout() {
         });
     });
     assert_eq!(acc.load(Ordering::Relaxed), 200_000);
+}
+
+/// Fib-shaped spawn tree with no cut-off: every call below `n` is a real
+/// deferred task.
+fn fib_tree(s: &Scope<'_>, n: u64, out: &AtomicU64) {
+    if n < 2 {
+        out.fetch_add(n, Ordering::Relaxed);
+        return;
+    }
+    s.taskgroup(|s| {
+        s.spawn(move |s| fib_tree(s, n - 1, out));
+        s.spawn(move |s| fib_tree(s, n - 2, out));
+    });
+}
+
+/// Call-tree size of `fib_tree(n)`: `2 * fib(n + 1) - 1` nodes.
+fn fib_tree_nodes(n: u64) -> u64 {
+    let (mut a, mut b) = (1u64, 1u64); // fib(1), fib(2)
+    for _ in 1..=n {
+        let c = a + b;
+        a = b;
+        b = c;
+    }
+    2 * a - 1
+}
+
+#[test]
+fn million_task_tree_recycles_records() {
+    // The record-pool acceptance test: a fib-shaped tree of ~1.66M tasks at
+    // every small team size. Exact task accounting must hold, and the slab
+    // must serve almost every spawn from a free list — the pool high-water
+    // mark (fresh records) is bounded by the tree depth and steal traffic,
+    // not by the task count.
+    let n = 29u64; // 1_664_079 nodes
+    let total_nodes = fib_tree_nodes(n);
+    assert!(total_nodes > 1_000_000);
+    let spawned_tasks = total_nodes - 1; // every node but the region root
+
+    let fib_value = {
+        let (mut a, mut b) = (0u64, 1u64);
+        for _ in 0..n {
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        a
+    };
+
+    for threads in [1usize, 2, 4] {
+        let rt = Runtime::with_threads(threads);
+        let before = rt.stats();
+        let out = AtomicU64::new(0);
+        rt.parallel(|s| fib_tree(s, n, &out));
+        assert_eq!(out.load(Ordering::Relaxed), fib_value, "threads={threads}");
+
+        let d = rt.stats().since(&before);
+        assert_eq!(d.spawned, spawned_tasks, "threads={threads}");
+        // `executed` counts the region root task too (it runs through the
+        // same worker execute path, off the injector).
+        assert_eq!(d.executed, spawned_tasks + 1, "threads={threads}");
+        assert_eq!(
+            d.slab_fresh + d.slab_recycled,
+            spawned_tasks,
+            "every spawn drew exactly one record (threads={threads})"
+        );
+        // Steady state must run off the free lists: the pool never grows
+        // anywhere near the task count.
+        assert!(
+            d.slab_fresh < spawned_tasks / 100,
+            "pool grew {} records for {} tasks (threads={threads})",
+            d.slab_fresh,
+            spawned_tasks
+        );
+        assert!(
+            d.slab_recycled > spawned_tasks * 95 / 100,
+            "only {} of {} spawns recycled (threads={threads})",
+            d.slab_recycled,
+            spawned_tasks
+        );
+        if threads == 1 {
+            assert_eq!(d.slab_cross_freed, 0, "no thieves on a team of one");
+        }
+    }
 }

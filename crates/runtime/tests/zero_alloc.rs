@@ -1,0 +1,78 @@
+//! The zero-allocation-spawn acceptance test: once the record pools are
+//! warm, a deferred spawn with an inline-sized closure must perform **zero
+//! heap allocations** — the whole point of the pooled single-block task
+//! records.
+//!
+//! Methodology: the binary installs the counting allocator from
+//! `bots-profile` globally, warms a team up, then times two batches of
+//! regions that differ only in spawn count. Whatever constant number of
+//! allocations a region costs (the boxed root record, mainly), the *extra*
+//! spawns must contribute exactly zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots_profile::alloc_calls;
+use bots_runtime::Runtime;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+/// One region of `batch` empty spawns under a taskgroup.
+fn region(rt: &Runtime, batch: u64) -> u64 {
+    let acc = AtomicU64::new(0);
+    rt.parallel(|s| {
+        let acc = &acc;
+        s.taskgroup(|s| {
+            for _ in 0..batch {
+                s.spawn(move |_| {
+                    acc.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    acc.load(Ordering::Relaxed)
+}
+
+/// Minimum allocation-call count over a few runs of `batch` spawns (minimum,
+/// because an unrelated thread parking at an unlucky moment cannot *remove*
+/// allocations — the floor is the region's true cost).
+fn min_alloc_delta(rt: &Runtime, batch: u64) -> u64 {
+    (0..5)
+        .map(|_| {
+            let before = alloc_calls();
+            assert_eq!(region(rt, batch), batch);
+            alloc_calls() - before
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn steady_state_spawn_allocates_nothing() {
+    let rt = Runtime::with_threads(4);
+
+    // Warm-up: grow the slabs, the deques and the injector once. The warm-up
+    // batch is the *larger* of the two measured batches so no pool growth is
+    // left to attribute to the measurement runs.
+    for _ in 0..3 {
+        region(&rt, 20_000);
+    }
+
+    let small = min_alloc_delta(&rt, 10_000);
+    let large = min_alloc_delta(&rt, 20_000);
+
+    // A region may cost a constant number of allocations (the boxed root
+    // record); 10k extra spawns must cost zero more.
+    assert_eq!(
+        large,
+        small,
+        "10_000 extra steady-state spawns performed {} heap allocations",
+        large as i64 - small as i64
+    );
+    // And that constant itself stays tiny — a handful of allocations for
+    // region setup, nothing proportional to anything.
+    assert!(
+        small <= 8,
+        "a warm region should cost a handful of allocations, not {small}"
+    );
+}

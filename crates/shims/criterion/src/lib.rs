@@ -1,0 +1,226 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of criterion's API that the BOTS benches use: `Criterion`,
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: every `bench_function` runs a short calibration to
+//! pick an iteration count targeting ~50 ms per sample (clamped), then takes
+//! `sample_size` samples and reports min / median / mean, plus throughput
+//! when configured. Set `BOTS_BENCH_FAST=1` to cut sample counts for CI
+//! smoke runs.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured body processes this many logical elements per iteration.
+    Elements(u64),
+    /// The measured body processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Entry point handed to registered benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (ungrouped).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+/// A named set of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures `f` and prints a one-line report.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let name = name.into();
+        let full = if self.name.is_empty() {
+            name
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        let fast = std::env::var("BOTS_BENCH_FAST").is_ok_and(|v| v == "1");
+        let samples = if fast {
+            self.sample_size.min(10)
+        } else {
+            self.sample_size
+        };
+
+        // Calibrate: grow the per-sample iteration count until a sample
+        // takes long enough to time reliably.
+        let target = if fast {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(50)
+        };
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= target || iters >= 1 << 20 {
+                break;
+            }
+            // Aim past the target so the first real sample already clears it.
+            let grow = (target.as_nanos() as u64 * 2) / b.elapsed.as_nanos().max(1) as u64;
+            iters = iters.saturating_mul(grow.clamp(2, 100)).min(1 << 20);
+        }
+
+        let mut per_iter: Vec<f64> = (0..samples)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:>10.3} Melem/s", n as f64 * 1e3 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  thrpt: {:>10.3} MiB/s",
+                    n as f64 / median * 1e9 / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full:<44} time: [{} {} {}]{thr}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+        );
+    }
+
+    /// Ends the group (reporting is per-function; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Timer handed to the measured closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Registers benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` for a set of `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("BOTS_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(fmt_ns(12.3).contains("ns"));
+        assert!(fmt_ns(12_300.0).contains("µs"));
+        assert!(fmt_ns(12_300_000.0).contains("ms"));
+    }
+}

@@ -13,6 +13,7 @@ pub fn n_for(class: InputClass) -> usize {
     class.pick([1 << 16, 1 << 21, 1 << 24, 1 << 26])
 }
 
+#[allow(clippy::unusual_byte_groupings)] // spells "BOTS 0127"
 const SEED: u64 = 0xB0755_0127;
 
 /// Order-independent digest of a multiset of u32s plus a sortedness flag:
@@ -26,7 +27,7 @@ fn digest(sorted: &[u32], original_sum: u64, original_xor: u64) -> (u64, bool) {
         sum = sum.wrapping_add(v as u64);
         xor ^= (v as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .rotate_left((v % 63) as u32);
+            .rotate_left(v % 63);
         if i > 0 && v < prev {
             is_sorted = false;
         }
@@ -45,7 +46,7 @@ fn multiset_tokens(v: &[u32]) -> (u64, u64) {
         sum = sum.wrapping_add(x as u64);
         xor ^= (x as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .rotate_left((x % 63) as u32);
+            .rotate_left(x % 63);
     }
     (sum, xor)
 }

@@ -56,9 +56,7 @@ pub fn quicksort<P: Probe>(p: &P, a: &mut [u32]) {
             a.swap(i, j);
             p.write_shared(2);
             i += 1;
-            if j > 0 {
-                j -= 1;
-            }
+            j = j.saturating_sub(1);
         }
         // j is the end of the left partition (inclusive).
         let mid = j + 1;

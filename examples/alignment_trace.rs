@@ -38,11 +38,7 @@ fn main() {
     println!("score : {}", alignment.score);
     println!("gaps  : {}", alignment.gaps());
     println!();
-    for (a_line, b_line) in top
-        .as_bytes()
-        .chunks(60)
-        .zip(bottom.as_bytes().chunks(60))
-    {
+    for (a_line, b_line) in top.as_bytes().chunks(60).zip(bottom.as_bytes().chunks(60)) {
         println!("orig    {}", String::from_utf8_lossy(a_line));
         let markers: String = a_line
             .iter()
@@ -57,6 +53,14 @@ fn main() {
     // The traceback score must equal the linear-space scorer's.
     let check = align_score(&NullProbe, &original, &mutated);
     assert_eq!(alignment.score, check);
-    let subs = alignment.ops.iter().filter(|o| matches!(o, Op::Sub)).count();
-    println!("{} aligned columns, {} gap columns — scorer agrees ({check}).", subs, alignment.gaps());
+    let subs = alignment
+        .ops
+        .iter()
+        .filter(|o| matches!(o, Op::Sub))
+        .count();
+    println!(
+        "{} aligned columns, {} gap columns — scorer agrees ({check}).",
+        subs,
+        alignment.gaps()
+    );
 }

@@ -31,7 +31,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
-            println!("{:<10}  {:<22}  {}", "app", "domain", "input classes");
+            println!("{:<10}  {:<22}  input classes", "app", "domain");
             for b in registry() {
                 let m = b.meta();
                 let classes: Vec<String> = InputClass::ALL
