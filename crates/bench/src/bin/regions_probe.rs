@@ -1,0 +1,110 @@
+//! Multi-region throughput probe: N client threads each feed M regions to
+//! one worker team through the non-blocking `submit` API, with a bounded
+//! number of regions in flight per client. Reports end-to-end region
+//! throughput (regions/sec) and the cost of the submission call itself
+//! (ns/submit) — the two numbers that characterise the sharded injector
+//! and the region-descriptor machinery under concurrent clients.
+//!
+//! ```text
+//! regions_probe [regions-per-client] [spawns-per-region]
+//! ```
+//!
+//! Sweeps client counts at a fixed team size; `BOTS_BENCH_FAST=1` (the CI
+//! smoke setting) shrinks the workload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots::runtime::Runtime;
+
+/// Regions a client keeps in flight before joining the oldest.
+const WINDOW: usize = 16;
+
+fn main() {
+    let fast = std::env::var("BOTS_BENCH_FAST").is_ok_and(|v| v == "1");
+    let regions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if fast { 50 } else { 400 });
+    let spawns: u64 = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let workers = 4usize;
+
+    println!("workers={workers} regions/client={regions} spawns/region={spawns} window={WINDOW}");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>11}",
+        "clients", "regions/s", "ns/submit", "tasks/s", "parks", "propagated"
+    );
+
+    for clients in [1usize, 2, 4, 8] {
+        let rt = Runtime::with_threads(workers);
+        // Warm the team, the slabs and the injector shards.
+        run_clients(&rt, 1, regions.min(64), spawns);
+
+        let before = rt.stats();
+        let t0 = std::time::Instant::now();
+        let submit_ns = run_clients(&rt, clients, regions, spawns);
+        let elapsed = t0.elapsed();
+        let d = rt.stats().since(&before);
+
+        let total_regions = clients as u64 * regions;
+        let total_tasks = total_regions * spawns;
+        println!(
+            "{:>8} {:>12.0} {:>12.1} {:>12.0} {:>10} {:>11}",
+            clients,
+            total_regions as f64 / elapsed.as_secs_f64(),
+            submit_ns as f64 / total_regions as f64,
+            total_tasks as f64 / elapsed.as_secs_f64(),
+            d.parks,
+            d.wake_propagations,
+        );
+    }
+}
+
+/// Runs the probe workload; returns the summed wall-clock nanoseconds spent
+/// inside `submit` calls across all clients.
+fn run_clients(rt: &Runtime, clients: usize, regions: u64, spawns: u64) -> u64 {
+    let submit_ns = AtomicU64::new(0);
+    std::thread::scope(|ts| {
+        for client in 0..clients as u64 {
+            let rt = &rt;
+            let submit_ns = &submit_ns;
+            ts.spawn(move || {
+                let mut spent = 0u64;
+                let mut window = std::collections::VecDeque::with_capacity(WINDOW);
+                for region in 0..regions {
+                    let t0 = std::time::Instant::now();
+                    let h = rt.submit(move |s| {
+                        let acc = AtomicU64::new(0);
+                        s.taskgroup(|s| {
+                            for task in 0..spawns {
+                                let acc = &acc;
+                                s.spawn(move |_| {
+                                    acc.fetch_add(client ^ task, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                        acc.load(Ordering::Relaxed)
+                    });
+                    spent += t0.elapsed().as_nanos() as u64;
+                    window.push_back((region, h));
+                    if window.len() >= WINDOW {
+                        let (region, h) = window.pop_front().unwrap();
+                        check(h.join(), client, region, spawns);
+                    }
+                }
+                for (region, h) in window {
+                    check(h.join(), client, region, spawns);
+                }
+                submit_ns.fetch_add(spent, Ordering::Relaxed);
+            });
+        }
+    });
+    submit_ns.load(Ordering::Relaxed)
+}
+
+fn check(got: u64, client: u64, region: u64, spawns: u64) {
+    let want: u64 = (0..spawns).map(|task| client ^ task).sum();
+    assert_eq!(got, want, "client {client} region {region} corrupted");
+}

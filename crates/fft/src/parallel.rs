@@ -65,7 +65,27 @@ fn fft_task<'a>(
     // Parallel combine: split x into per-chunk output windows. Chunk c
     // writes x[c*C .. c*C+len) and x[half + c*C .. half + c*C + len), so we
     // hand each task two disjoint windows carved off the two halves.
+    //
+    // The read-only inputs are shared through one borrowed context (8
+    // bytes) instead of being captured piecewise: each chunk closure then
+    // carries 48 bytes and stays within the task record's inline budget —
+    // asserted suite-wide by the spill-telemetry test.
+    struct CombineCx<'c> {
+        even: &'c [C64],
+        odd: &'c [C64],
+        plan: &'c Plan,
+        n: usize,
+        invert: bool,
+    }
     let (even, odd) = scratch.split_at(half);
+    let cx = CombineCx {
+        even,
+        odd,
+        plan,
+        n,
+        invert,
+    };
+    let cx = &cx;
     let (mut lo_rest, mut hi_rest) = x.split_at_mut(half);
     let mut chunk_start = 0;
     s.taskgroup(|s| {
@@ -77,10 +97,10 @@ fn fft_task<'a>(
             hi_rest = hi_tail;
             let base = chunk_start;
             s.spawn_with(attrs, move |_| {
-                for k in 0..len {
-                    let t = plan.twiddle(base + k, n, invert) * odd[base + k];
-                    lo_win[k] = even[base + k] + t;
-                    hi_win[k] = even[base + k] - t;
+                for k in 0..lo_win.len() {
+                    let t = cx.plan.twiddle(base + k, cx.n, cx.invert) * cx.odd[base + k];
+                    lo_win[k] = cx.even[base + k] + t;
+                    hi_win[k] = cx.even[base + k] - t;
                 }
             });
             chunk_start += len;

@@ -78,6 +78,11 @@ pub struct RuntimeConfig {
     /// parking (each attempt probes every other worker once, in a random
     /// rotation).
     pub steal_rounds: usize,
+    /// Wake propagation: a worker that was woken and found work wakes the
+    /// next sleeper while more work stays visible, so bursts ramp the team
+    /// up geometrically instead of one wake per spawn. Disable to measure
+    /// the single-wake baseline.
+    pub wake_propagation: bool,
     /// Spin iterations between failed steal rounds before blocking.
     pub spin_before_park: usize,
     /// Pool-growth granularity: task records per slab chunk. Each worker's
@@ -96,6 +101,7 @@ impl Default for RuntimeConfig {
             cutoff: RuntimeCutoff::None,
             enforce_tied_constraint: true,
             steal_rounds: 4,
+            wake_propagation: true,
             spin_before_park: 64,
             record_chunk: 64,
         }
@@ -151,6 +157,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enables or disables wake propagation.
+    pub fn with_wake_propagation(mut self, enable: bool) -> Self {
+        self.wake_propagation = enable;
+        self
+    }
+
     /// Sets the slab pool-growth granularity (records per chunk).
     pub fn with_record_chunk(mut self, records: usize) -> Self {
         self.record_chunk = records.max(1);
@@ -169,6 +181,7 @@ mod tests {
         assert_eq!(c.local_order, LocalOrder::Lifo);
         assert_eq!(c.cutoff, RuntimeCutoff::None);
         assert!(c.enforce_tied_constraint);
+        assert!(c.wake_propagation);
     }
 
     #[test]
@@ -177,7 +190,9 @@ mod tests {
             .with_local_order(LocalOrder::Fifo)
             .with_cutoff(RuntimeCutoff::MaxTasks { per_worker: 8 })
             .with_tied_constraint(false)
-            .with_steal_rounds(2);
+            .with_steal_rounds(2)
+            .with_wake_propagation(false);
+        assert!(!c.wake_propagation);
         assert_eq!(c.num_threads, 3);
         assert_eq!(c.local_order, LocalOrder::Fifo);
         assert_eq!(c.cutoff, RuntimeCutoff::MaxTasks { per_worker: 8 });

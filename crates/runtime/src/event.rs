@@ -150,8 +150,10 @@ impl EventCount {
         }
     }
 
-    /// Number of currently registered sleepers (approximate).
-    #[allow(dead_code)] // diagnostic accessor, exercised in tests
+    /// Number of currently registered sleepers (approximate). Besides the
+    /// tests, this feeds the worker loop's wake-propagation gate: a freshly
+    /// woken worker only pays for a work-visibility scan (and a possible
+    /// `notify_one`) when somebody is actually left to wake.
     pub fn sleepers(&self) -> usize {
         self.sleepers.load(Ordering::Relaxed)
     }

@@ -1,0 +1,382 @@
+//! The sharded, lock-free injector: how region root tasks enter the team.
+//!
+//! The old injector was one `Mutex<VecDeque>` — fine while a global region
+//! lock admitted a single region at a time, a serial bottleneck the moment
+//! many client threads feed regions concurrently. This version is **one
+//! shard per worker**, each an intrusive Treiber stack threaded through the
+//! records' own [`TaskRecord::next`] links (no queue-node allocation), with
+//! an atomic length mirror per shard so idle probes stay lock-free.
+//!
+//! * **Push** (any thread): submitters pick a shard by hashing their thread
+//!   id — concurrent clients land on different shards with high probability
+//!   and never contend with each other's CAS loop. A push is one relaxed
+//!   hash, one `fetch_add` on the shard's length mirror, and one CAS.
+//! * **Pop** (workers only): a worker probes shards starting from its own.
+//!   It takes a non-empty shard by **swapping the whole stack out**, keeps
+//!   the chain's *tail* — the shard's oldest root, making each shard FIFO —
+//!   and re-publishes the remainder with one push-side CAS. The swap is
+//!   what makes the design ABA-free without tags or deferred reclamation:
+//!   pop never performs the classic `CAS(head, head->next)` on memory
+//!   another thread may have recycled — it only ever exchanges the head
+//!   for null, and a swapped-out chain is owned exclusively by the swapper
+//!   (re-linking it is a plain push, which is ABA-immune).
+//!
+//! A pop hands over exactly **one** root: region roots enter execution only
+//! through the worker main loop, never through the task-switching pops a
+//! blocked `taskwait` performs — a waiting task that adopted a whole
+//! foreign region would nest that region's lifetime under its own frame
+//! (unbounded latency, or deadlock if the foreign root blocks on the
+//! waiter's continuation). Surplus roots therefore stay in the shard,
+//! visible to every idle worker, and wake propagation ramps more workers
+//! up to drain them.
+//!
+//! Ordering within a shard is FIFO (oldest root pops first, so a sustained
+//! submitter cannot starve its own earlier regions); across shards it is
+//! arbitrary (fairness across submitters comes from the sharding itself
+//! plus the workers' rotating probe start). The length mirror is
+//! incremented *before* the push CAS and decremented by the exact pop
+//! count, so it can transiently over-count but never under-counts: a probe
+//! that sees zero may trust it.
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use crate::local::CacheAligned;
+use crate::task::TaskRecord;
+
+/// One injector shard: an intrusive Treiber stack plus its length mirror.
+#[derive(Default)]
+struct Shard {
+    /// Stack head, linked through [`TaskRecord::next`].
+    head: AtomicPtr<TaskRecord>,
+    /// Mirror of the shard's population for lock-free idle probes. May
+    /// transiently exceed the true count (never trail it): incremented
+    /// before the CAS that publishes a record, decremented by drains.
+    len: AtomicUsize,
+}
+
+/// The team's sharded injector; see the module docs.
+pub(crate) struct Injector {
+    shards: Box<[CacheAligned<Shard>]>,
+}
+
+impl Injector {
+    /// One shard per worker.
+    pub(crate) fn new(workers: usize) -> Injector {
+        Injector {
+            shards: (0..workers.max(1))
+                .map(|_| CacheAligned::default())
+                .collect(),
+        }
+    }
+
+    /// Pushes a region root onto the shard for `slot` (callers pass a
+    /// submitter-derived hash; any value works, it is reduced modulo the
+    /// shard count).
+    ///
+    /// The caller transfers the record's queue handle to the injector.
+    pub(crate) fn push(&self, rec: NonNull<TaskRecord>, slot: usize) {
+        let shard = &self.shards[slot % self.shards.len()].0;
+        // Length first: over-counting is benign (a spurious probe), a probe
+        // seeing 0 while a record is published would be a missed wake-up.
+        shard.len.fetch_add(1, Ordering::Release);
+        let mut head = shard.head.load(Ordering::Relaxed);
+        loop {
+            // Safety: we own the record until the CAS publishes it; `next`
+            // is free for queue use while the record sits in a queue.
+            unsafe { rec.as_ref().next.store(head, Ordering::Relaxed) };
+            match shard.head.compare_exchange_weak(
+                head,
+                rec.as_ptr(),
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(cur) => head = cur,
+            }
+        }
+    }
+
+    /// Lock-free idle probe: is any shard (probably) non-empty?
+    pub(crate) fn is_probably_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.0.len.load(Ordering::Acquire) == 0)
+    }
+
+    /// Pops the **oldest** region root from the first non-empty shard,
+    /// probing from `start` so each worker prefers its own shard. The rest
+    /// of the swapped-out chain is re-published onto the shard before
+    /// returning (see the module docs for why a pop never hands over more
+    /// than one root).
+    ///
+    /// Taking the chain's tail makes each shard FIFO: a pop swaps the
+    /// *entire* stack out, so the shard's globally oldest root is always in
+    /// the swapped chain and is always the one taken — a sustained
+    /// submitter can never starve its own earlier regions the way a
+    /// take-newest stack pop would (the old `Mutex<VecDeque>` injector's
+    /// `pop_front` guarantee, preserved).
+    pub(crate) fn pop(&self, start: usize) -> Option<NonNull<TaskRecord>> {
+        let n = self.shards.len();
+        for k in 0..n {
+            let shard = &self.shards[(start + k) % n].0;
+            if shard.len.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let head = shard.head.swap(std::ptr::null_mut(), Ordering::Acquire);
+            let Some(newest) = NonNull::new(head) else {
+                // Raced with another popper (or the pushing submitter has
+                // bumped the length but not yet published): move on.
+                continue;
+            };
+            // The chain is exclusively ours (newest first). Walk to the
+            // tail — the oldest root — and sever it; everything before it
+            // is re-published.
+            let mut pred: Option<NonNull<TaskRecord>> = None;
+            let mut oldest = newest;
+            while let Some(next) =
+                NonNull::new(unsafe { oldest.as_ref() }.next.load(Ordering::Relaxed))
+            {
+                pred = Some(oldest);
+                oldest = next;
+            }
+            if let Some(pred) = pred {
+                // Splice `newest..=pred` back under whatever has been
+                // pushed meanwhile (a plain push-side CAS, no ABA
+                // exposure: the chain is unreachable to anyone else until
+                // the CAS publishes it).
+                let mut cur = shard.head.load(Ordering::Relaxed);
+                loop {
+                    unsafe { pred.as_ref().next.store(cur, Ordering::Relaxed) };
+                    match shard.head.compare_exchange_weak(
+                        cur,
+                        newest.as_ptr(),
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+            shard.len.fetch_sub(1, Ordering::Release);
+            return Some(oldest);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Loom-style interleaving tests, hand-staged with real threads: the
+    //! invariant under test is that no record pushed by any submitter is
+    //! ever lost or duplicated, whatever the interleaving of concurrent
+    //! pushes and drains.
+
+    use super::*;
+    use crate::task::{TaskAttrs, TaskRecord};
+    use std::collections::HashSet;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, Mutex};
+
+    fn boxed_record() -> NonNull<TaskRecord> {
+        let slot = NonNull::new(Box::into_raw(Box::new(MaybeUninit::<TaskRecord>::uninit())))
+            .unwrap()
+            .cast::<TaskRecord>();
+        unsafe {
+            TaskRecord::init(
+                slot,
+                None,
+                None,
+                std::ptr::null(),
+                crate::task::HOME_BOXED,
+                TaskAttrs::tied(),
+            )
+        };
+        slot
+    }
+
+    fn free_record(rec: NonNull<TaskRecord>) {
+        assert_eq!(unsafe { rec.as_ref() }.release_ref(), 1);
+        unsafe {
+            drop(Box::from_raw(
+                rec.as_ptr().cast::<MaybeUninit<TaskRecord>>(),
+            ))
+        };
+    }
+
+    /// Pop everything the injector holds right now into a vec.
+    fn drain_all(inj: &Injector) -> Vec<NonNull<TaskRecord>> {
+        let mut out = Vec::new();
+        while let Some(rec) = inj.pop(0) {
+            out.push(rec);
+        }
+        out
+    }
+
+    #[test]
+    fn push_then_drain_round_trips() {
+        let inj = Injector::new(3);
+        let recs: Vec<_> = (0..10).map(|_| boxed_record()).collect();
+        for (i, &r) in recs.iter().enumerate() {
+            inj.push(r, i); // spread across shards
+        }
+        assert!(!inj.is_probably_empty());
+        let got = drain_all(&inj);
+        assert_eq!(got.len(), 10);
+        let want: HashSet<usize> = recs.iter().map(|r| r.as_ptr() as usize).collect();
+        let have: HashSet<usize> = got.iter().map(|r| r.as_ptr() as usize).collect();
+        assert_eq!(want, have, "no record lost or duplicated");
+        assert!(inj.is_probably_empty());
+        for r in got {
+            free_record(r);
+        }
+    }
+
+    #[test]
+    fn shard_pops_are_fifo() {
+        // Per-shard progress guarantee: the oldest root always pops first,
+        // even when new pushes interleave with pops.
+        let inj = Injector::new(1);
+        let recs: Vec<_> = (0..6).map(|_| boxed_record()).collect();
+        for &r in &recs[..4] {
+            inj.push(r, 0);
+        }
+        for &r in &recs[..2] {
+            assert_eq!(inj.pop(0).unwrap().as_ptr(), r.as_ptr(), "oldest first");
+        }
+        for &r in &recs[4..] {
+            inj.push(r, 0); // newer arrivals must not jump the queue
+        }
+        for &r in &recs[2..] {
+            assert_eq!(inj.pop(0).unwrap().as_ptr(), r.as_ptr(), "oldest first");
+        }
+        assert!(inj.pop(0).is_none());
+        for r in recs {
+            free_record(r);
+        }
+    }
+
+    #[test]
+    fn empty_pop_returns_none() {
+        let inj = Injector::new(2);
+        assert!(inj.is_probably_empty());
+        assert!(inj.pop(1).is_none());
+    }
+
+    #[test]
+    fn pop_hands_over_one_root_and_republishes_the_rest() {
+        // The no-foreign-region-nesting contract: however many roots sit on
+        // one shard, a pop yields exactly one and the rest stay poppable by
+        // everyone else.
+        let inj = Injector::new(1);
+        let recs: Vec<_> = (0..5).map(|_| boxed_record()).collect();
+        for &r in &recs {
+            inj.push(r, 0);
+        }
+        let first = inj.pop(0).expect("five queued");
+        assert!(
+            !inj.is_probably_empty(),
+            "remainder must be back on the shard"
+        );
+        let rest = drain_all(&inj);
+        assert_eq!(rest.len(), 4);
+        let mut all: Vec<usize> = rest
+            .iter()
+            .chain([&first])
+            .map(|r| r.as_ptr() as usize)
+            .collect();
+        all.sort_unstable();
+        let mut want: Vec<usize> = recs.iter().map(|r| r.as_ptr() as usize).collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
+        for r in rest.into_iter().chain([first]) {
+            free_record(r);
+        }
+    }
+
+    #[test]
+    fn single_shard_team_still_works() {
+        let inj = Injector::new(1);
+        let a = boxed_record();
+        let b = boxed_record();
+        inj.push(a, 17); // any slot value reduces onto the only shard
+        inj.push(b, 3);
+        let got = drain_all(&inj);
+        assert_eq!(got.len(), 2);
+        for r in got {
+            free_record(r);
+        }
+    }
+
+    /// Concurrent submitters vs concurrent drainers, interleaved for a
+    /// while: every pushed record comes out exactly once.
+    #[test]
+    fn concurrent_push_pop_loses_nothing() {
+        const PUSHERS: usize = 4;
+        const PER_PUSHER: usize = 500;
+        let inj = Arc::new(Injector::new(4));
+        let seen = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let drainers: Vec<_> = (0..2)
+            .map(|d| {
+                let inj = inj.clone();
+                let seen = seen.clone();
+                let done = done.clone();
+                std::thread::spawn(move || loop {
+                    let mut batch = Vec::new();
+                    while let Some(rec) = inj.pop(d) {
+                        batch.push(rec.as_ptr() as usize);
+                    }
+                    if !batch.is_empty() {
+                        seen.lock().unwrap().extend(batch);
+                    } else if done.load(Ordering::Acquire) && inj.is_probably_empty() {
+                        return;
+                    }
+                    std::thread::yield_now();
+                })
+            })
+            .collect();
+
+        let mut all = Vec::new();
+        let pushers: Vec<_> = (0..PUSHERS)
+            .map(|p| {
+                let inj = inj.clone();
+                let recs: Vec<usize> = (0..PER_PUSHER)
+                    .map(|_| boxed_record().as_ptr() as usize)
+                    .collect();
+                all.extend(recs.iter().copied());
+                std::thread::spawn(move || {
+                    for &r in &recs {
+                        inj.push(NonNull::new(r as *mut TaskRecord).unwrap(), p);
+                        if r % 7 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in pushers {
+            h.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        for h in drainers {
+            h.join().unwrap();
+        }
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), PUSHERS * PER_PUSHER, "records lost");
+        let unique: HashSet<usize> = seen.iter().copied().collect();
+        assert_eq!(unique.len(), seen.len(), "records duplicated");
+        assert_eq!(
+            unique,
+            all.into_iter().collect::<HashSet<usize>>(),
+            "drained set differs from pushed set"
+        );
+        for &r in &unique {
+            free_record(NonNull::new(r as *mut TaskRecord).unwrap());
+        }
+    }
+}

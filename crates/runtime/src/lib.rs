@@ -2,7 +2,10 @@
 //!
 //! This crate is the execution substrate of the BOTS reproduction: a
 //! from-scratch work-stealing runtime whose surface mirrors the OpenMP 3.0
-//! tasking model that the Barcelona OpenMP Tasks Suite was written against.
+//! tasking model that the Barcelona OpenMP Tasks Suite was written against —
+//! grown into a **concurrent multi-region runtime**: one worker team serves
+//! any number of parallel regions at once, fed by any number of client
+//! threads.
 //!
 //! ```
 //! use bots_runtime::{Runtime, RuntimeConfig, TaskAttrs};
@@ -12,20 +15,30 @@
 //!     // `parallel` is an OpenMP parallel region + single construct: this
 //!     // closure is the region's root task.
 //!     s.spawn(|_| { /* #pragma omp task */ });
-//!     s.spawn_with(TaskAttrs::untied(), |_| { /* untied task */ });
+//!     s.spawn_with(TaskAttrs::untied(), |s| { /* untied task */ });
 //!     s.taskwait();                       // #pragma omp taskwait
 //!     1 + 2
 //! });
 //! assert_eq!(total, 3);
+//!
+//! // The non-blocking form: submit regions from any thread, join later.
+//! let a = rt.submit(|_| 40);
+//! let b = rt.submit(|_| 2);
+//! assert_eq!(a.join() + b.join(), 42);
 //! ```
 //!
 //! ## What is modelled, and how faithfully
 //!
 //! * **Tasks** are pooled, refcounted 128-byte records (closure stored
 //!   inline, recycled through per-worker slabs — a steady-state spawn makes
-//!   **zero heap allocations**) queued on per-worker [Chase-Lev
-//!   deques](deque); idle workers steal the oldest task from a random
-//!   victim.
+//!   **zero heap allocations**, and [`RuntimeStats::closure_spilled`] counts
+//!   the exceptions) queued on per-worker [Chase-Lev deques](deque); idle
+//!   workers steal the oldest task from a random victim.
+//! * **Regions** are first-class and concurrent: each
+//!   [`submit`](Runtime::submit)/[`parallel`](Runtime::parallel) call gets
+//!   its own region descriptor (root task, quiescence refcount, panic slot,
+//!   stats attribution), its root enters the team through a sharded
+//!   lock-free injector, and a panic stays inside the region that raised it.
 //! * **Tied vs untied** ([`TaskAttrs`]): a task always runs start-to-finish
 //!   on one OS thread (icc 11.0, the paper's runtime, did not implement
 //!   thread switching either). The difference is the *task scheduling
@@ -50,12 +63,16 @@
 //! | [`deque`] | Chase-Lev work-stealing deque |
 //! | `task` | pooled single-block task records, refcounted lifecycle |
 //! | `slab` | per-worker record free lists + cross-thread reclaim |
+//! | `injector` | sharded lock-free injector feeding region roots to the team |
+//! | `region` | per-region descriptors: root, panic slot, attribution |
 //! | `event` | sleeper-gated event count (no shared writes to notify) |
-//! | [`pool`](Runtime) | worker threads, injector, region lifecycle |
+//! | [`pool`](Runtime) | worker threads, submit/join, region lifecycle |
 //! | [`scope`](Scope) | `spawn` / `taskwait` / `parallel_for` |
 //! | [`config`](RuntimeConfig) | policy, cut-off & pool-sizing knobs |
-//! | [`stats`](RuntimeStats) | per-worker counters (steals, parks, slab recycling) |
+//! | [`stats`](RuntimeStats) | per-worker counters (steals, parks, spills, wake propagation) |
 //! | [`local`](WorkerLocal) | `threadprivate`-style per-worker storage |
+//!
+//! [`RuntimeStats::closure_spilled`]: crate::RuntimeStats::closure_spilled
 
 #![warn(missing_docs)]
 
@@ -64,8 +81,10 @@ mod event;
 mod rng;
 
 mod config;
+mod injector;
 mod local;
 mod pool;
+mod region;
 mod scope;
 mod slab;
 mod stats;
@@ -73,7 +92,8 @@ mod task;
 
 pub use config::{default_threads, LocalOrder, RuntimeConfig, RuntimeCutoff};
 pub use local::{CacheAligned, WorkerCounter, WorkerLocal};
-pub use pool::Runtime;
+pub use pool::{RegionHandle, Runtime};
+pub use region::RegionStats;
 pub use scope::Scope;
 pub use stats::RuntimeStats;
 pub use task::TaskAttrs;

@@ -1,13 +1,25 @@
 //! The worker pool and execution engine.
 //!
 //! A [`Runtime`] owns a team of worker threads, one Chase-Lev deque per
-//! worker, one record slab per worker, and a global injector queue.
-//! [`Runtime::parallel`] models an OpenMP `parallel` region whose body runs
-//! under a `single` construct: the closure executes exactly once, as the
-//! region's *root task*, on whichever worker grabs it first; every other
-//! worker immediately enters the work-stealing loop. Tasks spawned inside
-//! the region are distributed by work stealing until the region quiesces,
-//! at which point `parallel` returns.
+//! worker, one record slab per worker, and a sharded lock-free injector
+//! (one shard per worker). The team serves an **arbitrary number of
+//! parallel regions concurrently**: any thread may call
+//! [`Runtime::submit`], which hashes the submitter onto an injector shard,
+//! publishes the region's root task there, and returns a [`RegionHandle`]
+//! immediately — no lock is taken, no worker is parked, and no other
+//! region is affected. [`Runtime::parallel`] is exactly
+//! `submit(f).join()`: it blocks the calling thread (never a worker) until
+//! the region quiesces and returns the root closure's value.
+//!
+//! ## Region descriptors
+//!
+//! Everything scoped to one region lives in a [`Region`]
+//! descriptor, not in the team-wide `Shared` block: the root record (whose
+//! refcount is the quiescence signal), the panic slot (a panic in region A
+//! is re-raised by A's joiner and invisible to region B), and per-worker
+//! attribution counters. Tasks find their region through a pointer carried
+//! by every record, so the worker loop itself is region-agnostic: it pops
+//! whatever task is next, whichever region it belongs to.
 //!
 //! ## The zero-allocation, low-contention spawn path
 //!
@@ -16,25 +28,37 @@
 //! 1. a [`TaskRecord`] is popped from the spawning worker's free-list slab
 //!    ([`crate::slab`]) — no `malloc`;
 //! 2. the closure is written inline into the record (or spilled to one box
-//!    when it exceeds [`crate::task::INLINE_BYTES`]);
+//!    when it exceeds [`crate::task::INLINE_BYTES`] — counted in
+//!    [`RuntimeStats::closure_spilled`] so kernels can assert they never
+//!    spill);
 //! 3. parent/child counters are updated on the *record*, whose cache lines
 //!    are private to the spawning task's lineage;
 //! 4. the record is pushed on the worker's own deque;
-//! 5. [`EventCount::notify`] checks for sleepers with a fence + load and
-//!    issues no wake (and no shared write) when everyone is busy.
+//! 5. [`EventCount::notify_one`] checks for sleepers with a fence + load
+//!    and issues no wake (and no shared write) when everyone is busy.
 //!
 //! ## Region quiescence without a global live counter
 //!
-//! The old design kept `live`/`queued` counts in two `Shared` atomics that
-//! every spawn and completion contended on. Liveness is now derived from
-//! the record refcounts themselves: each child record holds one reference
-//! on its parent for as long as the *child record* exists, so the root
-//! record's count can only fall to the master's lone handle once every
-//! descendant record has been destroyed — i.e. exactly at quiescence. The
-//! region master polls the root's count (wake-ups arrive through the event
-//! count like any other sleeper). The `queued` count survives only for the
-//! `MaxTasks`/`Adaptive` cut-offs, sharded per worker and summed on demand
-//! — and is not maintained at all under other cut-off policies.
+//! Liveness is derived from the record refcounts themselves: each child
+//! record holds one reference on its parent for as long as the *child
+//! record* exists, so a root record's count can only fall to the joiner's
+//! lone handle once every descendant record has been destroyed — i.e.
+//! exactly at quiescence. The joiner polls its own region's root (wake-ups
+//! arrive through the progress event count); concurrent regions quiesce
+//! independently because each has its own root. The `queued` count
+//! survives only for the `MaxTasks`/`Adaptive` cut-offs, sharded per
+//! worker and summed on demand — and is deliberately *global across
+//! regions*: it is a machine-load heuristic, so tasks from every region
+//! count against the same budget.
+//!
+//! ## Wake-ups: one at a time, then geometric ramp-up
+//!
+//! A spawn wakes at most one sleeper. A worker that was just woken and
+//! finds work checks whether *more* work is still visible (non-empty
+//! injector shards or a non-empty victim deque) and if so wakes the next
+//! sleeper before executing — each wake can fan out to one more, giving a
+//! herd-free geometric ramp-up instead of a thundering herd or a one-task
+//! trickle.
 //!
 //! ## Scheduling points
 //!
@@ -45,18 +69,21 @@
 //! while it waits at a `taskwait` (the task scheduling constraint), not
 //! thread migration — matching the icc 11.0 behaviour the paper evaluates
 //! (no thread switching).
+//!
+//! [`RuntimeStats::closure_spilled`]: crate::RuntimeStats::closure_spilled
 
-use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::config::{LocalOrder, RuntimeConfig, RuntimeCutoff};
 use crate::deque::{deque, Steal, Stealer, TaskDeque};
 use crate::event::EventCount;
+use crate::injector::Injector;
 use crate::local::CacheAligned;
+use crate::region::{Region, RegionStats};
 use crate::rng::XorShift64;
 use crate::scope::Scope;
 use crate::slab::{AllocSource, RecordSlab};
@@ -77,22 +104,21 @@ const PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(2);
 /// has work, and the parked-worker safety net catches the rest.
 const MAX_STEAL_RETRIES: usize = 4;
 
-/// State shared by the team, the region master and all scopes.
+/// State shared by the team and every region submitter/joiner. Everything
+/// here is *team-scoped*; region-scoped state lives in [`Region`].
 pub(crate) struct Shared {
     pub(crate) config: RuntimeConfig,
     /// Thief handles, indexed by worker.
     pub(crate) stealers: Vec<Stealer<TaskRecord>>,
-    /// Global queue; region root tasks enter here.
-    pub(crate) injector: Mutex<VecDeque<NonNull<TaskRecord>>>,
-    /// Mirror of `injector.len()`, so idle probes never take the lock.
-    pub(crate) injector_len: AtomicUsize,
+    /// Sharded lock-free injector; region root tasks enter here.
+    pub(crate) injector: Injector,
     /// Work-availability channel: notified on every deferred-task push (and
     /// shutdown). Idle workers park here.
     pub(crate) work: EventCount,
     /// Progress channel: notified only on *zero transitions* — a task's last
     /// child completing, a taskgroup draining, a root record's refcount
-    /// falling to the master's handle — plus shutdown. Taskwaiters and the
-    /// region master park here, so a completion storm costs no wakes until
+    /// falling to the joiner's handle — plus shutdown. Taskwaiters and
+    /// region joiners park here, so a completion storm costs no wakes until
     /// the final one that matters.
     pub(crate) progress: EventCount,
     /// Deferred-but-unstarted task count, sharded per worker (spawners add
@@ -102,10 +128,13 @@ pub(crate) struct Shared {
     pub(crate) queued_shards: Vec<CacheAligned<AtomicIsize>>,
     /// Does the configured cut-off need the global queued count?
     pub(crate) track_queued: bool,
-    /// Hysteresis state for the adaptive cut-off.
+    /// Hysteresis state for the adaptive cut-off (global across regions,
+    /// like the queued count it watches).
     pub(crate) adaptive_serializing: AtomicBool,
-    /// First panic payload observed in the region.
-    pub(crate) panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Root closures that outgrew the record's inline payload (submitting
+    /// threads have no worker counter block; folded into
+    /// `RuntimeStats::closure_spilled`).
+    pub(crate) root_spilled: AtomicU64,
     /// Team shutdown flag (checked by parked workers).
     pub(crate) shutdown: AtomicBool,
     /// Per-worker statistics.
@@ -165,27 +194,20 @@ impl Shared {
     }
 
     /// Adjusts the caller's queued-count shard (no-op unless the cut-off
-    /// policy consumes the count). `shard` is a worker index, or 0 for the
-    /// region master's root push — any shard works, the sum is what counts.
+    /// policy consumes the count). `shard` is a worker index, or any hash
+    /// for submitting threads — the sum is what counts.
     #[inline]
     pub(crate) fn queued_delta(&self, shard: usize, delta: isize) {
         if self.track_queued {
-            self.queued_shards[shard]
+            self.queued_shards[shard % self.queued_shards.len()]
                 .0
                 .fetch_add(delta, Ordering::Relaxed);
         }
     }
 
-    /// Pushes a region root task into the injector.
-    pub(crate) fn push_injector(&self, rec: NonNull<TaskRecord>) {
-        let mut q = self.injector.lock().unwrap();
-        q.push_back(rec);
-        self.injector_len.store(q.len(), Ordering::Release);
-    }
-
     /// Drops one reference on `rec`, destroying it (and cascading up the
     /// parent chain) when it was the last. `worker_index` is the calling
-    /// worker, or `None` when called from the region master.
+    /// worker, or `None` when called from a region joiner.
     ///
     /// Destruction routes the record home: to the owner's local free list
     /// when the caller *is* the owner, onto the owner's cross-thread reclaim
@@ -197,12 +219,12 @@ impl Shared {
             // Snapshot before releasing: `parent` is immutable after init,
             // but once our reference is gone the remaining holder may
             // destroy the record concurrently (for a root, the spin-polling
-            // region master frees it the instant it observes refs == 1), so
+            // region joiner frees it the instant it observes refs == 1), so
             // `r` must not be touched after a release that was not the last.
             let parent = r.parent();
             match r.release_ref() {
                 1 => {}
-                // Root records: the drop to the master's lone handle is the
+                // Root records: the drop to the joiner's lone handle is the
                 // region-quiescence signal.
                 2 if parent.is_none() => {
                     self.progress.notify();
@@ -256,7 +278,8 @@ impl WorkerCtx {
         &self.shared.counters[self.index]
     }
 
-    /// Allocates and initialises a record from this worker's slab.
+    /// Allocates and initialises a record from this worker's slab. The
+    /// record inherits its region from `parent`.
     #[inline]
     pub(crate) fn new_record(
         &self,
@@ -271,8 +294,18 @@ impl WorkerCtx {
             AllocSource::Recycled => WorkerCounters::bump(&counters.slab_recycled),
             AllocSource::Fresh => WorkerCounters::bump(&counters.slab_fresh),
         }
-        // Safety: the slot came from our slab and is free; parent is live.
-        unsafe { TaskRecord::init(rec, parent, group, self.index as u32, attrs) };
+        // Safety: the slot came from our slab and is free; parent is live
+        // (and carries the region pointer the child inherits).
+        unsafe {
+            TaskRecord::init(
+                rec,
+                parent,
+                group,
+                std::ptr::null(),
+                self.index as u16,
+                attrs,
+            )
+        };
         rec
     }
 
@@ -290,17 +323,14 @@ impl WorkerCtx {
         self.deque.pop()
     }
 
-    /// Takes a region root from the injector. The unlocked length probe
-    /// keeps the common case (empty injector) lock-free.
+    /// Takes one region root from the injector (own shard probed first).
+    /// Only the worker main loop calls this — roots never enter through the
+    /// task-switching pops of a blocked taskwait, so a waiting task cannot
+    /// nest a foreign region under its own frame. Lock-free end to end; the
+    /// per-shard length mirrors keep the common case (empty injector) to a
+    /// handful of loads.
     pub(crate) fn pop_injector(&self) -> Option<NonNull<TaskRecord>> {
-        let shared = &*self.shared;
-        if shared.injector_len.load(Ordering::Acquire) == 0 {
-            return None;
-        }
-        let mut q = shared.injector.lock().unwrap();
-        let rec = q.pop_front();
-        shared.injector_len.store(q.len(), Ordering::Release);
-        rec
+        self.shared.injector.pop(self.index)
     }
 
     /// One round of stealing: probes every other worker once, starting at a
@@ -345,13 +375,13 @@ impl WorkerCtx {
     }
 
     /// Is any work visible anywhere? Used to re-check before parking.
-    /// Entirely lock-free: own deque length, the injector's atomic length
-    /// mirror, and the other deques' stealer-side lengths.
+    /// Entirely lock-free: own deque length, the injector shards' length
+    /// mirrors, and the other deques' stealer-side lengths.
     pub(crate) fn work_visible(&self) -> bool {
         if !self.deque.is_empty() {
             return true;
         }
-        if self.shared.injector_len.load(Ordering::Acquire) > 0 {
+        if !self.shared.injector.is_probably_empty() {
             return true;
         }
         self.shared
@@ -361,9 +391,31 @@ impl WorkerCtx {
             .any(|(i, s)| i != self.index && !s.is_empty())
     }
 
+    /// Wake propagation: a worker that was just woken and found work wakes
+    /// the next sleeper if more work is still visible, so a burst of
+    /// submissions ramps the team up geometrically (1 → 2 → 4 → ...)
+    /// instead of waking one worker per event or the whole herd at once.
+    #[inline]
+    fn propagate_wake(&self, just_woke: &mut bool) {
+        if !*just_woke {
+            return;
+        }
+        *just_woke = false;
+        let shared = &*self.shared;
+        if !shared.config.wake_propagation {
+            return;
+        }
+        // Cheapest check first: with nobody left asleep there is nothing to
+        // propagate, whatever the queues look like.
+        if shared.work.sleepers() > 0 && self.work_visible() {
+            shared.work.notify_one();
+            WorkerCounters::bump(&self.counters().wake_propagations);
+        }
+    }
+
     /// Executes a deferred task to completion and performs end-of-task
-    /// bookkeeping (parent child-count, group membership, record release,
-    /// wake-ups).
+    /// bookkeeping (parent child-count, group membership, region
+    /// attribution, record release, wake-ups).
     pub(crate) fn execute(&self, rec: NonNull<TaskRecord>) {
         let shared = &*self.shared;
         shared.queued_delta(self.index, -1);
@@ -371,23 +423,31 @@ impl WorkerCtx {
         WorkerCounters::bump(&counters.executed);
 
         // Safety: we hold the queue handle; the record is live until we
-        // release it below.
+        // release it below, and its region outlives it (see crate::region).
         let r = unsafe { rec.as_ref() };
+        let region = unsafe { r.region().as_ref() };
         let invoke = r.take_invoke().expect("task executed twice");
         let ec = ExecCtx { worker: self, rec };
         let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { invoke(rec, &ec) }));
         if let Err(payload) = outcome {
-            let mut slot = shared.panic.lock().unwrap_or_else(|e| e.into_inner());
-            if slot.is_none() {
-                *slot = Some(payload);
+            match region {
+                // Per-region capture: the payload is re-raised by this
+                // region's joiner and nobody else's.
+                Some(region) => region.store_panic(payload),
+                // Only synthetic unit-test records have no region; they
+                // never execute user closures.
+                None => drop(payload),
             }
+        }
+        if let Some(region) = region {
+            WorkerCounters::bump(&region.shard(self.index).executed);
         }
 
         // Completion: a task does *not* wait for its children (that is what
         // taskwait is for); it only reports its own termination. Waiters are
         // woken only on the transitions they block on: the group draining,
         // the parent's child count reaching zero, a root refcount falling to
-        // the master's handle (inside `release_record`). Each notify follows
+        // the joiner's handle (inside `release_record`). Each notify follows
         // its counter update, so a woken waiter observes the progress.
         if let Some(group) = r.take_group() {
             if group.leave() {
@@ -411,34 +471,56 @@ pub(crate) struct ExecCtx<'w> {
     pub(crate) rec: NonNull<TaskRecord>,
 }
 
-/// A raw pointer that asserts `Send`, for smuggling a stack slot into the
-/// lifetime-erased root shim. Sound because `Runtime::parallel` blocks until
-/// the shim has run.
-struct SendPtr<T>(*const T);
-unsafe impl<T> Send for SendPtr<T> {}
-
-impl<T> SendPtr<T> {
-    /// Accessor (rather than field access) so closures capture the whole
-    /// `Send` wrapper, not the raw pointer field.
-    fn get(&self) -> *const T {
-        self.0
+/// Injector shard affinity for the calling (submitting) thread: a cached
+/// hash of the thread id, so concurrent clients land on different shards
+/// with high probability and a thread's submissions stay on one shard.
+fn submitter_slot() -> usize {
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
     }
+    SLOT.with(|cached| {
+        let mut slot = cached.get();
+        if slot == usize::MAX {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            // Cast before shifting so the top bit is cleared at every
+            // pointer width — the result can never hit the sentinel.
+            slot = (h.finish() as usize) >> 1;
+            cached.set(slot);
+        }
+        slot
+    })
+}
+
+thread_local! {
+    /// The `Shared` block of the team this thread is a worker of, if any.
+    /// Set once at worker start; lets blocking entry points reject being
+    /// called from a task of the same runtime (a worker parked in a region
+    /// join cannot task-switch, so the wait could deadlock the team).
+    static WORKER_OF: std::cell::Cell<*const Shared> =
+        const { std::cell::Cell::new(std::ptr::null()) };
 }
 
 /// A team of worker threads implementing the OpenMP 3.0 task execution
-/// model. See the [crate docs](crate) for an overview and
-/// [`Runtime::parallel`] for the entry point.
+/// model, serving any number of concurrent parallel regions. See the
+/// [crate docs](crate) for an overview, [`Runtime::parallel`] for the
+/// blocking entry point and [`Runtime::submit`] for the non-blocking one.
 pub struct Runtime {
     shared: Arc<Shared>,
     handles: Vec<std::thread::JoinHandle<()>>,
-    /// Serialises concurrent `parallel()` calls: one region at a time.
-    region_lock: Mutex<()>,
 }
 
 impl Runtime {
     /// Builds a team from an explicit configuration.
     pub fn new(config: RuntimeConfig) -> Self {
         let n = config.num_threads;
+        // `TaskRecord::home` is a u16 with HOME_BOXED reserved: a worker
+        // index that aliased it would route record frees to Box::from_raw.
+        assert!(
+            n < HOME_BOXED as usize,
+            "team size {n} exceeds the record home-index range"
+        );
         let track_queued = matches!(
             config.cutoff,
             RuntimeCutoff::MaxTasks { .. } | RuntimeCutoff::Adaptive { .. }
@@ -452,14 +534,13 @@ impl Runtime {
         }
         let shared = Arc::new(Shared {
             stealers,
-            injector: Mutex::new(VecDeque::new()),
-            injector_len: AtomicUsize::new(0),
+            injector: Injector::new(n),
             work: EventCount::new(),
             progress: EventCount::new(),
             queued_shards: (0..n).map(|_| CacheAligned(AtomicIsize::new(0))).collect(),
             track_queued,
             adaptive_serializing: AtomicBool::new(false),
-            panic: Mutex::new(None),
+            root_spilled: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             counters: (0..n).map(|_| WorkerCounters::default()).collect(),
             slabs: (0..n)
@@ -475,6 +556,7 @@ impl Runtime {
                 .name(format!("bots-worker-{index}"))
                 .stack_size(WORKER_STACK)
                 .spawn(move || {
+                    WORKER_OF.with(|w| w.set(Arc::as_ptr(&shared)));
                     let ctx = WorkerCtx {
                         index,
                         deque: owner,
@@ -489,11 +571,7 @@ impl Runtime {
             handles.push(handle);
         }
 
-        Runtime {
-            shared,
-            handles,
-            region_lock: Mutex::new(()),
-        }
+        Runtime { shared, handles }
     }
 
     /// Team with `n` threads and default policy.
@@ -512,87 +590,167 @@ impl Runtime {
     }
 
     /// Aggregated statistics since the team started (monotonic; diff
-    /// snapshots with [`RuntimeStats::since`] to scope them to a region).
+    /// snapshots with [`RuntimeStats::since`] to scope them to a window, or
+    /// use [`RegionHandle::stats`] for per-region attribution).
     pub fn stats(&self) -> RuntimeStats {
         let mut s = RuntimeStats::default();
         for w in &self.shared.counters {
             s.accumulate(w);
         }
+        s.closure_spilled += self.shared.root_spilled.load(Ordering::Relaxed);
         s
     }
 
     /// Runs `f` as the root task of a parallel region (OpenMP
     /// `parallel` + `single`) and returns its result once the region has
     /// quiesced — i.e. after every task spawned inside, transitively, has
-    /// completed. Panics from any task are re-raised here.
+    /// completed. Panics from any task of *this* region are re-raised here;
+    /// other regions running on the same team are unaffected.
     ///
-    /// Must not be called from inside a task of the same runtime.
+    /// Equivalent to [`submit`](Self::submit) followed by an immediate
+    /// [`RegionHandle::join`] — which is also why, unlike `submit`, it can
+    /// accept non-`'static` borrows: the calling frame provably outlives
+    /// the region.
+    ///
+    /// Must not be called from inside a task of the same runtime (the
+    /// nested join panics rather than deadlock the team).
     pub fn parallel<'env, F, R>(&self, f: F) -> R
     where
         F: FnOnce(&Scope<'env>) -> R + Send + 'env,
         R: Send + 'env,
     {
-        // A panic propagating out of a previous region poisons the std
-        // mutexes it unwound through; every guarded structure is left
-        // consistent, so poisoning is explicitly forgiven (parking_lot,
-        // which this runtime originally used, had no poisoning either).
-        let _region = self.region_lock.lock().unwrap_or_else(|e| e.into_inner());
-        let shared = &self.shared;
+        // Reject nested calls *before* the root is published: the root may
+        // borrow this very frame, and the nested-join panic fires after
+        // submission — unwinding past a published borrowing region would
+        // leave tasks reading a freed stack frame.
+        assert!(
+            !WORKER_OF.with(|w| std::ptr::eq(w.get(), Arc::as_ptr(&self.shared))),
+            "Runtime::parallel called from inside a task of the same runtime; \
+             spawn a task instead, or submit from a client thread"
+        );
+        // Sound for the same reason as `std::thread::scope`: join() blocks
+        // this frame until the region quiesces, so everything `f` borrows
+        // outlives every task that can observe it.
+        self.submit_inner(f).join()
+    }
 
-        let result: Mutex<Option<R>> = Mutex::new(None);
-        // Root record: individually boxed (the master has no slab), held by
-        // two handles — the injector queue's and the master's own.
-        let root = TaskRecord::new_boxed(TaskAttrs::tied());
+    /// Submits `f` as the root task of a new parallel region and returns a
+    /// [`RegionHandle`] **without blocking**: the submission path is a
+    /// record initialisation, one lock-free push onto an injector shard
+    /// picked by hashing the submitting thread, and a sleeper-gated wake —
+    /// no lock, no waiting for other regions, no worker parked on the
+    /// submitter's behalf. Any number of client threads may feed regions to
+    /// one team concurrently.
+    ///
+    /// The handle joins its region on drop (discarding result and panic),
+    /// so an unjoined handle cannot leak task records; call
+    /// [`RegionHandle::join`] to collect the result and re-raise the
+    /// region's panic, if any. Submitting from inside a task of this
+    /// runtime is allowed (it never blocks), but the handle must be joined
+    /// — or dropped — on a client thread: a blocking join on a worker
+    /// cannot task-switch and could deadlock the team, so it panics
+    /// instead.
+    ///
+    /// ```
+    /// use bots_runtime::Runtime;
+    ///
+    /// // A server: one team, many client threads, each feeding requests
+    /// // as regions and collecting results without ever blocking another
+    /// // client's submission.
+    /// let rt = Runtime::with_threads(4);
+    /// std::thread::scope(|clients| {
+    ///     for client in 0..3u64 {
+    ///         let rt = &rt;
+    ///         clients.spawn(move || {
+    ///             // Submit a batch of requests, then harvest: the regions
+    ///             // run concurrently, on one shared worker team.
+    ///             let handles: Vec<_> = (0..8u64)
+    ///                 .map(|req| {
+    ///                     rt.submit(move |s| {
+    ///                         let total = std::sync::atomic::AtomicU64::new(0);
+    ///                         s.taskgroup(|s| {
+    ///                             for part in 0..4 {
+    ///                                 let total = &total;
+    ///                                 s.spawn(move |_| {
+    ///                                     let work = client * 100 + req * 4 + part;
+    ///                                     total.fetch_add(
+    ///                                         work,
+    ///                                         std::sync::atomic::Ordering::Relaxed,
+    ///                                     );
+    ///                                 });
+    ///                             }
+    ///                         });
+    ///                         total.load(std::sync::atomic::Ordering::Relaxed)
+    ///                     })
+    ///                 })
+    ///                 .collect();
+    ///             for (req, h) in handles.into_iter().enumerate() {
+    ///                 let got = h.join();
+    ///                 let req = req as u64;
+    ///                 let want = (0..4).map(|p| client * 100 + req * 4 + p).sum::<u64>();
+    ///                 assert_eq!(got, want);
+    ///             }
+    ///         });
+    ///     }
+    /// });
+    /// ```
+    pub fn submit<F, R>(&self, f: F) -> RegionHandle<'_, R>
+    where
+        F: FnOnce(&Scope<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.submit_inner(f)
+    }
+
+    /// The shared submission path behind [`parallel`](Self::parallel) and
+    /// [`submit`](Self::submit).
+    ///
+    /// Lifetime contract (private; upheld by the two public wrappers): the
+    /// `'env` lifetime is erased by the record's raw closure storage, so the
+    /// returned handle must quiesce — via `join` or drop — before `'env`
+    /// ends. `submit` instantiates `'env = 'static`; `parallel` joins
+    /// before returning.
+    fn submit_inner<'env, F, R>(&self, f: F) -> RegionHandle<'_, R>
+    where
+        F: FnOnce(&Scope<'env>) -> R + Send + 'env,
+        R: Send + 'env,
+    {
+        let shared = &self.shared;
+        let region = Arc::new(Region::new(shared.config.num_threads));
+        let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+
+        // Root record: individually boxed (the submitter has no slab), held
+        // by two handles — the injector queue's and the joiner's.
+        let root = TaskRecord::new_boxed(TaskAttrs::tied(), Arc::as_ptr(&region));
+        region.set_root(root);
         unsafe { root.as_ref() }.add_ref();
 
-        {
-            // Root shim: run the user closure, stash the result. The `'env`
-            // lifetime is erased by the record's raw closure storage; sound
-            // because this function blocks until the region quiesces, so
-            // the stack slot behind `result_ptr` (and everything `f`
-            // borrows) outlives every task.
-            let result_ptr = SendPtr(&result as *const Mutex<Option<R>>);
-            unsafe {
-                TaskRecord::store_closure(root, move |ec: &ExecCtx<'_>| {
-                    let scope = Scope::from_exec(ec);
-                    let r = f(&scope);
-                    *(*result_ptr.get()).lock().unwrap() = Some(r);
-                });
-            }
-            shared.queued_delta(0, 1);
-            shared.push_injector(root);
-            shared.work.notify_one();
-
-            // Wait for quiescence: the root's refcount falls back to the
-            // master's lone handle exactly when every descendant record has
-            // been destroyed (see the module docs).
-            loop {
-                if unsafe { root.as_ref() }.refs() == 1 {
-                    break;
-                }
-                let token = shared.progress.prepare();
-                if unsafe { root.as_ref() }.refs() == 1 {
-                    shared.progress.cancel();
-                    break;
-                }
-                shared.progress.wait_timeout(token, PARK_TIMEOUT);
-            }
+        // Root shim: run the user closure, stash the result.
+        let result_slot = Arc::clone(&result);
+        let spilled = unsafe {
+            TaskRecord::store_closure(root, move |ec: &ExecCtx<'_>| {
+                let scope = Scope::from_exec(ec);
+                let r = f(&scope);
+                *result_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            })
+        };
+        if spilled {
+            shared.root_spilled.fetch_add(1, Ordering::Relaxed);
         }
-        // Sole owner: destroy the root record.
-        shared.release_record(root, None);
 
-        if let Some(payload) = shared
-            .panic
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
-        {
-            resume_unwind(payload);
+        let slot = submitter_slot();
+        shared.queued_delta(slot, 1);
+        shared.injector.push(root, slot);
+        // One region root → at most one extra pair of hands; wake
+        // propagation fans further wakes out as the region unfolds.
+        shared.work.notify_one();
+
+        RegionHandle {
+            rt: self,
+            region,
+            result,
+            quiesced: false,
         }
-        result
-            .into_inner()
-            .unwrap()
-            .expect("root task did not record a result")
     }
 }
 
@@ -614,20 +772,124 @@ impl Default for Runtime {
     }
 }
 
-/// The worker main loop: local pop → injector → steal rounds → park.
+/// A handle on one submitted, in-flight parallel region. Obtained from
+/// [`Runtime::submit`]; borrows the runtime, so the team provably outlives
+/// every region it serves.
+///
+/// Dropping the handle **joins the region** (blocking until quiescence and
+/// discarding the result and any panic), mirroring how
+/// [`Runtime::parallel`] would behave if its caller ignored the result —
+/// a region can therefore never outlive its handle or leak task records.
+/// Leaking the handle itself (`std::mem::forget`) leaks the region's root
+/// record, exactly like forgetting any owning handle.
+#[must_use = "a RegionHandle joins (blocks) on drop; call join() to collect the result"]
+pub struct RegionHandle<'rt, R> {
+    rt: &'rt Runtime,
+    region: Arc<Region>,
+    result: Arc<Mutex<Option<R>>>,
+    /// Has the root been released (join already ran)?
+    quiesced: bool,
+}
+
+impl<R> RegionHandle<'_, R> {
+    /// Has the region quiesced? Non-blocking; `true` means `join` will
+    /// return without waiting.
+    pub fn is_finished(&self) -> bool {
+        self.quiesced || self.region.root_refs() == 1
+    }
+
+    /// Task-traffic attribution for this region so far: tasks spawned and
+    /// executed on its behalf, regardless of which worker ran them.
+    pub fn stats(&self) -> RegionStats {
+        self.region.stats()
+    }
+
+    /// Blocks until the region has quiesced — every task spawned inside it,
+    /// transitively, has completed — then returns the root closure's value.
+    /// A panic from any task of the region is re-raised here, and only
+    /// here: concurrent regions are isolated from it.
+    pub fn join(mut self) -> R {
+        self.wait_quiescence();
+        if let Some(payload) = self.region.take_panic() {
+            resume_unwind(payload);
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("root task did not record a result")
+    }
+
+    /// Parks the calling thread until the root's refcount falls to this
+    /// handle's own reference, then destroys the root record. Idempotent
+    /// via `quiesced` (join + drop must not double-release).
+    fn wait_quiescence(&mut self) {
+        if self.quiesced {
+            return;
+        }
+        let shared = &*self.rt.shared;
+        // Joining from a task of the same team would park this worker
+        // without task-switching: if every worker ends up here (trivially
+        // so on a team of one), nobody is left to run the awaited region —
+        // a permanent deadlock. Fail loudly instead. The region is left
+        // running detached: `quiesced` is set so Drop does not re-enter
+        // (a double panic would abort), and one `Region` reference is
+        // deliberately leaked because in-flight records still hold raw
+        // pointers into it.
+        if WORKER_OF.with(|w| std::ptr::eq(w.get(), shared as *const Shared)) {
+            self.quiesced = true;
+            std::mem::forget(Arc::clone(&self.region));
+            panic!(
+                "RegionHandle joined (or dropped) from inside a task of the same \
+                 runtime; join regions from client threads only"
+            );
+        }
+        loop {
+            if self.region.root_refs() == 1 {
+                break;
+            }
+            let token = shared.progress.prepare();
+            if self.region.root_refs() == 1 {
+                shared.progress.cancel();
+                break;
+            }
+            shared.progress.wait_timeout(token, PARK_TIMEOUT);
+        }
+        // Sole owner: destroy the root record.
+        shared.release_record(self.region.root(), None);
+        self.quiesced = true;
+    }
+}
+
+impl<R> Drop for RegionHandle<'_, R> {
+    fn drop(&mut self) {
+        if !self.quiesced {
+            self.wait_quiescence();
+            // An unobserved region's panic is deliberately discarded, like
+            // a panic in a detached std thread.
+            drop(self.region.take_panic());
+        }
+    }
+}
+
+/// The worker main loop: local pop → injector → steal rounds → park, with
+/// wake propagation after a successful wake (see the module docs).
 fn worker_loop(ctx: &WorkerCtx) {
     let shared = &*ctx.shared;
+    let mut just_woke = false;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         if let Some(task) = ctx.pop_local().or_else(|| ctx.pop_injector()) {
+            ctx.propagate_wake(&mut just_woke);
             ctx.execute(task);
             continue;
         }
         let mut found = false;
         for _ in 0..shared.config.steal_rounds {
             if let Some(task) = ctx.try_steal() {
+                ctx.propagate_wake(&mut just_woke);
                 ctx.execute(task);
                 found = true;
                 break;
@@ -639,6 +901,7 @@ fn worker_loop(ctx: &WorkerCtx) {
         if found {
             continue;
         }
+        just_woke = false;
         // Nothing anywhere: register as a sleeper, re-check, park until an
         // event or the safety timeout.
         let token = shared.work.prepare();
@@ -648,5 +911,6 @@ fn worker_loop(ctx: &WorkerCtx) {
         }
         WorkerCounters::bump(&ctx.counters().parks);
         shared.work.wait_timeout(token, PARK_TIMEOUT);
+        just_woke = true;
     }
 }

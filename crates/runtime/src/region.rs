@@ -1,0 +1,165 @@
+//! Per-region descriptors: the state of one parallel region, extracted out
+//! of the team-wide [`Shared`] block so that an arbitrary number of regions
+//! can run concurrently on a single worker team.
+//!
+//! One [`Region`] is created per [`Runtime::submit`] / [`Runtime::parallel`]
+//! call and holds everything whose scope is *that region*, nothing else:
+//!
+//! * the **root record** — the region's implicit task, whose refcount is the
+//!   quiescence signal (it falls back to the joiner's lone handle exactly
+//!   when every descendant record has been destroyed);
+//! * the **panic slot** — the first panic raised by any task of the region,
+//!   re-raised by the region's own joiner and invisible to every other
+//!   region;
+//! * **stats attribution** — per-worker sharded spawned/executed counters,
+//!   so a server can tell which region generated which task traffic without
+//!   the global per-worker counters losing their meaning.
+//!
+//! Records reach their region through a raw pointer stored in every
+//! [`TaskRecord`] at init (children inherit it from their parent). The
+//! pointer stays valid for as long as any record of the region is live: the
+//! joiner only drops its `Arc<Region>` after observing root quiescence, and
+//! every live record transitively holds a reference on the root, so the
+//! root's count cannot reach the joiner's lone handle while a record that
+//! could dereference the pointer still exists.
+//!
+//! [`Shared`]: crate::pool::Runtime
+//! [`Runtime::submit`]: crate::pool::Runtime::submit
+//! [`Runtime::parallel`]: crate::pool::Runtime::parallel
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::local::CacheAligned;
+use crate::task::TaskRecord;
+
+/// A panic payload captured from a task.
+pub(crate) type PanicPayload = Box<dyn std::any::Any + Send>;
+
+/// Per-worker attribution shard: padded so two workers bumping counters for
+/// the same region never share a cache line (the spawn path must stay
+/// contention-free).
+#[derive(Default)]
+pub(crate) struct RegionShard {
+    /// Tasks deferred (queued) on behalf of this region by this worker.
+    pub(crate) spawned: AtomicU64,
+    /// Deferred tasks of this region executed by this worker (the region
+    /// root counts too — it runs through the same execute path).
+    pub(crate) executed: AtomicU64,
+}
+
+/// State of one in-flight parallel region. See the module docs.
+pub(crate) struct Region {
+    /// The region's root (implicit-task) record; set once at submit time,
+    /// before the root is published to the injector.
+    root: AtomicPtr<TaskRecord>,
+    /// First panic payload raised by any task of this region. Isolated here
+    /// so a panic in region A can never be re-raised into region B's caller.
+    panic: Mutex<Option<PanicPayload>>,
+    /// Per-worker attribution counters, indexed by worker.
+    shards: Box<[CacheAligned<RegionShard>]>,
+}
+
+// Safety: the root pointer is an atomic cell over a record whose lifetime is
+// governed by the refcount protocol above; the panic slot is a Mutex; the
+// shards are atomics. All cross-thread access is through those.
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+
+impl Region {
+    /// A fresh descriptor for a team of `workers`.
+    pub(crate) fn new(workers: usize) -> Region {
+        Region {
+            root: AtomicPtr::new(std::ptr::null_mut()),
+            panic: Mutex::new(None),
+            shards: (0..workers).map(|_| CacheAligned::default()).collect(),
+        }
+    }
+
+    /// Records the root once it exists (the root record needs the region
+    /// pointer at init, so the region is created first).
+    pub(crate) fn set_root(&self, root: NonNull<TaskRecord>) {
+        self.root.store(root.as_ptr(), Ordering::Release);
+    }
+
+    /// The root record. Panics if called before [`set_root`](Self::set_root)
+    /// (a submit-path ordering bug, not a runtime condition).
+    pub(crate) fn root(&self) -> NonNull<TaskRecord> {
+        NonNull::new(self.root.load(Ordering::Acquire)).expect("region root not set")
+    }
+
+    /// Current reference count of the root record: the joiner's quiescence
+    /// probe. `1` means every descendant record has been destroyed and only
+    /// the joiner's handle remains.
+    pub(crate) fn root_refs(&self) -> usize {
+        unsafe { self.root().as_ref() }.refs()
+    }
+
+    /// Stores `payload` if this is the first panic of the region.
+    pub(crate) fn store_panic(&self, payload: PanicPayload) {
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Takes the region's panic, if any (called by the joiner).
+    pub(crate) fn take_panic(&self) -> Option<PanicPayload> {
+        self.panic.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    /// This worker's attribution shard.
+    #[inline]
+    pub(crate) fn shard(&self, worker: usize) -> &RegionShard {
+        &self.shards[worker].0
+    }
+
+    /// Aggregated attribution snapshot.
+    pub(crate) fn stats(&self) -> RegionStats {
+        let mut s = RegionStats::default();
+        for shard in self.shards.iter() {
+            s.spawned += shard.0.spawned.load(Ordering::Relaxed);
+            s.executed += shard.0.executed.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+/// Task-traffic attribution for one region, summed across workers. Exposed
+/// through [`RegionHandle::stats`](crate::pool::RegionHandle::stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Tasks deferred (queued) inside this region.
+    pub spawned: u64,
+    /// Deferred tasks of this region executed so far, including the region
+    /// root itself.
+    pub executed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_slot_keeps_first_payload() {
+        let region = Region::new(2);
+        assert!(region.take_panic().is_none());
+        region.store_panic(Box::new("first"));
+        region.store_panic(Box::new("second"));
+        let got = region.take_panic().expect("payload stored");
+        assert_eq!(*got.downcast_ref::<&str>().unwrap(), "first");
+        assert!(region.take_panic().is_none(), "take drains the slot");
+    }
+
+    #[test]
+    fn stats_sum_across_shards() {
+        let region = Region::new(3);
+        region.shard(0).spawned.store(5, Ordering::Relaxed);
+        region.shard(2).spawned.store(7, Ordering::Relaxed);
+        region.shard(1).executed.store(11, Ordering::Relaxed);
+        let s = region.stats();
+        assert_eq!(s.spawned, 12);
+        assert_eq!(s.executed, 11);
+    }
+}

@@ -160,18 +160,28 @@ impl<'scope> Scope<'scope> {
         }
         shared.queued_delta(worker.index, 1);
         WorkerCounters::bump(&counters.spawned);
+        // Region attribution: this worker's private (single-writer) shard
+        // of the region's counters, so the bump stays contention-free.
+        if let Some(region) = unsafe { self.rec().region().as_ref() } {
+            WorkerCounters::bump(&region.shard(worker.index).spawned);
+        }
 
         // Store the user closure (wrapped to rebuild a scope) in the
         // record. The `'scope` lifetime is erased by the raw storage —
-        // sound for the same reason as `rayon::Scope`: the region master
-        // blocks in `Runtime::parallel` until the region quiesces, which
-        // happens-after this task's closure has returned, so the `'scope`
-        // environment outlives every access the closure can make.
-        unsafe {
+        // sound for the same reason as `rayon::Scope`: the region joiner
+        // blocks until the region quiesces, which happens-after this task's
+        // closure has returned, so the `'scope` environment outlives every
+        // access the closure can make.
+        let spilled = unsafe {
             TaskRecord::store_closure(rec, move |ec: &ExecCtx<'_>| {
                 let scope = Scope::from_exec(ec);
                 f(&scope);
-            });
+            })
+        };
+        if spilled {
+            // Spill telemetry: the zero-allocation property just leaked one
+            // box; the counter lets kernels assert it never happens to them.
+            WorkerCounters::bump(&counters.closure_spilled);
         }
 
         worker.deque.push(rec);
@@ -280,8 +290,14 @@ impl<'scope> Scope<'scope> {
     /// Is the current task subject to the tied scheduling constraint?
     ///
     /// The constraint restricts a tied task to running descendants of
-    /// itself. The region root is exempt: every task in the region descends
-    /// from it, so the constraint can never exclude anything there.
+    /// itself. The region root is exempt: every task of its *own* region
+    /// descends from it, so within the region the constraint could never
+    /// exclude anything. With concurrent regions an exempt (or untied)
+    /// waiter may also adopt another region's plain tasks — ordinary
+    /// work-stealing help — but never a foreign region *root*: roots enter
+    /// execution only through the worker main loop (see
+    /// [`crate::pool::WorkerCtx::pop_injector`]), so a wait can't nest an
+    /// entire foreign region under its frame.
     fn constrained(&self) -> bool {
         let rec = self.rec();
         rec.tied && self.worker().shared.config.enforce_tied_constraint && rec.parent().is_some()

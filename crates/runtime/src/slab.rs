@@ -241,7 +241,7 @@ mod tests {
             (0..8)
                 .map(|_| {
                     let (r, _) = slab.alloc();
-                    TaskRecord::init(r, None, None, 0, TaskAttrs::default());
+                    TaskRecord::init(r, None, None, std::ptr::null(), 0, TaskAttrs::default());
                     assert_eq!(r.as_ref().release_ref(), 1);
                     r.as_ptr() as usize
                 })
@@ -314,7 +314,7 @@ mod tests {
             if src == AllocSource::Fresh {
                 fresh += 1;
             }
-            unsafe { TaskRecord::init(rec, None, None, 0, TaskAttrs::default()) };
+            unsafe { TaskRecord::init(rec, None, None, std::ptr::null(), 0, TaskAttrs::default()) };
             assert_eq!(unsafe { rec.as_ref() }.release_ref(), 1);
             tx.send(rec.as_ptr() as usize).unwrap();
         }

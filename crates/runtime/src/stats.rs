@@ -43,12 +43,24 @@ pub(crate) struct WorkerCounters {
     /// Records freed by a non-owning thread and routed home through a
     /// slab's cross-thread reclaim stack.
     pub slab_cross_freed: AtomicU64,
+    /// Spawn closures that outgrew the record's inline payload and spilled
+    /// to a heap box (spill telemetry: kernels assert this stays zero).
+    pub closure_spilled: AtomicU64,
+    /// Wakes this worker issued to the next sleeper because it still saw
+    /// work after being woken itself (geometric ramp-up events).
+    pub wake_propagations: AtomicU64,
 }
 
 impl WorkerCounters {
+    /// Increments a counter of a **single-writer** block: every
+    /// `WorkerCounters` field is only ever bumped by its owning worker (and
+    /// every `RegionShard` field by the worker the shard is indexed by), so
+    /// a plain load+store — no lock-prefixed RMW — cannot lose updates.
+    /// Cross-thread readers (`Runtime::stats`) see a slightly stale but
+    /// monotonic value, which is all a statistics snapshot promises.
     #[inline]
     pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
     }
 }
 
@@ -84,6 +96,13 @@ pub struct RuntimeStats {
     pub slab_recycled: u64,
     /// Records that flowed home through a cross-thread reclaim stack.
     pub slab_cross_freed: u64,
+    /// Spawn closures (root closures included) that spilled past the
+    /// record's inline bytes to a heap box: each one is a spawn that was
+    /// not allocation-free.
+    pub closure_spilled: u64,
+    /// Wake-propagation events: a freshly woken worker saw more work and
+    /// woke the next sleeper.
+    pub wake_propagations: u64,
 }
 
 impl RuntimeStats {
@@ -102,6 +121,8 @@ impl RuntimeStats {
         self.slab_fresh += w.slab_fresh.load(Ordering::Relaxed);
         self.slab_recycled += w.slab_recycled.load(Ordering::Relaxed);
         self.slab_cross_freed += w.slab_cross_freed.load(Ordering::Relaxed);
+        self.closure_spilled += w.closure_spilled.load(Ordering::Relaxed);
+        self.wake_propagations += w.wake_propagations.load(Ordering::Relaxed);
     }
 
     /// Total task-creation points the runtime saw (deferred + every kind of
@@ -138,6 +159,8 @@ impl RuntimeStats {
             slab_fresh: self.slab_fresh - earlier.slab_fresh,
             slab_recycled: self.slab_recycled - earlier.slab_recycled,
             slab_cross_freed: self.slab_cross_freed - earlier.slab_cross_freed,
+            closure_spilled: self.closure_spilled - earlier.closure_spilled,
+            wake_propagations: self.wake_propagations - earlier.wake_propagations,
         }
     }
 }
@@ -148,7 +171,7 @@ impl std::fmt::Display for RuntimeStats {
             f,
             "spawned={} inlined(if/cutoff/final)={}/{}/{} executed={} stolen={} \
              misses={} parks={} taskwaits={} switched={} tied_denied={} \
-             slab(fresh/recycled/cross)={}/{}/{}",
+             slab(fresh/recycled/cross)={}/{}/{} spilled={} propagated={}",
             self.spawned,
             self.inlined_if,
             self.inlined_cutoff,
@@ -163,6 +186,8 @@ impl std::fmt::Display for RuntimeStats {
             self.slab_fresh,
             self.slab_recycled,
             self.slab_cross_freed,
+            self.closure_spilled,
+            self.wake_propagations,
         )
     }
 }

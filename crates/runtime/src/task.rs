@@ -40,6 +40,7 @@ use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::pool::ExecCtx;
+use crate::region::Region;
 
 /// Attributes attached at task-creation time, mirroring the clauses of
 /// `#pragma omp task`.
@@ -150,7 +151,7 @@ pub(crate) const INLINE_ALIGN: usize = 16;
 
 /// The `home` value marking a record that was individually boxed (region
 /// roots) rather than drawn from a worker slab.
-pub(crate) const HOME_BOXED: u32 = u32::MAX;
+pub(crate) const HOME_BOXED: u16 = u16::MAX;
 
 /// Type-erased entry point stored in a record: reads the closure out of the
 /// payload and runs it. Monomorphised per closure type by
@@ -184,11 +185,16 @@ pub(crate) struct TaskRecord {
     /// Closure entry point; `None` once executed (or for inline-bookkeeping
     /// records that never carry a closure).
     invoke: Cell<Option<Invoke>>,
+    /// The region this task belongs to: set on the root at submit time,
+    /// inherited by children at init. Valid for as long as the record lives
+    /// (see [`crate::region`] for the lifetime argument); null only for
+    /// synthetic records in unit tests, which never execute.
+    region: *const Region,
     /// Recursion depth: root = 0, children of root = 1, ...
     pub(crate) depth: u32,
     /// Index of the worker whose slab owns this record's memory, or
     /// [`HOME_BOXED`] for individually boxed records.
-    pub(crate) home: u32,
+    pub(crate) home: u16,
     /// Tied task? Constrains what the owning worker may run at a taskwait.
     pub(crate) tied: bool,
     /// Final task? Descendants are serialised.
@@ -220,20 +226,23 @@ impl TaskRecord {
     /// # Safety
     /// `slot` must point to memory valid for a `TaskRecord` that is not
     /// currently in use. `parent`, if present, must be a live record.
+    /// `region` applies only to roots: records with a parent inherit the
+    /// parent's region and ignore the argument.
     pub(crate) unsafe fn init(
         slot: NonNull<TaskRecord>,
         parent: Option<NonNull<TaskRecord>>,
         group: Option<Arc<Group>>,
-        home: u32,
+        region: *const Region,
+        home: u16,
         attrs: TaskAttrs,
     ) {
-        let (depth, inherited_final) = match parent {
+        let (depth, inherited_final, region) = match parent {
             Some(p) => {
                 let p = p.as_ref();
                 p.add_ref();
-                (p.depth + 1, p.final_)
+                (p.depth + 1, p.final_, p.region)
             }
-            None => (0, false),
+            None => (0, false, region),
         };
         slot.as_ptr().write(TaskRecord {
             next: AtomicPtr::new(std::ptr::null_mut()),
@@ -242,6 +251,7 @@ impl TaskRecord {
             parent,
             group: UnsafeCell::new(group),
             invoke: Cell::new(None),
+            region,
             depth,
             home,
             tied: attrs.tied,
@@ -251,13 +261,20 @@ impl TaskRecord {
     }
 
     /// Allocates an individually boxed record (used for region roots, which
-    /// are created on the master thread, outside any worker slab).
-    pub(crate) fn new_boxed(attrs: TaskAttrs) -> NonNull<TaskRecord> {
+    /// are created on the submitting thread, outside any worker slab).
+    pub(crate) fn new_boxed(attrs: TaskAttrs, region: *const Region) -> NonNull<TaskRecord> {
         let slot = NonNull::new(Box::into_raw(Box::new(MaybeUninit::<TaskRecord>::uninit())))
             .expect("Box never null")
             .cast::<TaskRecord>();
-        unsafe { TaskRecord::init(slot, None, None, HOME_BOXED, attrs) };
+        unsafe { TaskRecord::init(slot, None, None, region, HOME_BOXED, attrs) };
         slot
+    }
+
+    /// The region this record belongs to (null only for synthetic
+    /// test-built records, which never execute).
+    #[inline]
+    pub(crate) fn region(&self) -> *const Region {
+        self.region
     }
 
     /// Stores `f` as this record's closure: inline when it fits, spilled to
@@ -401,7 +418,7 @@ mod tests {
         let slot = NonNull::new(Box::into_raw(Box::new(MaybeUninit::<TaskRecord>::uninit())))
             .unwrap()
             .cast::<TaskRecord>();
-        unsafe { TaskRecord::init(slot, parent, None, HOME_BOXED, attrs) };
+        unsafe { TaskRecord::init(slot, parent, None, std::ptr::null(), HOME_BOXED, attrs) };
         slot
     }
 

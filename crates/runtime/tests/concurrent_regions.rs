@@ -1,0 +1,118 @@
+//! The concurrent-regions stress acceptance test, run under the counting
+//! allocator: 8 client threads × 200 regions each on one team, with task
+//! trees, panicking regions and unjoined handles mixed in — and **zero
+//! leaked task records** at the end, measured as live heap bytes returning
+//! to their baseline once the runtime is dropped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots_profile::current_bytes;
+use bots_runtime::Runtime;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+const CLIENTS: u64 = 8;
+const REGIONS_PER_CLIENT: u64 = 200;
+
+/// One full scenario: a team serving 8 concurrent clients × 200 regions.
+fn scenario() -> u64 {
+    let rt = Runtime::with_threads(4);
+    let grand_total = AtomicU64::new(0);
+    std::thread::scope(|clients| {
+        for client in 0..CLIENTS {
+            let rt = &rt;
+            let grand_total = &grand_total;
+            clients.spawn(move || {
+                let mut client_total = 0u64;
+                for region in 0..REGIONS_PER_CLIENT {
+                    match region % 8 {
+                        // A panicking region: the payload must stay inside
+                        // this region and its record must still be freed.
+                        3 => {
+                            let h = rt.submit(|s| {
+                                s.spawn(|_| panic!("stress panic"));
+                                s.taskwait();
+                            });
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.join()));
+                            assert!(out.is_err());
+                        }
+                        // A region whose handle is dropped, not joined.
+                        5 => {
+                            drop(rt.submit(move |s| {
+                                s.taskgroup(|s| {
+                                    for _ in 0..8 {
+                                        s.spawn(|_| {});
+                                    }
+                                });
+                            }));
+                        }
+                        // A plain task-tree region whose result is checked.
+                        _ => {
+                            let h = rt.submit(move |s| {
+                                let acc = AtomicU64::new(0);
+                                s.taskgroup(|s| {
+                                    for task in 0..16u64 {
+                                        let acc = &acc;
+                                        s.spawn(move |_| {
+                                            acc.fetch_add(
+                                                client + region + task,
+                                                Ordering::Relaxed,
+                                            );
+                                        });
+                                    }
+                                });
+                                acc.load(Ordering::Relaxed)
+                            });
+                            client_total += h.join();
+                        }
+                    }
+                }
+                grand_total.fetch_add(client_total, Ordering::Relaxed);
+            });
+        }
+    });
+    grand_total.load(Ordering::Relaxed)
+}
+
+fn expected_total() -> u64 {
+    let mut total = 0u64;
+    for client in 0..CLIENTS {
+        for region in 0..REGIONS_PER_CLIENT {
+            if region % 8 == 3 || region % 8 == 5 {
+                continue;
+            }
+            total += (0..16u64).map(|task| client + region + task).sum::<u64>();
+        }
+    }
+    total
+}
+
+#[test]
+fn eight_clients_two_hundred_regions_leak_nothing() {
+    // The panicking regions are expected; a silent hook keeps the log
+    // readable and — more importantly — keeps the default hook's backtrace
+    // symbolization from allocating into its process-lifetime cache, which
+    // would read as a (nonexistent) leak below.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // First run warms process-lifetime allocations (thread-local lazies,
+    // allocator internals), so the measured run starts from a steady state.
+    assert_eq!(scenario(), expected_total());
+
+    let before = current_bytes();
+    assert_eq!(scenario(), expected_total());
+    let after = current_bytes();
+
+    let _ = std::panic::take_hook();
+    // One leaked task record is 128 bytes; 1600 leaked roots would be
+    // ~200 KiB. Demand the delta stays below a single record.
+    assert!(
+        after <= before + 127,
+        "concurrent-regions stress leaked {} bytes ({} -> {})",
+        after as i64 - before as i64,
+        before,
+        after
+    );
+}

@@ -1,0 +1,321 @@
+//! Concurrent multi-region behaviour: the non-blocking `submit` API,
+//! overlapping regions on one team, per-region panic isolation, region
+//! handle semantics and per-region stats attribution.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bots_runtime::{Runtime, Scope};
+
+fn fib_seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_seq(n - 1) + fib_seq(n - 2)
+    }
+}
+
+fn fib_region(s: &Scope<'_>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n < 10 {
+        return fib_seq(n);
+    }
+    let a = AtomicU64::new(0);
+    let b = AtomicU64::new(0);
+    s.taskgroup(|s| {
+        s.spawn(|s| a.store(fib_region(s, n - 1), Ordering::Relaxed));
+        s.spawn(|s| b.store(fib_region(s, n - 2), Ordering::Relaxed));
+    });
+    a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed)
+}
+
+#[test]
+fn submit_returns_result_through_join() {
+    let rt = Runtime::with_threads(2);
+    let h = rt.submit(|s| fib_region(s, 16));
+    assert_eq!(h.join(), fib_seq(16));
+}
+
+#[test]
+fn submitted_regions_overlap_on_one_team() {
+    // Two long-lived regions in flight at once: each one's root blocks on a
+    // rendezvous that only the *other* region can complete, so the test
+    // passes iff both regions genuinely run concurrently (with the old
+    // global region lock this deadlocks until the park-timeout safety net —
+    // in fact it deadlocks forever, since the lock is held to quiescence).
+    let rt = Runtime::with_threads(4);
+    let a_ready = Arc::new(AtomicUsize::new(0));
+    let b_ready = Arc::new(AtomicUsize::new(0));
+
+    let ha = {
+        let (a_ready, b_ready) = (a_ready.clone(), b_ready.clone());
+        rt.submit(move |_| {
+            a_ready.store(1, Ordering::Release);
+            while b_ready.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            'a'
+        })
+    };
+    let hb = {
+        let (a_ready, b_ready) = (a_ready, b_ready);
+        rt.submit(move |_| {
+            b_ready.store(1, Ordering::Release);
+            while a_ready.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            'b'
+        })
+    };
+    assert_eq!(ha.join(), 'a');
+    assert_eq!(hb.join(), 'b');
+}
+
+#[test]
+fn eight_simultaneous_submitters_complete_correctly() {
+    // The acceptance scenario for deleting `region_lock`: 8 client threads,
+    // each submitting task-tree regions concurrently, all with correct
+    // isolated results.
+    let rt = Runtime::with_threads(4);
+    let expected = fib_seq(14);
+    std::thread::scope(|clients| {
+        for client in 0..8u64 {
+            let rt = &rt;
+            clients.spawn(move || {
+                for round in 0..6u64 {
+                    let salt = client * 1000 + round;
+                    let h = rt.submit(move |s| fib_region(s, 14) + salt);
+                    assert_eq!(h.join(), expected + salt, "client {client} round {round}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn submit_batches_pipeline_without_blocking() {
+    // A single client keeps many regions in flight before joining any:
+    // submission must not block on previously submitted regions.
+    let rt = Runtime::with_threads(2);
+    let handles: Vec<_> = (0..32u64).map(|i| rt.submit(move |_| i * i)).collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.join(), (i as u64) * (i as u64));
+    }
+}
+
+#[test]
+fn panic_stays_inside_its_region() {
+    // Region A panics while region B is still running on the same team; A's
+    // joiner sees the panic, B's joiner sees its result. This is the
+    // regression test for the old shared panic slot, which could re-raise
+    // A's payload into B's caller.
+    let rt = Runtime::with_threads(4);
+    let release_b = Arc::new(AtomicUsize::new(0));
+
+    let hb = {
+        let release_b = release_b.clone();
+        rt.submit(move |s| {
+            let acc = AtomicU64::new(0);
+            s.taskgroup(|s| {
+                for i in 0..16u64 {
+                    let acc = &acc;
+                    s.spawn(move |_| {
+                        acc.fetch_add(i, Ordering::Relaxed);
+                    });
+                }
+            });
+            // Hold region B open until A's panic has been captured.
+            while release_b.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            acc.load(Ordering::Relaxed)
+        })
+    };
+
+    let ha = rt.submit(|s| {
+        s.spawn(|_| panic!("boom in region A"));
+        s.taskwait();
+    });
+    let a_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ha.join()));
+    assert!(a_outcome.is_err(), "region A's panic reaches A's joiner");
+    release_b.store(1, Ordering::Release);
+    assert_eq!(hb.join(), (0..16).sum::<u64>(), "region B is unaffected");
+
+    // And the team is still healthy afterwards.
+    assert_eq!(rt.parallel(|s| fib_region(s, 12)), fib_seq(12));
+}
+
+#[test]
+fn two_panicking_regions_each_get_their_own_payload() {
+    let rt = Runtime::with_threads(4);
+    let ha = rt.submit(|s| {
+        s.spawn(|_| panic!("payload-A"));
+        s.taskwait();
+    });
+    let hb = rt.submit(|s| {
+        s.spawn(|_| panic!("payload-B"));
+        s.taskwait();
+    });
+    for (h, want) in [(ha, "payload-A"), (hb, "payload-B")] {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.join()))
+            .expect_err("panic expected");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| err.downcast_ref::<String>().unwrap().as_str());
+        assert_eq!(msg, want, "each joiner re-raises its own region's payload");
+    }
+}
+
+#[test]
+fn dropping_a_handle_joins_the_region() {
+    let rt = Runtime::with_threads(2);
+    let done = Arc::new(AtomicUsize::new(0));
+    {
+        let done = done.clone();
+        let _unjoined = rt.submit(move |s| {
+            s.taskgroup(|s| {
+                for _ in 0..32 {
+                    let done = done.clone();
+                    s.spawn(move |_| {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        // Handle dropped here without join(): must block until quiescence.
+    }
+    assert_eq!(done.load(Ordering::Relaxed), 32);
+}
+
+#[test]
+fn dropping_a_panicked_handle_discards_the_panic() {
+    let rt = Runtime::with_threads(2);
+    {
+        let _h = rt.submit(|_| panic!("nobody is listening"));
+    }
+    // The drop above must neither unwind nor poison the team.
+    assert_eq!(rt.parallel(|_| 5), 5);
+}
+
+#[test]
+fn is_finished_flips_after_quiescence() {
+    let rt = Runtime::with_threads(2);
+    let gate = Arc::new(AtomicUsize::new(0));
+    let h = {
+        let gate = gate.clone();
+        rt.submit(move |_| {
+            while gate.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+        })
+    };
+    assert!(!h.is_finished(), "region is gated open");
+    gate.store(1, Ordering::Release);
+    while !h.is_finished() {
+        std::thread::yield_now();
+    }
+    h.join();
+}
+
+#[test]
+fn region_stats_attribute_tasks_to_their_region() {
+    let rt = Runtime::with_threads(4);
+    let big = rt.submit(|s| {
+        s.taskgroup(|s| {
+            for _ in 0..300 {
+                s.spawn(|_| {});
+            }
+        });
+    });
+    let small = rt.submit(|s| {
+        s.taskgroup(|s| {
+            for _ in 0..7 {
+                s.spawn(|_| {});
+            }
+        });
+    });
+    // Attribution is per region, not per team: each handle reports exactly
+    // its own task traffic however the workers interleaved the two regions.
+    let (big_stats, small_stats) = {
+        let (sb, ss) = (&big, &small);
+        while !(sb.is_finished() && ss.is_finished()) {
+            std::thread::yield_now();
+        }
+        (sb.stats(), ss.stats())
+    };
+    assert_eq!(big_stats.spawned, 300);
+    assert_eq!(small_stats.spawned, 7);
+    // `executed` includes the region root task.
+    assert_eq!(big_stats.executed, 301);
+    assert_eq!(small_stats.executed, 8);
+    big.join();
+    small.join();
+}
+
+#[test]
+fn parallel_still_supports_borrows_and_matches_submit_join() {
+    // `parallel` is submit + join; its non-'static borrow support must be
+    // intact.
+    let rt = Runtime::with_threads(2);
+    let data: Vec<u64> = (0..256).collect();
+    let acc = AtomicU64::new(0);
+    let got = rt.parallel(|s| {
+        let (data, acc) = (&data, &acc);
+        s.taskgroup(|s| {
+            for chunk in 0..4 {
+                s.spawn(move |_| {
+                    let part: u64 = data[chunk * 64..(chunk + 1) * 64].iter().sum();
+                    acc.fetch_add(part, Ordering::Relaxed);
+                });
+            }
+        });
+        acc.load(Ordering::Relaxed)
+    });
+    assert_eq!(got, (0..256).sum::<u64>());
+}
+
+#[test]
+fn joining_from_inside_a_task_panics_instead_of_deadlocking() {
+    // A worker parked in a region join cannot task-switch, so a nested
+    // join could wedge the whole team (trivially on a team of one). The
+    // runtime turns that latent deadlock into a clean panic; the submitted
+    // region keeps running detached.
+    let rt = Runtime::with_threads(2);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.parallel(|_| {
+            let h = rt.submit(|_| 1u64);
+            h.join() // panics: blocking join on a worker of the same team
+        })
+    }));
+    assert!(outcome.is_err(), "nested join must panic");
+    // The team survives and still serves regions.
+    assert_eq!(rt.parallel(|_| 2), 2);
+}
+
+#[test]
+fn mixed_parallel_and_submit_callers_coexist() {
+    // Blocking `parallel` callers and non-blocking `submit` clients hitting
+    // the same team at once.
+    let rt = Runtime::with_threads(4);
+    std::thread::scope(|ts| {
+        for c in 0..4u64 {
+            let rt = &rt;
+            ts.spawn(move || {
+                if c % 2 == 0 {
+                    for _ in 0..8 {
+                        assert_eq!(rt.parallel(|s| fib_region(s, 13)), fib_seq(13));
+                    }
+                } else {
+                    let hs: Vec<_> = (0..8).map(|_| rt.submit(|s| fib_region(s, 13))).collect();
+                    for h in hs {
+                        assert_eq!(h.join(), fib_seq(13));
+                    }
+                }
+            });
+        }
+    });
+}

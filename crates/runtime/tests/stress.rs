@@ -6,9 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use bots_runtime::{LocalOrder, Runtime, RuntimeConfig, RuntimeCutoff, Scope};
 
 #[test]
-fn concurrent_parallel_calls_serialize_safely() {
-    // `parallel` takes &self; callers on different threads must queue up
-    // behind the region lock and all complete correctly.
+fn concurrent_parallel_calls_overlap_safely() {
+    // `parallel` takes &self; callers on different threads run their
+    // regions concurrently on the one team and must all complete correctly.
     let rt = Runtime::with_threads(4);
     let total = AtomicU64::new(0);
     std::thread::scope(|ts| {

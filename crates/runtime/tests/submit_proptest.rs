@@ -1,0 +1,76 @@
+//! Property test for the sharded injector, driven through the public
+//! `submit` API: across randomly sized swarms of concurrent submitters, no
+//! region root is ever lost (every submitted region runs and joins) or
+//! duplicated (each result is delivered exactly once, to its own joiner).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bots_runtime::{Runtime, RuntimeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn no_region_lost_or_duplicated(
+        workers in 1usize..5,
+        clients in 1usize..9,
+        regions_per_client in 1usize..25,
+        spawns in 0usize..9,
+    ) {
+        let rt = Runtime::new(RuntimeConfig::new(workers));
+        // Every region returns a globally unique token and also records it
+        // on a shared ledger from inside the region; the two views must
+        // agree exactly with the submitted set.
+        // `submit` takes 'static closures, so the in-region ledger is an
+        // Arc; the joined list is only touched by the client threads.
+        let ledger: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let joined: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|ts| {
+            for client in 0..clients as u64 {
+                let (rt, ledger, joined) = (&rt, ledger.clone(), &joined);
+                ts.spawn(move || {
+                    let handles: Vec<_> = (0..regions_per_client as u64)
+                        .map(|region| {
+                            let token = client * 10_000 + region;
+                            let ledger = ledger.clone();
+                            rt.submit(move |s| {
+                                // Some region-internal task traffic, so the
+                                // injector races against deque activity.
+                                let acc = AtomicU64::new(0);
+                                s.taskgroup(|s| {
+                                    for _ in 0..spawns {
+                                        let acc = &acc;
+                                        s.spawn(move |_| {
+                                            acc.fetch_add(1, Ordering::Relaxed);
+                                        });
+                                    }
+                                });
+                                assert_eq!(acc.load(Ordering::Relaxed), spawns as u64);
+                                ledger.lock().unwrap().push(token);
+                                token
+                            })
+                        })
+                        .collect();
+                    let mut got: Vec<u64> =
+                        handles.into_iter().map(|h| h.join()).collect();
+                    joined.lock().unwrap().append(&mut got);
+                });
+            }
+        });
+
+        let want: HashSet<u64> = (0..clients as u64)
+            .flat_map(|c| (0..regions_per_client as u64).map(move |r| c * 10_000 + r))
+            .collect();
+        let ran = ledger.lock().unwrap().clone();
+        let joined = joined.into_inner().unwrap();
+
+        prop_assert_eq!(ran.len(), want.len(), "a region ran twice or never");
+        prop_assert_eq!(&ran.iter().copied().collect::<HashSet<u64>>(), &want);
+        prop_assert_eq!(joined.len(), want.len());
+        prop_assert_eq!(&joined.into_iter().collect::<HashSet<u64>>(), &want);
+    }
+}

@@ -33,11 +33,15 @@ fn region(rt: &Runtime, batch: u64) -> u64 {
     acc.load(Ordering::Relaxed)
 }
 
-/// Minimum allocation-call count over a few runs of `batch` spawns (minimum,
-/// because an unrelated thread parking at an unlucky moment cannot *remove*
-/// allocations — the floor is the region's true cost).
+/// Minimum allocation-call count over several runs of `batch` spawns
+/// (minimum, because an unrelated thread parking at an unlucky moment
+/// cannot *remove* allocations — the floor is the region's true cost). An
+/// unmeasured settle run first lets in-flight cross-thread record reclaim
+/// drain home, so a worker briefly starved by steal traffic does not carve
+/// a fresh slab chunk inside the measurement.
 fn min_alloc_delta(rt: &Runtime, batch: u64) -> u64 {
-    (0..5)
+    assert_eq!(region(rt, batch), batch);
+    (0..9)
         .map(|_| {
             let before = alloc_calls();
             assert_eq!(region(rt, batch), batch);

@@ -57,10 +57,15 @@ fn node(
         };
         let mut slot_iter = slots.iter_mut();
         s.taskgroup(|s| {
-            for (pa, pb) in pairs {
+            // The pairs stay owned by this frame (the taskgroup's deep wait
+            // keeps it alive); each task borrows its pair instead of moving
+            // two 32-byte matrices into the closure, keeping the capture
+            // inside the task record's inline budget (spill telemetry
+            // asserts this suite-wide).
+            for (pa, pb) in &pairs {
                 let slot = slot_iter.next().expect("seven slots");
                 s.spawn_with(spawn_attrs, move |s| {
-                    *slot = Some(node(s, &pa, &pb, mode, attrs, depth + 1, cutoff));
+                    *slot = Some(node(s, pa, pb, mode, attrs, depth + 1, cutoff));
                 });
             }
         });

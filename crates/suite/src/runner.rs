@@ -161,6 +161,54 @@ pub fn thread_sweep(
     (serial, points)
 }
 
+/// One entry of an overlapped-verification sweep.
+#[derive(Debug, Clone)]
+pub struct OverlapOutcome {
+    /// Application name.
+    pub name: String,
+    /// Version that ran.
+    pub version: VersionSpec,
+    /// Verification outcome.
+    pub result: Result<(), String>,
+}
+
+/// Verifies many application × version combinations **concurrently on one
+/// worker team**: every entry gets its own client thread, which runs the
+/// parallel version and verifies it while the other entries' regions are
+/// in flight on the same workers.
+///
+/// This is both a suite mode (verification wall time drops to roughly the
+/// longest single entry) and a runtime stress: the kernels' regions
+/// overlap arbitrarily, so any cross-region leakage — a stray panic, a
+/// lost root, misattributed quiescence — surfaces as a verification
+/// failure here long before a dedicated runtime test would catch it.
+pub fn verify_overlapping(
+    benches: &[Box<dyn Benchmark>],
+    rt: &bots_runtime::Runtime,
+    class: InputClass,
+) -> Vec<OverlapOutcome> {
+    let outcomes = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|clients| {
+        for bench in benches {
+            for version in bench.versions() {
+                let (outcomes, bench) = (&outcomes, bench.as_ref());
+                clients.spawn(move || {
+                    let out = bench.run_parallel(rt, class, version);
+                    let result = verify(bench, class, &out);
+                    outcomes.lock().unwrap().push(OverlapOutcome {
+                        name: bench.meta().name.to_string(),
+                        version,
+                        result,
+                    });
+                });
+            }
+        }
+    });
+    let mut outcomes = outcomes.into_inner().unwrap();
+    outcomes.sort_by(|a, b| (&a.name, a.version.label()).cmp(&(&b.name, b.version.label())));
+    outcomes
+}
+
 /// The default ladder of team sizes used by the figures: 1, 2, 4, 8, ... up
 /// to the machine (the paper uses 1..32 on its 32-cpu cpuset).
 pub fn default_thread_ladder() -> Vec<usize> {

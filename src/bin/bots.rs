@@ -5,8 +5,14 @@
 //! bots list
 //! bots run <app> [--class C] [--version V] [--threads N] [--reps R]
 //!          [--check] [--serial] [--stats]
+//! bots check [--class C] [--threads N]
 //! bots versions <app>
 //! ```
+//!
+//! `check` verifies every application × version with their regions
+//! overlapped on one worker team (each combination submits from its own
+//! client thread), so a full-suite verification costs roughly the longest
+//! single entry instead of the sum.
 
 use std::process::ExitCode;
 
@@ -15,7 +21,8 @@ use bots::{find_benchmark, registry, InputClass, Runtime, RuntimeConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  bots list\n  bots versions <app>\n  bots run <app> [flags]\n\nflags:\n  \
+        "usage:\n  bots list\n  bots versions <app>\n  bots run <app> [flags]\n  \
+         bots check [--class C] [--threads N]\n\nflags:\n  \
          --class test|small|medium|large   input class (default medium)\n  \
          --version LABEL                   version label (default: best; see `bots versions`)\n  \
          --threads N                       team size (default: machine)\n  \
@@ -62,7 +69,72 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run_command(&args[1..]),
+        Some("check") => check_command(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// `bots check`: overlapped whole-suite verification on one team.
+fn check_command(args: &[String]) -> ExitCode {
+    let mut class = InputClass::Test;
+    let mut threads = bots::runtime::default_threads();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().map(String::as_str).unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--class" | "-c" => match value().parse() {
+                Ok(c) => class = c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" | "-t" => match value().parse::<usize>() {
+                Ok(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+
+    let benches = registry();
+    let rt = Runtime::new(RuntimeConfig::new(threads));
+    let t0 = std::time::Instant::now();
+    let outcomes = runner::verify_overlapping(&benches, &rt, class);
+    let elapsed = t0.elapsed();
+
+    let mut failures = 0usize;
+    for o in &outcomes {
+        match &o.result {
+            Ok(()) => println!("ok      {:<10} {}", o.name, o.version.label()),
+            Err(e) => {
+                failures += 1;
+                println!("FAILED  {:<10} {} — {e}", o.name, o.version.label());
+            }
+        }
+    }
+    println!(
+        "{} combinations verified with overlapped regions in {:.3} s on {} threads ({} failed)",
+        outcomes.len(),
+        elapsed.as_secs_f64(),
+        threads,
+        failures
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

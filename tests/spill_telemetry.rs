@@ -1,0 +1,51 @@
+//! Spill telemetry: the zero-allocation spawn property holds only while
+//! every spawned closure fits the task record's 64 inline bytes. This test
+//! pins that down for the whole suite — if a kernel grows its captures past
+//! the inline budget, `closure_spilled` moves and the test names it.
+
+use bots::{registry, InputClass, Runtime};
+
+#[test]
+fn bots_kernels_never_spill_spawn_closures() {
+    let rt = Runtime::with_threads(4);
+    for bench in registry() {
+        for version in bench.versions() {
+            let before = rt.stats();
+            let _ = bench.run_parallel(&rt, InputClass::Test, version);
+            let d = rt.stats().since(&before);
+            assert_eq!(
+                d.closure_spilled,
+                0,
+                "{} {} spilled {} closures past the inline budget \
+                 (spawned {}, executed {})",
+                bench.meta().name,
+                version,
+                d.closure_spilled,
+                d.spawned,
+                d.executed
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_closures_are_counted_as_spills() {
+    // The counter itself must work: a deliberately fat capture (> 64 bytes)
+    // spills exactly once per spawn.
+    let rt = Runtime::with_threads(2);
+    let before = rt.stats();
+    rt.parallel(move |s| {
+        // Built inside the region so the *root* closure stays inline; only
+        // the ten spawns below carry the fat capture.
+        let fat = [7u8; 128];
+        s.taskgroup(|s| {
+            for _ in 0..10 {
+                s.spawn(move |_| {
+                    std::hint::black_box(fat);
+                });
+            }
+        });
+    });
+    let d = rt.stats().since(&before);
+    assert_eq!(d.closure_spilled, 10, "every fat spawn must be counted");
+}

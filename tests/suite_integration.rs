@@ -26,6 +26,27 @@ fn every_app_every_version_verifies_in_parallel() {
 }
 
 #[test]
+fn every_app_every_version_verifies_with_overlapped_regions() {
+    // The concurrent-regions suite mode: all application × version
+    // combinations submit their verification regions onto one team at
+    // once. Every combination must still verify — regions are isolated.
+    let rt = Runtime::with_threads(4);
+    let benches = registry();
+    let outcomes = runner::verify_overlapping(&benches, &rt, InputClass::Test);
+    let expected: usize = benches.iter().map(|b| b.versions().len()).sum();
+    assert_eq!(outcomes.len(), expected, "every combination reports back");
+    for o in &outcomes {
+        assert!(
+            o.result.is_ok(),
+            "{} {} failed under overlapped regions: {:?}",
+            o.name,
+            o.version,
+            o.result
+        );
+    }
+}
+
+#[test]
 fn every_app_works_on_a_single_thread_team() {
     let rt = Runtime::with_threads(1);
     for bench in registry() {
