@@ -1,0 +1,196 @@
+//! The perf-trajectory gate: compares the `BENCH_*.json` reports the
+//! probes emitted against the checked-in baseline
+//! (`crates/bench/baseline.json`) and exits non-zero when any metric
+//! regressed past the tolerance (default 25%).
+//!
+//! ```text
+//! bench_gate [--baseline FILE] [--update] [DIR]
+//! ```
+//!
+//! * `DIR` — directory holding `BENCH_*.json` files (default `bench-json`,
+//!   matching the CI job's `BOTS_BENCH_JSON_DIR`).
+//! * `--baseline FILE` — baseline path (default `crates/bench/baseline.json`,
+//!   resolved against the workspace root when run via `cargo run`).
+//! * `--update` — instead of gating, rewrite the baseline from the measured
+//!   reports (run on a quiet machine, then commit the diff).
+//!
+//! `BOTS_GATE_TOLERANCE_PCT` overrides the baseline's tolerance.
+//!
+//! Metric direction is by name: `*_per_s` is higher-is-better, everything
+//! else lower-is-better; zero-baseline lower-is-better metrics (the
+//! zero-allocation paths) are held to an absolute ceiling of 1.0. Metrics
+//! or probes absent from the baseline are reported but never fail the gate
+//! — `--update` teaches the baseline about them.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use bots_bench::perf::{compare, parse_report, Baseline, Report};
+
+fn default_baseline_path() -> PathBuf {
+    // Under `cargo run` the manifest dir is crates/bench; fall back to a
+    // plain relative path for standalone invocation from the repo root.
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        return Path::new(&dir).join("baseline.json");
+    }
+    PathBuf::from("crates/bench/baseline.json")
+}
+
+fn load_reports(dir: &Path) -> Result<Vec<Report>, String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read report dir {}: {e}", dir.display()))?;
+    let mut reports = Vec::new();
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        reports.push(
+            parse_report(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?,
+        );
+    }
+    if reports.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json reports in {} — run the probes with \
+             BOTS_BENCH_JSON_DIR={0} first",
+            dir.display()
+        ));
+    }
+    Ok(reports)
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = default_baseline_path();
+    let mut dir = PathBuf::from("bench-json");
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = PathBuf::from(p),
+                None => {
+                    eprintln!("missing value for --baseline");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update" => update = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bench_gate [--baseline FILE] [--update] [DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => dir = PathBuf::from(other),
+        }
+    }
+
+    let reports = match load_reports(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_gate: bad baseline {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) if update => Baseline {
+            tolerance_pct: 25.0,
+            probes: Default::default(),
+        },
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read baseline {}: {e} (run with --update to create it)",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if let Ok(tol) = std::env::var("BOTS_GATE_TOLERANCE_PCT") {
+        match tol.parse::<f64>() {
+            Ok(t) if t > 0.0 => baseline.tolerance_pct = t,
+            _ => {
+                eprintln!("bench_gate: bad BOTS_GATE_TOLERANCE_PCT '{tol}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if update {
+        for report in &reports {
+            baseline
+                .probes
+                .insert(report.probe.clone(), report.metrics.clone());
+        }
+        if let Err(e) = std::fs::write(&baseline_path, baseline.to_json()) {
+            eprintln!("bench_gate: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "baseline {} updated from {} report(s)",
+            baseline_path.display(),
+            reports.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "gating {} report(s) against {} (tolerance {}%)",
+        reports.len(),
+        baseline_path.display(),
+        baseline.tolerance_pct
+    );
+    println!(
+        "{:<44} {:>14} {:>14} {:>9}",
+        "metric", "baseline", "measured", "verdict"
+    );
+    let mut regressions = 0usize;
+    let mut checked = 0usize;
+    for report in &reports {
+        let verdicts = compare(&baseline, report);
+        if verdicts.is_empty() {
+            println!(
+                "{:<44} {:>14} {:>14} {:>9}",
+                format!("{}.*", report.probe),
+                "-",
+                "-",
+                "no-base"
+            );
+            continue;
+        }
+        for v in verdicts {
+            checked += 1;
+            let verdict = if v.regressed {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:<44} {:>14.3} {:>14.3} {:>9}",
+                v.label, v.baseline, v.measured, verdict
+            );
+        }
+    }
+    println!(
+        "{checked} metric(s) checked, {regressions} regression(s) past \
+         {}% tolerance",
+        baseline.tolerance_pct
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -10,11 +10,20 @@
 //! ```
 //!
 //! Sweeps client counts at a fixed team size; `BOTS_BENCH_FAST=1` (the CI
-//! smoke setting) shrinks the workload.
+//! smoke setting) shrinks the workload. Runs under the counting allocator
+//! so allocations per region are measured; with `BOTS_BENCH_JSON_DIR` set,
+//! writes `BENCH_regions_probe.json` (regions/s, ns/submit, allocs/region
+//! per client count) for the CI perf-trajectory artifact + gate
+//! (`bench_gate`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bots::runtime::Runtime;
+use bots_bench::perf::Report;
+use bots_profile::alloc_calls;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
 
 /// Regions a client keeps in flight before joining the oldest.
 const WINDOW: usize = 16;
@@ -30,36 +39,50 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(32);
     let workers = 4usize;
+    let mut report = Report::new("regions_probe");
 
     println!("workers={workers} regions/client={regions} spawns/region={spawns} window={WINDOW}");
     println!(
-        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>11}",
-        "clients", "regions/s", "ns/submit", "tasks/s", "parks", "propagated"
+        "{:>8} {:>12} {:>12} {:>13} {:>12} {:>10} {:>11}",
+        "clients", "regions/s", "ns/submit", "allocs/region", "tasks/s", "parks", "propagated"
     );
 
     for clients in [1usize, 2, 4, 8] {
         let rt = Runtime::with_threads(workers);
-        // Warm the team, the slabs and the injector shards.
-        run_clients(&rt, 1, regions.min(64), spawns);
+        // Warm the team, the slabs, the injector shards and the region
+        // descriptor pool.
+        run_clients(&rt, clients, regions.min(64), spawns);
 
         let before = rt.stats();
+        let allocs_before = alloc_calls();
         let t0 = std::time::Instant::now();
         let submit_ns = run_clients(&rt, clients, regions, spawns);
         let elapsed = t0.elapsed();
+        let allocs = alloc_calls() - allocs_before;
         let d = rt.stats().since(&before);
 
         let total_regions = clients as u64 * regions;
         let total_tasks = total_regions * spawns;
+        let regions_per_s = total_regions as f64 / elapsed.as_secs_f64();
+        let ns_per_submit = submit_ns as f64 / total_regions as f64;
+        // Includes the per-client thread spawns of the harness itself — a
+        // small constant, kept so creep in either layer is visible.
+        let allocs_per_region = allocs as f64 / total_regions as f64;
         println!(
-            "{:>8} {:>12.0} {:>12.1} {:>12.0} {:>10} {:>11}",
+            "{:>8} {:>12.0} {:>12.1} {:>13.3} {:>12.0} {:>10} {:>11}",
             clients,
-            total_regions as f64 / elapsed.as_secs_f64(),
-            submit_ns as f64 / total_regions as f64,
+            regions_per_s,
+            ns_per_submit,
+            allocs_per_region,
             total_tasks as f64 / elapsed.as_secs_f64(),
             d.parks,
             d.wake_propagations,
         );
+        report.push(format!("regions_per_s_c{clients}"), regions_per_s);
+        report.push(format!("ns_per_submit_c{clients}"), ns_per_submit);
+        report.push(format!("allocs_per_region_c{clients}"), allocs_per_region);
     }
+    report.maybe_emit();
 }
 
 /// Runs the probe workload; returns the summed wall-clock nanoseconds spent

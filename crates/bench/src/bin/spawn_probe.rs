@@ -1,10 +1,22 @@
 //! Spawn-path diagnostic: per-task cost of `spawn` + `taskgroup` join for a
 //! flat batch, swept over team sizes, with the runtime counters that explain
 //! it (parks, steals, slab recycling). The numbers feed the
-//! zero-allocation-spawn work; `runtime_overhead` is the regression gate.
+//! zero-allocation-spawn work; `runtime_overhead` is the regression gate
+//! for dev boxes, and the JSON this probe emits feeds CI's perf-trajectory
+//! gate (`bench_gate`).
+//!
+//! Runs under the counting allocator so `allocs_per_task` is measured, not
+//! asserted-by-construction. With `BOTS_BENCH_JSON_DIR` set, writes
+//! `BENCH_spawn_probe.json` (ns/task, tasks/s and allocs/task per team
+//! size) for the CI artifact + gate.
 
 use bots::runtime::RuntimeStats;
 use bots::Runtime;
+use bots_bench::perf::Report;
+use bots_profile::alloc_calls;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
 
 fn main() {
     let batch: u64 = std::env::args()
@@ -12,11 +24,20 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
     let reps = 20;
+    let mut report = Report::new("spawn_probe");
 
     println!("batch={batch} reps={reps}");
     println!(
-        "{:>7} {:>12} {:>10} {:>8} {:>9} {:>9} {:>10} {:>11}",
-        "threads", "ns/task", "parks", "stolen", "recycled", "fresh", "crossfree", "switched"
+        "{:>7} {:>12} {:>11} {:>10} {:>8} {:>9} {:>9} {:>10} {:>11}",
+        "threads",
+        "ns/task",
+        "allocs/task",
+        "parks",
+        "stolen",
+        "recycled",
+        "fresh",
+        "crossfree",
+        "switched"
     );
     for threads in [1usize, 2, 4] {
         let rt = Runtime::with_threads(threads);
@@ -29,6 +50,7 @@ fn main() {
             });
         });
         let before: RuntimeStats = rt.stats();
+        let allocs_before = alloc_calls();
         let t0 = std::time::Instant::now();
         for _ in 0..reps {
             rt.parallel(|s| {
@@ -40,11 +62,16 @@ fn main() {
             });
         }
         let elapsed = t0.elapsed();
+        let allocs = alloc_calls() - allocs_before;
         let d = rt.stats().since(&before);
+        let tasks = (batch * reps) as f64;
+        let ns_per_task = elapsed.as_nanos() as f64 / tasks;
+        let allocs_per_task = allocs as f64 / tasks;
         println!(
-            "{:>7} {:>12.1} {:>10} {:>8} {:>9} {:>9} {:>10} {:>11}",
+            "{:>7} {:>12.1} {:>11.4} {:>10} {:>8} {:>9} {:>9} {:>10} {:>11}",
             threads,
-            elapsed.as_nanos() as f64 / (batch * reps) as f64,
+            ns_per_task,
+            allocs_per_task,
             d.parks,
             d.stolen,
             d.slab_recycled,
@@ -52,5 +79,12 @@ fn main() {
             d.slab_cross_freed,
             d.switched_in_wait,
         );
+        report.push(format!("ns_per_task_t{threads}"), ns_per_task);
+        report.push(format!("allocs_per_task_t{threads}"), allocs_per_task);
+        report.push(
+            format!("tasks_per_s_t{threads}"),
+            tasks / elapsed.as_secs_f64(),
+        );
     }
+    report.maybe_emit();
 }

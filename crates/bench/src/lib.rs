@@ -12,6 +12,9 @@
 //! | `cutoff_sweep` | §IV-D — speed-up vs cut-off depth |
 //! | `generators` | §IV-D — SparseLU single vs multiple generators |
 //! | `policies` | §IV-D — scheduling policies & runtime cut-offs |
+//! | `spawn_probe` | spawn-path ns/task + allocs/task (emits `BENCH_spawn_probe.json`) |
+//! | `regions_probe` | multi-region regions/s, ns/submit, allocs/region (emits `BENCH_regions_probe.json`) |
+//! | `bench_gate` | CI perf-trajectory gate vs `crates/bench/baseline.json` (see [`perf`]) |
 //!
 //! Common flags: `--class test|small|medium|large` (default medium),
 //! `--reps N` (default 3), `--threads 1,2,4,...` (default: power-of-two
@@ -21,6 +24,8 @@
 //! block for plotting.
 
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use bots_inputs::InputClass;
 use bots_suite::runner::default_thread_ladder;

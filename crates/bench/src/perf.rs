@@ -1,0 +1,488 @@
+//! Machine-readable probe reports and the perf-trajectory gate's data
+//! model: `BENCH_<probe>.json` emission, a parser for the same subset of
+//! JSON, and the baseline comparison that CI fails on.
+//!
+//! The format is deliberately tiny — flat string→number metric maps —
+//! written and parsed by hand because this workspace vendors no serde
+//! (no registry access; see `crates/shims/`).
+//!
+//! ## Metric direction
+//!
+//! A metric whose name contains `_per_s` is **higher-is-better**
+//! (throughput); every other metric is **lower-is-better** (latency,
+//! allocations). The gate fails when a metric regresses past the
+//! tolerance; zero-baseline lower-is-better metrics (e.g. `allocs_per_*`
+//! on the zero-allocation paths) get an absolute ceiling of `1.0` instead
+//! of a meaningless relative one.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One probe's machine-readable report: an ordered metric map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Probe name (`spawn_probe`, `regions_probe`, ...).
+    pub probe: String,
+    /// Metric name → value.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Report {
+    /// A new empty report for `probe`.
+    pub fn new(probe: &str) -> Report {
+        Report {
+            probe: probe.to_string(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Records one metric.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.insert(name.into(), value);
+    }
+
+    /// Serialises to the `BENCH_*.json` format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"probe\": \"{}\",", self.probe);
+        let _ = writeln!(out, "  \"metrics\": {{");
+        let n = self.metrics.len();
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(out, "    \"{k}\": {v:.4}{comma}");
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes `BENCH_<probe>.json` into `dir`, creating it if needed.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.probe));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Emits the report when `BOTS_BENCH_JSON_DIR` is set (the CI
+    /// perf-trajectory job sets it; interactive runs stay table-only).
+    /// Returns the written path, if any.
+    pub fn maybe_emit(&self) -> Option<PathBuf> {
+        let dir = std::env::var_os("BOTS_BENCH_JSON_DIR")?;
+        match self.write_to(Path::new(&dir)) {
+            Ok(path) => {
+                eprintln!("wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("failed to write bench json: {e}");
+                None
+            }
+        }
+    }
+}
+
+/// Parses a `BENCH_*.json` document (the exact subset [`Report::to_json`]
+/// emits, whitespace-insensitive).
+pub fn parse_report(text: &str) -> Result<Report, String> {
+    let value = Json::parse(text)?;
+    let obj = value.as_object().ok_or("top level is not an object")?;
+    let probe = obj
+        .get("probe")
+        .and_then(Json::as_str)
+        .ok_or("missing \"probe\"")?
+        .to_string();
+    let metrics_obj = obj
+        .get("metrics")
+        .and_then(Json::as_object)
+        .ok_or("missing \"metrics\" object")?;
+    let mut metrics = BTreeMap::new();
+    for (k, v) in metrics_obj {
+        metrics.insert(
+            k.clone(),
+            v.as_number()
+                .ok_or_else(|| format!("metric {k} not a number"))?,
+        );
+    }
+    Ok(Report { probe, metrics })
+}
+
+/// The checked-in baseline: per-probe metric maps plus the tolerance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Allowed relative regression, in percent (default 25).
+    pub tolerance_pct: f64,
+    /// Probe name → metric map.
+    pub probes: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+impl Baseline {
+    /// Serialises the baseline file.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"tolerance_pct\": {:.1},", self.tolerance_pct);
+        let _ = writeln!(out, "  \"probes\": {{");
+        let np = self.probes.len();
+        for (i, (probe, metrics)) in self.probes.iter().enumerate() {
+            let _ = writeln!(out, "    \"{probe}\": {{");
+            let nm = metrics.len();
+            for (j, (k, v)) in metrics.iter().enumerate() {
+                let comma = if j + 1 < nm { "," } else { "" };
+                let _ = writeln!(out, "      \"{k}\": {v:.4}{comma}");
+            }
+            let comma = if i + 1 < np { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a baseline file.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object().ok_or("top level is not an object")?;
+        let tolerance_pct = obj
+            .get("tolerance_pct")
+            .and_then(Json::as_number)
+            .unwrap_or(25.0);
+        let mut probes = BTreeMap::new();
+        if let Some(probe_obj) = obj.get("probes").and_then(Json::as_object) {
+            for (probe, metrics_val) in probe_obj {
+                let metrics_obj = metrics_val
+                    .as_object()
+                    .ok_or_else(|| format!("probe {probe} is not an object"))?;
+                let mut metrics = BTreeMap::new();
+                for (k, v) in metrics_obj {
+                    metrics.insert(
+                        k.clone(),
+                        v.as_number()
+                            .ok_or_else(|| format!("baseline {probe}.{k} not a number"))?,
+                    );
+                }
+                probes.insert(probe.clone(), metrics);
+            }
+        }
+        Ok(Baseline {
+            tolerance_pct,
+            probes,
+        })
+    }
+}
+
+/// Is `name` a higher-is-better (throughput) metric?
+pub fn higher_is_better(name: &str) -> bool {
+    name.contains("_per_s")
+}
+
+/// One gate verdict for one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// `probe.metric` label.
+    pub label: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Measured value.
+    pub measured: f64,
+    /// Did this metric regress past the tolerance?
+    pub regressed: bool,
+}
+
+/// Compares one report against the baseline with `tolerance_pct` slack.
+/// Metrics missing from the baseline are skipped (reported `regressed:
+/// false`, so a freshly added metric cannot fail CI until the baseline
+/// learns it via `bench_gate --update`).
+pub fn compare(baseline: &Baseline, report: &Report) -> Vec<Verdict> {
+    let tol = baseline.tolerance_pct / 100.0;
+    let Some(base_metrics) = baseline.probes.get(&report.probe) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (name, &measured) in &report.metrics {
+        let Some(&base) = base_metrics.get(name) else {
+            continue;
+        };
+        let regressed = if higher_is_better(name) {
+            measured < base * (1.0 - tol)
+        } else if base <= f64::EPSILON {
+            // Zero-baseline latency/alloc metric: relative slack is
+            // meaningless; hold the line at an absolute ceiling of one.
+            measured > 1.0
+        } else {
+            measured > base * (1.0 + tol)
+        };
+        out.push(Verdict {
+            label: format!("{}.{}", report.probe, name),
+            baseline: base,
+            measured,
+            regressed,
+        });
+    }
+    out
+}
+
+/// The narrow JSON subset the reports use: objects, strings, numbers.
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Number(f64),
+    Str(String),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(c) if c.is_ascii_digit() || *c == b'-' || *c == b'+' => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|&c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|&c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            // The emitter never escapes; reject rather than mis-parse.
+            if b == b'\\' {
+                return Err("escape sequences unsupported".into());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        let mut r = Report::new("spawn_probe");
+        r.push("ns_per_task_t1", 140.25);
+        r.push("allocs_per_task_t1", 0.0);
+        r.push("tasks_per_s_t1", 7.0e6);
+        r
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report();
+        let parsed = parse_report(&r.to_json()).unwrap();
+        assert_eq!(parsed.probe, "spawn_probe");
+        assert_eq!(parsed.metrics.len(), 3);
+        assert!((parsed.metrics["ns_per_task_t1"] - 140.25).abs() < 1e-9);
+        assert!((parsed.metrics["tasks_per_s_t1"] - 7.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut b = Baseline {
+            tolerance_pct: 25.0,
+            probes: BTreeMap::new(),
+        };
+        b.probes
+            .insert("spawn_probe".into(), report().metrics.clone());
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let mut b = Baseline {
+            tolerance_pct: 25.0,
+            probes: BTreeMap::new(),
+        };
+        b.probes
+            .insert("spawn_probe".into(), report().metrics.clone());
+        let mut measured = report();
+        // 20% slower latency, 20% lower throughput: both inside 25%.
+        measured.push("ns_per_task_t1", 140.25 * 1.20);
+        measured.push("tasks_per_s_t1", 7.0e6 * 0.80);
+        assert!(compare(&b, &measured).iter().all(|v| !v.regressed));
+    }
+
+    #[test]
+    fn gate_trips_on_latency_regression() {
+        let mut b = Baseline {
+            tolerance_pct: 25.0,
+            probes: BTreeMap::new(),
+        };
+        b.probes
+            .insert("spawn_probe".into(), report().metrics.clone());
+        let mut measured = report();
+        measured.push("ns_per_task_t1", 140.25 * 1.30); // 30% slower
+        let verdicts = compare(&b, &measured);
+        let v = verdicts
+            .iter()
+            .find(|v| v.label == "spawn_probe.ns_per_task_t1")
+            .unwrap();
+        assert!(v.regressed, "a 30% latency regression must trip the gate");
+    }
+
+    #[test]
+    fn gate_trips_on_throughput_collapse_and_alloc_creep() {
+        let mut b = Baseline {
+            tolerance_pct: 25.0,
+            probes: BTreeMap::new(),
+        };
+        b.probes
+            .insert("spawn_probe".into(), report().metrics.clone());
+        let mut measured = report();
+        measured.push("tasks_per_s_t1", 7.0e6 * 0.5); // throughput halved
+        measured.push("allocs_per_task_t1", 2.0); // zero-baseline ceiling
+        let verdicts = compare(&b, &measured);
+        assert!(
+            verdicts
+                .iter()
+                .find(|v| v.label.ends_with("tasks_per_s_t1"))
+                .unwrap()
+                .regressed
+        );
+        assert!(
+            verdicts
+                .iter()
+                .find(|v| v.label.ends_with("allocs_per_task_t1"))
+                .unwrap()
+                .regressed
+        );
+    }
+
+    #[test]
+    fn unknown_probe_and_metrics_are_skipped() {
+        let b = Baseline {
+            tolerance_pct: 25.0,
+            probes: BTreeMap::new(),
+        };
+        assert!(compare(&b, &report()).is_empty(), "no baseline, no verdict");
+    }
+}

@@ -58,6 +58,41 @@ pub enum RuntimeCutoff {
     },
 }
 
+/// Per-region task-creation budget: a cut-off checked against **one
+/// region's own** queued-task count, so a greedy region serialises *its
+/// own* spawns instead of starving its siblings'.
+///
+/// This is the per-region counterpart of [`RuntimeCutoff`]'s
+/// `MaxTasks`/`Adaptive`, which are deliberately global (machine-load
+/// backpressure): a latency-sensitive server sets a global cut-off for the
+/// machine *and* a region budget for fairness. The two compose — a spawn is
+/// serialised when either trips.
+///
+/// Set a team-wide default with
+/// [`RuntimeConfig::with_region_budget`]; override per submission with
+/// [`Runtime::submit_with_budget`](crate::Runtime::submit_with_budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegionBudget {
+    /// No per-region limit. As a per-submission override this means "use
+    /// the team default"; as the team default it means unbudgeted (only the
+    /// global [`RuntimeCutoff`] applies).
+    #[default]
+    Inherit,
+    /// Serialise this region's spawns while it has at least this many
+    /// queued-but-unstarted tasks of its own.
+    MaxQueued(usize),
+    /// Per-region adaptive hysteresis (the region-scoped analogue of
+    /// [`RuntimeCutoff::Adaptive`]): serialise once the region's queued
+    /// count rises above `high`, resume deferring when it falls below
+    /// `low`.
+    Adaptive {
+        /// Lower watermark (resume deferring below this).
+        low: usize,
+        /// Upper watermark (serialise above this).
+        high: usize,
+    },
+}
+
 /// Full runtime configuration. Build with [`RuntimeConfig::new`] and the
 /// `with_*` setters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +103,10 @@ pub struct RuntimeConfig {
     pub local_order: LocalOrder,
     /// Runtime-side cut-off strategy.
     pub cutoff: RuntimeCutoff,
+    /// Default per-region task budget for every submitted region (override
+    /// per submission with
+    /// [`Runtime::submit_with_budget`](crate::Runtime::submit_with_budget)).
+    pub region_budget: RegionBudget,
     /// Enforce the tied-task scheduling constraint: a worker blocked at a
     /// `taskwait` inside a *tied* task will not steal unrelated tasks from
     /// other workers (it only drains its own deque). Untied tasks never
@@ -99,6 +138,7 @@ impl Default for RuntimeConfig {
             num_threads: default_threads(),
             local_order: LocalOrder::Lifo,
             cutoff: RuntimeCutoff::None,
+            region_budget: RegionBudget::Inherit,
             enforce_tied_constraint: true,
             steal_rounds: 4,
             wake_propagation: true,
@@ -145,6 +185,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets the default per-region task budget.
+    pub fn with_region_budget(mut self, budget: RegionBudget) -> Self {
+        self.region_budget = budget;
+        self
+    }
+
     /// Enables or disables the tied-task scheduling constraint.
     pub fn with_tied_constraint(mut self, enforce: bool) -> Self {
         self.enforce_tied_constraint = enforce;
@@ -180,6 +226,7 @@ mod tests {
         assert!(c.num_threads >= 1);
         assert_eq!(c.local_order, LocalOrder::Lifo);
         assert_eq!(c.cutoff, RuntimeCutoff::None);
+        assert_eq!(c.region_budget, RegionBudget::Inherit);
         assert!(c.enforce_tied_constraint);
         assert!(c.wake_propagation);
     }
@@ -189,6 +236,7 @@ mod tests {
         let c = RuntimeConfig::new(3)
             .with_local_order(LocalOrder::Fifo)
             .with_cutoff(RuntimeCutoff::MaxTasks { per_worker: 8 })
+            .with_region_budget(RegionBudget::MaxQueued(32))
             .with_tied_constraint(false)
             .with_steal_rounds(2)
             .with_wake_propagation(false);
@@ -196,6 +244,7 @@ mod tests {
         assert_eq!(c.num_threads, 3);
         assert_eq!(c.local_order, LocalOrder::Fifo);
         assert_eq!(c.cutoff, RuntimeCutoff::MaxTasks { per_worker: 8 });
+        assert_eq!(c.region_budget, RegionBudget::MaxQueued(32));
         assert!(!c.enforce_tied_constraint);
         assert_eq!(c.steal_rounds, 2);
         let c = c.with_record_chunk(0);

@@ -3,6 +3,14 @@
 //! (executed on every task spawn and completion) **free of shared writes
 //! when nobody is sleeping**.
 //!
+//! The runtime's *progress* channel is one of these: blocking region
+//! joiners, taskwaiters and the runtime destructor's in-flight-region
+//! drain all park here. Note what does **not** need it any more: a region
+//! completion consumed through the async path (a polled `RegionHandle` or
+//! an `on_complete` callback) is fired edge-wise by the quiescence
+//! transition itself — the event count only wakes the threads that chose
+//! to block.
+//!
 //! Protocol: a prospective sleeper **registers first** ([`prepare`] bumps
 //! the sleeper count and snapshots the epoch), re-checks its wake-up
 //! condition, and then either [`wait`]s for that epoch or [`cancel`]s the

@@ -3,9 +3,13 @@
 //! This crate is the execution substrate of the BOTS reproduction: a
 //! from-scratch work-stealing runtime whose surface mirrors the OpenMP 3.0
 //! tasking model that the Barcelona OpenMP Tasks Suite was written against —
-//! grown into a **concurrent multi-region runtime**: one worker team serves
-//! any number of parallel regions at once, fed by any number of client
-//! threads.
+//! grown into a **concurrent multi-region runtime** with a **server-grade
+//! region lifecycle**: one worker team serves any number of parallel
+//! regions at once, fed by any number of client threads, with pooled
+//! region descriptors (a steady-state submission allocates nothing),
+//! per-region cut-off budgets, and completions that can be joined, polled
+//! as a `Future`, or delivered through a callback — no blocked thread per
+//! in-flight region.
 //!
 //! ```
 //! use bots_runtime::{Runtime, RuntimeConfig, TaskAttrs};
@@ -20,11 +24,83 @@
 //!     1 + 2
 //! });
 //! assert_eq!(total, 3);
+//! ```
 //!
-//! // The non-blocking form: submit regions from any thread, join later.
-//! let a = rt.submit(|_| 40);
-//! let b = rt.submit(|_| 2);
-//! assert_eq!(a.join() + b.join(), 42);
+//! ## The async region lifecycle: a server frontend in three shapes
+//!
+//! [`Runtime::submit`] publishes a region and returns a [`RegionHandle`]
+//! without blocking. The handle completes three ways — pick per request,
+//! on one shared team:
+//!
+//! ```
+//! use bots_runtime::{RegionBudget, Runtime, RuntimeConfig};
+//! use std::future::Future;
+//! use std::pin::pin;
+//! use std::sync::Arc;
+//! use std::task::{Context, Poll, Wake, Waker};
+//!
+//! // A minimal single-future executor, standing in for tokio & friends:
+//! // parks the thread, and the region's completion wakes it — the waker is
+//! // fired by the quiescence transition itself, nothing polls or spins.
+//! fn block_on<F: Future>(fut: F) -> F::Output {
+//!     struct Unpark(std::thread::Thread);
+//!     impl Wake for Unpark {
+//!         fn wake(self: Arc<Self>) {
+//!             self.0.unpark()
+//!         }
+//!     }
+//!     let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
+//!     let mut cx = Context::from_waker(&waker);
+//!     let mut fut = pin!(fut);
+//!     loop {
+//!         match fut.as_mut().poll(&mut cx) {
+//!             Poll::Ready(v) => return v,
+//!             Poll::Pending => std::thread::park(),
+//!         }
+//!     }
+//! }
+//!
+//! let rt = Runtime::new(RuntimeConfig::new(4));
+//!
+//! // 1. Executor-polled: the handle IS a Future.
+//! let sum = block_on(rt.submit(|s| {
+//!     let acc = std::sync::atomic::AtomicU64::new(0);
+//!     s.taskgroup(|s| {
+//!         for i in 1..=100u64 {
+//!             let acc = &acc;
+//!             s.spawn(move |_| {
+//!                 acc.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+//!             });
+//!         }
+//!     });
+//!     acc.load(std::sync::atomic::Ordering::Relaxed)
+//! }));
+//! assert_eq!(sum, 5050);
+//!
+//! // 2. Callback: detach the region, get the result pushed to you the
+//! //    moment it quiesces (here into a channel a reply loop would drain).
+//! let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+//! rt.submit(|_| 40 + 2).on_complete(move |result| {
+//!     reply_tx.send(result.expect("region panicked")).unwrap();
+//! });
+//! assert_eq!(reply_rx.recv().unwrap(), 42);
+//!
+//! // 3. Blocking join — now a thin shim over the same machinery — with a
+//! //    per-region budget: this request may queue at most 64 of its own
+//! //    tasks before spawning serially; other requests are unaffected.
+//! let h = rt.submit_with_budget(RegionBudget::MaxQueued(64), |s| {
+//!     let acc = std::sync::atomic::AtomicU64::new(0);
+//!     s.taskgroup(|s| {
+//!         for _ in 0..1000 {
+//!             let acc = &acc;
+//!             s.spawn(move |_| {
+//!                 acc.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+//!             });
+//!         }
+//!     });
+//!     acc.load(std::sync::atomic::Ordering::Relaxed)
+//! });
+//! assert_eq!(h.join(), 1000);
 //! ```
 //!
 //! ## What is modelled, and how faithfully
@@ -34,11 +110,19 @@
 //!   **zero heap allocations**, and [`RuntimeStats::closure_spilled`] counts
 //!   the exceptions) queued on per-worker [Chase-Lev deques](deque); idle
 //!   workers steal the oldest task from a random victim.
-//! * **Regions** are first-class and concurrent: each
-//!   [`submit`](Runtime::submit)/[`parallel`](Runtime::parallel) call gets
-//!   its own region descriptor (root task, quiescence refcount, panic slot,
-//!   stats attribution), its root enters the team through a sharded
-//!   lock-free injector, and a panic stays inside the region that raised it.
+//! * **Regions** are first-class, concurrent and pooled: each
+//!   [`submit`](Runtime::submit)/[`parallel`](Runtime::parallel) call
+//!   leases a recycled region descriptor (embedded root record, inline
+//!   result slot, completion slot, quiescence refcount, panic slot, budget
+//!   and stats attribution — a steady-state submission performs **zero
+//!   heap allocations**), its root enters the team through a sharded
+//!   lock-free injector, and a panic stays inside the region that raised
+//!   it. Completion is event-driven: the quiescence transition fires the
+//!   region's `Waker` or `on_complete` callback, so joins need not block.
+//! * **Per-region budgets** ([`RegionBudget`]): on top of the global
+//!   [`RuntimeCutoff`], each region can carry its own queued-task budget;
+//!   a region that trips it spawns serially ([`RegionStats::serialized`]
+//!   counts how often) while its siblings keep deferring freely.
 //! * **Tied vs untied** ([`TaskAttrs`]): a task always runs start-to-finish
 //!   on one OS thread (icc 11.0, the paper's runtime, did not implement
 //!   thread switching either). The difference is the *task scheduling
@@ -64,7 +148,7 @@
 //! | `task` | pooled single-block task records, refcounted lifecycle |
 //! | `slab` | per-worker record free lists + cross-thread reclaim |
 //! | `injector` | sharded lock-free injector feeding region roots to the team |
-//! | `region` | per-region descriptors: root, panic slot, attribution |
+//! | `region` | pooled region descriptors: root, result, completion, budget, attribution |
 //! | `event` | sleeper-gated event count (no shared writes to notify) |
 //! | [`pool`](Runtime) | worker threads, submit/join, region lifecycle |
 //! | [`scope`](Scope) | `spawn` / `taskwait` / `parallel_for` |
@@ -90,7 +174,7 @@ mod slab;
 mod stats;
 mod task;
 
-pub use config::{default_threads, LocalOrder, RuntimeConfig, RuntimeCutoff};
+pub use config::{default_threads, LocalOrder, RegionBudget, RuntimeConfig, RuntimeCutoff};
 pub use local::{CacheAligned, WorkerCounter, WorkerLocal};
 pub use pool::{RegionHandle, Runtime};
 pub use region::RegionStats;

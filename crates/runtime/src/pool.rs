@@ -75,20 +75,20 @@
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use crate::config::{LocalOrder, RuntimeConfig, RuntimeCutoff};
+use crate::config::{LocalOrder, RegionBudget, RuntimeConfig, RuntimeCutoff};
 use crate::deque::{deque, Steal, Stealer, TaskDeque};
 use crate::event::EventCount;
 use crate::injector::Injector;
 use crate::local::CacheAligned;
-use crate::region::{Region, RegionStats};
+use crate::region::{Completion, Region, RegionPool, RegionStats};
 use crate::rng::XorShift64;
 use crate::scope::Scope;
 use crate::slab::{AllocSource, RecordSlab};
 use crate::stats::{RuntimeStats, WorkerCounters};
-use crate::task::{Group, TaskAttrs, TaskRecord, HOME_BOXED};
+use crate::task::{Group, TaskAttrs, TaskRecord, HOME_BOXED, HOME_REGION};
 
 /// Worker-thread stack size. Task switching at `taskwait` nests task frames
 /// on the worker stack (there is no continuation stealing), so recursive
@@ -141,6 +141,17 @@ pub(crate) struct Shared {
     pub(crate) counters: Vec<WorkerCounters>,
     /// Per-worker record pools; indexed by `TaskRecord::home` on free.
     pub(crate) slabs: Vec<RecordSlab>,
+    /// Pooled region descriptors (see [`crate::region`]): a steady-state
+    /// submission leases one instead of allocating.
+    pub(crate) region_pool: RegionPool,
+    /// Regions submitted but not yet quiescent, detached ones included.
+    /// `Runtime::drop` waits for this to drain before shutting the team
+    /// down, so an `on_complete` callback can never be silently abandoned.
+    pub(crate) live_regions: AtomicUsize,
+    /// Region descriptors allocated fresh vs recycled (submitting threads
+    /// have no worker counter block, like `root_spilled`).
+    pub(crate) regions_fresh: AtomicU64,
+    pub(crate) regions_recycled: AtomicU64,
 }
 
 // Safety: `Shared` is shared across worker threads by design. The raw task
@@ -211,23 +222,34 @@ impl Shared {
     ///
     /// Destruction routes the record home: to the owner's local free list
     /// when the caller *is* the owner, onto the owner's cross-thread reclaim
-    /// stack otherwise, or back to the heap for boxed (root) records.
+    /// stack otherwise, back to the region pool for region-root records
+    /// (which are embedded in their descriptor), or to the heap for
+    /// individually boxed test records.
     pub(crate) fn release_record(&self, rec: NonNull<TaskRecord>, worker_index: Option<usize>) {
         let mut cur = rec;
         loop {
             let r = unsafe { cur.as_ref() };
-            // Snapshot before releasing: `parent` is immutable after init,
-            // but once our reference is gone the remaining holder may
-            // destroy the record concurrently (for a root, the spin-polling
-            // region joiner frees it the instant it observes refs == 1), so
-            // `r` must not be touched after a release that was not the last.
+            // Snapshot before releasing: `parent` and `region` are immutable
+            // after init, but once our reference is gone the remaining
+            // holder may destroy the record concurrently (for a root, the
+            // spin-polling region joiner frees it the instant it observes
+            // refs == 1), so `r` must not be touched after a release that
+            // was not the last.
             let parent = r.parent();
+            let region = r.region();
             match r.release_ref() {
                 1 => {}
                 // Root records: the drop to the joiner's lone handle is the
-                // region-quiescence signal.
+                // region-quiescence signal. Fire the region's completion
+                // slot (waker or detached callback), then wake blocking
+                // joiners through the progress channel. The descriptor is
+                // still safe to dereference here even though refs == 1
+                // already: every finishing path gates the lease return on
+                // the completion slot having fired (see
+                // `RegionHandle::finish_lease`), which happens inside
+                // `region_quiesced`.
                 2 if parent.is_none() => {
-                    self.progress.notify();
+                    self.region_quiesced(region);
                     return;
                 }
                 _ => return,
@@ -243,6 +265,16 @@ impl Shared {
                         cur.as_ptr().cast::<MaybeUninit<TaskRecord>>(),
                     ));
                 }
+            } else if home == HOME_REGION {
+                // The record is embedded in its region descriptor; its final
+                // release is the whole region's lifecycle end. The releasing
+                // path has already taken the result and panic out, so the
+                // descriptor — root storage included — goes back to the pool
+                // for the next submission to lease.
+                debug_assert!(!region.is_null(), "region root without a region");
+                let slot = worker_index.unwrap_or_else(submitter_slot);
+                self.region_pool
+                    .release(unsafe { NonNull::new_unchecked(region.cast_mut()) }, slot);
             } else {
                 let slab = &self.slabs[home as usize];
                 match worker_index {
@@ -260,6 +292,32 @@ impl Shared {
                 None => return,
             }
         }
+    }
+
+    /// The region-quiescence zero-transition: fires the completion slot
+    /// exactly once, retires the region from the live count, and notifies
+    /// the progress channel for blocking joiners. A detached completion
+    /// runs right here, on the completing thread (almost always a worker) —
+    /// it finishes the region (result, panic, final root release) and
+    /// invokes the user callback, whose panics are swallowed so they cannot
+    /// tear a worker thread down.
+    fn region_quiesced(&self, region: *const Region) {
+        if !region.is_null() {
+            // Safety: the region stays leased at least until its root's
+            // final release, which is downstream of this call.
+            match unsafe { (*region).complete() } {
+                Some(Completion::Waker(w)) => w.wake(),
+                Some(Completion::Detached(finish)) => {
+                    // A panicking on_complete callback must not unwind into
+                    // the worker loop; the panic is discarded like one from
+                    // a detached thread.
+                    drop(catch_unwind(AssertUnwindSafe(finish)));
+                }
+                None => {}
+            }
+            self.live_regions.fetch_sub(1, Ordering::Release);
+        }
+        self.progress.notify();
     }
 }
 
@@ -441,6 +499,12 @@ impl WorkerCtx {
         }
         if let Some(region) = region {
             WorkerCounters::bump(&region.shard(self.index).executed);
+            // Per-region queued accounting mirrors the global one: explicit
+            // spawns added on the spawner's shard, executions subtract here.
+            // Roots are not queued-by-spawn, so they do not subtract.
+            if r.parent().is_some() {
+                region.queued_delta(self.index, -1);
+            }
         }
 
         // Completion: a task does *not* wait for its children (that is what
@@ -470,6 +534,17 @@ pub(crate) struct ExecCtx<'w> {
     pub(crate) worker: &'w WorkerCtx,
     pub(crate) rec: NonNull<TaskRecord>,
 }
+
+/// A `Send` wrapper for the raw region-descriptor pointer that the root
+/// shim and detached-completion closures capture.
+///
+/// Safety: the descriptor is `Sync`, and the lease protocol
+/// ([`crate::region`]) keeps it valid for as long as the capturing closure
+/// can run. Closures must capture the *whole wrapper* (bind `let p = p;`
+/// first): 2021 disjoint capture would otherwise grab the raw-pointer
+/// field alone and un-`Send` the closure.
+struct RegionPtr(NonNull<Region>);
+unsafe impl Send for RegionPtr {}
 
 /// Injector shard affinity for the calling (submitting) thread: a cached
 /// hash of the thread id, so concurrent clients land on different shards
@@ -515,10 +590,11 @@ impl Runtime {
     /// Builds a team from an explicit configuration.
     pub fn new(config: RuntimeConfig) -> Self {
         let n = config.num_threads;
-        // `TaskRecord::home` is a u16 with HOME_BOXED reserved: a worker
-        // index that aliased it would route record frees to Box::from_raw.
+        // `TaskRecord::home` is a u16 with HOME_BOXED and HOME_REGION
+        // reserved: a worker index that aliased either would misroute
+        // record frees.
         assert!(
-            n < HOME_BOXED as usize,
+            n < HOME_REGION as usize,
             "team size {n} exceeds the record home-index range"
         );
         let track_queued = matches!(
@@ -546,6 +622,10 @@ impl Runtime {
             slabs: (0..n)
                 .map(|_| RecordSlab::new(config.record_chunk))
                 .collect(),
+            region_pool: RegionPool::new(n),
+            live_regions: AtomicUsize::new(0),
+            regions_fresh: AtomicU64::new(0),
+            regions_recycled: AtomicU64::new(0),
             config,
         });
 
@@ -598,6 +678,8 @@ impl Runtime {
             s.accumulate(w);
         }
         s.closure_spilled += self.shared.root_spilled.load(Ordering::Relaxed);
+        s.regions_fresh = self.shared.regions_fresh.load(Ordering::Relaxed);
+        s.regions_recycled = self.shared.regions_recycled.load(Ordering::Relaxed);
         s
     }
 
@@ -631,7 +713,7 @@ impl Runtime {
         // Sound for the same reason as `std::thread::scope`: join() blocks
         // this frame until the region quiesces, so everything `f` borrows
         // outlives every task that can observe it.
-        self.submit_inner(f).join()
+        self.submit_inner(f, RegionBudget::Inherit).join()
     }
 
     /// Submits `f` as the root task of a new parallel region and returns a
@@ -699,46 +781,91 @@ impl Runtime {
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_inner(f)
+        self.submit_inner(f, RegionBudget::Inherit)
+    }
+
+    /// [`submit`](Self::submit) with an explicit per-region cut-off budget,
+    /// overriding the team default
+    /// ([`RuntimeConfig::with_region_budget`]). Pass
+    /// [`RegionBudget::Inherit`] to keep the default; a budget makes *this*
+    /// region's spawns run inline once its own queued-task count trips the
+    /// limit, leaving every other region's spawn behaviour untouched (see
+    /// [`RegionStats::serialized`]).
+    pub fn submit_with_budget<F, R>(&self, budget: RegionBudget, f: F) -> RegionHandle<'_, R>
+    where
+        F: FnOnce(&Scope<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.submit_inner(f, budget)
     }
 
     /// The shared submission path behind [`parallel`](Self::parallel) and
-    /// [`submit`](Self::submit).
+    /// [`submit`](Self::submit). **Zero heap allocations in the steady
+    /// state**: the region descriptor (root record, result slot, shards
+    /// included) is leased from the pool, and the root closure is stored
+    /// inline in the embedded root record.
     ///
-    /// Lifetime contract (private; upheld by the two public wrappers): the
+    /// Lifetime contract (private; upheld by the public wrappers): the
     /// `'env` lifetime is erased by the record's raw closure storage, so the
-    /// returned handle must quiesce — via `join` or drop — before `'env`
-    /// ends. `submit` instantiates `'env = 'static`; `parallel` joins
-    /// before returning.
-    fn submit_inner<'env, F, R>(&self, f: F) -> RegionHandle<'_, R>
+    /// returned handle must quiesce — via `join`, poll-to-ready or drop —
+    /// before `'env` ends. `submit` instantiates `'env = 'static`;
+    /// `parallel` joins before returning.
+    fn submit_inner<'env, F, R>(&self, f: F, budget: RegionBudget) -> RegionHandle<'_, R>
     where
         F: FnOnce(&Scope<'env>) -> R + Send + 'env,
         R: Send + 'env,
     {
         let shared = &self.shared;
-        let region = Arc::new(Region::new(shared.config.num_threads));
-        let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+        let budget = match budget {
+            RegionBudget::Inherit => shared.config.region_budget,
+            explicit => explicit,
+        };
+        let slot = submitter_slot();
+        let (region, fresh) = shared.region_pool.lease(slot, budget);
+        if fresh {
+            shared.regions_fresh.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.regions_recycled.fetch_add(1, Ordering::Relaxed);
+        }
 
-        // Root record: individually boxed (the submitter has no slab), held
-        // by two handles — the injector queue's and the joiner's.
-        let root = TaskRecord::new_boxed(TaskAttrs::tied(), Arc::as_ptr(&region));
-        region.set_root(root);
-        unsafe { root.as_ref() }.add_ref();
+        // Root record: embedded in the descriptor, held by two handles —
+        // the injector queue's and the joiner's.
+        let root = unsafe { region.as_ref() }.root();
+        unsafe {
+            TaskRecord::init(
+                root,
+                None,
+                None,
+                region.as_ptr(),
+                HOME_REGION,
+                TaskAttrs::tied(),
+            );
+            root.as_ref().add_ref();
+        }
 
-        // Root shim: run the user closure, stash the result.
-        let result_slot = Arc::clone(&result);
+        // Root shim: run the user closure, store the result in the region's
+        // inline slot. The raw descriptor pointer crosses into the closure
+        // behind [`RegionPtr`]; it stays valid because the lease outlives
+        // the root task (see crate::region).
+        let regp = RegionPtr(region);
         let spilled = unsafe {
             TaskRecord::store_closure(root, move |ec: &ExecCtx<'_>| {
+                // Whole-wrapper capture; see `RegionPtr`.
+                let regp = regp;
                 let scope = Scope::from_exec(ec);
-                let r = f(&scope);
-                *result_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                let out = f(&scope);
+                if regp.0.as_ref().store_result(out) {
+                    // An oversized result is a spill like an oversized
+                    // closure: one box, visible in the same counter.
+                    WorkerCounters::bump(&ec.worker.counters().closure_spilled);
+                }
             })
         };
         if spilled {
             shared.root_spilled.fetch_add(1, Ordering::Relaxed);
         }
 
-        let slot = submitter_slot();
+        shared.live_regions.fetch_add(1, Ordering::Relaxed);
         shared.queued_delta(slot, 1);
         shared.injector.push(root, slot);
         // One region root → at most one extra pair of hands; wake
@@ -748,14 +875,30 @@ impl Runtime {
         RegionHandle {
             rt: self,
             region,
-            result,
             quiesced: false,
+            final_stats: None,
+            _result: std::marker::PhantomData,
         }
     }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
+        // Wait for in-flight regions — detached `on_complete` ones included
+        // — to quiesce before shutting the team down: every registered
+        // completion fires before the workers exit. (Joined regions are
+        // already quiescent here: their handles borrow the runtime.)
+        loop {
+            if self.shared.live_regions.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let token = self.shared.progress.prepare();
+            if self.shared.live_regions.load(Ordering::Acquire) == 0 {
+                self.shared.progress.cancel();
+                break;
+            }
+            self.shared.progress.wait_timeout(token, PARK_TIMEOUT);
+        }
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.work.notify();
         self.shared.progress.notify();
@@ -776,53 +919,182 @@ impl Default for Runtime {
 /// [`Runtime::submit`]; borrows the runtime, so the team provably outlives
 /// every region it serves.
 ///
+/// Three ways to consume a region's completion:
+///
+/// * [`join`](Self::join) — park the calling thread until quiescence (the
+///   classic blocking shim);
+/// * **poll it as a [`Future`]** — the handle registers the task's `Waker`
+///   in the region descriptor's completion slot and is woken exactly once,
+///   on the quiescence zero-transition, so an async server never burns a
+///   blocked thread per in-flight region;
+/// * [`on_complete`](Self::on_complete) — detach the region and run a
+///   callback (with the result or the region's panic payload) on the
+///   completing worker the moment it quiesces.
+///
 /// Dropping the handle **joins the region** (blocking until quiescence and
 /// discarding the result and any panic), mirroring how
 /// [`Runtime::parallel`] would behave if its caller ignored the result —
 /// a region can therefore never outlive its handle or leak task records.
-/// Leaking the handle itself (`std::mem::forget`) leaks the region's root
-/// record, exactly like forgetting any owning handle.
-#[must_use = "a RegionHandle joins (blocks) on drop; call join() to collect the result"]
+/// Leaking the handle itself (`std::mem::forget`) strands the region's
+/// pooled descriptor, exactly like forgetting any owning handle.
+#[must_use = "a RegionHandle joins (blocks) on drop; join(), poll or on_complete() it"]
 pub struct RegionHandle<'rt, R> {
     rt: &'rt Runtime,
-    region: Arc<Region>,
-    result: Arc<Mutex<Option<R>>>,
-    /// Has the root been released (join already ran)?
+    /// The leased descriptor. Valid for the whole life of the handle: the
+    /// pool never frees descriptors before the runtime drops, and the lease
+    /// is only returned by this handle's own finishing path.
+    region: NonNull<Region>,
+    /// Has the final root reference been released (the lease returned)?
     quiesced: bool,
+    /// Attribution snapshot taken at finish time, so `stats` keeps
+    /// answering for *this* region after the descriptor has been returned
+    /// (and possibly re-leased by an unrelated submission).
+    final_stats: Option<RegionStats>,
+    _result: std::marker::PhantomData<fn() -> R>,
+}
+
+// Safety: the handle is a lease token plus a borrow of the (Sync) runtime;
+// the descriptor it points to is Sync and remains valid wherever the handle
+// travels. Result values only move through it when `R: Send`.
+unsafe impl<R: Send> Send for RegionHandle<'_, R> {}
+
+/// Takes panic and result out of a quiescent region and returns the lease
+/// to the pool — the one finishing sequence, shared by `join`/poll/drop
+/// (through [`RegionHandle::finish`]) and the detached `on_complete` path.
+///
+/// Gates on the completion slot having *fired*: quiescence may have been
+/// observed through the root refcount, and the thread that performed the
+/// 2→1 drop is still about to dereference the descriptor inside its
+/// completion fire, a few instructions behind the refcount store. The
+/// lease must not be touched for finishing — let alone returned — until
+/// that fire has landed.
+///
+/// # Safety
+/// `region` must be a live lease whose region has quiesced, `R` must be
+/// the submission's result type, and the caller must be the lease's sole
+/// finisher.
+unsafe fn finish_lease<R>(shared: &Shared, region: &Region) -> std::thread::Result<R> {
+    // Yield, don't pure-spin: on an oversubscribed host the firing thread
+    // may hold the only CPU this wait needs.
+    while !region.completion_fired() {
+        std::thread::yield_now();
+    }
+    let panic = region.take_panic();
+    let result = if region.result_written() {
+        Some(region.take_result::<R>())
+    } else {
+        None
+    };
+    shared.release_record(region.root(), None);
+    match panic {
+        Some(payload) => {
+            drop(result);
+            Err(payload)
+        }
+        None => Ok(result.expect("root task did not record a result")),
+    }
 }
 
 impl<R> RegionHandle<'_, R> {
+    #[inline]
+    fn region(&self) -> &Region {
+        // Safety: leased for the life of the handle (see the field docs).
+        unsafe { self.region.as_ref() }
+    }
+
     /// Has the region quiesced? Non-blocking; `true` means `join` will
     /// return without waiting.
     pub fn is_finished(&self) -> bool {
-        self.quiesced || self.region.root_refs() == 1
+        self.quiesced || self.region().root_refs() == 1
     }
 
-    /// Task-traffic attribution for this region so far: tasks spawned and
-    /// executed on its behalf, regardless of which worker ran them.
+    /// Task-traffic attribution for this region so far: tasks spawned,
+    /// executed and budget-serialised on its behalf, regardless of which
+    /// worker ran them. After the handle has completed (e.g. polled to
+    /// `Ready`), returns the final snapshot.
     pub fn stats(&self) -> RegionStats {
-        self.region.stats()
+        match self.final_stats {
+            Some(s) => s,
+            None => self.region().stats(),
+        }
     }
 
     /// Blocks until the region has quiesced — every task spawned inside it,
     /// transitively, has completed — then returns the root closure's value.
     /// A panic from any task of the region is re-raised here, and only
     /// here: concurrent regions are isolated from it.
+    ///
+    /// This is a thin blocking shim over the completion machinery: prefer
+    /// polling the handle as a [`Future`] or [`on_complete`](Self::on_complete)
+    /// when a blocked thread per region is too expensive.
     pub fn join(mut self) -> R {
         self.wait_quiescence();
-        if let Some(payload) = self.region.take_panic() {
-            resume_unwind(payload);
+        match self.finish() {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
         }
-        self.result
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
-            .expect("root task did not record a result")
+    }
+
+    /// Detaches the region: `callback` runs the moment the region quiesces,
+    /// **on the completing worker thread**, receiving the root closure's
+    /// value — or, like [`std::thread::JoinHandle::join`], the panic payload
+    /// of the region as an `Err`. If the region has already quiesced the
+    /// callback runs immediately on the calling thread.
+    ///
+    /// The callback should be short and must not block the worker (hand the
+    /// result to a channel, wake an executor, bump a counter). A panic
+    /// inside it is swallowed, like a panic in a detached thread.
+    /// [`Runtime`]'s destructor waits for detached regions, so a registered
+    /// callback always fires before the team shuts down.
+    pub fn on_complete<F>(self, callback: F)
+    where
+        F: FnOnce(std::thread::Result<R>) + Send + 'static,
+        R: Send + 'static,
+    {
+        let shared = Arc::clone(&self.rt.shared);
+        let region = self.region;
+        // The handle's obligations transfer to the detached finisher; its
+        // own Drop must not run.
+        std::mem::forget(self);
+        let regp = RegionPtr(region);
+        let finish = Box::new(move || {
+            // Whole-wrapper capture; see `RegionPtr`.
+            let regp = regp;
+            // Safety: fired from (or after) the quiescence transition, as
+            // the lease's sole finisher; the lease is returned inside
+            // `finish_lease` — *before* the callback, which may run
+            // arbitrarily long while the descriptor serves its next lease.
+            let outcome = unsafe { finish_lease::<R>(&shared, regp.0.as_ref()) };
+            callback(outcome);
+        });
+        if let Some(Completion::Detached(finish)) =
+            unsafe { region.as_ref() }.register_completion(Completion::Detached(finish))
+        {
+            // Already quiescent: fire on the calling thread (panics here
+            // propagate to the caller, who is not a worker mid-loop —
+            // unless the caller *is* a worker, where execute()'s
+            // catch_unwind contains them like any task panic).
+            finish();
+        }
+    }
+
+    /// Takes result and panic out of the quiescent region and returns the
+    /// lease (after which the descriptor may be re-used by any submitter),
+    /// keeping a final stats snapshot for late `stats` calls. Caller must
+    /// have established quiescence.
+    fn finish(&mut self) -> Result<R, crate::region::PanicPayload> {
+        self.final_stats = Some(self.region().stats());
+        // Safety: quiescent, sole finisher (guarded by `quiesced`), and `R`
+        // is this handle's submission result type.
+        let outcome = unsafe { finish_lease::<R>(&self.rt.shared, self.region()) };
+        self.quiesced = true;
+        outcome
     }
 
     /// Parks the calling thread until the root's refcount falls to this
-    /// handle's own reference, then destroys the root record. Idempotent
-    /// via `quiesced` (join + drop must not double-release).
+    /// handle's own reference. Does **not** release the lease — callers
+    /// follow up with [`finish`](Self::finish), which takes result/panic
+    /// out and returns the lease.
     fn wait_quiescence(&mut self) {
         if self.quiesced {
             return;
@@ -831,33 +1103,67 @@ impl<R> RegionHandle<'_, R> {
         // Joining from a task of the same team would park this worker
         // without task-switching: if every worker ends up here (trivially
         // so on a team of one), nobody is left to run the awaited region —
-        // a permanent deadlock. Fail loudly instead. The region is left
-        // running detached: `quiesced` is set so Drop does not re-enter
-        // (a double panic would abort), and one `Region` reference is
-        // deliberately leaked because in-flight records still hold raw
-        // pointers into it.
+        // a permanent deadlock. Fail loudly instead (for an explicit join
+        // *and* for a handle dropped inside a task — the silent-block
+        // variant of the same bug). The region keeps running detached:
+        // `quiesced` is set so Drop does not re-enter (a double panic would
+        // abort), and the descriptor lease is deliberately never returned —
+        // its memory stays valid for the in-flight records because the pool
+        // owns it until the runtime drops.
         if WORKER_OF.with(|w| std::ptr::eq(w.get(), shared as *const Shared)) {
             self.quiesced = true;
-            std::mem::forget(Arc::clone(&self.region));
             panic!(
                 "RegionHandle joined (or dropped) from inside a task of the same \
-                 runtime; join regions from client threads only"
+                 runtime; join regions from client threads only, or use \
+                 on_complete() to finish them without blocking"
             );
         }
         loop {
-            if self.region.root_refs() == 1 {
+            if self.region().root_refs() == 1 {
                 break;
             }
             let token = shared.progress.prepare();
-            if self.region.root_refs() == 1 {
+            if self.region().root_refs() == 1 {
                 shared.progress.cancel();
                 break;
             }
             shared.progress.wait_timeout(token, PARK_TIMEOUT);
         }
-        // Sole owner: destroy the root record.
-        shared.release_record(self.region.root(), None);
-        self.quiesced = true;
+    }
+}
+
+impl<R> std::future::Future for RegionHandle<'_, R> {
+    type Output = R;
+
+    /// Completes with the root closure's value once the region quiesces.
+    /// The waker is stored in the region descriptor's completion slot and
+    /// woken exactly once, by the quiescence zero-transition — no thread is
+    /// parked, no polling loop spins. A panic from any task of the region
+    /// is re-raised by the completing `poll`.
+    ///
+    /// Polling never blocks and is safe from any thread, workers included.
+    /// Polling again after `Ready` panics, like most futures.
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> std::task::Poll<R> {
+        // The handle is plain data (no self-references): safe to unpin.
+        let this = self.get_mut();
+        assert!(
+            !this.quiesced,
+            "RegionHandle polled after it already completed"
+        );
+        match this
+            .region()
+            .register_completion(Completion::Waker(cx.waker().clone()))
+        {
+            // Stored: the zero-transition will wake us (replacing any waker
+            // from an earlier poll). Re-registration on every poll keeps
+            // the slot current when the future migrates between tasks.
+            None => std::task::Poll::Pending,
+            // Already quiescent: finish inline.
+            Some(_stale) => match this.finish() {
+                Ok(value) => std::task::Poll::Ready(value),
+                Err(payload) => resume_unwind(payload),
+            },
+        }
     }
 }
 
@@ -865,9 +1171,9 @@ impl<R> Drop for RegionHandle<'_, R> {
     fn drop(&mut self) {
         if !self.quiesced {
             self.wait_quiescence();
-            // An unobserved region's panic is deliberately discarded, like
-            // a panic in a detached std thread.
-            drop(self.region.take_panic());
+            // An unobserved region's result and panic are deliberately
+            // discarded, like a panic in a detached std thread.
+            let _ = self.finish();
         }
     }
 }

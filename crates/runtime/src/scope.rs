@@ -152,6 +152,17 @@ impl<'scope> Scope<'scope> {
             WorkerCounters::bump(&counters.inlined_cutoff);
             return self.run_inline(attrs, f);
         }
+        // The region's own budget: unlike the global cut-off above, this
+        // one is checked against *this region's* queued count, so a greedy
+        // region serialises itself without slowing a sibling's spawns.
+        let region = unsafe { self.rec().region().as_ref() };
+        if let Some(region) = region {
+            if region.budget_trips() {
+                WorkerCounters::bump(&counters.inlined_budget);
+                WorkerCounters::bump(&region.shard(worker.index).serialized);
+                return self.run_inline(attrs, f);
+            }
+        }
 
         let rec = worker.new_record(Some(self.rec), self.group.clone(), attrs);
         self.rec().add_child();
@@ -161,9 +172,10 @@ impl<'scope> Scope<'scope> {
         shared.queued_delta(worker.index, 1);
         WorkerCounters::bump(&counters.spawned);
         // Region attribution: this worker's private (single-writer) shard
-        // of the region's counters, so the bump stays contention-free.
-        if let Some(region) = unsafe { self.rec().region().as_ref() } {
+        // of the region's counters, so the bumps stay contention-free.
+        if let Some(region) = region {
             WorkerCounters::bump(&region.shard(worker.index).spawned);
+            region.queued_delta(worker.index, 1);
         }
 
         // Store the user closure (wrapped to rebuild a scope) in the

@@ -22,6 +22,9 @@ pub(crate) struct WorkerCounters {
     pub inlined_cutoff: AtomicU64,
     /// Tasks executed inline because an ancestor was `final`.
     pub inlined_final: AtomicU64,
+    /// Tasks executed inline because their *region's* cut-off budget
+    /// tripped (see `RegionBudget`).
+    pub inlined_budget: AtomicU64,
     /// Deferred tasks this worker executed (own or stolen).
     pub executed: AtomicU64,
     /// Tasks obtained from another worker's deque.
@@ -75,6 +78,9 @@ pub struct RuntimeStats {
     pub inlined_cutoff: u64,
     /// Tasks inlined below a `final` task.
     pub inlined_final: u64,
+    /// Tasks inlined by a per-region budget
+    /// ([`RegionBudget`](crate::RegionBudget)).
+    pub inlined_budget: u64,
     /// Deferred tasks executed.
     pub executed: u64,
     /// Successful steals.
@@ -103,6 +109,12 @@ pub struct RuntimeStats {
     /// Wake-propagation events: a freshly woken worker saw more work and
     /// woke the next sleeper.
     pub wake_propagations: u64,
+    /// Region descriptors leased from a fresh heap allocation (pool growth
+    /// events — the region-level analogue of `slab_fresh`).
+    pub regions_fresh: u64,
+    /// Region descriptors recycled from the pool free list: submissions
+    /// that performed zero heap allocations.
+    pub regions_recycled: u64,
 }
 
 impl RuntimeStats {
@@ -111,6 +123,7 @@ impl RuntimeStats {
         self.inlined_if += w.inlined_if.load(Ordering::Relaxed);
         self.inlined_cutoff += w.inlined_cutoff.load(Ordering::Relaxed);
         self.inlined_final += w.inlined_final.load(Ordering::Relaxed);
+        self.inlined_budget += w.inlined_budget.load(Ordering::Relaxed);
         self.executed += w.executed.load(Ordering::Relaxed);
         self.stolen += w.stolen.load(Ordering::Relaxed);
         self.steal_misses += w.steal_misses.load(Ordering::Relaxed);
@@ -130,7 +143,11 @@ impl RuntimeStats {
     /// tasks" for versions that call into the runtime; manual-cut-off
     /// versions bypass the runtime and therefore do not count here.
     pub fn creation_points(&self) -> u64 {
-        self.spawned + self.inlined_if + self.inlined_cutoff + self.inlined_final
+        self.spawned
+            + self.inlined_if
+            + self.inlined_cutoff
+            + self.inlined_final
+            + self.inlined_budget
     }
 
     /// Fraction of deferred tasks that migrated between workers.
@@ -149,6 +166,7 @@ impl RuntimeStats {
             inlined_if: self.inlined_if - earlier.inlined_if,
             inlined_cutoff: self.inlined_cutoff - earlier.inlined_cutoff,
             inlined_final: self.inlined_final - earlier.inlined_final,
+            inlined_budget: self.inlined_budget - earlier.inlined_budget,
             executed: self.executed - earlier.executed,
             stolen: self.stolen - earlier.stolen,
             steal_misses: self.steal_misses - earlier.steal_misses,
@@ -161,6 +179,8 @@ impl RuntimeStats {
             slab_cross_freed: self.slab_cross_freed - earlier.slab_cross_freed,
             closure_spilled: self.closure_spilled - earlier.closure_spilled,
             wake_propagations: self.wake_propagations - earlier.wake_propagations,
+            regions_fresh: self.regions_fresh - earlier.regions_fresh,
+            regions_recycled: self.regions_recycled - earlier.regions_recycled,
         }
     }
 }
@@ -169,13 +189,15 @@ impl std::fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "spawned={} inlined(if/cutoff/final)={}/{}/{} executed={} stolen={} \
+            "spawned={} inlined(if/cutoff/final/budget)={}/{}/{}/{} executed={} stolen={} \
              misses={} parks={} taskwaits={} switched={} tied_denied={} \
-             slab(fresh/recycled/cross)={}/{}/{} spilled={} propagated={}",
+             slab(fresh/recycled/cross)={}/{}/{} regions(fresh/recycled)={}/{} \
+             spilled={} propagated={}",
             self.spawned,
             self.inlined_if,
             self.inlined_cutoff,
             self.inlined_final,
+            self.inlined_budget,
             self.executed,
             self.stolen,
             self.steal_misses,
@@ -186,6 +208,8 @@ impl std::fmt::Display for RuntimeStats {
             self.slab_fresh,
             self.slab_recycled,
             self.slab_cross_freed,
+            self.regions_fresh,
+            self.regions_recycled,
             self.closure_spilled,
             self.wake_propagations,
         )
@@ -217,9 +241,10 @@ mod tests {
             inlined_if: 3,
             inlined_cutoff: 2,
             inlined_final: 1,
+            inlined_budget: 4,
             ..Default::default()
         };
-        assert_eq!(s.creation_points(), 16);
+        assert_eq!(s.creation_points(), 20);
     }
 
     #[test]

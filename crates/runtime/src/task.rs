@@ -149,9 +149,14 @@ pub(crate) const INLINE_BYTES: usize = 64;
 /// Maximum supported alignment for inline closure captures.
 pub(crate) const INLINE_ALIGN: usize = 16;
 
-/// The `home` value marking a record that was individually boxed (region
-/// roots) rather than drawn from a worker slab.
+/// The `home` value marking a record that was individually boxed (unit-test
+/// records) rather than drawn from a worker slab.
 pub(crate) const HOME_BOXED: u16 = u16::MAX;
+
+/// The `home` value marking a region-root record embedded in its pooled
+/// [`Region`] descriptor: on final release the descriptor — record
+/// included — is returned to the region pool instead of the heap.
+pub(crate) const HOME_REGION: u16 = u16::MAX - 1;
 
 /// Type-erased entry point stored in a record: reads the closure out of the
 /// payload and runs it. Monomorphised per closure type by
@@ -258,16 +263,6 @@ impl TaskRecord {
             final_: attrs.final_clause || inherited_final,
             payload: UnsafeCell::new(Payload([MaybeUninit::uninit(); INLINE_BYTES])),
         });
-    }
-
-    /// Allocates an individually boxed record (used for region roots, which
-    /// are created on the submitting thread, outside any worker slab).
-    pub(crate) fn new_boxed(attrs: TaskAttrs, region: *const Region) -> NonNull<TaskRecord> {
-        let slot = NonNull::new(Box::into_raw(Box::new(MaybeUninit::<TaskRecord>::uninit())))
-            .expect("Box never null")
-            .cast::<TaskRecord>();
-        unsafe { TaskRecord::init(slot, None, None, region, HOME_BOXED, attrs) };
-        slot
     }
 
     /// The region this record belongs to (null only for synthetic

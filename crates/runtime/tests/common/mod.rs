@@ -1,0 +1,26 @@
+//! Helpers shared between integration-test binaries.
+
+use std::sync::Arc;
+
+/// A minimal single-future executor, standing in for a real async runtime:
+/// parks the calling thread; the future's completion (here, a region's
+/// quiescence transition) wakes it through the registered waker. Nothing
+/// polls in a loop or spins.
+pub fn block_on<F: std::future::Future>(fut: F) -> F::Output {
+    use std::task::{Context, Poll, Wake, Waker};
+    struct Unpark(std::thread::Thread);
+    impl Wake for Unpark {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark()
+        }
+    }
+    let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property test for the server-grade region lifecycle: across randomly
+//! sized swarms of concurrent submitters that finish their regions through
+//! every completion path the API offers — blocking `join`, polling the
+//! handle as a `Future`, detaching with `on_complete`, or plain `drop` —
+//! interleaved across budgeted and unbudgeted regions:
+//!
+//! * **no completion is lost** — every region's side effects land and every
+//!   collected result is correct;
+//! * **no completion double-fires** — each `on_complete` callback runs
+//!   exactly once, each future resolves exactly once;
+//! * **budget isolation** — a budget-throttled spam region may serialise
+//!   *itself*, but an unbudgeted sibling's `serialized` count stays zero.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bots_runtime::{RegionBudget, Runtime, RuntimeConfig, Scope};
+use proptest::prelude::*;
+
+mod common;
+use common::block_on;
+
+/// The region body: some task traffic, then a unique token as result. The
+/// ledger records execution (exactly-once from the region's side).
+fn region_body(s: &Scope<'_>, spawns: u64, token: u64, ledger: &Mutex<Vec<u64>>) -> u64 {
+    let acc = AtomicU64::new(0);
+    s.taskgroup(|s| {
+        for _ in 0..spawns {
+            let acc = &acc;
+            s.spawn(move |_| {
+                acc.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(acc.load(Ordering::Relaxed), spawns);
+    ledger.lock().unwrap().push(token);
+    token
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn no_completion_lost_none_double_fired_budgets_isolated(
+        workers in 1usize..5,
+        clients in 1usize..7,
+        regions_per_client in 1usize..17,
+        spawns in 0u64..40,
+    ) {
+        let rt = Runtime::new(RuntimeConfig::new(workers));
+        // Every region pushes its token here from inside the region body...
+        let ledger: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        // ...and every *observed* completion (join result, future output,
+        // callback argument) lands here. Dropped handles observe nothing
+        // but must still have run (ledger) and not fire anything extra.
+        // Arcs, because detached callbacks are 'static.
+        let observed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let callbacks_fired = Arc::new(AtomicUsize::new(0));
+        // Sibling serialized counts: every *unbudgeted* region's stats must
+        // show zero budget serialisation, however hard the spammers storm.
+        let sibling_serialized = AtomicU64::new(0);
+
+        std::thread::scope(|ts| {
+            for client in 0..clients as u64 {
+                let rt = &rt;
+                let ledger = ledger.clone();
+                let (observed, callbacks_fired) = (observed.clone(), callbacks_fired.clone());
+                let sibling_serialized = &sibling_serialized;
+                ts.spawn(move || {
+                    for region in 0..regions_per_client as u64 {
+                        let token = client * 10_000 + region;
+                        // Odd clients are spammers: heavy fan-out under a
+                        // tiny budget. Even clients are unbudgeted siblings.
+                        let spammer = client % 2 == 1;
+                        let (budget, my_spawns) = if spammer {
+                            (RegionBudget::MaxQueued(2), spawns * 8)
+                        } else {
+                            (RegionBudget::Inherit, spawns)
+                        };
+                        let ledger = ledger.clone();
+                        let h = rt.submit_with_budget(budget, move |s| {
+                            region_body(s, my_spawns, token, &ledger)
+                        });
+                        // Interleave all four completion paths.
+                        match region % 4 {
+                            0 => {
+                                // Post-quiescence stats probe: definitive
+                                // serialized count for this region.
+                                while !h.is_finished() {
+                                    std::thread::yield_now();
+                                }
+                                if !spammer {
+                                    sibling_serialized
+                                        .fetch_add(h.stats().serialized, Ordering::Relaxed);
+                                }
+                                // Join *before* taking the lock: worker-side
+                                // callbacks also push to `observed`, and
+                                // holding the lock across a blocking join
+                                // would deadlock the team.
+                                let value = h.join();
+                                observed.lock().unwrap().push(value);
+                            }
+                            1 => {
+                                // Same lock-ordering care as the join arm.
+                                let value = block_on(h);
+                                observed.lock().unwrap().push(value);
+                            }
+                            2 => {
+                                let fired = callbacks_fired.clone();
+                                let observed = observed.clone();
+                                h.on_complete(move |result| {
+                                    fired.fetch_add(1, Ordering::SeqCst);
+                                    observed.lock().unwrap().push(result.unwrap());
+                                });
+                            }
+                            _ => drop(h),
+                        }
+                    }
+                });
+            }
+        });
+        // Every client thread has returned; joins and drops are quiescent
+        // by construction, and detached callbacks fire before `Drop` of the
+        // runtime — force that now, then read the totals.
+        drop(rt);
+
+        let want: HashSet<u64> = (0..clients as u64)
+            .flat_map(|c| (0..regions_per_client as u64).map(move |r| c * 10_000 + r))
+            .collect();
+        let ran = ledger.lock().unwrap().clone();
+        prop_assert_eq!(ran.len(), want.len(), "a region ran twice or never");
+        prop_assert_eq!(&ran.iter().copied().collect::<HashSet<u64>>(), &want);
+
+        // Observed completions: every non-dropped region exactly once, with
+        // the right token (join/future/callback all deliver the result).
+        let observed = Arc::try_unwrap(observed)
+            .expect("all observers done")
+            .into_inner()
+            .unwrap();
+        let want_observed: HashSet<u64> = want
+            .iter()
+            .copied()
+            .filter(|t| (t % 10_000) % 4 != 3)
+            .collect();
+        prop_assert_eq!(
+            observed.len(),
+            want_observed.len(),
+            "a completion was lost or double-fired"
+        );
+        prop_assert_eq!(&observed.into_iter().collect::<HashSet<u64>>(), &want_observed);
+
+        // Each on_complete callback fired exactly once.
+        let want_callbacks = want.iter().filter(|t| (*t % 10_000) % 4 == 2).count();
+        prop_assert_eq!(callbacks_fired.load(Ordering::SeqCst), want_callbacks);
+
+        // Budget isolation: no unbudgeted sibling was ever serialised.
+        prop_assert_eq!(sibling_serialized.load(Ordering::Relaxed), 0u64);
+    }
+}

@@ -7,6 +7,9 @@ use std::sync::Arc;
 
 use bots_runtime::{Runtime, Scope};
 
+mod common;
+use common::block_on;
+
 fn fib_seq(n: u64) -> u64 {
     if n < 2 {
         n
@@ -318,4 +321,286 @@ fn mixed_parallel_and_submit_callers_coexist() {
             });
         }
     });
+}
+
+// ---------------------------------------------------------------------------
+// Async joins: the handle as a Future, and completion callbacks.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn handle_completes_as_a_future() {
+    let rt = Runtime::with_threads(2);
+    let got = block_on(rt.submit(|s| fib_region(s, 16)));
+    assert_eq!(got, fib_seq(16));
+}
+
+#[test]
+fn many_futures_complete_without_blocked_threads() {
+    // One client thread drives 32 in-flight regions to completion through
+    // polling alone — the old one-parked-thread-per-region pattern gone.
+    let rt = Runtime::with_threads(4);
+    let handles: Vec<_> = (0..32u64)
+        .map(|i| rt.submit(move |s| fib_region(s, 12) + i))
+        .collect();
+    let expected = fib_seq(12);
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(block_on(h), expected + i as u64);
+    }
+}
+
+#[test]
+fn future_rethrows_region_panic_on_completion() {
+    let rt = Runtime::with_threads(2);
+    let h = rt.submit(|s| {
+        s.spawn(|_| panic!("async boom"));
+        s.taskwait();
+    });
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| block_on(h)));
+    assert!(outcome.is_err(), "poll must re-raise the region's panic");
+    assert_eq!(rt.parallel(|_| 7), 7, "team unaffected");
+}
+
+#[test]
+fn on_complete_delivers_result_exactly_once() {
+    let rt = Runtime::with_threads(2);
+    let fired = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = std::sync::mpsc::channel();
+    {
+        let fired = fired.clone();
+        rt.submit(|s| fib_region(s, 14)).on_complete(move |result| {
+            fired.fetch_add(1, Ordering::SeqCst);
+            tx.send(result.expect("no panic")).unwrap();
+        });
+    }
+    assert_eq!(rx.recv().unwrap(), fib_seq(14));
+    // Quiesce more work through the team; the callback must not re-fire.
+    for _ in 0..4 {
+        rt.parallel(|s| fib_region(s, 10));
+    }
+    assert_eq!(fired.load(Ordering::SeqCst), 1, "completion double-fired");
+}
+
+#[test]
+fn on_complete_after_quiescence_runs_immediately() {
+    let rt = Runtime::with_threads(2);
+    let h = rt.submit(|_| 99u64);
+    while !h.is_finished() {
+        std::thread::yield_now();
+    }
+    let delivered = Arc::new(AtomicU64::new(0));
+    let d = delivered.clone();
+    h.on_complete(move |result| {
+        d.store(result.unwrap(), Ordering::SeqCst);
+    });
+    // Already-quiescent registration fires on the calling thread, inline.
+    assert_eq!(delivered.load(Ordering::SeqCst), 99);
+}
+
+#[test]
+fn on_complete_reports_region_panic_as_err() {
+    let rt = Runtime::with_threads(2);
+    let (tx, rx) = std::sync::mpsc::channel();
+    rt.submit(|s| {
+        s.spawn(|_| panic!("cb boom"));
+        s.taskwait();
+        5u64
+    })
+    .on_complete(move |result| {
+        tx.send(result.is_err()).unwrap();
+    });
+    assert!(rx.recv().unwrap(), "callback must see the panic as Err");
+    assert_eq!(rt.parallel(|_| 1), 1);
+}
+
+#[test]
+fn runtime_drop_waits_for_detached_regions() {
+    // The callback must fire even when the runtime is dropped right after
+    // submission: Drop drains in-flight regions before shutdown.
+    let fired = Arc::new(AtomicUsize::new(0));
+    {
+        let rt = Runtime::with_threads(2);
+        let fired = fired.clone();
+        rt.submit(|s| {
+            s.taskgroup(|s| {
+                for _ in 0..64 {
+                    s.spawn(|_| {
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    });
+                }
+            });
+        })
+        .on_complete(move |result| {
+            result.unwrap();
+            fired.fetch_add(1, Ordering::SeqCst);
+        });
+        // rt dropped here with the region possibly still in flight.
+    }
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn dropping_handle_inside_task_panics_instead_of_blocking() {
+    // The silent-block variant of the nested-join bug: a handle *dropped*
+    // (not joined) inside a task of the same runtime must raise the same
+    // explicit panic as the nested-`parallel` guard, not park the worker.
+    let rt = Runtime::with_threads(2);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.parallel(|_| {
+            let h = rt.submit(|_| 1u64);
+            drop(h); // would previously block the worker silently
+        })
+    }));
+    let payload = outcome.expect_err("drop-in-task must panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("inside a task of the same"),
+        "unexpected panic payload: {msg}"
+    );
+    // The team survives; the detached region quiesces on its own.
+    assert_eq!(rt.parallel(|_| 3), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Per-region cut-off budgets.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn budget_serializes_a_greedy_region() {
+    use bots_runtime::RegionBudget;
+    let rt = Runtime::with_threads(2);
+    let h = rt.submit_with_budget(RegionBudget::MaxQueued(4), |s| {
+        let acc = AtomicU64::new(0);
+        s.taskgroup(|s| {
+            for _ in 0..10_000u64 {
+                let acc = &acc;
+                s.spawn(move |_| {
+                    acc.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        acc.load(Ordering::Relaxed)
+    });
+    assert_eq!(h.join(), 10_000, "serialised spawns still all run");
+    let stats = rt.stats();
+    assert!(
+        stats.inlined_budget > 0,
+        "a 4-task budget against a 10k spawn storm never tripped: {stats}"
+    );
+}
+
+#[test]
+fn budget_isolation_spam_region_never_serializes_sibling() {
+    use bots_runtime::RegionBudget;
+    let rt = Runtime::with_threads(2);
+
+    // The spammer: tiny budget, huge fan-out — it must throttle itself.
+    let spam = rt.submit_with_budget(RegionBudget::MaxQueued(2), |s| {
+        s.taskgroup(|s| {
+            for _ in 0..20_000u64 {
+                s.spawn(|_| {});
+            }
+        });
+    });
+    // The sibling: unbudgeted, spawning steadily while the spammer storms.
+    let sibling = rt.submit(|s| {
+        let acc = AtomicU64::new(0);
+        s.taskgroup(|s| {
+            for i in 0..2_000u64 {
+                let acc = &acc;
+                s.spawn(move |_| {
+                    acc.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        acc.load(Ordering::Relaxed)
+    });
+
+    let spam_stats = {
+        while !spam.is_finished() {
+            std::thread::yield_now();
+        }
+        spam.stats()
+    };
+    let sibling_stats = {
+        while !sibling.is_finished() {
+            std::thread::yield_now();
+        }
+        sibling.stats()
+    };
+    assert_eq!(sibling.join(), (0..2_000).sum::<u64>());
+    spam.join();
+
+    assert!(
+        spam_stats.serialized > 0,
+        "the spam region's own budget must trip: {spam_stats:?}"
+    );
+    assert_eq!(
+        sibling_stats.serialized, 0,
+        "an unbudgeted sibling must never be serialised by a spammer's budget"
+    );
+}
+
+#[test]
+fn adaptive_region_budget_recovers() {
+    use bots_runtime::RegionBudget;
+    let rt = Runtime::with_threads(2);
+    let h = rt.submit_with_budget(RegionBudget::Adaptive { low: 2, high: 16 }, |s| {
+        let acc = AtomicU64::new(0);
+        s.taskgroup(|s| {
+            for _ in 0..5_000u64 {
+                let acc = &acc;
+                s.spawn(move |_| {
+                    acc.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        acc.load(Ordering::Relaxed)
+    });
+    assert_eq!(h.join(), 5_000);
+}
+
+#[test]
+fn config_default_budget_applies_to_submit() {
+    use bots_runtime::{RegionBudget, RuntimeConfig};
+    let rt = Runtime::new(RuntimeConfig::new(2).with_region_budget(RegionBudget::MaxQueued(2)));
+    let h = rt.submit(|s| {
+        s.taskgroup(|s| {
+            for _ in 0..5_000u64 {
+                s.spawn(|_| {});
+            }
+        });
+    });
+    while !h.is_finished() {
+        std::thread::yield_now();
+    }
+    let stats = h.stats();
+    h.join();
+    assert!(
+        stats.serialized > 0,
+        "the team-default budget must throttle plain submits: {stats:?}"
+    );
+}
+
+#[test]
+fn region_descriptors_recycle_across_submissions() {
+    let rt = Runtime::with_threads(2);
+    for round in 0..64u64 {
+        assert_eq!(rt.submit(move |_| round).join(), round);
+    }
+    let stats = rt.stats();
+    assert!(
+        stats.regions_recycled >= 60,
+        "sequential submits must recycle one descriptor: fresh={} recycled={}",
+        stats.regions_fresh,
+        stats.regions_recycled
+    );
+    assert!(
+        stats.regions_fresh <= 4,
+        "descriptor pool failed to bound growth: fresh={}",
+        stats.regions_fresh
+    );
 }

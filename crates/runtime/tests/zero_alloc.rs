@@ -65,18 +65,86 @@ fn steady_state_spawn_allocates_nothing() {
     let small = min_alloc_delta(&rt, 10_000);
     let large = min_alloc_delta(&rt, 20_000);
 
-    // A region may cost a constant number of allocations (the boxed root
-    // record); 10k extra spawns must cost zero more.
+    // A region may cost a constant number of allocations; 10k extra spawns
+    // must cost zero more.
     assert_eq!(
         large,
         small,
         "10_000 extra steady-state spawns performed {} heap allocations",
         large as i64 - small as i64
     );
-    // And that constant itself stays tiny — a handful of allocations for
-    // region setup, nothing proportional to anything.
+    // And that constant itself stays tiny — nothing proportional to
+    // anything (with pooled region descriptors it is in fact zero, which
+    // `steady_state_submit_allocates_nothing` asserts exactly).
     assert!(
         small <= 8,
         "a warm region should cost a handful of allocations, not {small}"
+    );
+}
+
+/// The pooled-region acceptance test: once the descriptor pool is warm, a
+/// whole `submit` + `join` round trip — descriptor lease, root record,
+/// result slot, completion — performs **exactly zero** heap allocations.
+///
+/// The region body uses `spawn` + `taskwait` rather than `taskgroup`: a
+/// taskgroup costs one `Arc` by design (that is a construct cost, not a
+/// region-lifecycle cost), and the tasks bump a static so their closures
+/// are `'static` without an owning allocation.
+#[test]
+fn steady_state_submit_allocates_nothing() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    let rt = Runtime::with_threads(4);
+
+    let roundtrip = |i: u64| {
+        let before = TICKS.load(Ordering::Relaxed);
+        let h = rt.submit(move |s| {
+            for task in 0..64u64 {
+                s.spawn(move |_| {
+                    TICKS.fetch_add(i + task, Ordering::Relaxed);
+                });
+            }
+            s.taskwait();
+            i
+        });
+        assert_eq!(h.join(), i);
+        assert_eq!(
+            TICKS.load(Ordering::Relaxed) - before,
+            (0..64).map(|t| i + t).sum::<u64>()
+        );
+    };
+
+    // Warm the descriptor pool, the slabs and every thread-local the
+    // submit/join path touches.
+    for i in 0..32 {
+        roundtrip(i);
+    }
+
+    // Minimum over several runs: an unlucky interleaving (a worker briefly
+    // starved into growing a slab) cannot subtract allocations, so the
+    // floor is the path's true cost — and it must be zero.
+    let min = (0..9)
+        .map(|rep| {
+            let before = alloc_calls();
+            for i in 0..16 {
+                roundtrip(rep * 100 + i);
+            }
+            alloc_calls() - before
+        })
+        .min()
+        .unwrap();
+    assert_eq!(
+        min, 0,
+        "a warm submit+join round trip performed {min} heap allocations \
+         across 16 regions"
+    );
+
+    // The recycling telemetry agrees: by now virtually every lease comes
+    // from the pool free list.
+    let stats = rt.stats();
+    assert!(
+        stats.regions_recycled > stats.regions_fresh,
+        "descriptor recycling never took over: fresh={} recycled={}",
+        stats.regions_fresh,
+        stats.regions_recycled
     );
 }

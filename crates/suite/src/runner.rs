@@ -170,6 +170,10 @@ pub struct OverlapOutcome {
     pub version: VersionSpec,
     /// Verification outcome.
     pub result: Result<(), String>,
+    /// Wall time of this entry (run + verify), regions overlapped with the
+    /// rest of the sweep. The slowest entry bounds the whole pass, which is
+    /// what CI's hard job timeout budgets against.
+    pub elapsed: Duration,
 }
 
 /// Verifies many application × version combinations **concurrently on one
@@ -193,12 +197,14 @@ pub fn verify_overlapping(
             for version in bench.versions() {
                 let (outcomes, bench) = (&outcomes, bench.as_ref());
                 clients.spawn(move || {
+                    let t0 = std::time::Instant::now();
                     let out = bench.run_parallel(rt, class, version);
                     let result = verify(bench, class, &out);
                     outcomes.lock().unwrap().push(OverlapOutcome {
                         name: bench.meta().name.to_string(),
                         version,
                         result,
+                        elapsed: t0.elapsed(),
                     });
                 });
             }

@@ -16,16 +16,19 @@
 
 use std::process::ExitCode;
 
+use bots::runtime::RegionBudget;
 use bots::suite::runner;
 use bots::{find_benchmark, registry, InputClass, Runtime, RuntimeConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bots list\n  bots versions <app>\n  bots run <app> [flags]\n  \
-         bots check [--class C] [--threads N]\n\nflags:\n  \
+         bots check [--class C] [--threads N] [--budget B]\n\nflags:\n  \
          --class test|small|medium|large   input class (default medium)\n  \
          --version LABEL                   version label (default: best; see `bots versions`)\n  \
          --threads N                       team size (default: machine)\n  \
+         --budget B                        per-region cut-off budget: each region may queue\n  \
+                                    at most B of its own tasks before spawning serially\n  \
          --reps R                          repetitions, median reported (default 1)\n  \
          --serial                          run the sequential reference instead\n  \
          --check                           verify the output (default on; --no-check disables)\n  \
@@ -78,6 +81,7 @@ fn main() -> ExitCode {
 fn check_command(args: &[String]) -> ExitCode {
     let mut class = InputClass::Test;
     let mut threads = bots::runtime::default_threads();
+    let mut budget = RegionBudget::Inherit;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -101,6 +105,13 @@ fn check_command(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--budget" | "-b" => match value().parse::<usize>() {
+                Ok(n) if n >= 1 => budget = RegionBudget::MaxQueued(n),
+                _ => {
+                    eprintln!("--budget wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -109,12 +120,16 @@ fn check_command(args: &[String]) -> ExitCode {
     }
 
     let benches = registry();
-    let rt = Runtime::new(RuntimeConfig::new(threads));
+    // The budget applies per region: every kernel's own regions get it,
+    // exercising the serialise-yourself path against real task graphs
+    // while the overlapped siblings keep their own budgets.
+    let rt = Runtime::new(RuntimeConfig::new(threads).with_region_budget(budget));
     let t0 = std::time::Instant::now();
     let outcomes = runner::verify_overlapping(&benches, &rt, class);
     let elapsed = t0.elapsed();
 
     let mut failures = 0usize;
+    let mut slowest: Option<&runner::OverlapOutcome> = None;
     for o in &outcomes {
         match &o.result {
             Ok(()) => println!("ok      {:<10} {}", o.name, o.version.label()),
@@ -123,14 +138,31 @@ fn check_command(args: &[String]) -> ExitCode {
                 println!("FAILED  {:<10} {} — {e}", o.name, o.version.label());
             }
         }
+        if slowest.is_none_or(|s| o.elapsed > s.elapsed) {
+            slowest = Some(o);
+        }
     }
+    let budget_note = match budget {
+        RegionBudget::Inherit => String::new(),
+        RegionBudget::MaxQueued(n) => format!(", region budget {n}"),
+        RegionBudget::Adaptive { low, high } => format!(", adaptive budget {low}/{high}"),
+    };
     println!(
-        "{} combinations verified with overlapped regions in {:.3} s on {} threads ({} failed)",
+        "{} combinations verified with overlapped regions in {:.3} s on {} threads{} ({} failed)",
         outcomes.len(),
         elapsed.as_secs_f64(),
         threads,
+        budget_note,
         failures
     );
+    if let Some(s) = slowest {
+        println!(
+            "slowest entry: {} {} at {:.3} s (bounds the overlapped pass)",
+            s.name,
+            s.version.label(),
+            s.elapsed.as_secs_f64()
+        );
+    }
     if failures == 0 {
         ExitCode::SUCCESS
     } else {
