@@ -1,0 +1,135 @@
+//! Taskgroup-path diagnostic: per-construct cost of `taskgroup` now that
+//! group descriptors are pooled, swept over team sizes. Two shapes per
+//! sweep: an *empty* group (pure lease + wait overhead) and a *fib-shaped*
+//! group (two spawned members returning through parent-frame slots — the
+//! inner loop of every recursive BOTS kernel).
+//!
+//! Runs under the counting allocator so group allocations are measured,
+//! not asserted-by-construction. Allocations are reported **per 1000
+//! groups, per shape**: a reintroduced per-group allocation (the old
+//! `Arc<Group>`) measures ≈ 1000 against `bench_gate`'s absolute ceiling
+//! of 1.0 for zero-baseline metrics, while a stray slab-growth allocation
+//! or two per hundred-thousand groups stays far below it — the gate trips
+//! on the regression, not on noise, and a regression confined to one
+//! shape cannot hide in the other's denominator. With
+//! `BOTS_BENCH_JSON_DIR` set, writes `BENCH_group_probe.json` for the CI
+//! artifact + `bench_gate`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots::runtime::RuntimeStats;
+use bots::Runtime;
+use bots_bench::perf::Report;
+use bots_profile::alloc_calls;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+/// One region of `batch` empty taskgroups.
+fn empty_groups(rt: &Runtime, batch: u64) {
+    rt.parallel(|s| {
+        for _ in 0..batch {
+            s.taskgroup(|_| {});
+        }
+    });
+}
+
+/// One region of `batch` fib-shaped taskgroups: two members each, results
+/// through parent-frame atomics.
+fn fib_groups(rt: &Runtime, batch: u64) -> u64 {
+    let acc = AtomicU64::new(0);
+    rt.parallel(|s| {
+        let acc = &acc;
+        for _ in 0..batch {
+            let a = AtomicU64::new(0);
+            let b = AtomicU64::new(0);
+            s.taskgroup(|s| {
+                s.spawn(|_| {
+                    a.fetch_add(1, Ordering::Relaxed);
+                });
+                s.spawn(|_| {
+                    b.fetch_add(2, Ordering::Relaxed);
+                });
+            });
+            acc.fetch_add(
+                a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        }
+    });
+    acc.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let batch: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let reps = 10;
+    let mut report = Report::new("group_probe");
+
+    println!("batch={batch} reps={reps}");
+    println!(
+        "{:>7} {:>14} {:>12} {:>15} {:>13} {:>10} {:>10} {:>11}",
+        "threads",
+        "ns/group(0)",
+        "ns/group(2)",
+        "allocs/kgrp(0)",
+        "allocs/kgrp(2)",
+        "fresh",
+        "recycled",
+        "group_waits"
+    );
+    for threads in [1usize, 2, 4] {
+        let rt = Runtime::with_threads(threads);
+        // Warm the group pool, the slabs and the region descriptors.
+        empty_groups(&rt, batch);
+        assert_eq!(fib_groups(&rt, batch), batch * 3);
+
+        let before: RuntimeStats = rt.stats();
+        let empty_allocs_before = alloc_calls();
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            empty_groups(&rt, batch);
+        }
+        let empty_elapsed = t0.elapsed();
+        let empty_allocs = alloc_calls() - empty_allocs_before;
+        let fib_allocs_before = alloc_calls();
+        let t1 = std::time::Instant::now();
+        for _ in 0..reps {
+            assert_eq!(fib_groups(&rt, batch), batch * 3);
+        }
+        let fib_elapsed = t1.elapsed();
+        let fib_allocs = alloc_calls() - fib_allocs_before;
+        let d = rt.stats().since(&before);
+
+        let groups = (batch * reps) as f64;
+        let kgroups = groups / 1000.0;
+        let ns_empty = empty_elapsed.as_nanos() as f64 / groups;
+        let ns_fib = fib_elapsed.as_nanos() as f64 / groups;
+        let empty_allocs_per_k = empty_allocs as f64 / kgroups;
+        let fib_allocs_per_k = fib_allocs as f64 / kgroups;
+        println!(
+            "{:>7} {:>14.1} {:>12.1} {:>15.3} {:>13.3} {:>10} {:>10} {:>11}",
+            threads,
+            ns_empty,
+            ns_fib,
+            empty_allocs_per_k,
+            fib_allocs_per_k,
+            d.groups_fresh,
+            d.groups_recycled,
+            d.group_waits,
+        );
+        report.push(format!("ns_per_group_empty_t{threads}"), ns_empty);
+        report.push(format!("ns_per_group_fib_t{threads}"), ns_fib);
+        report.push(
+            format!("allocs_per_kgroup_empty_t{threads}"),
+            empty_allocs_per_k,
+        );
+        report.push(
+            format!("allocs_per_kgroup_fib_t{threads}"),
+            fib_allocs_per_k,
+        );
+    }
+    report.maybe_emit();
+}

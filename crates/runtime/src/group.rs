@@ -1,0 +1,248 @@
+//! Pooled `taskgroup` descriptors: the last per-construct heap allocation
+//! on the region hot path, eliminated.
+//!
+//! A [`Group`] is the membership counter behind [`Scope::taskgroup`]: every
+//! task spawned while the group is active joins it (transitively), and the
+//! group wait blocks until the count drains. It used to live behind an
+//! `Arc<Group>` — one `malloc` per `taskgroup`, which is one per *frame* in
+//! every recursive BOTS kernel, so no kernel body was actually
+//! allocation-free. Groups are now plain descriptors recycled through a
+//! per-worker free list ([`GroupPool`]), mirroring the region-descriptor
+//! pool in spirit: a steady-state `taskgroup` touches no allocator at all.
+//!
+//! ## Lifetime protocol (who frees, and why it is sound)
+//!
+//! The descriptor's lease is owned by the **waiting frame**, not by the
+//! members:
+//!
+//! * [`Scope::taskgroup`] leases a descriptor, runs the body, waits for
+//!   `outstanding() == 0`, and only then returns the lease — on unwind as
+//!   well (a guard drains the group before the frame's locals, which
+//!   members may borrow, are popped).
+//! * Members hold a **raw pointer**, not a counted reference. A member only
+//!   dereferences it while it is still a member: `join()` happens on the
+//!   spawning thread before the parent's own `leave()` (so the count can
+//!   never transiently drain under a live subtree), and `leave()` — a
+//!   single atomic RMW — is the member's *last* access. The waiter cannot
+//!   observe zero, and therefore cannot recycle the descriptor, before
+//!   that final RMW has completed.
+//!
+//! This sidesteps the hazard a member-frees design would have (the waiter
+//! still reading `outstanding()` after the zero transition, the same race
+//! the region completion slot has to gate on): here the reader *is* the
+//! owner, and the ex-member never looks back. The post-`leave()`
+//! completion wake goes through the team-wide progress channel, which does
+//! not touch the group.
+//!
+//! Like the region pool, descriptor memory is never freed while the
+//! runtime lives: `all` owns every descriptor ever created and releases
+//! them when the team shuts down.
+//!
+//! [`Scope::taskgroup`]: crate::Scope::taskgroup
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::local::CacheAligned;
+
+/// A `taskgroup` membership counter: counts every task spawned while the
+/// group is active, transitively. The group wait blocks until it drains —
+/// this is the *deep* wait OpenMP 3.1's `taskgroup` provides, and it is
+/// what makes borrowing the spawning frame's locals sound (the frame
+/// cannot be left while group members still run).
+pub(crate) struct Group {
+    /// Pool free-list link. Only touched while the descriptor is free (the
+    /// waiter has observed `outstanding() == 0` and returned the lease), so
+    /// it cannot race with live-group use.
+    next: AtomicPtr<Group>,
+    members: AtomicUsize,
+}
+
+impl Group {
+    fn new() -> Group {
+        Group {
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            members: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers one member. Called on the spawning thread *before* the
+    /// spawner's own `leave()` can run, so the count never transiently
+    /// drains while the subtree is still growing.
+    #[inline]
+    pub(crate) fn join(&self) {
+        self.members.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Leaves the group; returns `true` when this was the last member out
+    /// (the transition a group waiter needs to be woken for). This RMW is
+    /// the member's **final access** to the descriptor: the moment it
+    /// completes, the waiter may observe zero and recycle the lease.
+    #[inline]
+    pub(crate) fn leave(&self) -> bool {
+        self.members.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Outstanding members. Only the lease-owning waiter may call this (a
+    /// non-owner has no liveness guarantee to read through).
+    #[inline]
+    pub(crate) fn outstanding(&self) -> usize {
+        self.members.load(Ordering::Acquire)
+    }
+}
+
+/// The group-descriptor free list: one singly-linked shard per worker,
+/// **owner-only** — unlike the region pool there is no cross-shard probing
+/// and no cross-thread release: a group is leased and released by the same
+/// worker thread (the taskgroup frame never migrates), so each shard is
+/// single-threaded, pops are plain load+store, and the per-worker
+/// population is bounded by that worker's deepest live group interleaving.
+pub(crate) struct GroupPool {
+    shards: Box<[CacheAligned<AtomicPtr<Group>>]>,
+    /// Every descriptor ever allocated (cold path; freed on drop).
+    all: Mutex<Vec<NonNull<Group>>>,
+}
+
+// Safety: each shard is only ever touched by its own worker thread (see
+// the owner-only contract on `lease`/`release`); `all` is mutex-guarded;
+// `Group` is all atomics. The teardown free in `Drop` happens-after every
+// worker has been joined.
+unsafe impl Send for GroupPool {}
+unsafe impl Sync for GroupPool {}
+
+impl GroupPool {
+    pub(crate) fn new(workers: usize) -> GroupPool {
+        GroupPool {
+            shards: (0..workers.max(1))
+                .map(|_| CacheAligned::default())
+                .collect(),
+            all: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Leases a descriptor with zero members. Returns the descriptor and
+    /// whether it had to be freshly allocated (`true`) or came recycled
+    /// from the free list (`false`).
+    ///
+    /// Owner-only: `slot` must be the calling worker's own index. Both ends
+    /// of a shard run on one thread — a group is leased and released by the
+    /// worker executing the taskgroup frame, and frames never migrate — so
+    /// the pop is a plain load + store, no RMW (the atomics exist only so
+    /// the pool can be shared without interior-mutability unsafety).
+    pub(crate) fn lease(&self, slot: usize) -> (NonNull<Group>, bool) {
+        let shard = &self.shards[slot % self.shards.len()].0;
+        if let Some(head) = NonNull::new(shard.load(Ordering::Relaxed)) {
+            let next = unsafe { head.as_ref() }.next.load(Ordering::Relaxed);
+            shard.store(next, Ordering::Relaxed);
+            debug_assert_eq!(
+                unsafe { head.as_ref() }.members.load(Ordering::Relaxed),
+                0,
+                "a group was returned to the pool with live members"
+            );
+            return (head, false);
+        }
+        let fresh = NonNull::from(Box::leak(Box::new(Group::new())));
+        self.all
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(fresh);
+        (fresh, true)
+    }
+
+    /// Returns a drained descriptor to the free list. The caller must be
+    /// the lease owner (same worker, same `slot` as the lease) and must
+    /// have observed `outstanding() == 0`.
+    pub(crate) fn release(&self, group: NonNull<Group>, slot: usize) {
+        let shard = &self.shards[slot % self.shards.len()].0;
+        let head = shard.load(Ordering::Relaxed);
+        unsafe { group.as_ref().next.store(head, Ordering::Relaxed) };
+        shard.store(group.as_ptr(), Ordering::Relaxed);
+    }
+
+    /// Free descriptors currently pooled (diagnostics/tests only; racy).
+    #[cfg(test)]
+    pub(crate) fn free_len(&self) -> usize {
+        let mut n = 0;
+        for shard in self.shards.iter() {
+            let mut cur = shard.0.load(Ordering::Acquire);
+            while let Some(g) = NonNull::new(cur) {
+                n += 1;
+                cur = unsafe { g.as_ref() }.next.load(Ordering::Relaxed);
+            }
+        }
+        n
+    }
+}
+
+impl Drop for GroupPool {
+    fn drop(&mut self) {
+        let all = std::mem::take(&mut *self.all.lock().unwrap_or_else(|e| e.into_inner()));
+        for group in all {
+            drop(unsafe { Box::from_raw(group.as_ptr()) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_leave_counts_members() {
+        let pool = GroupPool::new(1);
+        let (g, fresh) = pool.lease(0);
+        assert!(fresh);
+        let g = unsafe { g.as_ref() };
+        g.join();
+        g.join();
+        assert_eq!(g.outstanding(), 2);
+        assert!(!g.leave());
+        assert!(g.leave(), "last leaver reports the zero transition");
+        assert_eq!(g.outstanding(), 0);
+    }
+
+    #[test]
+    fn lease_recycles_released_descriptors() {
+        let pool = GroupPool::new(2);
+        let (a, fresh) = pool.lease(0);
+        assert!(fresh, "empty pool allocates");
+        let (b, fresh) = pool.lease(0);
+        assert!(fresh);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        pool.release(a, 0);
+        let (a2, fresh) = pool.lease(0);
+        assert!(!fresh, "released descriptor must be recycled");
+        assert_eq!(a2.as_ptr(), a.as_ptr());
+        pool.release(a2, 0);
+        pool.release(b, 1);
+        assert_eq!(pool.free_len(), 2);
+        // Drop frees everything (asan/miri would flag a double- or no-free).
+    }
+
+    #[test]
+    fn lease_pops_exactly_one() {
+        let pool = GroupPool::new(1);
+        let leased: Vec<_> = (0..4).map(|_| pool.lease(0).0).collect();
+        for &g in &leased {
+            pool.release(g, 0);
+        }
+        assert_eq!(pool.free_len(), 4);
+        let (_one, fresh) = pool.lease(0);
+        assert!(!fresh);
+        assert_eq!(pool.free_len(), 3, "pop takes exactly one descriptor");
+    }
+
+    #[test]
+    fn shards_do_not_alias_across_workers() {
+        let pool = GroupPool::new(2);
+        let (a, _) = pool.lease(0);
+        pool.release(a, 0);
+        // Worker 1's shard is empty: it allocates fresh rather than raid
+        // worker 0's shard (per-worker population stays worker-local).
+        let (b, fresh) = pool.lease(1);
+        assert!(fresh);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        pool.release(b, 1);
+    }
+}

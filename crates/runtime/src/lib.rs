@@ -110,6 +110,16 @@
 //!   **zero heap allocations**, and [`RuntimeStats::closure_spilled`] counts
 //!   the exceptions) queued on per-worker [Chase-Lev deques](deque); idle
 //!   workers steal the oldest task from a random victim.
+//! * **Whole kernel bodies are allocation-free**: `taskgroup` leases a
+//!   pooled group descriptor instead of an `Arc` per use
+//!   ([`RuntimeStats::groups_recycled`] tracks reuse, and the wait counts
+//!   in [`RuntimeStats::group_waits`], apart from `taskwaits`), and
+//!   [`Scope::parallel_for`] stores a *borrow* of its body in the
+//!   generator tasks instead of boxing it. Once the pools are warm, a
+//!   region body built from `spawn` / `taskwait` / `taskgroup` /
+//!   `parallel_for` touches the allocator **zero** times; the only
+//!   remaining spills are closures or results larger than the 64-byte
+//!   inline slots, both visible in `closure_spilled`.
 //! * **Regions** are first-class, concurrent and pooled: each
 //!   [`submit`](Runtime::submit)/[`parallel`](Runtime::parallel) call
 //!   leases a recycled region descriptor (embedded root record, inline
@@ -149,6 +159,7 @@
 //! | `slab` | per-worker record free lists + cross-thread reclaim |
 //! | `injector` | sharded lock-free injector feeding region roots to the team |
 //! | `region` | pooled region descriptors: root, result, completion, budget, attribution |
+//! | `group` | pooled `taskgroup` descriptors (waiter-owned lease, member raw pointers) |
 //! | `event` | sleeper-gated event count (no shared writes to notify) |
 //! | [`pool`](Runtime) | worker threads, submit/join, region lifecycle |
 //! | [`scope`](Scope) | `spawn` / `taskwait` / `parallel_for` |
@@ -165,6 +176,7 @@ mod event;
 mod rng;
 
 mod config;
+mod group;
 mod injector;
 mod local;
 mod pool;

@@ -81,6 +81,7 @@ use std::sync::Arc;
 use crate::config::{LocalOrder, RegionBudget, RuntimeConfig, RuntimeCutoff};
 use crate::deque::{deque, Steal, Stealer, TaskDeque};
 use crate::event::EventCount;
+use crate::group::{Group, GroupPool};
 use crate::injector::Injector;
 use crate::local::CacheAligned;
 use crate::region::{Completion, Region, RegionPool, RegionStats};
@@ -88,7 +89,7 @@ use crate::rng::XorShift64;
 use crate::scope::Scope;
 use crate::slab::{AllocSource, RecordSlab};
 use crate::stats::{RuntimeStats, WorkerCounters};
-use crate::task::{Group, TaskAttrs, TaskRecord, HOME_BOXED, HOME_REGION};
+use crate::task::{TaskAttrs, TaskRecord, HOME_BOXED, HOME_REGION};
 
 /// Worker-thread stack size. Task switching at `taskwait` nests task frames
 /// on the worker stack (there is no continuation stealing), so recursive
@@ -144,6 +145,9 @@ pub(crate) struct Shared {
     /// Pooled region descriptors (see [`crate::region`]): a steady-state
     /// submission leases one instead of allocating.
     pub(crate) region_pool: RegionPool,
+    /// Pooled taskgroup descriptors (see [`crate::group`]): a steady-state
+    /// `taskgroup` leases one instead of allocating an `Arc`.
+    pub(crate) group_pool: GroupPool,
     /// Regions submitted but not yet quiescent, detached ones included.
     /// `Runtime::drop` waits for this to drain before shutting the team
     /// down, so an `on_complete` callback can never be silently abandoned.
@@ -254,10 +258,12 @@ impl Shared {
                 }
                 _ => return,
             }
-            // Sole owner now: drop a group handle the record may still hold
-            // (records that carried a closure gave it up at completion;
-            // inline bookkeeping records reach here with theirs attached).
-            drop(r.take_group());
+            // Sole owner now. A group pointer the record may still hold
+            // (inline bookkeeping records reach here with theirs attached;
+            // executed records gave theirs up at completion) is plain data:
+            // the record never joined on its own behalf, so there is
+            // nothing to leave and nothing to dereference — `init`
+            // overwrites the cell on the next lease.
             let home = r.home;
             if home == HOME_BOXED {
                 unsafe {
@@ -342,7 +348,7 @@ impl WorkerCtx {
     pub(crate) fn new_record(
         &self,
         parent: Option<NonNull<TaskRecord>>,
-        group: Option<Arc<Group>>,
+        group: Option<NonNull<Group>>,
         attrs: TaskAttrs,
     ) -> NonNull<TaskRecord> {
         // Safety: this is the owning worker thread.
@@ -514,7 +520,10 @@ impl WorkerCtx {
         // the joiner's handle (inside `release_record`). Each notify follows
         // its counter update, so a woken waiter observes the progress.
         if let Some(group) = r.take_group() {
-            if group.leave() {
+            // Safety: this task is still a member until the `leave()` RMW
+            // below, so the group's waiter cannot have recycled the
+            // descriptor yet; the RMW is our final access to it.
+            if unsafe { group.as_ref() }.leave() {
                 shared.progress.notify();
             }
         }
@@ -623,6 +632,7 @@ impl Runtime {
                 .map(|_| RecordSlab::new(config.record_chunk))
                 .collect(),
             region_pool: RegionPool::new(n),
+            group_pool: GroupPool::new(n),
             live_regions: AtomicUsize::new(0),
             regions_fresh: AtomicU64::new(0),
             regions_recycled: AtomicU64::new(0),

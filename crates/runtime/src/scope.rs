@@ -19,20 +19,33 @@
 //! A deferred spawn is the hot path of the whole suite and performs **zero
 //! heap allocations** in the steady state: the task record comes from the
 //! worker's slab and the closure is stored inline in the record (see
-//! [`crate::task`] and [`crate::slab`]).
+//! [`crate::task`] and [`crate::slab`]). The same now holds for the rest of
+//! the constructs a kernel body uses: `taskgroup` leases a pooled group
+//! descriptor ([`crate::group`]) and `parallel_for` stores a *borrow* of
+//! its body in the generator tasks — whole kernel bodies run
+//! allocation-free once the pools are warm.
 
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::ptr::NonNull;
-use std::sync::Arc;
 
+use crate::group::Group;
 use crate::pool::{ExecCtx, Shared, WorkerCtx};
 use crate::stats::WorkerCounters;
-use crate::task::{Group, TaskAttrs, TaskRecord};
+use crate::task::{TaskAttrs, TaskRecord};
 
 /// How long a task blocked at `taskwait` sleeps between re-probes when it
 /// cannot legally run anything (safety net; normal wake-ups are eventful).
 const WAIT_PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(2);
+
+/// How many records a *constrained* (tied) waiter pops past the LIFO end of
+/// its own deque looking for a descendant before giving up. Non-descendants
+/// are set aside and restored in order, so a foreign record sitting at the
+/// bottom of the deque cannot permanently hide the waiter's own descendants
+/// behind it (the tied-wait livelock). Descendants buried deeper than this
+/// remain reachable only through another worker stealing the blockers — the
+/// same fallback the pre-probe behaviour relied on for depth one.
+const TIED_PROBE_LIMIT: usize = 32;
 
 /// Execution context of one running task; see the module-level docs for
 /// the OpenMP construct mapping.
@@ -49,8 +62,11 @@ pub struct Scope<'scope> {
     /// whole task body, and `Scope` is neither `Send` nor longer-lived than
     /// the body.
     rec: NonNull<TaskRecord>,
-    /// Innermost active `taskgroup`, inherited by spawned tasks.
-    group: Option<Arc<Group>>,
+    /// Innermost active `taskgroup`, inherited by spawned tasks. A raw
+    /// pointer into the pooled group descriptors; valid for the life of the
+    /// scope because the owning `taskgroup` frame (which holds the lease)
+    /// waits for this task — a member — before returning.
+    group: Option<NonNull<Group>>,
     /// Invariant in `'scope`.
     _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
 }
@@ -164,10 +180,12 @@ impl<'scope> Scope<'scope> {
             }
         }
 
-        let rec = worker.new_record(Some(self.rec), self.group.clone(), attrs);
+        let rec = worker.new_record(Some(self.rec), self.group, attrs);
         self.rec().add_child();
-        if let Some(g) = &self.group {
-            g.join();
+        if let Some(g) = self.group {
+            // Safety: this frame is (transitively) inside the group's
+            // taskgroup, whose wait keeps the descriptor leased.
+            unsafe { g.as_ref() }.join();
         }
         shared.queued_delta(worker.index, 1);
         WorkerCounters::bump(&counters.spawned);
@@ -210,9 +228,11 @@ impl<'scope> Scope<'scope> {
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
         // No group join/leave: an inline task completes before this returns,
-        // so it can never be outstanding at a group wait.
+        // so it can never be outstanding at a group wait. (The record still
+        // carries the group pointer so deferred children inherit it — they
+        // join individually at spawn time.)
         let worker = self.worker();
-        let rec = worker.new_record(Some(self.rec), self.group.clone(), attrs);
+        let rec = worker.new_record(Some(self.rec), self.group, attrs);
 
         // Release the creator handle even on unwind: deferred children may
         // outlive the inline task, and their parent-chain references (and
@@ -236,7 +256,7 @@ impl<'scope> Scope<'scope> {
         let child = Scope {
             worker: self.worker,
             rec,
-            group: self.group.clone(),
+            group: self.group,
             _marker: PhantomData,
         };
         f(&child);
@@ -272,22 +292,59 @@ impl<'scope> Scope<'scope> {
     /// is the construct the recursive kernels use to return results through
     /// parent-frame variables, which the paper's C code does with plain
     /// shared variables + `taskwait`.
+    ///
+    /// Zero-allocation: the group descriptor is leased from a per-worker
+    /// pool ([`crate::group`]) instead of `Arc`-allocated per use; the wait
+    /// counts in [`RuntimeStats::group_waits`], not `taskwaits`.
+    ///
+    /// [`RuntimeStats::group_waits`]: crate::RuntimeStats::group_waits
     pub fn taskgroup<'inner, F, R>(&'inner self, body: F) -> R
     where
         F: FnOnce(&Scope<'inner>) -> R,
     {
-        let group = Group::new();
+        let worker = self.worker();
+        let shared = &*worker.shared;
+        // Zero-allocation construct: the group descriptor is leased from
+        // the worker's pooled free list, not Arc-allocated per use.
+        let (group, fresh) = shared.group_pool.lease(worker.index);
+        let counters = worker.counters();
+        WorkerCounters::bump(if fresh {
+            &counters.groups_fresh
+        } else {
+            &counters.groups_recycled
+        });
+
+        // The drain-and-release obligation rides a guard so it holds on
+        // unwind too: members may borrow this very frame *and* hold raw
+        // pointers to the leased descriptor, so a body panic must not pop
+        // the frame (or return the lease) while members are outstanding.
+        struct GroupGuard<'s, 'scope> {
+            scope: &'s Scope<'scope>,
+            group: NonNull<Group>,
+        }
+        impl Drop for GroupGuard<'_, '_> {
+            fn drop(&mut self) {
+                let worker = self.scope.worker();
+                // The group wait is a task scheduling point like taskwait,
+                // but counted separately: folding it into `taskwaits` would
+                // silently inflate the Table II taskwait column.
+                WorkerCounters::bump(&worker.counters().group_waits);
+                let group = unsafe { self.group.as_ref() };
+                self.scope.wait_until(|| group.outstanding() == 0);
+                worker.shared.group_pool.release(self.group, worker.index);
+            }
+        }
+        let guard = GroupGuard { scope: self, group };
+
         let inner: Scope<'inner> = Scope {
             worker: self.worker,
             rec: self.rec,
-            group: Some(group.clone()),
+            group: Some(group),
             _marker: PhantomData,
         };
         let r = body(&inner);
-        // The group wait is a task scheduling point like taskwait; count it
-        // as one for Table II purposes.
-        WorkerCounters::bump(&self.worker().counters().taskwaits);
-        inner.wait_until(|| group.outstanding() == 0);
+        // Wait for every member (transitively) and return the lease.
+        drop(guard);
         r
     }
 
@@ -315,6 +372,48 @@ impl<'scope> Scope<'scope> {
         rec.tied && self.worker().shared.config.enforce_tied_constraint && rec.parent().is_some()
     }
 
+    /// Pops the closest descendant of the waiting task from the LIFO end of
+    /// the worker's own deque, probing past up to [`TIED_PROBE_LIMIT`]
+    /// non-descendants, which are restored in their original order.
+    ///
+    /// The probe (rather than a single bottom pop) is what makes a
+    /// constrained wait live on its own: a non-descendant at the very
+    /// bottom — e.g. a task adopted into this lineage's frames by an
+    /// unconstrained nested wait, which then spawned — used to be popped
+    /// and re-pushed on every probe, so true descendants deeper in the
+    /// deque were unreachable until another worker stole the blocker. On a
+    /// one-thread team (no thieves) that degenerated into parking forever.
+    fn pop_local_descendant(&self) -> Option<NonNull<TaskRecord>> {
+        let worker = self.worker();
+        let mut parked: [Option<NonNull<TaskRecord>>; TIED_PROBE_LIMIT] = [None; TIED_PROBE_LIMIT];
+        let mut set_aside = 0;
+        let mut found = None;
+        while set_aside < TIED_PROBE_LIMIT {
+            let Some(t) = worker.pop_local_lifo() else {
+                break;
+            };
+            // Safety: we hold the popped task's queue handle; its parent
+            // chain is pinned by per-child references.
+            if unsafe { t.as_ref() }.descends_from(self.rec()) {
+                found = Some(t);
+                break;
+            }
+            // Not a descendant: set it aside for its rightful executor.
+            parked[set_aside] = Some(t);
+            set_aside += 1;
+        }
+        // Restore the set-asides deepest-first so the deque keeps its
+        // original bottom-to-top order (minus the record we took). No work
+        // notify: nothing new became runnable, the records merely return
+        // to where thieves could already see them.
+        for slot in parked[..set_aside].iter_mut().rev() {
+            worker
+                .deque
+                .push(slot.take().expect("set-aside slot filled"));
+        }
+        found
+    }
+
     /// Acquires and executes one task, if the scheduling rules allow it.
     ///
     /// Local work first. Tied waits always look at the LIFO end: under
@@ -325,22 +424,7 @@ impl<'scope> Scope<'scope> {
         let worker = self.worker();
         let counters = worker.counters();
         let local = if constrained {
-            match worker.pop_local_lifo() {
-                Some(t) => {
-                    // Safety: we hold the popped task's queue handle; its
-                    // parent chain is pinned by per-child references.
-                    let child = unsafe { t.as_ref() };
-                    if child.descends_from(self.rec()) {
-                        Some(t)
-                    } else {
-                        // Not a descendant: put it back for its rightful
-                        // executor.
-                        worker.deque.push(t);
-                        None
-                    }
-                }
-                None => None,
-            }
+            self.pop_local_descendant()
         } else {
             worker.pop_local()
         };
@@ -405,6 +489,13 @@ impl<'scope> Scope<'scope> {
     /// experiment of the paper (§IV-D, SparseLU). The closing barrier waits
     /// for the iterations *and* the tasks they spawned (each generator ends
     /// with a `taskwait`).
+    ///
+    /// Zero-allocation: generator tasks store a **borrow** of `body` (the
+    /// old implementation boxed it in an `Arc` per call). Sound because the
+    /// construct cannot return — normally or by unwind — while any
+    /// generator is outstanding (see [`GeneratorDrainGuard`]), and each
+    /// generator's own closing `taskwait` means `body` is never called
+    /// after the generators complete.
     pub fn parallel_for<F>(&self, range: Range<usize>, body: F)
     where
         F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
@@ -415,14 +506,16 @@ impl<'scope> Scope<'scope> {
         }
         let chunks = self.num_workers().min(len);
         let chunk_size = len.div_ceil(chunks);
-        let body = Arc::new(body);
+        // Safety: the guard (and the closing taskwait) drain every
+        // generator before this frame — which owns `body` — is popped.
+        let body: &'scope F = unsafe { std::mem::transmute(&body) };
+        let guard = self.generator_drain_guard();
         for c in 0..chunks {
             let lo = range.start + c * chunk_size;
             let hi = (lo + chunk_size).min(range.end);
             if lo >= hi {
                 break;
             }
-            let body = Arc::clone(&body);
             self.spawn_with(TaskAttrs::untied(), move |s| {
                 for i in lo..hi {
                     body(i, s);
@@ -431,11 +524,13 @@ impl<'scope> Scope<'scope> {
             });
         }
         self.taskwait();
+        std::mem::forget(guard);
     }
 
     /// Like [`parallel_for`](Self::parallel_for) but with an explicit chunk
     /// size (an `omp for schedule(dynamic, chunk)` generator): spawns
-    /// `ceil(len / chunk)` generator tasks that idle workers steal.
+    /// `ceil(len / chunk)` generator tasks that idle workers steal. Like
+    /// `parallel_for`, generators borrow `body` — no allocation per call.
     pub fn parallel_for_chunked<F>(&self, range: Range<usize>, chunk: usize, body: F)
     where
         F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
@@ -445,11 +540,12 @@ impl<'scope> Scope<'scope> {
         if len == 0 {
             return;
         }
-        let body = Arc::new(body);
+        // Safety: as in `parallel_for` — drained before the frame is left.
+        let body: &'scope F = unsafe { std::mem::transmute(&body) };
+        let guard = self.generator_drain_guard();
         let mut lo = range.start;
         while lo < range.end {
             let hi = (lo + chunk).min(range.end);
-            let body = Arc::clone(&body);
             self.spawn_with(TaskAttrs::untied(), move |s| {
                 for i in lo..hi {
                     body(i, s);
@@ -459,5 +555,25 @@ impl<'scope> Scope<'scope> {
             lo = hi;
         }
         self.taskwait();
+        std::mem::forget(guard);
+    }
+
+    /// The unwind half of the borrow-based `parallel_for` soundness story:
+    /// generator tasks hold a frame-lifetime borrow of the loop body, so if
+    /// spawning panics midway (an inlined generator's body can unwind into
+    /// the spawner), the frame must not be popped while any direct child is
+    /// outstanding. The guard drains on drop; the normal path drains via
+    /// the closing `taskwait` and forgets it.
+    fn generator_drain_guard<'s>(&'s self) -> GeneratorDrainGuard<'s, 'scope> {
+        GeneratorDrainGuard(self)
+    }
+}
+
+/// See [`Scope::generator_drain_guard`].
+struct GeneratorDrainGuard<'s, 'scope>(&'s Scope<'scope>);
+
+impl Drop for GeneratorDrainGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.wait_until(|| self.0.rec().outstanding() == 0);
     }
 }

@@ -35,6 +35,10 @@ pub(crate) struct WorkerCounters {
     pub parks: AtomicU64,
     /// `taskwait`s executed by tasks running on this worker.
     pub taskwaits: AtomicU64,
+    /// `taskgroup` waits executed by tasks running on this worker. Counted
+    /// apart from `taskwaits`: folding them together silently inflated the
+    /// Table II taskwait column for every kernel built on taskgroups.
+    pub group_waits: AtomicU64,
     /// Tasks executed *while waiting* at a taskwait (task switching).
     pub switched_in_wait: AtomicU64,
     /// Steals skipped because the tied-task constraint forbade them.
@@ -52,6 +56,12 @@ pub(crate) struct WorkerCounters {
     /// Wakes this worker issued to the next sleeper because it still saw
     /// work after being woken itself (geometric ramp-up events).
     pub wake_propagations: AtomicU64,
+    /// Taskgroup descriptors leased from a fresh heap allocation (group
+    /// pool growth events).
+    pub groups_fresh: AtomicU64,
+    /// Taskgroup descriptors recycled from the group pool free list:
+    /// `taskgroup` uses that performed zero heap allocations.
+    pub groups_recycled: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -91,6 +101,9 @@ pub struct RuntimeStats {
     pub parks: u64,
     /// taskwait calls.
     pub taskwaits: u64,
+    /// taskgroup waits (the deep-wait scheduling points; reported apart
+    /// from `taskwaits` so the Table II taskwait counts stay honest).
+    pub group_waits: u64,
     /// Tasks run inside a taskwait (task switching events).
     pub switched_in_wait: u64,
     /// Steals denied by the tied-task scheduling constraint.
@@ -115,6 +128,12 @@ pub struct RuntimeStats {
     /// Region descriptors recycled from the pool free list: submissions
     /// that performed zero heap allocations.
     pub regions_recycled: u64,
+    /// Taskgroup descriptors leased from fresh heap allocations (group
+    /// pool growth events — the taskgroup analogue of `slab_fresh`).
+    pub groups_fresh: u64,
+    /// Taskgroup descriptors recycled from the group pool free list:
+    /// `taskgroup` uses that performed zero heap allocations.
+    pub groups_recycled: u64,
 }
 
 impl RuntimeStats {
@@ -129,6 +148,7 @@ impl RuntimeStats {
         self.steal_misses += w.steal_misses.load(Ordering::Relaxed);
         self.parks += w.parks.load(Ordering::Relaxed);
         self.taskwaits += w.taskwaits.load(Ordering::Relaxed);
+        self.group_waits += w.group_waits.load(Ordering::Relaxed);
         self.switched_in_wait += w.switched_in_wait.load(Ordering::Relaxed);
         self.tied_steal_denied += w.tied_steal_denied.load(Ordering::Relaxed);
         self.slab_fresh += w.slab_fresh.load(Ordering::Relaxed);
@@ -136,6 +156,8 @@ impl RuntimeStats {
         self.slab_cross_freed += w.slab_cross_freed.load(Ordering::Relaxed);
         self.closure_spilled += w.closure_spilled.load(Ordering::Relaxed);
         self.wake_propagations += w.wake_propagations.load(Ordering::Relaxed);
+        self.groups_fresh += w.groups_fresh.load(Ordering::Relaxed);
+        self.groups_recycled += w.groups_recycled.load(Ordering::Relaxed);
     }
 
     /// Total task-creation points the runtime saw (deferred + every kind of
@@ -172,6 +194,7 @@ impl RuntimeStats {
             steal_misses: self.steal_misses - earlier.steal_misses,
             parks: self.parks - earlier.parks,
             taskwaits: self.taskwaits - earlier.taskwaits,
+            group_waits: self.group_waits - earlier.group_waits,
             switched_in_wait: self.switched_in_wait - earlier.switched_in_wait,
             tied_steal_denied: self.tied_steal_denied - earlier.tied_steal_denied,
             slab_fresh: self.slab_fresh - earlier.slab_fresh,
@@ -181,6 +204,8 @@ impl RuntimeStats {
             wake_propagations: self.wake_propagations - earlier.wake_propagations,
             regions_fresh: self.regions_fresh - earlier.regions_fresh,
             regions_recycled: self.regions_recycled - earlier.regions_recycled,
+            groups_fresh: self.groups_fresh - earlier.groups_fresh,
+            groups_recycled: self.groups_recycled - earlier.groups_recycled,
         }
     }
 }
@@ -190,9 +215,9 @@ impl std::fmt::Display for RuntimeStats {
         write!(
             f,
             "spawned={} inlined(if/cutoff/final/budget)={}/{}/{}/{} executed={} stolen={} \
-             misses={} parks={} taskwaits={} switched={} tied_denied={} \
+             misses={} parks={} taskwaits={} group_waits={} switched={} tied_denied={} \
              slab(fresh/recycled/cross)={}/{}/{} regions(fresh/recycled)={}/{} \
-             spilled={} propagated={}",
+             groups(fresh/recycled)={}/{} spilled={} propagated={}",
             self.spawned,
             self.inlined_if,
             self.inlined_cutoff,
@@ -203,6 +228,7 @@ impl std::fmt::Display for RuntimeStats {
             self.steal_misses,
             self.parks,
             self.taskwaits,
+            self.group_waits,
             self.switched_in_wait,
             self.tied_steal_denied,
             self.slab_fresh,
@@ -210,6 +236,8 @@ impl std::fmt::Display for RuntimeStats {
             self.slab_cross_freed,
             self.regions_fresh,
             self.regions_recycled,
+            self.groups_fresh,
+            self.groups_recycled,
             self.closure_spilled,
             self.wake_propagations,
         )
@@ -270,5 +298,23 @@ mod tests {
         let text = format!("{s}");
         assert!(text.contains("spawned=0"));
         assert!(text.contains("taskwaits=0"));
+        assert!(text.contains("group_waits=0"));
+        assert!(text.contains("groups(fresh/recycled)=0/0"));
+    }
+
+    #[test]
+    fn group_waits_do_not_skew_taskwaits() {
+        // The Table II skew regression: a taskgroup wait lands in
+        // `group_waits`, never in `taskwaits`.
+        let w = WorkerCounters::default();
+        WorkerCounters::bump(&w.group_waits);
+        WorkerCounters::bump(&w.group_waits);
+        WorkerCounters::bump(&w.taskwaits);
+        let mut s = RuntimeStats::default();
+        s.accumulate(&w);
+        assert_eq!(s.taskwaits, 1);
+        assert_eq!(s.group_waits, 2);
+        let d = s.since(&RuntimeStats::default());
+        assert_eq!(d.group_waits, 2);
     }
 }

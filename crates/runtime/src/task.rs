@@ -37,8 +37,8 @@ use std::cell::{Cell, UnsafeCell};
 use std::mem::{align_of, size_of, MaybeUninit};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Arc;
 
+use crate::group::Group;
 use crate::pool::ExecCtx;
 use crate::region::Region;
 
@@ -106,40 +106,6 @@ impl TaskAttrs {
     }
 }
 
-/// A `taskgroup` membership counter: counts every task spawned while the
-/// group is active, transitively. The group wait blocks until it drains —
-/// this is the *deep* wait OpenMP 3.1's `taskgroup` provides, and it is what
-/// makes borrowing the spawning frame's locals sound (the frame cannot be
-/// left while group members still run).
-pub(crate) struct Group {
-    pub(crate) members: AtomicUsize,
-}
-
-impl Group {
-    pub(crate) fn new() -> Arc<Group> {
-        Arc::new(Group {
-            members: AtomicUsize::new(0),
-        })
-    }
-
-    #[inline]
-    pub(crate) fn join(&self) {
-        self.members.fetch_add(1, Ordering::AcqRel);
-    }
-
-    /// Leaves the group; returns `true` when this was the last member out
-    /// (the transition a group waiter needs to be woken for).
-    #[inline]
-    pub(crate) fn leave(&self) -> bool {
-        self.members.fetch_sub(1, Ordering::AcqRel) == 1
-    }
-
-    #[inline]
-    pub(crate) fn outstanding(&self) -> usize {
-        self.members.load(Ordering::Acquire)
-    }
-}
-
 /// Inline closure capacity, in bytes. Closures whose captures fit (and whose
 /// alignment is at most [`INLINE_ALIGN`]) are stored inside the record;
 /// anything larger spills to one heap box. 64 bytes covers every closure the
@@ -183,10 +149,13 @@ pub(crate) struct TaskRecord {
     /// holds one reference on the parent for as long as it lives, so the
     /// pointer is always valid.
     parent: Option<NonNull<TaskRecord>>,
-    /// Innermost enclosing taskgroup at creation time, if any. Only the
-    /// executing thread touches it (clone at child spawn, take at
-    /// completion), hence the `UnsafeCell`.
-    group: UnsafeCell<Option<Arc<Group>>>,
+    /// Innermost enclosing taskgroup at creation time, if any: a raw
+    /// pointer into the pooled group descriptors ([`crate::group`]), kept
+    /// alive by this task's own membership (joined at spawn, left at
+    /// completion — the waiter cannot recycle the descriptor before the
+    /// leave). Only the executing thread touches the cell (copy at child
+    /// spawn, take at completion).
+    group: Cell<Option<NonNull<Group>>>,
     /// Closure entry point; `None` once executed (or for inline-bookkeeping
     /// records that never carry a closure).
     invoke: Cell<Option<Invoke>>,
@@ -236,7 +205,7 @@ impl TaskRecord {
     pub(crate) unsafe fn init(
         slot: NonNull<TaskRecord>,
         parent: Option<NonNull<TaskRecord>>,
-        group: Option<Arc<Group>>,
+        group: Option<NonNull<Group>>,
         region: *const Region,
         home: u16,
         attrs: TaskAttrs,
@@ -254,7 +223,7 @@ impl TaskRecord {
             refs: AtomicUsize::new(1),
             children: AtomicUsize::new(0),
             parent,
-            group: UnsafeCell::new(group),
+            group: Cell::new(group),
             invoke: Cell::new(None),
             region,
             depth,
@@ -301,16 +270,18 @@ impl TaskRecord {
         self.invoke.take()
     }
 
-    /// Clones the enclosing taskgroup handle (executing thread only).
+    /// Copies the enclosing taskgroup pointer (executing thread only).
     #[inline]
-    pub(crate) fn group(&self) -> Option<Arc<Group>> {
-        unsafe { (*self.group.get()).clone() }
+    pub(crate) fn group(&self) -> Option<NonNull<Group>> {
+        self.group.get()
     }
 
-    /// Takes the taskgroup handle at completion (executing thread only).
+    /// Takes the taskgroup pointer at completion (executing thread only).
+    /// The caller may only dereference it while the record is still a
+    /// member (i.e. before its `leave()`).
     #[inline]
-    pub(crate) fn take_group(&self) -> Option<Arc<Group>> {
-        unsafe { (*self.group.get()).take() }
+    pub(crate) fn take_group(&self) -> Option<NonNull<Group>> {
+        self.group.take()
     }
 
     /// Parent record, if any.

@@ -672,3 +672,154 @@ fn taskgroup_returns_body_value() {
     let v = rt.parallel(|s| s.taskgroup(|_| 99usize));
     assert_eq!(v, 99);
 }
+
+/// The tied-wait livelock regression, staged deterministically on one
+/// worker:
+///
+/// * root (constraint-exempt) spawns `W` (tied) then `S1`; the FIFO local
+///   order makes root's taskwait run `W` first, leaving `S1` queued.
+/// * `W` opens a taskgroup and spawns `G` (untied). `W`'s group wait is
+///   constrained, pops `G` — a descendant — and runs it.
+/// * `G` spawns `H` (which joins `W`'s group), then taskyields. The yield
+///   is unconstrained (`G` is untied) and FIFO-pops `S1`, running it under
+///   `G`'s frame. `S1` spawns `F` and returns *without* waiting.
+/// * The deque is now `[H (top), F (bottom)]` and `G` completes. `W`'s
+///   group still has member `H`, but the LIFO end holds `F`, which does
+///   not descend from `W`.
+///
+/// A constrained wait that re-pushes the popped non-descendant re-pops `F`
+/// forever; with a single worker there is no thief to clear it, so the
+/// group wait used to spin on 2 ms parks for good. The bounded probe must
+/// step past `F`, find `H`, and drain the group.
+#[test]
+fn tied_wait_probes_past_foreign_deque_bottom() {
+    let rt = Runtime::new(
+        RuntimeConfig::new(1)
+            .with_local_order(LocalOrder::Fifo)
+            .with_tied_constraint(true),
+    );
+    let h_ran = AtomicUsize::new(0);
+    let f_ran = AtomicUsize::new(0);
+    rt.parallel(|s| {
+        let (h_ran, f_ran) = (&h_ran, &f_ran);
+        // W: tied child of the root, so its waits are constrained.
+        s.spawn(move |w| {
+            w.taskgroup(|wg| {
+                wg.spawn_with(TaskAttrs::untied(), move |g| {
+                    // H: joins W's group; ends up above F in the deque.
+                    g.spawn(move |_| {
+                        h_ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                    // Adopt S1 (a non-descendant) under this frame; its
+                    // spawn F becomes the foreign record at the LIFO end.
+                    g.taskyield();
+                });
+            });
+            // Returning at all is the regression: the group wait drained H
+            // despite the foreign blocker at the bottom of the deque.
+        });
+        // S1: sibling of W; spawns F and returns without waiting, so F
+        // stays queued when S1's frame is popped.
+        s.spawn(move |s1| {
+            s1.spawn(move |_| {
+                f_ran.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        s.taskwait();
+    });
+    assert_eq!(h_ran.load(Ordering::Relaxed), 1);
+    assert_eq!(f_ran.load(Ordering::Relaxed), 1, "region barrier ran F");
+}
+
+#[test]
+fn group_waits_counted_apart_from_taskwaits() {
+    // The Table II skew regression: `taskgroup` used to bump `taskwaits`
+    // for its wait, inflating the reported taskwait counts of every kernel
+    // built on taskgroups.
+    let rt = Runtime::with_threads(2);
+    let before = rt.stats();
+    rt.parallel(|s| {
+        s.taskgroup(|s| {
+            s.spawn(|_| {});
+        });
+        s.taskwait();
+    });
+    let d = rt.stats().since(&before);
+    assert_eq!(d.taskwaits, 1, "only the explicit taskwait counts");
+    assert_eq!(d.group_waits, 1, "the group wait has its own counter");
+}
+
+#[test]
+fn taskgroups_recycle_descriptors() {
+    // Deterministic on one worker: after a warm-up pass, every taskgroup
+    // must lease a recycled descriptor — a fresh allocation in the steady
+    // state is the regression the group pool exists to prevent.
+    let rt = Runtime::with_threads(1);
+    let run = || {
+        rt.parallel(|s| {
+            s.taskgroup(|s| {
+                for _ in 0..4 {
+                    s.spawn(|s| {
+                        s.taskgroup(|s| {
+                            s.spawn(|s| {
+                                s.taskgroup(|_| {});
+                            });
+                        });
+                    });
+                }
+            });
+        })
+    };
+    run();
+    let before = rt.stats();
+    run();
+    run();
+    let d = rt.stats().since(&before);
+    assert_eq!(d.groups_fresh, 0, "steady-state taskgroups must recycle");
+    assert!(d.groups_recycled > 0, "recycling telemetry must move");
+}
+
+#[test]
+fn parallel_for_body_panic_is_contained() {
+    // A cut-off-inlined generator panics *through* the parallel_for frame
+    // (deferred generators' panics are caught by the executor instead);
+    // either way the construct must drain its generators — which borrow
+    // the body — before the frame unwinds, re-raise at the region joiner,
+    // and leave the runtime healthy.
+    let rt = Runtime::new(
+        RuntimeConfig::new(2).with_cutoff(RuntimeCutoff::MaxLocalQueue { max_len: 1 }),
+    );
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.parallel(|s| {
+            s.parallel_for_chunked(0..8, 1, |_, _| panic!("generator boom"));
+        });
+    }));
+    assert!(outcome.is_err(), "the body panic must reach the joiner");
+    assert_eq!(run_fib(&rt, 15, 6), fib_seq(15), "team must stay usable");
+}
+
+#[test]
+fn taskgroup_body_panic_still_drains_members() {
+    // A panic in the taskgroup *body* (not in a member task) must not pop
+    // the frame while members — which may borrow it — are outstanding.
+    let rt = Runtime::with_threads(4);
+    let members_done = AtomicUsize::new(0);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.parallel(|s| {
+            let members_done = &members_done;
+            s.taskgroup(|s| {
+                for _ in 0..16 {
+                    s.spawn(move |_| {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        members_done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                panic!("body boom");
+            });
+        });
+    }));
+    assert!(outcome.is_err());
+    // The unwind path waited for every member before leaving the frame.
+    assert_eq!(members_done.load(Ordering::Relaxed), 16);
+    assert_eq!(rt.parallel(|_| 7), 7);
+}

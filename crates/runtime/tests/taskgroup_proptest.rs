@@ -1,0 +1,179 @@
+//! Property test for pooled taskgroups, run under the counting allocator:
+//! randomly shaped groves of **nested and overlapping** taskgroups —
+//! sibling groups per frame, concurrently active groups across workers and
+//! across budgeted/unbudgeted regions, with panics injected into group
+//! members — must uphold the group lifecycle invariants:
+//!
+//! * **no lost or double `leave()`** — every group wait returns exactly
+//!   when its members are done, so the leaf/side-effect counts are exact
+//!   and nothing deadlocks (a lost leave wedges the waiter; a double leave
+//!   underflows the count and releases the wait early, losing bumps);
+//! * **descriptors always return to the pool** — the fresh/recycled
+//!   telemetry accounts for every `taskgroup` call, and descriptor memory
+//!   is leak-checked via live heap bytes after the runtime drops;
+//! * **a panic in a group member does not wedge the group waiter** — the
+//!   wait drains (the member's `leave` runs after its panic is captured)
+//!   and the payload is re-raised by the region's joiner.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bots_profile::current_bytes;
+use bots_runtime::{RegionBudget, Runtime, RuntimeConfig, Scope};
+use proptest::prelude::*;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+/// A grove of nested taskgroups: each frame above the leaves opens **two**
+/// sibling groups (nesting within the first, a flat fan-out in the second),
+/// so sibling and nested groups overlap within a frame while spawned
+/// subtrees overlap across workers. Leaves bump `count` — before their
+/// injected panic, so the expected total stays exact under panics.
+fn grove(s: &Scope<'_>, depth: u32, width: u64, panic_leaves: bool, count: &AtomicU64) {
+    if depth == 0 {
+        count.fetch_add(1, Ordering::Relaxed);
+        if panic_leaves {
+            panic!("leaf panic");
+        }
+        return;
+    }
+    s.taskgroup(|s| {
+        for _ in 0..width {
+            s.spawn(move |s| grove(s, depth - 1, width, panic_leaves, count));
+        }
+    });
+    s.taskgroup(|s| {
+        for _ in 0..width {
+            s.spawn(move |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+/// Leaves of a `grove` call tree rooted at `depth`.
+fn leaves(depth: u32, width: u64) -> u64 {
+    width.pow(depth)
+}
+
+/// Total leaf + flat-group bumps a grove performs.
+fn expected_bumps(depth: u32, width: u64) -> u64 {
+    // Internal nodes at depths 1..=depth each run one flat group of
+    // `width` bumps; there are width^(depth - d) nodes at depth d.
+    let internal_bumps: u64 = (1..=depth).map(|d| width.pow(depth - d) * width).sum();
+    leaves(depth, width) + internal_bumps
+}
+
+/// `taskgroup` calls a grove makes (two per internal node).
+fn expected_groups(depth: u32, width: u64) -> u64 {
+    (1..=depth).map(|d| width.pow(depth - d) * 2).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn groups_drain_recycle_and_survive_panics(
+        workers in 1usize..5,
+        depth in 1u32..4,
+        width in 1u64..4,
+        budget in 0usize..6,
+        panic_region in 0u8..2,
+    ) {
+        let panic_region = panic_region == 1;
+        // The default panic hook captures and symbolises a backtrace per
+        // panic — megabytes of std-internal caches that would swamp the
+        // leak measurement below. Print the one-line message only, and
+        // warm the lazy panic/runtime machinery up before the baseline.
+        static QUIET_PANICS: std::sync::Once = std::sync::Once::new();
+        QUIET_PANICS.call_once(|| {
+            std::panic::set_hook(Box::new(|info| eprintln!("panic: {info}")));
+            let _ = std::panic::catch_unwind(|| panic!("warm-up panic"));
+            drop(Runtime::with_threads(2));
+        });
+        let heap_before = current_bytes();
+        let healthy_count = Arc::new(AtomicU64::new(0));
+        let panicky_count = Arc::new(AtomicU64::new(0));
+        let (group_waits, groups_seen) = {
+            let rt = Runtime::new(RuntimeConfig::new(workers));
+            // 0 encodes "unbudgeted" (the shim strategy set is ranges only).
+            let budget = match budget {
+                0 => RegionBudget::Inherit,
+                n => RegionBudget::MaxQueued(n),
+            };
+
+            // Two overlapping regions on one team: a healthy grove and —
+            // when `panic_region` — a grove whose every leaf panics.
+            let healthy = {
+                let count = healthy_count.clone();
+                rt.submit_with_budget(budget, move |s| {
+                    grove(s, depth, width, false, &count)
+                })
+            };
+            let panicky = panic_region.then(|| {
+                let count = panicky_count.clone();
+                rt.submit_with_budget(budget, move |s| {
+                    grove(s, depth, width, true, &count)
+                })
+            });
+
+            healthy.join();
+            if let Some(h) = panicky {
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.join()));
+                prop_assert!(out.is_err(), "a member panic must reach the joiner");
+            }
+
+            let stats = rt.stats();
+            (stats.group_waits, stats.groups_fresh + stats.groups_recycled)
+            // Runtime drops here: every group descriptor the pool ever
+            // created is freed, or the live-bytes check below trips.
+        };
+
+        // No lost/double leave: every wait returned only after its members
+        // were done, so the healthy region's side-effect total is exact.
+        // The panicky region's is bounded, not exact: when the budget
+        // inlines a leaf, its panic legitimately unwinds through the
+        // spawning frame (skipping that frame's remaining spawns and later
+        // sibling groups) — but at least the first panicking leaf bumped,
+        // and no wait released early enough to lose a bump it waited on.
+        prop_assert_eq!(healthy_count.load(Ordering::Relaxed), expected_bumps(depth, width));
+        if panic_region {
+            let got = panicky_count.load(Ordering::Relaxed);
+            prop_assert!(
+                (1..=expected_bumps(depth, width)).contains(&got),
+                "panicky grove bumped {} of at most {}",
+                got,
+                expected_bumps(depth, width)
+            );
+        }
+
+        // Pool accounting: every group wait consumed exactly one lease
+        // (fresh or recycled) — a lease that never waited, or a wait on an
+        // unleased group, would split these. The healthy region accounts
+        // for its full grove; the panicky region for at least its root
+        // group (the guard counts the wait even while unwinding).
+        prop_assert_eq!(groups_seen, group_waits);
+        let healthy_groups = expected_groups(depth, width);
+        let min = healthy_groups + u64::from(panic_region);
+        let max = healthy_groups * (1 + u64::from(panic_region));
+        prop_assert!(
+            (min..=max).contains(&group_waits),
+            "{} group waits outside [{}, {}]",
+            group_waits,
+            min,
+            max
+        );
+
+        // Descriptor leak check: with the runtime gone, the heap is back
+        // to its baseline (modulo the Arc counters this case still holds
+        // and allocator slack — well under one leaked descriptor per
+        // group).
+        let heap_after = current_bytes();
+        let leaked = heap_after.saturating_sub(heap_before);
+        prop_assert!(
+            leaked < 512,
+            "live heap grew by {leaked} bytes across a full runtime lifecycle"
+        );
+    }
+}

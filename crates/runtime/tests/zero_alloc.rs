@@ -10,12 +10,23 @@
 //! spawns must contribute exactly zero.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use bots_profile::alloc_calls;
 use bots_runtime::Runtime;
 
 #[global_allocator]
 static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+/// The allocation counter is process-global, and libtest runs the tests in
+/// this binary on concurrent threads: another test's warm-up allocations
+/// landing inside every measurement window would make an exact-zero
+/// assertion fail spuriously. Each test holds this for its whole body.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One region of `batch` empty spawns under a taskgroup.
 fn region(rt: &Runtime, batch: u64) -> u64 {
@@ -53,6 +64,7 @@ fn min_alloc_delta(rt: &Runtime, batch: u64) -> u64 {
 
 #[test]
 fn steady_state_spawn_allocates_nothing() {
+    let _serial = exclusive();
     let rt = Runtime::with_threads(4);
 
     // Warm-up: grow the slabs, the deques and the injector once. The warm-up
@@ -73,26 +85,109 @@ fn steady_state_spawn_allocates_nothing() {
         "10_000 extra steady-state spawns performed {} heap allocations",
         large as i64 - small as i64
     );
-    // And that constant itself stays tiny — nothing proportional to
-    // anything (with pooled region descriptors it is in fact zero, which
-    // `steady_state_submit_allocates_nothing` asserts exactly).
-    assert!(
-        small <= 8,
-        "a warm region should cost a handful of allocations, not {small}"
+    // And with pooled region descriptors *and* pooled taskgroup
+    // descriptors, that constant is exactly zero: nothing on the
+    // region-body path touches the allocator once the pools are warm.
+    assert_eq!(
+        small, 0,
+        "a warm taskgroup region must cost zero allocations, not {small}"
     );
+}
+
+/// The whole-kernel acceptance test: a region body shaped like the
+/// recursive BOTS kernels — nested `taskgroup`s returning results through
+/// parent frames (the fib shape) plus `parallel_for` / chunked generator
+/// loops (the sparselu/strassen shape) — performs **exactly zero** heap
+/// allocations once the pools are warm. This is the end of the story PR 1
+/// (pooled task records) and PR 3 (pooled region descriptors) started:
+/// with pooled groups and borrow-based `parallel_for`, no construct a
+/// kernel body uses allocates any more.
+#[test]
+fn steady_state_kernel_allocates_nothing() {
+    fn fib_shape(s: &bots_runtime::Scope<'_>, n: u64, out: &AtomicU64) {
+        if n < 2 {
+            out.store(n, Ordering::Relaxed);
+            return;
+        }
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        s.taskgroup(|s| {
+            s.spawn(|s| fib_shape(s, n - 1, &a));
+            s.spawn(|s| fib_shape(s, n - 2, &b));
+        });
+        out.store(
+            a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    // A static so one kernel closure serves every region (closures are
+    // repeated across measurement runs, hence higher-ranked over the scope
+    // lifetime); reset at entry, regions run one at a time here.
+    static ACC: AtomicU64 = AtomicU64::new(0);
+
+    let _serial = exclusive();
+    let rt = Runtime::with_threads(4);
+    let kernel = |s: &bots_runtime::Scope<'_>| -> u64 {
+        ACC.store(0, Ordering::Relaxed);
+        // fib shape: one taskgroup per frame, results through locals.
+        let fib = AtomicU64::new(0);
+        fib_shape(s, 12, &fib);
+        // generator shapes: one borrow-captured body, spawns per index.
+        s.parallel_for(0..64, |i, s| {
+            s.spawn(move |_| {
+                ACC.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        s.parallel_for_chunked(0..64, 8, |i, _| {
+            ACC.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        fib.load(Ordering::Relaxed) + ACC.load(Ordering::Relaxed)
+    };
+    let expected = 144 + 2 * (0..64u64).sum::<u64>();
+
+    // Warm-up: grow the record slabs, the group pool and the region pool.
+    for _ in 0..4 {
+        assert_eq!(rt.parallel(kernel), expected);
+    }
+
+    let min = (0..9)
+        .map(|_| {
+            let before = alloc_calls();
+            assert_eq!(rt.parallel(kernel), expected);
+            alloc_calls() - before
+        })
+        .min()
+        .unwrap();
+    assert_eq!(
+        min, 0,
+        "a warm taskgroup+parallel_for kernel performed {min} heap allocations"
+    );
+
+    // The pool telemetry agrees: groups were leased over and over without
+    // fresh allocations taking over.
+    let stats = rt.stats();
+    assert!(
+        stats.groups_recycled > stats.groups_fresh,
+        "group recycling never took over: fresh={} recycled={}",
+        stats.groups_fresh,
+        stats.groups_recycled
+    );
+    assert_eq!(stats.closure_spilled, 0, "no kernel closure may spill");
 }
 
 /// The pooled-region acceptance test: once the descriptor pool is warm, a
 /// whole `submit` + `join` round trip — descriptor lease, root record,
 /// result slot, completion — performs **exactly zero** heap allocations.
 ///
-/// The region body uses `spawn` + `taskwait` rather than `taskgroup`: a
-/// taskgroup costs one `Arc` by design (that is a construct cost, not a
-/// region-lifecycle cost), and the tasks bump a static so their closures
+/// The region body uses `spawn` + `taskwait` so the measurement isolates
+/// the submit/join lifecycle itself (taskgroups, now pooled too, get their
+/// own whole-kernel test above); the tasks bump a static so their closures
 /// are `'static` without an owning allocation.
 #[test]
 fn steady_state_submit_allocates_nothing() {
     static TICKS: AtomicU64 = AtomicU64::new(0);
+    let _serial = exclusive();
     let rt = Runtime::with_threads(4);
 
     let roundtrip = |i: u64| {
