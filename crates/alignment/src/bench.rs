@@ -70,7 +70,9 @@ impl Benchmark for AlignmentBench {
         let seqs = generate_proteins(n, len, SEED);
         let gen = match version.generator {
             Generator::For => AlignGenerator::For,
-            Generator::Single => AlignGenerator::Single,
+            // Alignment lists no `deps` version (the all-pairs loop has no
+            // inter-task data flow to express); treat it as `single`.
+            Generator::Single | Generator::Deps => AlignGenerator::Single,
         };
         let scores = align_all_parallel(rt, &seqs, gen, version.tiedness == Tiedness::Untied);
         RunOutput::new(digest(&scores), format!("{} pair scores", scores.len()))

@@ -1,0 +1,192 @@
+//! Dependency-path diagnostic: per-edge cost of `depend` clauses, chain
+//! release latency, and the SparseLU data-flow payoff (deps vs barrier
+//! wall time), swept over team sizes. Two synthetic shapes per sweep:
+//!
+//! * **chain** — `batch` tasks in one write-after-write chain: every task
+//!   but the first is held Deferred and released on its predecessor's
+//!   exit, so `ns/edge` prices registration + hold + release end to end
+//!   (on one thread this *is* the chain latency — nothing overlaps);
+//! * **diamond** — per link, one writer fanning out to seven readers that
+//!   the next link's writer joins: the reader-set and fan-in paths.
+//!
+//! Runs under the counting allocator: `allocs_per_kedge_*` gate against
+//! zero baselines in CI (`bench_gate`'s absolute ceiling of 1.0), so a
+//! reintroduced per-clause allocation — ≥ 1000/kedge — fails loudly while
+//! a stray warm-up allocation stays under the ceiling. With
+//! `BOTS_BENCH_JSON_DIR` set, writes `BENCH_deps_probe.json` for the CI
+//! artifact + `bench_gate`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots::sparselu::{sparselu_parallel, BlockMatrix, LuGenerator};
+use bots::Runtime;
+use bots_bench::perf::Report;
+use bots_profile::alloc_calls;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+static CHAIN_OBJ: AtomicU64 = AtomicU64::new(0);
+static FAN_OBJS: [AtomicU64; 8] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// One region: a WAW chain of `batch` tasks. Edges: `batch - 1`.
+fn chain(rt: &Runtime, batch: u64) {
+    rt.parallel(|s| {
+        for i in 0..batch {
+            s.task(move |_| {
+                CHAIN_OBJ.store(i, Ordering::Relaxed);
+            })
+            .after_write(&CHAIN_OBJ)
+            .spawn();
+        }
+    });
+    assert_eq!(CHAIN_OBJ.load(Ordering::Relaxed), batch - 1);
+}
+
+/// One region of `links` diamonds: writer → 7 readers → next writer.
+/// Edges per link (asymptotically): the writer picks up 1 WAW edge from
+/// the previous writer + 7 WAR edges from the previous link's readers;
+/// each reader picks up 1 in-edge from the writer + 1 WAW edge on its
+/// reused sink from the previous link's reader of that sink — 8 + 14 =
+/// 22.
+fn diamonds(rt: &Runtime, links: u64) {
+    rt.parallel(|s| {
+        for i in 0..links {
+            s.task(move |_| {
+                FAN_OBJS[0].store(i, Ordering::Relaxed);
+            })
+            .after_write(&FAN_OBJS[0])
+            .spawn();
+            for sink in &FAN_OBJS[1..] {
+                s.task(move |_| {
+                    sink.store(i, Ordering::Relaxed);
+                })
+                .after_read(&FAN_OBJS[0])
+                .after_write(sink)
+                .spawn();
+            }
+        }
+    });
+}
+
+/// Median wall time of `f` over `reps` runs.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let batch: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let reps = 10u64;
+    let mut report = Report::new("deps_probe");
+
+    println!("batch={batch} reps={reps}");
+    println!(
+        "{:>7} {:>14} {:>16} {:>15} {:>10} {:>10}",
+        "threads", "ns/edge(chain)", "ns/edge(diamond)", "allocs/kedge", "deferred", "released"
+    );
+    for threads in [1usize, 2, 4] {
+        let rt = Runtime::with_threads(threads);
+        // Warm the record slabs, the region descriptor and its dep pools.
+        // Several rounds: a chain generates far ahead of execution, so the
+        // peak live-record/block inventory (the whole chain) must be grown
+        // once, on whichever workers end up hosting the generators, before
+        // the measurement starts.
+        for _ in 0..8 {
+            chain(&rt, batch);
+            diamonds(&rt, batch / 8);
+        }
+
+        // Min over windows, like the zero_alloc tests: a region root
+        // landing on a worker that never hosted a generator before grows
+        // that worker's pool inventory once — real, but warm-up cost, not
+        // steady-state cost. The floor across windows is the true warm
+        // cost (an unlucky window cannot *remove* allocations), and it is
+        // what the zero-baseline gate holds to its 1.0 absolute ceiling.
+        let before = rt.stats();
+        let mut chain_ns = Vec::new();
+        let mut diamond_ns = Vec::new();
+        let mut window_allocs = Vec::new();
+        for _ in 0..reps {
+            let allocs_before = alloc_calls();
+            let t0 = std::time::Instant::now();
+            chain(&rt, batch);
+            chain_ns.push(t0.elapsed().as_nanos() as f64);
+            let t1 = std::time::Instant::now();
+            diamonds(&rt, batch / 8);
+            diamond_ns.push(t1.elapsed().as_nanos() as f64);
+            window_allocs.push(alloc_calls() - allocs_before);
+        }
+        let d = rt.stats().since(&before);
+
+        let chain_edges = (batch - 1) as f64;
+        let diamond_edges = ((batch / 8) * 22) as f64;
+        chain_ns.sort_by(|a, b| a.total_cmp(b));
+        diamond_ns.sort_by(|a, b| a.total_cmp(b));
+        let ns_chain = chain_ns[chain_ns.len() / 2] / chain_edges;
+        let ns_diamond = diamond_ns[diamond_ns.len() / 2] / diamond_edges;
+        let allocs_per_kedge =
+            *window_allocs.iter().min().unwrap() as f64 / ((chain_edges + diamond_edges) / 1000.0);
+        println!(
+            "{:>7} {:>14.1} {:>16.1} {:>15.3} {:>10} {:>10}",
+            threads, ns_chain, ns_diamond, allocs_per_kedge, d.deps_deferred, d.deps_released,
+        );
+        assert_eq!(
+            d.deps_deferred, d.deps_released,
+            "deferral/release telemetry out of balance"
+        );
+        report.push(format!("ns_per_edge_chain_t{threads}"), ns_chain);
+        report.push(format!("ns_per_edge_diamond_t{threads}"), ns_diamond);
+        report.push(format!("allocs_per_kedge_t{threads}"), allocs_per_kedge);
+    }
+
+    // The kernel-level payoff: SparseLU with block-level clauses vs the
+    // two-barrier version, same matrix, one team. The ratio is the gated
+    // metric (machine-speed independent); the absolute times are
+    // informational. Matrices are generated *outside* the timed closures:
+    // generation is a constant term that would otherwise pull the ratio
+    // toward 1.0 and mask a real dependency-path regression.
+    let (nb, bs) = (16, 16);
+    let rt = Runtime::default();
+    let warm = BlockMatrix::generate(nb, bs, 7);
+    sparselu_parallel(&rt, &warm, LuGenerator::Deps, false);
+    let mut pool: Vec<BlockMatrix> = (0..5).map(|_| BlockMatrix::generate(nb, bs, 7)).collect();
+    let barrier_ms = median_ms(5, || {
+        let m = pool.pop().expect("one pre-built matrix per rep");
+        sparselu_parallel(&rt, &m, LuGenerator::Single, false);
+    });
+    let mut pool: Vec<BlockMatrix> = (0..5).map(|_| BlockMatrix::generate(nb, bs, 7)).collect();
+    let deps_ms = median_ms(5, || {
+        let m = pool.pop().expect("one pre-built matrix per rep");
+        sparselu_parallel(&rt, &m, LuGenerator::Deps, false);
+    });
+    let ratio = deps_ms / barrier_ms;
+    println!(
+        "sparselu {nb}x{nb} blocks of {bs}x{bs}: barrier {barrier_ms:.2} ms, \
+         deps {deps_ms:.2} ms (ratio {ratio:.3})"
+    );
+    report.push("sparselu_barrier_ms", barrier_ms);
+    report.push("sparselu_deps_ms", deps_ms);
+    report.push("sparselu_deps_over_barrier", ratio);
+
+    report.maybe_emit();
+}

@@ -44,8 +44,14 @@ fn node_nocutoff(s: &Scope<'_>, n: u64, attrs: TaskAttrs, out: &AtomicU64) {
     let a = AtomicU64::new(0);
     let b = AtomicU64::new(0);
     s.taskgroup(|s| {
-        s.spawn_with(attrs, |s| node_nocutoff(s, n - 1, attrs, &a));
-        s.spawn_with(attrs, |s| node_nocutoff(s, n - 2, attrs, &b));
+        // TaskBuilder form of `spawn_with(attrs, ...)`: attributes chain
+        // onto the builder, `spawn()` creates the task.
+        s.task(|s| node_nocutoff(s, n - 1, attrs, &a))
+            .with_attrs(attrs)
+            .spawn();
+        s.task(|s| node_nocutoff(s, n - 2, attrs, &b))
+            .with_attrs(attrs)
+            .spawn();
     });
     out.store(
         a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed),
@@ -58,18 +64,19 @@ fn node_if(s: &Scope<'_>, n: u64, depth: u32, cutoff: u32, attrs: TaskAttrs, out
         out.store(n, Ordering::Relaxed);
         return;
     }
-    // The condition travels on the task attributes: when it is false the
-    // runtime runs the child inline but still performs task bookkeeping.
-    let attrs_here = attrs.with_if(depth < cutoff);
+    // The condition travels on the builder's if-clause: when it is false
+    // the runtime runs the child inline but still performs bookkeeping.
     let a = AtomicU64::new(0);
     let b = AtomicU64::new(0);
     s.taskgroup(|s| {
-        s.spawn_with(attrs_here, |s| {
-            node_if(s, n - 1, depth + 1, cutoff, attrs, &a)
-        });
-        s.spawn_with(attrs_here, |s| {
-            node_if(s, n - 2, depth + 1, cutoff, attrs, &b)
-        });
+        s.task(|s| node_if(s, n - 1, depth + 1, cutoff, attrs, &a))
+            .with_attrs(attrs)
+            .if_clause(depth < cutoff)
+            .spawn();
+        s.task(|s| node_if(s, n - 2, depth + 1, cutoff, attrs, &b))
+            .with_attrs(attrs)
+            .if_clause(depth < cutoff)
+            .spawn();
     });
     out.store(
         a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed),
@@ -90,12 +97,12 @@ fn node_manual(s: &Scope<'_>, n: u64, depth: u32, cutoff: u32, attrs: TaskAttrs,
     let a = AtomicU64::new(0);
     let b = AtomicU64::new(0);
     s.taskgroup(|s| {
-        s.spawn_with(attrs, |s| {
-            node_manual(s, n - 1, depth + 1, cutoff, attrs, &a)
-        });
-        s.spawn_with(attrs, |s| {
-            node_manual(s, n - 2, depth + 1, cutoff, attrs, &b)
-        });
+        s.task(|s| node_manual(s, n - 1, depth + 1, cutoff, attrs, &a))
+            .with_attrs(attrs)
+            .spawn();
+        s.task(|s| node_manual(s, n - 2, depth + 1, cutoff, attrs, &b))
+            .with_attrs(attrs)
+            .spawn();
     });
     out.store(
         a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed),

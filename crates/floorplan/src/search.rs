@@ -153,7 +153,7 @@ pub fn search_parallel(
         s.taskgroup(|s| {
             for &shape in &cells[0].alts {
                 let ctx = &ctx;
-                s.spawn_with(attrs, move |s| {
+                s.task(move |s| {
                     let mut board = empty_board();
                     let mut ops = 0u64;
                     if let Some(place) = lay_down(&mut board, 0, 0, shape, &mut ops) {
@@ -161,7 +161,9 @@ pub fn search_parallel(
                         let placements = vec![place];
                         parallel_node(s, ctx, 1, board, placements);
                     }
-                });
+                })
+                .with_attrs(attrs)
+                .spawn();
             }
         });
     });
@@ -211,13 +213,17 @@ fn parallel_node(s: &Scope<'_>, ctx: &Ctx<'_>, id: usize, board: Board, placemen
                         // Copy the whole state into the child task — the
                         // kernel's defining cost (≈5 KB captured per task).
                         let child_board: Board = board.clone();
-                        let spawn_attrs = match ctx.mode {
-                            FloorplanMode::IfClause => ctx.attrs.with_if(depth < ctx.cutoff),
-                            _ => ctx.attrs,
-                        };
-                        s.spawn_with(spawn_attrs, move |s| {
-                            parallel_node(s, ctx, id + 1, child_board, child_placements);
-                        });
+                        let builder = s
+                            .task(move |s| {
+                                parallel_node(s, ctx, id + 1, child_board, child_placements);
+                            })
+                            .with_attrs(ctx.attrs);
+                        match ctx.mode {
+                            FloorplanMode::IfClause => {
+                                builder.if_clause(depth < ctx.cutoff).spawn()
+                            }
+                            _ => builder.spawn(),
+                        }
                     }
                     lift(&mut board, place);
                 }

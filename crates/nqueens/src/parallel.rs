@@ -108,13 +108,15 @@ fn node<'s>(
                 let mut child_board = Vec::with_capacity(n);
                 child_board.extend_from_slice(&board);
                 child_board.push(col);
-                let spawn_attrs = match mode {
-                    QueensMode::IfClause => attrs.with_if(depth < cutoff),
-                    _ => attrs,
-                };
-                s.spawn_with(spawn_attrs, move |s| {
-                    node(s, n, child_board, mode, attrs, cutoff, counter);
-                });
+                let builder = s
+                    .task(move |s| {
+                        node(s, n, child_board, mode, attrs, cutoff, counter);
+                    })
+                    .with_attrs(attrs);
+                match mode {
+                    QueensMode::IfClause => builder.if_clause(depth < cutoff).spawn(),
+                    _ => builder.spawn(),
+                }
             }
         }
     });

@@ -120,6 +120,19 @@
 //!   `parallel_for` touches the allocator **zero** times; the only
 //!   remaining spills are closures or results larger than the 64-byte
 //!   inline slots, both visible in `closure_spilled`.
+//! * **Data-flow tasking** ([`Scope::task`] + [`TaskBuilder`]): OpenMP
+//!   4.0-style `depend(in/out)` clauses — `after_read(&x)` /
+//!   `after_write(&x)` key a per-region, pooled dependency tracker by
+//!   object address (a task's whole clause list registers atomically, so
+//!   the declared graph is acyclic even with concurrent spawners); a task
+//!   whose predecessors have not all retired is held in a *Deferred*
+//!   state and released — lock-free — from the completing worker on the
+//!   task-exit path. Kernels express *which*
+//!   tasks wait instead of barriering everyone (`sparselu deps` runs with
+//!   no `taskwait` at all), warm dependency chains allocate nothing, and
+//!   [`RuntimeStats::deps_registered`] /
+//!   [`RuntimeStats::deps_deferred`] / [`RuntimeStats::deps_released`]
+//!   account for every clause, hold and release.
 //! * **Regions** are first-class, concurrent and pooled: each
 //!   [`submit`](Runtime::submit)/[`parallel`](Runtime::parallel) call
 //!   leases a recycled region descriptor (embedded root record, inline
@@ -159,6 +172,7 @@
 //! | `slab` | per-worker record free lists + cross-thread reclaim |
 //! | `injector` | sharded lock-free injector feeding region roots to the team |
 //! | `region` | pooled region descriptors: root, result, completion, budget, attribution |
+//! | `deps` | per-region task-dependency tracker (`depend(in/out)` clauses, pooled) |
 //! | `group` | pooled `taskgroup` descriptors (waiter-owned lease, member raw pointers) |
 //! | `event` | sleeper-gated event count (no shared writes to notify) |
 //! | [`pool`](Runtime) | worker threads, submit/join, region lifecycle |
@@ -176,6 +190,7 @@ mod event;
 mod rng;
 
 mod config;
+mod deps;
 mod group;
 mod injector;
 mod local;
@@ -190,6 +205,6 @@ pub use config::{default_threads, LocalOrder, RegionBudget, RuntimeConfig, Runti
 pub use local::{CacheAligned, WorkerCounter, WorkerLocal};
 pub use pool::{RegionHandle, Runtime};
 pub use region::RegionStats;
-pub use scope::Scope;
+pub use scope::{Scope, TaskBuilder, MAX_TASK_DEPS};
 pub use stats::RuntimeStats;
 pub use task::TaskAttrs;

@@ -513,6 +513,30 @@ impl WorkerCtx {
             }
         }
 
+        // Dependency retire (release-on-exit): if this task carried depend
+        // clauses, close its successor list and release every Deferred
+        // task whose last unretired predecessor it was — each is pushed on
+        // *this* worker's deque, so releases ride the same queue/wake
+        // machinery as spawns, with no dedicated thread. Runs even when
+        // the task panicked: its completion (exceptional or not) is what
+        // successors wait on, and skipping it would wedge them forever.
+        // Roots never carry deps; their `next` link belongs to the
+        // injector (see TaskRecord::set_dep_state).
+        if r.parent().is_some() {
+            if let Some(state) = r.take_dep_state() {
+                let region = region.expect("dependency task without a region");
+                // Safety: `state` is the block registered for this record,
+                // taken exactly once, on the thread that just ran the task.
+                unsafe {
+                    region.deps().retire(state.cast(), |released| {
+                        WorkerCounters::bump(&counters.deps_released);
+                        self.deque.push(released);
+                        shared.work.notify_one();
+                    });
+                }
+            }
+        }
+
         // Completion: a task does *not* wait for its children (that is what
         // taskwait is for); it only reports its own termination. Waiters are
         // woken only on the transitions they block on: the group draining,

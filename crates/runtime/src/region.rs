@@ -56,6 +56,7 @@ use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, Ordering}
 use std::sync::Mutex;
 
 use crate::config::RegionBudget;
+use crate::deps::DepTracker;
 use crate::local::CacheAligned;
 use crate::task::TaskRecord;
 
@@ -144,6 +145,11 @@ pub(crate) struct Region {
     result_written: AtomicBool,
     /// Per-worker attribution counters, indexed by worker.
     shards: Box<[CacheAligned<RegionShard>]>,
+    /// The region's task-dependency tracker ([`crate::deps`]): address
+    /// entries, dep blocks and nodes, all pooled inside and reset on
+    /// re-lease — deps are region-scoped, and a recycled descriptor keeps
+    /// its dependency pools warm.
+    deps: DepTracker,
 }
 
 // Safety: the embedded root record is governed by the record refcount
@@ -167,6 +173,7 @@ impl Region {
             result: UnsafeCell::new(ResultPayload([MaybeUninit::uninit(); RESULT_INLINE_BYTES])),
             result_written: AtomicBool::new(false),
             shards: (0..workers).map(|_| CacheAligned::default()).collect(),
+            deps: DepTracker::new(),
         }
     }
 
@@ -187,6 +194,10 @@ impl Region {
         self.result_written.store(false, Ordering::Relaxed);
         *self.panic.lock().unwrap_or_else(|e| e.into_inner()) = None;
         *self.completion.lock().unwrap_or_else(|e| e.into_inner()) = CompletionSlot::default();
+        // Drop the previous lease's dependency entries (exclusive here,
+        // and happens-after that region's quiescence); the tracker's pools
+        // keep their capacity, so the next lease's dep chains stay warm.
+        self.deps.reset();
     }
 
     /// The embedded root record's slot. Always a valid address; the record
@@ -298,6 +309,12 @@ impl Region {
         } else {
             *Box::from_raw(payload.cast::<*mut R>().read())
         }
+    }
+
+    /// The region's dependency tracker.
+    #[inline]
+    pub(crate) fn deps(&self) -> &DepTracker {
+        &self.deps
     }
 
     /// This worker's attribution shard.

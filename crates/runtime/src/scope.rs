@@ -8,6 +8,7 @@
 //! |---|---|
 //! | `#pragma omp task` | [`Scope::spawn`] |
 //! | `#pragma omp task untied if(c) final(d)` | [`Scope::spawn_with`] + [`TaskAttrs`] |
+//! | `#pragma omp task depend(in: x) depend(inout: y)` | [`Scope::task`] + [`TaskBuilder::after_read`]/[`TaskBuilder::after_write`] |
 //! | `#pragma omp taskwait` | [`Scope::taskwait`] |
 //! | `#pragma omp taskgroup` (3.1) | [`Scope::taskgroup`] |
 //! | `#pragma omp taskyield` (3.1) | [`Scope::taskyield`] |
@@ -29,10 +30,16 @@ use std::marker::PhantomData;
 use std::ops::Range;
 use std::ptr::NonNull;
 
+use crate::deps::{DepAccess, DepClause};
 use crate::group::Group;
 use crate::pool::{ExecCtx, Shared, WorkerCtx};
 use crate::stats::WorkerCounters;
 use crate::task::{TaskAttrs, TaskRecord};
+
+/// Maximum `depend` clauses one task may carry (a [`TaskBuilder`] panics
+/// past this). Eight covers every kernel in the suite — SparseLU's `bmod`,
+/// the widest, uses three — while keeping the builder allocation-free.
+pub const MAX_TASK_DEPS: usize = 8;
 
 /// How long a task blocked at `taskwait` sleeps between re-probes when it
 /// cannot legally run anything (safety net; normal wake-ups are eventful).
@@ -129,16 +136,21 @@ impl<'scope> Scope<'scope> {
     }
 
     /// `#pragma omp task`: spawns a tied, deferred child task.
+    ///
+    /// A thin wrapper over [`task`](Self::task) — equivalent to
+    /// `self.task(f).spawn()` — kept as *the* hot no-attribute path.
     #[inline]
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
-        self.spawn_with(TaskAttrs::default(), f);
+        self.spawn_impl(TaskAttrs::default(), &[], f);
     }
 
     /// Spawns a child task with explicit attributes (`untied`, `if`,
-    /// `final`). The decision cascade mirrors an OpenMP runtime:
+    /// `final`); a thin wrapper over [`task`](Self::task), equivalent to
+    /// `self.task(f).with_attrs(attrs).spawn()`. The decision cascade
+    /// mirrors an OpenMP runtime:
     ///
     /// 1. inside a final task → run inline (included task);
     /// 2. `if(false)` → run inline, undeferred, but *through* the runtime
@@ -148,7 +160,75 @@ impl<'scope> Scope<'scope> {
     ///    push it on the local deque — no heap allocation unless the
     ///    closure outgrows the record's inline storage or the slab needs a
     ///    fresh chunk.
+    #[inline]
     pub fn spawn_with<F>(&self, attrs: TaskAttrs, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.spawn_impl(attrs, &[], f);
+    }
+
+    /// Starts a [`TaskBuilder`] for `body`: the chainable spawn surface
+    /// behind every task-creating construct. `spawn`/`spawn_with` are thin
+    /// wrappers over it; what the builder adds is OpenMP 4.0-style
+    /// **`depend` clauses**:
+    ///
+    /// ```
+    /// use bots_runtime::Runtime;
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    ///
+    /// let rt = Runtime::with_threads(2);
+    /// let x = AtomicU64::new(0);
+    /// let y = AtomicU64::new(0);
+    /// rt.parallel(|s| {
+    ///     let (x, y) = (&x, &y);
+    ///     // produce(x) → transform(x → y) → consume(y): a data-flow
+    ///     // chain with no taskwait anywhere.
+    ///     s.task(move |_| x.store(21, Ordering::Relaxed))
+    ///         .after_write(x)
+    ///         .spawn();
+    ///     s.task(move |_| y.store(x.load(Ordering::Relaxed) * 2, Ordering::Relaxed))
+    ///         .after_read(x)
+    ///         .after_write(y)
+    ///         .spawn();
+    ///     s.task(move |_| assert_eq!(y.load(Ordering::Relaxed), 42))
+    ///         .after_read(y)
+    ///         .spawn();
+    /// });
+    /// assert_eq!(y.load(Ordering::Relaxed), 42);
+    /// ```
+    ///
+    /// Dependences are **address-identity**: `after_read(&x)` /
+    /// `after_write(&x)` never dereference `x`, they key the per-region
+    /// dependency tracker by its address (see [`crate::TaskBuilder`] for
+    /// the full semantics).
+    #[inline]
+    pub fn task<'s, F>(&'s self, body: F) -> TaskBuilder<'s, 'scope, F>
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        TaskBuilder {
+            scope: self,
+            body,
+            attrs: TaskAttrs::default(),
+            deps: [DepClause::default(); MAX_TASK_DEPS],
+            n_deps: 0,
+        }
+    }
+
+    /// The one spawn path behind `spawn`, `spawn_with` and
+    /// [`TaskBuilder::spawn`]. With no clauses this is the classic cascade
+    /// (inline-or-defer, lock-free); with clauses the task registers with
+    /// the region's dependency tracker and is either queued immediately
+    /// (all predecessors retired) or held in the **Deferred** state until
+    /// the last predecessor's exit releases it.
+    ///
+    /// Tasks with clauses skip the inline cascade entirely: an unready
+    /// task *cannot* run inline (its predecessors have not finished), and
+    /// serialising only the ready ones would reorder the DAG — so `final`,
+    /// `if(false)`, cut-offs and region budgets leave dependency tasks
+    /// deferred (documented on [`TaskBuilder`]).
+    fn spawn_impl<F>(&self, attrs: TaskAttrs, deps: &[DepClause], f: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
@@ -156,27 +236,30 @@ impl<'scope> Scope<'scope> {
         let shared = &*worker.shared;
         let counters = worker.counters();
 
-        if self.rec().final_ {
-            WorkerCounters::bump(&counters.inlined_final);
-            return self.run_inline(attrs, f);
-        }
-        if !attrs.if_clause {
-            WorkerCounters::bump(&counters.inlined_if);
-            return self.run_inline(attrs, f);
-        }
-        if shared.cutoff_trips(worker.deque.len(), self.rec().depth) {
-            WorkerCounters::bump(&counters.inlined_cutoff);
-            return self.run_inline(attrs, f);
-        }
-        // The region's own budget: unlike the global cut-off above, this
-        // one is checked against *this region's* queued count, so a greedy
-        // region serialises itself without slowing a sibling's spawns.
         let region = unsafe { self.rec().region().as_ref() };
-        if let Some(region) = region {
-            if region.budget_trips() {
-                WorkerCounters::bump(&counters.inlined_budget);
-                WorkerCounters::bump(&region.shard(worker.index).serialized);
+        if deps.is_empty() {
+            if self.rec().final_ {
+                WorkerCounters::bump(&counters.inlined_final);
                 return self.run_inline(attrs, f);
+            }
+            if !attrs.if_clause {
+                WorkerCounters::bump(&counters.inlined_if);
+                return self.run_inline(attrs, f);
+            }
+            if shared.cutoff_trips(worker.deque.len(), self.rec().depth) {
+                WorkerCounters::bump(&counters.inlined_cutoff);
+                return self.run_inline(attrs, f);
+            }
+            // The region's own budget: unlike the global cut-off above,
+            // this one is checked against *this region's* queued count, so
+            // a greedy region serialises itself without slowing a
+            // sibling's spawns.
+            if let Some(region) = region {
+                if region.budget_trips() {
+                    WorkerCounters::bump(&counters.inlined_budget);
+                    WorkerCounters::bump(&region.shard(worker.index).serialized);
+                    return self.run_inline(attrs, f);
+                }
             }
         }
 
@@ -212,6 +295,20 @@ impl<'scope> Scope<'scope> {
             // Spill telemetry: the zero-allocation property just leaked one
             // box; the counter lets kernels assert it never happens to them.
             WorkerCounters::bump(&counters.closure_spilled);
+        }
+
+        if !deps.is_empty() {
+            let region = region.expect("depend clauses require a region task");
+            WorkerCounters::add(&counters.deps_registered, deps.len() as u64);
+            // Safety: the record is initialised, closure stored, and not
+            // yet published to any queue.
+            let ready = unsafe { region.deps().register(rec, deps) };
+            if !ready {
+                // Deferred: predecessors hold the record; the retiring
+                // worker that drops its release count to zero queues it.
+                WorkerCounters::bump(&counters.deps_deferred);
+                return;
+            }
         }
 
         worker.deque.push(rec);
@@ -575,5 +672,157 @@ struct GeneratorDrainGuard<'s, 'scope>(&'s Scope<'scope>);
 impl Drop for GeneratorDrainGuard<'_, '_> {
     fn drop(&mut self) {
         self.0.wait_until(|| self.0.rec().outstanding() == 0);
+    }
+}
+
+/// The chainable spawn surface started by [`Scope::task`]: attributes
+/// (`tied`/`untied`/`final`/`if`) and OpenMP 4.0-style `depend` clauses,
+/// ending in [`spawn`](Self::spawn). `Scope::spawn`/`spawn_with` are thin
+/// wrappers over a clause-free builder.
+///
+/// ## Dependence semantics (address identity)
+///
+/// A clause names an **object address** — `after_read(&x)` and
+/// `after_write(&x)` key the region's dependency tracker by `&x`'s address
+/// and never dereference it:
+///
+/// * `after_read(&x)` — `depend(in: x)`: runs after the last task that
+///   declared `after_write(&x)`;
+/// * `after_write(&x)` — `depend(out/inout: x)`: runs after the last
+///   writer of `x` *and* every reader declared since.
+///
+/// Two tasks are ordered only if both declare a clause on the same
+/// address; dependences are scoped to the spawning task's **region**. A
+/// task's whole clause list registers **atomically** (one tracker lock),
+/// so registrations are totally ordered — every edge points from an
+/// earlier registrant to a later one and the declared graph is always
+/// acyclic, even when several tasks spawn dependency tasks concurrently
+/// (concurrent registrants serialise briefly on that lock; a single
+/// generator never contends). The object must outlive `'scope` — the
+/// compiler enforces it, which also rules out dangling addresses being
+/// recycled mid-region by an unrelated allocation.
+///
+/// A task whose predecessors have all retired is queued immediately; one
+/// that must wait is held in the **Deferred** state — in no queue, costing
+/// no scheduler attention — and is queued by the retiring predecessor that
+/// releases its last dependence, on that worker's own deque. Steady-state
+/// dependency chains allocate nothing: dep blocks, map entries and list
+/// nodes are pooled per region (see `RuntimeStats::{deps_registered,
+/// deps_deferred, deps_released}`).
+///
+/// ## Interaction with the inline cascade
+///
+/// Tasks carrying clauses are **always deferred**, never run inline:
+/// `final` ancestry, `if(false)` and the runtime/region cut-offs would
+/// otherwise have to execute a task whose predecessors are still running,
+/// or reorder the declared graph. The attributes still apply to the task
+/// itself (tiedness constrains its taskwaits; `final` propagates to its
+/// clause-free descendants).
+///
+/// ## Synchronisation
+///
+/// `taskwait`/`taskgroup` interact with dependency tasks like with any
+/// other child: a deferred child counts as outstanding until it has
+/// actually run, so a `taskwait` is also a dependence barrier for the
+/// waiting task's own children. Kernels that fully order themselves with
+/// clauses need no barrier at all — region quiescence is the final join.
+///
+/// **Caveat — tied waits and cross-subtree dependences**: a *tied*
+/// task's wait may only execute descendants of the waiting task (the
+/// OpenMP task scheduling constraint). A Deferred child whose
+/// predecessor lives *outside* the waiting subtree therefore cannot be
+/// unblocked by the waiter itself; with no other free worker (trivially,
+/// on a one-thread team) that wait deadlocks — the same TSC-2 /
+/// `depend` interplay known from conforming OpenMP runtimes. Either keep
+/// a dependence graph's tasks siblings under one spawning scope (no tied
+/// wait inside the graph — the `sparselu deps` pattern), make the
+/// waiting task untied, or disable enforcement with
+/// [`RuntimeConfig::with_tied_constraint`](crate::RuntimeConfig::with_tied_constraint).
+#[must_use = "a TaskBuilder does nothing until .spawn() is called"]
+pub struct TaskBuilder<'s, 'scope, F> {
+    scope: &'s Scope<'scope>,
+    body: F,
+    attrs: TaskAttrs,
+    deps: [DepClause; MAX_TASK_DEPS],
+    n_deps: usize,
+}
+
+impl<'s, 'scope, F> TaskBuilder<'s, 'scope, F>
+where
+    F: FnOnce(&Scope<'scope>) + Send + 'scope,
+{
+    /// `depend(in: obj)`: run after the last task that declared a write on
+    /// `obj`'s address. Identity only — `obj` is never dereferenced.
+    ///
+    /// # Panics
+    /// When more than [`MAX_TASK_DEPS`] clauses are chained.
+    pub fn after_read<T: ?Sized>(self, obj: &'scope T) -> Self {
+        self.clause(obj as *const T as *const () as usize, DepAccess::Read)
+    }
+
+    /// `depend(out: obj)` / `depend(inout: obj)`: run after the last
+    /// writer of `obj`'s address *and* every reader declared since; later
+    /// clauses on the same address order themselves after this task.
+    /// Identity only — `obj` is never dereferenced (which is why a shared
+    /// reference suffices to declare a write *intent*).
+    ///
+    /// # Panics
+    /// When more than [`MAX_TASK_DEPS`] clauses are chained.
+    pub fn after_write<T: ?Sized>(self, obj: &'scope T) -> Self {
+        self.clause(obj as *const T as *const () as usize, DepAccess::Write)
+    }
+
+    fn clause(mut self, addr: usize, access: DepAccess) -> Self {
+        assert!(
+            self.n_deps < MAX_TASK_DEPS,
+            "a task may declare at most {MAX_TASK_DEPS} depend clauses"
+        );
+        self.deps[self.n_deps] = DepClause { addr, access };
+        self.n_deps += 1;
+        self
+    }
+
+    /// Marks the task tied (the OpenMP default): its taskwaits may only
+    /// pick up descendants.
+    pub fn tied(mut self) -> Self {
+        self.attrs.tied = true;
+        self
+    }
+
+    /// Marks the task untied: its taskwaits drain and steal freely.
+    pub fn untied(mut self) -> Self {
+        self.attrs.tied = false;
+        self
+    }
+
+    /// Applies the `final` clause: the task's clause-free descendants run
+    /// inline, unconditionally (OpenMP 3.1 `final(true)`).
+    pub fn finalize(mut self) -> Self {
+        self.attrs.final_clause = true;
+        self
+    }
+
+    /// Sets the `if` clause value; `false` makes a clause-free task
+    /// undeferred (inline with bookkeeping — the paper's if-clause
+    /// cut-off).
+    pub fn if_clause(mut self, cond: bool) -> Self {
+        self.attrs.if_clause = cond;
+        self
+    }
+
+    /// Replaces the whole attribute set (for call sites that compute a
+    /// [`TaskAttrs`] once and reuse it across spawns).
+    pub fn with_attrs(mut self, attrs: TaskAttrs) -> Self {
+        self.attrs = attrs;
+        self
+    }
+
+    /// Creates the task: registers its clauses (if any) and queues it —
+    /// immediately when every predecessor has retired, otherwise the
+    /// moment the last one does. Returns as soon as the task is created,
+    /// like [`Scope::spawn`].
+    pub fn spawn(self) {
+        self.scope
+            .spawn_impl(self.attrs, &self.deps[..self.n_deps], self.body);
     }
 }

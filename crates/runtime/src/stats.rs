@@ -62,6 +62,15 @@ pub(crate) struct WorkerCounters {
     /// Taskgroup descriptors recycled from the group pool free list:
     /// `taskgroup` uses that performed zero heap allocations.
     pub groups_recycled: AtomicU64,
+    /// `depend` clauses registered with the per-region dependency tracker
+    /// (one per clause, not per task).
+    pub deps_registered: AtomicU64,
+    /// Tasks held back in the Deferred state because a predecessor had not
+    /// retired when their clauses were registered.
+    pub deps_deferred: AtomicU64,
+    /// Deferred tasks this worker released (queued) while retiring one of
+    /// their predecessors on the task-exit path.
+    pub deps_released: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -74,6 +83,12 @@ impl WorkerCounters {
     #[inline]
     pub fn bump(counter: &AtomicU64) {
         counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
+    /// [`bump`](Self::bump) by `n` (same single-writer contract).
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.store(counter.load(Ordering::Relaxed) + n, Ordering::Relaxed);
     }
 }
 
@@ -134,6 +149,15 @@ pub struct RuntimeStats {
     /// Taskgroup descriptors recycled from the group pool free list:
     /// `taskgroup` uses that performed zero heap allocations.
     pub groups_recycled: u64,
+    /// `depend` clauses registered (one per clause; a task with three
+    /// clauses counts three).
+    pub deps_registered: u64,
+    /// Tasks that entered the Deferred state — spawned with clauses whose
+    /// predecessors had not all retired yet.
+    pub deps_deferred: u64,
+    /// Deferred tasks released by a retiring predecessor (every deferred
+    /// task is eventually released exactly once).
+    pub deps_released: u64,
 }
 
 impl RuntimeStats {
@@ -158,6 +182,9 @@ impl RuntimeStats {
         self.wake_propagations += w.wake_propagations.load(Ordering::Relaxed);
         self.groups_fresh += w.groups_fresh.load(Ordering::Relaxed);
         self.groups_recycled += w.groups_recycled.load(Ordering::Relaxed);
+        self.deps_registered += w.deps_registered.load(Ordering::Relaxed);
+        self.deps_deferred += w.deps_deferred.load(Ordering::Relaxed);
+        self.deps_released += w.deps_released.load(Ordering::Relaxed);
     }
 
     /// Total task-creation points the runtime saw (deferred + every kind of
@@ -206,6 +233,9 @@ impl RuntimeStats {
             regions_recycled: self.regions_recycled - earlier.regions_recycled,
             groups_fresh: self.groups_fresh - earlier.groups_fresh,
             groups_recycled: self.groups_recycled - earlier.groups_recycled,
+            deps_registered: self.deps_registered - earlier.deps_registered,
+            deps_deferred: self.deps_deferred - earlier.deps_deferred,
+            deps_released: self.deps_released - earlier.deps_released,
         }
     }
 }
@@ -217,7 +247,8 @@ impl std::fmt::Display for RuntimeStats {
             "spawned={} inlined(if/cutoff/final/budget)={}/{}/{}/{} executed={} stolen={} \
              misses={} parks={} taskwaits={} group_waits={} switched={} tied_denied={} \
              slab(fresh/recycled/cross)={}/{}/{} regions(fresh/recycled)={}/{} \
-             groups(fresh/recycled)={}/{} spilled={} propagated={}",
+             groups(fresh/recycled)={}/{} deps(reg/deferred/released)={}/{}/{} \
+             spilled={} propagated={}",
             self.spawned,
             self.inlined_if,
             self.inlined_cutoff,
@@ -238,6 +269,9 @@ impl std::fmt::Display for RuntimeStats {
             self.regions_recycled,
             self.groups_fresh,
             self.groups_recycled,
+            self.deps_registered,
+            self.deps_deferred,
+            self.deps_released,
             self.closure_spilled,
             self.wake_propagations,
         )

@@ -290,6 +290,46 @@ impl TaskRecord {
         self.parent
     }
 
+    /// Attaches per-task dependency state (an opaque pointer to a
+    /// [`crate::deps::DepBlock`]), carried in the intrusive `next` link.
+    ///
+    /// Sound because `next` is otherwise unused for the whole live span of
+    /// a **non-root** record: the slab free list and the cross-thread
+    /// reclaim stack touch it only after the final release, the deque
+    /// stores records in its own buffer, and the injector (which *does*
+    /// thread through `next`) carries only region roots — which never have
+    /// depend clauses. While the pointer is set, the record is in the
+    /// runtime's **Deferred** state machinery: held back until its
+    /// release counter drains, then queued, then executed, at which point
+    /// [`take_dep_state`](Self::take_dep_state) hands the block to the
+    /// retire path.
+    ///
+    /// # Safety
+    /// Executing-thread-only protocol: set once before the record is
+    /// published (to a queue or to predecessor successor lists), taken
+    /// once by the executing worker.
+    #[inline]
+    pub(crate) unsafe fn set_dep_state(&self, state: NonNull<u8>) {
+        // Region roots never carry deps (their `next` belongs to the
+        // injector); synthetic test records (null region) are exempt.
+        debug_assert!(self.parent.is_some() || self.region.is_null());
+        self.next.store(state.as_ptr().cast(), Ordering::Relaxed);
+    }
+
+    /// Detaches the dependency state attached by
+    /// [`set_dep_state`](Self::set_dep_state), if any. Must only be called
+    /// on records whose `next` link is governed by the dep protocol (i.e.
+    /// non-root records — see `set_dep_state`).
+    #[inline]
+    pub(crate) fn take_dep_state(&self) -> Option<NonNull<u8>> {
+        debug_assert!(self.parent.is_some() || self.region.is_null());
+        NonNull::new(
+            self.next
+                .swap(std::ptr::null_mut(), Ordering::Relaxed)
+                .cast(),
+        )
+    }
+
     /// Adds one reference.
     #[inline]
     pub(crate) fn add_ref(&self) {

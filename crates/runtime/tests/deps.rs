@@ -1,0 +1,281 @@
+//! End-to-end behaviour of the `TaskBuilder` depend-clause API: data-flow
+//! chains execute in dependency order with **no `taskwait` in the kernel
+//! body**, fan-in joins wait for every predecessor, panicking predecessors
+//! still release their successors, and the telemetry accounts for every
+//! deferral and release.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use bots_runtime::{RegionBudget, Runtime, RuntimeConfig, TaskAttrs};
+
+/// The acceptance chain: SparseLU's `fwd → bmod → bdiv` shape on **one
+/// thread**, spawned in program order with no barrier anywhere. A 1-thread
+/// team pops its deque LIFO, so without the clauses the three tasks would
+/// run in *reverse* spawn order — the log proves the Deferred hold-back and
+/// release-on-exit actually reorder execution, deterministically.
+#[test]
+fn chain_executes_in_dependency_order_on_one_thread() {
+    let rt = Runtime::with_threads(1);
+    let row = [0u8; 1]; // the "pivot row" object (identity only)
+    let block = [0u8; 1]; // the "trailing block" object
+    let log = Mutex::new(Vec::new());
+    rt.parallel(|s| {
+        let (log, row, block) = (&log, &row, &block);
+        s.task(move |_| log.lock().unwrap().push("fwd"))
+            .after_write(row)
+            .spawn();
+        s.task(move |_| log.lock().unwrap().push("bmod"))
+            .after_read(row)
+            .after_write(block)
+            .spawn();
+        s.task(move |_| log.lock().unwrap().push("bdiv"))
+            .after_read(block)
+            .spawn();
+        // No taskwait: region quiescence is the only join.
+    });
+    assert_eq!(*log.lock().unwrap(), vec!["fwd", "bmod", "bdiv"]);
+}
+
+/// Without clauses the same 1-thread region runs LIFO — the control that
+/// shows the previous test's ordering really comes from the dependences.
+#[test]
+fn without_clauses_one_thread_runs_lifo() {
+    let rt = Runtime::with_threads(1);
+    let log = Mutex::new(Vec::new());
+    rt.parallel(|s| {
+        let log = &log;
+        s.spawn(move |_| log.lock().unwrap().push(1));
+        s.spawn(move |_| log.lock().unwrap().push(2));
+        s.spawn(move |_| log.lock().unwrap().push(3));
+    });
+    assert_eq!(*log.lock().unwrap(), vec![3, 2, 1]);
+}
+
+/// A wide diamond under real parallelism: one producer, many readers, one
+/// fan-in consumer. The consumer must observe every reader's side effect.
+#[test]
+fn diamond_fan_in_joins_every_reader() {
+    let rt = Runtime::with_threads(4);
+    for round in 0..50u64 {
+        let src = AtomicU64::new(0);
+        let sinks: Vec<AtomicU64> = (0..16).map(|_| AtomicU64::new(0)).collect();
+        let total = AtomicU64::new(u64::MAX);
+        rt.parallel(|s| {
+            let (src, sinks, total) = (&src, &sinks, &total);
+            s.task(move |_| src.store(round + 1, Ordering::Relaxed))
+                .after_write(src)
+                .spawn();
+            for sink in sinks.iter() {
+                s.task(move |_| sink.store(src.load(Ordering::Relaxed), Ordering::Relaxed))
+                    .after_read(src)
+                    .after_write(sink)
+                    .spawn();
+            }
+            // depend(in) on every sink would need 16 clauses — past
+            // MAX_TASK_DEPS — so fan the join in through a stage of four
+            // 4-wide joins (4 reads + 1 write = 5 clauses each).
+            for q in 0..4 {
+                let quarter = &sinks[q * 4..(q + 1) * 4];
+                let mut join = s.task(move |_| {
+                    let sum: u64 = quarter.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+                    assert_eq!(sum, 4 * (round + 1), "a reader ran after the join");
+                });
+                for sink in quarter {
+                    join = join.after_read(sink);
+                }
+                join.after_write(&quarter[0]).spawn();
+            }
+            let mut last = s.task(move |_| {
+                let sum: u64 = sinks.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+                total.store(sum, Ordering::Relaxed);
+            });
+            for q in 0..4 {
+                last = last.after_read(&sinks[q * 4]);
+            }
+            last.spawn();
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16 * (round + 1));
+    }
+}
+
+/// A panicking predecessor still retires: its successors run (completion,
+/// exceptional or not, is what they wait on) and the payload reaches the
+/// region's joiner.
+#[test]
+fn panicking_predecessor_releases_successors() {
+    let rt = Runtime::with_threads(2);
+    let obj = 0u8;
+    let ran = AtomicU64::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.parallel(|s| {
+            let (obj, ran) = (&obj, &ran);
+            s.task(move |_| panic!("producer failed"))
+                .after_write(obj)
+                .spawn();
+            s.task(move |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .after_read(obj)
+            .spawn();
+        });
+    }));
+    assert!(result.is_err(), "the region must re-raise the panic");
+    assert_eq!(
+        ran.load(Ordering::Relaxed),
+        1,
+        "the successor must still run after its predecessor panicked"
+    );
+}
+
+/// The documented safe pattern for a dependence edge that crosses a
+/// waiting subtree: the waiter is **untied**, so its taskwait may run the
+/// out-of-subtree predecessor. (A *tied* waiter here would deadlock a
+/// one-thread team — the OpenMP TSC-2 / `depend` interplay; see the
+/// runtime README's dependency-model caveat.)
+#[test]
+fn cross_subtree_dependence_with_untied_waiter() {
+    let rt = Runtime::with_threads(1);
+    let obj = 0u8;
+    let done = AtomicU64::new(0);
+    rt.parallel(|s| {
+        let (obj, done) = (&obj, &done);
+        // The predecessor: a sibling of the waiter, outside its subtree.
+        s.task(move |_| {
+            done.fetch_add(1, Ordering::Relaxed);
+        })
+        .after_write(obj)
+        .spawn();
+        // The untied waiter: its child depends on the sibling above.
+        s.task(move |s| {
+            s.task(move |_| {
+                done.fetch_add(10, Ordering::Relaxed);
+            })
+            .after_read(obj)
+            .spawn();
+            s.taskwait();
+            assert_eq!(done.load(Ordering::Relaxed), 11);
+        })
+        .untied()
+        .spawn();
+    });
+    assert_eq!(done.load(Ordering::Relaxed), 11);
+}
+
+/// Dependency tasks inside a `taskgroup`: the group's deep wait covers
+/// Deferred members, so frame-local borrows stay sound.
+#[test]
+fn deferred_tasks_count_as_group_members() {
+    let rt = Runtime::with_threads(2);
+    let obj = 0u8;
+    rt.parallel(|s| {
+        let obj = &obj;
+        let local = AtomicU64::new(0);
+        s.taskgroup(|s| {
+            let local = &local;
+            s.task(move |_| {
+                local.fetch_add(1, Ordering::Relaxed);
+            })
+            .after_write(obj)
+            .spawn();
+            s.task(move |_| {
+                local.fetch_add(10, Ordering::Relaxed);
+            })
+            .after_read(obj)
+            .spawn();
+        });
+        assert_eq!(local.load(Ordering::Relaxed), 11);
+    });
+}
+
+/// Chains keep their order across budgeted regions (the budget can inline
+/// clause-free spawns but must leave dependency tasks deferred).
+#[test]
+fn chain_order_survives_a_region_budget() {
+    static OBJ: u8 = 0;
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let rt = Runtime::new(RuntimeConfig::new(2));
+    let h = rt.submit_with_budget(RegionBudget::MaxQueued(1), |s| {
+        for i in 0..64u64 {
+            s.task(move |_| {
+                let prev = SEQ.swap(i + 1, Ordering::Relaxed);
+                assert_eq!(prev, i, "chain link {i} ran out of order");
+            })
+            .after_write(&OBJ)
+            .spawn();
+        }
+    });
+    h.join();
+    assert_eq!(SEQ.load(Ordering::Relaxed), 64);
+}
+
+/// Builder attributes still apply: an untied dependency task reports
+/// untied, `final` propagates to clause-free children, and `with_attrs`
+/// mirrors the chained setters.
+#[test]
+fn builder_attributes_apply() {
+    let rt = Runtime::with_threads(2);
+    let obj = 0u8;
+    let checks = AtomicU64::new(0);
+    rt.parallel(|s| {
+        let (obj, checks) = (&obj, &checks);
+        s.task(move |s| {
+            assert!(!s.is_tied());
+            checks.fetch_add(1, Ordering::Relaxed);
+        })
+        .untied()
+        .after_write(obj)
+        .spawn();
+        s.task(move |s| {
+            assert!(s.in_final());
+            s.spawn(move |s| {
+                // Clause-free child of a final task: included (inline).
+                assert!(s.in_final());
+                checks.fetch_add(1, Ordering::Relaxed);
+            });
+            checks.fetch_add(1, Ordering::Relaxed);
+        })
+        .finalize()
+        .after_read(obj)
+        .spawn();
+        s.task(move |s| {
+            assert!(s.is_tied());
+            checks.fetch_add(1, Ordering::Relaxed);
+        })
+        .with_attrs(TaskAttrs::untied().with_tied(true))
+        .after_read(obj)
+        .spawn();
+    });
+    assert_eq!(checks.load(Ordering::Relaxed), 4);
+}
+
+/// The deferral/release telemetry balances: every deferred task is
+/// released exactly once, and clause counts are per clause.
+#[test]
+fn dep_stats_balance() {
+    let rt = Runtime::with_threads(2);
+    let before = rt.stats();
+    let obj = 0u8;
+    let hits = AtomicU64::new(0);
+    rt.parallel(|s| {
+        let (obj, hits) = (&obj, &hits);
+        for _ in 0..100u64 {
+            s.task(move |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .after_read(obj)
+            .after_write(obj)
+            .spawn();
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 100);
+    let d = rt.stats().since(&before);
+    assert_eq!(d.deps_registered, 200, "two clauses per task");
+    assert_eq!(
+        d.deps_deferred, d.deps_released,
+        "every deferred task must be released exactly once"
+    );
+    // The first task is ready (no predecessor); in a WAW chain spawned
+    // faster than it executes, most of the rest defer.
+    assert!(d.deps_deferred > 0, "a 100-link chain must defer somewhere");
+}

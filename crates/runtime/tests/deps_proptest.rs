@@ -1,0 +1,173 @@
+//! Property test for the depend-clause subsystem, run under the counting
+//! allocator: randomly shaped dependency DAGs — chains, diamond layers and
+//! random fan-ins, with panics injected into nodes, across budgeted and
+//! unbudgeted regions and team sizes — must uphold the data-flow
+//! invariants:
+//!
+//! * **topological execution** — a node never runs before every declared
+//!   predecessor has completed (each node checks its predecessors' done
+//!   flags on entry);
+//! * **no lost or double release** — every node executes exactly once: a
+//!   lost release would wedge the region (the join would hang until the
+//!   exec counts fell short), a double release would run a record twice;
+//!   the deferral telemetry must balance (`deps_deferred ==
+//!   deps_released`);
+//! * **panic containment** — a panicking node still retires and releases
+//!   its successors (they run; the payload reaches the region's joiner);
+//! * **leak freedom** — with the runtime dropped, live heap bytes return
+//!   to baseline: dep blocks, list nodes and map entries all flowed back
+//!   through their pools.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots_profile::current_bytes;
+use bots_runtime::{RegionBudget, Runtime, RuntimeConfig, MAX_TASK_DEPS};
+use proptest::prelude::*;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+/// Tiny deterministic generator for DAG shapes (the shim proptest
+/// strategies are integer ranges; structure is derived from a seed).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Predecessors of node `i` for the given shape. Node indices are spawn
+/// order and edges always point backwards, so every generated graph is a
+/// DAG by construction — like any clause-declared graph.
+fn preds(shape: u64, i: usize, rng: &mut Rng) -> Vec<usize> {
+    if i == 0 {
+        return Vec::new();
+    }
+    match shape {
+        // Chain: i depends on i-1.
+        0 => vec![i - 1],
+        // Diamond layers of 3: each node depends on every node of the
+        // previous layer (fan-out then fan-in, repeated).
+        1 => {
+            let layer = i / 3;
+            if layer == 0 {
+                Vec::new()
+            } else {
+                ((layer - 1) * 3..layer * 3).filter(|&p| p < i).collect()
+            }
+        }
+        // Random fan-in: up to MAX_TASK_DEPS - 1 distinct predecessors.
+        _ => {
+            let k = (rng.below(MAX_TASK_DEPS as u64 - 1) + 1).min(i as u64);
+            let mut ps: Vec<usize> = (0..k).map(|_| rng.below(i as u64) as usize).collect();
+            ps.sort_unstable();
+            ps.dedup();
+            ps
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_dags_execute_topologically(
+        workers in 1usize..5,
+        n in 2usize..25,
+        shape in 0u64..3,
+        seed in 1u64..10_000,
+        budget in 0usize..5,
+        panic_node in 0usize..26,
+    ) {
+        // Quiet panics + warm lazy machinery, as in the other proptests.
+        static QUIET_PANICS: std::sync::Once = std::sync::Once::new();
+        QUIET_PANICS.call_once(|| {
+            std::panic::set_hook(Box::new(|info| eprintln!("panic: {info}")));
+            let _ = std::panic::catch_unwind(|| panic!("warm-up panic"));
+            drop(Runtime::with_threads(2));
+        });
+
+        let mut rng = Rng(seed);
+        let graph: Vec<Vec<usize>> = (0..n).map(|i| preds(shape, i, &mut rng)).collect();
+        let panics = panic_node < n;
+        // One flag per node: the depend-clause token *and* the done flag.
+        let flags: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let execs: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let violations = AtomicU64::new(0);
+
+        // Baseline after the test's own allocations: what must return to
+        // this level is everything the *runtime lifecycle* allocates.
+        let heap_before = current_bytes();
+        let (stats, outcome) = {
+            let region_budget = match budget {
+                0 => RegionBudget::Inherit,
+                b => RegionBudget::MaxQueued(b),
+            };
+            let rt = Runtime::new(
+                RuntimeConfig::new(workers).with_region_budget(region_budget),
+            );
+            let before = rt.stats();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rt.parallel(|s| {
+                    for (i, ps) in graph.iter().enumerate() {
+                        let (flags, execs, violations) = (&flags, &execs, &violations);
+                        let node_panics = panics && i == panic_node;
+                        let mut b = s.task(move |_| {
+                            for &p in ps {
+                                if flags[p].load(Ordering::Acquire) == 0 {
+                                    violations.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            execs[i].fetch_add(1, Ordering::Relaxed);
+                            flags[i].store(1, Ordering::Release);
+                            if node_panics {
+                                panic!("node {i} panics");
+                            }
+                        });
+                        for &p in ps {
+                            b = b.after_read(&flags[p]);
+                        }
+                        b.after_write(&flags[i]).spawn();
+                    }
+                });
+            }));
+            (rt.stats().since(&before), outcome)
+            // Runtime drops here; all pooled dep memory is freed.
+        };
+        let heap_after = current_bytes();
+
+        if panics {
+            prop_assert!(outcome.is_err(), "a node panic must reach the joiner");
+        } else {
+            prop_assert!(outcome.is_ok());
+        }
+        prop_assert_eq!(violations.load(Ordering::Relaxed), 0,
+            "a node ran before one of its declared predecessors");
+        for (i, e) in execs.iter().enumerate() {
+            prop_assert_eq!(e.load(Ordering::Relaxed), 1,
+                "node {} executed {} times (lost or double release)",
+                i, e.load(Ordering::Relaxed));
+        }
+        let edges: u64 = graph.iter().map(|ps| ps.len() as u64).sum();
+        prop_assert_eq!(stats.deps_registered, edges + n as u64,
+            "one in-clause per edge plus one out-clause per node");
+        prop_assert_eq!(stats.deps_deferred, stats.deps_released,
+            "every deferred task must be released exactly once");
+
+        let leaked = heap_after.saturating_sub(heap_before);
+        prop_assert!(
+            leaked < 512,
+            "live heap grew by {leaked} bytes across a full runtime lifecycle"
+        );
+    }
+}

@@ -126,6 +126,19 @@ fn steady_state_kernel_allocates_nothing() {
     // lifetime); reset at entry, regions run one at a time here.
     static ACC: AtomicU64 = AtomicU64::new(0);
 
+    // Dependency-chain objects: statics so one kernel closure (reused
+    // across regions) can name them in `'scope`-bounded clauses. The dep
+    // tasks have no barrier inside the kernel (that is the point), so
+    // their side effects land in their own counter, asserted after the
+    // region quiesces.
+    static DEP_OBJS: [AtomicU64; 4] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+    static DEP_TICKS: AtomicU64 = AtomicU64::new(0);
+
     let _serial = exclusive();
     let rt = Runtime::with_threads(4);
     let kernel = |s: &bots_runtime::Scope<'_>| -> u64 {
@@ -142,19 +155,49 @@ fn steady_state_kernel_allocates_nothing() {
         s.parallel_for_chunked(0..64, 8, |i, _| {
             ACC.fetch_add(i as u64, Ordering::Relaxed);
         });
+        // data-flow shape (the sparselu-deps inner loop): a write chain
+        // fanning out to readers that funnel into the next link — warm
+        // dep blocks, map entries and list nodes must all come from the
+        // region's pools.
+        for link in 0..16u64 {
+            s.task(move |_| {
+                DEP_TICKS.fetch_add(link, Ordering::Relaxed);
+            })
+            .after_read(&DEP_OBJS[1])
+            .after_read(&DEP_OBJS[2])
+            .after_write(&DEP_OBJS[0])
+            .spawn();
+            s.task(|_| {})
+                .after_read(&DEP_OBJS[0])
+                .after_write(&DEP_OBJS[1])
+                .spawn();
+            s.task(|_| {})
+                .after_read(&DEP_OBJS[0])
+                .after_write(&DEP_OBJS[2])
+                .spawn();
+        }
         fib.load(Ordering::Relaxed) + ACC.load(Ordering::Relaxed)
     };
     let expected = 144 + 2 * (0..64u64).sum::<u64>();
-
-    // Warm-up: grow the record slabs, the group pool and the region pool.
-    for _ in 0..4 {
+    let run = |rt: &Runtime| {
+        let dep_before = DEP_TICKS.load(Ordering::Relaxed);
         assert_eq!(rt.parallel(kernel), expected);
+        // Quiescence is the dep chain's only join; by now it has run.
+        assert_eq!(
+            DEP_TICKS.load(Ordering::Relaxed) - dep_before,
+            (0..16u64).sum::<u64>()
+        );
+    };
+
+    // Warm-up: grow the record slabs, the group, region and dep pools.
+    for _ in 0..4 {
+        run(&rt);
     }
 
     let min = (0..9)
         .map(|_| {
             let before = alloc_calls();
-            assert_eq!(rt.parallel(kernel), expected);
+            run(&rt);
             alloc_calls() - before
         })
         .min()
@@ -165,7 +208,8 @@ fn steady_state_kernel_allocates_nothing() {
     );
 
     // The pool telemetry agrees: groups were leased over and over without
-    // fresh allocations taking over.
+    // fresh allocations taking over, and the dependency machinery really
+    // ran (and balanced) inside the zero-allocation window.
     let stats = rt.stats();
     assert!(
         stats.groups_recycled > stats.groups_fresh,
@@ -173,7 +217,95 @@ fn steady_state_kernel_allocates_nothing() {
         stats.groups_fresh,
         stats.groups_recycled
     );
+    assert!(stats.deps_registered > 0, "the dep shape must register");
+    assert_eq!(
+        stats.deps_deferred, stats.deps_released,
+        "every deferred task released exactly once"
+    );
     assert_eq!(stats.closure_spilled, 0, "no kernel closure may spill");
+}
+
+/// The dependency-path acceptance test: once a region descriptor's dep
+/// pools are warm, registering clauses, holding tasks in the Deferred
+/// state and releasing them on predecessor exit performs **exactly zero**
+/// heap allocations — dep blocks, address-map entries and list nodes all
+/// recycle, chain after chain, region after region.
+#[test]
+fn steady_state_deps_allocate_nothing() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    static CHAIN: AtomicU64 = AtomicU64::new(0);
+    static SINKS: [AtomicU64; 8] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
+    let _serial = exclusive();
+    let rt = Runtime::with_threads(4);
+
+    // One region of `links` chain links, each fanning out to 8 readers
+    // (diamonds): every task carries clauses, so the whole region runs
+    // through the tracker.
+    let region = |links: u64| {
+        let before = TICKS.load(Ordering::Relaxed);
+        rt.parallel(move |s| {
+            for _ in 0..links {
+                s.task(move |_| {
+                    TICKS.fetch_add(1, Ordering::Relaxed);
+                })
+                .after_write(&CHAIN)
+                .spawn();
+                for sink in SINKS.iter() {
+                    s.task(move |_| {
+                        TICKS.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .after_read(&CHAIN)
+                    .after_write(sink)
+                    .spawn();
+                }
+            }
+        });
+        assert_eq!(TICKS.load(Ordering::Relaxed) - before, links * 9);
+    };
+
+    // Warm-up with the *larger* batch: grow the record slabs and the dep
+    // pools once, so no growth is left to blame on the measurement.
+    for _ in 0..3 {
+        region(2_000);
+    }
+
+    let min_for = |links: u64| {
+        (0..9)
+            .map(|_| {
+                let before = alloc_calls();
+                region(links);
+                alloc_calls() - before
+            })
+            .min()
+            .unwrap()
+    };
+    let small = min_for(1_000);
+    let large = min_for(2_000);
+    assert_eq!(
+        large,
+        small,
+        "1_000 extra warm dependency diamonds performed {} heap allocations",
+        large as i64 - small as i64
+    );
+    assert_eq!(
+        small, 0,
+        "a warm dependency-chain region must cost zero allocations, not {small}"
+    );
+
+    // The tracker really held tasks back and released every one of them.
+    let stats = rt.stats();
+    assert!(stats.deps_deferred > 0, "chains must defer");
+    assert_eq!(stats.deps_deferred, stats.deps_released);
 }
 
 /// The pooled-region acceptance test: once the descriptor pool is warm, a

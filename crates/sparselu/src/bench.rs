@@ -28,7 +28,7 @@ impl Benchmark for SparseLuBench {
             domain: "Sparse linear algebra",
             structure: "Iterative",
             task_directives: 4,
-            tasks_inside: "single/for",
+            tasks_inside: "single/for/deps",
             nested_tasks: false,
             app_cutoff: "none",
         }
@@ -40,13 +40,21 @@ impl Benchmark for SparseLuBench {
     }
 
     fn versions(&self) -> Vec<VersionSpec> {
-        // No app cut-off; the axes are generator scheme × tiedness.
+        // No app cut-off; the axes are generator scheme × tiedness. The
+        // `deps` rows are the data-flow extension: block-level
+        // depend(in/out) clauses instead of the two per-iteration
+        // barriers, cross-verified against the serial digest like the
+        // rest.
         vec![
             VersionSpec::default(),
             VersionSpec::default().tied(Tiedness::Untied),
             VersionSpec::default().generator(Generator::For),
             VersionSpec::default()
                 .generator(Generator::For)
+                .tied(Tiedness::Untied),
+            VersionSpec::default().generator(Generator::Deps),
+            VersionSpec::default()
+                .generator(Generator::Deps)
                 .tied(Tiedness::Untied),
         ]
     }
@@ -64,14 +72,16 @@ impl Benchmark for SparseLuBench {
         let gen = match version.generator {
             Generator::Single => LuGenerator::Single,
             Generator::For => LuGenerator::For,
+            Generator::Deps => LuGenerator::Deps,
         };
         sparselu_parallel(rt, &m, gen, version.tiedness == Tiedness::Untied);
         RunOutput::new(m.digest(), format!("LU of {} blocks", m.present_count()))
     }
 
     fn verify(&self, _class: InputClass, _output: &RunOutput) -> Verification {
-        // Phase barriers make the arithmetic identical to the serial run;
-        // the runner compares digests. (The LU-reconstruction residual is
+        // Phase barriers — or, in the deps versions, the per-block clause
+        // chains — make the arithmetic identical to the serial run; the
+        // runner compares digests. (The LU-reconstruction residual is
         // additionally asserted in this crate's tests.)
         Verification::AgainstSerial
     }
@@ -116,8 +126,12 @@ mod tests {
     }
 
     #[test]
-    fn meta_lists_both_generators() {
-        assert_eq!(SparseLuBench.meta().tasks_inside, "single/for");
-        assert_eq!(SparseLuBench.versions().len(), 4);
+    fn meta_lists_all_generators() {
+        assert_eq!(SparseLuBench.meta().tasks_inside, "single/for/deps");
+        assert_eq!(SparseLuBench.versions().len(), 6);
+        assert!(SparseLuBench
+            .versions()
+            .iter()
+            .any(|v| v.generator == Generator::Deps));
     }
 }

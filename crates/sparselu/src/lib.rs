@@ -28,7 +28,7 @@ mod parallel;
 mod serial;
 
 pub use bench::{dims_for, SparseLuBench};
-pub use matrix::BlockMatrix;
+pub use matrix::{BlockMatrix, Slot};
 pub use ops::{bdiv, bmod, fwd, lu0};
 pub use parallel::{sparselu_parallel, LuGenerator};
 pub use serial::{reconstruction_error, sparselu_serial};

@@ -12,8 +12,11 @@ use std::cell::UnsafeCell;
 
 use bots_inputs::blockmatrix::{bots_block_present, fill_block};
 
-/// One optional block behind interior mutability.
-struct Slot(UnsafeCell<Option<Box<[f64]>>>);
+/// One optional block behind interior mutability. Public but opaque: a
+/// `&Slot` doubles as the block's **dependency token** — a stable address
+/// identifying block `(ii, jj)` for `depend(in/out)` clauses (see
+/// [`BlockMatrix::dep`]); the runtime never dereferences it.
+pub struct Slot(UnsafeCell<Option<Box<[f64]>>>);
 
 // Safety: slots are shared across worker threads; all concurrent access
 // discipline is enforced by the factorisation phase structure (documented
@@ -66,6 +69,15 @@ impl BlockMatrix {
     #[inline]
     fn slot(&self, ii: usize, jj: usize) -> &Slot {
         &self.slots[ii * self.nb + jj]
+    }
+
+    /// Dependency token for block `(ii, jj)`: a stable address naming the
+    /// block in `depend` clauses (`TaskBuilder::after_read/after_write`).
+    /// Valid whether or not the block is allocated yet — the token is the
+    /// slot, not the data — so fill-in blocks can be named before their
+    /// first `ensure`.
+    pub fn dep(&self, ii: usize, jj: usize) -> &Slot {
+        self.slot(ii, jj)
     }
 
     /// Is block `(ii, jj)` present?

@@ -1,17 +1,29 @@
-//! Task-parallel sparse LU with the two generator schemes of §IV-D:
+//! Task-parallel sparse LU with the two generator schemes of §IV-D, plus
+//! a dependency-driven variant:
 //!
 //! * **single generator** — one task (the region root) walks the block grid
 //!   and spawns a task per non-empty block;
 //! * **multiple generators** (`omp for`) — the per-phase loops are
 //!   worksharing loops, so every team member creates tasks concurrently
 //!   ("uses a omp for worksharing to allow multiple threads to create the
-//!   tasks for each phase").
+//!   tasks for each phase");
+//! * **deps** — OpenMP 4.0-style `depend(in/out)` clauses replace the two
+//!   per-iteration barriers: each `fwd`/`bdiv` waits only on its own
+//!   diagonal, each `bmod` only on its two operands and its target block,
+//!   and the next iteration's `lu0` only on the `bmod`s that hit its
+//!   diagonal — the sparse data-flow graph, with **no `taskwait` anywhere**
+//!   (region quiescence is the final join).
 //!
 //! Safety discipline for the `UnsafeCell` block accesses (see
 //! [`crate::matrix`]): within a phase each task writes exactly one block —
-//! its own `(ii, jj)` — and only reads blocks that the phase ordering
-//! (taskwait barriers between `fwd`/`bdiv`, `bmod`, and the next `lu0`)
-//! guarantees are quiescent.
+//! its own `(ii, jj)` — and only reads blocks that the ordering guarantees
+//! are quiescent. In the barrier versions the ordering is the taskwait
+//! barriers between `fwd`/`bdiv`, `bmod`, and the next `lu0`; in the deps
+//! version it is the declared block-level clauses, which encode exactly the
+//! writer→reader edges the barriers over-approximated. Every write
+//! sequence per block still happens in the serial iteration order (writers
+//! to one block form a clause chain), so the arithmetic — and the digest —
+//! is bit-identical to the serial factorisation.
 
 use bots_profile::NullProbe;
 use bots_runtime::{Runtime, Scope, TaskAttrs};
@@ -26,6 +38,9 @@ pub enum LuGenerator {
     Single,
     /// Tasks created from a worksharing loop over rows.
     For,
+    /// All tasks created by the region root with `depend` clauses instead
+    /// of barriers: dependency-driven (data-flow) execution.
+    Deps,
 }
 
 /// Factorises `m` in place on `rt`.
@@ -34,6 +49,7 @@ pub fn sparselu_parallel(rt: &Runtime, m: &BlockMatrix, gen: LuGenerator, untied
     match gen {
         LuGenerator::Single => rt.parallel(move |s| single_generator(s, m, attrs)),
         LuGenerator::For => rt.parallel(move |s| for_generator(s, m, attrs)),
+        LuGenerator::Deps => rt.parallel(move |s| deps_generator(s, m, attrs)),
     }
 }
 
@@ -97,6 +113,103 @@ fn single_generator(s: &Scope<'_>, m: &BlockMatrix, attrs: TaskAttrs) {
                 }
             }
         });
+    }
+}
+
+/// The data-flow factorisation: every task declares block-level `depend`
+/// clauses and the two per-iteration `taskwait` barriers disappear —
+/// `lu0(kk)` can start the moment the last `bmod` into `(kk, kk)` retires,
+/// while unrelated `bmod`s of iteration `kk-1` are still in flight.
+///
+/// Clause map (`m.dep(i, j)` is block `(i, j)`'s address token):
+///
+/// | task | in | out |
+/// |---|---|---|
+/// | `lu0(kk)` | — | `(kk, kk)` |
+/// | `fwd(kk, jj)` | `(kk, kk)` | `(kk, jj)` |
+/// | `bdiv(ii, kk)` | `(kk, kk)` | `(ii, kk)` |
+/// | `bmod(ii, jj)` | `(ii, kk)`, `(kk, jj)` | `(ii, jj)` |
+///
+/// Writers to one block form a clause chain in spawn order — the serial
+/// iteration order — so each block's update sequence (and therefore the
+/// floating-point result) is bit-identical to the serial factorisation.
+/// Fill-in is still allocated by the generator (`ensure` touches only the
+/// slot's presence, never block data; the first `ensure` of a block
+/// happens-before any task naming it is published).
+fn deps_generator<'e>(s: &Scope<'e>, m: &'e BlockMatrix, attrs: TaskAttrs) {
+    let nb = m.nb();
+    let bs = m.bs();
+    for kk in 0..nb {
+        s.task(move |_| unsafe {
+            // Exclusive: the out-clause chain on (kk, kk) orders this
+            // after every bmod that updated the diagonal.
+            lu0(&NullProbe, m.block_mut(kk, kk).expect("diag present"), bs);
+        })
+        .with_attrs(attrs)
+        .after_write(m.dep(kk, kk))
+        .spawn();
+
+        for jj in kk + 1..nb {
+            if m.present(kk, jj) {
+                s.task(move |_| unsafe {
+                    fwd(
+                        &NullProbe,
+                        m.block(kk, kk).unwrap(),
+                        m.block_mut(kk, jj).unwrap(),
+                        bs,
+                    );
+                })
+                .with_attrs(attrs)
+                .after_read(m.dep(kk, kk))
+                .after_write(m.dep(kk, jj))
+                .spawn();
+            }
+        }
+        for ii in kk + 1..nb {
+            if m.present(ii, kk) {
+                s.task(move |_| unsafe {
+                    bdiv(
+                        &NullProbe,
+                        m.block(kk, kk).unwrap(),
+                        m.block_mut(ii, kk).unwrap(),
+                        bs,
+                    );
+                })
+                .with_attrs(attrs)
+                .after_read(m.dep(kk, kk))
+                .after_write(m.dep(ii, kk))
+                .spawn();
+            }
+        }
+        for ii in kk + 1..nb {
+            if !m.present(ii, kk) {
+                continue;
+            }
+            for jj in kk + 1..nb {
+                if !m.present(kk, jj) {
+                    continue;
+                }
+                // Fill-in allocated by the generator before any task
+                // naming (ii, jj) is published.
+                unsafe { m.ensure(ii, jj) };
+                s.task(move |_| unsafe {
+                    bmod(
+                        &NullProbe,
+                        m.block(ii, kk).unwrap(),
+                        m.block(kk, jj).unwrap(),
+                        m.block_mut(ii, jj).unwrap(),
+                        bs,
+                    );
+                })
+                .with_attrs(attrs)
+                .after_read(m.dep(ii, kk))
+                .after_read(m.dep(kk, jj))
+                .after_write(m.dep(ii, jj))
+                .spawn();
+            }
+        }
+        // No taskwait: the next iteration's tasks order themselves through
+        // their clauses; region quiescence is the only join.
     }
 }
 
@@ -166,19 +279,60 @@ mod tests {
     use crate::serial::{reconstruction_error, sparselu_serial};
 
     #[test]
-    fn both_generators_match_serial_bitwise() {
+    fn all_generators_match_serial_bitwise() {
         let reference = BlockMatrix::generate(8, 8, 42);
         sparselu_serial(&NullProbe, &reference);
         let want = reference.digest();
 
         let rt = Runtime::with_threads(4);
-        for gen in [LuGenerator::Single, LuGenerator::For] {
+        for gen in [LuGenerator::Single, LuGenerator::For, LuGenerator::Deps] {
             for untied in [false, true] {
                 let m = BlockMatrix::generate(8, 8, 42);
                 sparselu_parallel(&rt, &m, gen, untied);
                 assert_eq!(m.digest(), want, "gen={gen:?} untied={untied}");
             }
         }
+    }
+
+    /// The data-flow variant replaces the per-iteration barriers entirely:
+    /// zero `taskwait`s are executed on its behalf, the dependency
+    /// telemetry shows real deferrals, and the digest still matches the
+    /// serial factorisation bit for bit.
+    #[test]
+    fn deps_variant_runs_barrier_free() {
+        let reference = BlockMatrix::generate(8, 8, 42);
+        sparselu_serial(&NullProbe, &reference);
+
+        let rt = Runtime::with_threads(4);
+        let before = rt.stats();
+        let m = BlockMatrix::generate(8, 8, 42);
+        sparselu_parallel(&rt, &m, LuGenerator::Deps, false);
+        let d = rt.stats().since(&before);
+        assert_eq!(m.digest(), reference.digest());
+        assert_eq!(d.taskwaits, 0, "the deps kernel must not taskwait");
+        assert_eq!(d.group_waits, 0, "nor open a taskgroup");
+        assert!(d.deps_registered > 0);
+        assert_eq!(
+            d.deps_deferred, d.deps_released,
+            "every deferred task released exactly once"
+        );
+        assert!(
+            d.deps_deferred > 0,
+            "the LU graph must actually defer tasks"
+        );
+    }
+
+    /// On one thread the dependency graph forces the serial visit order —
+    /// a `fwd → bmod → bdiv`-style chain runs in dependency order even
+    /// though LIFO popping would reverse plain spawns.
+    #[test]
+    fn deps_variant_single_thread_matches() {
+        let rt = Runtime::with_threads(1);
+        let reference = BlockMatrix::generate(6, 4, 3);
+        sparselu_serial(&NullProbe, &reference);
+        let m = BlockMatrix::generate(6, 4, 3);
+        sparselu_parallel(&rt, &m, LuGenerator::Deps, false);
+        assert_eq!(m.digest(), reference.digest());
     }
 
     #[test]

@@ -191,10 +191,25 @@ pub fn verify_overlapping(
     rt: &bots_runtime::Runtime,
     class: InputClass,
 ) -> Vec<OverlapOutcome> {
+    verify_overlapping_where(benches, rt, class, |_| true)
+}
+
+/// [`verify_overlapping`] restricted to the versions `keep` selects —
+/// e.g. only the dependency-driven (`Generator::Deps`) rows for the
+/// focused `bots check --deps` integrity job.
+pub fn verify_overlapping_where(
+    benches: &[Box<dyn Benchmark>],
+    rt: &bots_runtime::Runtime,
+    class: InputClass,
+    keep: impl Fn(&VersionSpec) -> bool,
+) -> Vec<OverlapOutcome> {
     let outcomes = std::sync::Mutex::new(Vec::new());
     std::thread::scope(|clients| {
         for bench in benches {
             for version in bench.versions() {
+                if !keep(&version) {
+                    continue;
+                }
                 let (outcomes, bench) = (&outcomes, bench.as_ref());
                 clients.spawn(move || {
                     let t0 = std::time::Instant::now();

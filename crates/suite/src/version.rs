@@ -39,6 +39,11 @@ pub enum Generator {
     /// Tasks created from inside an `omp for` worksharing loop by the whole
     /// team (multiple generators).
     For,
+    /// Single generator with OpenMP 4.0-style `depend(in/out)` clauses
+    /// instead of `taskwait` barriers: data-flow execution, the runtime's
+    /// post-3.0 extension (not part of the paper's matrix; listed
+    /// explicitly by the kernels that implement it).
+    Deps,
 }
 
 /// A fully-specified benchmark version.
@@ -86,6 +91,7 @@ impl VersionSpec {
         match self.generator {
             Generator::Single => format!("{cutoff}-{tied}"),
             Generator::For => format!("for-{cutoff}-{tied}"),
+            Generator::Deps => format!("deps-{cutoff}-{tied}"),
         }
     }
 
@@ -136,6 +142,17 @@ mod tests {
         let v = VersionSpec::default().generator(Generator::For);
         assert_eq!(v.label(), "for-nocutoff-tied");
         assert_eq!(VersionSpec::default().label(), "nocutoff-tied");
+        let v = VersionSpec::default().generator(Generator::Deps);
+        assert_eq!(v.label(), "deps-nocutoff-tied");
+    }
+
+    #[test]
+    fn matrix_excludes_the_deps_extension() {
+        // `deps` is a post-OpenMP-3.0 extension, not part of the paper's
+        // version matrix: kernels opt in by listing it explicitly.
+        assert!(VersionSpec::matrix(true)
+            .iter()
+            .all(|v| v.generator != Generator::Deps));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bots::suite::runner;
-use bots::{registry, InputClass, Runtime, RuntimeConfig, TaskAttrs};
+use bots::{registry, InputClass, Runtime, RuntimeConfig};
 
 fn main() {
     // --- 1. The runtime: OpenMP-style tasks -------------------------------
@@ -19,16 +19,33 @@ fn main() {
         s.taskgroup(|s| {
             for i in 0..8u64 {
                 let acc = &acc;
-                // `#pragma omp task untied`
-                s.spawn_with(TaskAttrs::untied(), move |_| {
+                // `#pragma omp task untied`, via the TaskBuilder surface.
+                s.task(move |_| {
                     acc.fetch_add(i * i, Ordering::Relaxed);
-                });
+                })
+                .untied()
+                .spawn();
             }
         }); // taskgroup = deep taskwait
         acc.load(Ordering::Relaxed)
     });
     println!("sum of squares 0..8 = {sum}");
     assert_eq!(sum, (0..8u64).map(|i| i * i).sum::<u64>());
+
+    // --- 1b. Data-flow tasks: depend(in/out) clauses, no taskwait -------
+    let (x, y) = (AtomicU64::new(0), AtomicU64::new(0));
+    rt.parallel(|s| {
+        let (x, y) = (&x, &y);
+        s.task(move |_| x.store(20, Ordering::Relaxed))
+            .after_write(x)
+            .spawn();
+        s.task(move |_| y.store(x.load(Ordering::Relaxed) + 22, Ordering::Relaxed))
+            .after_read(x)
+            .after_write(y)
+            .spawn();
+    });
+    println!("data-flow chain result = {}", y.load(Ordering::Relaxed));
+    assert_eq!(y.load(Ordering::Relaxed), 42);
 
     // --- 2. The suite: run every kernel's best version and verify ---------
     println!("\n{:<10} {:<16} {:>10}  result", "app", "version", "time");

@@ -1,7 +1,9 @@
 //! Domain scenario: factorise a sparse blocked system and check the
 //! residual, comparing the single-generator and multiple-generator
 //! (worksharing) task schemes — the paper's §IV-D SparseLU experiment as a
-//! library user would run it.
+//! library user would run it — plus the dependency-driven (`Deps`) scheme,
+//! where block-level `depend(in/out)` clauses replace the per-iteration
+//! barriers entirely.
 //!
 //! ```sh
 //! cargo run --release --example sparse_factorization
@@ -21,7 +23,7 @@ fn main() {
         rt.num_threads()
     );
 
-    for gen in [LuGenerator::Single, LuGenerator::For] {
+    for gen in [LuGenerator::Single, LuGenerator::For, LuGenerator::Deps] {
         let m = BlockMatrix::generate(nb, bs, 7);
         let original = m.deep_clone();
         let blocks_before = m.present_count();

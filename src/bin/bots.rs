@@ -23,12 +23,14 @@ use bots::{find_benchmark, registry, InputClass, Runtime, RuntimeConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bots list\n  bots versions <app>\n  bots run <app> [flags]\n  \
-         bots check [--class C] [--threads N] [--budget B]\n\nflags:\n  \
+         bots check [--class C] [--threads N] [--budget B] [--deps]\n\nflags:\n  \
          --class test|small|medium|large   input class (default medium)\n  \
          --version LABEL                   version label (default: best; see `bots versions`)\n  \
          --threads N                       team size (default: machine)\n  \
          --budget B                        per-region cut-off budget: each region may queue\n  \
                                     at most B of its own tasks before spawning serially\n  \
+         --deps                            check: verify only the dependency-driven (deps-*)\n  \
+                                    versions — the data-flow integrity job\n  \
          --reps R                          repetitions, median reported (default 1)\n  \
          --serial                          run the sequential reference instead\n  \
          --check                           verify the output (default on; --no-check disables)\n  \
@@ -82,6 +84,7 @@ fn check_command(args: &[String]) -> ExitCode {
     let mut class = InputClass::Test;
     let mut threads = bots::runtime::default_threads();
     let mut budget = RegionBudget::Inherit;
+    let mut deps_only = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -112,6 +115,7 @@ fn check_command(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--deps" => deps_only = true,
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -125,8 +129,17 @@ fn check_command(args: &[String]) -> ExitCode {
     // while the overlapped siblings keep their own budgets.
     let rt = Runtime::new(RuntimeConfig::new(threads).with_region_budget(budget));
     let t0 = std::time::Instant::now();
-    let outcomes = runner::verify_overlapping(&benches, &rt, class);
+    // --deps narrows the sweep to the dependency-driven versions: the
+    // data-flow integrity job, cross-verifying every deps-* kernel against
+    // its serial reference while the rows overlap on one team.
+    let outcomes = runner::verify_overlapping_where(&benches, &rt, class, |v| {
+        !deps_only || v.generator == bots::suite::Generator::Deps
+    });
     let elapsed = t0.elapsed();
+    if deps_only && outcomes.is_empty() {
+        eprintln!("no dependency-driven versions registered");
+        return ExitCode::FAILURE;
+    }
 
     let mut failures = 0usize;
     let mut slowest: Option<&runner::OverlapOutcome> = None;

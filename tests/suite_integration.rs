@@ -105,7 +105,7 @@ fn table1_metadata_is_complete() {
         );
         assert!(m.task_directives >= 1);
         assert!(
-            ["for", "single", "single/for"].contains(&m.tasks_inside),
+            ["for", "single", "single/for", "single/for/deps"].contains(&m.tasks_inside),
             "{}",
             m.name
         );
