@@ -1,0 +1,94 @@
+//! Cancellation-latency diagnostic: nanoseconds from `cancel()` to
+//! observed quiescence for a deep in-flight spawn storm, swept over team
+//! sizes. This is the number the cancellation machinery answers for — how
+//! long a server waits between pulling the plug on a runaway region and
+//! getting its workers back.
+//!
+//! The storm is effectively unbounded (2^50 tasks), so the measured drain
+//! is pure cancellation work: suppressed spawns, skip-dispatches of
+//! whatever the queues held, and the quiescence handshake. With
+//! `BOTS_BENCH_JSON_DIR` set, writes `BENCH_cancel_probe.json`
+//! (`cancel_ns_t{1,2,4}`) for the CI perf-trajectory gate (`bench_gate`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bots::runtime::{RegionError, Scope};
+use bots::Runtime;
+use bots_bench::perf::Report;
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+fn storm(s: &Scope<'_>, depth: u32) {
+    if depth == 0 || s.is_cancelled() {
+        return;
+    }
+    TICKS.fetch_add(1, Ordering::Relaxed);
+    for _ in 0..2 {
+        s.spawn(move |s| storm(s, depth - 1));
+    }
+}
+
+fn main() {
+    let fast = std::env::var("BOTS_BENCH_FAST").is_ok_and(|v| v == "1");
+    let reps = if fast { 10 } else { 30 };
+    // In-flight depth before the plug is pulled: enough task traffic that
+    // the queues hold real work on every team size.
+    let flight: u64 = 3_000;
+    let mut report = Report::new("cancel_probe");
+
+    println!("reps={reps} flight={flight}");
+    println!(
+        "{:>7} {:>14} {:>14} {:>12} {:>12}",
+        "threads", "cancel_ns", "worst_ns", "skipped/rep", "ran/rep"
+    );
+    for threads in [1usize, 2, 4] {
+        let rt = Runtime::with_threads(threads);
+        let mut latencies = Vec::with_capacity(reps);
+        let mut skipped = 0u64;
+        let mut ran = 0u64;
+        // One unmeasured round warms the slabs and queues to storm scale.
+        for rep in 0..=reps {
+            let before = TICKS.load(Ordering::Relaxed);
+            let mut h = rt.submit(|s| {
+                storm(s, 50);
+                s.taskwait();
+            });
+            while TICKS.load(Ordering::Relaxed) - before < flight {
+                std::hint::spin_loop();
+            }
+            let t0 = std::time::Instant::now();
+            h.cancel();
+            let outcome = loop {
+                if let Some(o) = h.try_join(Duration::from_millis(20)) {
+                    break o;
+                }
+            };
+            let latency = t0.elapsed();
+            assert!(
+                matches!(outcome, Err(RegionError::Cancelled)),
+                "the storm cannot quiesce except by cancellation"
+            );
+            if rep == 0 {
+                continue;
+            }
+            latencies.push(latency);
+            let stats = h.stats();
+            skipped += stats.skipped_tasks;
+            ran += stats.executed;
+        }
+        latencies.sort_unstable();
+        let median = latencies[latencies.len() / 2];
+        let worst = *latencies.last().unwrap();
+        println!(
+            "{:>7} {:>14.0} {:>14.0} {:>12} {:>12}",
+            threads,
+            median.as_nanos() as f64,
+            worst.as_nanos() as f64,
+            skipped / reps as u64,
+            ran / reps as u64,
+        );
+        report.push(format!("cancel_ns_t{threads}"), median.as_nanos() as f64);
+    }
+    report.maybe_emit();
+}

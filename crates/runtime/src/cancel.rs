@@ -1,0 +1,117 @@
+//! Typed outcomes for the cancellation-grade API surface: why a region
+//! finished without a value ([`RegionError`]) and why a submission was
+//! refused ([`SubmitError`]).
+//!
+//! Cancellation in this runtime is **cooperative**, modeled on OpenMP 4.0
+//! `cancel` / cancellation points: [`RegionHandle::cancel`] (or
+//! [`Scope::cancel_region`], or a deadline armed by
+//! [`Runtime::submit_with_deadline`]) raises a per-region flag, and the
+//! flag is *observed* at task-scheduling points — task dispatch, spawn,
+//! `taskwait`/`taskgroup` waits, and the generator loops of
+//! `parallel_for`. A task body that never reaches a scheduling point (and
+//! never polls [`Scope::is_cancelled`]) runs to completion; nothing is
+//! ever interrupted mid-instruction.
+//!
+//! [`RegionHandle::cancel`]: crate::RegionHandle::cancel
+//! [`Scope::cancel_region`]: crate::Scope::cancel_region
+//! [`Scope::is_cancelled`]: crate::Scope::is_cancelled
+//! [`Runtime::submit_with_deadline`]: crate::Runtime::submit_with_deadline
+
+use std::fmt;
+
+/// Why a region finished without producing its root closure's value.
+///
+/// Returned by [`RegionHandle::outcome`](crate::RegionHandle::outcome) /
+/// [`try_join`](crate::RegionHandle::try_join) and passed to
+/// [`on_complete`](crate::RegionHandle::on_complete) callbacks.
+/// [`join`](crate::RegionHandle::join) converts `Panicked` back into a
+/// resumed panic and `Cancelled` into a panic whose payload is the
+/// `RegionError::Cancelled` value itself, so callers that need to
+/// distinguish the cases should prefer the `Result`-returning joiners.
+pub enum RegionError {
+    /// The region was cancelled (explicitly or by its deadline) before the
+    /// root task stored a result.
+    Cancelled,
+    /// A task of the region panicked; the payload is the first panic
+    /// captured.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+impl fmt::Debug for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::Cancelled => f.write_str("Cancelled"),
+            RegionError::Panicked(_) => f.write_str("Panicked(..)"),
+        }
+    }
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::Cancelled => f.write_str("region was cancelled before completing"),
+            RegionError::Panicked(_) => f.write_str("a task of the region panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+impl RegionError {
+    /// `true` for [`RegionError::Cancelled`].
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, RegionError::Cancelled)
+    }
+}
+
+/// Why [`Runtime::try_submit`](crate::Runtime::try_submit) refused a
+/// submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The runtime is over its in-flight region watermark
+    /// ([`RuntimeConfig::with_max_live_regions`]) and shed the submission
+    /// instead of queueing more work onto an overloaded team.
+    ///
+    /// [`RuntimeConfig::with_max_live_regions`]: crate::RuntimeConfig::with_max_live_regions
+    Shed {
+        /// Regions in flight when the submission was refused.
+        live: usize,
+        /// The configured watermark.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Shed { live, limit } => write!(
+                f,
+                "submission shed: {live} regions in flight, watermark {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_error_formats() {
+        assert_eq!(format!("{:?}", RegionError::Cancelled), "Cancelled");
+        assert!(RegionError::Cancelled.is_cancelled());
+        let p = RegionError::Panicked(Box::new("boom"));
+        assert_eq!(format!("{p:?}"), "Panicked(..)");
+        assert!(!p.is_cancelled());
+        assert!(format!("{p}").contains("panicked"));
+    }
+
+    #[test]
+    fn submit_error_reports_watermark() {
+        let e = SubmitError::Shed { live: 9, limit: 8 };
+        let msg = format!("{e}");
+        assert!(msg.contains('9') && msg.contains('8'), "{msg}");
+    }
+}

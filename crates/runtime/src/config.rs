@@ -130,6 +130,15 @@ pub struct RuntimeConfig {
     /// chunk). Larger values amortise growth for spawn-storm workloads;
     /// smaller ones keep tiny teams lean.
     pub record_chunk: usize,
+    /// Overload-shedding watermark: maximum concurrently live (submitted,
+    /// not yet quiesced) regions before admission control engages. `0`
+    /// (the default) disables the watermark. At or above it,
+    /// [`Runtime::try_submit`](crate::Runtime::try_submit) refuses with
+    /// [`SubmitError::Shed`](crate::SubmitError::Shed) and the infallible
+    /// submit paths admit the region in *shed mode* — clause-free spawns
+    /// serialise inline, bounding the queue footprint of overload instead
+    /// of growing it.
+    pub max_live_regions: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -144,6 +153,7 @@ impl Default for RuntimeConfig {
             wake_propagation: true,
             spin_before_park: 64,
             record_chunk: 64,
+            max_live_regions: 0,
         }
     }
 }
@@ -214,6 +224,13 @@ impl RuntimeConfig {
         self.record_chunk = records.max(1);
         self
     }
+
+    /// Sets the overload-shedding watermark (`0` disables it). See
+    /// [`RuntimeConfig::max_live_regions`].
+    pub fn with_max_live_regions(mut self, regions: usize) -> Self {
+        self.max_live_regions = regions;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +246,7 @@ mod tests {
         assert_eq!(c.region_budget, RegionBudget::Inherit);
         assert!(c.enforce_tied_constraint);
         assert!(c.wake_propagation);
+        assert_eq!(c.max_live_regions, 0, "shedding is opt-in");
     }
 
     #[test]
@@ -251,6 +269,8 @@ mod tests {
         assert_eq!(c.record_chunk, 1, "chunk size floors at one record");
         let c = c.with_record_chunk(256);
         assert_eq!(c.record_chunk, 256);
+        let c = c.with_max_live_regions(7);
+        assert_eq!(c.max_live_regions, 7);
     }
 
     #[test]

@@ -425,6 +425,9 @@ impl DepTracker {
         mut enqueue: impl FnMut(NonNull<TaskRecord>),
     ) {
         let b = block.as_ref();
+        // A delay here holds the CLOSED-swap open while predecessors keep
+        // pushing edges — the interleaving the protocol is built around.
+        crate::bots_failpoint!("dep_retire");
         // Terminal close: later edge attempts see CLOSED and skip us.
         // Acquire pairs with the edge-push Release so the drain sees every
         // published node.

@@ -41,7 +41,7 @@
 //! [`Scope::taskgroup`]: crate::Scope::taskgroup
 
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::local::CacheAligned;
@@ -57,6 +57,10 @@ pub(crate) struct Group {
     /// it cannot race with live-group use.
     next: AtomicPtr<Group>,
     members: AtomicUsize,
+    /// Cooperative `cancel taskgroup` flag: raised by
+    /// [`Scope::cancel_group`](crate::Scope::cancel_group), observed by
+    /// members' spawns (suppressed) and poll points. Reset at lease time.
+    cancelled: AtomicBool,
 }
 
 impl Group {
@@ -64,7 +68,29 @@ impl Group {
         Group {
             next: AtomicPtr::new(std::ptr::null_mut()),
             members: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
         }
+    }
+
+    /// Raises the group's cancel flag; returns `true` on the transition.
+    #[inline]
+    pub(crate) fn cancel(&self) -> bool {
+        !self.cancelled.swap(true, Ordering::Relaxed)
+    }
+
+    /// Has this taskgroup been cancelled? Monotone flag, Relaxed is
+    /// enough (the group drain supplies the synchronisation).
+    #[inline]
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Re-arms a just-leased descriptor (exclusive: the pool only hands
+    /// out drained descriptors, and the lease owner calls this before any
+    /// member can join).
+    #[inline]
+    pub(crate) fn reset(&self) {
+        self.cancelled.store(false, Ordering::Relaxed);
     }
 
     /// Registers one member. Called on the spawning thread *before* the
@@ -81,6 +107,9 @@ impl Group {
     /// completes, the waiter may observe zero and recycle the lease.
     #[inline]
     pub(crate) fn leave(&self) -> bool {
+        // Fault injection inside the member's final-access window: a delay
+        // here widens the race against the waiter's zero observation.
+        crate::bots_failpoint!("group_leave");
         self.members.fetch_sub(1, Ordering::AcqRel) == 1
     }
 

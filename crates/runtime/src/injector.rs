@@ -76,6 +76,7 @@ impl Injector {
     ///
     /// The caller transfers the record's queue handle to the injector.
     pub(crate) fn push(&self, rec: NonNull<TaskRecord>, slot: usize) {
+        crate::bots_failpoint!("injector_push");
         let shard = &self.shards[slot % self.shards.len()].0;
         // Length first: over-counting is benign (a spurious probe), a probe
         // seeing 0 while a record is published would be a missed wake-up.
@@ -117,6 +118,9 @@ impl Injector {
     /// take-newest stack pop would (the old `Mutex<VecDeque>` injector's
     /// `pop_front` guarantee, preserved).
     pub(crate) fn pop(&self, start: usize) -> Option<NonNull<TaskRecord>> {
+        // A delay between the length probe and the swap-drain forces the
+        // raced-empty-shard path stress tests rarely reach.
+        crate::bots_failpoint!("injector_pop");
         let n = self.shards.len();
         for k in 0..n {
             let shard = &self.shards[(start + k) % n].0;

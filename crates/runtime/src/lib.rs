@@ -103,6 +103,63 @@
 //! assert_eq!(h.join(), 1000);
 //! ```
 //!
+//! ## Cancellation, deadlines and overload shedding
+//!
+//! The server lifecycle is **cancellation-grade**: regions can be cut
+//! short cooperatively (OpenMP 4.0 `cancel` semantics — task scheduling
+//! points observe a per-region flag; running bodies are never interrupted),
+//! bounded by a deadline, and admission-controlled under overload. A
+//! deadline-bounded server that sheds gracefully:
+//!
+//! ```
+//! use bots_runtime::{Runtime, RuntimeConfig, SubmitError};
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! // Admission control: at most 2 regions in flight at once.
+//! let rt = Runtime::new(RuntimeConfig::new(2).with_max_live_regions(2));
+//!
+//! // Two slow requests occupy the team...
+//! let gate = Arc::new(AtomicBool::new(false));
+//! let slow: Vec<_> = (0..2)
+//!     .map(|_| {
+//!         let gate = Arc::clone(&gate);
+//!         rt.submit(move |_| while !gate.load(Ordering::Acquire) {})
+//!     })
+//!     .collect();
+//!
+//! // ...so the next one is refused outright, with the load observed:
+//! match rt.try_submit(|_| unreachable!("shed submissions never run")) {
+//!     Err(SubmitError::Shed { live, limit }) => assert_eq!((live, limit), (2, 2)),
+//!     Ok(_) => panic!("watermark should have shed this"),
+//! }
+//!
+//! gate.store(true, Ordering::Release);
+//! for h in slow {
+//!     h.outcome().expect("slow request completed");
+//! }
+//!
+//! // Deadline-bounded serving: a runaway request is cancelled by the
+//! // team's coarse clock and its joiner sees a typed error, not a hang.
+//! let h = rt.submit_with_deadline(Duration::from_millis(5), |s| {
+//!     fn storm(s: &bots_runtime::Scope<'_>, depth: u32) {
+//!         if depth > 0 && !s.is_cancelled() {
+//!             for _ in 0..2 {
+//!                 s.spawn(move |s| storm(s, depth - 1));
+//!             }
+//!         }
+//!     }
+//!     storm(s, 40); // far more work than 5 ms allows
+//!     s.taskwait();
+//! });
+//! let outcome = h.outcome();
+//! assert!(
+//!     matches!(outcome, Err(bots_runtime::RegionError::Cancelled)) || outcome.is_ok(),
+//!     "a deadline either cancels the region or it finished in time"
+//! );
+//! ```
+//!
 //! ## What is modelled, and how faithfully
 //!
 //! * **Tasks** are pooled, refcounted 128-byte records (closure stored
@@ -157,6 +214,23 @@
 //!   strategies (max tasks, max local queue, max depth, adaptive) — the
 //!   paper's §IV-B taxonomy. A *manual* cut-off is simply not calling
 //!   `spawn`, which the runtime never sees.
+//! * **Cancellation** ([`RegionHandle::cancel`], [`Scope::cancel_region`],
+//!   [`Scope::cancel_group`]): cooperative, checked at task scheduling
+//!   points — cancelled regions *drain* (spawns suppressed, queued tasks
+//!   dispatched with their bodies skipped but every piece of bookkeeping —
+//!   dependency retire, group leave, refcounts, pooled frees — still
+//!   performed), so they reach ordinary quiescence with all pools intact.
+//!   Joiners observe a typed [`RegionError`]; [`RegionStats::cancelled`] /
+//!   [`RegionStats::skipped_tasks`] attribute the damage. Deadlines
+//!   ([`Runtime::submit_with_deadline`]) cancel through the same flag off
+//!   a coarse worker-stamped clock, and overload shedding
+//!   ([`RuntimeConfig::with_max_live_regions`], [`Runtime::try_submit`])
+//!   refuses or serialises new regions when too many are in flight.
+//! * **Fault injection** (`--features failpoints`): deterministic
+//!   [`bots_failpoint!`] sites on the scheduler's trickiest edges
+//!   (injector push/pop, cross-thread slab frees, group leave, dependency
+//!   retire, steal, task invoke), driven by the `BOTS_FAILPOINTS` env var
+//!   or `failpoint::cfg` — compiled to nothing by default.
 //! * **Generators**: [`Scope::parallel_for`] reproduces the `omp for`
 //!   multiple-generator construct; a plain loop in the region root is the
 //!   `single` generator.
@@ -176,6 +250,8 @@
 //! | `group` | pooled `taskgroup` descriptors (waiter-owned lease, member raw pointers) |
 //! | `event` | sleeper-gated event count (no shared writes to notify) |
 //! | [`pool`](Runtime) | worker threads, submit/join, region lifecycle |
+//! | [`cancel`](RegionError) | typed region outcomes & shed errors |
+//! | [`failpoint`] | compile-time-gated fault injection sites |
 //! | [`scope`](Scope) | `spawn` / `taskwait` / `parallel_for` |
 //! | [`config`](RuntimeConfig) | policy, cut-off & pool-sizing knobs |
 //! | [`stats`](RuntimeStats) | per-worker counters (steals, parks, spills, wake propagation) |
@@ -189,8 +265,10 @@ pub mod deque;
 mod event;
 mod rng;
 
+mod cancel;
 mod config;
 mod deps;
+pub mod failpoint;
 mod group;
 mod injector;
 mod local;
@@ -201,6 +279,7 @@ mod slab;
 mod stats;
 mod task;
 
+pub use cancel::{RegionError, SubmitError};
 pub use config::{default_threads, LocalOrder, RegionBudget, RuntimeConfig, RuntimeCutoff};
 pub use local::{CacheAligned, WorkerCounter, WorkerLocal};
 pub use pool::{RegionHandle, Runtime};

@@ -78,6 +78,7 @@ use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::cancel::{RegionError, SubmitError};
 use crate::config::{LocalOrder, RegionBudget, RuntimeConfig, RuntimeCutoff};
 use crate::deque::{deque, Steal, Stealer, TaskDeque};
 use crate::event::EventCount;
@@ -156,6 +157,20 @@ pub(crate) struct Shared {
     /// have no worker counter block, like `root_spilled`).
     pub(crate) regions_fresh: AtomicU64,
     pub(crate) regions_recycled: AtomicU64,
+    /// Origin of the team's coarse clock: deadlines are expressed as
+    /// milliseconds since this instant.
+    pub(crate) epoch: std::time::Instant,
+    /// Coarse monotone clock, in milliseconds since `epoch`, stamped by
+    /// workers at dispatch boundaries (every few executes, at parks, at
+    /// waits) and by submitters arming a deadline. A deadline check is one
+    /// relaxed load — no syscall on the hot path.
+    pub(crate) clock_ms: AtomicU64,
+    /// Regions cancelled (explicitly or by deadline) over the team's life.
+    pub(crate) regions_cancelled: AtomicU64,
+    /// Submissions shed — rejected by `try_submit` or admitted in
+    /// serialising shed mode — because the in-flight region watermark was
+    /// exceeded.
+    pub(crate) submissions_shed: AtomicU64,
 }
 
 // Safety: `Shared` is shared across worker threads by design. The raw task
@@ -168,6 +183,41 @@ unsafe impl Send for Shared {}
 unsafe impl Sync for Shared {}
 
 impl Shared {
+    /// Re-stamps the coarse clock from a real time read and returns the
+    /// new value. Workers call this at dispatch boundaries; anything
+    /// needing "now" cheaply reads `clock_ms` instead.
+    pub(crate) fn stamp_clock(&self) -> u64 {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        // Monotone publish: racing stampers may reorder, but the clock
+        // only ever needs to be a lower bound on real elapsed time.
+        self.clock_ms.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// The coarse clock's last stamped value, in ms since `epoch`.
+    #[inline]
+    pub(crate) fn now_ms(&self) -> u64 {
+        self.clock_ms.load(Ordering::Relaxed)
+    }
+
+    /// Cancels `region`, counting the transition and waking both channels
+    /// so parked workers and waiters re-observe the flag promptly.
+    pub(crate) fn cancel_region(&self, region: &Region) {
+        if region.cancel() {
+            self.regions_cancelled.fetch_add(1, Ordering::Relaxed);
+            self.work.notify();
+            self.progress.notify();
+        }
+    }
+
+    /// Has `region`'s armed deadline passed on the coarse clock? Cheap
+    /// enough for dispatch loops: two relaxed loads.
+    #[inline]
+    pub(crate) fn deadline_passed(&self, region: &Region) -> bool {
+        let deadline = region.deadline_ms();
+        deadline != 0 && self.now_ms() >= deadline
+    }
+
     /// Sum of the queued-count shards, clamped at zero (individual shards
     /// may be transiently negative; the total is approximate by design —
     /// it drives heuristics, not correctness).
@@ -334,7 +384,15 @@ pub(crate) struct WorkerCtx {
     pub(crate) deque: TaskDeque<TaskRecord>,
     pub(crate) shared: Arc<Shared>,
     pub(crate) rng: std::cell::RefCell<XorShift64>,
+    /// Executes since this worker last re-stamped the coarse clock; every
+    /// [`CLOCK_STRIDE`]th dispatch pays the real time read.
+    pub(crate) tick: std::cell::Cell<u32>,
 }
+
+/// A worker re-stamps the team's coarse clock once per this many task
+/// dispatches (and at every park/wait), bounding deadline-detection
+/// latency without a syscall per task.
+const CLOCK_STRIDE: u32 = 16;
 
 impl WorkerCtx {
     #[inline]
@@ -402,6 +460,8 @@ impl WorkerCtx {
     /// [`MAX_STEAL_RETRIES`]; past that the worker gives up on the victim
     /// (counting a miss) and moves to the next.
     pub(crate) fn try_steal(&self) -> Option<NonNull<TaskRecord>> {
+        // A delay/yield here perturbs thief-vs-owner Chase-Lev timing.
+        crate::bots_failpoint!("steal");
         let n = self.shared.stealers.len();
         if n <= 1 {
             return None;
@@ -490,9 +550,40 @@ impl WorkerCtx {
         // release it below, and its region outlives it (see crate::region).
         let r = unsafe { rec.as_ref() };
         let region = unsafe { r.region().as_ref() };
+
+        // Task dispatch is a cancellation point: re-stamp the coarse clock
+        // every CLOCK_STRIDE dispatches, enforce the region's deadline, and
+        // decide whether this task's body is skipped. A skipped dispatch
+        // still performs every piece of bookkeeping below (dep retire,
+        // group leave, child-done, record release) — cancellation drains
+        // the region, it never strands protocol state.
+        let tick = self.tick.get().wrapping_add(1);
+        self.tick.set(tick);
+        if tick.is_multiple_of(CLOCK_STRIDE) {
+            shared.stamp_clock();
+        }
+        let skip = match region {
+            Some(region) => {
+                if !region.is_cancelled() && shared.deadline_passed(region) {
+                    shared.cancel_region(region);
+                }
+                region.is_cancelled()
+            }
+            None => false,
+        };
+
         let invoke = r.take_invoke().expect("task executed twice");
-        let ec = ExecCtx { worker: self, rec };
-        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { invoke(rec, &ec) }));
+        let ec = ExecCtx {
+            worker: self,
+            rec,
+            skip,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // The one site where a `panic` failpoint action is sound: it
+            // unwinds into this catch like any task panic would.
+            crate::bots_failpoint!("task_invoke");
+            unsafe { invoke(rec, &ec) }
+        }));
         if let Err(payload) = outcome {
             match region {
                 // Per-region capture: the payload is re-raised by this
@@ -510,6 +601,10 @@ impl WorkerCtx {
             // Roots are not queued-by-spawn, so they do not subtract.
             if r.parent().is_some() {
                 region.queued_delta(self.index, -1);
+                if skip {
+                    WorkerCounters::bump(&counters.skipped);
+                    WorkerCounters::bump(&region.shard(self.index).skipped);
+                }
             }
         }
 
@@ -566,6 +661,18 @@ impl WorkerCtx {
 pub(crate) struct ExecCtx<'w> {
     pub(crate) worker: &'w WorkerCtx,
     pub(crate) rec: NonNull<TaskRecord>,
+    /// Skip dispatch: the region was cancelled, so the invoke shim drops
+    /// the closure (releasing captures and any spill box) instead of
+    /// running the body. All other bookkeeping proceeds normally.
+    pub(crate) skip: bool,
+}
+
+impl ExecCtx<'_> {
+    /// Is this a skip dispatch? Read by the invoke shims.
+    #[inline]
+    pub(crate) fn skip(&self) -> bool {
+        self.skip
+    }
 }
 
 /// A `Send` wrapper for the raw region-descriptor pointer that the root
@@ -622,6 +729,10 @@ pub struct Runtime {
 impl Runtime {
     /// Builds a team from an explicit configuration.
     pub fn new(config: RuntimeConfig) -> Self {
+        // Construction is the cold path: populate the failpoint registry
+        // here so first-fire insertions never happen on a warm path.
+        #[cfg(feature = "failpoints")]
+        crate::failpoint::prewarm();
         let n = config.num_threads;
         // `TaskRecord::home` is a u16 with HOME_BOXED and HOME_REGION
         // reserved: a worker index that aliased either would misroute
@@ -660,6 +771,10 @@ impl Runtime {
             live_regions: AtomicUsize::new(0),
             regions_fresh: AtomicU64::new(0),
             regions_recycled: AtomicU64::new(0),
+            epoch: std::time::Instant::now(),
+            clock_ms: AtomicU64::new(0),
+            regions_cancelled: AtomicU64::new(0),
+            submissions_shed: AtomicU64::new(0),
             config,
         });
 
@@ -678,6 +793,7 @@ impl Runtime {
                         rng: std::cell::RefCell::new(XorShift64::new(
                             0x9E37_79B9 ^ ((index as u64 + 1) << 17),
                         )),
+                        tick: std::cell::Cell::new(0),
                     };
                     worker_loop(&ctx);
                 })
@@ -714,6 +830,8 @@ impl Runtime {
         s.closure_spilled += self.shared.root_spilled.load(Ordering::Relaxed);
         s.regions_fresh = self.shared.regions_fresh.load(Ordering::Relaxed);
         s.regions_recycled = self.shared.regions_recycled.load(Ordering::Relaxed);
+        s.regions_cancelled = self.shared.regions_cancelled.load(Ordering::Relaxed);
+        s.submissions_shed = self.shared.submissions_shed.load(Ordering::Relaxed);
         s
     }
 
@@ -747,7 +865,7 @@ impl Runtime {
         // Sound for the same reason as `std::thread::scope`: join() blocks
         // this frame until the region quiesces, so everything `f` borrows
         // outlives every task that can observe it.
-        self.submit_inner(f, RegionBudget::Inherit).join()
+        self.submit_inner(f, RegionBudget::Inherit, None).join()
     }
 
     /// Submits `f` as the root task of a new parallel region and returns a
@@ -815,7 +933,53 @@ impl Runtime {
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_inner(f, RegionBudget::Inherit)
+        self.submit_inner(f, RegionBudget::Inherit, None)
+    }
+
+    /// [`submit`](Self::submit) with admission control: refuses the
+    /// submission outright — before leasing anything — when the team
+    /// already has [`RuntimeConfig::max_live_regions`] regions in flight,
+    /// returning [`SubmitError::Shed`] so the caller can retry, queue or
+    /// degrade at *its* layer. With no watermark configured this is plain
+    /// `submit`.
+    ///
+    /// The check is advisory (two racing submitters may both observe room);
+    /// the watermark bounds load, it does not ration slots exactly.
+    pub fn try_submit<F, R>(&self, f: F) -> Result<RegionHandle<'_, R>, SubmitError>
+    where
+        F: FnOnce(&Scope<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let limit = self.shared.config.max_live_regions;
+        if limit > 0 {
+            let live = self.shared.live_regions.load(Ordering::Relaxed);
+            if live >= limit {
+                self.shared.submissions_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Shed { live, limit });
+            }
+        }
+        Ok(self.submit_inner(f, RegionBudget::Inherit, None))
+    }
+
+    /// [`submit`](Self::submit) with a deadline, measured from now: once it
+    /// passes, the region is cancelled exactly as by
+    /// [`RegionHandle::cancel`] — spawns are suppressed, queued tasks are
+    /// dispatched body-skipped, and the joiner observes
+    /// [`RegionError::Cancelled`] unless the region quiesced before the
+    /// deadline. Enforcement rides the team's coarse clock (stamped by
+    /// workers at dispatch boundaries and parks), so detection latency is
+    /// a few milliseconds, not microseconds — deadlines bound *service
+    /// time*, they are not a profiling instrument.
+    pub fn submit_with_deadline<F, R>(
+        &self,
+        deadline: std::time::Duration,
+        f: F,
+    ) -> RegionHandle<'_, R>
+    where
+        F: FnOnce(&Scope<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.submit_inner(f, RegionBudget::Inherit, Some(deadline))
     }
 
     /// [`submit`](Self::submit) with an explicit per-region cut-off budget,
@@ -830,7 +994,7 @@ impl Runtime {
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_inner(f, budget)
+        self.submit_inner(f, budget, None)
     }
 
     /// The shared submission path behind [`parallel`](Self::parallel) and
@@ -844,7 +1008,12 @@ impl Runtime {
     /// returned handle must quiesce — via `join`, poll-to-ready or drop —
     /// before `'env` ends. `submit` instantiates `'env = 'static`;
     /// `parallel` joins before returning.
-    fn submit_inner<'env, F, R>(&self, f: F, budget: RegionBudget) -> RegionHandle<'_, R>
+    fn submit_inner<'env, F, R>(
+        &self,
+        f: F,
+        budget: RegionBudget,
+        deadline: Option<std::time::Duration>,
+    ) -> RegionHandle<'_, R>
     where
         F: FnOnce(&Scope<'env>) -> R + Send + 'env,
         R: Send + 'env,
@@ -860,6 +1029,24 @@ impl Runtime {
             shared.regions_fresh.fetch_add(1, Ordering::Relaxed);
         } else {
             shared.regions_recycled.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(d) = deadline {
+            // Deadlines are absolute coarse-clock values; 0 means "none",
+            // so a zero-duration deadline still arms (at >= 1 ms).
+            let at = shared
+                .stamp_clock()
+                .saturating_add(d.as_millis() as u64)
+                .max(1);
+            unsafe { region.as_ref() }.set_deadline_ms(at);
+        }
+        // Overload shedding for the infallible submit paths: over the
+        // watermark the region is still admitted — refusal belongs to
+        // `try_submit` — but in *shed mode*, where its clause-free spawns
+        // serialise inline so overload stops growing the queues.
+        let limit = shared.config.max_live_regions;
+        if limit > 0 && shared.live_regions.load(Ordering::Relaxed) >= limit {
+            shared.submissions_shed.fetch_add(1, Ordering::Relaxed);
+            unsafe { region.as_ref() }.set_shed_mode();
         }
 
         // Root record: embedded in the descriptor, held by two handles —
@@ -1007,7 +1194,7 @@ unsafe impl<R: Send> Send for RegionHandle<'_, R> {}
 /// `region` must be a live lease whose region has quiesced, `R` must be
 /// the submission's result type, and the caller must be the lease's sole
 /// finisher.
-unsafe fn finish_lease<R>(shared: &Shared, region: &Region) -> std::thread::Result<R> {
+unsafe fn finish_lease<R>(shared: &Shared, region: &Region) -> Result<R, RegionError> {
     // Yield, don't pure-spin: on an oversubscribed host the firing thread
     // may hold the only CPU this wait needs.
     while !region.completion_fired() {
@@ -1019,13 +1206,30 @@ unsafe fn finish_lease<R>(shared: &Shared, region: &Region) -> std::thread::Resu
     } else {
         None
     };
+    // Read the cancel flag *before* releasing the root: the release
+    // returns the lease, after which the descriptor may immediately serve
+    // an unrelated submission.
+    let cancelled = region.is_cancelled();
     shared.release_record(region.root(), None);
-    match panic {
-        Some(payload) => {
+    match (panic, result) {
+        // A panic outranks a stored result (the result is dropped): the
+        // region did not complete normally, whatever the root managed to
+        // write before another task blew up.
+        (Some(payload), result) => {
             drop(result);
-            Err(payload)
+            Err(RegionError::Panicked(payload))
         }
-        None => Ok(result.expect("root task did not record a result")),
+        // Cancellation outranks it too: a cancelled region may well have
+        // stored a root value (the root body runs to completion unless it
+        // was still queued — cancellation is cooperative), but that value
+        // was computed over skipped children and must not masquerade as a
+        // completed result.
+        (None, result) if cancelled => {
+            drop(result);
+            Err(RegionError::Cancelled)
+        }
+        (None, Some(value)) => Ok(value),
+        (None, None) => panic!("root task did not record a result"),
     }
 }
 
@@ -1040,6 +1244,22 @@ impl<R> RegionHandle<'_, R> {
     /// return without waiting.
     pub fn is_finished(&self) -> bool {
         self.quiesced || self.region().root_refs() == 1
+    }
+
+    /// Cancels the region — `#pragma omp cancel parallel` from outside:
+    /// the caller's half of cooperative cancellation. Already-running task
+    /// bodies finish (or poll [`Scope::is_cancelled`]); spawns are
+    /// suppressed and queued tasks dispatch body-skipped from here on, so
+    /// the region drains to quiescence instead of finishing its work.
+    /// Idempotent, non-blocking, callable from any thread. Join with
+    /// [`outcome`](Self::outcome) (or [`try_join`](Self::try_join)) to
+    /// observe [`RegionError::Cancelled`] without a panic.
+    ///
+    /// [`Scope::is_cancelled`]: crate::Scope::is_cancelled
+    pub fn cancel(&self) {
+        if !self.quiesced {
+            self.rt.shared.cancel_region(self.region());
+        }
     }
 
     /// Task-traffic attribution for this region so far: tasks spawned,
@@ -1061,19 +1281,59 @@ impl<R> RegionHandle<'_, R> {
     /// This is a thin blocking shim over the completion machinery: prefer
     /// polling the handle as a [`Future`] or [`on_complete`](Self::on_complete)
     /// when a blocked thread per region is too expensive.
-    pub fn join(mut self) -> R {
-        self.wait_quiescence();
-        match self.finish() {
+    pub fn join(self) -> R {
+        match self.outcome() {
             Ok(value) => value,
-            Err(payload) => resume_unwind(payload),
+            Err(RegionError::Panicked(payload)) => resume_unwind(payload),
+            // A cancelled region has no value to return: joining it with
+            // the infallible API is a contract violation, reported as a
+            // typed panic payload (`RegionError::Cancelled`) rather than
+            // an opaque string. Cancellation-aware callers use `outcome`.
+            Err(e @ RegionError::Cancelled) => std::panic::panic_any(e),
         }
     }
 
+    /// Blocks until quiescence like [`join`](Self::join), but returns the
+    /// region's outcome as a value: `Ok` with the root closure's result,
+    /// [`RegionError::Cancelled`] when the region was cancelled (by
+    /// [`cancel`](Self::cancel), [`Scope::cancel_region`] or a missed
+    /// deadline — a root value stored mid-cancellation is discarded: it
+    /// was computed over skipped children), or
+    /// [`RegionError::Panicked`] carrying the payload of the first task
+    /// panic. This is the join for cancellation-aware callers — nothing in
+    /// it ever panics on a cancelled or panicked region.
+    ///
+    /// [`Scope::cancel_region`]: crate::Scope::cancel_region
+    pub fn outcome(mut self) -> Result<R, RegionError> {
+        self.wait_quiescence();
+        self.finish()
+    }
+
+    /// Bounded join: waits up to `timeout` for quiescence. `None` means
+    /// the region is still running — the handle is untouched and may be
+    /// waited again (or cancelled, or dropped, which blocks to quiescence).
+    /// `Some` carries the same outcome [`outcome`](Self::outcome) would
+    /// have returned; after `Some`, the handle is finished and its drop is
+    /// a no-op. The cancel-latency pattern is `cancel()` followed by
+    /// `try_join` in a loop.
+    pub fn try_join(&mut self, timeout: std::time::Duration) -> Option<Result<R, RegionError>> {
+        if self.quiesced {
+            // Contract violation, like polling a completed future: the
+            // prior Some() consumed the result.
+            panic!("RegionHandle waited after it already completed");
+        }
+        if !self.wait_quiescence_timeout(timeout) {
+            return None;
+        }
+        Some(self.finish())
+    }
+
     /// Detaches the region: `callback` runs the moment the region quiesces,
-    /// **on the completing worker thread**, receiving the root closure's
-    /// value — or, like [`std::thread::JoinHandle::join`], the panic payload
-    /// of the region as an `Err`. If the region has already quiesced the
-    /// callback runs immediately on the calling thread.
+    /// **on the completing worker thread**, receiving the region's outcome
+    /// — the root closure's value, or a [`RegionError`] when the region
+    /// panicked or was cancelled (see [`outcome`](Self::outcome)). If the
+    /// region has already quiesced the callback runs immediately on the
+    /// calling thread.
     ///
     /// The callback should be short and must not block the worker (hand the
     /// result to a channel, wake an executor, bump a counter). A panic
@@ -1082,7 +1342,7 @@ impl<R> RegionHandle<'_, R> {
     /// callback always fires before the team shuts down.
     pub fn on_complete<F>(self, callback: F)
     where
-        F: FnOnce(std::thread::Result<R>) + Send + 'static,
+        F: FnOnce(Result<R, RegionError>) + Send + 'static,
         R: Send + 'static,
     {
         let shared = Arc::clone(&self.rt.shared);
@@ -1116,7 +1376,8 @@ impl<R> RegionHandle<'_, R> {
     /// lease (after which the descriptor may be re-used by any submitter),
     /// keeping a final stats snapshot for late `stats` calls. Caller must
     /// have established quiescence.
-    fn finish(&mut self) -> Result<R, crate::region::PanicPayload> {
+    fn finish(&mut self) -> Result<R, RegionError> {
+        assert!(!self.quiesced, "region finished twice");
         self.final_stats = Some(self.region().stats());
         // Safety: quiescent, sole finisher (guarded by `quiesced`), and `R`
         // is this handle's submission result type.
@@ -1129,21 +1390,19 @@ impl<R> RegionHandle<'_, R> {
     /// handle's own reference. Does **not** release the lease — callers
     /// follow up with [`finish`](Self::finish), which takes result/panic
     /// out and returns the lease.
-    fn wait_quiescence(&mut self) {
-        if self.quiesced {
-            return;
-        }
+    /// Panics when the calling thread is a worker of this handle's own
+    /// team. Joining from a task of the same team would park this worker
+    /// without task-switching: if every worker ends up here (trivially
+    /// so on a team of one), nobody is left to run the awaited region —
+    /// a permanent deadlock. Fail loudly instead (for an explicit join
+    /// *and* for a handle dropped inside a task — the silent-block
+    /// variant of the same bug). The region keeps running detached:
+    /// `quiesced` is set so Drop does not re-enter (a double panic would
+    /// abort), and the descriptor lease is deliberately never returned —
+    /// its memory stays valid for the in-flight records because the pool
+    /// owns it until the runtime drops.
+    fn assert_off_team(&mut self) {
         let shared = &*self.rt.shared;
-        // Joining from a task of the same team would park this worker
-        // without task-switching: if every worker ends up here (trivially
-        // so on a team of one), nobody is left to run the awaited region —
-        // a permanent deadlock. Fail loudly instead (for an explicit join
-        // *and* for a handle dropped inside a task — the silent-block
-        // variant of the same bug). The region keeps running detached:
-        // `quiesced` is set so Drop does not re-enter (a double panic would
-        // abort), and the descriptor lease is deliberately never returned —
-        // its memory stays valid for the in-flight records because the pool
-        // owns it until the runtime drops.
         if WORKER_OF.with(|w| std::ptr::eq(w.get(), shared as *const Shared)) {
             self.quiesced = true;
             panic!(
@@ -1152,6 +1411,14 @@ impl<R> RegionHandle<'_, R> {
                  on_complete() to finish them without blocking"
             );
         }
+    }
+
+    fn wait_quiescence(&mut self) {
+        if self.quiesced {
+            return;
+        }
+        self.assert_off_team();
+        let shared = &*self.rt.shared;
         loop {
             if self.region().root_refs() == 1 {
                 break;
@@ -1162,6 +1429,38 @@ impl<R> RegionHandle<'_, R> {
                 break;
             }
             shared.progress.wait_timeout(token, PARK_TIMEOUT);
+        }
+    }
+
+    /// Bounded [`wait_quiescence`](Self::wait_quiescence): `true` means
+    /// quiescent (finish may proceed), `false` means the timeout elapsed
+    /// first. Same worker-thread restriction as the unbounded wait — the
+    /// park is finite here, but a worker that cannot task-switch stalls
+    /// the team for the whole timeout, which is the same bug in slow
+    /// motion.
+    fn wait_quiescence_timeout(&mut self, timeout: std::time::Duration) -> bool {
+        if self.quiesced {
+            return true;
+        }
+        self.assert_off_team();
+        let shared = &*self.rt.shared;
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.region().root_refs() == 1 {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let token = shared.progress.prepare();
+            if self.region().root_refs() == 1 {
+                shared.progress.cancel();
+                return true;
+            }
+            shared
+                .progress
+                .wait_timeout(token, (deadline - now).min(PARK_TIMEOUT));
         }
     }
 }
@@ -1192,10 +1491,12 @@ impl<R> std::future::Future for RegionHandle<'_, R> {
             // from an earlier poll). Re-registration on every poll keeps
             // the slot current when the future migrates between tasks.
             None => std::task::Poll::Pending,
-            // Already quiescent: finish inline.
+            // Already quiescent: finish inline. Cancellation surfaces as a
+            // typed panic payload, mirroring `join`.
             Some(_stale) => match this.finish() {
                 Ok(value) => std::task::Poll::Ready(value),
-                Err(payload) => resume_unwind(payload),
+                Err(RegionError::Panicked(payload)) => resume_unwind(payload),
+                Err(e @ RegionError::Cancelled) => std::panic::panic_any(e),
             },
         }
     }
@@ -1242,6 +1543,10 @@ fn worker_loop(ctx: &WorkerCtx) {
             continue;
         }
         just_woke = false;
+        // An idle worker is the cheapest clock stamper there is: re-stamp
+        // on the way into (and out of) the park so armed deadlines keep
+        // advancing even when no task dispatch is ticking the clock.
+        shared.stamp_clock();
         // Nothing anywhere: register as a sleeper, re-check, park until an
         // event or the safety timeout.
         let token = shared.work.prepare();
@@ -1251,6 +1556,7 @@ fn worker_loop(ctx: &WorkerCtx) {
         }
         WorkerCounters::bump(&ctx.counters().parks);
         shared.work.wait_timeout(token, PARK_TIMEOUT);
+        shared.stamp_clock();
         just_woke = true;
     }
 }

@@ -109,6 +109,14 @@ pub(crate) struct RegionShard {
     /// Spawns of this region this worker ran inline because the region's
     /// own budget tripped.
     pub(crate) serialized: AtomicU64,
+    /// Tasks of this region whose bodies this worker skipped (suppressed
+    /// at spawn, or dispatched with the closure dropped) because the
+    /// region was cancelled.
+    pub(crate) skipped: AtomicU64,
+    /// Spawns of this region this worker ran inline because the runtime
+    /// was shedding load (the in-flight region watermark was exceeded at
+    /// submit time).
+    pub(crate) shed: AtomicU64,
     /// Queued-but-unstarted tasks of this region, this worker's
     /// contribution (spawners add on their own shard, executors subtract on
     /// theirs, so a shard may go negative; the sum is the true count).
@@ -135,6 +143,19 @@ pub(crate) struct Region {
     budget: UnsafeCell<RegionBudget>,
     /// Hysteresis state for [`RegionBudget::Adaptive`].
     serializing: AtomicBool,
+    /// Cooperative cancel flag: raised by `RegionHandle::cancel`,
+    /// `Scope::cancel_region` or a tripped deadline; observed at task
+    /// scheduling points. Never lowered while the lease is live.
+    cancelled: AtomicBool,
+    /// Deadline on the runtime's coarse millisecond clock
+    /// ([`crate::pool`]'s `clock_ms`), or `0` for none. Written once at
+    /// lease time; workers compare it against the stamped clock at
+    /// dispatch points and cancel the region when it passes.
+    deadline_ms: AtomicU64,
+    /// Shed mode: the region was admitted while the runtime was over its
+    /// in-flight watermark, so its clause-free spawns run inline instead
+    /// of queueing (graceful degradation rather than rejection).
+    shed_mode: AtomicBool,
     /// Root-closure result, written in place by the root task. The
     /// write happens-before any reader: readers only run after observing
     /// quiescence, which is downstream of the root's release-sequence.
@@ -170,6 +191,9 @@ impl Region {
             completion: Mutex::new(CompletionSlot::default()),
             budget: UnsafeCell::new(RegionBudget::Inherit),
             serializing: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            deadline_ms: AtomicU64::new(0),
+            shed_mode: AtomicBool::new(false),
             result: UnsafeCell::new(ResultPayload([MaybeUninit::uninit(); RESULT_INLINE_BYTES])),
             result_written: AtomicBool::new(false),
             shards: (0..workers).map(|_| CacheAligned::default()).collect(),
@@ -187,9 +211,14 @@ impl Region {
             shard.0.spawned.store(0, Ordering::Relaxed);
             shard.0.executed.store(0, Ordering::Relaxed);
             shard.0.serialized.store(0, Ordering::Relaxed);
+            shard.0.skipped.store(0, Ordering::Relaxed);
+            shard.0.shed.store(0, Ordering::Relaxed);
             shard.0.queued.store(0, Ordering::Relaxed);
         }
         self.serializing.store(false, Ordering::Relaxed);
+        self.cancelled.store(false, Ordering::Relaxed);
+        self.deadline_ms.store(0, Ordering::Relaxed);
+        self.shed_mode.store(false, Ordering::Relaxed);
         *self.budget.get() = budget;
         self.result_written.store(false, Ordering::Relaxed);
         *self.panic.lock().unwrap_or_else(|e| e.into_inner()) = None;
@@ -311,6 +340,47 @@ impl Region {
         }
     }
 
+    /// Raises the cooperative cancel flag. Returns `true` when this call
+    /// was the transition (the region was not cancelled before).
+    #[inline]
+    pub(crate) fn cancel(&self) -> bool {
+        !self.cancelled.swap(true, Ordering::Relaxed)
+    }
+
+    /// Has the region been cancelled? Checked at task scheduling points;
+    /// Relaxed is enough — cancellation is a monotone flag and the
+    /// quiescence protocol supplies the eventual synchronisation.
+    #[inline]
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Arms the region's deadline, in runtime coarse-clock milliseconds.
+    /// Written once at lease time, before the root is published.
+    #[inline]
+    pub(crate) fn set_deadline_ms(&self, at: u64) {
+        self.deadline_ms.store(at, Ordering::Relaxed);
+    }
+
+    /// The armed deadline in coarse-clock milliseconds (`0` = none).
+    #[inline]
+    pub(crate) fn deadline_ms(&self) -> u64 {
+        self.deadline_ms.load(Ordering::Relaxed)
+    }
+
+    /// Puts the region in shed mode (set at submit time, before the root
+    /// is published, when the runtime is over its in-flight watermark).
+    #[inline]
+    pub(crate) fn set_shed_mode(&self) {
+        self.shed_mode.store(true, Ordering::Relaxed);
+    }
+
+    /// Is the region shedding (serialising its clause-free spawns)?
+    #[inline]
+    pub(crate) fn shed_mode(&self) -> bool {
+        self.shed_mode.load(Ordering::Relaxed)
+    }
+
     /// The region's dependency tracker.
     #[inline]
     pub(crate) fn deps(&self) -> &DepTracker {
@@ -377,7 +447,10 @@ impl Region {
             s.spawned += shard.0.spawned.load(Ordering::Relaxed);
             s.executed += shard.0.executed.load(Ordering::Relaxed);
             s.serialized += shard.0.serialized.load(Ordering::Relaxed);
+            s.skipped_tasks += shard.0.skipped.load(Ordering::Relaxed);
+            s.shed += shard.0.shed.load(Ordering::Relaxed);
         }
+        s.cancelled = self.is_cancelled();
         s
     }
 }
@@ -396,6 +469,17 @@ pub struct RegionStats {
     /// unbudgeted regions, however greedy their siblings are — that is the
     /// isolation the per-region budget buys.
     pub serialized: u64,
+    /// Task bodies of this region that did **not** run because the region
+    /// was cancelled: spawns suppressed at creation plus already-queued
+    /// tasks dispatched with their closure discarded. Skipped tasks still
+    /// perform full bookkeeping (dependency release, group leave, record
+    /// reclaim), so a cancelled region drains rather than leaks.
+    pub skipped_tasks: u64,
+    /// Spawns run inline because the region was admitted in shed mode
+    /// (the runtime was over its in-flight watermark at submit time).
+    pub shed: u64,
+    /// Was the region cancelled (explicitly or by its deadline)?
+    pub cancelled: bool,
 }
 
 /// The descriptor free list: one Treiber shard per worker, submitter-hashed

@@ -36,10 +36,46 @@ use crate::pool::{ExecCtx, Shared, WorkerCtx};
 use crate::stats::WorkerCounters;
 use crate::task::{TaskAttrs, TaskRecord};
 
-/// Maximum `depend` clauses one task may carry (a [`TaskBuilder`] panics
-/// past this). Eight covers every kernel in the suite — SparseLU's `bmod`,
-/// the widest, uses three — while keeping the builder allocation-free.
+/// `depend` clauses a [`TaskBuilder`] holds **inline** (and so
+/// allocation-free). Eight covers every kernel in the suite — SparseLU's
+/// `bmod`, the widest, uses three. Wider clause sets are supported too:
+/// the builder spills to a thread-pooled vector, so the first 9+-clause
+/// task on a thread pays one allocation and later ones reuse it.
 pub const MAX_TASK_DEPS: usize = 8;
+
+/// Spill vectors kept per thread for clause lists wider than
+/// [`MAX_TASK_DEPS`]; see [`DepSpill`].
+const SPILL_POOL_CAP: usize = 4;
+
+thread_local! {
+    /// Recycled clause-spill vectors (capacity retained), so oversized
+    /// clause sets stop allocating once a thread's pool is warm.
+    static SPILL_POOL: std::cell::RefCell<Vec<Vec<DepClause>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Overflow storage for a [`TaskBuilder`]'s clause list past
+/// [`MAX_TASK_DEPS`]: a vector leased from [`SPILL_POOL`] and returned —
+/// cleared, capacity intact — on drop.
+struct DepSpill(Vec<DepClause>);
+
+impl DepSpill {
+    fn lease() -> DepSpill {
+        SPILL_POOL.with(|p| DepSpill(p.borrow_mut().pop().unwrap_or_default()))
+    }
+}
+
+impl Drop for DepSpill {
+    fn drop(&mut self) {
+        self.0.clear();
+        SPILL_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < SPILL_POOL_CAP {
+                pool.push(std::mem::take(&mut self.0));
+            }
+        });
+    }
+}
 
 /// How long a task blocked at `taskwait` sleeps between re-probes when it
 /// cannot legally run anything (safety net; normal wake-ups are eventful).
@@ -213,6 +249,7 @@ impl<'scope> Scope<'scope> {
             attrs: TaskAttrs::default(),
             deps: [DepClause::default(); MAX_TASK_DEPS],
             n_deps: 0,
+            spill: None,
         }
     }
 
@@ -237,6 +274,23 @@ impl<'scope> Scope<'scope> {
         let counters = worker.counters();
 
         let region = unsafe { self.rec().region().as_ref() };
+        // Task creation is a cancellation point (OpenMP `cancellation
+        // point` at task scheduling points): a spawn inside a cancelled
+        // region — or a cancelled taskgroup — creates nothing at all. No
+        // record, no group join, no dep registration; the task is counted
+        // as skipped and the cancelled subtree stops growing, which is
+        // also what bounds the inline cascade below under cancellation.
+        if let Some(region) = region {
+            if region.is_cancelled()
+                || self
+                    .group
+                    .is_some_and(|g| unsafe { g.as_ref() }.is_cancelled())
+            {
+                WorkerCounters::bump(&counters.skipped);
+                WorkerCounters::bump(&region.shard(worker.index).skipped);
+                return;
+            }
+        }
         if deps.is_empty() {
             if self.rec().final_ {
                 WorkerCounters::bump(&counters.inlined_final);
@@ -255,6 +309,16 @@ impl<'scope> Scope<'scope> {
             // a greedy region serialises itself without slowing a
             // sibling's spawns.
             if let Some(region) = region {
+                // Shed mode (admitted over the in-flight watermark): the
+                // region degrades to serial execution instead of piling
+                // more deferred work onto an overloaded team. Dependency
+                // tasks still defer below — an unready task cannot run
+                // inline — so shed regions stay correct, just narrower.
+                if region.shed_mode() {
+                    WorkerCounters::bump(&counters.inlined_shed);
+                    WorkerCounters::bump(&region.shard(worker.index).shed);
+                    return self.run_inline(attrs, f);
+                }
                 if region.budget_trips() {
                     WorkerCounters::bump(&counters.inlined_budget);
                     WorkerCounters::bump(&region.shard(worker.index).serialized);
@@ -379,6 +443,52 @@ impl<'scope> Scope<'scope> {
         self.wait_until(|| self.rec().outstanding() == 0);
     }
 
+    /// Has the current region — or the innermost enclosing `taskgroup` —
+    /// been cancelled? The poll half of cooperative cancellation: long
+    /// task bodies (and the generator loops of [`parallel_for`]) check
+    /// this to stop early; everything else (spawns, dispatch) checks it
+    /// automatically at task scheduling points.
+    ///
+    /// [`parallel_for`]: Self::parallel_for
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        unsafe { self.rec().region().as_ref() }.is_some_and(|r| r.is_cancelled())
+            || self
+                .group
+                .is_some_and(|g| unsafe { g.as_ref() }.is_cancelled())
+    }
+
+    /// Cancels the current region from inside one of its tasks — OpenMP's
+    /// `#pragma omp cancel parallel`. Cooperative: already-running task
+    /// bodies finish (or poll [`is_cancelled`](Self::is_cancelled)), new
+    /// spawns are suppressed, and queued tasks of the region are
+    /// dispatched with their bodies skipped. The region still reaches
+    /// quiescence and returns every pooled resource; its joiner observes
+    /// [`RegionError::Cancelled`](crate::RegionError::Cancelled).
+    pub fn cancel_region(&self) {
+        if let Some(region) = unsafe { self.rec().region().as_ref() } {
+            self.worker().shared.cancel_region(region);
+        }
+    }
+
+    /// Cancels the innermost enclosing `taskgroup` — OpenMP's
+    /// `#pragma omp cancel taskgroup`. Spawns into the cancelled group
+    /// (by any member, transitively) are suppressed from here on; the
+    /// group wait still drains members already created. Returns `false`
+    /// when the current task is not inside a `taskgroup`.
+    pub fn cancel_group(&self) -> bool {
+        match self.group {
+            Some(g) => {
+                // Safety: this frame is (transitively) inside the group's
+                // taskgroup, whose wait keeps the descriptor leased.
+                unsafe { g.as_ref() }.cancel();
+                self.worker().shared.progress.notify();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// `#pragma omp taskgroup` (OpenMP 3.1 extension): runs `body` inline and
     /// then waits for **all** tasks spawned within it, transitively — a deep
     /// wait, unlike `taskwait`'s direct-children-only wait.
@@ -404,6 +514,9 @@ impl<'scope> Scope<'scope> {
         // Zero-allocation construct: the group descriptor is leased from
         // the worker's pooled free list, not Arc-allocated per use.
         let (group, fresh) = shared.group_pool.lease(worker.index);
+        // Re-arm the cancel flag: the pool only hands out drained
+        // descriptors, so no member of a previous use can observe this.
+        unsafe { group.as_ref() }.reset();
         let counters = worker.counters();
         WorkerCounters::bump(if fresh {
             &counters.groups_fresh
@@ -568,6 +681,19 @@ impl<'scope> Scope<'scope> {
                 shared.progress.cancel();
                 return;
             }
+            // About to park: stamp the coarse clock and enforce a region
+            // deadline even when no task dispatch is advancing it. This
+            // only *cancels* — the wait itself must still run to `done()`:
+            // outstanding children may borrow this very frame, so an early
+            // return here would be unsound. Cancellation instead empties
+            // the region (spawn suppression + skip-dispatch), after which
+            // `done()` flips on its own.
+            shared.stamp_clock();
+            if let Some(region) = unsafe { self.rec().region().as_ref() } {
+                if !region.is_cancelled() && shared.deadline_passed(region) {
+                    shared.cancel_region(region);
+                }
+            }
             if !constrained && worker.work_visible() {
                 shared.progress.cancel();
                 continue;
@@ -613,8 +739,17 @@ impl<'scope> Scope<'scope> {
             if lo >= hi {
                 break;
             }
+            // Task scheduling points: stop generating on cancellation,
+            // both between chunk spawns and between iterations inside a
+            // generator. The closing taskwait still drains what exists.
+            if self.is_cancelled() {
+                break;
+            }
             self.spawn_with(TaskAttrs::untied(), move |s| {
                 for i in lo..hi {
+                    if s.is_cancelled() {
+                        break;
+                    }
                     body(i, s);
                 }
                 s.taskwait();
@@ -643,8 +778,16 @@ impl<'scope> Scope<'scope> {
         let mut lo = range.start;
         while lo < range.end {
             let hi = (lo + chunk).min(range.end);
+            // Cancellation checks mirror `parallel_for`: stop generating
+            // chunks and stop iterating inside a generator.
+            if self.is_cancelled() {
+                break;
+            }
             self.spawn_with(TaskAttrs::untied(), move |s| {
                 for i in lo..hi {
+                    if s.is_cancelled() {
+                        break;
+                    }
                     body(i, s);
                 }
                 s.taskwait();
@@ -745,6 +888,10 @@ pub struct TaskBuilder<'s, 'scope, F> {
     attrs: TaskAttrs,
     deps: [DepClause; MAX_TASK_DEPS],
     n_deps: usize,
+    /// Engaged by the clause past [`MAX_TASK_DEPS`]: a pooled overflow
+    /// list holding *all* clauses (the inline array is copied in first),
+    /// so wide dependence fans need no spawn-path special case.
+    spill: Option<DepSpill>,
 }
 
 impl<'s, 'scope, F> TaskBuilder<'s, 'scope, F>
@@ -753,9 +900,6 @@ where
 {
     /// `depend(in: obj)`: run after the last task that declared a write on
     /// `obj`'s address. Identity only — `obj` is never dereferenced.
-    ///
-    /// # Panics
-    /// When more than [`MAX_TASK_DEPS`] clauses are chained.
     pub fn after_read<T: ?Sized>(self, obj: &'scope T) -> Self {
         self.clause(obj as *const T as *const () as usize, DepAccess::Read)
     }
@@ -765,20 +909,26 @@ where
     /// clauses on the same address order themselves after this task.
     /// Identity only — `obj` is never dereferenced (which is why a shared
     /// reference suffices to declare a write *intent*).
-    ///
-    /// # Panics
-    /// When more than [`MAX_TASK_DEPS`] clauses are chained.
     pub fn after_write<T: ?Sized>(self, obj: &'scope T) -> Self {
         self.clause(obj as *const T as *const () as usize, DepAccess::Write)
     }
 
     fn clause(mut self, addr: usize, access: DepAccess) -> Self {
-        assert!(
-            self.n_deps < MAX_TASK_DEPS,
-            "a task may declare at most {MAX_TASK_DEPS} depend clauses"
-        );
-        self.deps[self.n_deps] = DepClause { addr, access };
-        self.n_deps += 1;
+        let clause = DepClause { addr, access };
+        if let Some(sp) = self.spill.as_mut() {
+            sp.0.push(clause);
+        } else if self.n_deps < MAX_TASK_DEPS {
+            self.deps[self.n_deps] = clause;
+            self.n_deps += 1;
+        } else {
+            // Clause `MAX_TASK_DEPS + 1`: promote to a pooled spill list.
+            // The common (narrow) case never reaches here and stays
+            // allocation-free; a wide fan reuses a thread-local vector.
+            let mut sp = DepSpill::lease();
+            sp.0.extend_from_slice(&self.deps);
+            sp.0.push(clause);
+            self.spill = Some(sp);
+        }
         self
     }
 
@@ -822,7 +972,19 @@ where
     /// moment the last one does. Returns as soon as the task is created,
     /// like [`Scope::spawn`].
     pub fn spawn(self) {
-        self.scope
-            .spawn_impl(self.attrs, &self.deps[..self.n_deps], self.body);
+        let TaskBuilder {
+            scope,
+            body,
+            attrs,
+            deps,
+            n_deps,
+            spill,
+        } = self;
+        match spill {
+            // The spill's Drop returns the vector to the pool after the
+            // clauses have been registered (spawn_impl copies them out).
+            Some(sp) => scope.spawn_impl(attrs, &sp.0, body),
+            None => scope.spawn_impl(attrs, &deps[..n_deps], body),
+        }
     }
 }

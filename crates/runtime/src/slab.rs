@@ -102,6 +102,7 @@ impl RecordSlab {
     /// `rec` must be fully released and owned by this slab, but the caller
     /// may be any thread.
     pub(crate) fn free_remote(&self, rec: NonNull<TaskRecord>) {
+        crate::bots_failpoint!("slab_free_remote");
         let mut head = self.reclaim.load(Ordering::Relaxed);
         loop {
             unsafe { rec.as_ref().next.store(head, Ordering::Relaxed) };
@@ -125,6 +126,9 @@ impl RecordSlab {
     /// # Safety
     /// Owner thread only.
     unsafe fn drain_reclaim(&self) -> Option<NonNull<TaskRecord>> {
+        // A delay here holds the owner between its dry local list and the
+        // reclaim swap while remote frees keep landing.
+        crate::bots_failpoint!("slab_drain");
         let head = self.reclaim.swap(std::ptr::null_mut(), Ordering::Acquire);
         let head = NonNull::new(head)?;
         debug_assert!(self.free.get().is_null());

@@ -71,6 +71,13 @@ pub(crate) struct WorkerCounters {
     /// Deferred tasks this worker released (queued) while retiring one of
     /// their predecessors on the task-exit path.
     pub deps_released: AtomicU64,
+    /// Tasks whose user body was skipped by cancellation: spawns suppressed
+    /// after the cancel flag rose plus queued tasks dispatched in skip mode
+    /// (full bookkeeping — dep retire, group leave, refcounts — no body).
+    pub skipped: AtomicU64,
+    /// Clause-free tasks serialised inline because their region was
+    /// admitted in shed (overload) mode.
+    pub inlined_shed: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -158,6 +165,23 @@ pub struct RuntimeStats {
     /// Deferred tasks released by a retiring predecessor (every deferred
     /// task is eventually released exactly once).
     pub deps_released: u64,
+    /// Tasks whose body was skipped by cancellation (suppressed spawns +
+    /// skip-mode dispatches). See [`RegionStats::skipped_tasks`] for the
+    /// per-region view.
+    ///
+    /// [`RegionStats::skipped_tasks`]: crate::RegionStats::skipped_tasks
+    pub skipped: u64,
+    /// Clause-free tasks serialised inline under overload shedding.
+    pub inlined_shed: u64,
+    /// Regions cancelled (explicitly or by a missed deadline). Counted
+    /// once per region, at the flag's rising edge.
+    pub regions_cancelled: u64,
+    /// Submissions refused or degraded by the live-region watermark
+    /// ([`RuntimeConfig::with_max_live_regions`]): `try_submit` rejections
+    /// plus infallible submissions admitted in shed mode.
+    ///
+    /// [`RuntimeConfig::with_max_live_regions`]: crate::RuntimeConfig::with_max_live_regions
+    pub submissions_shed: u64,
 }
 
 impl RuntimeStats {
@@ -185,6 +209,8 @@ impl RuntimeStats {
         self.deps_registered += w.deps_registered.load(Ordering::Relaxed);
         self.deps_deferred += w.deps_deferred.load(Ordering::Relaxed);
         self.deps_released += w.deps_released.load(Ordering::Relaxed);
+        self.skipped += w.skipped.load(Ordering::Relaxed);
+        self.inlined_shed += w.inlined_shed.load(Ordering::Relaxed);
     }
 
     /// Total task-creation points the runtime saw (deferred + every kind of
@@ -197,6 +223,7 @@ impl RuntimeStats {
             + self.inlined_cutoff
             + self.inlined_final
             + self.inlined_budget
+            + self.inlined_shed
     }
 
     /// Fraction of deferred tasks that migrated between workers.
@@ -236,6 +263,10 @@ impl RuntimeStats {
             deps_registered: self.deps_registered - earlier.deps_registered,
             deps_deferred: self.deps_deferred - earlier.deps_deferred,
             deps_released: self.deps_released - earlier.deps_released,
+            skipped: self.skipped - earlier.skipped,
+            inlined_shed: self.inlined_shed - earlier.inlined_shed,
+            regions_cancelled: self.regions_cancelled - earlier.regions_cancelled,
+            submissions_shed: self.submissions_shed - earlier.submissions_shed,
         }
     }
 }
@@ -248,7 +279,8 @@ impl std::fmt::Display for RuntimeStats {
              misses={} parks={} taskwaits={} group_waits={} switched={} tied_denied={} \
              slab(fresh/recycled/cross)={}/{}/{} regions(fresh/recycled)={}/{} \
              groups(fresh/recycled)={}/{} deps(reg/deferred/released)={}/{}/{} \
-             spilled={} propagated={}",
+             spilled={} propagated={} skipped={} inlined_shed={} \
+             cancelled={} shed={}",
             self.spawned,
             self.inlined_if,
             self.inlined_cutoff,
@@ -274,6 +306,10 @@ impl std::fmt::Display for RuntimeStats {
             self.deps_released,
             self.closure_spilled,
             self.wake_propagations,
+            self.skipped,
+            self.inlined_shed,
+            self.regions_cancelled,
+            self.submissions_shed,
         )
     }
 }

@@ -403,6 +403,13 @@ unsafe fn invoke_inline<F: FnOnce(&ExecCtx<'_>) + Send>(
     ec: &ExecCtx<'_>,
 ) {
     let f = rec.as_ref().payload.get().cast::<F>().read();
+    // Skip-dispatch (cancelled region): the closure is read out and
+    // dropped — captures release their resources — but the body never
+    // runs. Bookkeeping stays with the caller either way.
+    if ec.skip() {
+        drop(f);
+        return;
+    }
     f(ec);
 }
 
@@ -412,6 +419,10 @@ unsafe fn invoke_spilled<F: FnOnce(&ExecCtx<'_>) + Send>(
 ) {
     let boxed = rec.as_ref().payload.get().cast::<*mut F>().read();
     let f = *Box::from_raw(boxed);
+    if ec.skip() {
+        drop(f);
+        return;
+    }
     f(ec);
 }
 

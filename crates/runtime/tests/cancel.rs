@@ -1,0 +1,412 @@
+//! Cooperative cancellation end to end: explicit cancels (from the handle
+//! and from inside tasks), deadlines, taskgroup cancellation, overload
+//! shedding, bounded joins and the typed outcome surface — and, throughout,
+//! the robustness contract: a cancelled region always reaches ordinary
+//! quiescence with its bookkeeping balanced.
+
+mod common;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bots_runtime::{RegionError, Runtime, RuntimeConfig, Scope, SubmitError};
+
+/// An effectively unbounded spawn storm (2^depth tasks): only cancellation
+/// can bring a region running one to quiescence in test time.
+fn storm(s: &Scope<'_>, depth: u32, ticks: &'static AtomicU64) {
+    if depth == 0 || s.is_cancelled() {
+        return;
+    }
+    ticks.fetch_add(1, Ordering::Relaxed);
+    for _ in 0..2 {
+        s.spawn(move |s| storm(s, depth - 1, ticks));
+    }
+}
+
+#[test]
+fn cancel_mid_flight_drains_to_quiescence() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    let rt = Runtime::with_threads(4);
+    let h = rt.submit(|s| {
+        storm(s, 50, &TICKS);
+        s.taskwait();
+        42u64
+    });
+    // Let the storm build real in-flight depth before pulling the plug.
+    while TICKS.load(Ordering::Relaxed) < 10_000 {
+        std::hint::spin_loop();
+    }
+    h.cancel();
+    let stats_probe = rt.stats();
+    assert!(stats_probe.regions_cancelled >= 1);
+    let h = {
+        let mut h = h;
+        // try_join instead of outcome: also exercises the bounded join on
+        // the real (cancelled, draining) path.
+        loop {
+            if let Some(outcome) = h.try_join(Duration::from_millis(50)) {
+                break outcome;
+            }
+        }
+    };
+    assert!(
+        matches!(h, Err(RegionError::Cancelled)),
+        "a cancelled region reports Cancelled, got {h:?}"
+    );
+    let stats = rt.stats();
+    assert!(
+        stats.skipped > 0,
+        "a mid-flight cancel must skip queued tasks"
+    );
+    // Quiescence really drained the queues: nothing is left in flight, and
+    // a fresh region on the same (recycled) descriptors works fine.
+    assert_eq!(rt.parallel(|_| 7u64), 7);
+}
+
+#[test]
+fn deadline_cancels_runaway_region() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    let rt = Runtime::with_threads(2);
+    let h = rt.submit_with_deadline(Duration::from_millis(10), |s| {
+        storm(s, 50, &TICKS);
+        s.taskwait();
+    });
+    let outcome = h.outcome();
+    assert!(
+        matches!(outcome, Err(RegionError::Cancelled)),
+        "a 2^50-task storm cannot beat a 10 ms deadline, got {outcome:?}"
+    );
+    let stats = rt.stats();
+    assert_eq!(
+        stats.regions_cancelled, 1,
+        "the deadline cancelled exactly one region"
+    );
+}
+
+#[test]
+fn deadline_leaves_fast_regions_alone() {
+    let rt = Runtime::with_threads(2);
+    let h = rt.submit_with_deadline(Duration::from_secs(60), |s| {
+        let acc = AtomicU64::new(0);
+        s.taskgroup(|s| {
+            for i in 0..100u64 {
+                let acc = &acc;
+                s.spawn(move |_| {
+                    acc.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        acc.load(Ordering::Relaxed)
+    });
+    assert_eq!(h.outcome().expect("far-off deadline must not fire"), 4950);
+}
+
+#[test]
+fn cancel_region_from_inside_a_task() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    let rt = Runtime::with_threads(4);
+    let before = TICKS.load(Ordering::Relaxed);
+    let h = rt.submit(|s| {
+        storm(s, 50, &TICKS);
+        // The 10_000th tick pulls the plug from within.
+        s.spawn(|s| {
+            s.cancel_region();
+            assert!(s.is_cancelled());
+        });
+        s.taskwait();
+    });
+    assert!(matches!(h.outcome(), Err(RegionError::Cancelled)));
+    assert!(TICKS.load(Ordering::Relaxed) > before, "the storm did run");
+}
+
+#[test]
+fn cancel_group_suppresses_members_but_region_completes() {
+    let rt = Runtime::with_threads(1);
+    let ran = AtomicU64::new(0);
+    let outside = AtomicU64::new(0);
+    let got = rt.parallel(|s| {
+        let (ran, outside) = (&ran, &outside);
+        s.taskgroup(|s| {
+            // Cancel before spawning the members: each spawn hits its
+            // cancellation point and is suppressed deterministically.
+            assert!(s.cancel_group(), "inside a taskgroup");
+            for _ in 0..100 {
+                s.spawn(move |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // The *region* is not cancelled: spawns outside the group run.
+        s.spawn(move |_| {
+            outside.fetch_add(1, Ordering::Relaxed);
+        });
+        s.taskwait();
+        11u32
+    });
+    assert_eq!(got, 11, "taskgroup cancel must not cancel the region");
+    assert_eq!(ran.load(Ordering::Relaxed), 0, "members were suppressed");
+    assert_eq!(outside.load(Ordering::Relaxed), 1);
+    // A later taskgroup on the same (pooled, re-armed) descriptor works.
+    let again = rt.parallel(|s| {
+        let acc = AtomicU64::new(0);
+        s.taskgroup(|s| {
+            let acc = &acc;
+            for _ in 0..10 {
+                s.spawn(move |_| {
+                    acc.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        acc.load(Ordering::Relaxed)
+    });
+    assert_eq!(again, 10, "group cancel flag must re-arm on lease");
+}
+
+#[test]
+fn join_on_cancelled_region_panics_with_typed_payload() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    let rt = Runtime::with_threads(2);
+    let h = rt.submit(|s| {
+        storm(s, 50, &TICKS);
+        s.taskwait();
+    });
+    h.cancel();
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.join()))
+        .expect_err("join on a cancelled region panics");
+    let err = panic
+        .downcast::<RegionError>()
+        .expect("the payload is the typed RegionError, not a string");
+    assert!(err.is_cancelled());
+}
+
+#[test]
+fn try_join_times_out_then_delivers() {
+    use std::sync::atomic::AtomicBool;
+    static GATE: AtomicBool = AtomicBool::new(false);
+    let rt = Runtime::with_threads(2);
+    let mut h = rt.submit(|_| {
+        while !GATE.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        5u64
+    });
+    assert!(
+        h.try_join(Duration::from_millis(20)).is_none(),
+        "a gated region cannot quiesce inside the timeout"
+    );
+    GATE.store(true, Ordering::Release);
+    let outcome = loop {
+        if let Some(o) = h.try_join(Duration::from_millis(50)) {
+            break o;
+        }
+    };
+    assert_eq!(outcome.expect("not cancelled"), 5);
+}
+
+#[test]
+fn try_submit_sheds_over_the_watermark() {
+    use std::sync::atomic::AtomicBool;
+    static GATE: AtomicBool = AtomicBool::new(false);
+    let rt = Runtime::new(RuntimeConfig::new(2).with_max_live_regions(2));
+    let occupying: Vec<_> = (0..2)
+        .map(|_| {
+            rt.submit(|_| {
+                while !GATE.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+    match rt.try_submit(|_| unreachable!("shed submissions never run")) {
+        Err(SubmitError::Shed { live, limit }) => {
+            assert_eq!(limit, 2);
+            assert!(live >= 2);
+        }
+        Ok(_) => panic!("the watermark must shed the third region"),
+    }
+    GATE.store(true, Ordering::Release);
+    for h in occupying {
+        h.outcome().expect("occupying regions complete");
+    }
+    // Below the watermark again: admitted.
+    rt.try_submit(|_| ())
+        .expect("room below the watermark")
+        .outcome()
+        .expect("admitted region completes");
+    assert!(rt.stats().submissions_shed >= 1);
+}
+
+#[test]
+fn infallible_submit_over_watermark_serialises_in_shed_mode() {
+    use std::sync::atomic::AtomicBool;
+    static GATE: AtomicBool = AtomicBool::new(false);
+    let rt = Runtime::new(RuntimeConfig::new(2).with_max_live_regions(1));
+    let occupying = rt.submit(|_| {
+        while !GATE.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+    });
+    // Over the watermark, but `submit` is infallible: the region is
+    // admitted in shed mode and its clause-free spawns serialise inline.
+    let h = rt.submit(|s| {
+        let acc = AtomicU64::new(0);
+        s.taskgroup(|s| {
+            let acc = &acc;
+            for i in 0..100u64 {
+                s.spawn(move |_| {
+                    acc.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        acc.load(Ordering::Relaxed)
+    });
+    let got = h.outcome().expect("shed mode degrades, it does not fail");
+    assert_eq!(got, 4950, "inline serialisation computes the same result");
+    GATE.store(true, Ordering::Release);
+    occupying.outcome().expect("occupying region completes");
+    let stats = rt.stats();
+    assert!(
+        stats.inlined_shed > 0,
+        "shed-mode spawns must have serialised inline: {stats}"
+    );
+    assert_eq!(stats.submissions_shed, 1);
+}
+
+#[test]
+fn on_complete_delivers_cancelled_outcome() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    let rt = Runtime::with_threads(2);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let h = rt.submit(|s| {
+        storm(s, 50, &TICKS);
+        s.taskwait();
+        9u8
+    });
+    h.cancel();
+    h.on_complete(move |outcome| {
+        tx.send(outcome.map_err(|e| e.is_cancelled())).unwrap();
+    });
+    assert_eq!(
+        rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+        Err(true),
+        "the detached callback observes the typed cancellation"
+    );
+}
+
+#[test]
+fn cancelled_dependency_tasks_still_release_successors() {
+    static OBJ: u8 = 0;
+    let rt = Runtime::with_threads(2);
+    let obj = &OBJ;
+    // A long WAW chain cancelled from its own second link: every deferred
+    // successor must still be released (skip-dispatched), or the region
+    // never quiesces and this test hangs.
+    let outcome = rt
+        .submit(move |s| {
+            let spin = std::time::Duration::from_micros(200);
+            s.task(move |_| {
+                let t0 = std::time::Instant::now();
+                while t0.elapsed() < spin {}
+            })
+            .after_write(obj)
+            .spawn();
+            s.task(move |s| s.cancel_region()).after_write(obj).spawn();
+            for _ in 0..500 {
+                s.task(move |_| {}).after_write(obj).spawn();
+            }
+        })
+        .outcome();
+    assert!(matches!(outcome, Err(RegionError::Cancelled)));
+    let stats = rt.stats();
+    assert_eq!(
+        stats.deps_deferred, stats.deps_released,
+        "every deferred task must be released despite the cancel: {stats}"
+    );
+    // The machinery is intact: a fresh dependency chain still orders.
+    let after = AtomicU64::new(0);
+    rt.parallel(|s| {
+        let after = &after;
+        for _ in 0..10 {
+            s.task(move |_| {
+                after.fetch_add(1, Ordering::Relaxed);
+            })
+            .after_write(obj)
+            .spawn();
+        }
+    });
+    assert_eq!(after.load(Ordering::Relaxed), 10);
+}
+
+#[test]
+fn parallel_for_generators_stop_on_cancel() {
+    let rt = Runtime::with_threads(1);
+    let ran = AtomicU64::new(0);
+    // One thread → one generator chunk → deterministic: the first body
+    // cancels the region, the generator's very next iteration breaks.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.parallel(|s| {
+            let ran = &ran;
+            s.parallel_for(0..1_000_000, move |_, s| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                s.cancel_region();
+            });
+        })
+    }));
+    // parallel() == submit().join(): the cancelled region surfaces as the
+    // typed panic payload.
+    let err = outcome
+        .expect_err("cancelled parallel() panics")
+        .downcast::<RegionError>()
+        .expect("typed payload");
+    assert!(err.is_cancelled());
+    assert_eq!(
+        ran.load(Ordering::Relaxed),
+        1,
+        "the generator must stop at its first cancellation point"
+    );
+}
+
+#[test]
+fn region_stats_attribute_cancellation() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    let rt = Runtime::with_threads(4);
+    let mut h = rt.submit(|s| {
+        storm(s, 50, &TICKS);
+        s.taskwait();
+    });
+    while TICKS.load(Ordering::Relaxed) < 5_000 {
+        std::hint::spin_loop();
+    }
+    h.cancel();
+    let outcome = loop {
+        if let Some(o) = h.try_join(Duration::from_millis(50)) {
+            break o;
+        }
+    };
+    assert!(matches!(outcome, Err(RegionError::Cancelled)));
+    // Final per-region snapshot, still answering after the lease returned.
+    let stats = h.stats();
+    assert!(stats.cancelled, "the region-level flag is reported");
+    assert!(
+        stats.skipped_tasks > 0,
+        "a deep cancel must have skipped queued tasks: {stats:?}"
+    );
+    assert_eq!(stats.shed, 0, "no watermark configured");
+}
+
+#[test]
+fn future_poll_on_cancelled_region_panics_typed() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    let rt = Runtime::with_threads(2);
+    let h = rt.submit(|s| {
+        storm(s, 50, &TICKS);
+        s.taskwait();
+    });
+    h.cancel();
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| common::block_on(h)))
+        .expect_err("awaiting a cancelled region panics");
+    assert!(panic
+        .downcast::<RegionError>()
+        .expect("typed payload")
+        .is_cancelled());
+}

@@ -1,0 +1,191 @@
+//! Property test for cancellation robustness: random task graphs — spawn
+//! storms, taskgroups, dependency chains, budgeted regions — cancelled at a
+//! random point in their execution, under the counting allocator. The
+//! invariants, whatever the interleaving:
+//!
+//! * **exactly-once completion-or-cancel** — every spawn attempt is either
+//!   executed once or skipped once, never both, never lost:
+//!   `attempts == ticks + skipped_tasks` per region;
+//! * **typed outcome** — a region reports `Ok` exactly when it was not
+//!   cancelled; budget serialisation stays zero for unbudgeted regions and
+//!   shed stays zero without a watermark;
+//! * **lease == wait accounting** — every taskgroup descriptor leased is
+//!   waited exactly once, and every dependency-deferred task is released
+//!   exactly once, cancelled or not;
+//! * **zero live-bytes leak** — after the team is dropped, heap occupancy
+//!   returns exactly to its pre-team baseline: cancelled regions reclaim
+//!   every record, descriptor and dep block they ever held.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use bots_profile::current_bytes;
+use bots_runtime::{RegionBudget, RegionError, Runtime, RuntimeConfig, Scope};
+use proptest::prelude::*;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+/// Allocator readings are process-global; serialise the tests in this
+/// binary (libtest runs them on concurrent threads).
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Test-side ledger, statics so worker-run closures are `'static` without
+/// owning allocations: spawn attempts made, task bodies actually run.
+static ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+static TICKS: AtomicU64 = AtomicU64::new(0);
+/// Dependency-chain addresses (the tracker keys on the address only).
+static DEP_CHAIN: AtomicU64 = AtomicU64::new(0);
+static DEP_SINK: AtomicU64 = AtomicU64::new(0);
+
+fn spawn_counted(s: &Scope<'_>, depth: u32) {
+    ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+    s.spawn(move |s| {
+        TICKS.fetch_add(1, Ordering::Relaxed);
+        storm(s, depth);
+    });
+}
+
+/// A binary spawn storm with cancellation points at every level.
+fn storm(s: &Scope<'_>, depth: u32) {
+    if depth == 0 || s.is_cancelled() {
+        return;
+    }
+    for _ in 0..2 {
+        spawn_counted(s, depth - 1);
+    }
+}
+
+/// One region body mixing the shapes: a storm, a taskgroup of leaf
+/// members, and a dependency chain fanning writer → reader pairs.
+fn region_body(s: &Scope<'_>, depth: u32, members: u32, links: u32, token: u64) -> u64 {
+    storm(s, depth);
+    s.taskgroup(|s| {
+        for _ in 0..members {
+            ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+            s.spawn(|_| {
+                TICKS.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    for _ in 0..links {
+        ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+        s.task(|_| {
+            TICKS.fetch_add(1, Ordering::Relaxed);
+        })
+        .after_write(&DEP_CHAIN)
+        .spawn();
+        ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+        s.task(|_| {
+            TICKS.fetch_add(1, Ordering::Relaxed);
+        })
+        .after_read(&DEP_CHAIN)
+        .after_write(&DEP_SINK)
+        .spawn();
+    }
+    s.taskwait();
+    token
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cancelled_graphs_balance_their_books(
+        workers in 1usize..5,
+        regions in 1u64..5,
+        depth in 2u32..8,
+        members in 0u32..24,
+        links in 0u32..16,
+        cancel_after in 0u64..1500,
+        budgeted in any::<bool>(),
+    ) {
+        let _serial = exclusive();
+
+        // Warm process-level one-time allocations (thread bootstrap,
+        // lazy synchronisation primitives) out of the leak window.
+        drop(Runtime::with_threads(workers));
+        let baseline = current_bytes();
+        {
+            let rt = Runtime::new(RuntimeConfig::new(workers));
+            let budget = if budgeted {
+                RegionBudget::MaxQueued(2)
+            } else {
+                RegionBudget::Inherit
+            };
+
+            for token in 0..regions {
+                let attempts0 = ATTEMPTS.load(Ordering::Relaxed);
+                let ticks0 = TICKS.load(Ordering::Relaxed);
+                let mut h = rt.submit_with_budget(budget, move |s| {
+                    region_body(s, depth, members, links, token)
+                });
+                // Cancel at a random point of the region's progress — which
+                // may be before it starts, mid-storm, or (when the graph is
+                // smaller than the threshold) after it already quiesced.
+                while TICKS.load(Ordering::Relaxed) - ticks0 < cancel_after && !h.is_finished() {
+                    std::hint::spin_loop();
+                }
+                h.cancel();
+                let outcome = loop {
+                    if let Some(o) = h.try_join(Duration::from_millis(50)) {
+                        break o;
+                    }
+                };
+                let stats = h.stats();
+
+                // Exactly-once completion-or-cancel: every attempt either
+                // ran (tick) or was skipped with bookkeeping, never both.
+                let attempts = ATTEMPTS.load(Ordering::Relaxed) - attempts0;
+                let ticks = TICKS.load(Ordering::Relaxed) - ticks0;
+                prop_assert_eq!(
+                    attempts,
+                    ticks + stats.skipped_tasks,
+                    "attempts {} != ticks {} + skipped {} (cancelled={})",
+                    attempts, ticks, stats.skipped_tasks, stats.cancelled
+                );
+
+                // Typed outcome ⟺ the region-level cancel flag.
+                match outcome {
+                    Ok(value) => {
+                        prop_assert_eq!(value, token);
+                        prop_assert!(!stats.cancelled);
+                        prop_assert_eq!(stats.skipped_tasks, 0);
+                    }
+                    Err(RegionError::Cancelled) => prop_assert!(stats.cancelled),
+                    Err(RegionError::Panicked(_)) => prop_assert!(false, "no task panics here"),
+                }
+                prop_assert_eq!(stats.shed, 0, "no watermark configured");
+                if !budgeted {
+                    prop_assert_eq!(stats.serialized, 0, "unbudgeted region serialised");
+                }
+            }
+
+            // Lease == wait accounting, cancelled or not: every taskgroup
+            // descriptor waited exactly once, every deferred dep released
+            // exactly once.
+            let totals = rt.stats();
+            prop_assert_eq!(
+                totals.groups_fresh + totals.groups_recycled,
+                totals.group_waits,
+                "taskgroup leases must match group waits"
+            );
+            prop_assert_eq!(
+                totals.deps_deferred, totals.deps_released,
+                "every deferred task must be released exactly once"
+            );
+        }
+        // Zero live-bytes leak: the team, its slabs, descriptors and dep
+        // pools all gone — cancellation reclaimed everything it touched.
+        prop_assert_eq!(
+            current_bytes(),
+            baseline,
+            "cancelled regions leaked live heap bytes"
+        );
+    }
+}

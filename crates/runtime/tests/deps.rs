@@ -279,3 +279,54 @@ fn dep_stats_balance() {
     // faster than it executes, most of the rest defer.
     assert!(d.deps_deferred > 0, "a 100-link chain must defer somewhere");
 }
+
+/// Regression for the former `MAX_TASK_DEPS == 8` panic: a task may now
+/// declare arbitrarily many clauses — the builder spills past the inline
+/// array into a pooled overflow list. A 16-wide fan-in (15 reads + the
+/// producers' writes) must observe every producer, and the wide task's own
+/// write must still order a successor after it.
+#[test]
+fn more_than_max_task_deps_clauses_spill_and_order() {
+    let rt = Runtime::with_threads(4);
+    let sources = [0u8; 15];
+    let sink = 0u8;
+    for _ in 0..20 {
+        let produced = AtomicU64::new(0);
+        let observed = AtomicU64::new(u64::MAX);
+        let after = AtomicU64::new(u64::MAX);
+        rt.parallel(|s| {
+            let (sources, sink) = (&sources, &sink);
+            let (produced, observed, after) = (&produced, &observed, &after);
+            for src in sources {
+                s.task(move |_| {
+                    produced.fetch_add(1, Ordering::Relaxed);
+                })
+                .after_write(src)
+                .spawn();
+            }
+            // 15 reads + 1 write = 16 clauses: double the old inline cap.
+            let mut wide = s.task(move |_| {
+                observed.store(produced.load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+            for src in sources {
+                wide = wide.after_read(src);
+            }
+            wide.after_write(sink).spawn();
+            s.task(move |_| {
+                after.store(observed.load(Ordering::Relaxed), Ordering::Relaxed);
+            })
+            .after_read(sink)
+            .spawn();
+        });
+        assert_eq!(
+            observed.load(Ordering::Relaxed),
+            15,
+            "the 16-clause task must run after every producer"
+        );
+        assert_eq!(
+            after.load(Ordering::Relaxed),
+            15,
+            "the successor must run after the 16-clause task"
+        );
+    }
+}

@@ -230,6 +230,116 @@ pub fn verify_overlapping_where(
     outcomes
 }
 
+/// Outcome of a cancellation/deadline spawn-storm integrity row.
+#[derive(Debug, Clone)]
+pub struct StormOutcome {
+    /// Did the region report [`bots_runtime::RegionError::Cancelled`]? A
+    /// storm deep enough to be effectively unbounded must.
+    pub cancelled: bool,
+    /// Queued tasks whose bodies were skipped by the drain (suppressed
+    /// spawns included). A mid-flight cancel of a deep storm skips > 0.
+    pub skipped_tasks: u64,
+    /// Dispatches the region saw, the root included (skip-dispatches
+    /// count): `1` means the cancel landed before the storm ever started —
+    /// there was nothing to drain, which on a saturated team is a
+    /// legitimate deadline outcome, not a drain failure.
+    pub executed: u64,
+    /// Submit → quiescence, whole row.
+    pub elapsed: Duration,
+    /// Cancel signal (or deadline expiry) → observed quiescence: the
+    /// latency the cancellation machinery itself answers for.
+    pub cancel_latency: Duration,
+}
+
+impl StormOutcome {
+    /// The row passes when the storm was actually cancelled mid-flight
+    /// (typed outcome + a non-empty drain) and the team survived.
+    pub fn verified(&self) -> Result<(), String> {
+        if !self.cancelled {
+            return Err("storm region quiesced without reporting Cancelled".into());
+        }
+        if self.skipped_tasks == 0 && self.executed > 1 {
+            return Err(format!(
+                "storm ran {} tasks yet the drain skipped none — cancellation never engaged",
+                self.executed
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// An effectively unbounded binary spawn storm (2^depth tasks): only a
+/// cancellation point can bring it to quiescence in test time.
+fn storm_task(s: &bots_runtime::Scope<'_>, depth: u32) {
+    if depth == 0 || s.is_cancelled() {
+        return;
+    }
+    for _ in 0..2 {
+        s.spawn(move |s| storm_task(s, depth - 1));
+    }
+}
+
+const STORM_DEPTH: u32 = 50;
+
+/// Drives the try_join loop after a cancel signal and folds the result
+/// into a [`StormOutcome`].
+fn drain_storm(
+    mut handle: bots_runtime::RegionHandle<'_, ()>,
+    t0: std::time::Instant,
+    signalled: std::time::Instant,
+) -> StormOutcome {
+    let outcome = loop {
+        if let Some(o) = handle.try_join(Duration::from_millis(20)) {
+            break o;
+        }
+    };
+    let cancel_latency = signalled.elapsed();
+    let stats = handle.stats();
+    StormOutcome {
+        cancelled: matches!(outcome, Err(bots_runtime::RegionError::Cancelled)),
+        skipped_tasks: stats.skipped_tasks,
+        executed: stats.executed,
+        elapsed: t0.elapsed(),
+        cancel_latency,
+    }
+}
+
+/// The `bots check --cancel-after <ms>` row: submits an unbounded spawn
+/// storm on `rt` (overlap-safe: other regions may be in flight on the same
+/// team), cancels it after `after` of wall clock, and measures the drain
+/// to quiescence.
+pub fn cancel_storm(rt: &Runtime, after: Duration) -> StormOutcome {
+    let t0 = std::time::Instant::now();
+    let handle = rt.submit(|s| {
+        storm_task(s, STORM_DEPTH);
+        s.taskwait();
+    });
+    std::thread::sleep(after);
+    handle.cancel();
+    drain_storm(handle, t0, std::time::Instant::now())
+}
+
+/// The `bots check --deadline <ms>` row: like [`cancel_storm`] but nobody
+/// calls cancel — the region's armed deadline must fire on the workers'
+/// coarse clock and drain the storm on its own.
+pub fn deadline_storm(rt: &Runtime, deadline: Duration) -> StormOutcome {
+    let t0 = std::time::Instant::now();
+    let handle = rt.submit_with_deadline(deadline, |s| {
+        storm_task(s, STORM_DEPTH);
+        s.taskwait();
+    });
+    // The drain may begin any time after the deadline; latency is measured
+    // from the instant the deadline armed itself to fire.
+    let signalled = t0 + deadline;
+    let outcome = drain_storm(handle, t0, std::time::Instant::now());
+    StormOutcome {
+        cancel_latency: outcome
+            .elapsed
+            .saturating_sub(signalled.saturating_duration_since(t0)),
+        ..outcome
+    }
+}
+
 /// The default ladder of team sizes used by the figures: 1, 2, 4, 8, ... up
 /// to the machine (the paper uses 1..32 on its 32-cpu cpuset).
 pub fn default_thread_ladder() -> Vec<usize> {
@@ -287,6 +397,17 @@ mod tests {
             output: RunOutput::with_work(0, 2000, ""),
         };
         assert!((speedup(&s, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storm_rows_cancel_and_drain() {
+        let rt = Runtime::new(RuntimeConfig::new(2));
+        let o = cancel_storm(&rt, Duration::from_millis(5));
+        assert!(o.verified().is_ok(), "explicit cancel row failed: {o:?}");
+        let o = deadline_storm(&rt, Duration::from_millis(5));
+        assert!(o.verified().is_ok(), "deadline row failed: {o:?}");
+        // The team survives its storms: an ordinary region still works.
+        assert_eq!(rt.parallel(|_| 3u32), 3);
     }
 
     #[test]

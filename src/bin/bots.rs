@@ -23,7 +23,8 @@ use bots::{find_benchmark, registry, InputClass, Runtime, RuntimeConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bots list\n  bots versions <app>\n  bots run <app> [flags]\n  \
-         bots check [--class C] [--threads N] [--budget B] [--deps]\n\nflags:\n  \
+         bots check [--class C] [--threads N] [--budget B] [--deps]\n             \
+         [--cancel-after MS] [--deadline MS]\n\nflags:\n  \
          --class test|small|medium|large   input class (default medium)\n  \
          --version LABEL                   version label (default: best; see `bots versions`)\n  \
          --threads N                       team size (default: machine)\n  \
@@ -31,6 +32,10 @@ fn usage() -> ExitCode {
                                     at most B of its own tasks before spawning serially\n  \
          --deps                            check: verify only the dependency-driven (deps-*)\n  \
                                     versions — the data-flow integrity job\n  \
+         --cancel-after MS                 check: add a spawn-storm row cancelled after MS ms;\n  \
+                                    the row passes when the storm drains to quiescence\n  \
+         --deadline MS                     check: add a spawn-storm row submitted with an MS-ms\n  \
+                                    deadline, cancelled by the workers' coarse clock\n  \
          --reps R                          repetitions, median reported (default 1)\n  \
          --serial                          run the sequential reference instead\n  \
          --check                           verify the output (default on; --no-check disables)\n  \
@@ -85,6 +90,8 @@ fn check_command(args: &[String]) -> ExitCode {
     let mut threads = bots::runtime::default_threads();
     let mut budget = RegionBudget::Inherit;
     let mut deps_only = false;
+    let mut cancel_after: Option<u64> = None;
+    let mut deadline: Option<u64> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -116,6 +123,20 @@ fn check_command(args: &[String]) -> ExitCode {
                 }
             },
             "--deps" => deps_only = true,
+            "--cancel-after" => match value().parse::<u64>() {
+                Ok(ms) if ms >= 1 => cancel_after = Some(ms),
+                _ => {
+                    eprintln!("--cancel-after wants a positive number of milliseconds");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deadline" => match value().parse::<u64>() {
+                Ok(ms) if ms >= 1 => deadline = Some(ms),
+                _ => {
+                    eprintln!("--deadline wants a positive number of milliseconds");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -132,8 +153,28 @@ fn check_command(args: &[String]) -> ExitCode {
     // --deps narrows the sweep to the dependency-driven versions: the
     // data-flow integrity job, cross-verifying every deps-* kernel against
     // its serial reference while the rows overlap on one team.
-    let outcomes = runner::verify_overlapping_where(&benches, &rt, class, |v| {
-        !deps_only || v.generator == bots::suite::Generator::Deps
+    //
+    // The storm rows run *concurrently* with the kernel rows on the same
+    // team: cancelling an unbounded storm must drain cleanly while real
+    // regions are in flight, and must not perturb a single checksum.
+    let (outcomes, storm_rows) = std::thread::scope(|sc| {
+        let rt = &rt;
+        let storms = sc.spawn(move || {
+            let mut rows: Vec<(String, runner::StormOutcome)> = Vec::new();
+            if let Some(ms) = cancel_after {
+                let o = runner::cancel_storm(rt, std::time::Duration::from_millis(ms));
+                rows.push((format!("cancel-after-{ms}ms"), o));
+            }
+            if let Some(ms) = deadline {
+                let o = runner::deadline_storm(rt, std::time::Duration::from_millis(ms));
+                rows.push((format!("deadline-{ms}ms"), o));
+            }
+            rows
+        });
+        let outcomes = runner::verify_overlapping_where(&benches, rt, class, |v| {
+            !deps_only || v.generator == bots::suite::Generator::Deps
+        });
+        (outcomes, storms.join().expect("storm rows panicked"))
     });
     let elapsed = t0.elapsed();
     if deps_only && outcomes.is_empty() {
@@ -153,6 +194,20 @@ fn check_command(args: &[String]) -> ExitCode {
         }
         if slowest.is_none_or(|s| o.elapsed > s.elapsed) {
             slowest = Some(o);
+        }
+    }
+    for (label, o) in &storm_rows {
+        match o.verified() {
+            Ok(()) => println!(
+                "ok      {:<10} {label} — {} tasks skipped, quiescent {:.3} ms after the signal",
+                "storm",
+                o.skipped_tasks,
+                o.cancel_latency.as_secs_f64() * 1e3
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("FAILED  {:<10} {label} — {e}", "storm");
+            }
         }
     }
     let budget_note = match budget {
