@@ -18,7 +18,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bots::sparselu::{sparselu_parallel, BlockMatrix, LuGenerator};
+use bots::sparselu::{sparselu_parallel, sparselu_parallel_replay, BlockMatrix, LuGenerator};
 use bots::Runtime;
 use bots_bench::perf::Report;
 use bots_profile::alloc_calls;
@@ -41,6 +41,22 @@ static FAN_OBJS: [AtomicU64; 8] = [
 /// One region: a WAW chain of `batch` tasks. Edges: `batch - 1`.
 fn chain(rt: &Runtime, batch: u64) {
     rt.parallel(|s| {
+        for i in 0..batch {
+            s.task(move |_| {
+                CHAIN_OBJ.store(i, Ordering::Relaxed);
+            })
+            .after_write(&CHAIN_OBJ)
+            .spawn();
+        }
+    });
+    assert_eq!(CHAIN_OBJ.load(Ordering::Relaxed), batch - 1);
+}
+
+/// The same WAW chain as [`chain`], submitted under a replay shape token:
+/// the first call records the graph, later calls re-execute it with zero
+/// tracker traffic.
+fn chain_replay(rt: &Runtime, batch: u64, token: u64) {
+    rt.parallel_replay(token, |s| {
         for i in 0..batch {
             s.task(move |_| {
                 CHAIN_OBJ.store(i, Ordering::Relaxed);
@@ -189,4 +205,95 @@ fn main() {
     report.push("sparselu_deps_over_barrier", ratio);
 
     report.maybe_emit();
+
+    // ---- record-and-replay: the same chain, warm-replayed ----
+    //
+    // Its own report (`BENCH_replay.json`): `replay_over_live` is the
+    // gated payoff metric — warm replayed ns/edge over live ns/edge on
+    // one thread, where nothing overlaps and the ratio is pure
+    // registration cost. `allocs_per_kedge_replay` holds the warm replay
+    // path to the zero-allocation line, and the sparselu ratio is the
+    // whole-kernel (informational) view.
+    let mut replay_report = Report::new("replay");
+    println!("\nreplay: batch={batch} reps={reps}");
+    println!(
+        "{:>7} {:>13} {:>15} {:>15} {:>15}",
+        "threads", "ns/edge(live)", "ns/edge(replay)", "replay/live", "allocs/kedge"
+    );
+    let mut worst_allocs_per_kedge = 0.0f64;
+    for threads in [1usize, 4] {
+        const TOKEN: u64 = 0xC8A1;
+        let rt = Runtime::with_threads(threads);
+        for _ in 0..8 {
+            chain(&rt, batch);
+        }
+        let mut live_ns = Vec::new();
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            chain(&rt, batch);
+            live_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+        // Record once, then settle so cross-thread record reclaim drains
+        // out of the measured windows.
+        for _ in 0..4 {
+            chain_replay(&rt, batch, TOKEN);
+        }
+        let before = rt.stats();
+        let mut rep_ns = Vec::new();
+        let mut window_allocs = Vec::new();
+        for _ in 0..reps {
+            let allocs_before = alloc_calls();
+            let t0 = std::time::Instant::now();
+            chain_replay(&rt, batch, TOKEN);
+            rep_ns.push(t0.elapsed().as_nanos() as f64);
+            window_allocs.push(alloc_calls() - allocs_before);
+        }
+        let d = rt.stats().since(&before);
+        assert_eq!(d.replays_hit, reps, "every measured run must replay");
+        assert_eq!(d.replays_diverged, 0, "the shape never changes");
+        assert_eq!(
+            d.deps_registered, 0,
+            "a warm replay must touch no tracker state"
+        );
+
+        let chain_edges = (batch - 1) as f64;
+        live_ns.sort_by(|a, b| a.total_cmp(b));
+        rep_ns.sort_by(|a, b| a.total_cmp(b));
+        let ns_live = live_ns[live_ns.len() / 2] / chain_edges;
+        let ns_replay = rep_ns[rep_ns.len() / 2] / chain_edges;
+        let allocs_per_kedge = *window_allocs.iter().min().unwrap() as f64 / (chain_edges / 1000.0);
+        worst_allocs_per_kedge = worst_allocs_per_kedge.max(allocs_per_kedge);
+        println!(
+            "{:>7} {:>13.1} {:>15.1} {:>15.3} {:>15.3}",
+            threads,
+            ns_live,
+            ns_replay,
+            ns_replay / ns_live,
+            allocs_per_kedge
+        );
+        replay_report.push(format!("ns_per_edge_replay_t{threads}"), ns_replay);
+        if threads == 1 {
+            replay_report.push("replay_over_live", ns_replay / ns_live);
+        }
+    }
+    replay_report.push("allocs_per_kedge_replay", worst_allocs_per_kedge);
+
+    // Whole-kernel view: SparseLU deps replayed vs live on the default
+    // team (informational — the matrix is small and the ratio noisy).
+    let warm = BlockMatrix::generate(nb, bs, 7);
+    sparselu_parallel_replay(&rt, &warm, 0x51, false);
+    let mut pool: Vec<BlockMatrix> = (0..5).map(|_| BlockMatrix::generate(nb, bs, 7)).collect();
+    let replay_ms = median_ms(5, || {
+        let m = pool.pop().expect("one pre-built matrix per rep");
+        sparselu_parallel_replay(&rt, &m, 0x51, false);
+    });
+    let lu_ratio = replay_ms / deps_ms;
+    println!(
+        "sparselu {nb}x{nb} blocks of {bs}x{bs}: live deps {deps_ms:.2} ms, \
+         replayed {replay_ms:.2} ms (ratio {lu_ratio:.3})"
+    );
+    replay_report.push("sparselu_replay_ms", replay_ms);
+    replay_report.push("sparselu_replay_over_live", lu_ratio);
+
+    replay_report.maybe_emit();
 }

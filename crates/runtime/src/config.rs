@@ -139,6 +139,13 @@ pub struct RuntimeConfig {
     /// serialise inline, bounding the queue footprint of overload instead
     /// of growing it.
     pub max_live_regions: usize,
+    /// Capacity of the record-and-replay graph cache (frozen dependency
+    /// DAGs keyed by shape token — see
+    /// [`Runtime::submit_replay`](crate::Runtime::submit_replay)).
+    /// Admitting a token past capacity evicts the least-recently-armed
+    /// cached graph (tokens whose graph is currently leased out or still
+    /// recording are never evicted). Floors at 1.
+    pub replay_cache: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -154,6 +161,7 @@ impl Default for RuntimeConfig {
             spin_before_park: 64,
             record_chunk: 64,
             max_live_regions: 0,
+            replay_cache: 64,
         }
     }
 }
@@ -231,6 +239,13 @@ impl RuntimeConfig {
         self.max_live_regions = regions;
         self
     }
+
+    /// Sets the replay graph-cache capacity (floors at one graph). See
+    /// [`RuntimeConfig::replay_cache`].
+    pub fn with_replay_cache(mut self, graphs: usize) -> Self {
+        self.replay_cache = graphs.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +262,7 @@ mod tests {
         assert!(c.enforce_tied_constraint);
         assert!(c.wake_propagation);
         assert_eq!(c.max_live_regions, 0, "shedding is opt-in");
+        assert_eq!(c.replay_cache, 64);
     }
 
     #[test]
@@ -271,6 +287,10 @@ mod tests {
         assert_eq!(c.record_chunk, 256);
         let c = c.with_max_live_regions(7);
         assert_eq!(c.max_live_regions, 7);
+        let c = c.with_replay_cache(0);
+        assert_eq!(c.replay_cache, 1, "cache capacity floors at one graph");
+        let c = c.with_replay_cache(16);
+        assert_eq!(c.replay_cache, 16);
     }
 
     #[test]

@@ -164,6 +164,9 @@ pub(crate) struct DepBlock {
     /// The task to enqueue when `pending` drains. Valid until the task
     /// executes, which cannot happen before the release that reads it.
     rec: Cell<*mut TaskRecord>,
+    /// Frozen-graph index while a recording is in flight (set under the
+    /// map mutex by the recording registration; meaningless otherwise).
+    idx: Cell<u32>,
 }
 
 impl Default for DepBlock {
@@ -174,6 +177,7 @@ impl Default for DepBlock {
             pending: AtomicUsize::new(0),
             succ: AtomicPtr::new(std::ptr::null_mut()),
             rec: Cell::new(std::ptr::null_mut()),
+            idx: Cell::new(0),
         }
     }
 }
@@ -394,14 +398,50 @@ impl DepTracker {
     /// `rec` must be a live, initialised, *unpublished* record (no queue
     /// holds it yet) with its closure already stored.
     pub(crate) unsafe fn register(&self, rec: NonNull<TaskRecord>, deps: &[DepClause]) -> bool {
+        self.register_inner(rec, deps, None)
+    }
+
+    /// [`register`](Self::register), additionally mirroring the task and
+    /// its *logical* edges into `recorder` (the region is executing its
+    /// first run under a replay token — see [`crate::replay`]). Recorded
+    /// under the map mutex so frozen indices follow the total registration
+    /// order, which is what keeps every frozen edge pointing from a lower
+    /// index to a higher one.
+    ///
+    /// # Safety
+    /// As [`register`](Self::register); additionally every clause-carrying
+    /// task of the region must register through this variant while the
+    /// recording is in flight (edges are recorded against predecessor
+    /// blocks' indices, which only this path assigns).
+    pub(crate) unsafe fn register_recording(
+        &self,
+        rec: NonNull<TaskRecord>,
+        deps: &[DepClause],
+        recorder: &mut crate::replay::GraphRecorder,
+    ) -> bool {
+        self.register_inner(rec, deps, Some(recorder))
+    }
+
+    unsafe fn register_inner(
+        &self,
+        rec: NonNull<TaskRecord>,
+        deps: &[DepClause],
+        mut sink: Option<&mut crate::replay::GraphRecorder>,
+    ) -> bool {
         debug_assert!(!deps.is_empty());
         let block;
         {
             let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
             block = self.alloc_block(rec);
+            if let Some(r) = sink.as_deref_mut() {
+                block.as_ref().idx.set(r.begin_task());
+                for clause in deps {
+                    r.clause(clause);
+                }
+            }
             rec.as_ref().set_dep_state(block.cast());
             for clause in deps {
-                self.apply(&mut map, block, clause);
+                self.apply(&mut map, block, clause, sink.as_deref_mut());
             }
         }
         // Drop the registration guard outside the lock. Release/Acquire
@@ -520,14 +560,26 @@ impl DepTracker {
     }
 
     /// Applies one clause: order this task after the entry's predecessors,
-    /// then update the entry's writer/reader state.
+    /// then update the entry's writer/reader state. When a recording is in
+    /// flight (`sink`), every *logical* edge is mirrored into it — at the
+    /// [`edge`](Self::edge) call sites, not after the CLOSED check inside:
+    /// an edge to an already-retired predecessor is a timing no-op live,
+    /// but the frozen graph captures logical dependence, and in replay the
+    /// predecessor's retire really does decrement it.
     ///
     /// # Safety
     /// Caller must hold the map mutex (`map` is its guard's contents).
-    unsafe fn apply(&self, map: &mut AddrMap, block: NonNull<DepBlock>, clause: &DepClause) {
+    unsafe fn apply(
+        &self,
+        map: &mut AddrMap,
+        block: NonNull<DepBlock>,
+        clause: &DepClause,
+        mut sink: Option<&mut crate::replay::GraphRecorder>,
+    ) {
         let entry = self.lookup_or_insert(map, clause.addr);
         let e = unsafe { entry.as_ref() };
         let me = block.as_ptr();
+        let my_idx = block.as_ref().idx.get();
         match clause.access {
             DepAccess::Read => {
                 let w = e.writer.get();
@@ -537,6 +589,9 @@ impl DepTracker {
                     return;
                 }
                 if !w.is_null() {
+                    if let Some(r) = sink.as_deref_mut() {
+                        r.edge(unsafe { &*w }.idx.get(), my_idx);
+                    }
                     self.edge(unsafe { &*w }, block);
                 }
                 let node = self.nodes.alloc();
@@ -554,6 +609,9 @@ impl DepTracker {
                     return;
                 }
                 if !w.is_null() {
+                    if let Some(rec) = sink.as_deref_mut() {
+                        rec.edge(unsafe { &*w }.idx.get(), my_idx);
+                    }
                     self.edge(unsafe { &*w }, block);
                     if let Some(dead) = Self::unref_block(w) {
                         self.blocks.free_local(dead);
@@ -567,6 +625,9 @@ impl DepTracker {
                     r = n.next.load(Ordering::Relaxed);
                     let rb = n.block.get();
                     if rb != me {
+                        if let Some(rec) = sink.as_deref_mut() {
+                            rec.edge(unsafe { &*rb }.idx.get(), my_idx);
+                        }
                         self.edge(unsafe { &*rb }, block);
                     }
                     if let Some(dead) = Self::unref_block(rb) {

@@ -77,7 +77,7 @@ mod imp {
     /// Every site name compiled into the runtime (the `bots_failpoint!`
     /// call sites). Kept next to the registry so [`prewarm`] and the CI
     /// coverage test agree on the full set.
-    pub const SITES: [&str; 8] = [
+    pub const SITES: [&str; 10] = [
         "injector_push",
         "injector_pop",
         "steal",
@@ -86,6 +86,8 @@ mod imp {
         "slab_drain",
         "group_leave",
         "dep_retire",
+        "replay_freeze",
+        "replay_diverge",
     ];
 
     /// What an armed site does when hit.

@@ -86,6 +86,7 @@ use crate::group::{Group, GroupPool};
 use crate::injector::Injector;
 use crate::local::CacheAligned;
 use crate::region::{Completion, Region, RegionPool, RegionStats};
+use crate::replay::{self, ArmOutcome, FrozenGraph, GraphCache};
 use crate::rng::XorShift64;
 use crate::scope::Scope;
 use crate::slab::{AllocSource, RecordSlab};
@@ -171,6 +172,20 @@ pub(crate) struct Shared {
     /// serialising shed mode — because the in-flight region watermark was
     /// exceeded.
     pub(crate) submissions_shed: AtomicU64,
+    /// Frozen dependency DAGs keyed by shape token (see
+    /// [`Runtime::submit_replay`]); the cache doubles as the graphs' pool —
+    /// a warm replay leases the graph out and returns it at finish, so the
+    /// replay path itself allocates nothing.
+    pub(crate) replay_cache: GraphCache,
+    /// Replay-token submits that recorded (and froze) a new graph.
+    pub(crate) replays_recorded: AtomicU64,
+    /// Replay-token submits served entirely off a frozen graph.
+    pub(crate) replays_hit: AtomicU64,
+    /// Replays that diverged from their recording and fell back to live
+    /// registration (the cached graph is invalidated).
+    pub(crate) replays_diverged: AtomicU64,
+    /// Cached graphs evicted to admit a new token past capacity.
+    pub(crate) graphs_evicted: AtomicU64,
 }
 
 // Safety: `Shared` is shared across worker threads by design. The raw task
@@ -374,6 +389,50 @@ impl Shared {
             self.live_regions.fetch_sub(1, Ordering::Release);
         }
         self.progress.notify();
+    }
+
+    /// Settles a region's replay state at finish time (post-quiescence,
+    /// sole-finisher exclusivity; called from `finish_lease` before the
+    /// lease is returned): freezes and deposits a finished recording,
+    /// returns a cleanly-replayed graph to the cache, and invalidates the
+    /// token after a divergence or a cancelled recording.
+    fn replay_finish(&self, region: &Region, cancelled: bool) {
+        let rp = region.replay();
+        match rp.mode() {
+            replay::MODE_RECORDING => {
+                let token = rp.token();
+                match rp.take_recorder() {
+                    // A cancelled recording suppressed spawns: the recorded
+                    // shape is truncated, not the region's — drop the
+                    // placeholder so the next submit records afresh.
+                    Some(_) if cancelled => self.replay_cache.invalidate(token),
+                    Some(recorder) => {
+                        crate::bots_failpoint!("replay_freeze");
+                        self.replay_cache
+                            .deposit(token, FrozenGraph::freeze(*recorder));
+                        self.replays_recorded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => self.replay_cache.invalidate(token),
+                }
+            }
+            replay::MODE_REPLAYING => {
+                // Cancelled replays still count as hits: every dispatched
+                // task retired through the frozen slots, so the graph's
+                // per-execution state is clean and re-armable.
+                if let Some(graph) = rp.take_graph() {
+                    self.replay_cache.give_back(rp.token(), graph);
+                }
+                self.replays_hit.fetch_add(1, Ordering::Relaxed);
+            }
+            replay::MODE_DIVERGED => {
+                // The recording no longer describes this token's shape:
+                // drop the leased graph and the cache entry with it.
+                drop(rp.take_graph());
+                self.replay_cache.invalidate(rp.token());
+                self.replays_diverged.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
     }
 }
 
@@ -620,14 +679,41 @@ impl WorkerCtx {
         if r.parent().is_some() {
             if let Some(state) = r.take_dep_state() {
                 let region = region.expect("dependency task without a region");
-                // Safety: `state` is the block registered for this record,
-                // taken exactly once, on the thread that just ran the task.
-                unsafe {
-                    region.deps().retire(state.cast(), |released| {
-                        WorkerCounters::bump(&counters.deps_released);
-                        self.deque.push(released);
-                        shared.work.notify_one();
-                    });
+                if replay::is_tagged(state) {
+                    // A replayed task: its successors live in the frozen
+                    // graph, not the tracker. Safety: the tagged state was
+                    // set by the replay spawn for this record, taken exactly
+                    // once; the region's graph lease outlives every
+                    // replayed task.
+                    unsafe {
+                        replay::retire_replay(
+                            region.replay(),
+                            replay::untag_slot(state),
+                            |released| {
+                                WorkerCounters::bump(&counters.deps_released);
+                                self.deque.push(released);
+                                shared.work.notify_one();
+                            },
+                        );
+                    }
+                    // Divergence waiters watch the outstanding count drain
+                    // through the progress channel; the pre-decrement value
+                    // covers both wait targets (1 when the waiter is itself
+                    // a replayed task, 0 otherwise).
+                    if region.replay().dec_outstanding() <= 2 {
+                        shared.progress.notify();
+                    }
+                } else {
+                    // Safety: `state` is the block registered for this
+                    // record, taken exactly once, on the thread that just
+                    // ran the task.
+                    unsafe {
+                        region.deps().retire(state.cast(), |released| {
+                            WorkerCounters::bump(&counters.deps_released);
+                            self.deque.push(released);
+                            shared.work.notify_one();
+                        });
+                    }
                 }
             }
         }
@@ -775,6 +861,11 @@ impl Runtime {
             clock_ms: AtomicU64::new(0),
             regions_cancelled: AtomicU64::new(0),
             submissions_shed: AtomicU64::new(0),
+            replay_cache: GraphCache::new(config.replay_cache),
+            replays_recorded: AtomicU64::new(0),
+            replays_hit: AtomicU64::new(0),
+            replays_diverged: AtomicU64::new(0),
+            graphs_evicted: AtomicU64::new(0),
             config,
         });
 
@@ -832,6 +923,10 @@ impl Runtime {
         s.regions_recycled = self.shared.regions_recycled.load(Ordering::Relaxed);
         s.regions_cancelled = self.shared.regions_cancelled.load(Ordering::Relaxed);
         s.submissions_shed = self.shared.submissions_shed.load(Ordering::Relaxed);
+        s.replays_recorded = self.shared.replays_recorded.load(Ordering::Relaxed);
+        s.replays_hit = self.shared.replays_hit.load(Ordering::Relaxed);
+        s.replays_diverged = self.shared.replays_diverged.load(Ordering::Relaxed);
+        s.graphs_evicted = self.shared.graphs_evicted.load(Ordering::Relaxed);
         s
     }
 
@@ -865,7 +960,8 @@ impl Runtime {
         // Sound for the same reason as `std::thread::scope`: join() blocks
         // this frame until the region quiesces, so everything `f` borrows
         // outlives every task that can observe it.
-        self.submit_inner(f, RegionBudget::Inherit, None).join()
+        self.submit_inner(f, RegionBudget::Inherit, None, None)
+            .join()
     }
 
     /// Submits `f` as the root task of a new parallel region and returns a
@@ -933,7 +1029,7 @@ impl Runtime {
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_inner(f, RegionBudget::Inherit, None)
+        self.submit_inner(f, RegionBudget::Inherit, None, None)
     }
 
     /// [`submit`](Self::submit) with admission control: refuses the
@@ -958,7 +1054,7 @@ impl Runtime {
                 return Err(SubmitError::Shed { live, limit });
             }
         }
-        Ok(self.submit_inner(f, RegionBudget::Inherit, None))
+        Ok(self.submit_inner(f, RegionBudget::Inherit, None, None))
     }
 
     /// [`submit`](Self::submit) with a deadline, measured from now: once it
@@ -979,7 +1075,7 @@ impl Runtime {
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_inner(f, RegionBudget::Inherit, Some(deadline))
+        self.submit_inner(f, RegionBudget::Inherit, Some(deadline), None)
     }
 
     /// [`submit`](Self::submit) with an explicit per-region cut-off budget,
@@ -994,7 +1090,58 @@ impl Runtime {
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_inner(f, budget, None)
+        self.submit_inner(f, budget, None, None)
+    }
+
+    /// [`submit`](Self::submit) under a **shape token**: the first region
+    /// submitted with `token` runs live and *records* the dependency DAG
+    /// its `depend` clauses produce (spawn order, clause edges); the frozen
+    /// graph is cached, and every later submit with the same token
+    /// *replays* it — tasks carry preresolved successor lists and a release
+    /// counter seeded from the frozen in-degree, so the warm path touches
+    /// **no tracker mutex, no map buckets, and allocates nothing**.
+    ///
+    /// The token is a promise that the region's *shape* is a pure function
+    /// of it: same spawn sequence, same clause structure (addresses may
+    /// differ — clauses are compared by first-occurrence order, so a
+    /// structurally identical region over different data replays fine).
+    /// The promise is **checked, not trusted**: every replayed spawn's
+    /// clause list is hashed against the recording, and a mismatch
+    /// *diverges* the region — it drains the matched prefix, falls back to
+    /// live registration for the rest, invalidates the cached graph, and
+    /// still produces exactly the results a live run would have
+    /// ([`RuntimeStats::replays_diverged`] counts these). Spawn the
+    /// dependency graph from a single clause-free generator task (the
+    /// SparseLU pattern); see the crate README's replay section for the
+    /// precise contract.
+    ///
+    /// Works with any number of concurrent regions: a token whose graph is
+    /// already leased to another in-flight region simply runs live this
+    /// time. Cache capacity is [`RuntimeConfig::replay_cache`].
+    pub fn submit_replay<F, R>(&self, token: u64, f: F) -> RegionHandle<'_, R>
+    where
+        F: FnOnce(&Scope<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.submit_inner(f, RegionBudget::Inherit, None, Some(token))
+    }
+
+    /// [`parallel`](Self::parallel) under a shape token: exactly
+    /// [`submit_replay`](Self::submit_replay) followed by an immediate
+    /// join, with the same non-`'static` borrow allowance as `parallel`
+    /// (the calling frame provably outlives the region).
+    pub fn parallel_replay<'env, F, R>(&self, token: u64, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R + Send + 'env,
+        R: Send + 'env,
+    {
+        assert!(
+            !WORKER_OF.with(|w| std::ptr::eq(w.get(), Arc::as_ptr(&self.shared))),
+            "Runtime::parallel_replay called from inside a task of the same \
+             runtime; spawn a task instead, or submit from a client thread"
+        );
+        self.submit_inner(f, RegionBudget::Inherit, None, Some(token))
+            .join()
     }
 
     /// The shared submission path behind [`parallel`](Self::parallel) and
@@ -1013,6 +1160,7 @@ impl Runtime {
         f: F,
         budget: RegionBudget,
         deadline: Option<std::time::Duration>,
+        replay_token: Option<u64>,
     ) -> RegionHandle<'_, R>
     where
         F: FnOnce(&Scope<'env>) -> R + Send + 'env,
@@ -1047,6 +1195,25 @@ impl Runtime {
         if limit > 0 && shared.live_regions.load(Ordering::Relaxed) >= limit {
             shared.submissions_shed.fetch_add(1, Ordering::Relaxed);
             unsafe { region.as_ref() }.set_shed_mode();
+        }
+        // Arm record-and-replay while the lease is still exclusively ours:
+        // the injector handoff below is the publication edge the region's
+        // tasks synchronise on, so plain stores suffice here.
+        if let Some(token) = replay_token {
+            let r = unsafe { region.as_ref() };
+            match shared.replay_cache.arm(token) {
+                ArmOutcome::Replay(graph) => r.replay().arm_replay(token, graph),
+                ArmOutcome::Record { evicted } => {
+                    if evicted {
+                        shared.graphs_evicted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    r.replay().arm_record(token);
+                }
+                // Graph leased to another in-flight region (or still being
+                // recorded): run plain live, uncounted — the token gets its
+                // replay next time.
+                ArmOutcome::Busy => {}
+            }
         }
 
         // Root record: embedded in the descriptor, held by two handles —
@@ -1210,6 +1377,10 @@ unsafe fn finish_lease<R>(shared: &Shared, region: &Region) -> Result<R, RegionE
     // returns the lease, after which the descriptor may immediately serve
     // an unrelated submission.
     let cancelled = region.is_cancelled();
+    // Settle replay state while the lease is still ours: deposit or give
+    // back the graph (or invalidate the token) before the descriptor can
+    // serve — and re-arm under — its next submission.
+    shared.replay_finish(region, cancelled);
     shared.release_record(region.root(), None);
     match (panic, result) {
         // A panic outranks a stored result (the result is dropped): the

@@ -58,6 +58,7 @@ use std::sync::Mutex;
 use crate::config::RegionBudget;
 use crate::deps::DepTracker;
 use crate::local::CacheAligned;
+use crate::replay::{RegionReplay, ReplayPhase};
 use crate::task::TaskRecord;
 
 /// A panic payload captured from a task.
@@ -171,6 +172,9 @@ pub(crate) struct Region {
     /// re-lease — deps are region-scoped, and a recycled descriptor keeps
     /// its dependency pools warm.
     deps: DepTracker,
+    /// Record-and-replay state ([`crate::replay`]): armed at submit time
+    /// for leases carrying a shape token, `Off` otherwise.
+    replay: RegionReplay,
 }
 
 // Safety: the embedded root record is governed by the record refcount
@@ -198,6 +202,7 @@ impl Region {
             result_written: AtomicBool::new(false),
             shards: (0..workers).map(|_| CacheAligned::default()).collect(),
             deps: DepTracker::new(),
+            replay: RegionReplay::new(),
         }
     }
 
@@ -227,6 +232,7 @@ impl Region {
         // and happens-after that region's quiescence); the tracker's pools
         // keep their capacity, so the next lease's dep chains stay warm.
         self.deps.reset();
+        self.replay.reset();
     }
 
     /// The embedded root record's slot. Always a valid address; the record
@@ -387,6 +393,12 @@ impl Region {
         &self.deps
     }
 
+    /// The region's record-and-replay state.
+    #[inline]
+    pub(crate) fn replay(&self) -> &RegionReplay {
+        &self.replay
+    }
+
     /// This worker's attribution shard.
     #[inline]
     pub(crate) fn shard(&self, worker: usize) -> &RegionShard {
@@ -451,6 +463,7 @@ impl Region {
             s.shed += shard.0.shed.load(Ordering::Relaxed);
         }
         s.cancelled = self.is_cancelled();
+        s.replay = self.replay.phase();
         s
     }
 }
@@ -480,6 +493,11 @@ pub struct RegionStats {
     pub shed: u64,
     /// Was the region cancelled (explicitly or by its deadline)?
     pub cancelled: bool,
+    /// Where record-and-replay stood at snapshot time: recording its first
+    /// run under a shape token, replaying the frozen graph, diverged back
+    /// to live registration, or not submitted through the replay API at
+    /// all. See [`Runtime::submit_replay`](crate::Runtime::submit_replay).
+    pub replay: ReplayPhase,
 }
 
 /// The descriptor free list: one Treiber shard per worker, submitter-hashed

@@ -1,0 +1,802 @@
+//! Task-graph record-and-replay: cache a region's dependency DAG and
+//! re-execute it with **zero tracker traffic**.
+//!
+//! A server handling structurally-identical requests re-registers the same
+//! dependency graph on every submit: the tracker ([`crate::deps`]) takes
+//! the map mutex per clause list and walks bucket chains even when the
+//! answer is the same every time. Record-and-replay removes that cost for
+//! shape-stable regions, in the spirit of Taskgraph (Yu et al.):
+//!
+//! * the **first** execution under a user-supplied shape token
+//!   ([`Runtime::submit_replay`]) runs live and *records* the DAG the
+//!   tracker computes — spawn order, renamed clause sequence and the
+//!   logical edge set — into an immutable [`FrozenGraph`];
+//! * **subsequent** submits with the same token skip live registration
+//!   entirely: each dependency task claims the next frozen slot, whose
+//!   release counter was pre-seeded from the frozen in-degree and whose
+//!   successor list is a slice of a flat CSR array — no tracker mutex, no
+//!   map buckets, no pool traffic.
+//!
+//! ## Canonical address renaming
+//!
+//! Clause addresses are renamed to dense ids in **first-occurrence order**
+//! at record time; replay renames through a lock-free open-addressed table
+//! re-armed per execution. Two executions over *different* addresses (a
+//! fresh matrix per request, say) therefore replay the same graph, while a
+//! structural change — different clause on the same position of the spawn
+//! sequence — changes the renamed sequence and is caught by the hash.
+//!
+//! ## Divergence
+//!
+//! Each frozen slot carries a hash of the task's renamed clause sequence.
+//! A replayed spawn whose clauses hash differently (or that overruns the
+//! recorded task count) **diverges**: the region falls back to live
+//! registration — after draining the already-replayed prefix, which is
+//! safe because recorded edges always point from earlier to later spawns,
+//! so the matched prefix is closed under predecessors — and the cached
+//! graph is invalidated rather than left to corrupt a future execution.
+//!
+//! ## Pooling and the zero-allocation warm path
+//!
+//! The graph **cache is the pool**: a warm replay leases the frozen graph
+//! out of the cache entry and returns it at region finish, so steady-state
+//! replay allocates nothing — per-execution state is the pre-sized slot
+//! array inside the graph plus the existing pooled [`TaskRecord`]s.
+//! Recording and freezing allocate freely (they happen once per token);
+//! eviction and divergence drop graphs (cold events by construction).
+//!
+//! [`Runtime::submit_replay`]: crate::Runtime::submit_replay
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::HashMap;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::deps::{DepAccess, DepClause};
+use crate::task::TaskRecord;
+
+/// Replay is disengaged for this region (plain live registration).
+pub(crate) const MODE_OFF: u8 = 0;
+/// First execution under the token: live registration + recording.
+pub(crate) const MODE_RECORDING: u8 = 1;
+/// Warm execution: frozen slots, no tracker traffic.
+pub(crate) const MODE_REPLAYING: u8 = 2;
+/// The replay diverged; the rest of the region registers live.
+pub(crate) const MODE_DIVERGED: u8 = 3;
+
+/// FNV-1a offset basis: the per-task clause hash accumulator seed.
+const HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One mixing step of the clause hash (multiply-xorshift; the quality bar
+/// is "structural changes flip the hash", not cryptography).
+fn mix(h: u64, v: u64) -> u64 {
+    let h = (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^ (h >> 29)
+}
+
+/// What one clause contributes to its task's hash: the renamed address id
+/// and the access direction.
+fn clause_tag(id: u32, access: DepAccess) -> u64 {
+    ((id as u64) << 1) | matches!(access, DepAccess::Write) as u64
+}
+
+/// Where replay stood when a region finished — the per-region face of the
+/// team-wide `replays_*` counters, surfaced in
+/// [`RegionStats`](crate::RegionStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReplayPhase {
+    /// The region was not submitted through the replay API (or the token
+    /// was busy in another in-flight region and the submit ran plain).
+    #[default]
+    Off,
+    /// First execution under its token: the DAG was being recorded.
+    Recording,
+    /// Warm execution off the frozen graph, no tracker traffic.
+    Replaying,
+    /// The spawn sequence stopped matching the recording; the region fell
+    /// back to live registration and the cached graph was invalidated.
+    Diverged,
+}
+
+/// Accumulates the DAG of a recording execution. Only touched under the
+/// region's recorder lock + tracker mutex (registration order **is** the
+/// frozen task order); allocates freely — recording is once per token.
+pub(crate) struct GraphRecorder {
+    /// Per-task hash of the renamed clause sequence, in registration order.
+    th: Vec<u64>,
+    /// Per-task logical in-degree (multiset: parallel edges both count,
+    /// mirroring the tracker's per-edge `pending` increments).
+    indeg: Vec<u32>,
+    /// Logical `(pred, succ)` edges, `pred < succ` by construction (the
+    /// tracker's total registration order). Includes edges to
+    /// already-retired (CLOSED) predecessors: those are *timing* no-ops
+    /// live, but the frozen graph captures logical dependence — in replay
+    /// every recorded edge is decremented by a real retire.
+    edges: Vec<(u32, u32)>,
+    /// First-occurrence address renaming.
+    rename: HashMap<usize, u32>,
+}
+
+impl GraphRecorder {
+    pub(crate) fn new() -> GraphRecorder {
+        GraphRecorder {
+            th: Vec::new(),
+            indeg: Vec::new(),
+            edges: Vec::new(),
+            rename: HashMap::new(),
+        }
+    }
+
+    /// Opens the next task (registration order = frozen index order) and
+    /// returns its index.
+    pub(crate) fn begin_task(&mut self) -> u32 {
+        let idx = self.th.len() as u32;
+        self.th.push(HASH_SEED);
+        self.indeg.push(0);
+        idx
+    }
+
+    /// Folds one clause of the task opened last into its hash.
+    pub(crate) fn clause(&mut self, clause: &DepClause) {
+        let next = self.rename.len() as u32;
+        let id = *self.rename.entry(clause.addr).or_insert(next);
+        let h = self.th.last_mut().expect("clause before begin_task");
+        *h = mix(*h, clause_tag(id, clause.access));
+    }
+
+    /// Records one logical edge `pred → succ` (frozen indices).
+    pub(crate) fn edge(&mut self, pred: u32, succ: u32) {
+        debug_assert!(pred < succ, "edges follow registration order");
+        self.edges.push((pred, succ));
+        self.indeg[succ as usize] += 1;
+    }
+}
+
+/// Per-task replay state, pre-seeded at arm time so a predecessor may
+/// retire before its successor has even spawned.
+pub(crate) struct ReplaySlot {
+    /// This slot's frozen task index (retire needs it to find successors).
+    idx: u32,
+    /// Unretired predecessors + the spawn guard (seeded `indeg + 1`; the
+    /// guard is dropped by the spawn itself, after `rec` is stored, so a
+    /// zero transition always observes a record).
+    pending: AtomicU32,
+    /// The spawned task's record, stored (Release) before the guard drops.
+    rec: AtomicPtr<TaskRecord>,
+}
+
+impl ReplaySlot {
+    /// Publishes the spawned record to retiring predecessors (Release: the
+    /// record's initialisation happens-before any zero transition).
+    pub(crate) fn store_rec(&self, rec: NonNull<TaskRecord>) {
+        self.rec.store(rec.as_ptr(), Ordering::Release);
+    }
+
+    /// Drops the spawn guard; `true` means every frozen predecessor has
+    /// already retired and the caller owns the ready task.
+    pub(crate) fn drop_guard(&self) -> bool {
+        self.pending.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+}
+
+/// One cell of the replay rename table: an address claimed by CAS and the
+/// dense id assigned to it ([`u32::MAX`] until the claimant stores it).
+struct RenameSlot {
+    addr: AtomicUsize,
+    id: AtomicU32,
+}
+
+/// An immutable recorded DAG plus the re-armable per-execution state.
+/// Owned by the graph cache between executions, leased by the replaying
+/// region; never mutated structurally after [`freeze`](Self::freeze).
+pub(crate) struct FrozenGraph {
+    /// Per-task hash of the renamed clause sequence.
+    th: Vec<u64>,
+    /// Per-task logical in-degree.
+    indeg: Vec<u32>,
+    /// CSR successor lists: task `i`'s successors are
+    /// `succ[succ_off[i]..succ_off[i + 1]]`.
+    succ_off: Vec<u32>,
+    succ: Vec<u32>,
+    /// Per-execution slot array, re-armed per replay.
+    slots: Vec<ReplaySlot>,
+    /// Lock-free first-occurrence rename table (power-of-two), cleared per
+    /// replay.
+    rename: Vec<RenameSlot>,
+    /// Next dense id to hand out.
+    next_id: AtomicU32,
+}
+
+impl FrozenGraph {
+    /// Freezes a finished recording into the immutable replay form.
+    pub(crate) fn freeze(rec: GraphRecorder) -> Box<FrozenGraph> {
+        let n = rec.th.len();
+        let mut succ_off = vec![0u32; n + 1];
+        for &(p, _) in &rec.edges {
+            succ_off[p as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut cursor: Vec<u32> = succ_off[..n].to_vec();
+        let mut succ = vec![0u32; rec.edges.len()];
+        for &(p, s) in &rec.edges {
+            succ[cursor[p as usize] as usize] = s;
+            cursor[p as usize] += 1;
+        }
+        let slots = (0..n as u32)
+            .map(|idx| ReplaySlot {
+                idx,
+                pending: AtomicU32::new(0),
+                rec: AtomicPtr::new(std::ptr::null_mut()),
+            })
+            .collect();
+        // 2x the distinct-address count keeps probe chains short; replays
+        // over *more* distinct addresses than recorded run out of table
+        // and diverge (they could never match the hashes anyway).
+        let cap = (rec.rename.len() * 2).next_power_of_two().max(8);
+        let rename = (0..cap)
+            .map(|_| RenameSlot {
+                addr: AtomicUsize::new(0),
+                id: AtomicU32::new(u32::MAX),
+            })
+            .collect();
+        Box::new(FrozenGraph {
+            th: rec.th,
+            indeg: rec.indeg,
+            succ_off,
+            succ,
+            slots,
+            rename,
+            next_id: AtomicU32::new(0),
+        })
+    }
+
+    /// Recorded task count.
+    #[inline]
+    pub(crate) fn n_tasks(&self) -> usize {
+        self.th.len()
+    }
+
+    /// Recorded edge count.
+    #[cfg(test)]
+    pub(crate) fn n_edges(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Re-arms the per-execution state for a fresh replay. Exclusive: runs
+    /// at submit time, before the region's root is published (the
+    /// injector handoff is the publication edge for these plain stores).
+    pub(crate) fn arm(&self) {
+        for slot in &self.slots {
+            slot.pending
+                .store(self.indeg[slot.idx as usize] + 1, Ordering::Relaxed);
+            slot.rec.store(std::ptr::null_mut(), Ordering::Relaxed);
+        }
+        for cell in &self.rename {
+            cell.addr.store(0, Ordering::Relaxed);
+            cell.id.store(u32::MAX, Ordering::Relaxed);
+        }
+        self.next_id.store(0, Ordering::Relaxed);
+    }
+
+    /// The frozen slot for task `idx`.
+    #[inline]
+    pub(crate) fn slot(&self, idx: u32) -> &ReplaySlot {
+        &self.slots[idx as usize]
+    }
+
+    /// The recorded hash for task `idx`.
+    #[inline]
+    pub(crate) fn task_hash(&self, idx: u32) -> u64 {
+        self.th[idx as usize]
+    }
+
+    /// Task `idx`'s frozen successor indices.
+    #[inline]
+    pub(crate) fn successors(&self, idx: u32) -> &[u32] {
+        let lo = self.succ_off[idx as usize] as usize;
+        let hi = self.succ_off[idx as usize + 1] as usize;
+        &self.succ[lo..hi]
+    }
+
+    /// Renames `addr` through the per-execution table (first occurrence
+    /// claims the next dense id). `None` when the table is full — more
+    /// distinct addresses than the recording ever used, a divergence.
+    fn rename(&self, addr: usize) -> Option<u32> {
+        debug_assert!(addr != 0, "clause addresses are object addresses");
+        let mask = self.rename.len() - 1;
+        let mut i = (mix(HASH_SEED, addr as u64) as usize) & mask;
+        for _ in 0..self.rename.len() {
+            let cell = &self.rename[i];
+            let cur = cell.addr.load(Ordering::Acquire);
+            if cur == addr {
+                return Some(self.read_id(cell));
+            }
+            if cur == 0 {
+                match cell
+                    .addr
+                    .compare_exchange(0, addr, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => {
+                        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                        cell.id.store(id, Ordering::Release);
+                        return Some(id);
+                    }
+                    Err(now) if now == addr => return Some(self.read_id(cell)),
+                    Err(_) => {} // lost the slot to another address: probe on
+                }
+            }
+            i = (i + 1) & mask;
+        }
+        None
+    }
+
+    /// Reads a claimed cell's id, spinning over the claimant's two-store
+    /// window (claim the address, then store the id).
+    fn read_id(&self, cell: &RenameSlot) -> u32 {
+        loop {
+            let id = cell.id.load(Ordering::Acquire);
+            if id != u32::MAX {
+                return id;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Hashes a replayed task's clause list through the rename table.
+    /// `None` when renaming ran out of table (cannot match any recording).
+    pub(crate) fn hash_clauses(&self, deps: &[DepClause]) -> Option<u64> {
+        let mut h = HASH_SEED;
+        for clause in deps {
+            let id = self.rename(clause.addr)?;
+            h = mix(h, clause_tag(id, clause.access));
+        }
+        Some(h)
+    }
+}
+
+/// Tags a slot pointer for a record's dep-state link: bit 0 distinguishes
+/// a replay slot from a live [`crate::deps::DepBlock`] (both are aligned
+/// well past 2), so the retire path in `execute` can dispatch on it.
+pub(crate) fn tag_slot(slot: &ReplaySlot) -> NonNull<u8> {
+    let addr = slot as *const ReplaySlot as usize | 1;
+    // Safety: a reference is never null, and `| 1` cannot make it so.
+    unsafe { NonNull::new_unchecked(addr as *mut u8) }
+}
+
+/// Is this dep-state pointer a tagged replay slot?
+#[inline]
+pub(crate) fn is_tagged(state: NonNull<u8>) -> bool {
+    state.as_ptr() as usize & 1 == 1
+}
+
+/// Recovers the slot reference behind a tagged dep-state pointer.
+///
+/// # Safety
+/// `state` must have come from [`tag_slot`] on a slot of the region's
+/// currently-leased frozen graph.
+pub(crate) unsafe fn untag_slot<'g>(state: NonNull<u8>) -> &'g ReplaySlot {
+    &*((state.as_ptr() as usize & !1) as *const ReplaySlot)
+}
+
+/// Retires a replayed task: walks its frozen successor slice, decrementing
+/// each successor's release counter and handing records whose count drains
+/// to `enqueue` — no tracker mutex, no map, no pool traffic. The counting
+/// mirror of [`crate::deps::DepTracker::retire`].
+///
+/// # Safety
+/// `slot` must be the tagged dep state taken from a replayed task that
+/// just finished executing on this thread; called exactly once per spawn.
+pub(crate) unsafe fn retire_replay(
+    rp: &RegionReplay,
+    slot: &ReplaySlot,
+    mut enqueue: impl FnMut(NonNull<TaskRecord>),
+) {
+    // Same protocol window as the live retire: a perturbation here races
+    // retires against spawns still claiming slots.
+    crate::bots_failpoint!("dep_retire");
+    let g = rp
+        .graph()
+        .expect("replay retire without a leased frozen graph");
+    for &s in g.successors(slot.idx) {
+        let succ = g.slot(s);
+        // AcqRel pairs with the spawn's Release `rec` store: a zero
+        // transition happens-after the guard drop, so the record is there.
+        if succ.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let rec = succ.rec.load(Ordering::Acquire);
+            enqueue(NonNull::new(rec).expect("released replay slot without a record"));
+        }
+    }
+}
+
+/// Per-region replay state, embedded in every pooled region descriptor.
+/// Armed at submit time (exclusive), read by the region's own tasks
+/// (happens-after the root's publication edge), drained at finish.
+pub(crate) struct RegionReplay {
+    /// One of the `MODE_*` constants. Replaying → Diverged is the only
+    /// mid-flight transition (CAS'd by the first diverging spawn).
+    mode: AtomicU8,
+    /// The lease's shape token (valid while `mode != MODE_OFF`).
+    token: Cell<u64>,
+    /// The leased frozen graph (Replaying/Diverged). Set at arm, stable
+    /// until finish — divergence must *not* drop it early: matched-prefix
+    /// tasks still retire through its slots.
+    graph: UnsafeCell<Option<Box<FrozenGraph>>>,
+    /// The recorder (Recording only). Its own lock, not the tracker's:
+    /// concurrent recording registrants serialise here first, keeping the
+    /// recorder's `&mut` sound without widening the tracker's API.
+    recorder: Mutex<Option<Box<GraphRecorder>>>,
+    /// Next frozen index to claim; spawn order must match recording order
+    /// (the hash check catches it when it does not).
+    next_idx: AtomicU32,
+    /// Replayed (matched) spawns not yet retired — what a divergence must
+    /// drain before live registration may begin from an empty tracker.
+    outstanding: AtomicUsize,
+}
+
+// Safety: the UnsafeCell graph is written only under exclusivity (arm /
+// finish, guarded by the lease protocol) and read immutably by the
+// region's tasks in between; everything else is atomics or a mutex.
+unsafe impl Send for RegionReplay {}
+unsafe impl Sync for RegionReplay {}
+
+impl RegionReplay {
+    pub(crate) fn new() -> RegionReplay {
+        RegionReplay {
+            mode: AtomicU8::new(MODE_OFF),
+            token: Cell::new(0),
+            graph: UnsafeCell::new(None),
+            recorder: Mutex::new(None),
+            next_idx: AtomicU32::new(0),
+            outstanding: AtomicUsize::new(0),
+        }
+    }
+
+    /// Re-arms for a new lease (exclusive; part of `Region::reset`).
+    pub(crate) fn reset(&self) {
+        self.mode.store(MODE_OFF, Ordering::Relaxed);
+        self.token.set(0);
+        // Both should already be None (finish drains them); defensive for
+        // leaked leases.
+        unsafe { *self.graph.get() = None };
+        *self.recorder.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        self.next_idx.store(0, Ordering::Relaxed);
+        self.outstanding.store(0, Ordering::Relaxed);
+    }
+
+    /// Puts the region in Recording mode (exclusive, at submit time).
+    pub(crate) fn arm_record(&self, token: u64) {
+        self.token.set(token);
+        *self.recorder.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(Box::new(GraphRecorder::new()));
+        self.mode.store(MODE_RECORDING, Ordering::Relaxed);
+    }
+
+    /// Puts the region in Replaying mode with a leased graph (exclusive,
+    /// at submit time). Re-arms the graph's per-execution state.
+    pub(crate) fn arm_replay(&self, token: u64, graph: Box<FrozenGraph>) {
+        graph.arm();
+        self.token.set(token);
+        unsafe { *self.graph.get() = Some(graph) };
+        self.next_idx.store(0, Ordering::Relaxed);
+        self.outstanding.store(0, Ordering::Relaxed);
+        self.mode.store(MODE_REPLAYING, Ordering::Relaxed);
+    }
+
+    /// Current mode (`MODE_*`).
+    #[inline]
+    pub(crate) fn mode(&self) -> u8 {
+        self.mode.load(Ordering::Relaxed)
+    }
+
+    /// This lease's shape token.
+    #[inline]
+    pub(crate) fn token(&self) -> u64 {
+        self.token.get()
+    }
+
+    /// The leased frozen graph, if any. Immutable between arm and finish.
+    #[inline]
+    pub(crate) fn graph(&self) -> Option<&FrozenGraph> {
+        // Safety: written only under exclusivity (arm/finish); stable —
+        // and immutable — for the whole in-flight window readers occupy.
+        unsafe { (*self.graph.get()).as_deref() }
+    }
+
+    /// The recorder lock (Recording-mode registration path).
+    #[inline]
+    pub(crate) fn recorder(&self) -> &Mutex<Option<Box<GraphRecorder>>> {
+        &self.recorder
+    }
+
+    /// Claims the next frozen index for a replayed spawn.
+    #[inline]
+    pub(crate) fn claim_idx(&self) -> u32 {
+        self.next_idx.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Counts one matched replayed spawn.
+    #[inline]
+    pub(crate) fn inc_outstanding(&self) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Counts one replayed retire; returns the count *before* the
+    /// decrement (`<= 2` means a divergence waiter may be unblocked).
+    #[inline]
+    pub(crate) fn dec_outstanding(&self) -> usize {
+        self.outstanding.fetch_sub(1, Ordering::AcqRel)
+    }
+
+    /// Replayed spawns still in flight.
+    #[inline]
+    pub(crate) fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Flips Replaying → Diverged (idempotent; later spawns observe it).
+    pub(crate) fn mark_diverged(&self) {
+        let _ = self.mode.compare_exchange(
+            MODE_REPLAYING,
+            MODE_DIVERGED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Takes the leased graph back out (finish path; exclusive).
+    pub(crate) fn take_graph(&self) -> Option<Box<FrozenGraph>> {
+        // Safety: post-quiescence sole-finisher exclusivity.
+        unsafe { (*self.graph.get()).take() }
+    }
+
+    /// Takes the recorder out (finish path).
+    pub(crate) fn take_recorder(&self) -> Option<Box<GraphRecorder>> {
+        self.recorder
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+
+    /// The [`ReplayPhase`] for stats surfaces.
+    pub(crate) fn phase(&self) -> ReplayPhase {
+        match self.mode() {
+            MODE_RECORDING => ReplayPhase::Recording,
+            MODE_REPLAYING => ReplayPhase::Replaying,
+            MODE_DIVERGED => ReplayPhase::Diverged,
+            _ => ReplayPhase::Off,
+        }
+    }
+}
+
+/// How a replay-token submit armed its region.
+pub(crate) enum ArmOutcome {
+    /// No graph yet: record this execution. `evicted` reports whether
+    /// making room dropped another token's graph.
+    Record { evicted: bool },
+    /// A frozen graph was leased out of the cache: replay it.
+    Replay(Box<FrozenGraph>),
+    /// The token's entry exists but its graph is checked out by another
+    /// in-flight region (or still being recorded): run plain live.
+    Busy,
+}
+
+/// The team-wide graph cache, keyed by shape token, with LRU-ish eviction
+/// (least-recently-armed graph goes first; leased-out and still-recording
+/// entries are never evicted — their regions still point into them).
+pub(crate) struct GraphCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+struct CacheInner {
+    map: HashMap<u64, CacheSlot>,
+    /// Monotone arm counter: the recency stamp.
+    tick: u64,
+}
+
+struct CacheSlot {
+    /// `None` while the graph is leased out (replaying) or not yet
+    /// deposited (recording).
+    graph: Option<Box<FrozenGraph>>,
+    stamp: u64,
+}
+
+impl GraphCache {
+    pub(crate) fn new(capacity: usize) -> GraphCache {
+        GraphCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Arms a submit under `token`: leases the cached graph out, or claims
+    /// the token for recording, or reports it busy. Warm hits allocate
+    /// nothing (one lock, one map probe).
+    pub(crate) fn arm(&self, token: u64) -> ArmOutcome {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let stamp = inner.tick;
+        if let Some(slot) = inner.map.get_mut(&token) {
+            return match slot.graph.take() {
+                Some(g) => {
+                    slot.stamp = stamp;
+                    ArmOutcome::Replay(g)
+                }
+                None => ArmOutcome::Busy,
+            };
+        }
+        // New token: make room, then claim with a placeholder the deposit
+        // fills in. Placeholders and leased-out entries are not evictable,
+        // so the map can transiently exceed capacity under enough
+        // concurrent first-runs — bounded by in-flight regions.
+        let mut evicted = false;
+        if inner.map.len() >= self.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(_, s)| s.graph.is_some())
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(&t, _)| t);
+            if let Some(victim) = victim {
+                inner.map.remove(&victim);
+                evicted = true;
+            }
+        }
+        inner.map.insert(token, CacheSlot { graph: None, stamp });
+        ArmOutcome::Record { evicted }
+    }
+
+    /// Deposits a freshly-frozen graph under its token's placeholder.
+    pub(crate) fn deposit(&self, token: u64, graph: Box<FrozenGraph>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = inner.map.get_mut(&token) {
+            slot.graph = Some(graph);
+        }
+    }
+
+    /// Returns a leased graph after a clean replay.
+    pub(crate) fn give_back(&self, token: u64, graph: Box<FrozenGraph>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = inner.map.get_mut(&token) {
+            slot.graph = Some(graph);
+        }
+    }
+
+    /// Drops `token`'s entry: the recording was cancelled, or a replay
+    /// diverged and the graph no longer describes the region's shape.
+    pub(crate) fn invalidate(&self, token: u64) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .remove(&token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(addr: usize, access: DepAccess) -> DepClause {
+        DepClause { addr, access }
+    }
+
+    /// Records a tiny chain a→b→c and freezes it.
+    fn chain_graph() -> Box<FrozenGraph> {
+        let mut r = GraphRecorder::new();
+        for i in 0..3u32 {
+            let idx = r.begin_task();
+            assert_eq!(idx, i);
+            r.clause(&clause(0x1000, DepAccess::Write));
+            if i > 0 {
+                r.edge(i - 1, i);
+            }
+        }
+        FrozenGraph::freeze(r)
+    }
+
+    #[test]
+    fn freeze_builds_csr_and_indegrees() {
+        let g = chain_graph();
+        assert_eq!(g.n_tasks(), 3);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.successors(0), &[1]);
+        assert_eq!(g.successors(1), &[2]);
+        assert_eq!(g.successors(2), &[] as &[u32]);
+        assert_eq!(g.indeg, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn renaming_matches_structurally_identical_addresses() {
+        let g = chain_graph();
+        g.arm();
+        // A different concrete address than the recording used: renaming
+        // maps it to id 0 just the same, so the hashes line up.
+        let h = g
+            .hash_clauses(&[clause(0xBEE_F00, DepAccess::Write)])
+            .unwrap();
+        assert_eq!(h, g.task_hash(0));
+        assert_eq!(h, g.task_hash(1), "all three tasks share the clause shape");
+    }
+
+    #[test]
+    fn structural_changes_change_the_hash() {
+        let g = chain_graph();
+        g.arm();
+        let read = g
+            .hash_clauses(&[clause(0xBEE_F00, DepAccess::Read)])
+            .unwrap();
+        assert_ne!(read, g.task_hash(0), "access flip must be caught");
+        // Re-arm, then present two distinct addresses where the recording
+        // used one: ids 0 and 1 instead of 0 and 0.
+        g.arm();
+        let a = g.hash_clauses(&[clause(0x10, DepAccess::Write)]).unwrap();
+        let b = g.hash_clauses(&[clause(0x20, DepAccess::Write)]).unwrap();
+        assert_eq!(a, g.task_hash(0));
+        assert_ne!(b, g.task_hash(1), "second address renames to a new id");
+    }
+
+    #[test]
+    fn arm_reseeds_slots_and_rename_table() {
+        let g = chain_graph();
+        g.arm();
+        assert_eq!(g.slot(0).pending.load(Ordering::Relaxed), 1);
+        assert_eq!(g.slot(1).pending.load(Ordering::Relaxed), 2);
+        let _ = g.hash_clauses(&[clause(0x10, DepAccess::Write)]);
+        g.slot(1).pending.store(0, Ordering::Relaxed);
+        g.arm();
+        assert_eq!(g.slot(1).pending.load(Ordering::Relaxed), 2);
+        assert_eq!(g.next_id.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn cache_lease_return_and_eviction() {
+        let cache = GraphCache::new(2);
+        // First arm records.
+        assert!(matches!(
+            cache.arm(7),
+            ArmOutcome::Record { evicted: false }
+        ));
+        // Same token while the placeholder is outstanding: busy.
+        assert!(matches!(cache.arm(7), ArmOutcome::Busy));
+        cache.deposit(7, chain_graph());
+        let leased = match cache.arm(7) {
+            ArmOutcome::Replay(g) => g,
+            _ => panic!("deposited graph must replay"),
+        };
+        assert!(matches!(cache.arm(7), ArmOutcome::Busy), "leased out");
+        cache.give_back(7, leased);
+        assert!(matches!(
+            cache.arm(8),
+            ArmOutcome::Record { evicted: false }
+        ));
+        cache.deposit(8, chain_graph());
+        // Third token over capacity 2: the least-recently-armed graph
+        // (token 7 — 8 was armed later) is evicted.
+        assert!(matches!(cache.arm(9), ArmOutcome::Record { evicted: true }));
+        // 7 was the eviction victim: arming it again starts a fresh
+        // recording (evicting 8, the only remaining graph-holding entry —
+        // 9's placeholder is not evictable).
+        assert!(matches!(cache.arm(7), ArmOutcome::Record { evicted: true }));
+        assert!(matches!(
+            cache.arm(8),
+            ArmOutcome::Record { evicted: false }
+        ));
+    }
+
+    #[test]
+    fn tagging_round_trips() {
+        let g = chain_graph();
+        let slot = g.slot(1);
+        let tagged = tag_slot(slot);
+        assert!(is_tagged(tagged));
+        let back = unsafe { untag_slot(tagged) };
+        assert!(std::ptr::eq(back, slot));
+    }
+}

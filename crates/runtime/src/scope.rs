@@ -33,6 +33,8 @@ use std::ptr::NonNull;
 use crate::deps::{DepAccess, DepClause};
 use crate::group::Group;
 use crate::pool::{ExecCtx, Shared, WorkerCtx};
+use crate::region::Region;
+use crate::replay;
 use crate::stats::WorkerCounters;
 use crate::task::{TaskAttrs, TaskRecord};
 
@@ -89,6 +91,25 @@ const WAIT_PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(
 /// remain reachable only through another worker stealing the blockers — the
 /// same fallback the pre-probe behaviour relied on for depth one.
 const TIED_PROBE_LIMIT: usize = 32;
+
+/// Why a spawn runs undeferred (the inline cascade's verdict), in
+/// precedence order. Computed once per spawn by `Scope::inline_reason`;
+/// attribution to the matching counters happens separately so
+/// clause-carrying spawns can hold the verdict until registration has
+/// answered ready-vs-deferred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum InlineReason {
+    /// An ancestor was `final`: included tasks are undeferred by the spec.
+    Final,
+    /// The spawn's `if(false)` clause requested undeferred execution.
+    If,
+    /// The global runtime cut-off ([`crate::RuntimeCutoff`]) tripped.
+    Cutoff,
+    /// The region was admitted in shed mode (overload admission control).
+    Shed,
+    /// The region's own task budget ([`crate::RegionBudget`]) tripped.
+    Budget,
+}
 
 /// Execution context of one running task; see the module-level docs for
 /// the OpenMP construct mapping.
@@ -256,15 +277,19 @@ impl<'scope> Scope<'scope> {
     /// The one spawn path behind `spawn`, `spawn_with` and
     /// [`TaskBuilder::spawn`]. With no clauses this is the classic cascade
     /// (inline-or-defer, lock-free); with clauses the task registers with
-    /// the region's dependency tracker and is either queued immediately
-    /// (all predecessors retired) or held in the **Deferred** state until
-    /// the last predecessor's exit releases it.
+    /// the region's dependency tracker — or, when the region carries a
+    /// replay token, with the frozen graph ([`crate::replay`]) — and is
+    /// either queued immediately (all predecessors retired) or held in the
+    /// **Deferred** state until the last predecessor's exit releases it.
     ///
-    /// Tasks with clauses skip the inline cascade entirely: an unready
-    /// task *cannot* run inline (its predecessors have not finished), and
-    /// serialising only the ready ones would reorder the DAG — so `final`,
-    /// `if(false)`, cut-offs and region budgets leave dependency tasks
-    /// deferred (documented on [`TaskBuilder`]).
+    /// An *unready* dependency task cannot run inline (its predecessors
+    /// have not finished), so for clause-carrying spawns the cascade's
+    /// verdict is computed up front but acted on only when registration
+    /// reports the task ready: a ready task with a tripped `final` /
+    /// `if(false)` / cut-off / budget executes synchronously right here —
+    /// through the full dispatch path, so dependency retirement and
+    /// attribution stay exact — instead of being queued (documented on
+    /// [`TaskBuilder`]).
     fn spawn_impl<F>(&self, attrs: TaskAttrs, deps: &[DepClause], f: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
@@ -291,39 +316,15 @@ impl<'scope> Scope<'scope> {
                 return;
             }
         }
+        // One predicate pass for every spawn. Clause-free tasks act on the
+        // verdict immediately; clause-carrying tasks hold it until
+        // registration has answered ready-vs-Deferred (an unready task
+        // cannot run inline), then honor it on the ready path below.
+        let inline = self.inline_reason(attrs, region);
         if deps.is_empty() {
-            if self.rec().final_ {
-                WorkerCounters::bump(&counters.inlined_final);
+            if let Some(reason) = inline {
+                self.bump_inline_counters(reason, region);
                 return self.run_inline(attrs, f);
-            }
-            if !attrs.if_clause {
-                WorkerCounters::bump(&counters.inlined_if);
-                return self.run_inline(attrs, f);
-            }
-            if shared.cutoff_trips(worker.deque.len(), self.rec().depth) {
-                WorkerCounters::bump(&counters.inlined_cutoff);
-                return self.run_inline(attrs, f);
-            }
-            // The region's own budget: unlike the global cut-off above,
-            // this one is checked against *this region's* queued count, so
-            // a greedy region serialises itself without slowing a
-            // sibling's spawns.
-            if let Some(region) = region {
-                // Shed mode (admitted over the in-flight watermark): the
-                // region degrades to serial execution instead of piling
-                // more deferred work onto an overloaded team. Dependency
-                // tasks still defer below — an unready task cannot run
-                // inline — so shed regions stay correct, just narrower.
-                if region.shed_mode() {
-                    WorkerCounters::bump(&counters.inlined_shed);
-                    WorkerCounters::bump(&region.shard(worker.index).shed);
-                    return self.run_inline(attrs, f);
-                }
-                if region.budget_trips() {
-                    WorkerCounters::bump(&counters.inlined_budget);
-                    WorkerCounters::bump(&region.shard(worker.index).serialized);
-                    return self.run_inline(attrs, f);
-                }
             }
         }
 
@@ -363,14 +364,23 @@ impl<'scope> Scope<'scope> {
 
         if !deps.is_empty() {
             let region = region.expect("depend clauses require a region task");
-            WorkerCounters::add(&counters.deps_registered, deps.len() as u64);
-            // Safety: the record is initialised, closure stored, and not
-            // yet published to any queue.
-            let ready = unsafe { region.deps().register(rec, deps) };
+            let ready = self.register_deps(region, rec, deps);
             if !ready {
                 // Deferred: predecessors hold the record; the retiring
                 // worker that drops its release count to zero queues it.
                 WorkerCounters::bump(&counters.deps_deferred);
+                return;
+            }
+            // Ready at registration — every predecessor already retired —
+            // so the inline cascade applies after all: execute the task
+            // synchronously through the full dispatch path (dependency
+            // retire, group leave, attribution) instead of queueing it.
+            // Unlike the clause-free inline path above, the task was
+            // counted as spawned (it has a real record); `execute`'s
+            // bookkeeping is symmetric with that.
+            if let Some(reason) = inline {
+                self.bump_inline_counters(reason, Some(region));
+                worker.execute(rec);
                 return;
             }
         }
@@ -378,6 +388,176 @@ impl<'scope> Scope<'scope> {
         worker.deque.push(rec);
         // One task → at most one extra pair of hands.
         shared.work.notify_one();
+    }
+
+    /// The inline cascade's predicate half: why — if at all — would this
+    /// spawn run undeferred? Ordered exactly like the classic cascade:
+    /// `final` ancestry, `if(false)`, the global runtime cut-off, shed
+    /// mode, then the region's own budget (checked against *this region's*
+    /// queued count, so a greedy region serialises itself without slowing
+    /// a sibling's spawns). Counter attribution is separate
+    /// ([`bump_inline_counters`](Self::bump_inline_counters)) so
+    /// clause-carrying spawns can compute the verdict without committing
+    /// to it.
+    fn inline_reason(&self, attrs: TaskAttrs, region: Option<&Region>) -> Option<InlineReason> {
+        let worker = self.worker();
+        if self.rec().final_ {
+            return Some(InlineReason::Final);
+        }
+        if !attrs.if_clause {
+            return Some(InlineReason::If);
+        }
+        if worker
+            .shared
+            .cutoff_trips(worker.deque.len(), self.rec().depth)
+        {
+            return Some(InlineReason::Cutoff);
+        }
+        if let Some(region) = region {
+            // Shed mode (admitted over the in-flight watermark): the
+            // region degrades to serial execution instead of piling more
+            // deferred work onto an overloaded team.
+            if region.shed_mode() {
+                return Some(InlineReason::Shed);
+            }
+            if region.budget_trips() {
+                return Some(InlineReason::Budget);
+            }
+        }
+        None
+    }
+
+    /// Attributes one acted-on inline decision to the matching counters.
+    fn bump_inline_counters(&self, reason: InlineReason, region: Option<&Region>) {
+        let worker = self.worker();
+        let counters = worker.counters();
+        match reason {
+            InlineReason::Final => WorkerCounters::bump(&counters.inlined_final),
+            InlineReason::If => WorkerCounters::bump(&counters.inlined_if),
+            InlineReason::Cutoff => WorkerCounters::bump(&counters.inlined_cutoff),
+            InlineReason::Shed => {
+                WorkerCounters::bump(&counters.inlined_shed);
+                if let Some(region) = region {
+                    WorkerCounters::bump(&region.shard(worker.index).shed);
+                }
+            }
+            InlineReason::Budget => {
+                WorkerCounters::bump(&counters.inlined_budget);
+                if let Some(region) = region {
+                    WorkerCounters::bump(&region.shard(worker.index).serialized);
+                }
+            }
+        }
+    }
+
+    /// Registers a clause-carrying task with the region, routed by the
+    /// region's replay mode ([`crate::replay`]): plain live registration,
+    /// live + recording, warm replay off the frozen graph, or the
+    /// post-divergence live fallback. Returns ready-vs-Deferred like
+    /// [`crate::deps::DepTracker::register`].
+    ///
+    /// `deps_registered` counts *tracker* traffic, so it is bumped here on
+    /// the live paths only — a warm replayed spawn never touches the
+    /// tracker and must not count (it is exactly the traffic replay
+    /// exists to remove).
+    fn register_deps(&self, region: &Region, rec: NonNull<TaskRecord>, deps: &[DepClause]) -> bool {
+        let counters = self.worker().counters();
+        match region.replay().mode() {
+            replay::MODE_RECORDING => {
+                // The recorder's own lock (taken before the tracker mutex,
+                // consistently) keeps the `&mut GraphRecorder` exclusive
+                // even with concurrent registrants. Cold path: once per
+                // token.
+                let mut guard = region
+                    .replay()
+                    .recorder()
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                WorkerCounters::add(&counters.deps_registered, deps.len() as u64);
+                match guard.as_deref_mut() {
+                    // Safety: the record is initialised, closure stored,
+                    // and not yet published to any queue.
+                    Some(r) => unsafe { region.deps().register_recording(rec, deps, r) },
+                    None => unsafe { region.deps().register(rec, deps) },
+                }
+            }
+            replay::MODE_REPLAYING => self.replay_register(region, rec, deps),
+            replay::MODE_DIVERGED => {
+                // A no-op once the diverging spawn's drain finished; kept
+                // here so racing spawners that lose the divergence CAS
+                // also wait before touching the (empty) tracker.
+                self.drain_replayed(region);
+                WorkerCounters::add(&counters.deps_registered, deps.len() as u64);
+                // Safety: as above.
+                unsafe { region.deps().register(rec, deps) }
+            }
+            _ => {
+                WorkerCounters::add(&counters.deps_registered, deps.len() as u64);
+                // Safety: as above.
+                unsafe { region.deps().register(rec, deps) }
+            }
+        }
+    }
+
+    /// The warm replay spawn: claims the next frozen index, checks the
+    /// renamed clause hash against the recording, and wires the record
+    /// into the preresolved graph — no tracker mutex, no map buckets, no
+    /// allocation. A mismatch (or overrunning the recorded task count)
+    /// diverges the region and falls back to live registration.
+    fn replay_register(
+        &self,
+        region: &Region,
+        rec: NonNull<TaskRecord>,
+        deps: &[DepClause],
+    ) -> bool {
+        let rp = region.replay();
+        let g = rp.graph().expect("replaying region without a leased graph");
+        let idx = rp.claim_idx();
+        let matched =
+            (idx as usize) < g.n_tasks() && g.hash_clauses(deps) == Some(g.task_hash(idx));
+        if !matched {
+            self.diverge(region);
+            let counters = self.worker().counters();
+            WorkerCounters::add(&counters.deps_registered, deps.len() as u64);
+            // Safety: initialised, closure stored, unpublished.
+            return unsafe { region.deps().register(rec, deps) };
+        }
+        // Count the spawn before publishing the record: a divergence
+        // waiter must never observe a drained count while a matched task
+        // is still about to run.
+        rp.inc_outstanding();
+        let slot = g.slot(idx);
+        // Safety: initialised, closure stored, unpublished; the tag bit
+        // routes the post-execute retire to the frozen graph.
+        unsafe { rec.as_ref().set_dep_state(replay::tag_slot(slot)) };
+        slot.store_rec(rec);
+        // Drop the spawn guard: a zero transition means every frozen
+        // predecessor has already retired — the task is ready.
+        slot.drop_guard()
+    }
+
+    /// A replayed spawn stopped matching the recording: flip the region to
+    /// Diverged and drain the matched prefix, after which live
+    /// registration starts from an *empty* tracker — sound because frozen
+    /// edges always point from earlier spawns to later ones, so the
+    /// matched prefix is closed under predecessors and completes on its
+    /// own.
+    #[cold]
+    fn diverge(&self, region: &Region) {
+        crate::bots_failpoint!("replay_diverge");
+        region.replay().mark_diverged();
+        self.drain_replayed(region);
+    }
+
+    /// Waits (help-executing, like any task scheduling point) until every
+    /// matched replayed spawn has retired. When the *current* task is
+    /// itself one of them its own retire only happens after its body
+    /// returns, so the drain target is one, not zero.
+    fn drain_replayed(&self, region: &Region) {
+        let rp = region.replay();
+        let me = self.rec();
+        let target = (me.parent().is_some() && me.dep_state_is_replay()) as usize;
+        self.wait_until(|| rp.outstanding() <= target);
     }
 
     /// Runs an undeferred (inline / included) task: full record bookkeeping
@@ -855,12 +1035,17 @@ impl Drop for GeneratorDrainGuard<'_, '_> {
 ///
 /// ## Interaction with the inline cascade
 ///
-/// Tasks carrying clauses are **always deferred**, never run inline:
-/// `final` ancestry, `if(false)` and the runtime/region cut-offs would
-/// otherwise have to execute a task whose predecessors are still running,
-/// or reorder the declared graph. The attributes still apply to the task
-/// itself (tiedness constrains its taskwaits; `final` propagates to its
-/// clause-free descendants).
+/// A task carrying clauses honors the inline cascade (`final` ancestry,
+/// `if(false)`, the runtime cut-off, shed mode, region budgets) exactly
+/// when it is **ready at registration** — every predecessor has already
+/// retired. A ready spawn that the cascade would undefer executes
+/// synchronously before `spawn()` returns, through the full dispatch path
+/// (its own retire releases successors as usual). A spawn with an
+/// unretired predecessor is always deferred, whatever its attributes:
+/// running it inline would execute a task whose inputs are still being
+/// produced, or reorder the declared graph. The attributes still apply to
+/// the deferred task itself (tiedness constrains its taskwaits; `final`
+/// propagates to its clause-free descendants).
 ///
 /// ## Synchronisation
 ///

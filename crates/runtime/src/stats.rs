@@ -182,6 +182,25 @@ pub struct RuntimeStats {
     ///
     /// [`RuntimeConfig::with_max_live_regions`]: crate::RuntimeConfig::with_max_live_regions
     pub submissions_shed: u64,
+    /// Replay-token submits ([`Runtime::submit_replay`]) that ran live and
+    /// recorded (then froze and cached) their region's dependency DAG.
+    ///
+    /// [`Runtime::submit_replay`]: crate::Runtime::submit_replay
+    pub replays_recorded: u64,
+    /// Replay-token submits served entirely off a cached frozen graph —
+    /// zero tracker traffic. Together with `replays_diverged` this accounts
+    /// for every submit that was armed with a leased graph:
+    /// `replays_hit + replays_diverged` = replayed submits.
+    pub replays_hit: u64,
+    /// Replays whose spawn sequence stopped matching the recording: the
+    /// region drained its matched prefix, fell back to live registration
+    /// and invalidated the cached graph.
+    pub replays_diverged: u64,
+    /// Cached frozen graphs evicted (least-recently-armed first) to admit
+    /// a new shape token past [`RuntimeConfig::replay_cache`] capacity.
+    ///
+    /// [`RuntimeConfig::replay_cache`]: crate::RuntimeConfig::replay_cache
+    pub graphs_evicted: u64,
 }
 
 impl RuntimeStats {
@@ -267,6 +286,10 @@ impl RuntimeStats {
             inlined_shed: self.inlined_shed - earlier.inlined_shed,
             regions_cancelled: self.regions_cancelled - earlier.regions_cancelled,
             submissions_shed: self.submissions_shed - earlier.submissions_shed,
+            replays_recorded: self.replays_recorded - earlier.replays_recorded,
+            replays_hit: self.replays_hit - earlier.replays_hit,
+            replays_diverged: self.replays_diverged - earlier.replays_diverged,
+            graphs_evicted: self.graphs_evicted - earlier.graphs_evicted,
         }
     }
 }
@@ -280,7 +303,8 @@ impl std::fmt::Display for RuntimeStats {
              slab(fresh/recycled/cross)={}/{}/{} regions(fresh/recycled)={}/{} \
              groups(fresh/recycled)={}/{} deps(reg/deferred/released)={}/{}/{} \
              spilled={} propagated={} skipped={} inlined_shed={} \
-             cancelled={} shed={}",
+             cancelled={} shed={} \
+             replays(recorded/hit/diverged/evicted)={}/{}/{}/{}",
             self.spawned,
             self.inlined_if,
             self.inlined_cutoff,
@@ -310,6 +334,10 @@ impl std::fmt::Display for RuntimeStats {
             self.inlined_shed,
             self.regions_cancelled,
             self.submissions_shed,
+            self.replays_recorded,
+            self.replays_hit,
+            self.replays_diverged,
+            self.graphs_evicted,
         )
     }
 }

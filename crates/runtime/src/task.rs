@@ -330,6 +330,19 @@ impl TaskRecord {
         )
     }
 
+    /// Is the attached dependency state a tagged replay slot (bit 0 set —
+    /// see [`crate::replay::tag_slot`])? Non-destructive peek, used by the
+    /// divergence path to ask whether the *currently executing* task is
+    /// itself one of the replayed spawns it is waiting out (its dep state
+    /// stays attached until the post-execute retire). Only meaningful on
+    /// records governed by the dep protocol (non-root — see
+    /// [`set_dep_state`](Self::set_dep_state)).
+    #[inline]
+    pub(crate) fn dep_state_is_replay(&self) -> bool {
+        debug_assert!(self.parent.is_some() || self.region.is_null());
+        self.next.load(Ordering::Relaxed) as usize & 1 == 1
+    }
+
     /// Adds one reference.
     #[inline]
     pub(crate) fn add_ref(&self) {

@@ -40,7 +40,10 @@ fn storm(s: &Scope<'_>, depth: u32) {
 
 /// One region exercising every protocol with a failpoint in it: injector
 /// submit + steal-heavy storm (injector, steal, slab reclaim), a taskgroup
-/// (group leave) and a dependency chain (dep retire).
+/// (group leave) and a dependency chain (dep retire) — plus two replay
+/// submits: a stable token whose first recording freezes a graph
+/// (`replay_freeze`), and a token whose shape alternates between calls so
+/// every second submit diverges mid-replay (`replay_diverge`).
 fn workload(rt: &Runtime) {
     rt.parallel(|s| {
         storm(s, 8);
@@ -59,6 +62,21 @@ fn workload(rt: &Runtime) {
                 .spawn();
         }
         s.taskwait();
+    });
+    rt.parallel_replay(0xF00D, |s| {
+        s.task(|_| {}).after_write(&DEP_CHAIN).spawn();
+    });
+    static FLIP: AtomicU64 = AtomicU64::new(0);
+    let diverge = FLIP.fetch_add(1, Ordering::Relaxed) % 2 == 1;
+    rt.parallel_replay(0xD1FF, move |s| {
+        if diverge {
+            s.task(|_| {})
+                .after_read(&DEP_CHAIN)
+                .after_write(&DEP_SINK)
+                .spawn();
+        } else {
+            s.task(|_| {}).after_write(&DEP_CHAIN).spawn();
+        }
     });
 }
 

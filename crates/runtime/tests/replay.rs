@@ -1,0 +1,357 @@
+//! End-to-end behaviour of task-graph record-and-replay
+//! (`Runtime::submit_replay` / `Runtime::parallel_replay`): the first
+//! region under a shape token records its dependency DAG, warm submits
+//! re-execute the frozen graph with no tracker traffic while preserving
+//! dependency order, a shape mismatch diverges back to live registration
+//! with identical results, cancellation composes, and the cache telemetry
+//! (`replays_recorded` / `replays_hit` / `replays_diverged` /
+//! `graphs_evicted`) accounts for every submit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use bots_runtime::{ReplayPhase, Runtime, RuntimeConfig};
+
+/// The acceptance chain from the deps tests — SparseLU's `fwd → bmod →
+/// bdiv` shape — on **one thread**, where a LIFO deque would reverse
+/// spawn order if the dependences did not hold tasks back. Run five times
+/// under one token: the first records (live), the other four replay off
+/// the frozen graph, and every run must produce the same order.
+#[test]
+fn replay_preserves_dependency_order_on_one_thread() {
+    let rt = Runtime::with_threads(1);
+    let row = [0u8; 1];
+    let block = [0u8; 1];
+    for run in 0..5 {
+        let log = Mutex::new(Vec::new());
+        rt.parallel_replay(0xC0FFEE, |s| {
+            let (log, row, block) = (&log, &row, &block);
+            s.task(move |_| log.lock().unwrap().push("fwd"))
+                .after_write(row)
+                .spawn();
+            s.task(move |_| log.lock().unwrap().push("bmod"))
+                .after_read(row)
+                .after_write(block)
+                .spawn();
+            s.task(move |_| log.lock().unwrap().push("bdiv"))
+                .after_read(block)
+                .spawn();
+            // No taskwait: quiescence is the only join, recorded or not.
+        });
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec!["fwd", "bmod", "bdiv"],
+            "run {run}"
+        );
+    }
+    let s = rt.stats();
+    assert_eq!(s.replays_recorded, 1, "first submit records");
+    assert_eq!(s.replays_hit, 4, "warm submits replay");
+    assert_eq!(s.replays_diverged, 0);
+    assert_eq!(
+        s.deps_registered, 4,
+        "only the recording run touches the tracker"
+    );
+}
+
+/// The token promises a *shape*, not addresses: a structurally identical
+/// region over freshly-allocated objects replays through first-occurrence
+/// renaming.
+#[test]
+fn replay_renames_fresh_addresses() {
+    let rt = Runtime::with_threads(2);
+    for round in 0..4u64 {
+        // Fresh heap objects every round — addresses may or may not repeat,
+        // renaming must not care.
+        let objs: Vec<Box<AtomicU64>> = (0..3).map(|_| Box::new(AtomicU64::new(0))).collect();
+        rt.parallel_replay(0xDEAD_BEEF, |s| {
+            let objs = &objs;
+            s.task(move |_| objs[0].store(round + 1, Ordering::Relaxed))
+                .after_write(&*objs[0])
+                .spawn();
+            for sink in &objs[1..] {
+                s.task(move |_| sink.store(objs[0].load(Ordering::Relaxed), Ordering::Relaxed))
+                    .after_read(&*objs[0])
+                    .after_write(&**sink)
+                    .spawn();
+            }
+        });
+        for obj in &objs {
+            assert_eq!(obj.load(Ordering::Relaxed), round + 1, "round {round}");
+        }
+    }
+    let s = rt.stats();
+    assert_eq!(s.replays_recorded, 1);
+    assert_eq!(s.replays_hit, 3);
+    assert_eq!(s.replays_diverged, 0);
+}
+
+/// A submit whose spawn sequence stops matching the recording diverges:
+/// the matched prefix drains, the rest registers live, the results are
+/// exactly what a live run would produce, and the stale graph is
+/// invalidated so the *next* submit re-records.
+#[test]
+fn divergence_falls_back_to_live_and_re_records() {
+    let rt = Runtime::with_threads(2);
+    let a = AtomicU64::new(0);
+    let b = AtomicU64::new(0);
+    const TOKEN: u64 = 7;
+
+    // Record: write a → read a.
+    rt.parallel_replay(TOKEN, |s| {
+        let a = &a;
+        s.task(move |_| a.store(1, Ordering::Relaxed))
+            .after_write(a)
+            .spawn();
+        s.task(move |_| {
+            a.fetch_add(10, Ordering::Relaxed);
+        })
+        .after_read(a)
+        .spawn();
+    });
+    assert_eq!(a.load(Ordering::Relaxed), 11);
+
+    // Same token, different shape: the first spawn matches the recording,
+    // the second (write, not read — and a second address) does not.
+    a.store(0, Ordering::Relaxed);
+    rt.parallel_replay(TOKEN, |s| {
+        let (a, b) = (&a, &b);
+        s.task(move |_| a.store(2, Ordering::Relaxed))
+            .after_write(a)
+            .spawn();
+        s.task(move |_| b.store(a.load(Ordering::Relaxed), Ordering::Relaxed))
+            .after_read(a)
+            .after_write(b)
+            .spawn();
+        s.task(move |_| {
+            b.fetch_add(100, Ordering::Relaxed);
+        })
+        .after_read(b)
+        .spawn();
+    });
+    assert_eq!(a.load(Ordering::Relaxed), 2);
+    assert_eq!(
+        b.load(Ordering::Relaxed),
+        102,
+        "post-divergence ordering held"
+    );
+
+    let s = rt.stats();
+    assert_eq!(s.replays_recorded, 1);
+    assert_eq!(s.replays_diverged, 1, "the mismatch diverged");
+    assert_eq!(s.replays_hit, 0);
+
+    // The stale graph was invalidated: the same token records afresh, and
+    // the new recording replays.
+    rt.parallel_replay(TOKEN, |s| {
+        let a = &a;
+        s.task(move |_| a.store(3, Ordering::Relaxed))
+            .after_write(a)
+            .spawn();
+    });
+    rt.parallel_replay(TOKEN, |s| {
+        let a = &a;
+        s.task(move |_| a.store(4, Ordering::Relaxed))
+            .after_write(a)
+            .spawn();
+    });
+    assert_eq!(a.load(Ordering::Relaxed), 4);
+    let s = rt.stats();
+    assert_eq!(s.replays_recorded, 2, "divergence invalidated the graph");
+    assert_eq!(s.replays_hit, 1);
+}
+
+/// Spawning *more* tasks than the recording is a divergence too (the
+/// overrun claims an index past the frozen task count).
+#[test]
+fn overrunning_the_recording_diverges() {
+    let rt = Runtime::with_threads(2);
+    let a = AtomicU64::new(0);
+    const TOKEN: u64 = 8;
+    rt.parallel_replay(TOKEN, |s| {
+        let a = &a;
+        s.task(move |_| a.store(1, Ordering::Relaxed))
+            .after_write(a)
+            .spawn();
+    });
+    rt.parallel_replay(TOKEN, |s| {
+        let a = &a;
+        for add in [1u64, 10, 100] {
+            s.task(move |_| {
+                a.fetch_add(add, Ordering::Relaxed);
+            })
+            .after_write(a)
+            .spawn();
+        }
+    });
+    assert_eq!(a.load(Ordering::Relaxed), 112);
+    assert_eq!(rt.stats().replays_diverged, 1);
+}
+
+/// Cancelling a replayed region drains it cleanly and returns the graph
+/// to the cache: the next submit under the token replays again. A
+/// cancelled *recording* is invalidated instead — its shape is truncated.
+#[test]
+fn cancellation_composes_with_replay() {
+    let rt = Runtime::with_threads(2);
+    const TOKEN: u64 = 9;
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+
+    // A cancelled recording does not deposit a truncated graph.
+    let h = rt.submit_replay(TOKEN, |s| {
+        s.task(|_| {
+            TICKS.store(1, Ordering::Relaxed);
+        })
+        .after_write(&TICKS)
+        .spawn();
+        s.cancel_region();
+    });
+    assert!(h.outcome().is_err(), "cancelled region reports Cancelled");
+    assert_eq!(
+        rt.stats().replays_recorded,
+        0,
+        "truncated recording dropped"
+    );
+
+    // Record for real, then cancel a replay mid-flight.
+    let chain = |cancel: bool| {
+        move |s: &bots_runtime::Scope<'_>| {
+            s.task(|_| {
+                TICKS.fetch_add(1, Ordering::Relaxed);
+            })
+            .after_write(&TICKS)
+            .spawn();
+            s.task(|_| {
+                TICKS.fetch_add(1, Ordering::Relaxed);
+            })
+            .after_write(&TICKS)
+            .spawn();
+            if cancel {
+                s.cancel_region();
+            }
+        }
+    };
+    rt.submit_replay(TOKEN, chain(false))
+        .outcome()
+        .expect("recording run completes");
+    let h = rt.submit_replay(TOKEN, chain(true));
+    assert!(h.outcome().is_err(), "cancelled replay reports Cancelled");
+    // The graph went back: the token still replays, to completion.
+    TICKS.store(0, Ordering::Relaxed);
+    rt.submit_replay(TOKEN, chain(false))
+        .outcome()
+        .expect("replay after a cancelled replay completes");
+    assert_eq!(TICKS.load(Ordering::Relaxed), 2);
+    let s = rt.stats();
+    assert_eq!(s.replays_recorded, 1);
+    assert_eq!(
+        s.replays_hit, 2,
+        "the cancelled replay and the clean one both count as hits"
+    );
+    assert_eq!(s.replays_diverged, 0);
+}
+
+/// Region-level observability: `RegionStats::replay` reports the phase the
+/// region finished in.
+#[test]
+fn region_stats_report_the_replay_phase() {
+    let rt = Runtime::with_threads(2);
+    static OBJ: AtomicU64 = AtomicU64::new(0);
+    let body = |s: &bots_runtime::Scope<'_>| {
+        s.task(|_| {
+            OBJ.fetch_add(1, Ordering::Relaxed);
+        })
+        .after_write(&OBJ)
+        .spawn();
+    };
+    // The phase is armed before `submit_replay` returns, so the handle can
+    // report it before (and while) the region runs.
+    let h = rt.submit_replay(11, body);
+    assert_eq!(h.stats().replay, ReplayPhase::Recording);
+    h.outcome().expect("recording run completes");
+    let h = rt.submit_replay(11, body);
+    assert_eq!(h.stats().replay, ReplayPhase::Replaying);
+    h.outcome().expect("replayed run completes");
+    let h = rt.submit(body);
+    assert_eq!(h.stats().replay, ReplayPhase::Off);
+    h.outcome().expect("plain submit completes");
+}
+
+/// Admitting tokens past the cache capacity evicts the
+/// least-recently-armed graph; the evicted token simply records again.
+#[test]
+fn cache_eviction_recycles_capacity() {
+    let rt = Runtime::new(RuntimeConfig::new(2).with_replay_cache(1));
+    static OBJ: AtomicU64 = AtomicU64::new(0);
+    let body = |s: &bots_runtime::Scope<'_>| {
+        s.task(|_| {
+            OBJ.fetch_add(1, Ordering::Relaxed);
+        })
+        .after_write(&OBJ)
+        .spawn();
+    };
+    let _ = rt.submit_replay(1, body).outcome();
+    let _ = rt.submit_replay(1, body).outcome();
+    let _ = rt.submit_replay(2, body).outcome(); // evicts token 1's graph
+    let _ = rt.submit_replay(1, body).outcome(); // records afresh
+    let s = rt.stats();
+    assert_eq!(s.replays_hit, 1);
+    assert!(s.graphs_evicted >= 1, "capacity 1 must evict");
+    assert_eq!(s.replays_recorded, 3);
+    assert_eq!(s.replays_diverged, 0);
+}
+
+/// A dependency task that is **ready at registration** now honors the
+/// inline cascade (the README's long-standing deviation, removed): with
+/// `if(false)` and no unretired predecessors it executes synchronously —
+/// its side effect is visible the moment `spawn()` returns.
+#[test]
+fn ready_dep_task_honors_if_clause_inline() {
+    let rt = Runtime::with_threads(2);
+    let obj = [0u8; 1];
+    let flag = AtomicU64::new(0);
+    rt.parallel(|s| {
+        let (obj, flag) = (&obj, &flag);
+        s.task(move |_| {
+            flag.store(1, Ordering::Relaxed);
+        })
+        .after_write(obj)
+        .if_clause(false)
+        .spawn();
+        assert_eq!(
+            flag.load(Ordering::Relaxed),
+            1,
+            "a ready undeferred dep task must run before spawn() returns"
+        );
+    });
+    let s = rt.stats();
+    assert!(s.inlined_if >= 1, "the inline was attributed");
+}
+
+/// The other half of the contract: an `if(false)` dep task whose
+/// predecessor has not retired **cannot** run inline — it defers like any
+/// clause-carrying task and runs after its predecessor. On one thread the
+/// predecessor cannot have run when the successor registers, making the
+/// deferral deterministic.
+#[test]
+fn unready_dep_task_defers_despite_if_clause() {
+    let rt = Runtime::with_threads(1);
+    let obj = [0u8; 1];
+    let log = Mutex::new(Vec::new());
+    rt.parallel(|s| {
+        let (obj, log) = (&obj, &log);
+        s.task(move |_| log.lock().unwrap().push("pred"))
+            .after_write(obj)
+            .spawn();
+        s.task(move |_| log.lock().unwrap().push("succ"))
+            .after_read(obj)
+            .if_clause(false)
+            .spawn();
+        assert!(
+            log.lock().unwrap().is_empty(),
+            "an unready task cannot run inline, whatever its attributes"
+        );
+    });
+    assert_eq!(*log.lock().unwrap(), vec!["pred", "succ"]);
+    assert_eq!(rt.stats().deps_deferred, 1);
+}

@@ -1,0 +1,206 @@
+//! Property test for task-graph record-and-replay, run under the counting
+//! allocator: randomly shaped dependency DAGs — chains, diamond layers and
+//! random fan-ins — are submitted repeatedly under one shape token, and
+//! every round (the recording round, every warm replay, an optionally
+//! injected shape mutation and the re-recording after it) must uphold the
+//! data-flow invariants:
+//!
+//! * **topological execution** — a node never observes an unfinished
+//!   predecessor, recorded or replayed;
+//! * **sequential semantics** — each node folds its predecessors' values
+//!   into its own, so the final state is exactly the sequential
+//!   simulation of the DAG, schedule and replay mode notwithstanding;
+//! * **divergence falls back to live** — a mutated round (one extra node)
+//!   diverges, still produces the mutated DAG's sequential result, and
+//!   invalidates the graph so the next round re-records;
+//! * **warm replays allocate nothing** — the minimum allocation delta
+//!   over the warm rounds is exactly zero;
+//! * **leak freedom** — dropping the runtime returns live heap bytes to
+//!   baseline: frozen graphs and the cache flow back too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots_profile::{alloc_calls, current_bytes};
+use bots_runtime::{Runtime, MAX_TASK_DEPS};
+use proptest::prelude::*;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+/// Tiny deterministic generator for DAG shapes (the shim proptest
+/// strategies are integer ranges; structure is derived from a seed).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Predecessors of node `i` for the given shape; edges point backwards,
+/// so every generated graph is a DAG by construction.
+fn preds(shape: u64, i: usize, rng: &mut Rng) -> Vec<usize> {
+    if i == 0 {
+        return Vec::new();
+    }
+    match shape {
+        0 => vec![i - 1],
+        1 => {
+            let layer = i / 3;
+            if layer == 0 {
+                Vec::new()
+            } else {
+                ((layer - 1) * 3..layer * 3).filter(|&p| p < i).collect()
+            }
+        }
+        _ => {
+            let k = (rng.below(MAX_TASK_DEPS as u64 - 1) + 1).min(i as u64);
+            let mut ps: Vec<usize> = (0..k).map(|_| rng.below(i as u64) as usize).collect();
+            ps.sort_unstable();
+            ps.dedup();
+            ps
+        }
+    }
+}
+
+/// The sequential simulation: node `i` is worth `i + 1` plus the sum of
+/// its predecessors' values. Any schedule that respects the declared
+/// edges — live, replayed, or post-divergence — must reproduce exactly
+/// this.
+fn simulate(graph: &[Vec<usize>]) -> Vec<u64> {
+    let mut vals = vec![0u64; graph.len()];
+    for (i, ps) in graph.iter().enumerate() {
+        vals[i] = i as u64 + 1 + ps.iter().map(|&p| vals[p]).sum::<u64>();
+    }
+    vals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn replayed_dags_match_the_sequential_simulation(
+        workers in 1usize..5,
+        n in 2usize..20,
+        shape in 0u64..3,
+        seed in 1u64..10_000,
+        rounds in 2u64..6,
+        mutate in 0u64..2,
+    ) {
+        const TOKEN: u64 = 42;
+        let mut rng = Rng(seed);
+        let graph: Vec<Vec<usize>> = (0..n).map(|i| preds(shape, i, &mut rng)).collect();
+        // The mutated shape: one extra node reading node 0 — the matched
+        // prefix replays, the overrunning spawn diverges.
+        let mut mutated = graph.clone();
+        mutated.push(vec![0]);
+
+        // One flag per node (including the mutation's extra node): the
+        // depend-clause token, the done flag and the checksum cell in one.
+        let flags: Vec<AtomicU64> = (0..=n).map(|_| AtomicU64::new(0)).collect();
+        let violations = AtomicU64::new(0);
+
+        // Warm process-level one-time allocations (thread bootstrap, lazy
+        // synchronisation primitives, the failpoint registry when the
+        // feature is compiled in) out of the leak window.
+        drop(Runtime::with_threads(workers));
+        let heap_before = current_bytes();
+        {
+            let rt = Runtime::with_threads(workers);
+            // Expected values are precomputed per shape: `simulate`
+            // allocates, and run_round's body sits inside the measured
+            // zero-allocation windows.
+            let graph_expected = simulate(&graph);
+            let mutated_expected = simulate(&mutated);
+            let run_round = |g: &[Vec<usize>], expected: &[u64]| {
+                for f in &flags {
+                    f.store(0, Ordering::Relaxed);
+                }
+                rt.parallel_replay(TOKEN, |s| {
+                    for (i, ps) in g.iter().enumerate() {
+                        let (flags, violations) = (&flags, &violations);
+                        let mut b = s.task(move |_| {
+                            let mut v = i as u64 + 1;
+                            for &p in ps {
+                                let pv = flags[p].load(Ordering::Acquire);
+                                if pv == 0 {
+                                    violations.fetch_add(1, Ordering::Relaxed);
+                                }
+                                v += pv;
+                            }
+                            flags[i].store(v, Ordering::Release);
+                        });
+                        for &p in ps {
+                            b = b.after_read(&flags[p]);
+                        }
+                        b.after_write(&flags[i]).spawn();
+                    }
+                });
+                for (i, e) in expected.iter().enumerate() {
+                    assert_eq!(
+                        flags[i].load(Ordering::Relaxed),
+                        *e,
+                        "node {i} broke the sequential simulation"
+                    );
+                }
+            };
+
+            // Round 0 records; two unmeasured settle replays let in-flight
+            // cross-thread record reclaim drain home (as in the zero_alloc
+            // binary); then the minimum allocation delta over the measured
+            // warm rounds is the replay path's true cost.
+            run_round(&graph, &graph_expected);
+            run_round(&graph, &graph_expected);
+            run_round(&graph, &graph_expected);
+            let warm_min = (0..rounds)
+                .map(|_| {
+                    let before = alloc_calls();
+                    run_round(&graph, &graph_expected);
+                    alloc_calls() - before
+                })
+                .min()
+                .unwrap();
+            prop_assert_eq!(
+                warm_min, 0,
+                "a warm replayed DAG round performed heap allocations"
+            );
+            let s = rt.stats();
+            prop_assert_eq!(s.replays_recorded, 1);
+            prop_assert_eq!(s.replays_hit, rounds + 2);
+            prop_assert_eq!(s.replays_diverged, 0);
+
+            if mutate == 1 {
+                // The mutated round diverges but still produces the
+                // mutated DAG's sequential result; the stale graph is
+                // invalidated, so the next round re-records and the one
+                // after replays the *new* shape.
+                run_round(&mutated, &mutated_expected);
+                prop_assert_eq!(rt.stats().replays_diverged, 1);
+                run_round(&mutated, &mutated_expected);
+                run_round(&mutated, &mutated_expected);
+                let s = rt.stats();
+                prop_assert_eq!(s.replays_recorded, 2, "divergence must re-record");
+                prop_assert_eq!(s.replays_hit, rounds + 3);
+            }
+
+            prop_assert_eq!(violations.load(Ordering::Relaxed), 0,
+                "a node ran before one of its declared predecessors");
+            // Runtime drops here: graphs, cache, pools all freed.
+        }
+        let heap_after = current_bytes();
+        let leaked = heap_after.saturating_sub(heap_before);
+        prop_assert!(
+            leaked < 512,
+            "live heap grew by {leaked} bytes across a full replay lifecycle"
+        );
+    }
+}

@@ -308,6 +308,98 @@ fn steady_state_deps_allocate_nothing() {
     assert_eq!(stats.deps_deferred, stats.deps_released);
 }
 
+/// The replay acceptance test: once a token's graph is recorded (the cold
+/// run may allocate — the recorder's vectors grow once), a **warm replayed
+/// region** performs exactly zero heap allocations *and* zero tracker
+/// traffic: arming the frozen graph, claiming slots, the preresolved
+/// successor walks and handing the graph back to the cache all run on
+/// pooled or frozen storage.
+#[test]
+fn steady_state_replay_allocates_nothing() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+    static CHAIN: AtomicU64 = AtomicU64::new(0);
+    static SINKS: [AtomicU64; 8] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
+    let _serial = exclusive();
+    let rt = Runtime::with_threads(4);
+
+    // The same dependency-diamond chain as the live test above, submitted
+    // under a shape token (one token per batch size — the token promises a
+    // shape, and the two batches have different ones).
+    let region = |links: u64, token: u64| {
+        let before = TICKS.load(Ordering::Relaxed);
+        rt.parallel_replay(token, move |s| {
+            for _ in 0..links {
+                s.task(move |_| {
+                    TICKS.fetch_add(1, Ordering::Relaxed);
+                })
+                .after_write(&CHAIN)
+                .spawn();
+                for sink in SINKS.iter() {
+                    s.task(move |_| {
+                        TICKS.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .after_read(&CHAIN)
+                    .after_write(sink)
+                    .spawn();
+                }
+            }
+        });
+        assert_eq!(TICKS.load(Ordering::Relaxed) - before, links * 9);
+    };
+
+    // Cold runs record (and may allocate: recorder growth, the frozen
+    // graph itself); warm-up replays settle the record slabs.
+    region(1_000, 100);
+    region(2_000, 101);
+    for _ in 0..3 {
+        region(1_000, 100);
+        region(2_000, 101);
+    }
+
+    let tracker_before = rt.stats().deps_registered;
+    let min_for = |links: u64, token: u64| {
+        (0..9)
+            .map(|_| {
+                let before = alloc_calls();
+                region(links, token);
+                alloc_calls() - before
+            })
+            .min()
+            .unwrap()
+    };
+    let small = min_for(1_000, 100);
+    let large = min_for(2_000, 101);
+    assert_eq!(
+        large,
+        small,
+        "1_000 extra warm replayed diamonds performed {} heap allocations",
+        large as i64 - small as i64
+    );
+    assert_eq!(
+        small, 0,
+        "a warm replayed region must cost zero allocations, not {small}"
+    );
+
+    // Zero tracker traffic: warm replays never touched the dep tracker.
+    let stats = rt.stats();
+    assert_eq!(
+        stats.deps_registered, tracker_before,
+        "warm replays must register nothing with the tracker"
+    );
+    assert!(stats.replays_hit >= 18, "the measurement runs all replayed");
+    assert_eq!(stats.replays_diverged, 0);
+}
+
 /// The pooled-region acceptance test: once the descriptor pool is warm, a
 /// whole `submit` + `join` round trip — descriptor lease, root record,
 /// result slot, completion — performs **exactly zero** heap allocations.

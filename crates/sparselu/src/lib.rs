@@ -30,5 +30,5 @@ mod serial;
 pub use bench::{dims_for, SparseLuBench};
 pub use matrix::{BlockMatrix, Slot};
 pub use ops::{bdiv, bmod, fwd, lu0};
-pub use parallel::{sparselu_parallel, LuGenerator};
+pub use parallel::{sparselu_parallel, sparselu_parallel_replay, LuGenerator};
 pub use serial::{reconstruction_error, sparselu_serial};

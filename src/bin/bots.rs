@@ -24,7 +24,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bots list\n  bots versions <app>\n  bots run <app> [flags]\n  \
          bots check [--class C] [--threads N] [--budget B] [--deps]\n             \
-         [--cancel-after MS] [--deadline MS]\n\nflags:\n  \
+         [--cancel-after MS] [--deadline MS] [--replay]\n\nflags:\n  \
          --class test|small|medium|large   input class (default medium)\n  \
          --version LABEL                   version label (default: best; see `bots versions`)\n  \
          --threads N                       team size (default: machine)\n  \
@@ -32,6 +32,9 @@ fn usage() -> ExitCode {
                                     at most B of its own tasks before spawning serially\n  \
          --deps                            check: verify only the dependency-driven (deps-*)\n  \
                                     versions — the data-flow integrity job\n  \
+         --replay                          check: add a record-and-replay row — SparseLU deps\n  \
+                                    factorised repeatedly under one shape token, every\n  \
+                                    round bit-identical to the serial reference\n  \
          --cancel-after MS                 check: add a spawn-storm row cancelled after MS ms;\n  \
                                     the row passes when the storm drains to quiescence\n  \
          --deadline MS                     check: add a spawn-storm row submitted with an MS-ms\n  \
@@ -90,6 +93,7 @@ fn check_command(args: &[String]) -> ExitCode {
     let mut threads = bots::runtime::default_threads();
     let mut budget = RegionBudget::Inherit;
     let mut deps_only = false;
+    let mut replay = false;
     let mut cancel_after: Option<u64> = None;
     let mut deadline: Option<u64> = None;
     let mut it = args.iter();
@@ -123,6 +127,7 @@ fn check_command(args: &[String]) -> ExitCode {
                 }
             },
             "--deps" => deps_only = true,
+            "--replay" => replay = true,
             "--cancel-after" => match value().parse::<u64>() {
                 Ok(ms) if ms >= 1 => cancel_after = Some(ms),
                 _ => {
@@ -157,7 +162,7 @@ fn check_command(args: &[String]) -> ExitCode {
     // The storm rows run *concurrently* with the kernel rows on the same
     // team: cancelling an unbounded storm must drain cleanly while real
     // regions are in flight, and must not perturb a single checksum.
-    let (outcomes, storm_rows) = std::thread::scope(|sc| {
+    let (outcomes, storm_rows, replay_row) = std::thread::scope(|sc| {
         let rt = &rt;
         let storms = sc.spawn(move || {
             let mut rows: Vec<(String, runner::StormOutcome)> = Vec::new();
@@ -171,10 +176,15 @@ fn check_command(args: &[String]) -> ExitCode {
             }
             rows
         });
+        let replays = sc.spawn(move || replay.then(|| verify_replay(rt, class)));
         let outcomes = runner::verify_overlapping_where(&benches, rt, class, |v| {
             !deps_only || v.generator == bots::suite::Generator::Deps
         });
-        (outcomes, storms.join().expect("storm rows panicked"))
+        (
+            outcomes,
+            storms.join().expect("storm rows panicked"),
+            replays.join().expect("replay row panicked"),
+        )
     });
     let elapsed = t0.elapsed();
     if deps_only && outcomes.is_empty() {
@@ -210,6 +220,19 @@ fn check_command(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(r) = &replay_row {
+        match r {
+            Ok((recorded, hit, diverged)) => println!(
+                "ok      {:<10} {REPLAY_ROUNDS} rounds bit-identical to serial — \
+                 recorded {recorded}, replayed {hit}, diverged {diverged}",
+                "replay"
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("FAILED  {:<10} — {e}", "replay");
+            }
+        }
+    }
     let budget_note = match budget {
         RegionBudget::Inherit => String::new(),
         RegionBudget::MaxQueued(n) => format!(", region budget {n}"),
@@ -236,6 +259,51 @@ fn check_command(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Rounds the `--replay` row factorises under one shape token.
+const REPLAY_ROUNDS: usize = 5;
+
+/// `bots check --replay`: the record-and-replay integrity row. SparseLU's
+/// dependency-driven factorisation runs [`REPLAY_ROUNDS`] times under one
+/// shape token on the shared team — the first round records the block
+/// DAG, warm rounds re-execute the frozen graph with zero tracker
+/// traffic — and every round's digest must be bit-identical to the serial
+/// reference. Returns `(recorded, hit, diverged)` on success.
+fn verify_replay(rt: &Runtime, class: InputClass) -> Result<(u64, u64, u64), String> {
+    use bots::profile::NullProbe;
+    use bots::sparselu::{dims_for, sparselu_parallel_replay, sparselu_serial, BlockMatrix};
+
+    const TOKEN: u64 = 0xB075;
+    let (nb, bs) = dims_for(class);
+    let reference = BlockMatrix::generate(nb, bs, 42);
+    sparselu_serial(&NullProbe, &reference);
+    let want = reference.digest();
+
+    let before = rt.stats();
+    for round in 0..REPLAY_ROUNDS {
+        // A fresh matrix every round: the blocks live at new addresses,
+        // so warm rounds also prove the graph's address renaming.
+        let m = BlockMatrix::generate(nb, bs, 42);
+        sparselu_parallel_replay(rt, &m, TOKEN, false);
+        let got = m.digest();
+        if got != want {
+            return Err(format!(
+                "round {round}: digest {got:#018x} != serial {want:#018x}"
+            ));
+        }
+    }
+    let d = rt.stats().since(&before);
+    if d.replays_hit + d.replays_diverged + d.replays_recorded != REPLAY_ROUNDS as u64 {
+        return Err(format!(
+            "replay ledger broken: recorded {} + hit {} + diverged {} != {REPLAY_ROUNDS} submits",
+            d.replays_recorded, d.replays_hit, d.replays_diverged
+        ));
+    }
+    if d.replays_hit == 0 {
+        return Err("no round replayed the frozen graph".into());
+    }
+    Ok((d.replays_recorded, d.replays_hit, d.replays_diverged))
 }
 
 fn run_command(args: &[String]) -> ExitCode {
