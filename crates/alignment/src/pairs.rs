@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicI32, Ordering};
 
 use bots_profile::{NullProbe, Probe};
-use bots_runtime::{Runtime, TaskAttrs};
+use bots_runtime::{LoopMode, Runtime, Scope, TaskAttrs};
 
 use crate::score::align_score;
 
@@ -59,34 +59,53 @@ pub fn align_all_parallel(
     gen: AlignGenerator,
     untied: bool,
 ) -> Vec<i32> {
-    let n = seqs.len();
     let attrs = TaskAttrs::default().with_tied(!untied);
-    let out: Vec<AtomicI32> = (0..pair_count(n)).map(|_| AtomicI32::new(0)).collect();
-    let out_ref = &out;
-    rt.parallel(move |s| match gen {
+    let out: Vec<AtomicI32> = (0..pair_count(seqs.len()))
+        .map(|_| AtomicI32::new(0))
+        .collect();
+    let out_ref = &out[..];
+    rt.region(move |s| score_pairs(s, seqs, out_ref, gen, attrs))
+        .join();
+    out.into_iter().map(|a| a.into_inner()).collect()
+}
+
+/// The region body: spawns one scoring task per pair under the chosen
+/// generator scheme.
+fn score_pairs<'e>(
+    s: &Scope<'e>,
+    seqs: &'e [Vec<u8>],
+    out: &'e [AtomicI32],
+    gen: AlignGenerator,
+    attrs: TaskAttrs,
+) {
+    let n = seqs.len();
+    match gen {
         AlignGenerator::For => {
-            s.parallel_for(0..n, move |i, s| {
+            // The paper's structure verbatim: a worksharing loop over the
+            // outer index, tasks created inside each claimed chunk.
+            s.for_each(0..n, move |i, s| {
                 for j in i + 1..n {
                     s.spawn_with(attrs, move |_| {
                         let score = align_score(&NullProbe, &seqs[i], &seqs[j]);
-                        out_ref[pair_index(n, i, j)].store(score, Ordering::Relaxed);
+                        out[pair_index(n, i, j)].store(score, Ordering::Relaxed);
                     });
                 }
-            });
+            })
+            .mode(LoopMode::Worksharing)
+            .run();
         }
         AlignGenerator::Single => {
             for i in 0..n {
                 for j in i + 1..n {
                     s.spawn_with(attrs, move |_| {
                         let score = align_score(&NullProbe, &seqs[i], &seqs[j]);
-                        out_ref[pair_index(n, i, j)].store(score, Ordering::Relaxed);
+                        out[pair_index(n, i, j)].store(score, Ordering::Relaxed);
                     });
                 }
             }
             s.taskwait();
         }
-    });
-    out.into_iter().map(|a| a.into_inner()).collect()
+    }
 }
 
 #[cfg(test)]

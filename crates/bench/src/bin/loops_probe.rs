@@ -1,0 +1,102 @@
+//! Loop-surface diagnostic: per-iteration cost of `for_each` in both
+//! [`LoopMode`]s at a deliberately fine grain — the regime the worksharing
+//! protocol exists for. `Tasks` mode pays a full task record, deque push
+//! and dispatch per chunk; `Worksharing` publishes one pooled descriptor
+//! and claims the same chunks off an atomic cursor, so on fine grains the
+//! worksharing/task ratio must stay **below 1.0** — that ratio is a gated
+//! metric, not a narrative claim.
+//!
+//! Runs under the counting allocator: `ws_allocs_steady_t1` measures the
+//! warm worksharing path's allocations per thousand iterations (expected
+//! 0, held to `bench_gate`'s absolute ceiling of 1.0 for zero-baseline
+//! metrics). Each iteration stores into its own slot of a shared sink, so
+//! the body is real work without cross-thread contention and a lost or
+//! doubled iteration cannot hide. With `BOTS_BENCH_JSON_DIR` set, writes
+//! `BENCH_loops.json` for the CI artifact + `bench_gate`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots::runtime::LoopMode;
+use bots::Runtime;
+use bots_bench::perf::Report;
+use bots_profile::alloc_calls;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+/// One region running one `for_each` over the whole space.
+fn run_loop(rt: &Runtime, sink: &[AtomicU64], grain: usize, mode: LoopMode) {
+    rt.parallel(|s| {
+        s.for_each(0..sink.len(), |i, _| {
+            sink[i].store(i as u64 ^ 0x9E37_79B9, Ordering::Relaxed);
+        })
+        .chunk(grain)
+        .mode(mode)
+        .run();
+    });
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let grain = 16usize;
+    let reps = 10u32;
+    let sink: Vec<AtomicU64> = (0..iters).map(|_| AtomicU64::new(0)).collect();
+    let mut report = Report::new("loops");
+
+    println!("iters={iters} grain={grain} reps={reps}");
+    println!(
+        "{:>7} {:>13} {:>11} {:>10} {:>14} {:>10} {:>10}",
+        "threads",
+        "ns/iter(task)",
+        "ns/iter(ws)",
+        "ws/tasks",
+        "allocs/kit(ws)",
+        "chunks",
+        "recycled"
+    );
+    for threads in [1usize, 4] {
+        let rt = Runtime::with_threads(threads);
+        // Warm both paths: record slabs for the task mode, pooled loop
+        // descriptors on every shard for the worksharing mode.
+        for _ in 0..4 {
+            run_loop(&rt, &sink, grain, LoopMode::Tasks);
+            run_loop(&rt, &sink, grain, LoopMode::Worksharing);
+        }
+
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            run_loop(&rt, &sink, grain, LoopMode::Tasks);
+        }
+        let tasks_elapsed = t0.elapsed();
+
+        let before = rt.stats();
+        let ws_allocs_before = alloc_calls();
+        let t1 = std::time::Instant::now();
+        for _ in 0..reps {
+            run_loop(&rt, &sink, grain, LoopMode::Worksharing);
+        }
+        let ws_elapsed = t1.elapsed();
+        let ws_allocs = alloc_calls() - ws_allocs_before;
+        let d = rt.stats().since(&before);
+
+        let total = (iters as u64 * u64::from(reps)) as f64;
+        let ns_tasks = tasks_elapsed.as_nanos() as f64 / total;
+        let ns_ws = ws_elapsed.as_nanos() as f64 / total;
+        let ratio = ns_ws / ns_tasks;
+        let allocs_per_kit = ws_allocs as f64 / (total / 1000.0);
+        println!(
+            "{:>7} {:>13.2} {:>11.2} {:>10.3} {:>14.3} {:>10} {:>10}",
+            threads, ns_tasks, ns_ws, ratio, allocs_per_kit, d.ws_chunks, d.loops_recycled,
+        );
+        report.push(format!("ns_per_iter_tasks_t{threads}"), ns_tasks);
+        report.push(format!("ns_per_iter_ws_t{threads}"), ns_ws);
+        if threads == 1 {
+            report.push("ws_over_tasks_t1".to_string(), ratio);
+            report.push("ws_allocs_steady_t1".to_string(), allocs_per_kit);
+        }
+    }
+    report.maybe_emit();
+}

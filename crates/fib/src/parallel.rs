@@ -25,7 +25,7 @@ pub enum FibMode {
 /// Computes `fib(n)` on `rt`.
 pub fn fib_parallel(rt: &Runtime, n: u64, mode: FibMode, untied: bool, cutoff: u32) -> u64 {
     let attrs = TaskAttrs::default().with_tied(!untied);
-    rt.parallel(move |s| {
+    rt.region(move |s| {
         let out = AtomicU64::new(0);
         match mode {
             FibMode::NoCutoff => node_nocutoff(s, n, attrs, &out),
@@ -34,6 +34,7 @@ pub fn fib_parallel(rt: &Runtime, n: u64, mode: FibMode, untied: bool, cutoff: u
         }
         out.load(Ordering::Relaxed)
     })
+    .join()
 }
 
 fn node_nocutoff(s: &Scope<'_>, n: u64, attrs: TaskAttrs, out: &AtomicU64) {

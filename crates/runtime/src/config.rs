@@ -146,6 +146,12 @@ pub struct RuntimeConfig {
     /// cached graph (tokens whose graph is currently leased out or still
     /// recording are never evicted). Floors at 1.
     pub replay_cache: usize,
+    /// Team-wide default claim grain for worksharing loops
+    /// ([`LoopMode::Worksharing`](crate::LoopMode::Worksharing)) whose
+    /// [`ForBuilder`](crate::ForBuilder) did not set an explicit
+    /// `.chunk(n)`. `0` (the default) means auto: `len / (4 × workers)`,
+    /// at least 1.
+    pub loop_grain: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -162,6 +168,7 @@ impl Default for RuntimeConfig {
             record_chunk: 64,
             max_live_regions: 0,
             replay_cache: 64,
+            loop_grain: 0,
         }
     }
 }
@@ -246,6 +253,13 @@ impl RuntimeConfig {
         self.replay_cache = graphs.max(1);
         self
     }
+
+    /// Sets the team-wide default worksharing claim grain (`0` restores
+    /// the auto heuristic). See [`RuntimeConfig::loop_grain`].
+    pub fn with_loop_grain(mut self, grain: usize) -> Self {
+        self.loop_grain = grain;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +277,7 @@ mod tests {
         assert!(c.wake_propagation);
         assert_eq!(c.max_live_regions, 0, "shedding is opt-in");
         assert_eq!(c.replay_cache, 64);
+        assert_eq!(c.loop_grain, 0, "worksharing grain defaults to auto");
     }
 
     #[test]
@@ -291,6 +306,10 @@ mod tests {
         assert_eq!(c.replay_cache, 1, "cache capacity floors at one graph");
         let c = c.with_replay_cache(16);
         assert_eq!(c.replay_cache, 16);
+        let c = c.with_loop_grain(32);
+        assert_eq!(c.loop_grain, 32);
+        let c = c.with_loop_grain(0);
+        assert_eq!(c.loop_grain, 0, "zero restores the auto heuristic");
     }
 
     #[test]

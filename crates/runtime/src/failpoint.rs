@@ -77,7 +77,7 @@ mod imp {
     /// Every site name compiled into the runtime (the `bots_failpoint!`
     /// call sites). Kept next to the registry so [`prewarm`] and the CI
     /// coverage test agree on the full set.
-    pub const SITES: [&str; 10] = [
+    pub const SITES: [&str; 12] = [
         "injector_push",
         "injector_pop",
         "steal",
@@ -88,6 +88,8 @@ mod imp {
         "dep_retire",
         "replay_freeze",
         "replay_diverge",
+        "loop_claim",
+        "loop_drain",
     ];
 
     /// What an armed site does when hit.

@@ -200,6 +200,58 @@
 //! assert_eq!((d.replays_recorded, d.replays_hit), (1, 1));
 //! ```
 //!
+//! ## One submit surface: `Runtime::region`
+//!
+//! Every named entry point above — `parallel`, `submit`, `try_submit`,
+//! `submit_with_budget`, `submit_with_deadline`, `submit_replay`,
+//! `parallel_replay` — is a thin wrapper over one builder.
+//! [`Runtime::region`] chains `.budget(..)`, `.deadline(..)` and
+//! `.replay(..)` freely, then finishes with `.submit()`, `.try_submit()`
+//! or `.join()`: a budgeted *and* deadlined *and* replayed region is one
+//! chain, not a missing method.
+//!
+//! ```
+//! use bots_runtime::{RegionBudget, Runtime};
+//! use std::time::Duration;
+//!
+//! let rt = Runtime::with_threads(2);
+//! let h = rt
+//!     .region(|_| 6 * 7)
+//!     .budget(RegionBudget::MaxQueued(64))
+//!     .deadline(Duration::from_secs(1))
+//!     .submit();
+//! assert_eq!(h.join(), 42);
+//! ```
+//!
+//! ## Worksharing-task loops
+//!
+//! [`Scope::for_each`] is the loop surface: chain `.chunk(n)` and
+//! `.mode(..)`, then `.run()`. [`LoopMode::Tasks`] — the default, and what
+//! [`Scope::parallel_for`] does — spawns one task per chunk: maximal
+//! stealing, one pooled record per chunk. [`LoopMode::Worksharing`] models
+//! the worksharing-task loops of Maroñas et al.: **one** pooled loop
+//! descriptor is published to the team and participants *claim* grain-sized
+//! chunks from an atomic cursor — no per-chunk task record, so fine grains
+//! stop paying per-task overhead. Claims happen at task scheduling points,
+//! so cancellation, deadlines and budgets compose unchanged.
+//!
+//! ```
+//! use bots_runtime::{LoopMode, Runtime};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let rt = Runtime::with_threads(4);
+//! let sum = AtomicUsize::new(0);
+//! rt.parallel(|s| {
+//!     s.for_each(0..10_000, |i, _| {
+//!         sum.fetch_add(i, Ordering::Relaxed);
+//!     })
+//!     .chunk(32)
+//!     .mode(LoopMode::Worksharing)
+//!     .run();
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 49_995_000);
+//! ```
+//!
 //! ## What is modelled, and how faithfully
 //!
 //! * **Tasks** are pooled, refcounted 128-byte records (closure stored
@@ -274,6 +326,11 @@
 //! * **Generators**: [`Scope::parallel_for`] reproduces the `omp for`
 //!   multiple-generator construct; a plain loop in the region root is the
 //!   `single` generator.
+//! * **Worksharing-task loops** ([`Scope::for_each`] with
+//!   [`LoopMode::Worksharing`]): the hybrid loop construct of Maroñas et
+//!   al. — one pooled descriptor per loop, chunks claimed off an atomic
+//!   cursor, **zero warm allocations** ([`RuntimeStats::ws_chunks`] counts
+//!   the claims, [`RuntimeStats::loops_recycled`] the descriptor reuse).
 //! * **Scheduling policy** ([`LocalOrder`]): depth-first (LIFO) or
 //!   breadth-first (FIFO) local queues.
 //!
@@ -289,11 +346,12 @@
 //! | `deps` | per-region task-dependency tracker (`depend(in/out)` clauses, pooled) |
 //! | `replay` | token-keyed record-and-replay: frozen dependency DAGs, warm re-execution |
 //! | `group` | pooled `taskgroup` descriptors (waiter-owned lease, member raw pointers) |
+//! | `wsloop` | pooled worksharing-loop descriptors (atomic claim cursor, chunk invoker) |
 //! | `event` | sleeper-gated event count (no shared writes to notify) |
 //! | [`pool`](Runtime) | worker threads, submit/join, region lifecycle |
 //! | [`cancel`](RegionError) | typed region outcomes & shed errors |
 //! | [`failpoint`] | compile-time-gated fault injection sites |
-//! | [`scope`](Scope) | `spawn` / `taskwait` / `parallel_for` |
+//! | [`scope`](Scope) | `spawn` / `taskwait` / `for_each` / `parallel_for` |
 //! | [`config`](RuntimeConfig) | policy, cut-off & pool-sizing knobs |
 //! | [`stats`](RuntimeStats) | per-worker counters (steals, parks, spills, wake propagation) |
 //! | [`local`](WorkerLocal) | `threadprivate`-style per-worker storage |
@@ -320,13 +378,14 @@ mod scope;
 mod slab;
 mod stats;
 mod task;
+mod wsloop;
 
 pub use cancel::{RegionError, SubmitError};
 pub use config::{default_threads, LocalOrder, RegionBudget, RuntimeConfig, RuntimeCutoff};
 pub use local::{CacheAligned, WorkerCounter, WorkerLocal};
-pub use pool::{RegionHandle, Runtime};
+pub use pool::{RegionBuilder, RegionHandle, Runtime};
 pub use region::RegionStats;
 pub use replay::ReplayPhase;
-pub use scope::{Scope, TaskBuilder, MAX_TASK_DEPS};
+pub use scope::{ForBuilder, LoopMode, Scope, TaskBuilder, MAX_TASK_DEPS};
 pub use stats::RuntimeStats;
 pub use task::TaskAttrs;

@@ -92,6 +92,7 @@ use crate::scope::Scope;
 use crate::slab::{AllocSource, RecordSlab};
 use crate::stats::{RuntimeStats, WorkerCounters};
 use crate::task::{TaskAttrs, TaskRecord, HOME_BOXED, HOME_REGION};
+use crate::wsloop::LoopPool;
 
 /// Worker-thread stack size. Task switching at `taskwait` nests task frames
 /// on the worker stack (there is no continuation stealing), so recursive
@@ -150,6 +151,10 @@ pub(crate) struct Shared {
     /// Pooled taskgroup descriptors (see [`crate::group`]): a steady-state
     /// `taskgroup` leases one instead of allocating an `Arc`.
     pub(crate) group_pool: GroupPool,
+    /// Pooled worksharing-loop descriptors (see [`crate::wsloop`]): a
+    /// steady-state worksharing `for_each` leases one instead of
+    /// allocating.
+    pub(crate) loop_pool: LoopPool,
     /// Regions submitted but not yet quiescent, detached ones included.
     /// `Runtime::drop` waits for this to drain before shutting the team
     /// down, so an `on_complete` callback can never be silently abandoned.
@@ -451,7 +456,7 @@ pub(crate) struct WorkerCtx {
 /// A worker re-stamps the team's coarse clock once per this many task
 /// dispatches (and at every park/wait), bounding deadline-detection
 /// latency without a syscall per task.
-const CLOCK_STRIDE: u32 = 16;
+pub(crate) const CLOCK_STRIDE: u32 = 16;
 
 impl WorkerCtx {
     #[inline]
@@ -854,6 +859,7 @@ impl Runtime {
                 .collect(),
             region_pool: RegionPool::new(n),
             group_pool: GroupPool::new(n),
+            loop_pool: LoopPool::new(n),
             live_regions: AtomicUsize::new(0),
             regions_fresh: AtomicU64::new(0),
             regions_recycled: AtomicU64::new(0),
@@ -943,6 +949,9 @@ impl Runtime {
     ///
     /// Must not be called from inside a task of the same runtime (the
     /// nested join panics rather than deadlock the team).
+    ///
+    /// A thin wrapper over `self.region(f).join()` — see
+    /// [`region`](Self::region) for the composable builder surface.
     pub fn parallel<'env, F, R>(&self, f: F) -> R
     where
         F: FnOnce(&Scope<'env>) -> R + Send + 'env,
@@ -960,8 +969,7 @@ impl Runtime {
         // Sound for the same reason as `std::thread::scope`: join() blocks
         // this frame until the region quiesces, so everything `f` borrows
         // outlives every task that can observe it.
-        self.submit_inner(f, RegionBudget::Inherit, None, None)
-            .join()
+        self.region(f).join()
     }
 
     /// Submits `f` as the root task of a new parallel region and returns a
@@ -1024,12 +1032,15 @@ impl Runtime {
     ///     }
     /// });
     /// ```
+    ///
+    /// A thin wrapper over `self.region(f).submit()` — see
+    /// [`region`](Self::region) for the composable builder surface.
     pub fn submit<F, R>(&self, f: F) -> RegionHandle<'_, R>
     where
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_inner(f, RegionBudget::Inherit, None, None)
+        self.region(f).submit()
     }
 
     /// [`submit`](Self::submit) with admission control: refuses the
@@ -1041,20 +1052,15 @@ impl Runtime {
     ///
     /// The check is advisory (two racing submitters may both observe room);
     /// the watermark bounds load, it does not ration slots exactly.
+    ///
+    /// A thin wrapper over `self.region(f).try_submit()` — see
+    /// [`region`](Self::region) for the composable builder surface.
     pub fn try_submit<F, R>(&self, f: F) -> Result<RegionHandle<'_, R>, SubmitError>
     where
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        let limit = self.shared.config.max_live_regions;
-        if limit > 0 {
-            let live = self.shared.live_regions.load(Ordering::Relaxed);
-            if live >= limit {
-                self.shared.submissions_shed.fetch_add(1, Ordering::Relaxed);
-                return Err(SubmitError::Shed { live, limit });
-            }
-        }
-        Ok(self.submit_inner(f, RegionBudget::Inherit, None, None))
+        self.region(f).try_submit()
     }
 
     /// [`submit`](Self::submit) with a deadline, measured from now: once it
@@ -1066,6 +1072,9 @@ impl Runtime {
     /// workers at dispatch boundaries and parks), so detection latency is
     /// a few milliseconds, not microseconds — deadlines bound *service
     /// time*, they are not a profiling instrument.
+    ///
+    /// A thin wrapper over `self.region(f).deadline(d).submit()` — see
+    /// [`region`](Self::region) for the composable builder surface.
     pub fn submit_with_deadline<F, R>(
         &self,
         deadline: std::time::Duration,
@@ -1075,7 +1084,7 @@ impl Runtime {
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_inner(f, RegionBudget::Inherit, Some(deadline), None)
+        self.region(f).deadline(deadline).submit()
     }
 
     /// [`submit`](Self::submit) with an explicit per-region cut-off budget,
@@ -1085,12 +1094,15 @@ impl Runtime {
     /// region's spawns run inline once its own queued-task count trips the
     /// limit, leaving every other region's spawn behaviour untouched (see
     /// [`RegionStats::serialized`]).
+    ///
+    /// A thin wrapper over `self.region(f).budget(b).submit()` — see
+    /// [`region`](Self::region) for the composable builder surface.
     pub fn submit_with_budget<F, R>(&self, budget: RegionBudget, f: F) -> RegionHandle<'_, R>
     where
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_inner(f, budget, None, None)
+        self.region(f).budget(budget).submit()
     }
 
     /// [`submit`](Self::submit) under a **shape token**: the first region
@@ -1118,18 +1130,24 @@ impl Runtime {
     /// Works with any number of concurrent regions: a token whose graph is
     /// already leased to another in-flight region simply runs live this
     /// time. Cache capacity is [`RuntimeConfig::replay_cache`].
+    ///
+    /// A thin wrapper over `self.region(f).replay(token).submit()` — see
+    /// [`region`](Self::region) for the composable builder surface.
     pub fn submit_replay<F, R>(&self, token: u64, f: F) -> RegionHandle<'_, R>
     where
         F: FnOnce(&Scope<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_inner(f, RegionBudget::Inherit, None, Some(token))
+        self.region(f).replay(token).submit()
     }
 
     /// [`parallel`](Self::parallel) under a shape token: exactly
     /// [`submit_replay`](Self::submit_replay) followed by an immediate
     /// join, with the same non-`'static` borrow allowance as `parallel`
     /// (the calling frame provably outlives the region).
+    ///
+    /// A thin wrapper over `self.region(f).replay(token).join()` — see
+    /// [`region`](Self::region) for the composable builder surface.
     pub fn parallel_replay<'env, F, R>(&self, token: u64, f: F) -> R
     where
         F: FnOnce(&Scope<'env>) -> R + Send + 'env,
@@ -1140,12 +1158,70 @@ impl Runtime {
             "Runtime::parallel_replay called from inside a task of the same \
              runtime; spawn a task instead, or submit from a client thread"
         );
-        self.submit_inner(f, RegionBudget::Inherit, None, Some(token))
-            .join()
+        self.region(f).replay(token).join()
     }
 
-    /// The shared submission path behind [`parallel`](Self::parallel) and
-    /// [`submit`](Self::submit). **Zero heap allocations in the steady
+    /// Starts building a parallel region around `body`: chain any of
+    /// [`budget`](RegionBuilder::budget), [`deadline`](RegionBuilder::deadline)
+    /// and [`replay`](RegionBuilder::replay), then finish with
+    /// [`submit`](RegionBuilder::submit), [`try_submit`](RegionBuilder::try_submit)
+    /// or [`join`](RegionBuilder::join).
+    ///
+    /// This is the one submit surface; the named methods (`parallel`,
+    /// `submit`, `submit_with_budget`, `submit_with_deadline`,
+    /// `submit_replay`, `parallel_replay`, `try_submit`) are thin wrappers
+    /// over it, kept for familiarity. Unlike them, the builder composes:
+    /// a region with a budget *and* a deadline *and* a replay token is one
+    /// chain, not a missing method.
+    ///
+    /// ```
+    /// use bots_runtime::{RegionBudget, Runtime};
+    /// use std::time::Duration;
+    ///
+    /// let rt = Runtime::with_threads(2);
+    /// // Blocking, like `parallel`, but with a budget and a deadline too.
+    /// let sum = rt
+    ///     .region(|s| {
+    ///         let total = std::sync::atomic::AtomicU64::new(0);
+    ///         s.taskgroup(|s| {
+    ///             for i in 0..10u64 {
+    ///                 let total = &total;
+    ///                 s.spawn(move |_| {
+    ///                     total.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+    ///                 });
+    ///             }
+    ///         });
+    ///         total.load(std::sync::atomic::Ordering::Relaxed)
+    ///     })
+    ///     .budget(RegionBudget::MaxQueued(64))
+    ///     .deadline(Duration::from_secs(5))
+    ///     .join();
+    /// assert_eq!(sum, 45);
+    ///
+    /// // Non-blocking, like `submit`: same chain, `.submit()` instead.
+    /// let handle = rt.region(|_| 7u32).submit();
+    /// assert_eq!(handle.join(), 7);
+    /// ```
+    // The bound is not used here — it exists so the closure literal's
+    // `&Scope` lifetimes are inferred exactly as `parallel`'s would be
+    // (outer reference higher-ranked, inner pinned to `'env`); without it
+    // a plain `|s| ...` closure fails to unify with the finishers' bounds.
+    pub fn region<'env, F, R>(&self, body: F) -> RegionBuilder<'_, F>
+    where
+        F: FnOnce(&Scope<'env>) -> R + Send + 'env,
+        R: Send + 'env,
+    {
+        RegionBuilder {
+            rt: self,
+            body,
+            budget: RegionBudget::Inherit,
+            deadline: None,
+            replay: None,
+        }
+    }
+
+    /// The shared submission path behind [`region`](Self::region) and every
+    /// named wrapper. **Zero heap allocations in the steady
     /// state**: the region descriptor (root record, result slot, shards
     /// included) is leased from the pool, and the root closure is stored
     /// inline in the embedded root record.
@@ -1267,6 +1343,121 @@ impl Runtime {
             final_stats: None,
             _result: std::marker::PhantomData,
         }
+    }
+}
+
+/// A parallel region under construction: the single submit surface behind
+/// every [`Runtime`] entry point. Obtained from [`Runtime::region`]; holds
+/// the root closure and the region's knobs (budget, deadline, replay
+/// token), all defaulted to "inherit the team configuration", until one of
+/// the three finishers runs it:
+///
+/// * [`submit`](Self::submit) — non-blocking, returns a [`RegionHandle`]
+///   (requires `'static`, like [`Runtime::submit`]);
+/// * [`try_submit`](Self::try_submit) — `submit` behind the
+///   [`RuntimeConfig::max_live_regions`] admission watermark;
+/// * [`join`](Self::join) — blocking, returns the root's result and may
+///   borrow the calling frame (like [`Runtime::parallel`]).
+///
+/// Building is free: no lease, no queue traffic, nothing observable happens
+/// until a finisher is called.
+///
+/// [`RuntimeConfig::max_live_regions`]: crate::RuntimeConfig::max_live_regions
+#[must_use = "a RegionBuilder does nothing until .submit(), .try_submit() or .join() is called"]
+pub struct RegionBuilder<'rt, F> {
+    rt: &'rt Runtime,
+    body: F,
+    budget: RegionBudget,
+    deadline: Option<std::time::Duration>,
+    replay: Option<u64>,
+}
+
+impl<'rt, F> RegionBuilder<'rt, F> {
+    /// Overrides the team's default cut-off budget for this region alone
+    /// (see [`Runtime::submit_with_budget`] for the semantics).
+    /// [`RegionBudget::Inherit`] — the default — keeps the team setting.
+    pub fn budget(mut self, budget: RegionBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Arms a deadline, measured from submission (see
+    /// [`Runtime::submit_with_deadline`] for semantics and clock
+    /// granularity). Once it passes, the region is cancelled as by
+    /// [`RegionHandle::cancel`].
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Runs the region under a dependency-replay **shape token** (see
+    /// [`Runtime::submit_replay`] for the recording/replay contract the
+    /// token promises).
+    pub fn replay(mut self, token: u64) -> Self {
+        self.replay = Some(token);
+        self
+    }
+
+    /// Submits the region without blocking, returning its
+    /// [`RegionHandle`]. Exactly [`Runtime::submit`] plus whatever knobs
+    /// were chained.
+    pub fn submit<R>(self) -> RegionHandle<'rt, R>
+    where
+        F: FnOnce(&Scope<'static>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.rt
+            .submit_inner(self.body, self.budget, self.deadline, self.replay)
+    }
+
+    /// [`submit`](Self::submit) behind the admission watermark: refuses
+    /// with [`SubmitError::Shed`] — before leasing anything — when the team
+    /// already has [`RuntimeConfig::max_live_regions`] regions in flight.
+    /// The check is advisory, exactly as in [`Runtime::try_submit`].
+    ///
+    /// [`RuntimeConfig::max_live_regions`]: crate::RuntimeConfig::max_live_regions
+    pub fn try_submit<R>(self) -> Result<RegionHandle<'rt, R>, SubmitError>
+    where
+        F: FnOnce(&Scope<'static>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let limit = self.rt.shared.config.max_live_regions;
+        if limit > 0 {
+            let live = self.rt.shared.live_regions.load(Ordering::Relaxed);
+            if live >= limit {
+                self.rt
+                    .shared
+                    .submissions_shed
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Shed { live, limit });
+            }
+        }
+        Ok(self
+            .rt
+            .submit_inner(self.body, self.budget, self.deadline, self.replay))
+    }
+
+    /// Submits the region and blocks until it quiesces, returning the
+    /// root's result and re-raising its panic, if any. Like
+    /// [`Runtime::parallel`], the calling frame provably outlives the
+    /// region, so the body may borrow it — and like `parallel`, this must
+    /// not be called from inside a task of the same runtime (it panics
+    /// rather than deadlock the team).
+    pub fn join<'env, R>(self) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R + Send + 'env,
+        R: Send + 'env,
+    {
+        // Same ordering rationale as `Runtime::parallel`: reject nested
+        // calls before the (possibly borrowing) root is published.
+        assert!(
+            !WORKER_OF.with(|w| std::ptr::eq(w.get(), Arc::as_ptr(&self.rt.shared))),
+            "RegionBuilder::join called from inside a task of the same \
+             runtime; spawn a task instead, or submit from a client thread"
+        );
+        self.rt
+            .submit_inner(self.body, self.budget, self.deadline, self.replay)
+            .join()
     }
 }
 

@@ -13,6 +13,7 @@
 //! | `#pragma omp taskgroup` (3.1) | [`Scope::taskgroup`] |
 //! | `#pragma omp taskyield` (3.1) | [`Scope::taskyield`] |
 //! | `#pragma omp for` (task generator loop) | [`Scope::parallel_for`] |
+//! | worksharing-task loop (Maroñas et al.) | [`Scope::for_each`] + [`LoopMode::Worksharing`] |
 //! | `omp_get_thread_num()` | [`Scope::worker_id`] |
 //! | `omp_get_num_threads()` | [`Scope::num_workers`] |
 //! | `omp_in_final()` | [`Scope::in_final`] |
@@ -32,11 +33,12 @@ use std::ptr::NonNull;
 
 use crate::deps::{DepAccess, DepClause};
 use crate::group::Group;
-use crate::pool::{ExecCtx, Shared, WorkerCtx};
+use crate::pool::{ExecCtx, Shared, WorkerCtx, CLOCK_STRIDE};
 use crate::region::Region;
 use crate::replay;
 use crate::stats::WorkerCounters;
 use crate::task::{TaskAttrs, TaskRecord};
+use crate::wsloop::WsLoop;
 
 /// `depend` clauses a [`TaskBuilder`] holds **inline** (and so
 /// allocation-free). Eight covers every kernel in the suite — SparseLU's
@@ -899,7 +901,87 @@ impl<'scope> Scope<'scope> {
     /// generator is outstanding (see [`GeneratorDrainGuard`]), and each
     /// generator's own closing `taskwait` means `body` is never called
     /// after the generators complete.
+    /// A thin wrapper over [`for_each`](Self::for_each) — equivalent to
+    /// `self.for_each(range, body).run()` (task-per-chunk mode, one chunk
+    /// per worker). Kept as the familiar name; the builder is where chunk
+    /// sizes and [`LoopMode::Worksharing`] live.
     pub fn parallel_for<F>(&self, range: Range<usize>, body: F)
+    where
+        F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
+    {
+        self.for_each(range, body).run();
+    }
+
+    /// Like [`parallel_for`](Self::parallel_for) but with an explicit chunk
+    /// size (an `omp for schedule(dynamic, chunk)` generator): a thin
+    /// wrapper over [`for_each`](Self::for_each), equivalent to
+    /// `self.for_each(range, body).chunk(chunk).run()`.
+    pub fn parallel_for_chunked<F>(&self, range: Range<usize>, chunk: usize, body: F)
+    where
+        F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
+    {
+        self.for_each(range, body).chunk(chunk).run();
+    }
+
+    /// Starts a [`ForBuilder`] over `range`: the unified loop surface
+    /// behind `parallel_for`/`parallel_for_chunked`, and the only way to
+    /// pick the dispatch mode:
+    ///
+    /// * [`LoopMode::Tasks`] (the default) — the multiple-generator
+    ///   construct: one untied generator task per chunk, idle workers
+    ///   steal whole chunks.
+    /// * [`LoopMode::Worksharing`] — one pooled descriptor for the whole
+    ///   iteration space; the team *claims* grain-sized strides off a
+    ///   shared atomic cursor, paying one task record per **worker**
+    ///   instead of one per chunk (Maroñas et al., *Worksharing Tasks*).
+    ///
+    /// ```
+    /// use bots_runtime::{LoopMode, Runtime};
+    /// use std::sync::atomic::{AtomicUsize, Ordering};
+    ///
+    /// let rt = Runtime::with_threads(2);
+    /// let sum = AtomicUsize::new(0);
+    /// rt.parallel(|s| {
+    ///     s.for_each(0..1000, |i, _| {
+    ///         sum.fetch_add(i, Ordering::Relaxed);
+    ///     })
+    ///     .chunk(16)
+    ///     .mode(LoopMode::Worksharing)
+    ///     .run();
+    /// });
+    /// assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+    /// ```
+    ///
+    /// Both modes end with a barrier (the iterations *and* the tasks they
+    /// spawned), observe cancellation between chunks/iterations, and store
+    /// only a **borrow** of `body` — no allocation per call.
+    #[inline]
+    pub fn for_each<'s, F>(&'s self, range: Range<usize>, body: F) -> ForBuilder<'s, 'scope, F>
+    where
+        F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
+    {
+        ForBuilder {
+            scope: self,
+            range,
+            body,
+            chunk: None,
+            mode: LoopMode::Tasks,
+        }
+    }
+
+    /// [`LoopMode::Tasks`] with the default chunking: one contiguous chunk
+    /// per worker, each run as an untied generator task, closed by a
+    /// barrier. This is the single-vs-multiple-generator experiment of the
+    /// paper (§IV-D, SparseLU): `body` runs on the generator's scope, so
+    /// tasks it spawns are children of the generator and multiple workers
+    /// create tasks concurrently.
+    ///
+    /// Zero-allocation: generator tasks store a **borrow** of `body`.
+    /// Sound because the construct cannot return — normally or by unwind —
+    /// while any generator is outstanding (see [`GeneratorDrainGuard`]),
+    /// and each generator's own closing `taskwait` means `body` is never
+    /// called after the generators complete.
+    fn run_tasks_for<F>(&self, range: Range<usize>, body: F)
     where
         F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
     {
@@ -939,26 +1021,24 @@ impl<'scope> Scope<'scope> {
         std::mem::forget(guard);
     }
 
-    /// Like [`parallel_for`](Self::parallel_for) but with an explicit chunk
-    /// size (an `omp for schedule(dynamic, chunk)` generator): spawns
-    /// `ceil(len / chunk)` generator tasks that idle workers steal. Like
-    /// `parallel_for`, generators borrow `body` — no allocation per call.
-    pub fn parallel_for_chunked<F>(&self, range: Range<usize>, chunk: usize, body: F)
+    /// [`LoopMode::Tasks`] with an explicit chunk size: spawns
+    /// `ceil(len / chunk)` generator tasks that idle workers steal. Same
+    /// borrow/drain soundness story as [`run_tasks_for`](Self::run_tasks_for).
+    fn run_tasks_chunked<F>(&self, range: Range<usize>, chunk: usize, body: F)
     where
         F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
     {
-        assert!(chunk > 0, "chunk size must be positive");
         let len = range.end.saturating_sub(range.start);
         if len == 0 {
             return;
         }
-        // Safety: as in `parallel_for` — drained before the frame is left.
+        // Safety: as in `run_tasks_for` — drained before the frame is left.
         let body: &'scope F = unsafe { std::mem::transmute(&body) };
         let guard = self.generator_drain_guard();
         let mut lo = range.start;
         while lo < range.end {
             let hi = (lo + chunk).min(range.end);
-            // Cancellation checks mirror `parallel_for`: stop generating
+            // Cancellation checks mirror `run_tasks_for`: stop generating
             // chunks and stop iterating inside a generator.
             if self.is_cancelled() {
                 break;
@@ -978,6 +1058,132 @@ impl<'scope> Scope<'scope> {
         std::mem::forget(guard);
     }
 
+    /// [`LoopMode::Worksharing`]: publish one pooled [`WsLoop`] descriptor
+    /// for the whole iteration space and let the team claim grain-sized
+    /// strides cooperatively. Spawns at most `num_workers - 1` *helper*
+    /// tasks (one per extra pair of hands, not one per chunk), then the
+    /// generating frame participates itself and closes with a barrier.
+    ///
+    /// Soundness mirrors the generator loops, with the descriptor lease
+    /// layered on the [`crate::group`] protocol:
+    ///
+    /// * helpers hold a raw pointer to the descriptor and a borrow of
+    ///   `body`; both stay valid because this frame cannot be left —
+    ///   normally or by unwind — while any helper is outstanding (the
+    ///   drain guard / closing `taskwait`), and a helper's last descriptor
+    ///   access precedes its own completion;
+    /// * the lease returns only after the drain (guard declaration order:
+    ///   the release guard is declared *before* the drain guard, so on
+    ///   unwind the helpers drain first, then the lease goes home);
+    /// * tasks spawned by `body` are children of whichever participant ran
+    ///   the iteration and never touch the descriptor.
+    fn run_worksharing<F>(&self, range: Range<usize>, grain: usize, body: F)
+    where
+        F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
+    {
+        debug_assert!(grain > 0, "worksharing grain must be positive");
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return;
+        }
+        let worker = self.worker();
+        let shared = &*worker.shared;
+        let counters = worker.counters();
+        let (lp, fresh) = shared.loop_pool.lease(worker.index);
+        WorkerCounters::bump(if fresh {
+            &counters.loops_fresh
+        } else {
+            &counters.loops_recycled
+        });
+        unsafe { lp.as_ref() }.arm(
+            range.start,
+            range.end,
+            grain,
+            &body as *const F as *const (),
+            invoke_chunk::<F>,
+        );
+
+        // Declared before the drain guard: drops *after* it, so on unwind
+        // the helpers (which hold raw descriptor pointers) drain before
+        // the lease returns to the pool.
+        let _release = LoopReleaseGuard {
+            scope: self,
+            lp,
+            slot: worker.index,
+        };
+        // Safety: drained before the frame owning `body` is left.
+        let guard = self.generator_drain_guard();
+
+        let helpers = self
+            .num_workers()
+            .min(len.div_ceil(grain))
+            .saturating_sub(1);
+        for _ in 0..helpers {
+            // Task scheduling point: stop recruiting on cancellation (the
+            // claim loops observe the flag too).
+            if self.is_cancelled() {
+                break;
+            }
+            let ptr = LoopPtr(lp);
+            self.spawn_with(TaskAttrs::untied(), move |s| {
+                let ptr = ptr;
+                s.ws_participate(ptr.0);
+                // Barrier half: tasks spawned by claimed iterations are
+                // children of this helper; drain them before completing.
+                s.taskwait();
+            });
+        }
+        // The generating frame is a participant too — worksharing needs no
+        // idle generator blocked behind the claim cursor.
+        self.ws_participate(lp);
+        self.taskwait();
+        std::mem::forget(guard);
+    }
+
+    /// One participant's claim cycle: claim grain-sized strides off the
+    /// descriptor's cursor and run them against this scope until the space
+    /// drains (or the region/group is cancelled — the claim loop is a
+    /// cancellation point like the generator loops' iteration checks).
+    fn ws_participate(&self, lp: NonNull<WsLoop>) {
+        let worker = self.worker();
+        let shared = &worker.shared;
+        let counters = worker.counters();
+        WorkerCounters::bump(&counters.ws_participations);
+        // Safety: the descriptor stays leased (and the body alive) until
+        // the generating frame's barrier has seen this participant finish.
+        let l = unsafe { lp.as_ref() };
+        let mut claims: u32 = 0;
+        loop {
+            // A chunk claim is a task scheduling point, and a participant
+            // dispatches no tasks while it loops here — so it must keep
+            // the deadline machinery honest itself: periodically re-stamp
+            // the coarse clock and enforce the region's deadline, exactly
+            // as task dispatch does.
+            claims = claims.wrapping_add(1);
+            if claims.is_multiple_of(CLOCK_STRIDE) {
+                shared.stamp_clock();
+                if let Some(region) = unsafe { self.rec().region().as_ref() } {
+                    if !region.is_cancelled() && shared.deadline_passed(region) {
+                        shared.cancel_region(region);
+                    }
+                }
+            }
+            if self.is_cancelled() {
+                break;
+            }
+            let Some((lo, hi)) = l.claim() else {
+                break;
+            };
+            WorkerCounters::bump(&counters.ws_chunks);
+            // Safety: claimed strides are disjoint; the scope pointer is
+            // this participant's own live frame.
+            unsafe { l.run_chunk(lo, hi, self as *const Scope<'scope> as *const ()) };
+        }
+        // Fault injection at the drain edge: perturb the window between a
+        // participant's last claim and the owner observing completion.
+        crate::bots_failpoint!("loop_drain");
+    }
+
     /// The unwind half of the borrow-based `parallel_for` soundness story:
     /// generator tasks hold a frame-lifetime borrow of the loop body, so if
     /// spawning panics midway (an inlined generator's body can unwind into
@@ -995,6 +1201,140 @@ struct GeneratorDrainGuard<'s, 'scope>(&'s Scope<'scope>);
 impl Drop for GeneratorDrainGuard<'_, '_> {
     fn drop(&mut self) {
         self.0.wait_until(|| self.0.rec().outstanding() == 0);
+    }
+}
+
+/// The monomorphised trampoline a [`WsLoop`] descriptor dispatches claimed
+/// chunks through: rebuilds the typed body/scope references and runs
+/// iterations `lo..hi`, observing cancellation between iterations like the
+/// generator loops. Coerces to [`ChunkInvoke`] — the signature types carry
+/// no lifetimes, so the fn pointer is fully erased.
+unsafe fn invoke_chunk<'scope, F>(body: *const (), lo: usize, hi: usize, scope: *const ())
+where
+    F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
+{
+    let body = &*(body as *const F);
+    let scope = &*(scope as *const Scope<'scope>);
+    for i in lo..hi {
+        if scope.is_cancelled() {
+            break;
+        }
+        body(i, scope);
+    }
+}
+
+/// Send wrapper for the pooled loop-descriptor pointer captured by helper
+/// tasks (the [`crate::pool`] `RegionPtr` pattern): the pointee is all
+/// atomics and outlives the helpers by the lease protocol.
+struct LoopPtr(NonNull<WsLoop>);
+unsafe impl Send for LoopPtr {}
+
+/// Returns a worksharing lease to the pool on scope exit — declared before
+/// the drain guard so the drain (which keeps helper-held descriptor
+/// pointers valid) happens first on unwind. See [`Scope::run_worksharing`].
+struct LoopReleaseGuard<'s, 'scope> {
+    scope: &'s Scope<'scope>,
+    lp: NonNull<WsLoop>,
+    slot: usize,
+}
+
+impl Drop for LoopReleaseGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.scope
+            .worker()
+            .shared
+            .loop_pool
+            .release(self.lp, self.slot);
+    }
+}
+
+/// How a [`ForBuilder`] dispatches its iteration space to the team.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LoopMode {
+    /// Task-per-chunk (the classic multiple-generator construct): each
+    /// chunk is an untied task idle workers steal whole. Best when
+    /// iterations are coarse or spawn subtrees of their own.
+    #[default]
+    Tasks,
+    /// One shared descriptor for the whole space; participants claim
+    /// grain-sized strides off an atomic cursor, paying one task record
+    /// per worker instead of one per chunk. Best for fine-grained loops
+    /// where per-chunk task protocol would dominate the body.
+    Worksharing,
+}
+
+/// The chainable loop surface started by [`Scope::for_each`]:
+/// `s.for_each(range, body).chunk(n).mode(LoopMode::Worksharing).run()`.
+/// [`Scope::parallel_for`] and [`Scope::parallel_for_chunked`] are thin
+/// wrappers over it.
+///
+/// Both modes compose with the rest of the runtime the same way the
+/// generator loops always have: cancellation (and therefore deadlines) is
+/// observed between chunks and between iterations, budgets/shed mode apply
+/// to the tasks the modes create (per chunk for `Tasks`, per helper for
+/// `Worksharing`), and tasks spawned *by* the body are ordinary children
+/// of whichever task ran the iteration. The loop always closes with a
+/// barrier covering the iterations and everything they spawned.
+#[must_use = "a ForBuilder does nothing until .run() is called"]
+pub struct ForBuilder<'s, 'scope, F> {
+    scope: &'s Scope<'scope>,
+    range: Range<usize>,
+    body: F,
+    chunk: Option<usize>,
+    mode: LoopMode,
+}
+
+impl<'s, 'scope, F> ForBuilder<'s, 'scope, F>
+where
+    F: Fn(usize, &Scope<'scope>) + Send + Sync + 'scope,
+{
+    /// Sets the chunk size (`Tasks` mode: iterations per generator task;
+    /// `Worksharing` mode: the claim grain). Without it, `Tasks` splits
+    /// one chunk per worker and `Worksharing` picks a grain of
+    /// `len / (4 × workers)` (at least 1), overridable team-wide with
+    /// [`RuntimeConfig::with_loop_grain`](crate::RuntimeConfig::with_loop_grain).
+    pub fn chunk(mut self, n: usize) -> Self {
+        assert!(n > 0, "chunk size must be positive");
+        self.chunk = Some(n);
+        self
+    }
+
+    /// Picks the dispatch mode (default [`LoopMode::Tasks`]).
+    pub fn mode(mut self, mode: LoopMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Runs the loop to its closing barrier.
+    pub fn run(self) {
+        let ForBuilder {
+            scope,
+            range,
+            body,
+            chunk,
+            mode,
+        } = self;
+        match mode {
+            LoopMode::Tasks => match chunk {
+                None => scope.run_tasks_for(range, body),
+                Some(c) => scope.run_tasks_chunked(range, c, body),
+            },
+            LoopMode::Worksharing => {
+                let len = range.end.saturating_sub(range.start);
+                if len == 0 {
+                    return;
+                }
+                let grain = chunk.unwrap_or_else(|| {
+                    let configured = scope.worker().shared.config.loop_grain;
+                    if configured > 0 {
+                        configured
+                    } else {
+                        len.div_ceil(4 * scope.num_workers()).max(1)
+                    }
+                });
+                scope.run_worksharing(range, grain, body);
+            }
+        }
     }
 }
 

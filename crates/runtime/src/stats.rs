@@ -78,6 +78,17 @@ pub(crate) struct WorkerCounters {
     /// Clause-free tasks serialised inline because their region was
     /// admitted in shed (overload) mode.
     pub inlined_shed: AtomicU64,
+    /// Worksharing-loop descriptors leased from a fresh heap allocation
+    /// (loop pool growth events).
+    pub loops_fresh: AtomicU64,
+    /// Worksharing-loop descriptors recycled from the loop pool free list:
+    /// worksharing loops that performed zero heap allocations.
+    pub loops_recycled: AtomicU64,
+    /// Worksharing-loop participations: owner or helper entering a loop's
+    /// claim cycle (bounded by team size per loop, not by chunk count).
+    pub ws_participations: AtomicU64,
+    /// Chunks claimed and executed through worksharing claim cursors.
+    pub ws_chunks: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -201,6 +212,18 @@ pub struct RuntimeStats {
     ///
     /// [`RuntimeConfig::replay_cache`]: crate::RuntimeConfig::replay_cache
     pub graphs_evicted: u64,
+    /// Worksharing-loop descriptors leased from fresh heap allocations
+    /// (loop pool growth events — the loop analogue of `groups_fresh`).
+    pub loops_fresh: u64,
+    /// Worksharing-loop descriptors recycled from the loop pool free list:
+    /// worksharing loops that performed zero heap allocations.
+    pub loops_recycled: u64,
+    /// Worksharing-loop participations (owner + helpers entering a loop's
+    /// claim cycle). Bounded by team size per loop, not by chunk count —
+    /// the cost model worksharing mode exists for.
+    pub ws_participations: u64,
+    /// Chunks claimed off worksharing claim cursors and executed.
+    pub ws_chunks: u64,
 }
 
 impl RuntimeStats {
@@ -230,6 +253,10 @@ impl RuntimeStats {
         self.deps_released += w.deps_released.load(Ordering::Relaxed);
         self.skipped += w.skipped.load(Ordering::Relaxed);
         self.inlined_shed += w.inlined_shed.load(Ordering::Relaxed);
+        self.loops_fresh += w.loops_fresh.load(Ordering::Relaxed);
+        self.loops_recycled += w.loops_recycled.load(Ordering::Relaxed);
+        self.ws_participations += w.ws_participations.load(Ordering::Relaxed);
+        self.ws_chunks += w.ws_chunks.load(Ordering::Relaxed);
     }
 
     /// Total task-creation points the runtime saw (deferred + every kind of
@@ -290,6 +317,10 @@ impl RuntimeStats {
             replays_hit: self.replays_hit - earlier.replays_hit,
             replays_diverged: self.replays_diverged - earlier.replays_diverged,
             graphs_evicted: self.graphs_evicted - earlier.graphs_evicted,
+            loops_fresh: self.loops_fresh - earlier.loops_fresh,
+            loops_recycled: self.loops_recycled - earlier.loops_recycled,
+            ws_participations: self.ws_participations - earlier.ws_participations,
+            ws_chunks: self.ws_chunks - earlier.ws_chunks,
         }
     }
 }
@@ -304,7 +335,8 @@ impl std::fmt::Display for RuntimeStats {
              groups(fresh/recycled)={}/{} deps(reg/deferred/released)={}/{}/{} \
              spilled={} propagated={} skipped={} inlined_shed={} \
              cancelled={} shed={} \
-             replays(recorded/hit/diverged/evicted)={}/{}/{}/{}",
+             replays(recorded/hit/diverged/evicted)={}/{}/{}/{} \
+             loops(fresh/recycled)={}/{} ws(parts/chunks)={}/{}",
             self.spawned,
             self.inlined_if,
             self.inlined_cutoff,
@@ -338,6 +370,10 @@ impl std::fmt::Display for RuntimeStats {
             self.replays_hit,
             self.replays_diverged,
             self.graphs_evicted,
+            self.loops_fresh,
+            self.loops_recycled,
+            self.ws_participations,
+            self.ws_chunks,
         )
     }
 }
@@ -398,6 +434,8 @@ mod tests {
         assert!(text.contains("taskwaits=0"));
         assert!(text.contains("group_waits=0"));
         assert!(text.contains("groups(fresh/recycled)=0/0"));
+        assert!(text.contains("loops(fresh/recycled)=0/0"));
+        assert!(text.contains("ws(parts/chunks)=0/0"));
     }
 
     #[test]

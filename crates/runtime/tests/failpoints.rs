@@ -27,6 +27,7 @@ use bots_runtime::failpoint::SITES;
 static TICKS: AtomicU64 = AtomicU64::new(0);
 static DEP_CHAIN: AtomicU64 = AtomicU64::new(0);
 static DEP_SINK: AtomicU64 = AtomicU64::new(0);
+static LOOP_SINK: AtomicU64 = AtomicU64::new(0);
 
 fn storm(s: &Scope<'_>, depth: u32) {
     if depth == 0 {
@@ -40,7 +41,8 @@ fn storm(s: &Scope<'_>, depth: u32) {
 
 /// One region exercising every protocol with a failpoint in it: injector
 /// submit + steal-heavy storm (injector, steal, slab reclaim), a taskgroup
-/// (group leave) and a dependency chain (dep retire) — plus two replay
+/// (group leave), a dependency chain (dep retire) and a worksharing loop
+/// (loop claim/drain) — plus two replay
 /// submits: a stable token whose first recording freezes a graph
 /// (`replay_freeze`), and a token whose shape alternates between calls so
 /// every second submit diverges mid-replay (`replay_diverge`).
@@ -62,6 +64,14 @@ fn workload(rt: &Runtime) {
                 .spawn();
         }
         s.taskwait();
+        // A worksharing loop drives `loop_claim`/`loop_drain`; it ticks a
+        // sink of its own so the TICKS arithmetic above stays exact.
+        s.for_each(0..64, |_, _| {
+            LOOP_SINK.fetch_add(1, Ordering::Relaxed);
+        })
+        .chunk(4)
+        .mode(bots_runtime::LoopMode::Worksharing)
+        .run();
     });
     rt.parallel_replay(0xF00D, |s| {
         s.task(|_| {}).after_write(&DEP_CHAIN).spawn();

@@ -1,0 +1,245 @@
+//! The loop-surface contract: `for_each` runs every iteration **exactly
+//! once** — in both [`LoopMode`]s, at any chunk size and team width, and
+//! under injected panics and mid-loop cancellation (where "exactly once"
+//! relaxes to "at most once, and never lost silently": a skipped tail is
+//! the *documented* effect of the fault, a doubled iteration is a claim
+//! protocol bug).
+//!
+//! The worksharing claim protocol is the interesting case: chunks are
+//! handed out by an unconditional `fetch_add` on a shared cursor, so
+//! overshoot past `end` is normal and must map to "no chunk", never to a
+//! replayed index. The property test drives that edge across grain sizes
+//! including 1 (maximal cursor contention) and grains larger than the
+//! whole space.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bots_runtime::{LoopMode, RegionError, Runtime, RuntimeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn every_iteration_runs_exactly_once(
+        workers in 1usize..5,
+        len in 0usize..240,
+        chunk in 0usize..9,      // 0 = let the grain default
+        ws in 0u8..2,
+        fault in 0u8..3,         // 0 = none, 1 = panic, 2 = cancel_region
+        fault_at in 0usize..240,
+    ) {
+        // Keep injected panics one-line (the default hook symbolises a
+        // backtrace per panic, which swamps a 10-case property run).
+        static QUIET_PANICS: std::sync::Once = std::sync::Once::new();
+        QUIET_PANICS.call_once(|| {
+            std::panic::set_hook(Box::new(|info| eprintln!("panic: {info}")));
+        });
+
+        let mode = if ws == 1 { LoopMode::Worksharing } else { LoopMode::Tasks };
+        let fault = if len == 0 { 0 } else { fault };
+        let fault_at = if len == 0 { 0 } else { fault_at % len };
+        let counts: Arc<Vec<AtomicU8>> = Arc::new((0..len).map(|_| AtomicU8::new(0)).collect());
+
+        let rt = Runtime::new(RuntimeConfig::new(workers));
+        let handle = {
+            let counts = Arc::clone(&counts);
+            rt.submit(move |s| {
+                let builder = s.for_each(0..len, move |i, s| {
+                    let prev = counts[i].fetch_add(1, Ordering::Relaxed);
+                    assert_eq!(prev, 0, "iteration {i} ran twice");
+                    match fault {
+                        1 if i == fault_at => panic!("injected iteration panic"),
+                        2 if i == fault_at => s.cancel_region(),
+                        _ => {}
+                    }
+                });
+                let builder = if chunk == 0 { builder } else { builder.chunk(chunk) };
+                builder.mode(mode).run();
+            })
+        };
+        let out = handle.outcome();
+
+        // The in-body assert catches a double execution while it happens;
+        // this re-checks from the outside in case the doubled slot was the
+        // faulted iteration itself (whose own panic would mask the assert).
+        for (i, c) in counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            prop_assert!(n <= 1, "iteration {i} ran {n} times (mode {mode:?}, chunk {chunk})");
+        }
+
+        match fault {
+            0 => {
+                prop_assert!(out.is_ok(), "fault-free loop failed: {out:?}");
+                for (i, c) in counts.iter().enumerate() {
+                    prop_assert_eq!(
+                        c.load(Ordering::Relaxed), 1,
+                        "iteration {} lost (mode {:?}, chunk {})", i, mode, chunk
+                    );
+                }
+            }
+            1 => {
+                prop_assert!(
+                    matches!(out, Err(RegionError::Panicked(_))),
+                    "injected panic must reach the joiner, got {out:?}"
+                );
+                prop_assert_eq!(counts[fault_at].load(Ordering::Relaxed), 1);
+            }
+            _ => {
+                // Cancellation is cooperative: the region either finished
+                // storing its (unit) result or reports Cancelled — but a
+                // Panicked outcome here means an iteration doubled.
+                prop_assert!(
+                    !matches!(out, Err(RegionError::Panicked(_))),
+                    "cancelled loop must not panic: {out:?}"
+                );
+                prop_assert_eq!(counts[fault_at].load(Ordering::Relaxed), 1);
+            }
+        }
+    }
+}
+
+/// Counts how many iterations of `0..len` execute under the given builder
+/// configuration and returns the runtime's stats delta for the loop.
+fn run_ws_loop(rt: &Runtime, len: usize, chunk: Option<usize>) -> bots_runtime::RuntimeStats {
+    let before = rt.stats();
+    let hits = AtomicUsize::new(0);
+    rt.parallel(|s| {
+        let builder = s.for_each(0..len, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        let builder = match chunk {
+            Some(c) => builder.chunk(c),
+            None => builder,
+        };
+        builder.mode(LoopMode::Worksharing).run();
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), len);
+    rt.stats().since(&before)
+}
+
+/// One worksharing loop produces exactly `ceil(len / grain)` successful
+/// claims — the cursor's overshoot never yields an extra chunk — and at
+/// most `min(workers, chunks)` participants ever join in.
+#[test]
+fn claim_counts_are_exact_and_participants_bounded() {
+    let rt = Runtime::new(RuntimeConfig::new(4));
+    let d = run_ws_loop(&rt, 100, Some(7));
+    assert_eq!(d.ws_chunks, 100usize.div_ceil(7) as u64);
+    assert!(d.ws_participations >= 1);
+    assert!(d.ws_participations <= 4, "more participants than workers");
+
+    // A 3-chunk space on an 8-wide team: at most 3 participants.
+    let rt = Runtime::new(RuntimeConfig::new(8));
+    let d = run_ws_loop(&rt, 3, Some(1));
+    assert_eq!(d.ws_chunks, 3);
+    assert!(
+        d.ws_participations <= 3,
+        "helpers must be bounded by chunks"
+    );
+}
+
+/// The grain default is `len / (4 × workers)` (at least 1), and the
+/// config knob / builder chunk override it in that order.
+#[test]
+fn grain_resolution_defaults_config_then_chunk() {
+    // Default: len 160 on 2 workers → grain 20 → 8 chunks.
+    let rt = Runtime::new(RuntimeConfig::new(2));
+    assert_eq!(run_ws_loop(&rt, 160, None).ws_chunks, 8);
+
+    // Config knob: grain 5 → 32 chunks.
+    let rt = Runtime::new(RuntimeConfig::new(2).with_loop_grain(5));
+    assert_eq!(run_ws_loop(&rt, 160, None).ws_chunks, 32);
+
+    // Explicit .chunk(40) beats the config knob.
+    let rt = Runtime::new(RuntimeConfig::new(2).with_loop_grain(5));
+    assert_eq!(run_ws_loop(&rt, 160, Some(40)).ws_chunks, 4);
+}
+
+/// Degenerate spaces: empty and single-iteration loops work in both modes,
+/// and an empty worksharing loop never leases a descriptor.
+#[test]
+fn empty_and_tiny_loops() {
+    let rt = Runtime::new(RuntimeConfig::new(2));
+    for mode in [LoopMode::Tasks, LoopMode::Worksharing] {
+        for len in [0usize, 1, 2] {
+            let hits = AtomicUsize::new(0);
+            rt.parallel(|s| {
+                s.for_each(0..len, |_, _| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+                .mode(mode)
+                .run();
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), len, "mode {mode:?}");
+        }
+    }
+    let before = rt.stats();
+    rt.parallel(|s| {
+        s.for_each(0..0, |_, _| {})
+            .mode(LoopMode::Worksharing)
+            .run()
+    });
+    let d = rt.stats().since(&before);
+    assert_eq!(d.loops_fresh + d.loops_recycled, 0);
+}
+
+/// Warm loops lease recycled descriptors. The lessor is whichever worker
+/// runs the region root, and a non-nested loop returns its lease at loop
+/// end — so across many loops each worker's pool shard allocates at most
+/// one descriptor ever, and every other lease must recycle.
+#[test]
+fn loop_descriptors_recycle() {
+    let rt = Runtime::new(RuntimeConfig::new(2));
+    let before = rt.stats();
+    for _ in 0..20 {
+        run_ws_loop(&rt, 64, Some(8));
+    }
+    let d = rt.stats().since(&before);
+    assert_eq!(d.loops_fresh + d.loops_recycled, 20);
+    assert!(
+        d.loops_fresh <= 2,
+        "fresh leases exceed the team width: {}",
+        d.loops_fresh
+    );
+    assert!(d.loops_recycled >= 18, "loops are not recycling descriptors");
+}
+
+/// `parallel_for` / `parallel_for_chunked` are now wrappers over the
+/// builder and still behave identically to `.mode(Tasks)`.
+#[test]
+fn legacy_wrappers_still_work() {
+    let rt = Runtime::new(RuntimeConfig::new(3));
+    let sum = AtomicUsize::new(0);
+    rt.parallel(|s| {
+        s.parallel_for(0..100, |i, _| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        s.parallel_for_chunked(100..200, 16, |i, _| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), (0..200).sum::<usize>());
+}
+
+/// Worksharing loops compose with deadlines: a loop that overruns its
+/// region's deadline is cut short cooperatively at claim boundaries, and
+/// the joiner sees a typed outcome, not a hang.
+#[test]
+fn worksharing_observes_deadlines() {
+    let rt = Runtime::new(RuntimeConfig::new(2));
+    let h = rt.submit_with_deadline(std::time::Duration::from_millis(2), |s| {
+        s.for_each(0..1_000_000, |_, _| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        })
+        .chunk(1)
+        .mode(LoopMode::Worksharing)
+        .run();
+    });
+    let out = h.outcome();
+    assert!(
+        matches!(out, Err(RegionError::Cancelled)) || out.is_ok(),
+        "deadline either cancels the loop or it finished in time"
+    );
+}

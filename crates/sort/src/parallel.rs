@@ -30,10 +30,11 @@ pub fn cilksort_with_merge(rt: &Runtime, a: &mut [u32], untied: bool, merge: Mer
     let attrs = TaskAttrs::default().with_tied(!untied);
     let mut tmp = vec![0u32; a.len()];
     let tmp_ref = &mut tmp[..];
-    rt.parallel(move |s| match merge {
+    rt.region(move |s| match merge {
         MergeStrategy::Parallel => sort_task(s, a, tmp_ref, attrs),
         MergeStrategy::Serial => sort_task_serial_merge(s, a, tmp_ref, attrs),
-    });
+    })
+    .join();
 }
 
 /// The ablation recursion: task-parallel quarter sorts, sequential merges.

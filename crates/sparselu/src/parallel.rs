@@ -26,7 +26,7 @@
 //! is bit-identical to the serial factorisation.
 
 use bots_profile::NullProbe;
-use bots_runtime::{Runtime, Scope, TaskAttrs};
+use bots_runtime::{LoopMode, Runtime, Scope, TaskAttrs};
 
 use crate::matrix::BlockMatrix;
 use crate::ops::{bdiv, bmod, fwd, lu0};
@@ -47,9 +47,9 @@ pub enum LuGenerator {
 pub fn sparselu_parallel(rt: &Runtime, m: &BlockMatrix, gen: LuGenerator, untied: bool) {
     let attrs = TaskAttrs::default().with_tied(!untied);
     match gen {
-        LuGenerator::Single => rt.parallel(move |s| single_generator(s, m, attrs)),
-        LuGenerator::For => rt.parallel(move |s| for_generator(s, m, attrs)),
-        LuGenerator::Deps => rt.parallel(move |s| deps_generator(s, m, attrs)),
+        LuGenerator::Single => rt.region(move |s| single_generator(s, m, attrs)).join(),
+        LuGenerator::For => rt.region(move |s| for_generator(s, m, attrs)).join(),
+        LuGenerator::Deps => rt.region(move |s| deps_generator(s, m, attrs)).join(),
     }
 }
 
@@ -64,7 +64,9 @@ pub fn sparselu_parallel(rt: &Runtime, m: &BlockMatrix, gen: LuGenerator, untied
 /// not accelerated) and re-records on the next call.
 pub fn sparselu_parallel_replay(rt: &Runtime, m: &BlockMatrix, token: u64, untied: bool) {
     let attrs = TaskAttrs::default().with_tied(!untied);
-    rt.parallel_replay(token, move |s| deps_generator(s, m, attrs));
+    rt.region(move |s| deps_generator(s, m, attrs))
+        .replay(token)
+        .join();
 }
 
 fn single_generator(s: &Scope<'_>, m: &BlockMatrix, attrs: TaskAttrs) {
@@ -236,7 +238,7 @@ fn for_generator(s: &Scope<'_>, m: &BlockMatrix, attrs: TaskAttrs) {
         // Phase 1 worksharing: the fwd/bdiv candidates are distributed over
         // the team; each iteration spawns at most one task.
         s.taskgroup(|s| {
-            s.parallel_for(kk + 1..nb, move |x, s| {
+            s.for_each(kk + 1..nb, move |x, s| {
                 if m.present(kk, x) {
                     s.spawn_with(attrs, move |_| unsafe {
                         fwd(
@@ -257,13 +259,15 @@ fn for_generator(s: &Scope<'_>, m: &BlockMatrix, attrs: TaskAttrs) {
                         );
                     });
                 }
-            });
+            })
+            .mode(LoopMode::Worksharing)
+            .run();
         });
 
         // Phase 2 worksharing over rows: each generator iteration owns row
         // ii, allocates its fill-in and spawns its bmod tasks.
         s.taskgroup(|s| {
-            s.parallel_for(kk + 1..nb, move |ii, s| {
+            s.for_each(kk + 1..nb, move |ii, s| {
                 if !m.present(ii, kk) {
                     return;
                 }
@@ -282,7 +286,9 @@ fn for_generator(s: &Scope<'_>, m: &BlockMatrix, attrs: TaskAttrs) {
                         );
                     });
                 }
-            });
+            })
+            .mode(LoopMode::Worksharing)
+            .run();
         });
     }
 }

@@ -1,0 +1,205 @@
+//! Adversarial scheduling scenarios: the pathological task-graph shapes
+//! that stress a tasking runtime where the BOTS kernels are gentle
+//! (Tuft et al.'s taxonomy of OpenMP tasking stress patterns).
+//!
+//! Each scenario is **self-verifying by value** — it computes a closed-form
+//! answer through the hostile graph shape and compares, never through
+//! runtime telemetry — so the rows can overlap with the kernel rows on one
+//! shared team without reading each other's counters:
+//!
+//! * **spawn-storm** — one producer publishes a flat wave of tasks from a
+//!   single deque, the worst case for the injector and for steal pressure;
+//! * **deep-recursion** — a left-deep spawn chain tens of thousands of
+//!   tasks long: exactly one task runnable at any instant, maximal
+//!   parent-chain bookkeeping, zero parallelism to hide overhead behind;
+//! * **chain-barrier** — many short waves each sealed by a `taskwait`, so
+//!   the team spends its life entering and leaving barriers;
+//! * **if-zero** — every other creation point carries `if(0)`: the runtime
+//!   must inline half the graph without losing the other half;
+//! * **fine-grain-loop** — worksharing sweeps at grain 1 (every claim is a
+//!   cursor collision) up through modest grains, against the `Tasks` mode
+//!   on the same space.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bots_runtime::{LoopMode, Runtime, Scope};
+
+/// The result of one adversarial scenario.
+#[derive(Debug)]
+pub struct AdversarialOutcome {
+    /// Scenario name, as printed in the `bots check` row.
+    pub name: &'static str,
+    /// `Ok` when the scenario's self-check passed.
+    pub result: Result<(), String>,
+    /// Wall time of the scenario (its region(s), not the whole process).
+    pub elapsed: Duration,
+}
+
+/// A named scenario entry: the row label and its self-checking body.
+type Scenario = (&'static str, fn(&Runtime) -> Result<(), String>);
+
+/// Runs every adversarial scenario on `rt` and returns one row each.
+///
+/// The scenarios run sequentially *within* this call but the call is meant
+/// to overlap with other work on the same team (`bots check --adversarial`
+/// runs it concurrently with the kernel verification rows).
+pub fn run_all(rt: &Runtime) -> Vec<AdversarialOutcome> {
+    let scenarios: [Scenario; 5] = [
+        ("spawn-storm", spawn_storm),
+        ("deep-recursion", deep_recursion),
+        ("chain-barrier", chain_barrier),
+        ("if-zero", if_zero),
+        ("fine-grain-loop", fine_grain_loop),
+    ];
+    scenarios
+        .iter()
+        .map(|&(name, f)| {
+            let t0 = Instant::now();
+            let result = f(rt);
+            AdversarialOutcome {
+                name,
+                result,
+                elapsed: t0.elapsed(),
+            }
+        })
+        .collect()
+}
+
+fn expect_sum(name: &str, got: u64, want: u64) -> Result<(), String> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("{name}: sum {got} != expected {want}"))
+    }
+}
+
+/// One producer, twenty thousand flat tasks: the region root spawns the
+/// entire wave from its own deque while every other worker can only steal.
+fn spawn_storm(rt: &Runtime) -> Result<(), String> {
+    const N: u64 = 20_000;
+    let sum = AtomicU64::new(0);
+    let sum_ref = &sum;
+    rt.parallel(|s| {
+        for i in 0..N {
+            s.spawn(move |_| {
+                sum_ref.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+    });
+    expect_sum("spawn-storm", sum.load(Ordering::Relaxed), N * (N - 1) / 2)
+}
+
+/// A left-deep chain: each task spawns exactly one child, twenty thousand
+/// links deep. The schedule is forced serial — the scenario measures that
+/// per-task bookkeeping (parent chains, record recycling) survives extreme
+/// depth without a stack or slab blow-up.
+fn deep_recursion(rt: &Runtime) -> Result<(), String> {
+    const DEPTH: u64 = 20_000;
+    fn link<'e>(s: &Scope<'e>, remaining: u64, acc: &'e AtomicU64) {
+        acc.fetch_add(remaining, Ordering::Relaxed);
+        if remaining > 0 {
+            s.spawn(move |s| link(s, remaining - 1, acc));
+        }
+    }
+    let acc = AtomicU64::new(0);
+    let acc_ref = &acc;
+    rt.parallel(move |s| link(s, DEPTH, acc_ref));
+    expect_sum(
+        "deep-recursion",
+        acc.load(Ordering::Relaxed),
+        DEPTH * (DEPTH + 1) / 2,
+    )
+}
+
+/// A hundred waves of sixty-four short tasks, each wave sealed by a
+/// `taskwait`. Verifies the barrier each time: when a wave's `taskwait`
+/// returns, every task of every wave so far must have run.
+fn chain_barrier(rt: &Runtime) -> Result<(), String> {
+    const WAVES: u64 = 100;
+    const WIDTH: u64 = 64;
+    let done = AtomicU64::new(0);
+    let mut leak: Option<String> = None;
+    rt.parallel(|s| {
+        for wave in 0..WAVES {
+            for _ in 0..WIDTH {
+                s.spawn(|_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            s.taskwait();
+            let seen = done.load(Ordering::Relaxed);
+            if seen != (wave + 1) * WIDTH && leak.is_none() {
+                leak = Some(format!(
+                    "chain-barrier: taskwait of wave {wave} returned with {seen} tasks done, \
+                     expected {}",
+                    (wave + 1) * WIDTH
+                ));
+            }
+        }
+    });
+    if let Some(e) = leak {
+        return Err(e);
+    }
+    expect_sum("chain-barrier", done.load(Ordering::Relaxed), WAVES * WIDTH)
+}
+
+/// Half the creation points carry `if(0)` — the runtime must execute them
+/// inline (undeferred) at the creation point — interleaved with real
+/// deferred spawns contributing to the same sum.
+fn if_zero(rt: &Runtime) -> Result<(), String> {
+    const N: u64 = 10_000;
+    let sum = AtomicU64::new(0);
+    let sum_ref = &sum;
+    rt.parallel(|s| {
+        for i in 0..N {
+            s.task(move |_| {
+                sum_ref.fetch_add(i, Ordering::Relaxed);
+            })
+            .if_clause(i % 2 == 1)
+            .spawn();
+        }
+    });
+    expect_sum("if-zero", sum.load(Ordering::Relaxed), N * (N - 1) / 2)
+}
+
+/// Fine-grained loop sweep: the worksharing claim protocol at grain 1
+/// (maximal cursor contention), 2 and 8 over ten thousand iterations, and
+/// the task-per-chunk mode on the same space — all against the closed form.
+fn fine_grain_loop(rt: &Runtime) -> Result<(), String> {
+    const N: usize = 10_000;
+    let want = (N as u64) * (N as u64 - 1) / 2;
+    for mode in [LoopMode::Worksharing, LoopMode::Tasks] {
+        for grain in [1usize, 2, 8] {
+            let sum = AtomicU64::new(0);
+            rt.parallel(|s| {
+                s.for_each(0..N, |i, _| {
+                    sum.fetch_add(i as u64, Ordering::Relaxed);
+                })
+                .chunk(grain)
+                .mode(mode)
+                .run();
+            });
+            let got = sum.load(Ordering::Relaxed);
+            if got != want {
+                return Err(format!(
+                    "fine-grain-loop: mode {mode:?} grain {grain}: sum {got} != expected {want}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_pass_on_a_small_team() {
+        let rt = Runtime::with_threads(2);
+        for o in run_all(&rt) {
+            assert!(o.result.is_ok(), "{}: {:?}", o.name, o.result);
+        }
+    }
+}

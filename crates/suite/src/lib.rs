@@ -10,10 +10,14 @@
 //!   of §III-A;
 //! * [`runner`]: timed repetitions, speed-ups (wall-time or work-metric
 //!   based), thread sweeps, verification driver;
+//! * [`adversarial`]: pathological task-graph shapes (spawn storms, deep
+//!   chains, barrier-heavy waves, `if(0)` floods, fine-grained loops) run
+//!   as self-verifying integrity rows;
 //! * [`Table`]: aligned-text + CSV emitters for the harness binaries.
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 mod benchmark;
 pub mod runner;
 mod table;

@@ -24,7 +24,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bots list\n  bots versions <app>\n  bots run <app> [flags]\n  \
          bots check [--class C] [--threads N] [--budget B] [--deps]\n             \
-         [--cancel-after MS] [--deadline MS] [--replay]\n\nflags:\n  \
+         [--cancel-after MS] [--deadline MS] [--replay] [--adversarial]\n\nflags:\n  \
          --class test|small|medium|large   input class (default medium)\n  \
          --version LABEL                   version label (default: best; see `bots versions`)\n  \
          --threads N                       team size (default: machine)\n  \
@@ -35,6 +35,9 @@ fn usage() -> ExitCode {
          --replay                          check: add a record-and-replay row — SparseLU deps\n  \
                                     factorised repeatedly under one shape token, every\n  \
                                     round bit-identical to the serial reference\n  \
+         --adversarial                     check: add the adversarial scenario rows (spawn\n  \
+                                    storm, deep recursion, barrier chains, if(0) floods,\n  \
+                                    fine-grained loops) overlapped with the kernel rows\n  \
          --cancel-after MS                 check: add a spawn-storm row cancelled after MS ms;\n  \
                                     the row passes when the storm drains to quiescence\n  \
          --deadline MS                     check: add a spawn-storm row submitted with an MS-ms\n  \
@@ -94,6 +97,7 @@ fn check_command(args: &[String]) -> ExitCode {
     let mut budget = RegionBudget::Inherit;
     let mut deps_only = false;
     let mut replay = false;
+    let mut adversarial = false;
     let mut cancel_after: Option<u64> = None;
     let mut deadline: Option<u64> = None;
     let mut it = args.iter();
@@ -128,6 +132,7 @@ fn check_command(args: &[String]) -> ExitCode {
             },
             "--deps" => deps_only = true,
             "--replay" => replay = true,
+            "--adversarial" => adversarial = true,
             "--cancel-after" => match value().parse::<u64>() {
                 Ok(ms) if ms >= 1 => cancel_after = Some(ms),
                 _ => {
@@ -162,7 +167,7 @@ fn check_command(args: &[String]) -> ExitCode {
     // The storm rows run *concurrently* with the kernel rows on the same
     // team: cancelling an unbounded storm must drain cleanly while real
     // regions are in flight, and must not perturb a single checksum.
-    let (outcomes, storm_rows, replay_row) = std::thread::scope(|sc| {
+    let (outcomes, storm_rows, replay_row, adversarial_rows) = std::thread::scope(|sc| {
         let rt = &rt;
         let storms = sc.spawn(move || {
             let mut rows: Vec<(String, runner::StormOutcome)> = Vec::new();
@@ -177,6 +182,11 @@ fn check_command(args: &[String]) -> ExitCode {
             rows
         });
         let replays = sc.spawn(move || replay.then(|| verify_replay(rt, class)));
+        // The adversarial rows deliberately share the team with the kernel
+        // rows: a spawn storm or a grain-1 loop must not perturb a single
+        // checksum to pass.
+        let adversarials =
+            sc.spawn(move || adversarial.then(|| bots::suite::adversarial::run_all(rt)));
         let outcomes = runner::verify_overlapping_where(&benches, rt, class, |v| {
             !deps_only || v.generator == bots::suite::Generator::Deps
         });
@@ -184,6 +194,7 @@ fn check_command(args: &[String]) -> ExitCode {
             outcomes,
             storms.join().expect("storm rows panicked"),
             replays.join().expect("replay row panicked"),
+            adversarials.join().expect("adversarial rows panicked"),
         )
     });
     let elapsed = t0.elapsed();
@@ -217,6 +228,20 @@ fn check_command(args: &[String]) -> ExitCode {
             Err(e) => {
                 failures += 1;
                 println!("FAILED  {:<10} {label} — {e}", "storm");
+            }
+        }
+    }
+    for row in adversarial_rows.iter().flatten() {
+        match &row.result {
+            Ok(()) => println!(
+                "ok      {:<10} {} — {:.3} s",
+                "adverse",
+                row.name,
+                row.elapsed.as_secs_f64()
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("FAILED  {:<10} {} — {e}", "adverse", row.name);
             }
         }
     }
