@@ -1,0 +1,157 @@
+//! Continuation-path diagnostic: the cost of a wait that actually
+//! **suspends** — parks its pooled cactus-stack frame, frees the worker,
+//! and resumes when the awaited child retires — and the feasibility of
+//! extreme spawn-chain depth on page-scale stacks.
+//!
+//! Three metric families:
+//!
+//! * `suspend_resume_ns_tN` — wall time of spawn-then-wait ladders
+//!   divided by the *measured* suspension count (`cont_suspends` delta),
+//!   so the metric prices the full suspend → wake → resume round trip,
+//!   not waits that happened to find their children done. (Named
+//!   `*_ns`, not `ns_per_suspend…`: the gate keys direction on the
+//!   `_per_s` substring, which `per_suspend` would collide with.)
+//! * `chain_links_per_s` — throughput of a 200 000-link left-deep spawn
+//!   chain, the adversarial deep-recursion shape: every link is a
+//!   deferred task on a pooled continuation, so the chain's feasibility
+//!   (it used to need a 64 MiB worker stack) is gated together with its
+//!   speed.
+//! * `cont_allocs_steady` — allocations per 1000 suspensions on a warm
+//!   one-thread team, against a zero baseline: one allocation per wait
+//!   would measure ≈ 1000 against `bench_gate`'s absolute ceiling of
+//!   1.0. Only the single-thread figure is gated — it is deterministic,
+//!   while contended teams see an occasional slab-growth allocation.
+//!
+//! With `BOTS_BENCH_JSON_DIR` set, writes `BENCH_cont.json` for the CI
+//! artifact + `bench_gate`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bots::runtime::Scope;
+use bots::Runtime;
+use bots_bench::perf::Report;
+use bots_profile::alloc_calls;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// A spawn-then-wait ladder: every rung defers one child and immediately
+/// `taskwait`s, so the wait routinely suspends (always, on one thread).
+fn ladder(s: &Scope<'_>, depth: u32) {
+    TICKS.fetch_add(1, Ordering::Relaxed);
+    if depth == 0 {
+        return;
+    }
+    s.spawn(move |s| ladder(s, depth - 1));
+    s.taskwait();
+}
+
+/// One region of `width` concurrent ladders, `depth` rungs each.
+fn ladders(rt: &Runtime, width: u64, depth: u32) {
+    let before = TICKS.load(Ordering::Relaxed);
+    rt.parallel(|s| {
+        for _ in 0..width {
+            s.spawn(move |s| ladder(s, depth));
+        }
+    });
+    assert_eq!(
+        TICKS.load(Ordering::Relaxed) - before,
+        width * (depth as u64 + 1)
+    );
+}
+
+/// A left-deep spawn chain `links` deep: each task defers exactly one
+/// child. Exactly one task is runnable at any instant; every link mounts
+/// on a pooled continuation, never on a worker's native stack.
+fn chain(rt: &Runtime, links: u64) {
+    fn link(s: &Scope<'_>, remaining: u64) {
+        TICKS.fetch_add(1, Ordering::Relaxed);
+        if remaining > 0 {
+            s.spawn(move |s| link(s, remaining - 1));
+        }
+    }
+    let before = TICKS.load(Ordering::Relaxed);
+    rt.parallel(move |s| link(s, links));
+    assert_eq!(TICKS.load(Ordering::Relaxed) - before, links + 1);
+}
+
+fn main() {
+    let depth: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let width = 8u64;
+    let reps = 20;
+    let chain_links = 200_000u64;
+    let mut report = Report::new("cont");
+
+    println!("width={width} depth={depth} reps={reps} chain={chain_links}");
+    println!(
+        "{:>7} {:>18} {:>16} {:>12} {:>10} {:>10} {:>11}",
+        "threads",
+        "ns/susp-resume",
+        "allocs/ksusp",
+        "suspends",
+        "resumes",
+        "migrations",
+        "recycled"
+    );
+    for threads in [1usize, 4] {
+        let rt = Runtime::with_threads(threads);
+        // Warm the continuation pool to this shape's peak suspension
+        // depth, plus the slabs and region descriptors.
+        for _ in 0..3 {
+            ladders(&rt, width, depth);
+        }
+
+        let before = rt.stats();
+        let allocs_before = alloc_calls();
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            ladders(&rt, width, depth);
+        }
+        let elapsed = t0.elapsed();
+        let allocs = alloc_calls() - allocs_before;
+        let d = rt.stats().since(&before);
+        assert_eq!(d.cont_suspends, d.cont_resumes);
+        assert!(
+            d.cont_suspends > 0,
+            "the ladders never suspended: the probe is not measuring the path"
+        );
+
+        let ns = elapsed.as_nanos() as f64 / d.cont_suspends as f64;
+        let allocs_per_k = allocs as f64 / (d.cont_suspends as f64 / 1000.0);
+        println!(
+            "{:>7} {:>18.1} {:>16.3} {:>12} {:>10} {:>10} {:>11}",
+            threads,
+            ns,
+            allocs_per_k,
+            d.cont_suspends,
+            d.cont_resumes,
+            d.cont_migrations,
+            d.conts_recycled,
+        );
+        report.push(format!("suspend_resume_ns_t{threads}"), ns);
+        if threads == 1 {
+            report.push("cont_allocs_steady".to_string(), allocs_per_k);
+        }
+    }
+
+    // The depth gate: the full adversarial chain on one thread, warm.
+    let rt = Runtime::with_threads(1);
+    chain(&rt, chain_links);
+    let t0 = std::time::Instant::now();
+    chain(&rt, chain_links);
+    let elapsed = t0.elapsed();
+    let links_per_s = chain_links as f64 / elapsed.as_secs_f64();
+    println!(
+        "chain: {chain_links} links in {:.1} ms ({:.0} links/s)",
+        elapsed.as_secs_f64() * 1e3,
+        links_per_s
+    );
+    report.push("chain_links_per_s".to_string(), links_per_s);
+
+    report.maybe_emit();
+}

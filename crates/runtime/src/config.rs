@@ -107,11 +107,13 @@ pub struct RuntimeConfig {
     /// per submission with
     /// [`Runtime::submit_with_budget`](crate::Runtime::submit_with_budget)).
     pub region_budget: RegionBudget,
-    /// Enforce the tied-task scheduling constraint: a worker blocked at a
-    /// `taskwait` inside a *tied* task will not steal unrelated tasks from
-    /// other workers (it only drains its own deque). Untied tasks never
-    /// constrain the worker. Disabling this treats every task as untied at
-    /// scheduling points, regardless of its attribute.
+    /// Historical knob for the tied-task scheduling constraint. Since
+    /// waits suspend their continuation instead of borrowing the worker's
+    /// stack (see [`crate::cont`]), a blocked worker never runs anything
+    /// *nested under* the waiting task — there is nothing left for the
+    /// constraint to forbid, and this flag no longer changes scheduling.
+    /// Kept so configurations written against earlier versions still
+    /// build; tasks keep their tied/untied attribute for introspection.
     pub enforce_tied_constraint: bool,
     /// Steal attempts across the whole team before a worker considers
     /// parking (each attempt probes every other worker once, in a random
@@ -152,6 +154,13 @@ pub struct RuntimeConfig {
     /// `.chunk(n)`. `0` (the default) means auto: `len / (4 × workers)`,
     /// at least 1.
     pub loop_grain: usize,
+    /// Fiber stack size in bytes for pooled continuations (every deferred
+    /// task body runs on one — see [`crate::cont`]). The memory is
+    /// allocated uninitialised, so untouched pages are never committed: a
+    /// parked deep wait costs pages, not the full reservation. There is no
+    /// guard page; raise this for bodies with unusually deep inline
+    /// recursion. Floors at 16 KiB.
+    pub cont_stack: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -169,6 +178,7 @@ impl Default for RuntimeConfig {
             max_live_regions: 0,
             replay_cache: 64,
             loop_grain: 0,
+            cont_stack: 256 * 1024,
         }
     }
 }
@@ -216,7 +226,9 @@ impl RuntimeConfig {
         self
     }
 
-    /// Enables or disables the tied-task scheduling constraint.
+    /// Sets the historical tied-constraint flag (a scheduling no-op now
+    /// that blocked waits suspend off the worker; see
+    /// [`enforce_tied_constraint`](Self::enforce_tied_constraint)).
     pub fn with_tied_constraint(mut self, enforce: bool) -> Self {
         self.enforce_tied_constraint = enforce;
         self
@@ -260,6 +272,13 @@ impl RuntimeConfig {
         self.loop_grain = grain;
         self
     }
+
+    /// Sets the fiber stack size for pooled continuations (floors at
+    /// 16 KiB). See [`RuntimeConfig::cont_stack`].
+    pub fn with_cont_stack(mut self, bytes: usize) -> Self {
+        self.cont_stack = bytes.max(16 * 1024);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +297,7 @@ mod tests {
         assert_eq!(c.max_live_regions, 0, "shedding is opt-in");
         assert_eq!(c.replay_cache, 64);
         assert_eq!(c.loop_grain, 0, "worksharing grain defaults to auto");
+        assert_eq!(c.cont_stack, 256 * 1024, "fiber stacks default to 256 KiB");
     }
 
     #[test]
@@ -310,6 +330,10 @@ mod tests {
         assert_eq!(c.loop_grain, 32);
         let c = c.with_loop_grain(0);
         assert_eq!(c.loop_grain, 0, "zero restores the auto heuristic");
+        let c = c.with_cont_stack(0);
+        assert_eq!(c.cont_stack, 16 * 1024, "fiber stacks floor at 16 KiB");
+        let c = c.with_cont_stack(1 << 20);
+        assert_eq!(c.cont_stack, 1 << 20);
     }
 
     #[test]

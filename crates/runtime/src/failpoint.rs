@@ -77,7 +77,7 @@ mod imp {
     /// Every site name compiled into the runtime (the `bots_failpoint!`
     /// call sites). Kept next to the registry so [`prewarm`] and the CI
     /// coverage test agree on the full set.
-    pub const SITES: [&str; 12] = [
+    pub const SITES: [&str; 14] = [
         "injector_push",
         "injector_pop",
         "steal",
@@ -90,6 +90,8 @@ mod imp {
         "replay_diverge",
         "loop_claim",
         "loop_drain",
+        "cont_suspend",
+        "cont_resume",
     ];
 
     /// What an armed site does when hit.

@@ -44,6 +44,7 @@ use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::cont::Continuation;
 use crate::local::CacheAligned;
 
 /// A `taskgroup` membership counter: counts every task spawned while the
@@ -61,7 +62,23 @@ pub(crate) struct Group {
     /// [`Scope::cancel_group`](crate::Scope::cancel_group), observed by
     /// members' spawns (suppressed) and poll points. Reset at lease time.
     cancelled: AtomicBool,
+    /// The group wait's suspended [`Continuation`], when the waiting frame
+    /// parked instead of pinning its worker. Claimed (swapped out) either
+    /// by the member whose `leave()` drained the group or by the waiter
+    /// unregistering after a successful recheck — the swap is the
+    /// exclusive wake ticket. The drain claim leaves the [`CLAIMED`]
+    /// sentinel behind as a rendezvous: the lease owner must observe it
+    /// before recycling the descriptor, because the draining member's
+    /// claim is its true final access (after the `leave()` RMW).
+    ///
+    /// The lease owner is itself a member (joined at lease time, left at
+    /// the top of the wait), so the count reaches zero **exactly once**
+    /// per lease and at most one drain claim can ever be in flight.
+    waiter: AtomicPtr<u8>,
 }
+
+/// Rendezvous sentinel the drain claim swaps into the waiter slot.
+const CLAIMED: usize = 1;
 
 impl Group {
     fn new() -> Group {
@@ -69,6 +86,7 @@ impl Group {
             next: AtomicPtr::new(std::ptr::null_mut()),
             members: AtomicUsize::new(0),
             cancelled: AtomicBool::new(false),
+            waiter: AtomicPtr::new(std::ptr::null_mut()),
         }
     }
 
@@ -91,6 +109,81 @@ impl Group {
     #[inline]
     pub(crate) fn reset(&self) {
         self.cancelled.store(false, Ordering::Relaxed);
+        debug_assert!(
+            self.waiter.load(Ordering::Relaxed).is_null(),
+            "a group was recycled with a registered waiter"
+        );
+        self.waiter.store(std::ptr::null_mut(), Ordering::Relaxed);
+    }
+
+    /// Registers the group wait's suspending continuation. SeqCst for the
+    /// same store-buffering reason as the taskwait slot: the registration
+    /// must be globally ordered against the waiter's `outstanding()`
+    /// recheck and a leaving member's `leave`/`claim_waiter` pair.
+    ///
+    /// Returns `false` when the zero-driving member's drain claim landed
+    /// between the waiter's `outstanding()` read and this registration:
+    /// the group is already drained, no wake is coming, and the [`CLAIMED`]
+    /// stamp must stay in the slot for `await_drain_claim` — a blind swap
+    /// here would destroy the rendezvous and hang the lease return.
+    #[inline]
+    pub(crate) fn try_register_waiter(&self, cont: NonNull<Continuation>) -> bool {
+        match self.waiter.compare_exchange(
+            std::ptr::null_mut(),
+            cont.as_ptr().cast(),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => true,
+            Err(prev) => {
+                debug_assert_eq!(prev as usize, CLAIMED, "group waiter slot was occupied");
+                false
+            }
+        }
+    }
+
+    /// The drain claim: called exactly once per drained lease, by the
+    /// member whose [`leave`](Self::leave) returned `true`. Swaps the
+    /// [`CLAIMED`] rendezvous sentinel in and returns the registered
+    /// waiter, if any — the exclusive wake ticket.
+    #[inline]
+    pub(crate) fn claim_waiter(&self) -> Option<NonNull<Continuation>> {
+        let prev = self.waiter.swap(CLAIMED as *mut u8, Ordering::SeqCst);
+        debug_assert_ne!(prev as usize, CLAIMED, "double drain claim on one lease");
+        NonNull::new(prev.cast())
+    }
+
+    /// Waiter-side unregistration after a successful condition recheck:
+    /// takes the registration back if the drain claim has not fired yet.
+    /// Returns the continuation when the waiter got itself back (no wake
+    /// will arrive); `None` means the claim won and a wake (token or
+    /// queued resume) is in flight for this registration.
+    #[inline]
+    pub(crate) fn unregister_waiter(&self, cont: NonNull<Continuation>) -> bool {
+        let prev = self.waiter.swap(std::ptr::null_mut(), Ordering::SeqCst);
+        if prev as usize == CLAIMED {
+            // Preserve the rendezvous for `await_drain_claim`.
+            self.waiter.store(CLAIMED as *mut u8, Ordering::Relaxed);
+            return false;
+        }
+        debug_assert_eq!(prev.cast::<Continuation>(), cont.as_ptr().cast());
+        true
+    }
+
+    /// Rendezvous with the draining member before the lease is recycled.
+    /// Call only when some *other* member's `leave()` drained the group
+    /// (the owner's own leave was not last): that member will perform its
+    /// drain claim — possibly *after* the waiter already observed
+    /// `outstanding() == 0`. Spinning until the [`CLAIMED`] sentinel
+    /// appears guarantees the drainer's last access to this descriptor
+    /// has happened before it is reused. The window is two instructions
+    /// wide on the drainer; the spin is effectively instant.
+    #[inline]
+    pub(crate) fn await_drain_claim(&self) {
+        while self.waiter.load(Ordering::Acquire) as usize != CLAIMED {
+            std::hint::spin_loop();
+        }
+        self.waiter.store(std::ptr::null_mut(), Ordering::Relaxed);
     }
 
     /// Registers one member. Called on the spawning thread *before* the
@@ -110,14 +203,17 @@ impl Group {
         // Fault injection inside the member's final-access window: a delay
         // here widens the race against the waiter's zero observation.
         crate::bots_failpoint!("group_leave");
-        self.members.fetch_sub(1, Ordering::AcqRel) == 1
+        // SeqCst (not AcqRel): globally ordered against the leaver's
+        // `claim_waiter` read and the waiter's register/recheck pair.
+        self.members.fetch_sub(1, Ordering::SeqCst) == 1
     }
 
     /// Outstanding members. Only the lease-owning waiter may call this (a
-    /// non-owner has no liveness guarantee to read through).
+    /// non-owner has no liveness guarantee to read through). SeqCst so the
+    /// recheck after `register_waiter` cannot float above the registration.
     #[inline]
     pub(crate) fn outstanding(&self) -> usize {
-        self.members.load(Ordering::Acquire)
+        self.members.load(Ordering::SeqCst)
     }
 }
 
@@ -260,6 +356,28 @@ mod tests {
         let (_one, fresh) = pool.lease(0);
         assert!(!fresh);
         assert_eq!(pool.free_len(), 3, "pop takes exactly one descriptor");
+    }
+
+    /// The register/claim race: the zero-driving member's drain claim can
+    /// land between the waiter's `outstanding()` read and its
+    /// registration. Registration must then back off and leave the
+    /// CLAIMED rendezvous in the slot — overwriting it would hang the
+    /// lease owner's `await_drain_claim` spin.
+    #[test]
+    fn raced_registration_preserves_the_drain_claim() {
+        let pool = GroupPool::new(1);
+        let (g, _) = pool.lease(0);
+        let g_ref = unsafe { g.as_ref() };
+        let cont = NonNull::<Continuation>::dangling();
+        // Clean slot: registration wins, take-back returns it.
+        assert!(g_ref.try_register_waiter(cont));
+        assert!(g_ref.unregister_waiter(cont));
+        // Claim first (member drained the group), then the raced
+        // registration: it must refuse and keep CLAIMED in place.
+        assert!(g_ref.claim_waiter().is_none());
+        assert!(!g_ref.try_register_waiter(cont));
+        g_ref.await_drain_claim();
+        pool.release(g, 0);
     }
 
     #[test]

@@ -295,12 +295,25 @@
 //!   [`RuntimeCutoff`], each region can carry its own queued-task budget;
 //!   a region that trips it spawns serially ([`RegionStats::serialized`]
 //!   counts how often) while its siblings keep deferring freely.
+//! * **Continuation stealing** ([`cont`](RuntimeStats::cont_suspends)):
+//!   every deferred task body runs on a pooled **fiber** (a recycled
+//!   heap stack + saved context). A wait that cannot complete —
+//!   `taskwait`, taskgroup wait, loop drain — suspends the fiber into a
+//!   waiter slot and the worker moves on; whichever worker drives the
+//!   condition's zero transition (last child retiring, last group member
+//!   leaving) requeues the continuation on its *own* deque, so blocked
+//!   waiters migrate, including onto thieves. Warm suspend/resume cycles
+//!   allocate nothing ([`RuntimeStats::conts_recycled`]), worker stacks
+//!   stay small (waits no longer nest native frames), and at quiescence
+//!   `cont_suspends == cont_resumes` — every suspend resumed exactly once.
 //! * **Tied vs untied** ([`TaskAttrs`]): a task always runs start-to-finish
-//!   on one OS thread (icc 11.0, the paper's runtime, did not implement
-//!   thread switching either). The difference is the *task scheduling
-//!   constraint*: blocked at a [`taskwait`](Scope::taskwait) inside a tied
-//!   task, a worker only picks up descendants of that task from its own
-//!   deque; inside an untied task it drains its deque freely and steals.
+//!   on one OS *fiber*; what migrates at a wait is the whole suspended
+//!   frame, never a partially-run body. Because a blocked waiter leaves
+//!   its worker instead of pinning it, the tied-task scheduling
+//!   constraint is vacuous at waits: the worker under a blocked tied
+//!   `taskwait` is simply free, and drains or steals whatever is next.
+//!   The tied/untied attribute is retained for API compatibility (and
+//!   for the paper's version matrices) but no longer restricts stealing.
 //! * **Cut-offs**: the `if` clause makes a spawn undeferred but still does
 //!   runtime bookkeeping; [`RuntimeCutoff`] implements runtime-side
 //!   strategies (max tasks, max local queue, max depth, adaptive) — the
@@ -346,6 +359,7 @@
 //! | `deps` | per-region task-dependency tracker (`depend(in/out)` clauses, pooled) |
 //! | `replay` | token-keyed record-and-replay: frozen dependency DAGs, warm re-execution |
 //! | `group` | pooled `taskgroup` descriptors (waiter-owned lease, member raw pointers) |
+//! | `cont` | pooled cactus-stack continuations: fibers, suspend/wake state machine |
 //! | `wsloop` | pooled worksharing-loop descriptors (atomic claim cursor, chunk invoker) |
 //! | `event` | sleeper-gated event count (no shared writes to notify) |
 //! | [`pool`](Runtime) | worker threads, submit/join, region lifecycle |
@@ -366,6 +380,7 @@ mod rng;
 
 mod cancel;
 mod config;
+mod cont;
 mod deps;
 pub mod failpoint;
 mod group;

@@ -60,15 +60,19 @@
 //! herd-free geometric ramp-up instead of a thundering herd or a one-task
 //! trickle.
 //!
-//! ## Scheduling points
+//! ## Scheduling points and continuation stealing
 //!
-//! Like an OpenMP runtime, workers switch tasks at two points only: task
-//! completion (the worker loop) and `taskwait` (see [`crate::scope`]). A
-//! task runs on one OS thread from start to finish; what the tied/untied
-//! distinction controls here is which *other* tasks a worker may pick up
-//! while it waits at a `taskwait` (the task scheduling constraint), not
-//! thread migration — matching the icc 11.0 behaviour the paper evaluates
-//! (no thread switching).
+//! Like an OpenMP runtime, workers switch tasks at task completion (the
+//! worker loop) and at the scheduling-point waits (`taskwait`, taskgroup
+//! wait, loop drains — see [`crate::scope`]). Every deferred task body
+//! runs on a pooled **fiber** ([`crate::cont`]), so a wait that cannot
+//! complete does not nest frames on the worker stack: the fiber parks
+//! itself in a waiter slot and the worker returns to its dispatch loop.
+//! The worker that later drives the waited condition to its zero
+//! transition claims the slot and queues the continuation on its *own*
+//! deque — a blocked waiter migrates to wherever its wake happened,
+//! including onto a thief. Queued continuations share the deques with
+//! fresh records, distinguished by a low pointer tag ([`Work`]).
 //!
 //! [`RuntimeStats::closure_spilled`]: crate::RuntimeStats::closure_spilled
 
@@ -80,6 +84,7 @@ use std::sync::Arc;
 
 use crate::cancel::{RegionError, SubmitError};
 use crate::config::{LocalOrder, RegionBudget, RuntimeConfig, RuntimeCutoff};
+use crate::cont::{self, ContPool, ContSource, Continuation};
 use crate::deque::{deque, Steal, Stealer, TaskDeque};
 use crate::event::EventCount;
 use crate::group::{Group, GroupPool};
@@ -94,10 +99,11 @@ use crate::stats::{RuntimeStats, WorkerCounters};
 use crate::task::{TaskAttrs, TaskRecord, HOME_BOXED, HOME_REGION};
 use crate::wsloop::LoopPool;
 
-/// Worker-thread stack size. Task switching at `taskwait` nests task frames
-/// on the worker stack (there is no continuation stealing), so recursive
-/// kernels run with a generous stack.
-const WORKER_STACK: usize = 64 * 1024 * 1024;
+/// Worker-thread stack size. Task bodies run on pooled fiber stacks
+/// ([`crate::cont`]) and blocked waits suspend instead of nesting, so the
+/// worker's native stack only hosts the dispatch loop plus one layer of
+/// runtime bookkeeping — pages, not megabytes.
+const WORKER_STACK: usize = 512 * 1024;
 
 /// How long a parked worker sleeps before re-probing, as a lost-wakeup
 /// safety net. Wake-ups normally arrive via the event count.
@@ -151,6 +157,10 @@ pub(crate) struct Shared {
     /// Pooled taskgroup descriptors (see [`crate::group`]): a steady-state
     /// `taskgroup` leases one instead of allocating an `Arc`.
     pub(crate) group_pool: GroupPool,
+    /// Pooled fibers (see [`crate::cont`]): every deferred task body runs
+    /// on one, and a steady-state suspend/resume cycle leases and recycles
+    /// instead of allocating.
+    pub(crate) cont_pool: ContPool,
     /// Pooled worksharing-loop descriptors (see [`crate::wsloop`]): a
     /// steady-state worksharing `for_each` leases one instead of
     /// allocating.
@@ -441,6 +451,77 @@ impl Shared {
     }
 }
 
+/// One deque/injector item, decoded. Fresh task records and suspended
+/// continuations share the queues: both blocks are 128-byte aligned, so a
+/// set low bit tags a pointer as a [`Continuation`] to resume. The deque
+/// itself never dereferences its pointers, making the tag safe to thread
+/// through steals.
+pub(crate) enum Work {
+    Fresh(NonNull<TaskRecord>),
+    Resume(NonNull<Continuation>),
+}
+
+const RESUME_TAG: usize = 1;
+
+/// Decodes a queue item (see [`Work`]).
+#[inline]
+pub(crate) fn decode(item: NonNull<TaskRecord>) -> Work {
+    let raw = item.as_ptr() as usize;
+    if raw & RESUME_TAG != 0 {
+        // Safety: only `encode_resume` sets the tag, on a valid pool-owned
+        // continuation pointer.
+        Work::Resume(unsafe { NonNull::new_unchecked((raw & !RESUME_TAG) as *mut Continuation) })
+    } else {
+        Work::Fresh(item)
+    }
+}
+
+/// Tags a continuation for the deques (see [`Work`]).
+#[inline]
+fn encode_resume(c: NonNull<Continuation>) -> NonNull<TaskRecord> {
+    // Safety: tagging cannot produce null (the tag sets a bit).
+    unsafe { NonNull::new_unchecked(((c.as_ptr() as usize) | RESUME_TAG) as *mut TaskRecord) }
+}
+
+thread_local! {
+    /// The worker context of the current thread, if it is a worker. Read by
+    /// fibers instead of caching a `&WorkerCtx`: a suspended frame may be
+    /// resumed by *any* worker, so "my worker" is a property of the moment,
+    /// not of the frame.
+    static CUR_WORKER: std::cell::Cell<*const WorkerCtx> =
+        const { std::cell::Cell::new(std::ptr::null()) };
+    /// The continuation mounted on the current thread (null in the bare
+    /// worker loop). Maintained by `WorkerCtx::mount`, nestable: a fiber
+    /// that help-executes mounts an inner fiber and restores on return.
+    static CUR_CONT: std::cell::Cell<*mut Continuation> =
+        const { std::cell::Cell::new(std::ptr::null_mut()) };
+}
+
+/// The calling thread's worker context. Panics off-team; task code can
+/// only run on workers, so the unwrap documents an invariant.
+#[inline]
+pub(crate) fn current_worker() -> &'static WorkerCtx {
+    let p = CUR_WORKER.with(|w| w.get());
+    debug_assert!(!p.is_null(), "current_worker() called off a worker thread");
+    // Safety: set once at worker start to the worker loop's frame-local
+    // context, which outlives everything the thread ever executes; the
+    // 'static is a lie only past team shutdown, by which point no task
+    // code runs.
+    unsafe { &*p }
+}
+
+/// The continuation mounted on the calling thread, if any.
+#[inline]
+pub(crate) fn current_cont() -> Option<NonNull<Continuation>> {
+    NonNull::new(CUR_CONT.with(|c| c.get()))
+}
+
+/// The hook `bots_fiber_main` (see [`crate::cont`]) runs a handed-off
+/// task through: resolves the mounting worker and executes.
+pub(crate) fn fiber_execute(task: NonNull<TaskRecord>) {
+    current_worker().execute(task);
+}
+
 /// Per-worker context. Owned by the worker thread; tasks reach it through
 /// the [`Scope`] they are handed.
 pub(crate) struct WorkerCtx {
@@ -501,12 +582,6 @@ impl WorkerCtx {
             LocalOrder::Lifo => self.deque.pop(),
             LocalOrder::Fifo => self.deque.pop_fifo(),
         }
-    }
-
-    /// Pops from the LIFO end regardless of policy (used by tied taskwaits,
-    /// where the bottom of the deque is where descendants live).
-    pub(crate) fn pop_local_lifo(&self) -> Option<NonNull<TaskRecord>> {
-        self.deque.pop()
     }
 
     /// Takes one region root from the injector (own shard probed first).
@@ -601,9 +676,113 @@ impl WorkerCtx {
         }
     }
 
+    /// Dispatches one queue item: a fresh task is mounted on a pooled
+    /// fiber; a tagged continuation is resumed where it left off. Callable
+    /// from the worker loop and from inside a fiber (helping waits mount
+    /// nested fibers), on the thread that owns this context.
+    pub(crate) fn dispatch(&self, item: NonNull<TaskRecord>) {
+        let counters = self.counters();
+        match decode(item) {
+            Work::Fresh(task) => {
+                // Safety: this is the owning worker thread.
+                let (c, src) = unsafe { self.shared.cont_pool.lease(self.index) };
+                match src {
+                    ContSource::Recycled => WorkerCounters::bump(&counters.conts_recycled),
+                    ContSource::Fresh => WorkerCounters::bump(&counters.conts_fresh),
+                }
+                // Safety: a leased fiber is exclusively ours; the task's
+                // queue handle transfers to the fiber.
+                unsafe {
+                    c.as_ref().task.set(Some(task));
+                    self.mount(c);
+                }
+            }
+            Work::Resume(c) => {
+                WorkerCounters::bump(&counters.cont_resumes);
+                // Safety: a queued continuation's pointer is valid for the
+                // pool's whole life; the queue handle makes us the sole
+                // resumer.
+                unsafe {
+                    if c.as_ref().last_worker.get() != self.index as u16 {
+                        WorkerCounters::bump(&counters.cont_migrations);
+                    }
+                    c.as_ref().last_worker.set(self.index as u16);
+                    c.as_ref().state.store(cont::RUNNING, Ordering::Release);
+                    self.mount(c);
+                }
+            }
+        }
+    }
+
+    /// Switches into `c` and settles its state when it switches back out:
+    /// `DONE` recycles the fiber; a suspend finalises to `SUSPENDED` — or,
+    /// when a waker already claimed the continuation mid-park, requeues it
+    /// right here on our own deque.
+    ///
+    /// # Safety
+    /// Caller must hold exclusive mount rights on `c` (fresh lease with a
+    /// task set, or a popped `Resume` item), on this context's own thread.
+    unsafe fn mount(&self, c: NonNull<Continuation>) {
+        let prev = CUR_CONT.with(|cur| cur.replace(c.as_ptr()));
+        c.as_ref().switch_in();
+        CUR_CONT.with(|cur| cur.set(prev));
+        if c.as_ref().state.load(Ordering::Acquire) == cont::DONE {
+            self.shared.cont_pool.release(c, self.index);
+        } else if c
+            .as_ref()
+            .state
+            .compare_exchange(
+                cont::SUSPENDING,
+                cont::SUSPENDED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            // A waker stamped QUEUED between the fiber's suspend decision
+            // and our detach: the wake could not push (the fiber was still
+            // mounted), so the push obligation is ours.
+            self.deque.push(encode_resume(c));
+            self.shared.work.notify_one();
+        }
+    }
+
+    /// Delivers a claimed wake ticket to `c` (see [`crate::cont`]): a
+    /// still-running or mid-suspend fiber absorbs it as a `QUEUED` token;
+    /// a fully parked one is pushed on *this* worker's deque — which is
+    /// what migrates waiters to the thread that unblocked them.
+    pub(crate) fn wake(&self, c: NonNull<Continuation>) {
+        crate::bots_failpoint!("cont_resume");
+        let state = unsafe { &c.as_ref().state };
+        loop {
+            let cur = state.load(Ordering::Acquire);
+            debug_assert_ne!(cur, cont::DONE, "wake ticket outlived its wait");
+            if state
+                .compare_exchange_weak(cur, cont::QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            match cur {
+                // The waiter (RUNNING) eats the token in its unregister
+                // path; a mid-park fiber (SUSPENDING) is requeued by its
+                // detaching host when its SUSPENDED finalise fails.
+                cont::RUNNING | cont::SUSPENDING => {}
+                cont::SUSPENDED => {
+                    self.deque.push(encode_resume(c));
+                    self.shared.work.notify_one();
+                }
+                _ => unreachable!("woke a continuation in state {cur}"),
+            }
+            return;
+        }
+    }
+
     /// Executes a deferred task to completion and performs end-of-task
     /// bookkeeping (parent child-count, group membership, region
-    /// attribution, record release, wake-ups).
+    /// attribution, record release, wake-ups). The body may suspend and
+    /// resume on another worker, so everything after the invoke re-resolves
+    /// the executing worker from thread-local state.
     pub(crate) fn execute(&self, rec: NonNull<TaskRecord>) {
         let shared = &*self.shared;
         shared.queued_delta(self.index, -1);
@@ -637,17 +816,19 @@ impl WorkerCtx {
         };
 
         let invoke = r.take_invoke().expect("task executed twice");
-        let ec = ExecCtx {
-            worker: self,
-            rec,
-            skip,
-        };
+        let ec = ExecCtx { rec, skip };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             // The one site where a `panic` failpoint action is sound: it
             // unwinds into this catch like any task panic would.
             crate::bots_failpoint!("task_invoke");
             unsafe { invoke(rec, &ec) }
         }));
+        // The body may have suspended at a wait and been resumed by another
+        // worker: from here on, `self` is the *mounting* worker, not
+        // necessarily the executing one. Everything below — counters, deque
+        // pushes, slab routing — goes through the thread's actual context.
+        let worker = current_worker();
+        let counters = worker.counters();
         if let Err(payload) = outcome {
             match region {
                 // Per-region capture: the payload is re-raised by this
@@ -659,15 +840,15 @@ impl WorkerCtx {
             }
         }
         if let Some(region) = region {
-            WorkerCounters::bump(&region.shard(self.index).executed);
+            WorkerCounters::bump(&region.shard(worker.index).executed);
             // Per-region queued accounting mirrors the global one: explicit
             // spawns added on the spawner's shard, executions subtract here.
             // Roots are not queued-by-spawn, so they do not subtract.
             if r.parent().is_some() {
-                region.queued_delta(self.index, -1);
+                region.queued_delta(worker.index, -1);
                 if skip {
                     WorkerCounters::bump(&counters.skipped);
-                    WorkerCounters::bump(&region.shard(self.index).skipped);
+                    WorkerCounters::bump(&region.shard(worker.index).skipped);
                 }
             }
         }
@@ -696,7 +877,7 @@ impl WorkerCtx {
                             replay::untag_slot(state),
                             |released| {
                                 WorkerCounters::bump(&counters.deps_released);
-                                self.deque.push(released);
+                                worker.deque.push(released);
                                 shared.work.notify_one();
                             },
                         );
@@ -715,7 +896,7 @@ impl WorkerCtx {
                     unsafe {
                         region.deps().retire(state.cast(), |released| {
                             WorkerCounters::bump(&counters.deps_released);
-                            self.deque.push(released);
+                            worker.deque.push(released);
                             shared.work.notify_one();
                         });
                     }
@@ -728,29 +909,41 @@ impl WorkerCtx {
         // woken only on the transitions they block on: the group draining,
         // the parent's child count reaching zero, a root refcount falling to
         // the joiner's handle (inside `release_record`). Each notify follows
-        // its counter update, so a woken waiter observes the progress.
+        // its counter update; a suspended waiter's continuation is claimed
+        // from the waited object's slot on the same zero transition.
         if let Some(group) = r.take_group() {
-            // Safety: this task is still a member until the `leave()` RMW
-            // below, so the group's waiter cannot have recycled the
-            // descriptor yet; the RMW is our final access to it.
-            if unsafe { group.as_ref() }.leave() {
+            // Safety: this task is a member until the `leave()` RMW; a
+            // zero-driving leave's claim is covered by the CLAIMED
+            // rendezvous — the lease owner cannot recycle the descriptor
+            // until our claim has stamped the slot (see crate::group).
+            let group = unsafe { group.as_ref() };
+            if group.leave() {
                 shared.progress.notify();
+                if let Some(w) = group.claim_waiter() {
+                    worker.wake(w);
+                }
             }
         }
         if let Some(parent) = r.parent() {
-            if unsafe { parent.as_ref() }.child_done() {
+            // Safety: our record's parent-reference pins the parent record
+            // until `release_record` below — the claim must stay ordered
+            // before it.
+            let parent = unsafe { parent.as_ref() };
+            if parent.child_done() {
                 shared.progress.notify();
+                if let Some(w) = parent.claim_waiter() {
+                    worker.wake(w);
+                }
             }
         }
         // Consume the queue handle; may destroy the record and cascade.
-        shared.release_record(rec, Some(self.index));
+        shared.release_record(rec, Some(worker.index));
     }
 }
 
 /// Execution context handed to a task's stored closure: enough to rebuild a
 /// [`Scope`] on the executing worker.
-pub(crate) struct ExecCtx<'w> {
-    pub(crate) worker: &'w WorkerCtx,
+pub(crate) struct ExecCtx {
     pub(crate) rec: NonNull<TaskRecord>,
     /// Skip dispatch: the region was cancelled, so the invoke shim drops
     /// the closure (releasing captures and any spill box) instead of
@@ -758,7 +951,7 @@ pub(crate) struct ExecCtx<'w> {
     pub(crate) skip: bool,
 }
 
-impl ExecCtx<'_> {
+impl ExecCtx {
     /// Is this a skip dispatch? Read by the invoke shims.
     #[inline]
     pub(crate) fn skip(&self) -> bool {
@@ -859,6 +1052,7 @@ impl Runtime {
                 .collect(),
             region_pool: RegionPool::new(n),
             group_pool: GroupPool::new(n),
+            cont_pool: ContPool::new(n, config.cont_stack),
             loop_pool: LoopPool::new(n),
             live_regions: AtomicUsize::new(0),
             regions_fresh: AtomicU64::new(0),
@@ -934,6 +1128,15 @@ impl Runtime {
         s.replays_diverged = self.shared.replays_diverged.load(Ordering::Relaxed);
         s.graphs_evicted = self.shared.graphs_evicted.load(Ordering::Relaxed);
         s
+    }
+
+    /// High-water mark of pooled continuations (fibers) ever created by
+    /// this team — equivalently, the most fibers that were ever live at
+    /// once. Steady-state workloads should see this plateau while
+    /// [`RuntimeStats::cont_suspends`] keeps climbing: that gap is the
+    /// recycling the pool exists for, and leak tests pin it down.
+    pub fn conts_created(&self) -> usize {
+        self.shared.cont_pool.created()
     }
 
     /// Runs `f` as the root task of a parallel region (OpenMP
@@ -1313,7 +1516,7 @@ impl Runtime {
         // the root task (see crate::region).
         let regp = RegionPtr(region);
         let spilled = unsafe {
-            TaskRecord::store_closure(root, move |ec: &ExecCtx<'_>| {
+            TaskRecord::store_closure(root, move |ec: &ExecCtx| {
                 // Whole-wrapper capture; see `RegionPtr`.
                 let regp = regp;
                 let scope = Scope::from_exec(ec);
@@ -1321,7 +1524,7 @@ impl Runtime {
                 if regp.0.as_ref().store_result(out) {
                     // An oversized result is a spill like an oversized
                     // closure: one box, visible in the same counter.
-                    WorkerCounters::bump(&ec.worker.counters().closure_spilled);
+                    WorkerCounters::bump(&current_worker().counters().closure_spilled);
                 }
             })
         };
@@ -1878,6 +2081,10 @@ impl<R> Drop for RegionHandle<'_, R> {
 /// The worker main loop: local pop → injector → steal rounds → park, with
 /// wake propagation after a successful wake (see the module docs).
 fn worker_loop(ctx: &WorkerCtx) {
+    // Publish this thread's context before touching any work: everything
+    // popped below may be a tagged continuation whose fiber reads
+    // `current_worker()` the instant it lands.
+    CUR_WORKER.with(|w| w.set(ctx as *const WorkerCtx));
     let shared = &*ctx.shared;
     let mut just_woke = false;
     loop {
@@ -1886,14 +2093,14 @@ fn worker_loop(ctx: &WorkerCtx) {
         }
         if let Some(task) = ctx.pop_local().or_else(|| ctx.pop_injector()) {
             ctx.propagate_wake(&mut just_woke);
-            ctx.execute(task);
+            ctx.dispatch(task);
             continue;
         }
         let mut found = false;
         for _ in 0..shared.config.steal_rounds {
             if let Some(task) = ctx.try_steal() {
                 ctx.propagate_wake(&mut just_woke);
-                ctx.execute(task);
+                ctx.dispatch(task);
                 found = true;
                 break;
             }

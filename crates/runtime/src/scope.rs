@@ -30,10 +30,12 @@
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::ptr::NonNull;
+use std::sync::atomic::Ordering;
 
+use crate::cont::{self, Continuation};
 use crate::deps::{DepAccess, DepClause};
 use crate::group::Group;
-use crate::pool::{ExecCtx, Shared, WorkerCtx, CLOCK_STRIDE};
+use crate::pool::{self, ExecCtx, Shared, WorkerCtx, CLOCK_STRIDE};
 use crate::region::Region;
 use crate::replay;
 use crate::stats::WorkerCounters;
@@ -81,18 +83,11 @@ impl Drop for DepSpill {
     }
 }
 
-/// How long a task blocked at `taskwait` sleeps between re-probes when it
-/// cannot legally run anything (safety net; normal wake-ups are eventful).
+/// How long the *helping* wait loop (deadline-armed regions, replay
+/// drains) sleeps between re-probes when it finds nothing to run (safety
+/// net; normal wake-ups are eventful). Suspending waits never park — they
+/// leave the worker entirely.
 const WAIT_PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(2);
-
-/// How many records a *constrained* (tied) waiter pops past the LIFO end of
-/// its own deque looking for a descendant before giving up. Non-descendants
-/// are set aside and restored in order, so a foreign record sitting at the
-/// bottom of the deque cannot permanently hide the waiter's own descendants
-/// behind it (the tied-wait livelock). Descendants buried deeper than this
-/// remain reachable only through another worker stealing the blockers — the
-/// same fallback the pre-probe behaviour relied on for depth one.
-const TIED_PROBE_LIMIT: usize = 32;
 
 /// Why a spawn runs undeferred (the inline cascade's verdict), in
 /// precedence order. Computed once per spawn by `Scope::inline_reason`;
@@ -122,11 +117,12 @@ enum InlineReason {
 /// task has finished, so `'scope` borrows stay valid for as long as any task
 /// can observe them.
 pub struct Scope<'scope> {
-    worker: *const WorkerCtx,
     /// The current task's record. Guaranteed live for the lifetime of the
-    /// scope: the executing worker holds the record's queue handle for the
+    /// scope: the executing fiber holds the record's queue handle for the
     /// whole task body, and `Scope` is neither `Send` nor longer-lived than
-    /// the body.
+    /// the body. (The scope deliberately holds no worker pointer: a blocked
+    /// wait suspends the fiber, which may resume on *any* worker, so the
+    /// executing worker is re-read from thread-local state on every use.)
     rec: NonNull<TaskRecord>,
     /// Innermost active `taskgroup`, inherited by spawned tasks. A raw
     /// pointer into the pooled group descriptors; valid for the life of the
@@ -138,22 +134,21 @@ pub struct Scope<'scope> {
 }
 
 impl<'scope> Scope<'scope> {
-    pub(crate) fn from_exec(ec: &ExecCtx<'_>) -> Scope<'scope> {
+    pub(crate) fn from_exec(ec: &ExecCtx) -> Scope<'scope> {
         let group = unsafe { ec.rec.as_ref() }.group();
         Scope {
-            worker: ec.worker as *const WorkerCtx,
             rec: ec.rec,
             group,
             _marker: PhantomData,
         }
     }
 
+    /// The worker currently mounting this frame. Resolved per call, never
+    /// cached across a wait: a suspending scheduling point can resume the
+    /// frame on a different worker.
     #[inline]
     fn worker(&self) -> &WorkerCtx {
-        // Safety: a Scope only exists on the stack of the worker thread that
-        // is executing the task (Scope is !Send), and the WorkerCtx outlives
-        // every task execution on that thread.
-        unsafe { &*self.worker }
+        pool::current_worker()
     }
 
     #[inline]
@@ -163,7 +158,10 @@ impl<'scope> Scope<'scope> {
     }
 
     /// Index of the worker executing the current task, in `0..num_workers`.
-    /// Stable for the whole task body (tasks never migrate mid-execution).
+    /// Stable until the next task scheduling point: a wait that blocks
+    /// (`taskwait`, `taskgroup`, loop barriers) suspends the frame, and a
+    /// different worker may resume it. Code that partitions by worker must
+    /// re-read this after any wait.
     #[inline]
     pub fn worker_id(&self) -> usize {
         self.worker().index
@@ -353,7 +351,7 @@ impl<'scope> Scope<'scope> {
         // closure has returned, so the `'scope` environment outlives every
         // access the closure can make.
         let spilled = unsafe {
-            TaskRecord::store_closure(rec, move |ec: &ExecCtx<'_>| {
+            TaskRecord::store_closure(rec, move |ec: &ExecCtx| {
                 let scope = Scope::from_exec(ec);
                 f(&scope);
             })
@@ -559,7 +557,7 @@ impl<'scope> Scope<'scope> {
         let rp = region.replay();
         let me = self.rec();
         let target = (me.parent().is_some() && me.dep_state_is_replay()) as usize;
-        self.wait_until(|| rp.outstanding() <= target);
+        self.wait_until_helping(|| rp.outstanding() <= target);
     }
 
     /// Runs an undeferred (inline / included) task: full record bookkeeping
@@ -580,24 +578,26 @@ impl<'scope> Scope<'scope> {
         // Release the creator handle even on unwind: deferred children may
         // outlive the inline task, and their parent-chain references (and
         // ultimately region quiescence) hinge on this release happening.
+        // The slab slot index is resolved at drop time, not captured: the
+        // body may suspend at a wait and resume on a different worker, and
+        // `release_record` must route frees through the *releasing*
+        // thread's slab shard.
         struct ReleaseGuard<'a> {
             shared: &'a Shared,
             rec: NonNull<TaskRecord>,
-            index: usize,
         }
         impl Drop for ReleaseGuard<'_> {
             fn drop(&mut self) {
-                self.shared.release_record(self.rec, Some(self.index));
+                self.shared
+                    .release_record(self.rec, Some(pool::current_worker().index));
             }
         }
         let _guard = ReleaseGuard {
             shared: &worker.shared,
             rec,
-            index: worker.index,
         };
 
         let child = Scope {
-            worker: self.worker,
             rec,
             group: self.group,
             _marker: PhantomData,
@@ -608,21 +608,20 @@ impl<'scope> Scope<'scope> {
     /// `#pragma omp taskwait`: blocks until every *direct* child of the
     /// current task has completed.
     ///
-    /// This is a task scheduling point. While blocked, the worker executes
-    /// other tasks ("task switching"):
-    ///
-    /// * inside an **untied** task there is no restriction — the worker
-    ///   drains its own deque and steals from the rest of the team;
-    /// * inside a **tied** task the scheduling constraint applies — the
-    ///   worker may only pick up *descendants* of the waiting task, which it
-    ///   finds at the LIFO end of its own deque; it will not steal.
-    ///
-    /// The constraint enforcement can be disabled globally with
-    /// [`crate::RuntimeConfig::with_tied_constraint`].
+    /// This is a task scheduling point. A wait that cannot complete
+    /// immediately does not nest other tasks under the blocked frame and
+    /// does not spin: the frame **suspends** — its pooled continuation
+    /// parks in a waiter slot on the task record — and the worker returns
+    /// to its dispatch loop, free to run *anything*, tied or not. The
+    /// child whose completion drains the count requeues the continuation
+    /// on its own worker's deque, so the waiter resumes wherever its wake
+    /// happened (possibly a different worker: see
+    /// [`worker_id`](Self::worker_id)). Tied and untied tasks behave
+    /// identically here; the classic tied-task scheduling restriction is
+    /// moot because a blocked wait no longer borrows its worker's stack.
     pub fn taskwait(&self) {
-        let worker = self.worker();
-        WorkerCounters::bump(&worker.counters().taskwaits);
-        self.wait_until(|| self.rec().outstanding() == 0);
+        WorkerCounters::bump(&self.worker().counters().taskwaits);
+        self.wait_children();
     }
 
     /// Has the current region — or the innermost enclosing `taskgroup` —
@@ -699,6 +698,11 @@ impl<'scope> Scope<'scope> {
         // Re-arm the cancel flag: the pool only hands out drained
         // descriptors, so no member of a previous use can observe this.
         unsafe { group.as_ref() }.reset();
+        // Owner-as-member: the waiting frame joins its own group for the
+        // whole body, so the member count hits zero **exactly once** per
+        // lease — at the final leave — and the drain claim (which wakes a
+        // suspended waiter) has a unique transition to fire on.
+        unsafe { group.as_ref() }.join();
         let counters = worker.counters();
         WorkerCounters::bump(if fresh {
             &counters.groups_fresh
@@ -716,20 +720,29 @@ impl<'scope> Scope<'scope> {
         }
         impl Drop for GroupGuard<'_, '_> {
             fn drop(&mut self) {
-                let worker = self.scope.worker();
                 // The group wait is a task scheduling point like taskwait,
                 // but counted separately: folding it into `taskwaits` would
                 // silently inflate the Table II taskwait column.
-                WorkerCounters::bump(&worker.counters().group_waits);
+                WorkerCounters::bump(&self.scope.worker().counters().group_waits);
                 let group = unsafe { self.group.as_ref() };
-                self.scope.wait_until(|| group.outstanding() == 0);
+                // Give up our own membership first. If *our* leave drained
+                // the group, no member ever drove a zero transition: the
+                // waiter slot was never claimed and the wait is already
+                // over. Otherwise wait — suspending when allowed — and
+                // then rendezvous with the zero-driving member's claim
+                // stamp, whose landing is its final descriptor access.
+                if !group.leave() {
+                    self.scope.wait_group(group);
+                    group.await_drain_claim();
+                }
+                // Re-resolve the worker: the wait may have migrated us.
+                let worker = self.scope.worker();
                 worker.shared.group_pool.release(self.group, worker.index);
             }
         }
         let guard = GroupGuard { scope: self, group };
 
         let inner: Scope<'inner> = Scope {
-            worker: self.worker,
             rec: self.rec,
             group: Some(group),
             _marker: PhantomData,
@@ -742,118 +755,158 @@ impl<'scope> Scope<'scope> {
 
     /// `#pragma omp taskyield` (OpenMP 3.1 extension): a task scheduling
     /// point where the current task allows the worker to run at most one
-    /// other task (subject to the tied-task scheduling constraint) before
-    /// continuing. Returns whether anything was executed.
+    /// other task before continuing. Returns whether anything was
+    /// executed. (Other work runs on its *own* pooled fiber, not nested
+    /// under this frame, so there is nothing the tied-task scheduling
+    /// constraint could protect — any queued item is fair game.)
     pub fn taskyield(&self) -> bool {
-        self.try_run_one(self.constrained())
+        self.try_run_one()
     }
 
-    /// Is the current task subject to the tied scheduling constraint?
-    ///
-    /// The constraint restricts a tied task to running descendants of
-    /// itself. The region root is exempt: every task of its *own* region
-    /// descends from it, so within the region the constraint could never
-    /// exclude anything. With concurrent regions an exempt (or untied)
-    /// waiter may also adopt another region's plain tasks — ordinary
-    /// work-stealing help — but never a foreign region *root*: roots enter
-    /// execution only through the worker main loop (see
-    /// [`crate::pool::WorkerCtx::pop_injector`]), so a wait can't nest an
-    /// entire foreign region under its frame.
-    fn constrained(&self) -> bool {
-        let rec = self.rec();
-        rec.tied && self.worker().shared.config.enforce_tied_constraint && rec.parent().is_some()
-    }
-
-    /// Pops the closest descendant of the waiting task from the LIFO end of
-    /// the worker's own deque, probing past up to [`TIED_PROBE_LIMIT`]
-    /// non-descendants, which are restored in their original order.
-    ///
-    /// The probe (rather than a single bottom pop) is what makes a
-    /// constrained wait live on its own: a non-descendant at the very
-    /// bottom — e.g. a task adopted into this lineage's frames by an
-    /// unconstrained nested wait, which then spawned — used to be popped
-    /// and re-pushed on every probe, so true descendants deeper in the
-    /// deque were unreachable until another worker stole the blocker. On a
-    /// one-thread team (no thieves) that degenerated into parking forever.
-    fn pop_local_descendant(&self) -> Option<NonNull<TaskRecord>> {
+    /// Acquires and dispatches one queue item, if any is visible: own
+    /// deque first, then one steal round. The item is mounted on its own
+    /// fiber (or resumed on the one it already has), never nested under
+    /// the calling frame, so no scheduling restriction applies.
+    fn try_run_one(&self) -> bool {
         let worker = self.worker();
-        let mut parked: [Option<NonNull<TaskRecord>>; TIED_PROBE_LIMIT] = [None; TIED_PROBE_LIMIT];
-        let mut set_aside = 0;
-        let mut found = None;
-        while set_aside < TIED_PROBE_LIMIT {
-            let Some(t) = worker.pop_local_lifo() else {
-                break;
-            };
-            // Safety: we hold the popped task's queue handle; its parent
-            // chain is pinned by per-child references.
-            if unsafe { t.as_ref() }.descends_from(self.rec()) {
-                found = Some(t);
-                break;
-            }
-            // Not a descendant: set it aside for its rightful executor.
-            parked[set_aside] = Some(t);
-            set_aside += 1;
-        }
-        // Restore the set-asides deepest-first so the deque keeps its
-        // original bottom-to-top order (minus the record we took). No work
-        // notify: nothing new became runnable, the records merely return
-        // to where thieves could already see them.
-        for slot in parked[..set_aside].iter_mut().rev() {
-            worker
-                .deque
-                .push(slot.take().expect("set-aside slot filled"));
-        }
-        found
-    }
-
-    /// Acquires and executes one task, if the scheduling rules allow it.
-    ///
-    /// Local work first. Tied waits always look at the LIFO end: under
-    /// depth-first execution that is where this task's descendants are;
-    /// anything older predates us and is out of bounds (it goes back).
-    /// Stealing is forbidden under the constraint.
-    fn try_run_one(&self, constrained: bool) -> bool {
-        let worker = self.worker();
-        let counters = worker.counters();
-        let local = if constrained {
-            self.pop_local_descendant()
-        } else {
-            worker.pop_local()
-        };
-        if let Some(t) = local {
-            WorkerCounters::bump(&counters.switched_in_wait);
-            worker.execute(t);
+        if let Some(t) = worker.pop_local().or_else(|| worker.try_steal()) {
+            WorkerCounters::bump(&worker.counters().switched_in_wait);
+            worker.dispatch(t);
             return true;
-        }
-        if !constrained {
-            if let Some(t) = worker.try_steal() {
-                WorkerCounters::bump(&counters.switched_in_wait);
-                worker.execute(t);
-                return true;
-            }
-        } else if worker.work_visible() {
-            // There was something to take and the constraint said no.
-            WorkerCounters::bump(&counters.tied_steal_denied);
         }
         false
     }
 
-    /// The shared wait loop behind `taskwait` and `taskgroup`: run other
-    /// tasks (subject to the tied-task scheduling constraint) until `done`.
-    fn wait_until(&self, done: impl Fn() -> bool) {
-        let worker = self.worker();
-        let shared = &*worker.shared;
-        if done() {
+    /// May a blocked wait suspend its continuation? Deadline-armed regions
+    /// keep the legacy helping/park loop: the parked re-probe is what
+    /// stamps the coarse clock and trips the deadline cancellation when no
+    /// task dispatch is advancing it — with every frame suspended, an
+    /// otherwise-idle team would never notice the deadline passing.
+    fn can_suspend(&self) -> bool {
+        match unsafe { self.rec().region().as_ref() } {
+            Some(region) => region.deadline_ms() == 0,
+            None => true,
+        }
+    }
+
+    /// Suspends the calling fiber: `RUNNING → SUSPENDING → switch out`.
+    /// The caller must already have parked `c` in a waiter slot; a wake
+    /// that claimed the registration before the park finished shows up as
+    /// a `QUEUED` stamp, which is consumed here without unmounting.
+    /// Returns once the continuation is resumed (or the token was eaten).
+    fn suspend(&self, c: &Continuation) {
+        match c.state.compare_exchange(
+            cont::RUNNING,
+            cont::SUSPENDING,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                WorkerCounters::bump(&self.worker().counters().cont_suspends);
+                crate::bots_failpoint!("cont_suspend");
+                // Safety: called on this fiber's own stack; the host
+                // finalises the park (or requeues on a raced wake) the
+                // moment the switch lands back in `mount`.
+                unsafe { c.switch_out() };
+                // Resumed: the dispatching worker stored RUNNING before
+                // mounting us, and we may be on a different thread now.
+            }
+            Err(actual) => {
+                // The wake won the race to our state word: absorb it as a
+                // token and carry on running — no queue round-trip.
+                debug_assert_eq!(actual, cont::QUEUED);
+                c.state.store(cont::RUNNING, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Suspending wait for `outstanding() == 0` on the current task's own
+    /// record (taskwait, generator drains). The registration/recheck pair
+    /// and the completing child's decrement/claim pair are both SeqCst, so
+    /// one side always observes the other: a lost-wakeup would need the
+    /// recheck to miss the decrement *and* the claim to miss the
+    /// registration, which no interleaving of two SeqCst store/load pairs
+    /// permits (the store-buffering argument).
+    fn wait_children(&self) {
+        let rec = self.rec();
+        if rec.outstanding() == 0 {
             return;
         }
-        let constrained = self.constrained();
+        if !self.can_suspend() {
+            return self.wait_until_helping(|| rec.outstanding() == 0);
+        }
+        let cont = pool::current_cont().expect("task body running off-fiber");
+        let c = unsafe { cont.as_ref() };
+        loop {
+            if rec.outstanding() == 0 {
+                return;
+            }
+            rec.register_waiter(cont);
+            if rec.outstanding() == 0 {
+                // Drained while we registered. Either the registration is
+                // still ours to take back, or the zero-driving child
+                // already claimed it — then its wake (a token, since we
+                // never parked) must be consumed before the slot can be
+                // considered quiet.
+                if rec.claim_waiter().is_none() {
+                    consume_wake_token(c);
+                }
+                return;
+            }
+            self.suspend(c);
+        }
+    }
+
+    /// Suspending wait for a taskgroup to drain, called by the lease owner
+    /// *after* its own leave (see the `GroupGuard`). Same shape as
+    /// [`wait_children`](Self::wait_children) with one twist: the drain
+    /// claim always stamps the [`crate::group`] CLAIMED sentinel, so a
+    /// raced unregistration reports "claim won" rather than handing the
+    /// slot back.
+    fn wait_group(&self, group: &Group) {
+        if !self.can_suspend() {
+            return self.wait_until_helping(|| group.outstanding() == 0);
+        }
+        let cont = pool::current_cont().expect("task body running off-fiber");
+        let c = unsafe { cont.as_ref() };
+        loop {
+            if group.outstanding() == 0 {
+                return;
+            }
+            if !group.try_register_waiter(cont) {
+                // The zero-driving member's drain claim landed between our
+                // outstanding() read and the registration: the group is
+                // drained, no wake is coming, and the CLAIMED stamp stays
+                // put for `await_drain_claim`.
+                return;
+            }
+            if group.outstanding() == 0 {
+                if !group.unregister_waiter(cont) {
+                    consume_wake_token(c);
+                }
+                return;
+            }
+            self.suspend(c);
+        }
+    }
+
+    /// The legacy helping wait: run other tasks (each on its own fiber)
+    /// until `done`. Retained for the two waits that cannot suspend —
+    /// deadline-armed regions (see [`can_suspend`](Self::can_suspend)) and
+    /// replay drains, whose retire path signals the progress channel but
+    /// has no waiter slot to claim a continuation from. Helping never
+    /// migrates the calling frame: nested dispatch always returns to this
+    /// stack on this thread.
+    fn wait_until_helping(&self, done: impl Fn() -> bool) {
         loop {
             if done() {
                 return;
             }
-            if self.try_run_one(constrained) {
+            if self.try_run_one() {
                 continue;
             }
+            let worker = self.worker();
+            let shared = &*worker.shared;
             // Register on the progress channel and park until the waited
             // counter drains. New *work* does not wake a parked waiter (the
             // 2 ms re-probe picks it up); only its own completion signal
@@ -876,7 +929,7 @@ impl<'scope> Scope<'scope> {
                     shared.cancel_region(region);
                 }
             }
-            if !constrained && worker.work_visible() {
+            if worker.work_visible() {
                 shared.progress.cancel();
                 continue;
             }
@@ -1106,11 +1159,7 @@ impl<'scope> Scope<'scope> {
         // Declared before the drain guard: drops *after* it, so on unwind
         // the helpers (which hold raw descriptor pointers) drain before
         // the lease returns to the pool.
-        let _release = LoopReleaseGuard {
-            scope: self,
-            lp,
-            slot: worker.index,
-        };
+        let _release = LoopReleaseGuard { scope: self, lp };
         // Safety: drained before the frame owning `body` is left.
         let guard = self.generator_drain_guard();
 
@@ -1146,9 +1195,8 @@ impl<'scope> Scope<'scope> {
     /// cancellation point like the generator loops' iteration checks).
     fn ws_participate(&self, lp: NonNull<WsLoop>) {
         let worker = self.worker();
-        let shared = &worker.shared;
-        let counters = worker.counters();
-        WorkerCounters::bump(&counters.ws_participations);
+        let shared = &*worker.shared;
+        WorkerCounters::bump(&worker.counters().ws_participations);
         // Safety: the descriptor stays leased (and the body alive) until
         // the generating frame's barrier has seen this participant finish.
         let l = unsafe { lp.as_ref() };
@@ -1174,7 +1222,11 @@ impl<'scope> Scope<'scope> {
             let Some((lo, hi)) = l.claim() else {
                 break;
             };
-            WorkerCounters::bump(&counters.ws_chunks);
+            // Per-iteration counter resolution: the body may spawn an
+            // inline task whose wait suspends and migrates this frame, and
+            // the single-writer counter bump must land on the worker the
+            // frame is *currently* mounted on.
+            WorkerCounters::bump(&self.worker().counters().ws_chunks);
             // Safety: claimed strides are disjoint; the scope pointer is
             // this participant's own live frame.
             unsafe { l.run_chunk(lo, hi, self as *const Scope<'scope> as *const ()) };
@@ -1195,12 +1247,34 @@ impl<'scope> Scope<'scope> {
     }
 }
 
+/// Spin-consumes a wake token whose delivery is guaranteed but possibly
+/// still in flight: a waiter that lost its registration to a claimant
+/// knows a `QUEUED` stamp is coming (or has come) and must revert it to
+/// `RUNNING` before the continuation's state can carry another wait. The
+/// claimant's stamp is one CAS away, so the spin is effectively instant.
+fn consume_wake_token(c: &Continuation) {
+    loop {
+        if c.state
+            .compare_exchange(
+                cont::QUEUED,
+                cont::RUNNING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            return;
+        }
+        std::hint::spin_loop();
+    }
+}
+
 /// See [`Scope::generator_drain_guard`].
 struct GeneratorDrainGuard<'s, 'scope>(&'s Scope<'scope>);
 
 impl Drop for GeneratorDrainGuard<'_, '_> {
     fn drop(&mut self) {
-        self.0.wait_until(|| self.0.rec().outstanding() == 0);
+        self.0.wait_children();
     }
 }
 
@@ -1235,16 +1309,18 @@ unsafe impl Send for LoopPtr {}
 struct LoopReleaseGuard<'s, 'scope> {
     scope: &'s Scope<'scope>,
     lp: NonNull<WsLoop>,
-    slot: usize,
 }
 
 impl Drop for LoopReleaseGuard<'_, '_> {
     fn drop(&mut self) {
+        // The pool shard is resolved at drop time: the barrier between
+        // construction and here may have suspended and migrated the frame.
+        let worker = self.scope.worker();
         self.scope
             .worker()
             .shared
             .loop_pool
-            .release(self.lp, self.slot);
+            .release(self.lp, worker.index);
     }
 }
 
@@ -1395,17 +1471,16 @@ where
 /// waiting task's own children. Kernels that fully order themselves with
 /// clauses need no barrier at all — region quiescence is the final join.
 ///
-/// **Caveat — tied waits and cross-subtree dependences**: a *tied*
-/// task's wait may only execute descendants of the waiting task (the
-/// OpenMP task scheduling constraint). A Deferred child whose
-/// predecessor lives *outside* the waiting subtree therefore cannot be
-/// unblocked by the waiter itself; with no other free worker (trivially,
-/// on a one-thread team) that wait deadlocks — the same TSC-2 /
-/// `depend` interplay known from conforming OpenMP runtimes. Either keep
-/// a dependence graph's tasks siblings under one spawning scope (no tied
-/// wait inside the graph — the `sparselu deps` pattern), make the
-/// waiting task untied, or disable enforcement with
-/// [`RuntimeConfig::with_tied_constraint`](crate::RuntimeConfig::with_tied_constraint).
+/// **Tied waits and cross-subtree dependences**: in runtimes that block
+/// a tied task's wait on its worker's stack, the OpenMP task scheduling
+/// constraint (the wait may only execute descendants) famously deadlocks
+/// when a Deferred child's predecessor lives *outside* the waiting
+/// subtree and no other worker is free — the TSC-2 / `depend` interplay.
+/// Here a blocked wait **suspends its continuation** and frees the
+/// worker entirely, so the out-of-subtree predecessor runs, retires, and
+/// releases the Deferred child no matter how narrow the team; the
+/// pattern completes on one thread with tied tasks and needs no untied
+/// workaround.
 #[must_use = "a TaskBuilder does nothing until .spawn() is called"]
 pub struct TaskBuilder<'s, 'scope, F> {
     scope: &'s Scope<'scope>,

@@ -89,6 +89,22 @@ pub(crate) struct WorkerCounters {
     pub ws_participations: AtomicU64,
     /// Chunks claimed and executed through worksharing claim cursors.
     pub ws_chunks: AtomicU64,
+    /// Continuations leased from a fresh heap allocation (continuation pool
+    /// growth events — the fiber analogue of `slab_fresh`).
+    pub conts_fresh: AtomicU64,
+    /// Continuations recycled from a continuation-pool free list: suspends
+    /// that performed zero heap allocations.
+    pub conts_recycled: AtomicU64,
+    /// Waits that could not complete at the scheduling point and suspended
+    /// their frame onto a pooled continuation.
+    pub cont_suspends: AtomicU64,
+    /// Suspended continuations resumed off a deque. At quiescence
+    /// `cont_suspends == cont_resumes` (every suspend is resumed exactly
+    /// once).
+    pub cont_resumes: AtomicU64,
+    /// Resumes dispatched by a different worker than the one the frame
+    /// suspended on: blocked waiters that migrated.
+    pub cont_migrations: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -224,6 +240,21 @@ pub struct RuntimeStats {
     pub ws_participations: u64,
     /// Chunks claimed off worksharing claim cursors and executed.
     pub ws_chunks: u64,
+    /// Continuations leased from fresh heap allocations (continuation pool
+    /// growth events).
+    pub conts_fresh: u64,
+    /// Continuations recycled from continuation-pool free lists: suspends
+    /// that performed zero heap allocations.
+    pub conts_recycled: u64,
+    /// Waits that suspended onto a pooled continuation instead of pinning
+    /// the worker's native stack.
+    pub cont_suspends: u64,
+    /// Suspended continuations resumed. Standing invariant at quiescence:
+    /// `cont_suspends == cont_resumes`.
+    pub cont_resumes: u64,
+    /// Resumes that ran on a different worker than the suspend: migrated
+    /// waiters (the continuation-stealing events).
+    pub cont_migrations: u64,
 }
 
 impl RuntimeStats {
@@ -257,6 +288,11 @@ impl RuntimeStats {
         self.loops_recycled += w.loops_recycled.load(Ordering::Relaxed);
         self.ws_participations += w.ws_participations.load(Ordering::Relaxed);
         self.ws_chunks += w.ws_chunks.load(Ordering::Relaxed);
+        self.conts_fresh += w.conts_fresh.load(Ordering::Relaxed);
+        self.conts_recycled += w.conts_recycled.load(Ordering::Relaxed);
+        self.cont_suspends += w.cont_suspends.load(Ordering::Relaxed);
+        self.cont_resumes += w.cont_resumes.load(Ordering::Relaxed);
+        self.cont_migrations += w.cont_migrations.load(Ordering::Relaxed);
     }
 
     /// Total task-creation points the runtime saw (deferred + every kind of
@@ -321,6 +357,11 @@ impl RuntimeStats {
             loops_recycled: self.loops_recycled - earlier.loops_recycled,
             ws_participations: self.ws_participations - earlier.ws_participations,
             ws_chunks: self.ws_chunks - earlier.ws_chunks,
+            conts_fresh: self.conts_fresh - earlier.conts_fresh,
+            conts_recycled: self.conts_recycled - earlier.conts_recycled,
+            cont_suspends: self.cont_suspends - earlier.cont_suspends,
+            cont_resumes: self.cont_resumes - earlier.cont_resumes,
+            cont_migrations: self.cont_migrations - earlier.cont_migrations,
         }
     }
 }
@@ -336,7 +377,8 @@ impl std::fmt::Display for RuntimeStats {
              spilled={} propagated={} skipped={} inlined_shed={} \
              cancelled={} shed={} \
              replays(recorded/hit/diverged/evicted)={}/{}/{}/{} \
-             loops(fresh/recycled)={}/{} ws(parts/chunks)={}/{}",
+             loops(fresh/recycled)={}/{} ws(parts/chunks)={}/{} \
+             conts(fresh/recycled)={}/{} cont(suspends/resumes/migrations)={}/{}/{}",
             self.spawned,
             self.inlined_if,
             self.inlined_cutoff,
@@ -374,6 +416,11 @@ impl std::fmt::Display for RuntimeStats {
             self.loops_recycled,
             self.ws_participations,
             self.ws_chunks,
+            self.conts_fresh,
+            self.conts_recycled,
+            self.cont_suspends,
+            self.cont_resumes,
+            self.cont_migrations,
         )
     }
 }
@@ -436,6 +483,8 @@ mod tests {
         assert!(text.contains("groups(fresh/recycled)=0/0"));
         assert!(text.contains("loops(fresh/recycled)=0/0"));
         assert!(text.contains("ws(parts/chunks)=0/0"));
+        assert!(text.contains("conts(fresh/recycled)=0/0"));
+        assert!(text.contains("cont(suspends/resumes/migrations)=0/0/0"));
     }
 
     #[test]

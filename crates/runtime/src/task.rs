@@ -38,6 +38,7 @@ use std::mem::{align_of, size_of, MaybeUninit};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
+use crate::cont::Continuation;
 use crate::group::Group;
 use crate::pool::ExecCtx;
 use crate::region::Region;
@@ -127,7 +128,7 @@ pub(crate) const HOME_REGION: u16 = u16::MAX - 1;
 /// Type-erased entry point stored in a record: reads the closure out of the
 /// payload and runs it. Monomorphised per closure type by
 /// [`TaskRecord::store_closure`].
-type Invoke = unsafe fn(NonNull<TaskRecord>, &ExecCtx<'_>);
+type Invoke = unsafe fn(NonNull<TaskRecord>, &ExecCtx);
 
 #[repr(align(16))]
 struct Payload(#[allow(dead_code)] [MaybeUninit<u8>; INLINE_BYTES]);
@@ -156,9 +157,15 @@ pub(crate) struct TaskRecord {
     /// leave). Only the executing thread touches the cell (copy at child
     /// spawn, take at completion).
     group: Cell<Option<NonNull<Group>>>,
-    /// Closure entry point; `None` once executed (or for inline-bookkeeping
-    /// records that never carry a closure).
-    invoke: Cell<Option<Invoke>>,
+    /// Dual-use slot, exploited for its **temporal exclusivity**: before
+    /// dispatch it holds the closure entry point (an [`Invoke`] fn
+    /// pointer, taken exactly once by the executing worker before the body
+    /// runs); while the body sits at a `taskwait` it holds the waiting
+    /// [`Continuation`]. The two uses can never overlap — children only
+    /// exist after the body started, i.e. after the invoke pointer was
+    /// taken — so a child's zero-transition waker reading this slot can
+    /// only ever see null or a waiting continuation.
+    invoke: AtomicPtr<u8>,
     /// The region this task belongs to: set on the root at submit time,
     /// inherited by children at init. Valid for as long as the record lives
     /// (see [`crate::region`] for the lifetime argument); null only for
@@ -224,7 +231,7 @@ impl TaskRecord {
             children: AtomicUsize::new(0),
             parent,
             group: Cell::new(group),
-            invoke: Cell::new(None),
+            invoke: AtomicPtr::new(std::ptr::null_mut()),
             region,
             depth,
             home,
@@ -250,24 +257,63 @@ impl TaskRecord {
     #[inline]
     pub(crate) unsafe fn store_closure<F>(rec: NonNull<TaskRecord>, f: F) -> bool
     where
-        F: FnOnce(&ExecCtx<'_>) + Send,
+        F: FnOnce(&ExecCtx) + Send,
     {
         let payload = rec.as_ref().payload.get().cast::<u8>();
         if size_of::<F>() <= INLINE_BYTES && align_of::<F>() <= INLINE_ALIGN {
             payload.cast::<F>().write(f);
-            rec.as_ref().invoke.set(Some(invoke_inline::<F>));
+            rec.as_ref().invoke.store(
+                invoke_inline::<F> as *const () as usize as *mut u8,
+                Ordering::Relaxed,
+            );
             false
         } else {
             payload.cast::<*mut F>().write(Box::into_raw(Box::new(f)));
-            rec.as_ref().invoke.set(Some(invoke_spilled::<F>));
+            rec.as_ref().invoke.store(
+                invoke_spilled::<F> as *const () as usize as *mut u8,
+                Ordering::Relaxed,
+            );
             true
         }
     }
 
-    /// Takes the closure entry point (at most once).
+    /// Takes the closure entry point (at most once, before the body runs —
+    /// which frees the slot for taskwait waiter registration).
     #[inline]
     pub(crate) fn take_invoke(&self) -> Option<Invoke> {
-        self.invoke.take()
+        let p = self.invoke.swap(std::ptr::null_mut(), Ordering::Relaxed);
+        if p.is_null() {
+            None
+        } else {
+            // Safety: non-null pre-dispatch content is always an `Invoke`
+            // stored by `store_closure` (see the field docs).
+            Some(unsafe { std::mem::transmute::<*mut u8, Invoke>(p) })
+        }
+    }
+
+    /// Registers `cont` as this record's taskwait waiter. SeqCst: the
+    /// store must be globally ordered against the waiter's subsequent
+    /// `outstanding()` recheck and a completing child's `child_done` /
+    /// `claim_waiter` pair (store-buffering would otherwise lose wakes).
+    ///
+    /// Only the task's own frame (one frame per record) registers, and only
+    /// after the body started, so the slot is null at this point.
+    #[inline]
+    pub(crate) fn register_waiter(&self, cont: NonNull<Continuation>) {
+        let prev = self.invoke.swap(cont.as_ptr().cast(), Ordering::SeqCst);
+        debug_assert!(prev.is_null(), "taskwait waiter slot was occupied");
+    }
+
+    /// Claims the registered waiter, if any — the exclusive wake ticket.
+    /// Called by the waiter itself (to unregister after a successful
+    /// recheck) or by the child whose completion drove `children` to zero.
+    #[inline]
+    pub(crate) fn claim_waiter(&self) -> Option<NonNull<Continuation>> {
+        NonNull::new(
+            self.invoke
+                .swap(std::ptr::null_mut(), Ordering::SeqCst)
+                .cast(),
+        )
     }
 
     /// Copies the enclosing taskgroup pointer (executing thread only).
@@ -379,20 +425,28 @@ impl TaskRecord {
     }
 
     /// Marks one child complete; returns true if this was the last one.
+    /// SeqCst (not AcqRel): the decrement must be globally ordered against
+    /// the completing child's subsequent `claim_waiter` read and the
+    /// waiter's `register_waiter`/`outstanding` pair — the classic
+    /// store-buffering shape where both sides otherwise miss each other.
     #[inline]
     pub(crate) fn child_done(&self) -> bool {
-        self.children.fetch_sub(1, Ordering::AcqRel) == 1
+        self.children.fetch_sub(1, Ordering::SeqCst) == 1
     }
 
-    /// Outstanding direct children.
+    /// Outstanding direct children. SeqCst so a waiter's recheck after
+    /// `register_waiter` cannot read a stale count past the registration.
     #[inline]
     pub(crate) fn outstanding(&self) -> usize {
-        self.children.load(Ordering::Acquire)
+        self.children.load(Ordering::SeqCst)
     }
 
     /// Is `self` a descendant of (or equal to) `anc`? Walks the parent
     /// chain; depths bound the walk. Sound because a record's parent chain
-    /// is kept alive by the per-child references.
+    /// is kept alive by the per-child references. (Scheduling no longer
+    /// filters by lineage — waits suspend instead of nesting — so this
+    /// survives only as a test predicate for the parent linkage.)
+    #[cfg(test)]
     pub(crate) fn descends_from(&self, anc: &TaskRecord) -> bool {
         let mut cur = self;
         loop {
@@ -411,10 +465,7 @@ impl TaskRecord {
     }
 }
 
-unsafe fn invoke_inline<F: FnOnce(&ExecCtx<'_>) + Send>(
-    rec: NonNull<TaskRecord>,
-    ec: &ExecCtx<'_>,
-) {
+unsafe fn invoke_inline<F: FnOnce(&ExecCtx) + Send>(rec: NonNull<TaskRecord>, ec: &ExecCtx) {
     let f = rec.as_ref().payload.get().cast::<F>().read();
     // Skip-dispatch (cancelled region): the closure is read out and
     // dropped — captures release their resources — but the body never
@@ -426,10 +477,7 @@ unsafe fn invoke_inline<F: FnOnce(&ExecCtx<'_>) + Send>(
     f(ec);
 }
 
-unsafe fn invoke_spilled<F: FnOnce(&ExecCtx<'_>) + Send>(
-    rec: NonNull<TaskRecord>,
-    ec: &ExecCtx<'_>,
-) {
+unsafe fn invoke_spilled<F: FnOnce(&ExecCtx) + Send>(rec: NonNull<TaskRecord>, ec: &ExecCtx) {
     let boxed = rec.as_ref().payload.get().cast::<*mut F>().read();
     let f = *Box::from_raw(boxed);
     if ec.skip() {
@@ -572,7 +620,7 @@ mod tests {
         let rec = boxed(None, TaskAttrs::default());
         let small = [7u64; 2];
         let spilled = unsafe {
-            TaskRecord::store_closure(rec, move |_: &ExecCtx<'_>| {
+            TaskRecord::store_closure(rec, move |_: &ExecCtx| {
                 std::hint::black_box(small);
             })
         };
@@ -584,7 +632,7 @@ mod tests {
 
         let big = [7u64; 32];
         let spilled = unsafe {
-            TaskRecord::store_closure(rec, move |_: &ExecCtx<'_>| {
+            TaskRecord::store_closure(rec, move |_: &ExecCtx| {
                 std::hint::black_box(big);
             })
         };

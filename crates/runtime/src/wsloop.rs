@@ -143,11 +143,13 @@ impl WsLoop {
 }
 
 /// The loop-descriptor free list: one singly-linked shard per worker,
-/// **owner-only** — a loop is leased and released by the same worker
-/// thread (the generating frame never migrates), so each shard is
-/// single-threaded, pops are plain load+store, and the per-worker
-/// population is bounded by that worker's deepest live loop nesting.
-/// Mirrors [`GroupPool`](crate::group::GroupPool) exactly.
+/// **owner-only** — every push and pop targets the *calling* worker's own
+/// shard, so each shard is single-threaded and pops are plain load+store.
+/// Since the generating frame runs on a pooled continuation, its closing
+/// drain may suspend and resume on a different worker; the release then
+/// lands on *that* worker's shard (the slot is re-resolved at drop time),
+/// so descriptors migrate between shards but no shard is ever touched by
+/// two threads. Mirrors [`GroupPool`](crate::group::GroupPool).
 pub(crate) struct LoopPool {
     shards: Box<[CacheAligned<AtomicPtr<WsLoop>>]>,
     /// Every descriptor ever allocated (cold path; freed on drop).
@@ -192,9 +194,10 @@ impl LoopPool {
         (fresh, true)
     }
 
-    /// Returns a drained descriptor to the free list. The caller must be
-    /// the lease owner (same worker, same `slot` as the lease) and must
-    /// have drained every participant first.
+    /// Returns a drained descriptor to the free list. `slot` must be the
+    /// *current* worker's index — not necessarily the leasing worker's,
+    /// because the generating frame's drain wait can migrate it — and the
+    /// caller must have drained every participant first.
     pub(crate) fn release(&self, wsl: NonNull<WsLoop>, slot: usize) {
         let shard = &self.shards[slot % self.shards.len()].0;
         let head = shard.load(Ordering::Relaxed);

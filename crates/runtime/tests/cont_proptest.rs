@@ -1,0 +1,198 @@
+//! Property test for continuation stealing: random trees of nested waits
+//! — taskwait-sealed, taskgroup-sealed and unsealed nodes mixed by a
+//! drawn shape word — across team widths, with injected leaf panics and
+//! mid-flight cancellation, under the counting allocator. The invariants,
+//! whatever the interleaving:
+//!
+//! * **exactly-once resumption** — `cont_suspends == cont_resumes` at
+//!   every quiescence point: no suspended frame is lost (the region
+//!   would hang) and none is woken twice (two workers would run one
+//!   stack);
+//! * **typed outcomes** — a region reports `Panicked` only when a fault
+//!   was injected, `Cancelled` only when cancelled;
+//! * **lease accounting** — the pool population never exceeds what peak
+//!   concurrent suspension can explain, and every taskgroup descriptor
+//!   leased is waited exactly once, panics and cancels included;
+//! * **zero live-bytes leak** — after the team drops, heap occupancy
+//!   returns exactly to its pre-team baseline: every continuation stack,
+//!   record and descriptor came home.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use bots_profile::current_bytes;
+use bots_runtime::{RegionError, Runtime, Scope};
+use proptest::prelude::*;
+
+#[global_allocator]
+static ALLOC: bots_profile::CountingAlloc = bots_profile::CountingAlloc;
+
+/// Allocator readings are process-global; serialise the tests in this
+/// binary (libtest runs them on concurrent threads).
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+/// Injected-fault budget for the current case: leaves claim one unit to
+/// panic, so a case injects exactly as many faults as the draw said.
+static PANIC_BUDGET: AtomicU64 = AtomicU64::new(0);
+
+/// A random wait tree: every interior node spawns `width` children and
+/// seals them with the flavour its depth draws from `shape` — `taskwait`,
+/// `taskgroup`, or no wait at all (an ancestor's wait, or region
+/// quiescence, covers the subtree). Each flavour exercises a different
+/// suspension site; the unsealed flavour leaves frames *finished* while
+/// children still run, so resumed waiters interleave with plain retires.
+fn wait_tree(s: &Scope<'_>, depth: u32, width: u32, shape: u64) {
+    if s.is_cancelled() {
+        return;
+    }
+    TICKS.fetch_add(1, Ordering::Relaxed);
+    if depth == 0 {
+        if PANIC_BUDGET
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok()
+        {
+            panic!("injected leaf fault");
+        }
+        return;
+    }
+    match (shape >> (2 * depth)) & 3 {
+        0 | 1 => {
+            // taskwait-sealed: children pending at the wait suspend it.
+            for _ in 0..width {
+                s.spawn(move |s| wait_tree(s, depth - 1, width, shape));
+            }
+            s.taskwait();
+        }
+        2 => {
+            // taskgroup-sealed: the group wait is the suspension point.
+            s.taskgroup(|s| {
+                for _ in 0..width {
+                    s.spawn(move |s| wait_tree(s, depth - 1, width, shape));
+                }
+            });
+        }
+        _ => {
+            // unsealed: this frame retires with its children in flight.
+            for _ in 0..width {
+                s.spawn(move |s| wait_tree(s, depth - 1, width, shape));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_wait_trees_balance_their_books(
+        workers in 1usize..5,
+        regions in 1u64..4,
+        depth in 1u32..6,
+        width in 1u32..4,
+        shape in any::<u64>(),
+        faults in 0u64..3,
+        cancel_after in 0u64..800,
+        cancel in any::<bool>(),
+    ) {
+        let _serial = exclusive();
+
+        // Silence panics + warm the panic machinery's lazy allocations out
+        // of the leak window: the default hook's backtrace capture retains
+        // megabytes of symbol cache, and even an eprintln hook grows
+        // libtest's per-test capture buffer *inside* the measurement (the
+        // injected faults fire on worker threads mid-window). A failing
+        // case reprints its drawn parameters, which reproduce it exactly.
+        static QUIET_PANICS: std::sync::Once = std::sync::Once::new();
+        QUIET_PANICS.call_once(|| {
+            std::panic::set_hook(Box::new(|_| {}));
+            let _ = std::panic::catch_unwind(|| panic!("warm-up panic"));
+        });
+
+        // Warm process-level one-time allocations (thread bootstrap, lazy
+        // synchronisation primitives) out of the leak window.
+        drop(Runtime::with_threads(workers));
+        let baseline = current_bytes();
+        {
+            let rt = Runtime::with_threads(workers);
+            for _ in 0..regions {
+                let ticks0 = TICKS.load(Ordering::Relaxed);
+                PANIC_BUDGET.store(faults, Ordering::Relaxed);
+                let mut h = rt.submit(move |s| {
+                    wait_tree(s, depth, width, shape);
+                    s.taskwait();
+                });
+                if cancel {
+                    while TICKS.load(Ordering::Relaxed) - ticks0 < cancel_after
+                        && !h.is_finished()
+                    {
+                        std::hint::spin_loop();
+                    }
+                    h.cancel();
+                }
+                let outcome = loop {
+                    if let Some(o) = h.try_join(Duration::from_millis(50)) {
+                        break o;
+                    }
+                };
+                let claimed = faults - PANIC_BUDGET.swap(0, Ordering::Relaxed);
+                match outcome {
+                    Ok(()) => {}
+                    Err(RegionError::Cancelled) => {
+                        prop_assert!(cancel, "uncancelled region reported Cancelled");
+                    }
+                    Err(RegionError::Panicked(_)) => {
+                        prop_assert!(
+                            claimed > 0,
+                            "region reported Panicked with no injected fault"
+                        );
+                    }
+                }
+
+                // Exactly-once resumption at quiescence, whatever ended
+                // the region — completion, fault or cancellation.
+                let stats = rt.stats();
+                prop_assert_eq!(
+                    stats.cont_suspends, stats.cont_resumes,
+                    "suspend/resume books unbalanced after a quiescent region"
+                );
+            }
+
+            let totals = rt.stats();
+            // Every taskgroup descriptor leased was waited exactly once,
+            // faulted and cancelled subtrees included.
+            prop_assert_eq!(
+                totals.groups_fresh + totals.groups_recycled,
+                totals.group_waits,
+                "taskgroup leases must match group waits"
+            );
+            // Lease accounting: the pool never holds more frames than the
+            // whole run's suspensions plus one executing frame per worker
+            // could need (each suspension parks at most one frame; the
+            // bound is deliberately loose — what it catches is a leak
+            // that scales with wait volume).
+            prop_assert!(
+                rt.conts_created() as u64 <= totals.cont_suspends + 2 * workers as u64 + 2,
+                "pool population {} cannot be explained by {} suspensions",
+                rt.conts_created(), totals.cont_suspends
+            );
+        }
+        // Zero live-bytes leak: the team, its continuation stacks, slabs
+        // and descriptors all gone. A sub-512-byte allowance absorbs
+        // process-global lazy noise (as in the sibling proptests); one
+        // leaked 256 KiB continuation stack is 500× the allowance.
+        let leaked = current_bytes().saturating_sub(baseline);
+        prop_assert!(
+            leaked < 512,
+            "suspended-wait machinery leaked {} live heap bytes \
+             (workers={} regions={} depth={} width={} shape={:#x} faults={} \
+              cancel_after={} cancel={})",
+            leaked, workers, regions, depth, width, shape, faults, cancel_after, cancel
+        );
+    }
+}

@@ -128,11 +128,11 @@ fn panicking_predecessor_releases_successors() {
     );
 }
 
-/// The documented safe pattern for a dependence edge that crosses a
-/// waiting subtree: the waiter is **untied**, so its taskwait may run the
-/// out-of-subtree predecessor. (A *tied* waiter here would deadlock a
-/// one-thread team — the OpenMP TSC-2 / `depend` interplay; see the
-/// runtime README's dependency-model caveat.)
+/// A dependence edge that crosses a waiting subtree, untied flavour. (A
+/// *tied* waiter here used to deadlock a one-thread team — the OpenMP
+/// TSC-2 / `depend` interplay; continuation suspension removed that
+/// caveat, and `tests/continuations.rs` pins the tied flavour. The untied
+/// spelling stays supported and this test keeps it honest.)
 #[test]
 fn cross_subtree_dependence_with_untied_waiter() {
     let rt = Runtime::with_threads(1);

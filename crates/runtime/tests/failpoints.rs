@@ -28,6 +28,7 @@ static TICKS: AtomicU64 = AtomicU64::new(0);
 static DEP_CHAIN: AtomicU64 = AtomicU64::new(0);
 static DEP_SINK: AtomicU64 = AtomicU64::new(0);
 static LOOP_SINK: AtomicU64 = AtomicU64::new(0);
+static WAIT_SINK: AtomicU64 = AtomicU64::new(0);
 
 fn storm(s: &Scope<'_>, depth: u32) {
     if depth == 0 {
@@ -39,10 +40,26 @@ fn storm(s: &Scope<'_>, depth: u32) {
     }
 }
 
+/// A spawn-then-wait ladder: every rung defers exactly one child and
+/// immediately `taskwait`s on it, so each wait finds the child unfinished
+/// (certainly on one thread, overwhelmingly likely on wider teams) and
+/// suspends its pooled continuation — the coverage driver for the
+/// `cont_suspend`/`cont_resume` sites. Ticks its own sink so the TICKS
+/// arithmetic elsewhere stays exact.
+fn wait_ladder(s: &Scope<'_>, depth: u32) {
+    WAIT_SINK.fetch_add(1, Ordering::Relaxed);
+    if depth == 0 {
+        return;
+    }
+    s.spawn(move |s| wait_ladder(s, depth - 1));
+    s.taskwait();
+}
+
 /// One region exercising every protocol with a failpoint in it: injector
 /// submit + steal-heavy storm (injector, steal, slab reclaim), a taskgroup
-/// (group leave), a dependency chain (dep retire) and a worksharing loop
-/// (loop claim/drain) — plus two replay
+/// (group leave), a dependency chain (dep retire), a worksharing loop
+/// (loop claim/drain) and a deep spawn-then-wait ladder whose every rung
+/// suspends its continuation (cont suspend/resume) — plus two replay
 /// submits: a stable token whose first recording freezes a graph
 /// (`replay_freeze`), and a token whose shape alternates between calls so
 /// every second submit diverges mid-replay (`replay_diverge`).
@@ -72,6 +89,7 @@ fn workload(rt: &Runtime) {
         .chunk(4)
         .mode(bots_runtime::LoopMode::Worksharing)
         .run();
+        wait_ladder(s, 16);
     });
     rt.parallel_replay(0xF00D, |s| {
         s.task(|_| {}).after_write(&DEP_CHAIN).spawn();

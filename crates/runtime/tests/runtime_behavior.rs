@@ -405,21 +405,21 @@ fn panic_in_root_propagates() {
 }
 
 #[test]
-fn tied_constraint_denies_steals_at_taskwait() {
-    // Deterministically stage the denial scenario instead of hoping an
-    // imbalanced tree produces it (on a single-CPU machine it never does):
-    //
-    //   worker 0 runs tied task A, which spawns H and then blocks at
-    //   taskwait; worker 1 steals H, parks visible work D in its own deque
-    //   and lingers, so A's wait loop sees an empty local deque plus
-    //   visible foreign work — exactly what the tied constraint forbids
-    //   taking.
+fn tied_waits_suspend_instead_of_denying_steals() {
+    // The staging that used to force a tied-steal denial: worker 0 runs
+    // tied task A, which spawns H and blocks at taskwait; worker 1 steals
+    // H, parks visible work D in its own deque and lingers. With
+    // continuation stealing, A's blocked frame suspends off worker 0
+    // entirely — the worker is free to take D (or anything else), so the
+    // scenario that used to produce `tied_steal_denied` now produces
+    // suspends/resumes and zero denials.
     let rt = Runtime::new(RuntimeConfig::new(2).with_tied_constraint(true));
     rt.parallel(|s| {
         let d_spawned = AtomicU64::new(0);
         let a_waiting = AtomicU64::new(0);
         s.taskgroup(|s| {
-            // Tied task A (parent = root task, so the constraint applies).
+            // Tied task A (parent = root task; the old constraint would
+            // have applied to it).
             s.spawn(|s| {
                 s.spawn(|h| {
                     // Child H: runs on the *other* worker (this worker is
@@ -431,7 +431,7 @@ fn tied_constraint_denies_steals_at_taskwait() {
                     while a_waiting.load(Ordering::Acquire) == 0 {
                         std::thread::yield_now();
                     }
-                    // Give A's wait loop time to probe with D still queued.
+                    // Give A's host time to dispatch D with H still live.
                     std::thread::sleep(std::time::Duration::from_millis(20));
                 });
                 // Don't taskwait until H has been stolen and D is visible.
@@ -444,9 +444,17 @@ fn tied_constraint_denies_steals_at_taskwait() {
         });
     });
     let stats = rt.stats();
+    assert_eq!(
+        stats.tied_steal_denied, 0,
+        "tied waits must no longer deny steals: {stats}"
+    );
     assert!(
-        stats.tied_steal_denied > 0,
-        "expected tied-steal denials under contention: {stats}"
+        stats.cont_suspends > 0,
+        "A's blocked taskwait must have suspended its continuation: {stats}"
+    );
+    assert_eq!(
+        stats.cont_suspends, stats.cont_resumes,
+        "every suspend resumes exactly once by quiescence: {stats}"
     );
 }
 
@@ -687,10 +695,12 @@ fn taskgroup_returns_body_value() {
 ///   group still has member `H`, but the LIFO end holds `F`, which does
 ///   not descend from `W`.
 ///
-/// A constrained wait that re-pushes the popped non-descendant re-pops `F`
-/// forever; with a single worker there is no thief to clear it, so the
-/// group wait used to spin on 2 ms parks for good. The bounded probe must
-/// step past `F`, find `H`, and drain the group.
+/// Historically a constrained wait that re-pushed the popped
+/// non-descendant re-popped `F` forever (the tied-wait livelock), and a
+/// bounded probe past the deque bottom was the workaround. Continuation
+/// stealing supersedes the probe: `W`'s blocked group wait suspends off
+/// the worker, which then runs `F` and `H` like any other queue items —
+/// the scenario stays as a single-worker liveness regression.
 #[test]
 fn tied_wait_probes_past_foreign_deque_bottom() {
     let rt = Runtime::new(

@@ -550,6 +550,87 @@ fn steady_state_cancel_allocates_nothing() {
     );
 }
 
+/// The continuation acceptance test: once the continuation pool is warm,
+/// a wait that actually **suspends** — parks its pooled cactus-stack
+/// frame in the awaited record or group descriptor, frees the worker, and
+/// is later resumed (possibly on another worker) — performs **exactly
+/// zero** heap allocations. Suspension is the machinery that replaced the
+/// tied-wait workarounds; if it allocated per wait, every deep kernel
+/// would pay it on the hot path.
+#[test]
+fn steady_state_waits_allocate_nothing() {
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+
+    /// A spawn-then-wait ladder: every rung defers one child and
+    /// immediately waits on it, so the wait routinely finds the child
+    /// pending and suspends. Alternating rungs seal with `taskwait` and
+    /// `taskgroup` so both wait sites pay their way.
+    fn ladder(s: &bots_runtime::Scope<'_>, depth: u32) {
+        TICKS.fetch_add(1, Ordering::Relaxed);
+        if depth == 0 {
+            return;
+        }
+        if depth.is_multiple_of(2) {
+            s.spawn(move |s| ladder(s, depth - 1));
+            s.taskwait();
+        } else {
+            s.taskgroup(|s| {
+                s.spawn(move |s| ladder(s, depth - 1));
+            });
+        }
+    }
+
+    let _serial = exclusive();
+    let rt = Runtime::with_threads(4);
+
+    let run = |rt: &Runtime| {
+        let before = TICKS.load(Ordering::Relaxed);
+        rt.parallel(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| ladder(s, 48));
+            }
+        });
+        assert_eq!(TICKS.load(Ordering::Relaxed) - before, 8 * 49);
+    };
+
+    // Warm-up: grow the continuation pool to this shape's peak concurrent
+    // suspension depth (each ladder can hold every rung suspended at
+    // once), plus the slabs and group pools the rungs lease from.
+    for _ in 0..8 {
+        run(&rt);
+    }
+
+    let stats_before = rt.stats();
+    let min = (0..9)
+        .map(|_| {
+            let before = alloc_calls();
+            run(&rt);
+            alloc_calls() - before
+        })
+        .min()
+        .unwrap();
+    assert_eq!(
+        min, 0,
+        "a warm deep-wait region performed {min} heap allocations"
+    );
+
+    // Telemetry agrees: the ladders really suspended (this is not a test
+    // of waits that happened to find their children done), every suspend
+    // resumed exactly once, and recycling served the leases.
+    let d = rt.stats().since(&stats_before);
+    assert!(d.cont_suspends > 0, "the ladders must actually suspend");
+    assert_eq!(
+        d.cont_suspends, d.cont_resumes,
+        "every suspend must resume exactly once"
+    );
+    assert!(
+        d.conts_recycled > d.conts_fresh,
+        "continuation recycling never took over: fresh={} recycled={}",
+        d.conts_fresh,
+        d.conts_recycled
+    );
+}
+
 /// The worksharing acceptance test: once the loop-descriptor pool is warm,
 /// a worksharing `for_each` — one pooled descriptor leased per loop,
 /// helper tasks from the record slabs, chunks claimed off the atomic
@@ -599,15 +680,17 @@ fn steady_state_worksharing_allocates_nothing() {
     );
 
     // Telemetry agrees: the 9 measured loops leased one descriptor each —
-    // overwhelmingly recycled (a shard the warm-up happened to miss may
-    // still take one fresh lease; the min-of-9 gate above is the hard
-    // zero-allocation acceptance) — claimed exactly 4096/64 chunks per
-    // loop, and spilled no closure.
+    // mostly recycled. Leases come off the root worker's shard while
+    // releases land on the shard of whichever worker the generating frame
+    // *resumed* on (the frame may migrate mid-drain), so a shard the
+    // schedule starves can take a couple of fresh leases; the min-of-9
+    // gate above is the hard zero-allocation acceptance. The loops also
+    // claimed exactly 4096/64 chunks each and spilled no closure.
     let d = rt.stats().since(&stats_before);
     assert_eq!(d.loops_fresh + d.loops_recycled, 9);
     assert!(
-        d.loops_recycled >= 8,
-        "warm loops must lease recycled descriptors: fresh={} recycled={}",
+        d.loops_recycled > d.loops_fresh,
+        "warm loops must lease mostly recycled descriptors: fresh={} recycled={}",
         d.loops_fresh,
         d.loops_recycled
     );

@@ -9,13 +9,19 @@
 //!
 //! * **spawn-storm** — one producer publishes a flat wave of tasks from a
 //!   single deque, the worst case for the injector and for steal pressure;
-//! * **deep-recursion** — a left-deep spawn chain tens of thousands of
+//! * **deep-recursion** — a left-deep spawn chain two hundred thousand
 //!   tasks long: exactly one task runnable at any instant, maximal
-//!   parent-chain bookkeeping, zero parallelism to hide overhead behind;
+//!   parent-chain bookkeeping, zero parallelism to hide overhead behind
+//!   (each link runs on a pooled continuation, so the chain's depth is
+//!   bounded by the record slab, not by any thread's stack);
 //! * **chain-barrier** — many short waves each sealed by a `taskwait`, so
 //!   the team spends its life entering and leaving barriers;
 //! * **if-zero** — every other creation point carries `if(0)`: the runtime
 //!   must inline half the graph without losing the other half;
+//! * **waiter-migration** — rounds of deferred waiters whose child waves
+//!   are stolen out from under them: each `taskwait` suspends its
+//!   continuation and is resumed by whichever worker retires the last
+//!   child, so blocked frames migrate across the team mid-wait;
 //! * **fine-grain-loop** — worksharing sweeps at grain 1 (every claim is a
 //!   cursor collision) up through modest grains, against the `Tasks` mode
 //!   on the same space.
@@ -45,11 +51,12 @@ type Scenario = (&'static str, fn(&Runtime) -> Result<(), String>);
 /// to overlap with other work on the same team (`bots check --adversarial`
 /// runs it concurrently with the kernel verification rows).
 pub fn run_all(rt: &Runtime) -> Vec<AdversarialOutcome> {
-    let scenarios: [Scenario; 5] = [
+    let scenarios: [Scenario; 6] = [
         ("spawn-storm", spawn_storm),
         ("deep-recursion", deep_recursion),
         ("chain-barrier", chain_barrier),
         ("if-zero", if_zero),
+        ("waiter-migration", waiter_migration),
         ("fine-grain-loop", fine_grain_loop),
     ];
     scenarios
@@ -90,12 +97,15 @@ fn spawn_storm(rt: &Runtime) -> Result<(), String> {
     expect_sum("spawn-storm", sum.load(Ordering::Relaxed), N * (N - 1) / 2)
 }
 
-/// A left-deep chain: each task spawns exactly one child, twenty thousand
-/// links deep. The schedule is forced serial — the scenario measures that
-/// per-task bookkeeping (parent chains, record recycling) survives extreme
-/// depth without a stack or slab blow-up.
+/// A left-deep chain: each task spawns exactly one child, two hundred
+/// thousand links deep. The schedule is forced serial — the scenario
+/// measures that per-task bookkeeping (parent chains, record recycling)
+/// survives extreme depth without a stack or slab blow-up. Every link is a
+/// deferred task mounted on a pooled continuation, so no worker thread's
+/// stack ever holds more than one link's frame; the depth that used to be
+/// capped by a 64 MiB worker stack now runs on page-sized ones.
 fn deep_recursion(rt: &Runtime) -> Result<(), String> {
-    const DEPTH: u64 = 20_000;
+    const DEPTH: u64 = 200_000;
     fn link<'e>(s: &Scope<'e>, remaining: u64, acc: &'e AtomicU64) {
         acc.fetch_add(remaining, Ordering::Relaxed);
         if remaining > 0 {
@@ -161,6 +171,50 @@ fn if_zero(rt: &Runtime) -> Result<(), String> {
         }
     });
     expect_sum("if-zero", sum.load(Ordering::Relaxed), N * (N - 1) / 2)
+}
+
+/// Rounds of deferred waiters whose child waves get stolen out from under
+/// them. Each round's waiter spawns a wave of children and immediately
+/// `taskwait`s; with many rounds in flight at once the children scatter
+/// across the team, the waiter's continuation suspends, and whichever
+/// worker retires a round's last child resumes the waiter — frequently a
+/// different thread than the one that started the frame. The check is by
+/// value *and* by order: post-wait code must observe every child of its
+/// own round complete, and the global sum must hit the closed form.
+fn waiter_migration(rt: &Runtime) -> Result<(), String> {
+    const ROUNDS: u64 = 64;
+    const WIDTH: u64 = 32;
+    let sum = AtomicU64::new(0);
+    let round_done: Vec<AtomicU64> = (0..ROUNDS).map(|_| AtomicU64::new(0)).collect();
+    let stragglers = AtomicU64::new(0);
+    let (sum_ref, rounds_ref, stragglers_ref) = (&sum, &round_done, &stragglers);
+    rt.parallel(|s| {
+        for round in rounds_ref.iter() {
+            s.spawn(move |s| {
+                for i in 0..WIDTH {
+                    s.spawn(move |_| {
+                        round.fetch_add(1, Ordering::Relaxed);
+                        sum_ref.fetch_add(i, Ordering::Relaxed);
+                    });
+                }
+                s.taskwait();
+                if round.load(Ordering::Relaxed) != WIDTH {
+                    stragglers_ref.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let leaked = stragglers.load(Ordering::Relaxed);
+    if leaked != 0 {
+        return Err(format!(
+            "waiter-migration: {leaked} taskwaits returned before their round's children finished"
+        ));
+    }
+    expect_sum(
+        "waiter-migration",
+        sum.load(Ordering::Relaxed),
+        ROUNDS * WIDTH * (WIDTH - 1) / 2,
+    )
 }
 
 /// Fine-grained loop sweep: the worksharing claim protocol at grain 1
