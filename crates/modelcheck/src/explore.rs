@@ -1,0 +1,286 @@
+//! Bounded systematic exploration of a scenario's schedule tree.
+//!
+//! The explorer is stateless-search shaped: it cannot snapshot the real
+//! runtime's heap state, so backtracking re-executes the scenario from
+//! scratch with a forced decision prefix. Runs are deterministic (see
+//! `sched`), so a prefix always reproduces the same enabled sets, and the
+//! tree discovered incrementally is consistent.
+//!
+//! Three modes:
+//!
+//! - [`explore_exhaustive`]: DFS over every schedule, pruned with sleep
+//!   sets (Godefroid) under a conservative independence relation — actions
+//!   of different threads in *different protocol classes* commute; anything
+//!   else conflicts. Single-protocol scenarios are explored fully.
+//! - [`explore_random`]: seeded random schedules past what exhaustive
+//!   budgets allow; every violation names the seed that found it.
+//! - [`replay_trace`]: re-run one schedule from a `BOTS_SCHEDULE` trace.
+
+use std::collections::HashSet;
+
+use crate::scenarios::Scenario;
+use crate::sched::{
+    action_key, propagate_sleep, run_schedule, ActionKey, Decider, RandomDecider, Replay,
+    RunOutcome, StepRec,
+};
+
+/// Default cap on decision points per schedule; far beyond any scenario.
+pub const DEFAULT_MAX_STEPS: usize = 400;
+
+/// A schedule that broke an invariant, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Scenario name.
+    pub scenario: String,
+    /// Decision-index trace; replays via `BOTS_SCHEDULE=trace:...`.
+    pub trace: Vec<usize>,
+    /// The seed that produced the schedule, when found by random search.
+    pub seed: Option<u64>,
+    /// What went wrong (check failure, script panic, watchdog, budget).
+    pub message: String,
+}
+
+impl Violation {
+    /// The `BOTS_SCHEDULE` value that replays this violation.
+    pub fn schedule_env(&self) -> String {
+        format!(
+            "trace:{}",
+            self.trace
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+
+    /// The full replay command line, printed with every violation.
+    pub fn replay_hint(&self) -> String {
+        format!(
+            "BOTS_SCHEDULE={} cargo run -p modelcheck -- --scenario {}",
+            self.schedule_env(),
+            self.scenario
+        )
+    }
+}
+
+/// Exploration counters, reported on success.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stats {
+    /// Complete schedules executed.
+    pub schedules: u64,
+    /// Total decision points across all schedules.
+    pub steps: u64,
+    /// Sibling branches skipped by the sleep-set relation.
+    pub pruned: u64,
+}
+
+/// One node of the current DFS path.
+struct Frame {
+    enabled: Vec<(usize, String)>,
+    /// Actions already fully explored from this state (Godefroid sleep
+    /// set): re-exploring them as siblings cannot reveal new behaviour.
+    sleep: HashSet<ActionKey>,
+    /// Index (into `enabled`) taken on the most recent pass through here.
+    chosen: usize,
+}
+
+/// A decider that follows a forced prefix, then picks the first enabled
+/// action not in the (propagated) sleep set. Records the sleep set it
+/// carried into each free step so the DFS driver can seed new frames.
+struct DfsDecider {
+    forced: Vec<usize>,
+    /// Sleep set to carry into step `forced.len()` (the first free step).
+    sleep_at_fork: HashSet<ActionKey>,
+    sleep: HashSet<ActionKey>,
+    /// For each step >= forced.len(): the sleep set in force at that step.
+    free_sleeps: Vec<HashSet<ActionKey>>,
+}
+
+impl Decider for DfsDecider {
+    fn choose(&mut self, step: usize, enabled: &[(usize, String)]) -> usize {
+        let chosen = if step < self.forced.len() {
+            self.forced[step]
+        } else {
+            if step == self.forced.len() {
+                self.sleep = self.sleep_at_fork.clone();
+            }
+            self.free_sleeps.push(self.sleep.clone());
+            enabled
+                .iter()
+                .position(|e| !self.sleep.contains(&action_key(e)))
+                .unwrap_or(0)
+        };
+        if step >= self.forced.len() {
+            self.sleep = propagate_sleep(&self.sleep, &action_key(&enabled[chosen]));
+        }
+        chosen
+    }
+}
+
+fn violation(scenario: &Scenario, outcome: &RunOutcome, seed: Option<u64>) -> Violation {
+    Violation {
+        scenario: scenario.name.to_string(),
+        trace: outcome.trace(),
+        seed,
+        message: outcome
+            .error
+            .clone()
+            .unwrap_or_else(|| "unknown".to_string()),
+    }
+}
+
+/// Exhaustively enumerate the schedule tree (with sleep-set pruning) up to
+/// `max_schedules` complete schedules. Returns the first violation found,
+/// or the exploration stats if every schedule upholds the invariants.
+///
+/// `Err` with a trace is the deliverable: print `Violation::replay_hint`
+/// and the schedule reproduces byte-for-byte.
+pub fn explore_exhaustive(
+    scenario: &Scenario,
+    max_schedules: u64,
+    max_steps: usize,
+) -> Result<Stats, Box<Violation>> {
+    let mut stats = Stats::default();
+    let mut frames: Vec<Frame> = Vec::new();
+    // Forced prefix for the next run; empty on the first.
+    let mut forced: Vec<usize> = Vec::new();
+    let mut fork_sleep: HashSet<ActionKey> = HashSet::new();
+
+    loop {
+        let mut decider = DfsDecider {
+            forced: forced.clone(),
+            sleep_at_fork: fork_sleep.clone(),
+            sleep: HashSet::new(),
+            free_sleeps: Vec::new(),
+        };
+        let outcome = run_schedule((scenario.build)(), &mut decider, max_steps);
+        stats.schedules += 1;
+        stats.steps += outcome.steps.len() as u64;
+        if outcome.error.is_some() {
+            return Err(Box::new(violation(scenario, &outcome, None)));
+        }
+
+        // Extend the frame stack with the newly discovered suffix.
+        let fork = forced.len();
+        frames.truncate(fork);
+        for (i, StepRec { enabled, chosen }) in outcome.steps.iter().enumerate().skip(fork) {
+            frames.push(Frame {
+                enabled: enabled.clone(),
+                sleep: decider.free_sleeps[i - fork].clone(),
+                chosen: *chosen,
+            });
+        }
+        if stats.schedules >= max_schedules {
+            return Ok(stats);
+        }
+
+        // Backtrack: deepest frame with an unexplored, non-sleeping sibling.
+        let next = loop {
+            let Some(frame) = frames.last_mut() else {
+                return Ok(stats);
+            };
+            // The branch just explored is now redundant for siblings.
+            frame.sleep.insert(action_key(&frame.enabled[frame.chosen]));
+            let mut alt = None;
+            for idx in (frame.chosen + 1)..frame.enabled.len() {
+                if frame.sleep.contains(&action_key(&frame.enabled[idx])) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                alt = Some(idx);
+                break;
+            }
+            match alt {
+                Some(idx) => break Some(idx),
+                None => {
+                    frames.pop();
+                }
+            }
+        };
+        let Some(idx) = next else { return Ok(stats) };
+        let depth = frames.len() - 1;
+        frames[depth].chosen = idx;
+        forced = frames.iter().map(|f| f.chosen).collect();
+        // The new branch's child inherits the *current* sleep at this
+        // frame (including the sibling just retired), minus conflicts.
+        fork_sleep = propagate_sleep(
+            &frames[depth].sleep,
+            &action_key(&frames[depth].enabled[idx]),
+        );
+    }
+}
+
+/// Run `count` seeded random schedules starting at `base_seed`. Every
+/// schedule is independently replayable via `BOTS_SCHEDULE=seed:N`.
+pub fn explore_random(
+    scenario: &Scenario,
+    base_seed: u64,
+    count: u64,
+    max_steps: usize,
+) -> Result<Stats, Box<Violation>> {
+    let mut stats = Stats::default();
+    for i in 0..count {
+        let seed = base_seed.wrapping_add(i);
+        let mut decider = RandomDecider::new(seed);
+        let outcome = run_schedule((scenario.build)(), &mut decider, max_steps);
+        stats.schedules += 1;
+        stats.steps += outcome.steps.len() as u64;
+        if outcome.error.is_some() {
+            return Err(Box::new(violation(scenario, &outcome, Some(seed))));
+        }
+    }
+    Ok(stats)
+}
+
+/// Replay a single schedule from a decision-index trace.
+pub fn replay_trace(scenario: &Scenario, trace: &[usize], max_steps: usize) -> RunOutcome {
+    let mut decider = Replay::new(trace);
+    run_schedule((scenario.build)(), &mut decider, max_steps)
+}
+
+/// Replay a single schedule from a seed.
+pub fn replay_seed(scenario: &Scenario, seed: u64, max_steps: usize) -> RunOutcome {
+    let mut decider = RandomDecider::new(seed);
+    run_schedule((scenario.build)(), &mut decider, max_steps)
+}
+
+/// A parsed `BOTS_SCHEDULE` value: `trace:0,1,2` or `seed:42`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// Explicit decision-index trace.
+    Trace(Vec<usize>),
+    /// Seeded random schedule.
+    Seed(u64),
+}
+
+impl Schedule {
+    /// Parse a `BOTS_SCHEDULE` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(rest) = s.strip_prefix("trace:") {
+            let trace = rest
+                .split(',')
+                .filter(|t| !t.is_empty())
+                .map(|t| t.trim().parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("bad trace element in BOTS_SCHEDULE: {e}"))?;
+            Ok(Schedule::Trace(trace))
+        } else if let Some(rest) = s.strip_prefix("seed:") {
+            rest.trim()
+                .parse::<u64>()
+                .map(Schedule::Seed)
+                .map_err(|e| format!("bad seed in BOTS_SCHEDULE: {e}"))
+        } else {
+            Err(format!(
+                "BOTS_SCHEDULE must be `trace:<i,j,...>` or `seed:<n>`, got `{s}`"
+            ))
+        }
+    }
+
+    /// Run the schedule against a scenario.
+    pub fn run(&self, scenario: &Scenario, max_steps: usize) -> RunOutcome {
+        match self {
+            Schedule::Trace(t) => replay_trace(scenario, t, max_steps),
+            Schedule::Seed(s) => replay_seed(scenario, *s, max_steps),
+        }
+    }
+}

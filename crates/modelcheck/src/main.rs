@@ -1,0 +1,255 @@
+//! CLI for the interleaving explorer.
+//!
+//! ```text
+//! cargo run -p modelcheck -- --list
+//! cargo run -p modelcheck -- --scenario injector_tiny            # exhaustive
+//! cargo run -p modelcheck -- --scenario injector_small --random 5000
+//! BOTS_SCHEDULE=trace:0,1,0,1 cargo run -p modelcheck -- --scenario toy_lost_task
+//! BOTS_SCHEDULE=seed:42       cargo run -p modelcheck -- --scenario injector_small
+//! cargo run -p modelcheck -- --ci                                 # the CI gate
+//! ```
+
+use std::process::ExitCode;
+
+use modelcheck::explore::{explore_exhaustive, explore_random, Schedule};
+use modelcheck::scenarios::{self, Scenario};
+use modelcheck::Violation;
+
+const DEFAULT_MAX_SCHEDULES: u64 = 200_000;
+const DEFAULT_MAX_STEPS: usize = modelcheck::DEFAULT_MAX_STEPS;
+const CI_RANDOM_SCHEDULES: u64 = 10_000;
+
+struct Opts {
+    scenario: Option<String>,
+    random: Option<u64>,
+    seed: u64,
+    ci: bool,
+    list: bool,
+    expect_violation: bool,
+    max_schedules: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: modelcheck [--list] [--ci] [--scenario NAME] [--random N] [--seed S]\n\
+         \x20                 [--expect-violation] [--max-schedules N]\n\
+         env:   BOTS_SCHEDULE=trace:i,j,... | seed:N   replay one schedule"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        scenario: None,
+        random: None,
+        seed: 1,
+        ci: false,
+        list: false,
+        expect_violation: false,
+        max_schedules: DEFAULT_MAX_SCHEDULES,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--scenario" => opts.scenario = Some(take("--scenario")),
+            "--random" => opts.random = Some(take("--random").parse().unwrap_or_else(|_| usage())),
+            "--seed" => opts.seed = take("--seed").parse().unwrap_or_else(|_| usage()),
+            "--max-schedules" => {
+                opts.max_schedules = take("--max-schedules").parse().unwrap_or_else(|_| usage())
+            }
+            "--ci" => opts.ci = true,
+            "--list" => opts.list = true,
+            "--expect-violation" => opts.expect_violation = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn report(v: &Violation) {
+    eprintln!("VIOLATION in scenario `{}`:", v.scenario);
+    eprintln!("  {}", v.message);
+    if let Some(seed) = v.seed {
+        eprintln!("  found by seed {seed} (BOTS_SCHEDULE=seed:{seed})");
+    }
+    eprintln!("  trace: {:?}", v.trace);
+    eprintln!("  replay: {}", v.replay_hint());
+}
+
+/// Run one scenario the way its registry entry asks for; returns the
+/// violation if any schedule broke an invariant.
+fn run_scenario(
+    s: &Scenario,
+    opts: &Opts,
+    random_override: Option<u64>,
+) -> Result<(), Box<Violation>> {
+    if let Ok(sched) = std::env::var("BOTS_SCHEDULE") {
+        let sched = Schedule::parse(&sched).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2)
+        });
+        println!("replaying {sched:?} against `{}`", s.name);
+        let outcome = sched.run(s, DEFAULT_MAX_STEPS);
+        let trace = outcome.trace();
+        return match outcome.error {
+            None => {
+                println!(
+                    "  schedule upheld every invariant ({} steps)",
+                    outcome.steps.len()
+                );
+                Ok(())
+            }
+            Some(message) => Err(Box::new(Violation {
+                scenario: s.name.to_string(),
+                trace,
+                seed: None,
+                message,
+            })),
+        };
+    }
+
+    if let Some(n) = random_override.or(opts.random) {
+        let stats = explore_random(s, opts.seed, n, DEFAULT_MAX_STEPS)?;
+        println!(
+            "`{}`: {} random schedules ok ({} steps, base seed {})",
+            s.name, stats.schedules, stats.steps, opts.seed
+        );
+    } else {
+        let stats = explore_exhaustive(s, opts.max_schedules, DEFAULT_MAX_STEPS)?;
+        println!(
+            "`{}`: {} schedules explored exhaustively ({} steps, {} pruned) — all invariants hold",
+            s.name, stats.schedules, stats.steps, stats.pruned
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    if opts.list {
+        for s in scenarios::all() {
+            println!(
+                "{:24} {}{}",
+                s.name,
+                if s.expect_violation {
+                    "[expect-violation] "
+                } else {
+                    ""
+                },
+                s.about
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.ci {
+        return run_ci(&opts);
+    }
+
+    let Some(name) = &opts.scenario else {
+        eprintln!("need --scenario, --ci, or --list");
+        usage()
+    };
+    let Some(s) = scenarios::find(name) else {
+        eprintln!("unknown scenario `{name}`; --list shows all");
+        return ExitCode::FAILURE;
+    };
+
+    match run_scenario(&s, &opts, None) {
+        Ok(()) if opts.expect_violation => {
+            eprintln!(
+                "expected a violation in `{}` but every schedule passed",
+                s.name
+            );
+            ExitCode::FAILURE
+        }
+        Ok(()) => ExitCode::SUCCESS,
+        Err(v) if opts.expect_violation => {
+            println!("found the expected violation in `{}`:", s.name);
+            report(&v);
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            report(&v);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The CI gate: exhaustive tiny configs + random sweeps on the real
+/// protocols must pass; every buggy toy / reverted-fix regression must be
+/// caught (with a replayable trace, printed).
+fn run_ci(opts: &Opts) -> ExitCode {
+    if std::env::var("BOTS_SCHEDULE").is_ok() {
+        eprintln!("--ci ignores BOTS_SCHEDULE; unset it");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for s in scenarios::all() {
+        if s.expect_violation {
+            match explore_exhaustive(&s, opts.max_schedules, DEFAULT_MAX_STEPS) {
+                Err(v) => {
+                    println!("`{}`: caught the seeded bug, as required", s.name);
+                    report(&v);
+                }
+                Ok(stats) => {
+                    eprintln!(
+                        "`{}`: FAILED — explored {} schedules without catching the seeded bug",
+                        s.name, stats.schedules
+                    );
+                    failed = true;
+                }
+            }
+            continue;
+        }
+        if s.ci_exhaustive {
+            if let Err(v) = run_one_ci(&s, opts, None) {
+                report(&v);
+                failed = true;
+            }
+        }
+        if s.ci_random {
+            if let Err(v) = run_one_ci(&s, opts, Some(CI_RANDOM_SCHEDULES)) {
+                report(&v);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("modelcheck CI gate: all scenarios clean, all seeded bugs caught");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_one_ci(s: &Scenario, opts: &Opts, random: Option<u64>) -> Result<(), Box<Violation>> {
+    match random {
+        Some(n) => {
+            let stats = explore_random(s, opts.seed, n, DEFAULT_MAX_STEPS)?;
+            println!(
+                "`{}`: {} random schedules ok ({} steps)",
+                s.name, stats.schedules, stats.steps
+            );
+        }
+        None => {
+            let stats = explore_exhaustive(s, opts.max_schedules, DEFAULT_MAX_STEPS)?;
+            println!(
+                "`{}`: exhaustive — {} schedules, {} steps, {} pruned",
+                s.name, stats.schedules, stats.steps, stats.pruned
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,440 @@
+//! The virtual scheduler: real OS threads, one runnable at a time.
+//!
+//! Each scenario thread ("vthread") is a real `std::thread` whose protocol
+//! code is the *real* runtime code, compiled with `--features modelcheck`.
+//! Every `bots_failpoint!` site the code crosses calls back into the
+//! controller through the runtime's schedule hook and parks the thread.
+//! The controller wakes exactly one parked thread at a time, so the
+//! interleaving of linearization points is fully owned by whatever
+//! [`Decider`] drives the run — a DFS explorer, a seeded RNG, or a trace
+//! replayer.
+//!
+//! Two properties make runs deterministic and replayable:
+//!
+//! - only one vthread executes between yield points, so OS scheduling
+//!   cannot reorder anything the harness observes;
+//! - the enabled set handed to the decider is sorted by vthread id, so a
+//!   decision index always names the same thread given the same prefix.
+//!
+//! One honest limitation, stated up front: the controller's mutex/condvar
+//! hand-off creates a happens-before edge at every yield point, so runs
+//! explore *interleavings under sequential consistency*. Weak-memory
+//! reorderings are out of scope here — they are what the `xtask lint`
+//! ordering audit and the `// relaxed-ok:` justifications are for.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use bots_runtime::failpoint;
+
+/// How long the controller waits for the system to go quiet before
+/// declaring the schedule hung. Scenario scripts run microseconds of real
+/// work between yield points; five seconds is orders of magnitude past any
+/// legitimate step.
+const WATCHDOG: Duration = Duration::from_secs(5);
+
+thread_local! {
+    /// Set on vthreads only. The global schedule hook routes through this:
+    /// threads without it (the test harness, scenario setup/check code on
+    /// the main thread) pass every failpoint without parking.
+    static VCTX: std::cell::RefCell<Option<(Arc<Controller>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Install the process-global schedule hook exactly once. The hook is a
+/// pure dispatcher; all state lives in per-run [`Controller`]s reached via
+/// the thread-local, so concurrent explorations (e.g. parallel `cargo
+/// test` threads) never interfere.
+fn ensure_hook() {
+    static INSTALL: OnceLock<()> = OnceLock::new();
+    INSTALL.get_or_init(|| {
+        failpoint::set_schedule_hook(Some(Arc::new(|site: &str| {
+            let ctx = VCTX.with(|c| c.borrow().clone());
+            if let Some((ctl, tid)) = ctx {
+                ctl.yield_point(tid, site);
+            }
+        })));
+    });
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Status {
+    /// Spawned but not yet at the initial gate, or running between yields.
+    Running,
+    /// Parked at a failpoint site, waiting for a grant.
+    Parked(String),
+    /// Script returned (or panicked; the panic is recorded separately).
+    Finished,
+}
+
+struct Ctl {
+    status: Vec<Status>,
+    /// The single outstanding grant: which vthread may leave its park.
+    grant: Option<usize>,
+    /// First script panic, if any.
+    panic: Option<String>,
+    /// Set when the controller gives up (watchdog, early stop): every
+    /// yield point becomes a no-op so threads free-run to completion and
+    /// can be joined.
+    abandoned: bool,
+}
+
+/// Coordinates one scenario run. See the module docs for the protocol.
+pub struct Controller {
+    inner: Mutex<Ctl>,
+    cv: Condvar,
+}
+
+impl Controller {
+    fn new(threads: usize) -> Arc<Self> {
+        Arc::new(Controller {
+            inner: Mutex::new(Ctl {
+                status: vec![Status::Running; threads],
+                grant: None,
+                panic: None,
+                abandoned: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Called (via the schedule hook) by a vthread crossing a failpoint.
+    /// Parks until the controller grants this thread the next step.
+    fn yield_point(&self, tid: usize, site: &str) {
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if st.abandoned {
+            return;
+        }
+        st.status[tid] = Status::Parked(site.to_string());
+        self.cv.notify_all();
+        loop {
+            if st.abandoned {
+                return;
+            }
+            if st.grant == Some(tid) {
+                st.grant = None;
+                st.status[tid] = Status::Running;
+                self.cv.notify_all();
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn finish(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        st.status[tid] = Status::Finished;
+        if st.panic.is_none() {
+            st.panic = panic_msg;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wait until every vthread is parked or finished, then return the
+    /// enabled set (parked threads, sorted by id). `Ok(empty)` means all
+    /// threads finished. `Err` is a watchdog hang: the run is abandoned so
+    /// the threads can be joined, and the caller reports a violation.
+    fn wait_quiet(&self) -> Result<Vec<(usize, String)>, String> {
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            // Quiet = no outstanding grant (the granted thread has woken
+            // and consumed it) and nobody running between yield points.
+            if st.grant.is_none() && st.status.iter().all(|s| !matches!(s, Status::Running)) {
+                let enabled = st
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(tid, s)| match s {
+                        Status::Parked(site) => Some((tid, site.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                return Ok(enabled);
+            }
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, WATCHDOG)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if timeout.timed_out() {
+                let snapshot = format!("{:?}", st.status);
+                st.abandoned = true;
+                self.cv.notify_all();
+                return Err(format!(
+                    "watchdog: system never went quiet (likely a real deadlock or an \
+                     unbounded spin between yield points); thread states: {snapshot}"
+                ));
+            }
+        }
+    }
+
+    fn grant(&self, tid: usize) {
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(matches!(st.status[tid], Status::Parked(_)));
+        st.grant = Some(tid);
+        self.cv.notify_all();
+    }
+
+    fn abandon(&self) {
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        st.abandoned = true;
+        self.cv.notify_all();
+    }
+
+    fn take_panic(&self) -> Option<String> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .panic
+            .take()
+    }
+}
+
+/// One instantiation of a scenario: fresh shared state baked into the
+/// thread scripts and the post-run invariant check.
+pub struct ScenarioRun {
+    /// One script per vthread. Each runs to completion under the
+    /// controller, parking at every failpoint it crosses.
+    pub scripts: Vec<Box<dyn FnOnce() + Send + 'static>>,
+    /// Runs on the harness thread after every script finished. Returns
+    /// `Err` (or panics) to report an invariant violation.
+    pub check: Box<dyn FnOnce() -> Result<(), String> + 'static>,
+}
+
+/// Chooses the next step. `enabled` is non-empty and sorted by vthread id;
+/// the return value is an index into it.
+pub trait Decider {
+    /// Pick the enabled entry to run for step number `step`.
+    fn choose(&mut self, step: usize, enabled: &[(usize, String)]) -> usize;
+}
+
+/// What happened at one decision point, for the explorer and for traces.
+#[derive(Clone, Debug)]
+pub struct StepRec {
+    /// The parked threads (tid, site) the decider chose among.
+    pub enabled: Vec<(usize, String)>,
+    /// Index into `enabled` that was granted.
+    pub chosen: usize,
+}
+
+/// The full result of driving one schedule.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Every decision point in order; `steps[i].enabled[steps[i].chosen]`
+    /// is the granted action.
+    pub steps: Vec<StepRec>,
+    /// `Some` if the run violated an invariant: a script panicked, the
+    /// check failed, the watchdog fired, or the step budget ran out.
+    pub error: Option<String>,
+}
+
+impl RunOutcome {
+    /// The decision indices, i.e. the replayable `BOTS_SCHEDULE` trace.
+    pub fn trace(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.chosen).collect()
+    }
+}
+
+/// Drive one schedule of `run` under `decider`, with at most `max_steps`
+/// decision points (a blown budget abandons the run and reports an error —
+/// scenarios are finite, so this only trips on runaway loops).
+pub fn run_schedule(run: ScenarioRun, decider: &mut dyn Decider, max_steps: usize) -> RunOutcome {
+    ensure_hook();
+    let n = run.scripts.len();
+    let ctl = Controller::new(n);
+
+    let handles: Vec<_> = run
+        .scripts
+        .into_iter()
+        .enumerate()
+        .map(|(tid, script)| {
+            let ctl = Arc::clone(&ctl);
+            std::thread::spawn(move || {
+                VCTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&ctl), tid)));
+                // The initial gate: every vthread parks before running any
+                // scenario code, so the decider owns the very first step.
+                ctl.yield_point(tid, "spawn");
+                let result = catch_unwind(AssertUnwindSafe(script));
+                let msg = result
+                    .err()
+                    .map(|p| format!("script panicked: {}", panic_str(&p)));
+                VCTX.with(|c| *c.borrow_mut() = None);
+                ctl.finish(tid, msg);
+            })
+        })
+        .collect();
+
+    let mut steps = Vec::new();
+    let mut error = None;
+    loop {
+        match ctl.wait_quiet() {
+            Err(hang) => {
+                error = Some(hang);
+                break;
+            }
+            Ok(enabled) if enabled.is_empty() => break,
+            Ok(enabled) => {
+                if steps.len() >= max_steps {
+                    error = Some(format!(
+                        "step budget exceeded ({max_steps}): scenario scripts must be finite"
+                    ));
+                    ctl.abandon();
+                    break;
+                }
+                let chosen = decider.choose(steps.len(), &enabled);
+                assert!(
+                    chosen < enabled.len(),
+                    "decider returned out-of-range index"
+                );
+                let tid = enabled[chosen].0;
+                steps.push(StepRec { enabled, chosen });
+                ctl.grant(tid);
+            }
+        }
+    }
+
+    for h in handles {
+        let _ = h.join();
+    }
+    if error.is_none() {
+        error = ctl.take_panic();
+    }
+    if error.is_none() {
+        let check_result = catch_unwind(AssertUnwindSafe(run.check));
+        error = match check_result {
+            Ok(Ok(())) => None,
+            Ok(Err(msg)) => Some(format!("invariant check failed: {msg}")),
+            Err(p) => Some(format!("invariant check panicked: {}", panic_str(&p))),
+        };
+    }
+    RunOutcome { steps, error }
+}
+
+fn panic_str(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A decider that replays a recorded trace of decision indices. Steps past
+/// the end of the trace (or indices out of range for the enabled set, which
+/// cannot happen when replaying against the same scenario) fall back to 0.
+pub struct Replay<'a> {
+    trace: &'a [usize],
+}
+
+impl<'a> Replay<'a> {
+    /// Replay `trace`, the decision indices of a previous run.
+    pub fn new(trace: &'a [usize]) -> Self {
+        Replay { trace }
+    }
+}
+
+impl Decider for Replay<'_> {
+    fn choose(&mut self, step: usize, enabled: &[(usize, String)]) -> usize {
+        let want = self.trace.get(step).copied().unwrap_or(0);
+        if want < enabled.len() {
+            want
+        } else {
+            0
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, and stable across platforms — schedules
+/// named by `BOTS_SCHEDULE=seed:N` replay bit-identically anywhere.
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next pseudo-random u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A decider that picks uniformly among enabled threads from a seed.
+pub struct RandomDecider {
+    rng: SplitMix64,
+}
+
+impl RandomDecider {
+    /// Deterministic random schedule for `seed`.
+    pub fn new(seed: u64) -> Self {
+        RandomDecider {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl Decider for RandomDecider {
+    fn choose(&mut self, _step: usize, enabled: &[(usize, String)]) -> usize {
+        (self.rng.next_u64() % enabled.len() as u64) as usize
+    }
+}
+
+/// The protocol class of a failpoint site: the token before the first `_`
+/// (`injector_pop_swap` -> `injector`). Two actions are treated as
+/// independent for sleep-set pruning only when they come from different
+/// threads AND different protocol classes — a deliberately conservative
+/// relation (same-protocol actions always conflict; cross-protocol actions
+/// touch disjoint data structures and commute under SC).
+pub fn site_class(site: &str) -> &str {
+    site.split('_').next().unwrap_or(site)
+}
+
+/// Sleep-set key for an action: (vthread, protocol class).
+pub type ActionKey = (usize, String);
+
+/// The sleep-set key of an enabled entry.
+pub fn action_key(entry: &(usize, String)) -> ActionKey {
+    (entry.0, site_class(&entry.1).to_string())
+}
+
+/// Site classes whose granted segments stay inside one runtime protocol's
+/// own data structures. Only these may ever be declared independent;
+/// scenario-glue sites (`spawn`, `vt_*`, `toy_*`, `pr*_*`) run arbitrary
+/// script code — including shared scenario state like ready queues — so
+/// they conflict with everything.
+const PROTOCOL_CLASSES: [&str; 9] = [
+    "injector", "slab", "group", "dep", "cont", "steal", "task", "loop", "replay",
+];
+
+/// Whether two actions commute (may be pruned against each other): they
+/// must come from different threads and from *different* protocol classes
+/// — distinct protocols own disjoint runtime structures. Same-class
+/// actions always conflict, and anything outside [`PROTOCOL_CLASSES`]
+/// conflicts with everything, so single-protocol scenarios are explored
+/// fully exhaustively.
+pub fn independent(a: &ActionKey, b: &ActionKey) -> bool {
+    a.0 != b.0
+        && a.1 != b.1
+        && PROTOCOL_CLASSES.contains(&a.1.as_str())
+        && PROTOCOL_CLASSES.contains(&b.1.as_str())
+}
+
+/// Helper for sleep-set propagation: the child state's sleep set after
+/// executing `chosen` is the subset of the parent's that commutes with it.
+pub fn propagate_sleep(sleep: &HashSet<ActionKey>, chosen: &ActionKey) -> HashSet<ActionKey> {
+    sleep
+        .iter()
+        .filter(|k| independent(k, chosen))
+        .cloned()
+        .collect()
+}

@@ -316,6 +316,8 @@ impl ContPool {
         let shard = &self.shards[worker];
         let head = shard.free.get();
         let (cont, src) = if !head.is_null() {
+            // relaxed-ok: owner-only free list; the link was written by
+            // this thread or handed over by the Acquire drain.
             shard.free.set((*head).next.load(Ordering::Relaxed));
             (NonNull::new_unchecked(head), ContSource::Recycled)
         } else if let Some(cont) = Self::drain_reclaim(shard) {
@@ -325,6 +327,8 @@ impl ContPool {
             self.all.lock().unwrap().push(cont.as_ptr() as usize);
             (cont, ContSource::Fresh)
         };
+        // relaxed-ok: the fiber is exclusively ours until dispatch; the
+        // deque push that publishes it supplies the ordering.
         cont.as_ref().state.store(RUNNING, Ordering::Relaxed);
         cont.as_ref().last_worker.set(worker as u16);
         (cont, src)
@@ -340,20 +344,27 @@ impl ContPool {
     pub(crate) unsafe fn release(&self, cont: NonNull<Continuation>, worker: usize) {
         let home = cont.as_ref().home as usize;
         if home == worker {
+            // relaxed-ok: owner-only free list; the fiber is detached.
             cont.as_ref()
                 .next
                 .store(self.shards[home].free.get(), Ordering::Relaxed);
             self.shards[home].free.set(cont.as_ptr());
         } else {
             let shard = &self.shards[home];
+            // relaxed-ok: `head` is only the CAS expectation below.
             let mut head = shard.reclaim.load(Ordering::Relaxed);
             loop {
+                // relaxed-ok: the link is published by the Release CAS
+                // below; the owner's Acquire drain is the only reader.
                 cont.as_ref().next.store(head, Ordering::Relaxed);
+                // transition: shard.reclaim: head -> cont (finished fiber
+                // handed back to its home shard; Release publishes the
+                // link and the fiber's parked state to the owner).
                 match shard.reclaim.compare_exchange_weak(
                     head,
                     cont.as_ptr(),
                     Ordering::Release,
-                    Ordering::Relaxed,
+                    Ordering::Relaxed, // relaxed-ok: failure path only retries
                 ) {
                     Ok(_) => return,
                     Err(cur) => head = cur,
@@ -366,6 +377,8 @@ impl ContPool {
         let head = shard.reclaim.swap(std::ptr::null_mut(), Ordering::Acquire);
         let head = NonNull::new(head)?;
         debug_assert!(shard.free.get().is_null());
+        // relaxed-ok: the Acquire swap above took the whole chain
+        // exclusively; its links can no longer change.
         shard.free.set(head.as_ref().next.load(Ordering::Relaxed));
         Some(head)
     }

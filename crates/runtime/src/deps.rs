@@ -280,6 +280,8 @@ impl<T: Pooled> Pool<T> {
     unsafe fn alloc(&self) -> NonNull<T> {
         let head = self.local.get();
         if let Some(head) = NonNull::new(head) {
+            // relaxed-ok: the local list is map-lock-holder-only; the link
+            // was written under the same lock (or adopted via Acquire).
             self.local
                 .set(head.as_ref().pool_link().load(Ordering::Relaxed));
             return head;
@@ -287,6 +289,8 @@ impl<T: Pooled> Pool<T> {
         // Local list dry: adopt the whole reclaim stack in one swap.
         let head = self.reclaim.swap(std::ptr::null_mut(), Ordering::Acquire);
         if let Some(head) = NonNull::new(head) {
+            // relaxed-ok: the Acquire swap above took the whole chain
+            // exclusively; its links can no longer change.
             self.local
                 .set(head.as_ref().pool_link().load(Ordering::Relaxed));
             return head;
@@ -299,6 +303,8 @@ impl<T: Pooled> Pool<T> {
     /// # Safety
     /// Caller must hold the tracker's map mutex.
     unsafe fn free_local(&self, item: NonNull<T>) {
+        // relaxed-ok: map-lock-holder-only list; the freed item is
+        // unreachable to any other thread.
         item.as_ref()
             .pool_link()
             .store(self.local.get(), Ordering::Relaxed);
@@ -309,16 +315,21 @@ impl<T: Pooled> Pool<T> {
     /// the reclaim stack, drained under the map lock on the next dry
     /// alloc.
     fn free_reclaim(&self, item: NonNull<T>) {
+        // relaxed-ok: `head` is only the CAS expectation below.
         let mut head = self.reclaim.load(Ordering::Relaxed);
         loop {
+            // relaxed-ok: the link is published by the Release CAS below;
+            // the adopting Acquire swap is the only reader.
             unsafe { item.as_ref() }
                 .pool_link()
                 .store(head, Ordering::Relaxed);
+            // transition: pool.reclaim: head -> item (retired item
+            // re-enters the pool; drained whole under the map lock).
             match self.reclaim.compare_exchange_weak(
                 head,
                 item.as_ptr(),
                 Ordering::Release,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // relaxed-ok: failure path only retries
             ) {
                 Ok(_) => return,
                 Err(cur) => head = cur,
@@ -336,6 +347,7 @@ impl<T: Pooled> Pool<T> {
         let chunk: Box<[T]> = (0..POOL_CHUNK).map(|_| T::default()).collect();
         let first = NonNull::from(&chunk[0]);
         for item in &chunk[1..] {
+            // relaxed-ok: fresh chunk, map-lock-holder-only list.
             item.pool_link().store(self.local.get(), Ordering::Relaxed);
             self.local.set(NonNull::from(item).as_ptr());
         }
@@ -474,6 +486,8 @@ impl DepTracker {
         let mut cur = b.succ.swap(closed(), Ordering::AcqRel);
         while let Some(node) = NonNull::new(cur) {
             let n = node.as_ref();
+            // relaxed-ok: the AcqRel swap above drained the list
+            // exclusively; its links can no longer change.
             cur = n.next.load(Ordering::Relaxed);
             let succ = n.block.get();
             self.nodes.free_reclaim(node);
@@ -509,6 +523,8 @@ impl DepTracker {
             let mut cur = std::mem::replace(slot, std::ptr::null_mut());
             while let Some(entry) = NonNull::new(cur) {
                 let e = unsafe { entry.as_ref() };
+                // relaxed-ok: bucket chains are only touched under the map
+                // mutex, which this method holds.
                 cur = e.next.load(Ordering::Relaxed);
                 let w = e.writer.replace(std::ptr::null_mut());
                 if !w.is_null() {
@@ -519,6 +535,7 @@ impl DepTracker {
                 let mut r = e.readers.replace(std::ptr::null_mut());
                 while let Some(node) = NonNull::new(r) {
                     let n = unsafe { node.as_ref() };
+                    // relaxed-ok: reader lists are map-mutex-guarded.
                     r = n.next.load(Ordering::Relaxed);
                     if let Some(dead) = Self::unref_block(n.block.get()) {
                         unsafe { self.blocks.free_local(dead) };
@@ -538,8 +555,13 @@ impl DepTracker {
     unsafe fn alloc_block(&self, rec: NonNull<TaskRecord>) -> NonNull<DepBlock> {
         let block = self.blocks.alloc();
         let b = block.as_ref();
+        // relaxed-ok: the block is exclusively ours until registration
+        // publishes it; the guard drop's AcqRel fetch_sub (and the map
+        // mutex) order these initial stores for every later observer.
         b.refs.store(1, Ordering::Relaxed);
+        // relaxed-ok: exclusive init, see above.
         b.pending.store(1, Ordering::Relaxed); // the registration guard
+                                               // relaxed-ok: exclusive init, see above.
         b.succ.store(std::ptr::null_mut(), Ordering::Relaxed); // clear CLOSED
         b.rec.set(rec.as_ptr());
         block
@@ -595,11 +617,14 @@ impl DepTracker {
                     self.edge(unsafe { &*w }, block);
                 }
                 let node = self.nodes.alloc();
+                // relaxed-ok: ref increments need no ordering (Arc-style);
+                // only the final decrement synchronises (Release + fence).
                 unsafe { block.as_ref() }
                     .refs
                     .fetch_add(1, Ordering::Relaxed);
                 let n = unsafe { node.as_ref() };
                 n.block.set(me);
+                // relaxed-ok: reader lists are map-mutex-guarded.
                 n.next.store(e.readers.get(), Ordering::Relaxed);
                 e.readers.set(node.as_ptr());
             }
@@ -622,6 +647,7 @@ impl DepTracker {
                 let mut r = e.readers.replace(std::ptr::null_mut());
                 while let Some(node) = NonNull::new(r) {
                     let n = unsafe { node.as_ref() };
+                    // relaxed-ok: reader lists are map-mutex-guarded.
                     r = n.next.load(Ordering::Relaxed);
                     let rb = n.block.get();
                     if rb != me {
@@ -635,6 +661,7 @@ impl DepTracker {
                     }
                     self.nodes.free_local(node);
                 }
+                // relaxed-ok: ref increment, see the Read arm.
                 unsafe { block.as_ref() }
                     .refs
                     .fetch_add(1, Ordering::Relaxed);
@@ -656,6 +683,10 @@ impl DepTracker {
         let node = self.nodes.alloc();
         unsafe { node.as_ref() }.block.set(succ.as_ptr());
         let mut head = pred.succ.load(Ordering::Acquire);
+        // The count-then-push window the protocol is built around: a
+        // predecessor retiring here swaps in CLOSED and the push must
+        // observe it and take the count back.
+        crate::bots_failpoint!("dep_edge_cas");
         loop {
             if head == closed() {
                 self.nodes.free_local(node);
@@ -664,7 +695,11 @@ impl DepTracker {
                 s.pending.fetch_sub(1, Ordering::AcqRel);
                 return;
             }
+            // relaxed-ok: the edge node's link is published by the Release
+            // CAS below; the retire drain's AcqRel swap is the only reader.
             unsafe { node.as_ref() }.next.store(head, Ordering::Relaxed);
+            // transition: pred.succ: head -> node (edge published; racing
+            // retire either drains it or this CAS fails on CLOSED).
             match pred.succ.compare_exchange_weak(
                 head,
                 node.as_ptr(),
@@ -696,6 +731,7 @@ impl DepTracker {
             if e.addr.get() == addr {
                 return entry;
             }
+            // relaxed-ok: bucket chains are map-mutex-guarded.
             cur = e.next.load(Ordering::Relaxed);
         }
         let entry = self.entries.alloc();
@@ -703,6 +739,7 @@ impl DepTracker {
         e.addr.set(addr);
         e.writer.set(std::ptr::null_mut());
         e.readers.set(std::ptr::null_mut());
+        // relaxed-ok: bucket chains are map-mutex-guarded.
         e.next.store(map.buckets[idx], Ordering::Relaxed);
         map.buckets[idx] = entry.as_ptr();
         map.len += 1;
@@ -716,8 +753,10 @@ impl DepTracker {
         for mut cur in old {
             while let Some(entry) = NonNull::new(cur) {
                 let e = unsafe { entry.as_ref() };
+                // relaxed-ok: bucket chains are map-mutex-guarded.
                 cur = e.next.load(Ordering::Relaxed);
                 let idx = bucket_of(addr_hash(e.addr.get()), doubled);
+                // relaxed-ok: bucket chains are map-mutex-guarded.
                 e.next.store(map.buckets[idx], Ordering::Relaxed);
                 map.buckets[idx] = entry.as_ptr();
             }

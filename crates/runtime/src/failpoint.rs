@@ -40,6 +40,17 @@
 //! Every `fire` is counted whether or not an action is armed, so a test
 //! can assert that a workload actually drove a given site
 //! ([`hits`] ≥ 1) without changing the workload's behaviour.
+//!
+//! ## Schedule control
+//!
+//! Beyond armed actions, a process-global *schedule hook*
+//! ([`set_schedule_hook`]) sees every fire after the armed action has run
+//! and the registry lock is dropped. The model-checking harness
+//! (`crates/modelcheck`) installs one to turn each site into a yield
+//! point owned by a deterministic virtual scheduler: the hook parks the
+//! calling (virtual-worker) thread until the explorer grants it the next
+//! step, which makes whole interleavings of the real protocol code
+//! enumerable and replayable.
 
 /// Names a failpoint site. Expands to a call into this module when the
 /// crate is built with `--features failpoints`, and to nothing at all
@@ -66,26 +77,53 @@ macro_rules! bots_failpoint {
 }
 
 #[cfg(feature = "failpoints")]
-pub use imp::{cfg, fire, hits, prewarm, remove, teardown, SITES};
+pub use imp::{cfg, fire, hits, prewarm, remove, set_schedule_hook, teardown, ScheduleHook, SITES};
 
 #[cfg(feature = "failpoints")]
 mod imp {
     use std::collections::HashMap;
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Arc, Mutex, OnceLock};
     use std::time::Duration;
+
+    /// A schedule-control callback: called with the site name on **every**
+    /// fire, after the registry lock is dropped and any armed action has
+    /// run. The model-checking harness (`crates/modelcheck`) installs one
+    /// to turn every failpoint site into a yield point its virtual
+    /// scheduler owns; the hook decides per-thread (via its own
+    /// thread-locals) whether the calling thread is a virtual worker that
+    /// must park or a bystander that passes straight through.
+    pub type ScheduleHook = Arc<dyn Fn(&str) + Send + Sync>;
+
+    static SCHED_HOOK: OnceLock<Mutex<Option<ScheduleHook>>> = OnceLock::new();
+
+    fn sched_hook_slot() -> &'static Mutex<Option<ScheduleHook>> {
+        SCHED_HOOK.get_or_init(|| Mutex::new(None))
+    }
+
+    /// Installs (or with `None`, removes) the global schedule hook. The
+    /// hook must be cheap and must never fire a failpoint itself.
+    pub fn set_schedule_hook(hook: Option<ScheduleHook>) {
+        *sched_hook_slot().lock().unwrap_or_else(|e| e.into_inner()) = hook;
+    }
 
     /// Every site name compiled into the runtime (the `bots_failpoint!`
     /// call sites). Kept next to the registry so [`prewarm`] and the CI
     /// coverage test agree on the full set.
-    pub const SITES: [&str; 14] = [
+    pub const SITES: [&str; 20] = [
         "injector_push",
+        "injector_push_cas",
         "injector_pop",
+        "injector_pop_swap",
+        "injector_pop_republish",
         "steal",
         "task_invoke",
         "slab_free_remote",
+        "slab_reclaim_cas",
         "slab_drain",
         "group_leave",
+        "group_claim",
         "dep_retire",
+        "dep_edge_cas",
         "replay_freeze",
         "replay_diverge",
         "loop_claim",
@@ -241,6 +279,16 @@ mod imp {
             }
             Some(Fired::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
             Some(Fired::Yield) => std::thread::yield_now(),
+        }
+        // Schedule control runs last so the virtual scheduler observes the
+        // site exactly at its linearization boundary, with no registry lock
+        // held (the hook may park the calling thread indefinitely).
+        let hook = sched_hook_slot()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(hook) = hook {
+            hook(name);
         }
     }
 

@@ -93,6 +93,8 @@ impl Group {
     /// Raises the group's cancel flag; returns `true` on the transition.
     #[inline]
     pub(crate) fn cancel(&self) -> bool {
+        // relaxed-ok: monotone advisory flag; cancellation is cooperative
+        // and carries no data, so no ordering is required.
         !self.cancelled.swap(true, Ordering::Relaxed)
     }
 
@@ -100,6 +102,7 @@ impl Group {
     /// enough (the group drain supplies the synchronisation).
     #[inline]
     pub(crate) fn is_cancelled(&self) -> bool {
+        // relaxed-ok: monotone advisory flag, see `cancel`.
         self.cancelled.load(Ordering::Relaxed)
     }
 
@@ -108,11 +111,16 @@ impl Group {
     /// member can join).
     #[inline]
     pub(crate) fn reset(&self) {
+        // relaxed-ok: exclusive access — the pool only hands out drained
+        // descriptors and no member has joined yet; the lease owner's
+        // later `join()` (AcqRel) orders these writes for members.
         self.cancelled.store(false, Ordering::Relaxed);
         debug_assert!(
+            // relaxed-ok: exclusive access during reset, see above.
             self.waiter.load(Ordering::Relaxed).is_null(),
             "a group was recycled with a registered waiter"
         );
+        // relaxed-ok: exclusive access during reset, see above.
         self.waiter.store(std::ptr::null_mut(), Ordering::Relaxed);
     }
 
@@ -128,6 +136,8 @@ impl Group {
     /// here would destroy the rendezvous and hang the lease return.
     #[inline]
     pub(crate) fn try_register_waiter(&self, cont: NonNull<Continuation>) -> bool {
+        // transition: group.waiter: null -> cont (waiter registered; a
+        // CLAIMED sentinel already in the slot refuses the registration).
         match self.waiter.compare_exchange(
             std::ptr::null_mut(),
             cont.as_ptr().cast(),
@@ -148,6 +158,9 @@ impl Group {
     /// waiter, if any — the exclusive wake ticket.
     #[inline]
     pub(crate) fn claim_waiter(&self) -> Option<NonNull<Continuation>> {
+        // The drain-claim window: between the zero-driving `leave()` and
+        // this swap the waiter may register, recheck, or unregister.
+        crate::bots_failpoint!("group_claim");
         let prev = self.waiter.swap(CLAIMED as *mut u8, Ordering::SeqCst);
         debug_assert_ne!(prev as usize, CLAIMED, "double drain claim on one lease");
         NonNull::new(prev.cast())
@@ -163,6 +176,8 @@ impl Group {
         let prev = self.waiter.swap(std::ptr::null_mut(), Ordering::SeqCst);
         if prev as usize == CLAIMED {
             // Preserve the rendezvous for `await_drain_claim`.
+            // relaxed-ok: once CLAIMED is in the slot the drainer is done
+            // with it; only this thread (the lease owner) reads it again.
             self.waiter.store(CLAIMED as *mut u8, Ordering::Relaxed);
             return false;
         }
@@ -183,6 +198,8 @@ impl Group {
         while self.waiter.load(Ordering::Acquire) as usize != CLAIMED {
             std::hint::spin_loop();
         }
+        // relaxed-ok: the Acquire load above synchronised with the
+        // drainer's final access; the slot is now exclusively ours.
         self.waiter.store(std::ptr::null_mut(), Ordering::Relaxed);
     }
 
@@ -257,10 +274,16 @@ impl GroupPool {
     /// the pool can be shared without interior-mutability unsafety).
     pub(crate) fn lease(&self, slot: usize) -> (NonNull<Group>, bool) {
         let shard = &self.shards[slot % self.shards.len()].0;
+        // relaxed-ok: owner-only shard — lease and release both run on the
+        // worker executing the taskgroup frame, so every access to this
+        // shard (and to pooled descriptors' links) is single-threaded.
         if let Some(head) = NonNull::new(shard.load(Ordering::Relaxed)) {
+            // relaxed-ok: owner-only shard, see above.
             let next = unsafe { head.as_ref() }.next.load(Ordering::Relaxed);
+            // relaxed-ok: owner-only shard, see above.
             shard.store(next, Ordering::Relaxed);
             debug_assert_eq!(
+                // relaxed-ok: owner-only shard, see above.
                 unsafe { head.as_ref() }.members.load(Ordering::Relaxed),
                 0,
                 "a group was returned to the pool with live members"
@@ -280,8 +303,11 @@ impl GroupPool {
     /// have observed `outstanding() == 0`.
     pub(crate) fn release(&self, group: NonNull<Group>, slot: usize) {
         let shard = &self.shards[slot % self.shards.len()].0;
+        // relaxed-ok: owner-only shard, see `lease`.
         let head = shard.load(Ordering::Relaxed);
+        // relaxed-ok: owner-only shard, see `lease`.
         unsafe { group.as_ref().next.store(head, Ordering::Relaxed) };
+        // relaxed-ok: owner-only shard, see `lease`.
         shard.store(group.as_ptr(), Ordering::Relaxed);
     }
 

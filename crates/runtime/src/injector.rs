@@ -81,16 +81,25 @@ impl Injector {
         // Length first: over-counting is benign (a spurious probe), a probe
         // seeing 0 while a record is published would be a missed wake-up.
         shard.len.fetch_add(1, Ordering::Release);
+        // relaxed-ok: `head` is only the CAS expectation; a stale read
+        // fails the CAS and retries with the witnessed value.
         let mut head = shard.head.load(Ordering::Relaxed);
         loop {
             // Safety: we own the record until the CAS publishes it; `next`
             // is free for queue use while the record sits in a queue.
+            // relaxed-ok: `next` becomes visible only through the Release
+            // CAS below; nobody can read it before the record is reachable.
             unsafe { rec.as_ref().next.store(head, Ordering::Relaxed) };
+            // The push linearization point: this CAS makes the record
+            // reachable to every popper.
+            crate::bots_failpoint!("injector_push_cas");
+            // transition: shard.head: head -> rec (record published,
+            // queue-handle ownership moves to the shard).
             match shard.head.compare_exchange_weak(
                 head,
                 rec.as_ptr(),
                 Ordering::Release,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // relaxed-ok: failure path only retries
             ) {
                 Ok(_) => return,
                 Err(cur) => head = cur,
@@ -127,6 +136,10 @@ impl Injector {
             if shard.len.load(Ordering::Acquire) == 0 {
                 continue;
             }
+            // Between the length probe and the swap another popper may
+            // drain the shard, or a pusher may have bumped the length but
+            // not yet published — the raced-empty window.
+            crate::bots_failpoint!("injector_pop_swap");
             let head = shard.head.swap(std::ptr::null_mut(), Ordering::Acquire);
             let Some(newest) = NonNull::new(head) else {
                 // Raced with another popper (or the pushing submitter has
@@ -139,6 +152,8 @@ impl Injector {
             let mut pred: Option<NonNull<TaskRecord>> = None;
             let mut oldest = newest;
             while let Some(next) =
+                // relaxed-ok: the swap above took the whole chain with
+                // Acquire; the links are immutable while we own them.
                 NonNull::new(unsafe { oldest.as_ref() }.next.load(Ordering::Relaxed))
             {
                 pred = Some(oldest);
@@ -148,15 +163,22 @@ impl Injector {
                 // Splice `newest..=pred` back under whatever has been
                 // pushed meanwhile (a plain push-side CAS, no ABA
                 // exposure: the chain is unreachable to anyone else until
-                // the CAS publishes it).
+                // the CAS publishes it). While the chain is held here, the
+                // surplus roots are invisible to every other worker.
+                crate::bots_failpoint!("injector_pop_republish");
+                // relaxed-ok: `cur` is only the CAS expectation below.
                 let mut cur = shard.head.load(Ordering::Relaxed);
                 loop {
+                    // relaxed-ok: the severed tail's link is republished
+                    // by the Release CAS below, unreadable until then.
                     unsafe { pred.as_ref().next.store(cur, Ordering::Relaxed) };
+                    // transition: shard.head: cur -> newest (surplus chain
+                    // re-published on top of concurrent pushes).
                     match shard.head.compare_exchange_weak(
                         cur,
                         newest.as_ptr(),
                         Ordering::Release,
-                        Ordering::Relaxed,
+                        Ordering::Relaxed, // relaxed-ok: failure only retries
                     ) {
                         Ok(_) => break,
                         Err(now) => cur = now,

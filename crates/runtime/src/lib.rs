@@ -386,6 +386,8 @@ pub mod failpoint;
 mod group;
 mod injector;
 mod local;
+#[cfg(feature = "modelcheck")]
+pub mod mc;
 mod pool;
 mod region;
 mod replay;

@@ -77,6 +77,9 @@ impl RecordSlab {
     pub(crate) unsafe fn alloc(&self) -> (NonNull<TaskRecord>, AllocSource) {
         let head = self.free.get();
         if !head.is_null() {
+            // relaxed-ok: the local free list is owner-thread-only; the
+            // link was written by this same thread (or handed over by an
+            // Acquire drain), so there is nothing to synchronise with.
             self.free.set((*head).next.load(Ordering::Relaxed));
             return (NonNull::new_unchecked(head), AllocSource::Recycled);
         }
@@ -92,6 +95,8 @@ impl RecordSlab {
     /// Owner thread only; `rec` must be fully released (refcount zero) and
     /// owned by this slab.
     pub(crate) unsafe fn free_local(&self, rec: NonNull<TaskRecord>) {
+        // relaxed-ok: owner-thread-only list; the record is fully released
+        // so no other thread can observe the link.
         rec.as_ref().next.store(self.free.get(), Ordering::Relaxed);
         self.free.set(rec.as_ptr());
     }
@@ -103,16 +108,24 @@ impl RecordSlab {
     /// may be any thread.
     pub(crate) fn free_remote(&self, rec: NonNull<TaskRecord>) {
         crate::bots_failpoint!("slab_free_remote");
+        // relaxed-ok: `head` is only the CAS expectation; a stale read
+        // fails the CAS and retries with the witnessed value.
         let mut head = self.reclaim.load(Ordering::Relaxed);
         loop {
+            // relaxed-ok: the link is published by the Release CAS below;
+            // the owner's Acquire swap is the only reader.
             unsafe { rec.as_ref().next.store(head, Ordering::Relaxed) };
-            // Release publishes the `next` write (and the record's final
-            // state) to the owner's Acquire swap in `drain_reclaim`.
+            // The remote-free linearization point: this CAS hands the
+            // record (and its final state) back to the owning slab.
+            crate::bots_failpoint!("slab_reclaim_cas");
+            // transition: slab.reclaim: head -> rec (record re-enters the
+            // owner's pool; Release publishes the `next` write and the
+            // record's final state to the owner's Acquire swap).
             match self.reclaim.compare_exchange_weak(
                 head,
                 rec.as_ptr(),
                 Ordering::Release,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // relaxed-ok: failure path only retries
             ) {
                 Ok(_) => return,
                 Err(cur) => head = cur,
@@ -132,6 +145,8 @@ impl RecordSlab {
         let head = self.reclaim.swap(std::ptr::null_mut(), Ordering::Acquire);
         let head = NonNull::new(head)?;
         debug_assert!(self.free.get().is_null());
+        // relaxed-ok: the Acquire swap above took exclusive ownership of
+        // the whole chain; its links can no longer change.
         self.free.set(head.as_ref().next.load(Ordering::Relaxed));
         Some(head)
     }

@@ -25,6 +25,7 @@ fn exclusive() -> MutexGuard<'static, ()> {
 use bots_runtime::failpoint::SITES;
 
 static TICKS: AtomicU64 = AtomicU64::new(0);
+static BURST_SINK: AtomicU64 = AtomicU64::new(0);
 static DEP_CHAIN: AtomicU64 = AtomicU64::new(0);
 static DEP_SINK: AtomicU64 = AtomicU64::new(0);
 static LOOP_SINK: AtomicU64 = AtomicU64::new(0);
@@ -91,6 +92,22 @@ fn workload(rt: &Runtime) {
         .run();
         wait_ladder(s, 16);
     });
+    // A burst of non-blocking submits from this one thread stacks several
+    // roots on a single injector shard (a thread's submissions share its
+    // cached shard slot), so some worker's pop swaps out a multi-record
+    // chain and takes the tail-sever + republish path
+    // (`injector_pop_republish`). Own sink: the TICKS arithmetic elsewhere
+    // stays exact.
+    let burst: Vec<_> = (0..8)
+        .map(|_| {
+            rt.submit(|_| {
+                BURST_SINK.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in burst {
+        h.join();
+    }
     rt.parallel_replay(0xF00D, |s| {
         s.task(|_| {}).after_write(&DEP_CHAIN).spawn();
     });
@@ -132,6 +149,35 @@ fn every_site_fires_under_an_ordinary_workload() {
             "site '{site}' never fired: the workload no longer reaches it"
         );
     }
+}
+
+/// The README's failpoint site table must list exactly the sites in
+/// `SITES` — this is the assertion the README advertises, so a site
+/// added (or renamed) in code without a documentation row fails here.
+#[test]
+fn readme_site_table_matches_the_registry() {
+    let readme = include_str!("../README.md");
+    let mut documented = Vec::new();
+    for line in readme.lines() {
+        // A site row looks like ``| `site_name` | file.rs | ... |``; the
+        // second cell ending in `.rs` distinguishes the site table from
+        // every other table in the README.
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() >= 4
+            && cells[1].starts_with('`')
+            && cells[1].ends_with('`')
+            && cells[2].ends_with(".rs")
+        {
+            documented.push(cells[1].trim_matches('`').to_string());
+        }
+    }
+    let mut expected: Vec<String> = SITES.iter().map(|s| s.to_string()).collect();
+    documented.sort();
+    expected.sort();
+    assert_eq!(
+        documented, expected,
+        "README failpoint table and failpoint::SITES disagree — update the table"
+    );
 }
 
 /// Armed perturbations (yield and bounded delay) widen race windows

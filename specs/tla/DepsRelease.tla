@@ -1,0 +1,178 @@
+---- MODULE DepsRelease ----
+(***************************************************************************)
+(* The dependency tracker's CLOSED-swap release protocol, as implemented   *)
+(* by crates/runtime/src/deps.rs. Tasks register in a total order (the     *)
+(* map mutex) and each task depends on every earlier task — the densest    *)
+(* declared graph, which maximises the edge-CAS-vs-retire races without    *)
+(* changing their structure. Registration is multi-step per edge; retire   *)
+(* is lock-free and runs concurrently with any registration.               *)
+(*                                                                         *)
+(* Line mapping (deps.rs):                                                 *)
+(*   RegBegin       -> alloc_block: pending = 1, the registration guard    *)
+(*   EdgeCount      -> edge(): succ.pending.fetch_add(1, AcqRel)           *)
+(*   EdgePush       -> edge(): the CAS push onto pred.succ, or the CLOSED  *)
+(*                     take-back [failpoint site `dep_edge_cas`]           *)
+(*   RegEnd         -> register_inner: the guard's fetch_sub outside the   *)
+(*                     lock; hitting zero queues the task (ready path)     *)
+(*   RetireClose    -> retire(): succ.swap(CLOSED, AcqRel)                 *)
+(*                     [failpoint site `dep_retire`]                       *)
+(*   RetireRelease  -> retire(): the drain walk's pending.fetch_sub;       *)
+(*                     hitting zero queues the successor                   *)
+(*                                                                         *)
+(* Invariants:                                                             *)
+(*   W1NoLostTasks       -- pending is an exact ledger: every unit of a    *)
+(*                          task's pending count is backed by a live       *)
+(*                          obligation (guard, in-flight edge, or an edge  *)
+(*                          some retire will drain), so every Deferred     *)
+(*                          task is eventually released.                   *)
+(*   W2NoDoubleExecution -- a task is queued for execution at most once.   *)
+(*   W6BoundedPending    -- pending never goes negative and never exceeds  *)
+(*                          the declared predecessor count plus the guard. *)
+(***************************************************************************)
+EXTENDS Naturals, FiniteSets
+
+CONSTANT MaxTasks
+
+Tasks == 1..MaxTasks
+
+(* Task t's declared predecessors: every earlier registrant. *)
+Preds(t) == 1..(t - 1)
+
+VARIABLES
+  phase,    \* task -> "new" | "reg" | "registered"
+  estate,   \* [t][p] -> "none" | "counted" | "pushed" | "skipped"
+  pending,  \* task -> the release counter (guard + unretired predecessors)
+  succ,     \* task -> set of successors on its (open) successor list
+  sstate,   \* task -> "open" | "closed": the CLOSED-swap terminal state
+  drain,    \* task -> successors swapped out by retire, not yet decremented
+  queued,   \* task -> times the task was handed to a deque (must be <= 1)
+  executed  \* set of tasks whose bodies ran
+
+vars == <<phase, estate, pending, succ, sstate, drain, queued, executed>>
+
+Init ==
+  /\ phase = [t \in Tasks |-> "new"]
+  /\ estate = [t \in Tasks |-> [p \in Tasks |-> "none"]]
+  /\ pending = [t \in Tasks |-> 0]
+  /\ succ = [t \in Tasks |-> {}]
+  /\ sstate = [t \in Tasks |-> "open"]
+  /\ drain = [t \in Tasks |-> {}]
+  /\ queued = [t \in Tasks |-> 0]
+  /\ executed = {}
+
+(* Registration order is total (the map mutex): task t may begin only
+   after every earlier task finished registering. pending starts at 1 —
+   the registration guard — so no concurrent retire can release t early. *)
+RegBegin(t) ==
+  /\ phase[t] = "new"
+  /\ \A p \in Preds(t) : phase[p] = "registered"
+  /\ phase' = [phase EXCEPT ![t] = "reg"]
+  /\ pending' = [pending EXCEPT ![t] = 1]
+  /\ UNCHANGED <<estate, succ, sstate, drain, queued, executed>>
+
+(* Count the edge in the successor's pending FIRST... *)
+EdgeCount(t, p) ==
+  /\ phase[t] = "reg"
+  /\ estate[t][p] = "none"
+  /\ pending' = [pending EXCEPT ![t] = @ + 1]
+  /\ estate' = [estate EXCEPT ![t][p] = "counted"]
+  /\ UNCHANGED <<phase, succ, sstate, drain, queued, executed>>
+
+(* ...then push it onto the predecessor's successor list — unless the
+   predecessor retired meanwhile (CLOSED): then take the count back;
+   nothing to wait for. This pair is the race the protocol is built
+   around. *)
+EdgePush(t, p) ==
+  /\ phase[t] = "reg"
+  /\ estate[t][p] = "counted"
+  /\ IF sstate[p] = "closed"
+       THEN /\ pending' = [pending EXCEPT ![t] = @ - 1]
+            /\ succ' = succ
+            /\ estate' = [estate EXCEPT ![t][p] = "skipped"]
+       ELSE /\ succ' = [succ EXCEPT ![p] = @ \cup {t}]
+            /\ pending' = pending
+            /\ estate' = [estate EXCEPT ![t][p] = "pushed"]
+  /\ UNCHANGED <<phase, sstate, drain, queued, executed>>
+
+(* Drop the registration guard (outside the lock). Hitting zero means no
+   unretired predecessor: the spawner queues the task itself. *)
+RegEnd(t) ==
+  /\ phase[t] = "reg"
+  /\ \A p \in Preds(t) : estate[t][p] \in {"pushed", "skipped"}
+  /\ phase' = [phase EXCEPT ![t] = "registered"]
+  /\ pending' = [pending EXCEPT ![t] = @ - 1]
+  /\ queued' = IF pending[t] = 1
+                 THEN [queued EXCEPT ![t] = @ + 1]
+                 ELSE queued
+  /\ UNCHANGED <<estate, succ, sstate, drain, executed>>
+
+(* A queued task's body runs (exactly the queue hand-off makes it
+   runnable; W2 checks the hand-off happens at most once). *)
+Exec(t) ==
+  /\ queued[t] >= 1
+  /\ t \notin executed
+  /\ executed' = executed \cup {t}
+  /\ UNCHANGED <<phase, estate, pending, succ, sstate, drain, queued>>
+
+(* Retire, phase 1: the terminal CLOSED swap. Later edge attempts see
+   CLOSED and skip; the swapped-out successor set is drained exclusively
+   by this retiring worker. *)
+RetireClose(t) ==
+  /\ t \in executed
+  /\ sstate[t] = "open"
+  /\ sstate' = [sstate EXCEPT ![t] = "closed"]
+  /\ drain' = [drain EXCEPT ![t] = succ[t]]
+  /\ succ' = [succ EXCEPT ![t] = {}]
+  /\ UNCHANGED <<phase, estate, pending, queued, executed>>
+
+(* Retire, phase 2: decrement one drained successor's pending; the
+   decrement that hits zero queues the successor on the retiring worker's
+   deque. *)
+RetireRelease(t) ==
+  /\ drain[t] # {}
+  /\ \E s \in drain[t] :
+       /\ drain' = [drain EXCEPT ![t] = @ \ {s}]
+       /\ pending' = [pending EXCEPT ![s] = @ - 1]
+       /\ queued' = IF pending[s] = 1
+                      THEN [queued EXCEPT ![s] = @ + 1]
+                      ELSE queued
+  /\ UNCHANGED <<phase, estate, succ, sstate, executed>>
+
+Next ==
+  \E t \in Tasks :
+    \/ RegBegin(t)
+    \/ \E p \in Preds(t) : EdgeCount(t, p) \/ EdgePush(t, p)
+    \/ RegEnd(t)
+    \/ Exec(t)
+    \/ RetireClose(t)
+    \/ RetireRelease(t)
+
+Spec == Init /\ [][Next]_vars
+
+----
+(* The guard unit, while registration is in flight. *)
+Guard(t) == IF phase[t] = "reg" THEN 1 ELSE 0
+
+(* Edges of t still counted but not yet resolved by a push/skip. *)
+InFlight(t) == Cardinality({p \in Preds(t) : estate[t][p] = "counted"})
+
+(* Edges of t sitting on some predecessor's open list or drain set —
+   obligations a retire WILL decrement. *)
+Owed(t) == Cardinality({p \in Preds(t) : t \in succ[p] \/ t \in drain[p]})
+
+(* W1: pending is an exact ledger of live obligations. Nothing leaks: a
+   Deferred task's counter is fully backed by retires still to come, so
+   it cannot be stranded. *)
+W1NoLostTasks ==
+  \A t \in Tasks : pending[t] = Guard(t) + InFlight(t) + Owed(t)
+
+(* W2: the ready hand-off fires at most once per task. *)
+W2NoDoubleExecution ==
+  \A t \in Tasks : queued[t] <= 1
+
+(* W6: pending is bounded by the declared clause count plus the guard and
+   never negative (pending is in Nat by construction; TLC would flag a
+   negative as an out-of-domain subtraction). *)
+W6BoundedPending ==
+  \A t \in Tasks : pending[t] <= Cardinality(Preds(t)) + 1
+====

@@ -1,0 +1,143 @@
+---- MODULE Injector ----
+(***************************************************************************)
+(* The sharded injector's swap-drain protocol, as implemented by           *)
+(* crates/runtime/src/injector.rs. One shard is modelled (shards are      *)
+(* independent by construction: a push targets exactly one shard and a    *)
+(* pop owns whatever chain it swaps out).                                  *)
+(*                                                                         *)
+(* Line mapping (injector.rs):                                             *)
+(*   PushBump      -> shard.len.fetch_add(1, Release)      [push]          *)
+(*   PushLink      -> the publish CAS on shard.head         [push,         *)
+(*                    failpoint site `injector_push_cas`]                  *)
+(*   PopSwap       -> shard.head.swap(null, Acquire)        [pop,          *)
+(*                    failpoint site `injector_pop_swap`]                  *)
+(*   PopRepublish  -> tail-sever walk + republish CAS       [pop,          *)
+(*                    failpoint site `injector_pop_republish`]             *)
+(*   PopDone       -> shard.len.fetch_sub(1, Release) + return oldest      *)
+(*                                                                         *)
+(* Invariants (the axebergos WorkStealing.tla naming):                     *)
+(*   W1NoLostTasks      -- every published record is in the stack, in     *)
+(*                         some popper's swapped-out chain, severed, or   *)
+(*                         handed over: nothing vanishes.                  *)
+(*   W2NoDoubleExecution - no record is ever reachable twice.              *)
+(*   W6BoundedMirror    -- the length mirror is an exact ledger of        *)
+(*                         bumped-but-unpopped records; in particular it  *)
+(*                         can over-count the visible stack but never     *)
+(*                         under-count it (a probe that sees 0 may trust  *)
+(*                         it).                                            *)
+(***************************************************************************)
+EXTENDS Naturals, Sequences, FiniteSets
+
+CONSTANTS NumWorkers, MaxTasks
+
+Tasks == 1..MaxTasks
+Workers == 1..NumWorkers
+NoTask == 0
+
+VARIABLES
+  stack,   \* the shard's Treiber stack, newest first (Shard.head chain)
+  len,     \* the shard's length mirror (Shard.len)
+  pstate,  \* task -> "unpushed" | "bumped" | "linked": the two-phase push
+  held,    \* worker -> the swapped-out chain it owns exclusively
+  taken,   \* worker -> the severed oldest root, before the len decrement
+  popped   \* records handed to the worker main loop
+
+vars == <<stack, len, pstate, held, taken, popped>>
+
+Init ==
+  /\ stack = <<>>
+  /\ len = 0
+  /\ pstate = [t \in Tasks |-> "unpushed"]
+  /\ held = [w \in Workers |-> <<>>]
+  /\ taken = [w \in Workers |-> NoTask]
+  /\ popped = {}
+
+(* Length first: over-counting is benign, a probe seeing 0 while a record
+   is published would be a missed wake-up. *)
+PushBump(t) ==
+  /\ pstate[t] = "unpushed"
+  /\ len' = len + 1
+  /\ pstate' = [pstate EXCEPT ![t] = "bumped"]
+  /\ UNCHANGED <<stack, held, taken, popped>>
+
+(* The publish CAS: the record becomes reachable to every popper. *)
+PushLink(t) ==
+  /\ pstate[t] = "bumped"
+  /\ stack' = <<t>> \o stack
+  /\ pstate' = [pstate EXCEPT ![t] = "linked"]
+  /\ UNCHANGED <<len, held, taken, popped>>
+
+(* The whole-stack swap: ABA-free because pop never CASes head->next on
+   shared memory — it exchanges the head for null and owns the chain. A
+   swap that finds the stack already empty (raced popper, or a pusher that
+   bumped but has not linked) is a stutter here. *)
+PopSwap(w) ==
+  /\ held[w] = <<>>
+  /\ taken[w] = NoTask
+  /\ len > 0
+  /\ stack # <<>>
+  /\ held' = [held EXCEPT ![w] = stack]
+  /\ stack' = <<>>
+  /\ UNCHANGED <<len, pstate, taken, popped>>
+
+Front(s) == SubSeq(s, 1, Len(s) - 1)
+Last(s) == s[Len(s)]
+
+(* Sever the chain's tail — the shard's oldest root, preserving FIFO — and
+   re-publish the remainder on top of whatever was pushed meanwhile (a
+   plain push-side CAS: the held chain is unreachable to anyone else). *)
+PopRepublish(w) ==
+  /\ held[w] # <<>>
+  /\ taken' = [taken EXCEPT ![w] = Last(held[w])]
+  /\ stack' = Front(held[w]) \o stack
+  /\ held' = [held EXCEPT ![w] = <<>>]
+  /\ UNCHANGED <<len, pstate, popped>>
+
+(* Decrement the mirror by the exact pop count (one) and hand the root to
+   the worker main loop. *)
+PopDone(w) ==
+  /\ taken[w] # NoTask
+  /\ popped' = popped \cup {taken[w]}
+  /\ taken' = [taken EXCEPT ![w] = NoTask]
+  /\ len' = len - 1
+  /\ UNCHANGED <<stack, pstate, held>>
+
+Next ==
+  \/ \E t \in Tasks : PushBump(t) \/ PushLink(t)
+  \/ \E w \in Workers : PopSwap(w) \/ PopRepublish(w) \/ PopDone(w)
+
+Spec == Init /\ [][Next]_vars
+
+----
+(* How many times task t is reachable anywhere in the protocol. *)
+OccSeq(t, s) == Cardinality({i \in 1..Len(s) : s[i] = t})
+
+Count(t) ==
+  OccSeq(t, stack)
+  + Cardinality({<<w, i>> \in Workers \X (1..MaxTasks) :
+                   i <= Len(held[w]) /\ held[w][i] = t})
+  + Cardinality({w \in Workers : taken[w] = t})
+  + (IF t \in popped THEN 1 ELSE 0)
+
+(* W1: a published record is never lost. *)
+W1NoLostTasks ==
+  \A t \in Tasks : pstate[t] = "linked" => Count(t) = 1
+
+(* W2: a record is never reachable (hence never executable) twice. *)
+W2NoDoubleExecution ==
+  \A t \in Tasks : Count(t) <= 1
+
+(* W6: the mirror is an exact ledger — every bumped-but-unpopped record is
+   counted exactly once, so len >= Len(stack) always (never under-counts)
+   and len <= MaxTasks (bounded). *)
+Unpopped ==
+  Len(stack)
+  + Cardinality({<<w, i>> \in Workers \X (1..MaxTasks) : i <= Len(held[w])})
+  + Cardinality({w \in Workers : taken[w] # NoTask})
+  + Cardinality({t \in Tasks : pstate[t] = "bumped"})
+
+W6BoundedMirror ==
+  /\ len = Unpopped
+  /\ len >= Len(stack)
+  /\ len <= MaxTasks
+====
